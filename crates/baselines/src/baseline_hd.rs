@@ -1,0 +1,322 @@
+//! Baseline-HD: regression emulated by HD *classification* (paper ref.
+//! \[18\], the comparator of Table 1's "Baseline-HD" row).
+//!
+//! The output range is discretised into `bins` intervals, each owning one
+//! class hypervector. Training is standard HD classification: bundle each
+//! encoded input into its target bin's hypervector, then refine iteratively
+//! (on a misprediction, add the encoding to the correct class and subtract
+//! it from the wrongly predicted class). Prediction returns the **centre of
+//! the most similar bin** — an inherently discrete output, which is why the
+//! paper reports "significantly low quality of regression, especially on
+//! high-precision applications", and why it needs "hundreds of class
+//! hypervectors" to be remotely competitive.
+
+use encoding::Encoder;
+use hdc::rng::HdRng;
+use hdc::similarity::{argmax, cosine};
+use hdc::RealHv;
+use reghd::{FitReport, Regressor};
+
+/// Hyper-parameters for [`BaselineHd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineHdConfig {
+    /// Number of output bins (class hypervectors).
+    pub bins: usize,
+    /// Refinement epochs after the single-pass bundling.
+    pub epochs: usize,
+    /// Learning rate of the refinement updates.
+    pub learning_rate: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineHdConfig {
+    fn default() -> Self {
+        Self {
+            bins: 64,
+            epochs: 20,
+            learning_rate: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// HD-classification-based regression (the pre-RegHD approach).
+///
+/// # Examples
+///
+/// ```
+/// use baselines::{BaselineHd, baseline_hd::BaselineHdConfig};
+/// use encoding::NonlinearEncoder;
+/// use reghd::Regressor;
+///
+/// let xs: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32 / 100.0 - 1.0]).collect();
+/// let ys: Vec<f32> = xs.iter().map(|x| x[0]).collect();
+/// let enc = NonlinearEncoder::new(1, 1024, 7);
+/// let mut m = BaselineHd::new(BaselineHdConfig::default(), Box::new(enc));
+/// m.fit(&xs, &ys);
+/// // Predictions are quantised to bin centres: accurate only to ~bin width.
+/// let err = (m.predict_one(&[0.5]) - 0.5).abs();
+/// assert!(err < 0.2, "err = {err}");
+/// ```
+pub struct BaselineHd {
+    config: BaselineHdConfig,
+    encoder: Box<dyn Encoder>,
+    classes: Vec<RealHv>,
+    /// Fitted output range `(lo, hi)`.
+    range: (f32, f32),
+    center: Option<RealHv>,
+}
+
+impl std::fmt::Debug for BaselineHd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineHd")
+            .field("bins", &self.config.bins)
+            .field("range", &self.range)
+            .finish()
+    }
+}
+
+impl BaselineHd {
+    /// Creates an untrained Baseline-HD model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.bins < 2` or `config.epochs == 0`.
+    pub fn new(config: BaselineHdConfig, encoder: Box<dyn Encoder>) -> Self {
+        assert!(config.bins >= 2, "need at least 2 bins");
+        assert!(config.epochs > 0, "epochs must be nonzero");
+        Self {
+            config,
+            encoder,
+            classes: Vec::new(),
+            range: (0.0, 1.0),
+            center: None,
+        }
+    }
+
+    /// The fitted bin centres, in bin order (empty before training).
+    pub fn bin_centers(&self) -> Vec<f32> {
+        if self.classes.is_empty() {
+            return Vec::new();
+        }
+        (0..self.config.bins).map(|b| self.bin_center(b)).collect()
+    }
+
+    fn bin_of(&self, y: f32) -> usize {
+        let (lo, hi) = self.range;
+        let t = ((y - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((t * self.config.bins as f32) as usize).min(self.config.bins - 1)
+    }
+
+    fn bin_center(&self, bin: usize) -> f32 {
+        let (lo, hi) = self.range;
+        let width = (hi - lo) / self.config.bins as f32;
+        lo + (bin as f32 + 0.5) * width
+    }
+
+    fn encode(&self, x: &[f32]) -> RealHv {
+        let mut s = self.encoder.encode(x);
+        if let Some(center) = &self.center {
+            s.add_scaled(center, -1.0);
+        }
+        s.normalize();
+        s
+    }
+
+    fn classify(&self, s: &RealHv) -> usize {
+        let sims: Vec<f32> = self.classes.iter().map(|c| cosine(s, c)).collect();
+        argmax(&sims).expect("classes nonempty after fit")
+    }
+}
+
+impl Regressor for BaselineHd {
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot fit on empty data");
+
+        // Bin range from the 2nd–98th percentiles: on heavy-tailed targets
+        // (forest fires) a min–max range would leave most bins empty and
+        // stretch the quantisation error catastrophically.
+        let mut sorted: Vec<f32> = targets.to_vec();
+        sorted.sort_by(f32::total_cmp);
+        let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+        let (lo, hi) = (pct(0.02), pct(0.98));
+        // Degenerate constant-target case: widen artificially so bin_of is
+        // well defined.
+        self.range = if hi > lo { (lo, hi) } else { (lo - 0.5, lo + 0.5) };
+
+        let dim = self.encoder.dim();
+        self.classes = vec![RealHv::zeros(dim); self.config.bins];
+        self.center = None;
+
+        // Encode once, with mean-centring (see
+        // `reghd::RegHdConfig::center_encodings` for the rationale).
+        let mut encoded: Vec<RealHv> =
+            features.iter().map(|x| self.encoder.encode(x)).collect();
+        let mut mean = RealHv::zeros(dim);
+        for s in &encoded {
+            mean.add_scaled(s, 1.0 / encoded.len() as f32);
+        }
+        for s in &mut encoded {
+            s.add_scaled(&mean, -1.0);
+            s.normalize();
+        }
+        self.center = Some(mean);
+
+        // Single-pass bundling.
+        for (s, &y) in encoded.iter().zip(targets) {
+            let b = self.bin_of(y);
+            self.classes[b].add_scaled(s, 1.0);
+        }
+
+        // Iterative refinement.
+        let mut rng = HdRng::seed_from(self.config.seed ^ 0xBA_5E11);
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut history = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.next_below(i + 1);
+                order.swap(i, j);
+            }
+            let mut sq_err = 0.0f64;
+            for &i in &order {
+                let s = &encoded[i];
+                let truth = self.bin_of(targets[i]);
+                let pred = self.classify(s);
+                let pred_y = self.bin_center(pred);
+                let e = targets[i] as f64 - pred_y as f64;
+                sq_err += e * e;
+                if pred != truth {
+                    let lr = self.config.learning_rate;
+                    self.classes[truth].add_scaled(s, lr);
+                    self.classes[pred].add_scaled(s, -lr);
+                }
+            }
+            history.push((sq_err / order.len() as f64) as f32);
+        }
+
+        FitReport {
+            epochs: history.len(),
+            train_mse_history: history,
+            converged: false,
+        }
+    }
+
+    fn predict_one(&self, x: &[f32]) -> f32 {
+        assert!(!self.classes.is_empty(), "predict before fit");
+        let s = self.encode(x);
+        self.bin_center(self.classify(&s))
+    }
+
+    fn name(&self) -> String {
+        format!("Baseline-HD({})", self.config.bins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encoding::NonlinearEncoder;
+
+    fn make(bins: usize, dim: usize, seed: u64) -> BaselineHd {
+        let cfg = BaselineHdConfig {
+            bins,
+            seed,
+            ..BaselineHdConfig::default()
+        };
+        BaselineHd::new(cfg, Box::new(NonlinearEncoder::new(1, dim, seed)))
+    }
+
+    fn ramp(n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let xs: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / n as f32 * 2.0 - 1.0]).collect();
+        let ys = xs.iter().map(|x| x[0]).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn predictions_are_bin_centers() {
+        let (xs, ys) = ramp(200);
+        let mut m = make(16, 1024, 1);
+        m.fit(&xs, &ys);
+        let centers = m.bin_centers();
+        for x in xs.iter().step_by(17) {
+            let p = m.predict_one(x);
+            assert!(
+                centers.iter().any(|&c| (c - p).abs() < 1e-6),
+                "{p} is not a bin centre"
+            );
+        }
+    }
+
+    #[test]
+    fn quantisation_error_floor() {
+        // Even a perfect classifier cannot beat the bin-width² / 12 floor —
+        // the discreteness RegHD's Table 1 exposes.
+        let (xs, ys) = ramp(400);
+        let mut coarse = make(4, 2048, 2);
+        let mut fine = make(64, 2048, 2);
+        coarse.fit(&xs, &ys);
+        fine.fit(&xs, &ys);
+        let mse = |m: &BaselineHd| {
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, &y)| {
+                    let e = m.predict_one(x) - y;
+                    e * e
+                })
+                .sum::<f32>()
+                / ys.len() as f32
+        };
+        let mse_coarse = mse(&coarse);
+        let mse_fine = mse(&fine);
+        // Coarse bins: width 0.5 → floor ≈ 0.0208. Must be visible.
+        assert!(mse_coarse > 0.01, "coarse mse = {mse_coarse}");
+        assert!(
+            mse_fine < mse_coarse,
+            "more bins must reduce error: {mse_fine} vs {mse_coarse}"
+        );
+    }
+
+    #[test]
+    fn learns_monotone_mapping() {
+        let (xs, ys) = ramp(300);
+        let mut m = make(32, 2048, 3);
+        m.fit(&xs, &ys);
+        let p_low = m.predict_one(&[-0.9]);
+        let p_mid = m.predict_one(&[0.0]);
+        let p_high = m.predict_one(&[0.9]);
+        assert!(p_low < p_mid && p_mid < p_high, "{p_low} {p_mid} {p_high}");
+    }
+
+    #[test]
+    fn constant_targets_are_handled() {
+        let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let ys = vec![3.0f32; 20];
+        let mut m = make(8, 512, 4);
+        m.fit(&xs, &ys);
+        let p = m.predict_one(&[5.0]);
+        assert!((p - 3.0).abs() < 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn name_includes_bins() {
+        assert_eq!(make(64, 256, 0).name(), "Baseline-HD(64)");
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        make(8, 256, 0).predict_one(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bins")]
+    fn one_bin_panics() {
+        make(1, 256, 0);
+    }
+}

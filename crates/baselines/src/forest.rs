@@ -1,0 +1,208 @@
+//! Random-forest regression: bagged CART trees with per-tree bootstrap
+//! resampling. A stronger classical comparator than the single decision
+//! tree of Table 1, included for the extended model zoo.
+
+use crate::tree::{TreeConfig, TreeRegressor};
+use hdc::rng::HdRng;
+use reghd::{FitReport, Regressor};
+
+/// Hyper-parameters for [`ForestRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestConfig {
+    /// Number of bagged trees.
+    pub trees: usize,
+    /// Per-tree CART settings.
+    pub tree: TreeConfig,
+    /// Bootstrap seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            trees: 30,
+            tree: TreeConfig {
+                max_depth: 10,
+                min_samples_leaf: 3,
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// Bagged regression forest.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::forest::{ForestRegressor, ForestConfig};
+/// use reghd::Regressor;
+///
+/// let xs: Vec<Vec<f32>> = (0..120).map(|i| vec![i as f32 / 60.0 - 1.0]).collect();
+/// let ys: Vec<f32> = xs.iter().map(|x| x[0] * x[0]).collect();
+/// let mut m = ForestRegressor::new(ForestConfig::default());
+/// m.fit(&xs, &ys);
+/// assert!((m.predict_one(&[0.5]) - 0.25).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ForestRegressor {
+    config: ForestConfig,
+    trees: Vec<TreeRegressor>,
+}
+
+impl ForestRegressor {
+    /// Creates an untrained forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.trees == 0`.
+    pub fn new(config: ForestConfig) -> Self {
+        assert!(config.trees > 0, "need at least one tree");
+        Self {
+            config,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees (0 before training).
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for ForestRegressor {
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot fit on empty data");
+        let mut rng = HdRng::seed_from(self.config.seed ^ 0xF0_4E_57);
+        self.trees.clear();
+        let n = features.len();
+        for _ in 0..self.config.trees {
+            // Bootstrap resample with replacement.
+            let idx: Vec<usize> = (0..n).map(|_| rng.next_below(n)).collect();
+            let boot_x: Vec<Vec<f32>> = idx.iter().map(|&i| features[i].clone()).collect();
+            let boot_y: Vec<f32> = idx.iter().map(|&i| targets[i]).collect();
+            let mut tree = TreeRegressor::new(self.config.tree);
+            tree.fit(&boot_x, &boot_y);
+            self.trees.push(tree);
+        }
+        let preds: Vec<f32> = features.iter().map(|x| self.predict_one(x)).collect();
+        let mse = (preds
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| (p as f64 - t as f64).powi(2))
+            .sum::<f64>()
+            / targets.len() as f64) as f32;
+        FitReport {
+            epochs: 1,
+            train_mse_history: vec![mse],
+            converged: true,
+        }
+    }
+
+    fn predict_one(&self, x: &[f32]) -> f32 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        (self
+            .trees
+            .iter()
+            .map(|t| t.predict_one(x) as f64)
+            .sum::<f64>()
+            / self.trees.len() as f64) as f32
+    }
+
+    fn name(&self) -> String {
+        format!("RandomForest-{}", self.config.trees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::HdRng;
+
+    fn noisy_task(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = HdRng::seed_from(seed);
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0])
+            .collect();
+        let ys = xs
+            .iter()
+            .map(|x| (3.0 * x[0]).sin() + x[1] + 0.2 * rng.next_gaussian() as f32)
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn forest_beats_single_tree_out_of_sample() {
+        let (train_x, train_y) = noisy_task(300, 1);
+        let (test_x, test_y) = noisy_task(300, 2);
+        let mut tree = TreeRegressor::new(TreeConfig {
+            max_depth: 10,
+            min_samples_leaf: 3,
+        });
+        let mut forest = ForestRegressor::new(ForestConfig::default());
+        tree.fit(&train_x, &train_y);
+        forest.fit(&train_x, &train_y);
+        let mse = |m: &dyn Regressor| {
+            test_x
+                .iter()
+                .zip(&test_y)
+                .map(|(x, &y)| {
+                    let e = m.predict_one(x) - y;
+                    (e * e) as f64
+                })
+                .sum::<f64>()
+                / test_y.len() as f64
+        };
+        let mse_tree = mse(&tree);
+        let mse_forest = mse(&forest);
+        assert!(
+            mse_forest < mse_tree,
+            "bagging should reduce variance: forest {mse_forest} vs tree {mse_tree}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = noisy_task(100, 3);
+        let mut a = ForestRegressor::new(ForestConfig::default());
+        let mut b = ForestRegressor::new(ForestConfig::default());
+        a.fit(&xs, &ys);
+        b.fit(&xs, &ys);
+        assert_eq!(a.predict_one(&xs[0]), b.predict_one(&xs[0]));
+    }
+
+    #[test]
+    fn tree_count_accessor() {
+        let (xs, ys) = noisy_task(50, 4);
+        let mut m = ForestRegressor::new(ForestConfig {
+            trees: 7,
+            ..ForestConfig::default()
+        });
+        assert_eq!(m.tree_count(), 0);
+        m.fit(&xs, &ys);
+        assert_eq!(m.tree_count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        ForestRegressor::new(ForestConfig {
+            trees: 0,
+            ..ForestConfig::default()
+        });
+    }
+
+    #[test]
+    fn name_includes_size() {
+        let m = ForestRegressor::new(ForestConfig {
+            trees: 12,
+            ..ForestConfig::default()
+        });
+        assert_eq!(m.name(), "RandomForest-12");
+    }
+}

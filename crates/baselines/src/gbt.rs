@@ -1,0 +1,243 @@
+//! Gradient-boosted trees (least-squares boosting, Friedman 2001):
+//! sequentially fit shallow CART trees to the residuals of the running
+//! ensemble. The strongest classical tabular baseline in the extended zoo.
+
+use crate::tree::{TreeConfig, TreeRegressor};
+use reghd::{FitReport, Regressor};
+
+/// Hyper-parameters for [`GbtRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbtConfig {
+    /// Number of boosting rounds (trees).
+    pub rounds: usize,
+    /// Shrinkage (learning rate) applied to each tree's contribution.
+    pub shrinkage: f32,
+    /// Per-tree CART settings (shallow trees are the point).
+    pub tree: TreeConfig,
+}
+
+impl Default for GbtConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 100,
+            shrinkage: 0.1,
+            tree: TreeConfig {
+                max_depth: 3,
+                min_samples_leaf: 5,
+            },
+        }
+    }
+}
+
+/// Least-squares gradient boosting over shallow CART trees.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::gbt::{GbtRegressor, GbtConfig};
+/// use reghd::Regressor;
+///
+/// let xs: Vec<Vec<f32>> = (0..150).map(|i| vec![i as f32 / 75.0 - 1.0]).collect();
+/// let ys: Vec<f32> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+/// let mut m = GbtRegressor::new(GbtConfig::default());
+/// m.fit(&xs, &ys);
+/// assert!((m.predict_one(&[0.3]) - (0.9f32).sin()).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GbtRegressor {
+    config: GbtConfig,
+    base: f32,
+    trees: Vec<TreeRegressor>,
+}
+
+impl GbtRegressor {
+    /// Creates an untrained boosted ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or `shrinkage` is not within `(0, 1]`.
+    pub fn new(config: GbtConfig) -> Self {
+        assert!(config.rounds > 0, "rounds must be nonzero");
+        assert!(
+            config.shrinkage > 0.0 && config.shrinkage <= 1.0,
+            "shrinkage must be in (0, 1]"
+        );
+        Self {
+            config,
+            base: 0.0,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted boosting rounds (0 before training).
+    pub fn round_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for GbtRegressor {
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot fit on empty data");
+        self.trees.clear();
+        // Stage 0: the mean.
+        self.base =
+            (targets.iter().map(|&t| t as f64).sum::<f64>() / targets.len() as f64) as f32;
+        let mut residuals: Vec<f32> = targets.iter().map(|&y| y - self.base).collect();
+        let mut history = Vec::with_capacity(self.config.rounds);
+        for _ in 0..self.config.rounds {
+            let mut tree = TreeRegressor::new(self.config.tree);
+            tree.fit(features, &residuals);
+            // Update residuals with the shrunken tree predictions.
+            let mut sq = 0.0f64;
+            for (i, row) in features.iter().enumerate() {
+                residuals[i] -= self.config.shrinkage * tree.predict_one(row);
+                sq += (residuals[i] as f64) * (residuals[i] as f64);
+            }
+            self.trees.push(tree);
+            history.push((sq / residuals.len() as f64) as f32);
+        }
+        FitReport {
+            epochs: history.len(),
+            train_mse_history: history,
+            converged: false,
+        }
+    }
+
+    fn predict_one(&self, x: &[f32]) -> f32 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let boost: f64 = self
+            .trees
+            .iter()
+            .map(|t| (self.config.shrinkage * t.predict_one(x)) as f64)
+            .sum();
+        self.base + boost as f32
+    }
+
+    fn name(&self) -> String {
+        format!("GBT-{}", self.config.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestConfig, ForestRegressor};
+    use hdc::rng::HdRng;
+
+    fn task(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = HdRng::seed_from(seed);
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0])
+            .collect();
+        let ys = xs
+            .iter()
+            .map(|x| (3.0 * x[0]).sin() + x[0] * x[1] + 0.1 * rng.next_gaussian() as f32)
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn boosting_drives_training_residuals_down() {
+        let (xs, ys) = task(300, 1);
+        let mut m = GbtRegressor::new(GbtConfig::default());
+        let report = m.fit(&xs, &ys);
+        let first = report.train_mse_history[0];
+        let last = *report.train_mse_history.last().unwrap();
+        assert!(last < 0.3 * first, "no boosting progress: {first} -> {last}");
+    }
+
+    #[test]
+    fn beats_single_shallow_tree() {
+        let (train_x, train_y) = task(400, 2);
+        let (test_x, test_y) = task(400, 3);
+        let mut stump = TreeRegressor::new(TreeConfig {
+            max_depth: 3,
+            min_samples_leaf: 5,
+        });
+        let mut gbt = GbtRegressor::new(GbtConfig::default());
+        stump.fit(&train_x, &train_y);
+        gbt.fit(&train_x, &train_y);
+        let mse = |m: &dyn Regressor| {
+            test_x
+                .iter()
+                .zip(&test_y)
+                .map(|(x, &y)| {
+                    let e = m.predict_one(x) - y;
+                    (e * e) as f64
+                })
+                .sum::<f64>()
+                / test_y.len() as f64
+        };
+        assert!(mse(&gbt) < 0.5 * mse(&stump));
+    }
+
+    #[test]
+    fn competitive_with_forest_on_smooth_task() {
+        let (train_x, train_y) = task(400, 4);
+        let (test_x, test_y) = task(400, 5);
+        let mut gbt = GbtRegressor::new(GbtConfig::default());
+        let mut forest = ForestRegressor::new(ForestConfig::default());
+        gbt.fit(&train_x, &train_y);
+        forest.fit(&train_x, &train_y);
+        let mse = |m: &dyn Regressor| {
+            test_x
+                .iter()
+                .zip(&test_y)
+                .map(|(x, &y)| {
+                    let e = m.predict_one(x) - y;
+                    (e * e) as f64
+                })
+                .sum::<f64>()
+                / test_y.len() as f64
+        };
+        // Not a strict ordering claim — just same ballpark (within 2x).
+        let (g, f) = (mse(&gbt), mse(&forest));
+        assert!(g < 2.0 * f && f < 2.0 * g, "gbt {g} vs forest {f}");
+    }
+
+    #[test]
+    fn shrinkage_one_overfits_faster_than_small() {
+        let (xs, ys) = task(200, 6);
+        let run = |shrinkage: f32| {
+            let mut m = GbtRegressor::new(GbtConfig {
+                rounds: 30,
+                shrinkage,
+                ..GbtConfig::default()
+            });
+            m.fit(&xs, &ys).train_mse_history.last().copied().unwrap()
+        };
+        // Aggressive shrinkage reaches lower train error in few rounds.
+        assert!(run(1.0) < run(0.05));
+    }
+
+    #[test]
+    fn round_count_tracks_config() {
+        let (xs, ys) = task(60, 7);
+        let mut m = GbtRegressor::new(GbtConfig {
+            rounds: 13,
+            ..GbtConfig::default()
+        });
+        assert_eq!(m.round_count(), 0);
+        m.fit(&xs, &ys);
+        assert_eq!(m.round_count(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrinkage")]
+    fn bad_shrinkage_panics() {
+        GbtRegressor::new(GbtConfig {
+            shrinkage: 0.0,
+            ..GbtConfig::default()
+        });
+    }
+
+    #[test]
+    fn name_includes_rounds() {
+        assert_eq!(GbtRegressor::new(GbtConfig::default()).name(), "GBT-100");
+    }
+}

@@ -1,0 +1,226 @@
+//! K-fold cross-validated grid search — "the common practice of the grid
+//! search to identify the best hyper-parameters for each model" (§4.2).
+
+use hdc::rng::HdRng;
+use reghd::Regressor;
+
+/// One evaluated grid candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateScore {
+    /// Label describing the hyper-parameter combination.
+    pub label: String,
+    /// Mean validation MSE across folds.
+    pub cv_mse: f32,
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResult {
+    /// Index of the winning candidate in the input order.
+    pub best_index: usize,
+    /// Every candidate's cross-validated score, in input order.
+    pub scores: Vec<CandidateScore>,
+}
+
+impl GridResult {
+    /// The winning candidate's score entry.
+    pub fn best(&self) -> &CandidateScore {
+        &self.scores[self.best_index]
+    }
+}
+
+/// Runs k-fold cross-validation over a list of `(label, factory)` candidate
+/// model configurations and returns the per-candidate mean validation MSE.
+///
+/// Each factory must build a *fresh, untrained* model; the same folds (from
+/// `seed`) are used for every candidate so the comparison is paired.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty, `folds < 2`, or `folds` exceeds the
+/// sample count.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::{grid::grid_search, LinearRegressor};
+/// use reghd::Regressor;
+///
+/// let xs: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32]).collect();
+/// let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x[0]).collect();
+/// let result = grid_search(
+///     &[
+///         ("lambda=0".to_string(), Box::new(|| Box::new(LinearRegressor::new(0.0)) as Box<dyn Regressor>) as Box<dyn Fn() -> Box<dyn Regressor>>),
+///         ("lambda=100".to_string(), Box::new(|| Box::new(LinearRegressor::new(100.0)) as Box<dyn Regressor>)),
+///     ],
+///     &xs,
+///     &ys,
+///     4,
+///     7,
+/// );
+/// assert_eq!(result.best().label, "lambda=0");
+/// ```
+pub fn grid_search(
+    candidates: &[(String, Box<dyn Fn() -> Box<dyn Regressor>>)],
+    features: &[Vec<f32>],
+    targets: &[f32],
+    folds: usize,
+    seed: u64,
+) -> GridResult {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    assert!(folds >= 2, "need at least 2 folds");
+    assert!(
+        folds <= features.len(),
+        "folds cannot exceed the sample count"
+    );
+    assert_eq!(
+        features.len(),
+        targets.len(),
+        "features and targets must have the same length"
+    );
+
+    // Deterministic shuffled fold assignment, shared across candidates.
+    let mut rng = HdRng::seed_from(seed);
+    let mut idx: Vec<usize> = (0..features.len()).collect();
+    for i in (1..idx.len()).rev() {
+        let j = rng.next_below(i + 1);
+        idx.swap(i, j);
+    }
+    let base = features.len() / folds;
+    let extra = features.len() % folds;
+    let mut fold_ranges = Vec::with_capacity(folds);
+    let mut start = 0usize;
+    for f in 0..folds {
+        let size = base + usize::from(f < extra);
+        fold_ranges.push(start..start + size);
+        start += size;
+    }
+
+    let mut scores = Vec::with_capacity(candidates.len());
+    for (label, factory) in candidates {
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for range in &fold_ranges {
+            let val_idx = &idx[range.clone()];
+            let train_idx: Vec<usize> = idx[..range.start]
+                .iter()
+                .chain(&idx[range.end..])
+                .copied()
+                .collect();
+            let train_x: Vec<Vec<f32>> =
+                train_idx.iter().map(|&i| features[i].clone()).collect();
+            let train_y: Vec<f32> = train_idx.iter().map(|&i| targets[i]).collect();
+            let mut model = factory();
+            model.fit(&train_x, &train_y);
+            for &i in val_idx {
+                let e = model.predict_one(&features[i]) as f64 - targets[i] as f64;
+                total += e * e;
+                count += 1;
+            }
+        }
+        scores.push(CandidateScore {
+            label: label.clone(),
+            cv_mse: (total / count as f64) as f32,
+        });
+    }
+
+    let best_index = scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cv_mse.total_cmp(&b.1.cv_mse))
+        .map(|(i, _)| i)
+        .expect("candidates nonempty");
+    GridResult { best_index, scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearRegressor, MeanRegressor};
+
+    fn boxed<F: Fn() -> Box<dyn Regressor> + 'static>(
+        label: &str,
+        f: F,
+    ) -> (String, Box<dyn Fn() -> Box<dyn Regressor>>) {
+        (label.to_string(), Box::new(f))
+    }
+
+    fn toy() -> (Vec<Vec<f32>>, Vec<f32>) {
+        let xs: Vec<Vec<f32>> = (0..60).map(|i| vec![i as f32 / 30.0]).collect();
+        let ys = xs.iter().map(|x| 4.0 * x[0] + 1.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn picks_the_better_model() {
+        let (xs, ys) = toy();
+        let result = grid_search(
+            &[
+                boxed("mean", || Box::new(MeanRegressor::new())),
+                boxed("linear", || Box::new(LinearRegressor::new(1e-6))),
+            ],
+            &xs,
+            &ys,
+            5,
+            1,
+        );
+        assert_eq!(result.best().label, "linear");
+        assert!(result.scores[1].cv_mse < result.scores[0].cv_mse);
+    }
+
+    #[test]
+    fn scores_preserve_input_order() {
+        let (xs, ys) = toy();
+        let result = grid_search(
+            &[
+                boxed("a", || Box::new(MeanRegressor::new())),
+                boxed("b", || Box::new(MeanRegressor::new())),
+            ],
+            &xs,
+            &ys,
+            3,
+            2,
+        );
+        assert_eq!(result.scores[0].label, "a");
+        assert_eq!(result.scores[1].label, "b");
+        // Same model → same paired-fold score.
+        assert_eq!(result.scores[0].cv_mse, result.scores[1].cv_mse);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = toy();
+        let run = |seed| {
+            grid_search(
+                &[boxed("m", || Box::new(MeanRegressor::new()))],
+                &xs,
+                &ys,
+                4,
+                seed,
+            )
+            .scores[0]
+                .cv_mse
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panics() {
+        let (xs, ys) = toy();
+        grid_search(&[], &xs, &ys, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_panics() {
+        let (xs, ys) = toy();
+        grid_search(
+            &[boxed("m", || Box::new(MeanRegressor::new()))],
+            &xs,
+            &ys,
+            1,
+            0,
+        );
+    }
+}

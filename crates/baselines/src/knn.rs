@@ -1,0 +1,217 @@
+//! k-nearest-neighbours regression — the classic non-parametric
+//! comparator. Interesting next to RegHD because both are
+//! similarity-driven: k-NN searches raw feature space exactly, RegHD
+//! searches HD space approximately with O(k·D) work independent of the
+//! training-set size.
+
+use reghd::{FitReport, Regressor};
+
+/// Distance weighting for the neighbour average.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnnWeighting {
+    /// Plain average of the k neighbours' targets.
+    #[default]
+    Uniform,
+    /// Weight each neighbour by `1/(distance + ε)`.
+    InverseDistance,
+}
+
+/// k-NN regressor (brute-force exact search; fine at these dataset sizes).
+///
+/// # Examples
+///
+/// ```
+/// use baselines::knn::{KnnRegressor, KnnWeighting};
+/// use reghd::Regressor;
+///
+/// let xs: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+/// let ys: Vec<f32> = xs.iter().map(|x| x[0] * 2.0).collect();
+/// let mut m = KnnRegressor::new(3, KnnWeighting::Uniform);
+/// m.fit(&xs, &ys);
+/// assert!((m.predict_one(&[10.0]) - 20.0).abs() < 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    weighting: KnnWeighting,
+    train_x: Vec<Vec<f32>>,
+    train_y: Vec<f32>,
+}
+
+impl KnnRegressor {
+    /// Creates a k-NN regressor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, weighting: KnnWeighting) -> Self {
+        assert!(k > 0, "k must be nonzero");
+        Self {
+            k,
+            weighting,
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+        }
+    }
+
+    /// The neighbour count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot fit on empty data");
+        self.train_x = features.to_vec();
+        self.train_y = targets.to_vec();
+        // Training MSE via leave-self-in prediction is trivially optimistic
+        // for k = 1; report the k-neighbour training error honestly.
+        let preds: Vec<f32> = features.iter().map(|x| self.predict_one(x)).collect();
+        let mse = (preds
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| (p as f64 - t as f64).powi(2))
+            .sum::<f64>()
+            / targets.len() as f64) as f32;
+        FitReport {
+            epochs: 1,
+            train_mse_history: vec![mse],
+            converged: true,
+        }
+    }
+
+    fn predict_one(&self, x: &[f32]) -> f32 {
+        assert!(!self.train_x.is_empty(), "predict before fit");
+        assert_eq!(
+            x.len(),
+            self.train_x[0].len(),
+            "expected {} features, got {}",
+            self.train_x[0].len(),
+            x.len()
+        );
+        // Partial selection of the k smallest distances.
+        let mut dist: Vec<(f32, f32)> = self
+            .train_x
+            .iter()
+            .zip(&self.train_y)
+            .map(|(row, &y)| {
+                let d: f32 = row
+                    .iter()
+                    .zip(x)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                (d, y)
+            })
+            .collect();
+        let k = self.k.min(dist.len());
+        dist.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let neighbours = &dist[..k];
+        match self.weighting {
+            KnnWeighting::Uniform => {
+                neighbours.iter().map(|&(_, y)| y).sum::<f32>() / k as f32
+            }
+            KnnWeighting::InverseDistance => {
+                let mut num = 0.0f64;
+                let mut den = 0.0f64;
+                for &(d, y) in neighbours {
+                    let w = 1.0 / (d.sqrt() as f64 + 1e-9);
+                    num += w * y as f64;
+                    den += w;
+                }
+                (num / den) as f32
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("kNN-{}", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::HdRng;
+
+    fn toy(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = HdRng::seed_from(seed);
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0])
+            .collect();
+        let ys = xs.iter().map(|x| x[0] + x[1] * x[1]).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn one_nn_memorises_training_points() {
+        let (xs, ys) = toy(100, 1);
+        let mut m = KnnRegressor::new(1, KnnWeighting::Uniform);
+        m.fit(&xs, &ys);
+        for i in (0..xs.len()).step_by(13) {
+            assert_eq!(m.predict_one(&xs[i]), ys[i]);
+        }
+    }
+
+    #[test]
+    fn fits_smooth_function() {
+        let (xs, ys) = toy(400, 2);
+        let mut m = KnnRegressor::new(5, KnnWeighting::InverseDistance);
+        m.fit(&xs, &ys);
+        let mse: f32 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, &y)| {
+                let e = m.predict_one(x) - y;
+                e * e
+            })
+            .sum::<f32>()
+            / ys.len() as f32;
+        let var = {
+            let mean: f32 = ys.iter().sum::<f32>() / ys.len() as f32;
+            ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32
+        };
+        assert!(mse < 0.1 * var, "mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_degrades_to_mean() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0f32, 10.0];
+        let mut m = KnnRegressor::new(50, KnnWeighting::Uniform);
+        m.fit(&xs, &ys);
+        assert_eq!(m.predict_one(&[0.5]), 5.0);
+    }
+
+    #[test]
+    fn inverse_distance_prefers_closer_points() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0f32, 10.0];
+        let mut m = KnnRegressor::new(2, KnnWeighting::InverseDistance);
+        m.fit(&xs, &ys);
+        // Query near x=0 should predict well below the midpoint.
+        assert!(m.predict_one(&[0.1]) < 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        KnnRegressor::new(1, KnnWeighting::Uniform).predict_one(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be nonzero")]
+    fn zero_k_panics() {
+        KnnRegressor::new(0, KnnWeighting::Uniform);
+    }
+
+    #[test]
+    fn name_includes_k() {
+        assert_eq!(KnnRegressor::new(7, KnnWeighting::Uniform).name(), "kNN-7");
+    }
+}

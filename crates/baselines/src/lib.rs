@@ -1,0 +1,47 @@
+//! # baselines — the comparator learners of RegHD's Table 1
+//!
+//! From-scratch Rust implementations of every algorithm the paper compares
+//! RegHD against, all exposing the shared [`reghd::Regressor`] interface so
+//! the bench harness can sweep them uniformly:
+//!
+//! * [`MlpRegressor`] — the "DNN" row: a small fully connected network
+//!   trained with mini-batch SGD + momentum (stands in for the paper's
+//!   TensorFlow models).
+//! * [`LinearRegressor`] — the "Logistic Regression" row (for a regression
+//!   target this is ordinary ridge-regularised linear regression, which is
+//!   what scikit-learn's gridsearch converges to on these tasks).
+//! * [`TreeRegressor`] — the "Decision Tree" row: CART with
+//!   variance-reduction splits.
+//! * [`SvrRegressor`] — the "SVR" row: ε-insensitive linear SVR via SGD,
+//!   optionally over random Fourier features (≈ RBF-kernel SVR).
+//! * [`BaselineHd`] — the "Baseline-HD" row (paper ref. \[18\]): regression
+//!   emulated by HD *classification* over discretised output bins, the
+//!   approach RegHD supersedes.
+//! * [`MeanRegressor`] — sanity floor: predicts the training-target mean.
+//!
+//! The [`grid`] module provides the k-fold grid search the paper uses to
+//! tune each baseline ("the common practice of the grid search").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline_hd;
+pub mod forest;
+pub mod gbt;
+pub mod grid;
+pub mod knn;
+pub mod linear;
+pub mod mean;
+pub mod mlp;
+pub mod svr;
+pub mod tree;
+
+pub use baseline_hd::BaselineHd;
+pub use forest::ForestRegressor;
+pub use gbt::GbtRegressor;
+pub use knn::KnnRegressor;
+pub use linear::LinearRegressor;
+pub use mean::MeanRegressor;
+pub use mlp::MlpRegressor;
+pub use svr::SvrRegressor;
+pub use tree::TreeRegressor;

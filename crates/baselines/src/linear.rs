@@ -1,0 +1,371 @@
+//! Ridge-regularised linear regression (the paper's "Logistic Regression"
+//! row — for a continuous target the tuned scikit-learn model is ordinary
+//! linear regression).
+//!
+//! Two solvers are provided: an exact **normal-equations** path (Cholesky
+//! factorisation of `XᵀX + λI`, the default — these datasets have at most a
+//! few dozen features) and an **SGD** path used when the feature count is
+//! large or streaming behaviour is wanted.
+
+use hdc::rng::HdRng;
+use reghd::{FitReport, Regressor};
+
+/// Solver selection for [`LinearRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LinearSolver {
+    /// Exact solve of `(XᵀX + λI)w = Xᵀy` via Cholesky.
+    #[default]
+    NormalEquations,
+    /// Mini-batch SGD with the given epoch budget.
+    Sgd {
+        /// Number of passes over the data.
+        epochs: usize,
+        /// Learning rate.
+        learning_rate: f32,
+    },
+}
+
+/// Linear regression with L2 regularisation.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::LinearRegressor;
+/// use reghd::Regressor;
+///
+/// let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+/// let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x[0] + 1.0).collect();
+/// let mut m = LinearRegressor::new(1e-6);
+/// m.fit(&xs, &ys);
+/// assert!((m.predict_one(&[10.0]) - 31.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearRegressor {
+    weights: Vec<f32>,
+    bias: f32,
+    lambda: f32,
+    solver: LinearSolver,
+    seed: u64,
+}
+
+impl LinearRegressor {
+    /// Creates a ridge regressor with regularisation strength `lambda`,
+    /// solved exactly by normal equations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 0` or not finite.
+    pub fn new(lambda: f32) -> Self {
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be nonnegative and finite"
+        );
+        Self {
+            weights: Vec::new(),
+            bias: 0.0,
+            lambda,
+            solver: LinearSolver::NormalEquations,
+            seed: 0,
+        }
+    }
+
+    /// Selects the solver.
+    pub fn with_solver(mut self, solver: LinearSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets the SGD shuffle seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The fitted weight vector (empty before training).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The fitted bias.
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    fn fit_normal_equations(&mut self, features: &[Vec<f32>], targets: &[f32]) {
+        let n = features.len();
+        let d = features[0].len();
+        // Augment with the bias column: solve over d+1 coefficients.
+        let m = d + 1;
+        let mut xtx = vec![0.0f64; m * m];
+        let mut xty = vec![0.0f64; m];
+        for (row, &y) in features.iter().zip(targets) {
+            // Treat the implicit last coordinate as 1 (bias).
+            for i in 0..m {
+                let xi = if i < d { row[i] as f64 } else { 1.0 };
+                xty[i] += xi * y as f64;
+                for j in i..m {
+                    let xj = if j < d { row[j] as f64 } else { 1.0 };
+                    xtx[i * m + j] += xi * xj;
+                }
+            }
+        }
+        // Mirror the upper triangle and add the ridge (not on the bias).
+        for i in 0..m {
+            for j in 0..i {
+                xtx[i * m + j] = xtx[j * m + i];
+            }
+        }
+        let ridge = self.lambda as f64 * n as f64;
+        for i in 0..d {
+            xtx[i * m + i] += ridge;
+        }
+        // Tiny jitter keeps Cholesky stable on degenerate columns.
+        for i in 0..m {
+            xtx[i * m + i] += 1e-8;
+        }
+        let coeffs = cholesky_solve(&xtx, &xty, m)
+            .expect("ridge-regularised normal equations must be positive definite");
+        self.weights = coeffs[..d].iter().map(|&w| w as f32).collect();
+        self.bias = coeffs[d] as f32;
+    }
+
+    fn fit_sgd(&mut self, features: &[Vec<f32>], targets: &[f32], epochs: usize, lr: f32) {
+        let d = features[0].len();
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        let mut rng = HdRng::seed_from(self.seed);
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        for epoch in 0..epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.next_below(i + 1);
+                order.swap(i, j);
+            }
+            // 1/t learning-rate decay for convergence.
+            let step = lr / (1.0 + 0.1 * epoch as f32);
+            for &i in &order {
+                let row = &features[i];
+                let pred = self.raw_predict(row);
+                let err = targets[i] - pred;
+                for (w, &x) in self.weights.iter_mut().zip(row) {
+                    *w += step * (err * x - self.lambda * *w);
+                }
+                self.bias += step * err;
+            }
+        }
+    }
+
+    fn raw_predict(&self, x: &[f32]) -> f32 {
+        self.weights
+            .iter()
+            .zip(x)
+            .map(|(&w, &xi)| w * xi)
+            .sum::<f32>()
+            + self.bias
+    }
+}
+
+/// Solves `A x = b` for symmetric positive definite `A` (row-major `n × n`)
+/// via Cholesky decomposition. Returns `None` if `A` is not positive
+/// definite.
+fn cholesky_solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    // Decompose A = L Lᵀ.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+impl Regressor for LinearRegressor {
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot fit on empty data");
+        match self.solver {
+            LinearSolver::NormalEquations => {
+                self.fit_normal_equations(features, targets);
+            }
+            LinearSolver::Sgd {
+                epochs,
+                learning_rate,
+            } => {
+                self.fit_sgd(features, targets, epochs, learning_rate);
+            }
+        }
+        let preds: Vec<f32> = features.iter().map(|x| self.raw_predict(x)).collect();
+        let mse = (preds
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| (p as f64 - t as f64).powi(2))
+            .sum::<f64>()
+            / targets.len() as f64) as f32;
+        let epochs = match self.solver {
+            LinearSolver::NormalEquations => 1,
+            LinearSolver::Sgd { epochs, .. } => epochs,
+        };
+        FitReport {
+            epochs,
+            train_mse_history: vec![mse],
+            converged: true,
+        }
+    }
+
+    fn predict_one(&self, x: &[f32]) -> f32 {
+        assert_eq!(
+            x.len(),
+            self.weights.len(),
+            "expected {} features, got {}",
+            self.weights.len(),
+            x.len()
+        );
+        self.raw_predict(x)
+    }
+
+    fn name(&self) -> String {
+        "Linear".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = HdRng::seed_from(5);
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| {
+                vec![
+                    rng.next_f32() * 4.0 - 2.0,
+                    rng.next_f32() * 4.0 - 2.0,
+                    rng.next_f32() * 4.0 - 2.0,
+                ]
+            })
+            .collect();
+        let ys = xs.iter().map(|x| 1.5 * x[0] - 2.0 * x[1] + 0.5 * x[2] + 3.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn normal_equations_recovers_exact_weights() {
+        let (xs, ys) = toy(100);
+        let mut m = LinearRegressor::new(0.0);
+        let report = m.fit(&xs, &ys);
+        assert!(report.final_mse().unwrap() < 1e-6);
+        assert!((m.weights()[0] - 1.5).abs() < 1e-3);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-3);
+        assert!((m.weights()[2] - 0.5).abs() < 1e-3);
+        assert!((m.bias() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_converges_close_to_exact() {
+        let (xs, ys) = toy(200);
+        let mut exact = LinearRegressor::new(0.0);
+        exact.fit(&xs, &ys);
+        let mut sgd = LinearRegressor::new(0.0).with_solver(LinearSolver::Sgd {
+            epochs: 100,
+            learning_rate: 0.05,
+        });
+        let report = sgd.fit(&xs, &ys);
+        assert!(
+            report.final_mse().unwrap() < 0.01,
+            "sgd mse = {:?}",
+            report.final_mse()
+        );
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let (xs, ys) = toy(50);
+        let mut plain = LinearRegressor::new(0.0);
+        let mut ridge = LinearRegressor::new(10.0);
+        plain.fit(&xs, &ys);
+        ridge.fit(&xs, &ys);
+        let norm = |w: &[f32]| w.iter().map(|&x| x * x).sum::<f32>();
+        assert!(norm(ridge.weights()) < norm(plain.weights()));
+    }
+
+    #[test]
+    fn handles_constant_feature() {
+        // A constant column makes XᵀX singular without regularisation;
+        // the jitter + ridge path must stay stable.
+        let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, 1.0]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x[0] + 5.0).collect();
+        let mut m = LinearRegressor::new(1e-4);
+        m.fit(&xs, &ys);
+        assert!((m.predict_one(&[10.0, 1.0]) - 25.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn cholesky_reference() {
+        // Solve a known 2×2 SPD system.
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let b = [10.0, 8.0];
+        let x = cholesky_solve(&a, &b, 2).unwrap();
+        // 4x + 2y = 10, 2x + 3y = 8 → x = 1.75, y = 1.5.
+        assert!((x[0] - 1.75).abs() < 1e-10);
+        assert!((x[1] - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky_solve(&a, &[1.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_panics() {
+        LinearRegressor::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 features")]
+    fn predict_wrong_width_panics() {
+        let (xs, ys) = toy(10);
+        let mut m = LinearRegressor::new(0.0);
+        m.fit(&xs, &ys);
+        m.predict_one(&[1.0]);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(LinearRegressor::new(0.0).name(), "Linear");
+    }
+}

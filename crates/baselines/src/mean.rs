@@ -1,0 +1,86 @@
+//! Mean predictor — the sanity floor every real learner must beat.
+//!
+//! Its test MSE equals (approximately) the target variance, which is the
+//! normalisation constant used throughout the evaluation harness.
+
+use reghd::{FitReport, Regressor};
+
+/// Predicts the training-target mean for every input.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::MeanRegressor;
+/// use reghd::Regressor;
+///
+/// let mut m = MeanRegressor::new();
+/// m.fit(&[vec![1.0], vec![2.0]], &[10.0, 30.0]);
+/// assert_eq!(m.predict_one(&[99.0]), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeanRegressor {
+    mean: f32,
+}
+
+impl MeanRegressor {
+    /// Creates an untrained mean predictor (predicts 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Regressor for MeanRegressor {
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!targets.is_empty(), "cannot fit on empty data");
+        self.mean =
+            (targets.iter().map(|&t| t as f64).sum::<f64>() / targets.len() as f64) as f32;
+        let mse = (targets
+            .iter()
+            .map(|&t| (t as f64 - self.mean as f64).powi(2))
+            .sum::<f64>()
+            / targets.len() as f64) as f32;
+        FitReport {
+            epochs: 1,
+            train_mse_history: vec![mse],
+            converged: true,
+        }
+    }
+
+    fn predict_one(&self, _x: &[f32]) -> f32 {
+        self.mean
+    }
+
+    fn name(&self) -> String {
+        "Mean".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_mean() {
+        let mut m = MeanRegressor::new();
+        let report = m.fit(&vec![vec![0.0]; 4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.predict_one(&[5.0]), 2.5);
+        // Training MSE of a mean predictor is the variance.
+        assert!((report.final_mse().unwrap() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn untrained_predicts_zero() {
+        assert_eq!(MeanRegressor::new().predict_one(&[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        MeanRegressor::new().fit(&[], &[]);
+    }
+}

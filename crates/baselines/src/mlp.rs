@@ -1,0 +1,397 @@
+//! Fully connected neural network regressor — the paper's "DNN" comparator.
+//!
+//! A from-scratch multi-layer perceptron: configurable hidden widths, ReLU
+//! activations, mini-batch SGD with momentum, 1/t learning-rate decay, and
+//! He initialisation. At the scale of the paper's datasets (hundreds to
+//! thousands of samples, ≤ 18 features) this matches what the tuned
+//! TensorFlow models of §4.2 learn.
+
+use hdc::rng::HdRng;
+use reghd::{FitReport, Regressor};
+
+/// Hyper-parameters for [`MlpRegressor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden layer widths, e.g. `[64, 32]`.
+    pub hidden: Vec<usize>,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Initialisation / shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![64, 32],
+            learning_rate: 0.01,
+            momentum: 0.9,
+            batch_size: 16,
+            epochs: 100,
+            weight_decay: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+/// One dense layer: row-major `out × in` weights plus biases, with momentum
+/// buffers.
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f32>,
+    b: Vec<f32>,
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Layer {
+    fn new(rows: usize, cols: usize, rng: &mut HdRng) -> Self {
+        // He initialisation for ReLU nets.
+        let scale = (2.0 / cols as f32).sqrt();
+        Self {
+            w: (0..rows * cols)
+                .map(|_| scale * rng.next_gaussian() as f32)
+                .collect(),
+            b: vec![0.0; rows],
+            vw: vec![0.0; rows * cols],
+            vb: vec![0.0; rows],
+            rows,
+            cols,
+        }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        for r in 0..self.rows {
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            let z: f32 = row.iter().zip(x).map(|(&w, &xi)| w * xi).sum::<f32>() + self.b[r];
+            out.push(z);
+        }
+    }
+}
+
+/// Multi-layer perceptron for regression (single scalar output).
+///
+/// # Examples
+///
+/// ```
+/// use baselines::{MlpRegressor, mlp::MlpConfig};
+/// use reghd::Regressor;
+///
+/// let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 50.0 - 1.0]).collect();
+/// let ys: Vec<f32> = xs.iter().map(|x| x[0] * x[0]).collect();
+/// let mut m = MlpRegressor::new(1, MlpConfig { epochs: 200, ..MlpConfig::default() });
+/// let report = m.fit(&xs, &ys);
+/// assert!(report.final_mse().unwrap() < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    config: MlpConfig,
+    input_dim: usize,
+    layers: Vec<Layer>,
+}
+
+impl MlpRegressor {
+    /// Creates an untrained MLP for `input_dim` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0`, any hidden width is 0, `batch_size == 0`,
+    /// or `epochs == 0`.
+    pub fn new(input_dim: usize, config: MlpConfig) -> Self {
+        assert!(input_dim > 0, "input_dim must be nonzero");
+        assert!(
+            config.hidden.iter().all(|&h| h > 0),
+            "hidden widths must be nonzero"
+        );
+        assert!(config.batch_size > 0, "batch_size must be nonzero");
+        assert!(config.epochs > 0, "epochs must be nonzero");
+        let mut rng = HdRng::seed_from(config.seed ^ 0x313_7A9E5);
+        let mut layers = Vec::new();
+        let mut prev = input_dim;
+        for &h in &config.hidden {
+            layers.push(Layer::new(h, prev, &mut rng));
+            prev = h;
+        }
+        layers.push(Layer::new(1, prev, &mut rng));
+        Self {
+            config,
+            input_dim,
+            layers,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Forward pass returning all layer activations (post-ReLU for hidden,
+    /// raw for the output layer). `acts[0]` is the input.
+    fn forward_all(&self, x: &[f32]) -> Vec<Vec<f32>> {
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        let mut buf = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(acts.last().expect("nonempty"), &mut buf);
+            let last = li + 1 == self.layers.len();
+            if !last {
+                for v in buf.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            acts.push(buf.clone());
+        }
+        acts
+    }
+
+    /// One SGD step on a mini-batch; returns the batch's summed squared
+    /// error.
+    fn train_batch(&mut self, xs: &[&Vec<f32>], ys: &[f32], step: f32) -> f64 {
+        let nl = self.layers.len();
+        // Accumulate gradients over the batch.
+        let mut gw: Vec<Vec<f32>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.w.len()])
+            .collect();
+        let mut gb: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut sq_err = 0.0f64;
+        for (x, &y) in xs.iter().zip(ys) {
+            let acts = self.forward_all(x);
+            let pred = acts[nl][0];
+            let err = pred - y;
+            sq_err += (err as f64) * (err as f64);
+            // Backprop: delta for the output layer is d(½err²)/dz = err.
+            let mut delta = vec![err];
+            for li in (0..nl).rev() {
+                let layer = &self.layers[li];
+                let input = &acts[li];
+                // Gradients for this layer.
+                for r in 0..layer.rows {
+                    gb[li][r] += delta[r];
+                    let grow = &mut gw[li][r * layer.cols..(r + 1) * layer.cols];
+                    for (g, &xi) in grow.iter_mut().zip(input) {
+                        *g += delta[r] * xi;
+                    }
+                }
+                if li == 0 {
+                    break;
+                }
+                // Delta for the previous layer (through ReLU).
+                let prev_act = &acts[li];
+                let mut new_delta = vec![0.0f32; layer.cols];
+                for r in 0..layer.rows {
+                    let row = &layer.w[r * layer.cols..(r + 1) * layer.cols];
+                    for (nd, &w) in new_delta.iter_mut().zip(row) {
+                        *nd += delta[r] * w;
+                    }
+                }
+                for (nd, &a) in new_delta.iter_mut().zip(prev_act) {
+                    if a <= 0.0 {
+                        *nd = 0.0;
+                    }
+                }
+                delta = new_delta;
+            }
+        }
+        // Momentum update.
+        let inv = 1.0 / xs.len() as f32;
+        let mu = self.config.momentum;
+        let wd = self.config.weight_decay;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (i, v) in layer.vw.iter_mut().enumerate() {
+                *v = mu * *v - step * (gw[li][i] * inv + wd * layer.w[i]);
+                layer.w[i] += *v;
+            }
+            for (i, v) in layer.vb.iter_mut().enumerate() {
+                *v = mu * *v - step * gb[li][i] * inv;
+                layer.b[i] += *v;
+            }
+        }
+        sq_err
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot fit on empty data");
+        assert_eq!(
+            features[0].len(),
+            self.input_dim,
+            "expected {} features, got {}",
+            self.input_dim,
+            features[0].len()
+        );
+
+        // Re-initialise so repeated fits are independent.
+        *self = MlpRegressor::new(self.input_dim, self.config.clone());
+
+        let mut rng = HdRng::seed_from(self.config.seed ^ 0x5417_F1E5);
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut history = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.next_below(i + 1);
+                order.swap(i, j);
+            }
+            let step = self.config.learning_rate / (1.0 + 0.01 * epoch as f32);
+            let mut sq_err = 0.0f64;
+            for chunk in order.chunks(self.config.batch_size) {
+                let xs: Vec<&Vec<f32>> = chunk.iter().map(|&i| &features[i]).collect();
+                let ys: Vec<f32> = chunk.iter().map(|&i| targets[i]).collect();
+                sq_err += self.train_batch(&xs, &ys, step);
+            }
+            history.push((sq_err / features.len() as f64) as f32);
+        }
+        FitReport {
+            epochs: history.len(),
+            train_mse_history: history,
+            converged: true,
+        }
+    }
+
+    fn predict_one(&self, x: &[f32]) -> f32 {
+        assert_eq!(
+            x.len(),
+            self.input_dim,
+            "expected {} features, got {}",
+            self.input_dim,
+            x.len()
+        );
+        let acts = self.forward_all(x);
+        acts[self.layers.len()][0]
+    }
+
+    fn name(&self) -> String {
+        "DNN".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(epochs: usize, seed: u64) -> MlpConfig {
+        MlpConfig {
+            epochs,
+            seed,
+            ..MlpConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_linear() {
+        let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 50.0 - 1.0]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x[0] - 0.5).collect();
+        let mut m = MlpRegressor::new(1, cfg(150, 1));
+        let report = m.fit(&xs, &ys);
+        assert!(
+            report.final_mse().unwrap() < 0.01,
+            "mse = {:?}",
+            report.final_mse()
+        );
+    }
+
+    #[test]
+    fn learns_nonlinear() {
+        let mut rng = HdRng::seed_from(2);
+        let xs: Vec<Vec<f32>> = (0..300)
+            .map(|_| vec![rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0])
+            .collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x[0] * x[1] + (2.0 * x[0]).sin()).collect();
+        let mut m = MlpRegressor::new(2, cfg(200, 3));
+        let report = m.fit(&xs, &ys);
+        let var = {
+            let mean = ys.iter().sum::<f32>() / ys.len() as f32;
+            ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32
+        };
+        let mse = report.final_mse().unwrap();
+        assert!(mse < 0.1 * var, "mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let xs: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32 / 25.0 - 1.0]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x[0]).collect();
+        let mut m = MlpRegressor::new(1, cfg(50, 4));
+        let report = m.fit(&xs, &ys);
+        assert!(report.train_mse_history[0] > *report.train_mse_history.last().unwrap());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<Vec<f32>> = (0..30).map(|i| vec![i as f32 / 15.0]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x[0]).collect();
+        let mut a = MlpRegressor::new(1, cfg(20, 7));
+        let mut b = MlpRegressor::new(1, cfg(20, 7));
+        a.fit(&xs, &ys);
+        b.fit(&xs, &ys);
+        assert_eq!(a.predict_one(&[0.5]), b.predict_one(&[0.5]));
+    }
+
+    #[test]
+    fn refit_resets() {
+        let xs: Vec<Vec<f32>> = (0..30).map(|i| vec![i as f32 / 15.0]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x[0]).collect();
+        let mut m = MlpRegressor::new(1, cfg(30, 8));
+        m.fit(&xs, &ys);
+        let p1 = m.predict_one(&[0.5]);
+        m.fit(&xs, &ys);
+        assert_eq!(p1, m.predict_one(&[0.5]));
+    }
+
+    #[test]
+    fn deep_config_works() {
+        let xs: Vec<Vec<f32>> = (0..60).map(|i| vec![i as f32 / 30.0 - 1.0]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x[0].abs()).collect();
+        let config = MlpConfig {
+            hidden: vec![32, 32, 16],
+            epochs: 150,
+            ..MlpConfig::default()
+        };
+        let mut m = MlpRegressor::new(1, config);
+        let report = m.fit(&xs, &ys);
+        assert!(report.final_mse().unwrap() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden widths")]
+    fn zero_hidden_panics() {
+        MlpRegressor::new(
+            1,
+            MlpConfig {
+                hidden: vec![0],
+                ..MlpConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 features")]
+    fn predict_wrong_width_panics() {
+        MlpRegressor::new(2, MlpConfig::default()).predict_one(&[1.0]);
+    }
+
+    #[test]
+    fn name_is_dnn() {
+        assert_eq!(MlpRegressor::new(1, MlpConfig::default()).name(), "DNN");
+    }
+}

@@ -1,0 +1,395 @@
+//! CART regression tree — the paper's "Decision Tree" comparator.
+//!
+//! Standard recursive binary splitting on the feature/threshold pair that
+//! maximises variance reduction, with `max_depth` and `min_samples_leaf`
+//! stopping rules. Thresholds are evaluated exactly by sorting each feature
+//! column at each node (fine at these dataset sizes).
+
+use reghd::{FitReport, Regressor};
+
+/// Hyper-parameters for [`TreeRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 8,
+            min_samples_leaf: 5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// CART regression tree.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::{TreeRegressor, tree::TreeConfig};
+/// use reghd::Regressor;
+///
+/// // A step function is exactly what trees represent.
+/// let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+/// let ys: Vec<f32> = xs.iter().map(|x| if x[0] < 50.0 { 1.0 } else { 5.0 }).collect();
+/// let mut t = TreeRegressor::new(TreeConfig::default());
+/// t.fit(&xs, &ys);
+/// assert_eq!(t.predict_one(&[10.0]), 1.0);
+/// assert_eq!(t.predict_one(&[90.0]), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeRegressor {
+    config: TreeConfig,
+    root: Option<Node>,
+    input_dim: usize,
+}
+
+impl TreeRegressor {
+    /// Creates an untrained tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_samples_leaf == 0`.
+    pub fn new(config: TreeConfig) -> Self {
+        assert!(config.min_samples_leaf > 0, "min_samples_leaf must be nonzero");
+        Self {
+            config,
+            root: None,
+            input_dim: 0,
+        }
+    }
+
+    /// Number of leaves in the fitted tree (0 before training).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf; 0 before training).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        self.root.as_ref().map_or(0, depth)
+    }
+
+    fn build(
+        &self,
+        features: &[Vec<f32>],
+        targets: &[f32],
+        indices: &mut [usize],
+        depth: usize,
+    ) -> Node {
+        let mean = indices.iter().map(|&i| targets[i] as f64).sum::<f64>()
+            / indices.len() as f64;
+        let sse =
+            |idx: &[usize]| -> f64 {
+                if idx.is_empty() {
+                    return 0.0;
+                }
+                let m = idx.iter().map(|&i| targets[i] as f64).sum::<f64>() / idx.len() as f64;
+                idx.iter()
+                    .map(|&i| (targets[i] as f64 - m).powi(2))
+                    .sum::<f64>()
+            };
+        let node_sse = sse(indices);
+        if depth >= self.config.max_depth
+            || indices.len() < 2 * self.config.min_samples_leaf
+            || node_sse < 1e-12
+        {
+            return Node::Leaf {
+                value: mean as f32,
+            };
+        }
+
+        // Find the best (feature, threshold) by scanning each sorted column.
+        let mut best: Option<(usize, f32, f64)> = None;
+        let d = features[0].len();
+        let mut sorted: Vec<usize> = indices.to_vec();
+        for f in 0..d {
+            sorted.sort_by(|&a, &b| features[a][f].total_cmp(&features[b][f]));
+            // Prefix sums over sorted order enable O(1) split evaluation.
+            let mut prefix_sum = 0.0f64;
+            let mut prefix_sq = 0.0f64;
+            let total_sum: f64 = sorted.iter().map(|&i| targets[i] as f64).sum();
+            let total_sq: f64 = sorted
+                .iter()
+                .map(|&i| (targets[i] as f64).powi(2))
+                .sum();
+            for split in 1..sorted.len() {
+                let prev = sorted[split - 1];
+                prefix_sum += targets[prev] as f64;
+                prefix_sq += (targets[prev] as f64).powi(2);
+                // Can't split between equal feature values.
+                if features[sorted[split - 1]][f] == features[sorted[split]][f] {
+                    continue;
+                }
+                if split < self.config.min_samples_leaf
+                    || sorted.len() - split < self.config.min_samples_leaf
+                {
+                    continue;
+                }
+                let nl = split as f64;
+                let nr = (sorted.len() - split) as f64;
+                let sse_l = prefix_sq - prefix_sum * prefix_sum / nl;
+                let rs = total_sum - prefix_sum;
+                let sse_r = (total_sq - prefix_sq) - rs * rs / nr;
+                let combined = sse_l + sse_r;
+                let threshold =
+                    0.5 * (features[sorted[split - 1]][f] + features[sorted[split]][f]);
+                if best.is_none_or(|(_, _, b)| combined < b) {
+                    best = Some((f, threshold, combined));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, threshold, combined)) if combined < node_sse - 1e-12 => {
+                let split_point = itertools_partition(indices, |&i| {
+                    features[i][feature] <= threshold
+                });
+                let (left_idx, right_idx) = indices.split_at_mut(split_point);
+                // Guard against degenerate partitions (shouldn't happen given
+                // the threshold choice, but protects against float edge
+                // cases).
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    return Node::Leaf {
+                        value: mean as f32,
+                    };
+                }
+                let left = self.build(features, targets, left_idx, depth + 1);
+                let right = self.build(features, targets, right_idx, depth + 1);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            }
+            _ => Node::Leaf {
+                value: mean as f32,
+            },
+        }
+    }
+}
+
+/// In-place stable partition: moves elements satisfying `pred` to the front,
+/// returning the boundary index.
+fn itertools_partition<T: Copy, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize {
+    let mut front: Vec<T> = Vec::with_capacity(slice.len());
+    let mut back: Vec<T> = Vec::new();
+    for &x in slice.iter() {
+        if pred(&x) {
+            front.push(x);
+        } else {
+            back.push(x);
+        }
+    }
+    let boundary = front.len();
+    slice[..boundary].copy_from_slice(&front);
+    slice[boundary..].copy_from_slice(&back);
+    boundary
+}
+
+impl Regressor for TreeRegressor {
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot fit on empty data");
+        self.input_dim = features[0].len();
+        let mut indices: Vec<usize> = (0..features.len()).collect();
+        self.root = Some(self.build(features, targets, &mut indices, 0));
+        let preds: Vec<f32> = features.iter().map(|x| self.predict_one(x)).collect();
+        let mse = (preds
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| (p as f64 - t as f64).powi(2))
+            .sum::<f64>()
+            / targets.len() as f64) as f32;
+        FitReport {
+            epochs: 1,
+            train_mse_history: vec![mse],
+            converged: true,
+        }
+    }
+
+    fn predict_one(&self, x: &[f32]) -> f32 {
+        assert_eq!(
+            x.len(),
+            self.input_dim,
+            "expected {} features, got {}",
+            self.input_dim,
+            x.len()
+        );
+        let mut node = self.root.as_ref().expect("predict before fit");
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "DecisionTree".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::HdRng;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|x| if x[0] < 30.0 { -1.0 } else { 2.0 })
+            .collect();
+        let mut t = TreeRegressor::new(TreeConfig::default());
+        let report = t.fit(&xs, &ys);
+        assert!(report.final_mse().unwrap() < 1e-10);
+        assert_eq!(t.predict_one(&[0.0]), -1.0);
+        assert_eq!(t.predict_one(&[99.0]), 2.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut rng = HdRng::seed_from(1);
+        let xs: Vec<Vec<f32>> = (0..200).map(|_| vec![rng.next_f32()]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| (10.0 * x[0]).sin()).collect();
+        let mut t = TreeRegressor::new(TreeConfig {
+            max_depth: 3,
+            min_samples_leaf: 1,
+        });
+        t.fit(&xs, &ys);
+        assert!(t.depth() <= 3, "depth = {}", t.depth());
+        assert!(t.leaf_count() <= 8);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let xs: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32]).collect();
+        let ys: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let mut t = TreeRegressor::new(TreeConfig {
+            max_depth: 20,
+            min_samples_leaf: 10,
+        });
+        t.fit(&xs, &ys);
+        // With min leaf 10 over 40 samples, at most 4 leaves.
+        assert!(t.leaf_count() <= 4, "leaves = {}", t.leaf_count());
+    }
+
+    #[test]
+    fn multifeature_splits_choose_informative_feature() {
+        let mut rng = HdRng::seed_from(2);
+        // Feature 1 is pure noise; feature 0 determines y.
+        let xs: Vec<Vec<f32>> = (0..200)
+            .map(|_| vec![rng.next_f32(), rng.next_f32()])
+            .collect();
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|x| if x[0] < 0.5 { 0.0 } else { 10.0 })
+            .collect();
+        let mut t = TreeRegressor::new(TreeConfig {
+            max_depth: 1,
+            min_samples_leaf: 5,
+        });
+        let report = t.fit(&xs, &ys);
+        // One split on feature 0 should nearly zero the error.
+        assert!(report.final_mse().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let ys = vec![7.0f32; 20];
+        let mut t = TreeRegressor::new(TreeConfig::default());
+        t.fit(&xs, &ys);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.predict_one(&[3.0]), 7.0);
+    }
+
+    #[test]
+    fn approximates_smooth_function() {
+        let mut rng = HdRng::seed_from(3);
+        let xs: Vec<Vec<f32>> = (0..500).map(|_| vec![rng.next_f32() * 2.0 - 1.0]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let mut t = TreeRegressor::new(TreeConfig::default());
+        let report = t.fit(&xs, &ys);
+        assert!(report.final_mse().unwrap() < 0.01);
+    }
+
+    #[test]
+    fn single_sample_is_leaf() {
+        let mut t = TreeRegressor::new(TreeConfig::default());
+        t.fit(&[vec![1.0]], &[42.0]);
+        assert_eq!(t.predict_one(&[0.0]), 42.0);
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn partition_helper_is_stable() {
+        let mut v = [1, 2, 3, 4, 5, 6];
+        let b = itertools_partition(&mut v, |&x| x % 2 == 0);
+        assert_eq!(b, 3);
+        assert_eq!(&v[..3], &[2, 4, 6]);
+        assert_eq!(&v[3..], &[1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        TreeRegressor::new(TreeConfig::default()).predict_one(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_samples_leaf")]
+    fn zero_leaf_size_panics() {
+        TreeRegressor::new(TreeConfig {
+            max_depth: 3,
+            min_samples_leaf: 0,
+        });
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(TreeRegressor::new(TreeConfig::default()).name(), "DecisionTree");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the baseline learners: generic invariants that
+//! must hold for arbitrary (bounded) training data.
+
+use baselines::forest::{ForestConfig, ForestRegressor};
+use baselines::gbt::{GbtConfig, GbtRegressor};
+use baselines::knn::{KnnRegressor, KnnWeighting};
+use baselines::mlp::{MlpConfig, MlpRegressor};
+use baselines::svr::{SvrConfig, SvrKernel, SvrRegressor};
+use baselines::tree::{TreeConfig, TreeRegressor};
+use baselines::{LinearRegressor, MeanRegressor};
+use proptest::prelude::*;
+use reghd::Regressor;
+
+fn problem() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<f32>)> {
+    (8usize..30).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 2), n),
+            prop::collection::vec(-5.0f32..5.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn every_learner_fits_and_predicts_finite((xs, ys) in problem()) {
+        let mut zoo: Vec<Box<dyn Regressor>> = vec![
+            Box::new(MeanRegressor::new()),
+            Box::new(LinearRegressor::new(1e-4)),
+            Box::new(TreeRegressor::new(TreeConfig::default())),
+            Box::new(ForestRegressor::new(ForestConfig {
+                trees: 5,
+                ..ForestConfig::default()
+            })),
+            Box::new(GbtRegressor::new(GbtConfig {
+                rounds: 10,
+                ..GbtConfig::default()
+            })),
+            Box::new(KnnRegressor::new(3, KnnWeighting::Uniform)),
+            Box::new(SvrRegressor::new(2, SvrConfig {
+                kernel: SvrKernel::Linear,
+                epochs: 10,
+                ..SvrConfig::default()
+            })),
+            Box::new(MlpRegressor::new(2, MlpConfig {
+                epochs: 5,
+                ..MlpConfig::default()
+            })),
+        ];
+        for m in &mut zoo {
+            let report = m.fit(&xs, &ys);
+            prop_assert!(report.epochs >= 1, "{}", m.name());
+            let p = m.predict_one(&xs[0]);
+            prop_assert!(p.is_finite(), "{} produced {}", m.name(), p);
+        }
+    }
+
+    #[test]
+    fn tree_predictions_stay_within_target_range((xs, ys) in problem()) {
+        // Leaf values are means of training targets, so predictions are
+        // bounded by the target range.
+        let mut t = TreeRegressor::new(TreeConfig::default());
+        t.fit(&xs, &ys);
+        let lo = ys.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = ys.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for x in xs.iter().take(5) {
+            let p = t.predict_one(x);
+            prop_assert!(p >= lo - 1e-4 && p <= hi + 1e-4, "{} outside [{}, {}]", p, lo, hi);
+        }
+    }
+
+    #[test]
+    fn knn_predictions_stay_within_target_range((xs, ys) in problem()) {
+        let mut m = KnnRegressor::new(3, KnnWeighting::InverseDistance);
+        m.fit(&xs, &ys);
+        let lo = ys.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = ys.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for x in xs.iter().take(5) {
+            let p = m.predict_one(x);
+            prop_assert!(p >= lo - 1e-4 && p <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn mean_regressor_is_translation_equivariant((xs, ys) in problem(), shift in -10.0f32..10.0) {
+        let mut a = MeanRegressor::new();
+        let mut b = MeanRegressor::new();
+        a.fit(&xs, &ys);
+        let shifted: Vec<f32> = ys.iter().map(|&y| y + shift).collect();
+        b.fit(&xs, &shifted);
+        prop_assert!((b.predict_one(&xs[0]) - a.predict_one(&xs[0]) - shift).abs() < 1e-3);
+    }
+
+    #[test]
+    fn linear_regressor_is_scale_equivariant((xs, ys) in problem(), k in 0.1f32..10.0) {
+        let mut a = LinearRegressor::new(1e-9);
+        let mut b = LinearRegressor::new(1e-9);
+        a.fit(&xs, &ys);
+        let scaled: Vec<f32> = ys.iter().map(|&y| k * y).collect();
+        b.fit(&xs, &scaled);
+        let pa = a.predict_one(&xs[0]);
+        let pb = b.predict_one(&xs[0]);
+        prop_assert!(
+            (pb - k * pa).abs() < 1e-2 * (1.0 + pa.abs() * k),
+            "k·f(x) equivariance broken: {} vs {}",
+            pb,
+            k * pa
+        );
+    }
+
+    #[test]
+    fn forest_prediction_is_between_tree_extremes((xs, ys) in problem()) {
+        // The bagged mean lies within the per-tree prediction envelope.
+        let mut forest = ForestRegressor::new(ForestConfig {
+            trees: 7,
+            ..ForestConfig::default()
+        });
+        forest.fit(&xs, &ys);
+        // Predictions stay within the global target range (each tree does).
+        let lo = ys.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = ys.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let p = forest.predict_one(&xs[0]);
+        prop_assert!(p >= lo - 1e-4 && p <= hi + 1e-4);
+    }
+
+    #[test]
+    fn gbt_training_error_is_monotone_nonincreasing((xs, ys) in problem()) {
+        let mut m = GbtRegressor::new(GbtConfig {
+            rounds: 15,
+            shrinkage: 0.3,
+            ..GbtConfig::default()
+        });
+        let report = m.fit(&xs, &ys);
+        for w in report.train_mse_history.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-4, "residual MSE increased: {:?}", w);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion benchmarks for single-query prediction across the §3.2
+//! quantisation modes — the software-side counterpart of Figure 9's
+//! inference columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdc::rng::HdRng;
+use reghd::config::{ClusterMode, PredictionMode, RegHdConfig};
+use reghd::{RegHdRegressor, Regressor};
+
+fn trained(pred: PredictionMode) -> (RegHdRegressor, Vec<f32>) {
+    let dim = 2048;
+    let mut rng = HdRng::seed_from(9);
+    let xs: Vec<Vec<f32>> = (0..200)
+        .map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect())
+        .collect();
+    let ys: Vec<f32> = xs.iter().map(|x| x[0] + x[1] * x[2]).collect();
+    let cfg = RegHdConfig::builder()
+        .dim(dim)
+        .models(8)
+        .max_epochs(3)
+        .min_epochs(3)
+        .cluster_mode(ClusterMode::FrameworkBinary)
+        .prediction_mode(pred)
+        .seed(9)
+        .build();
+    let mut m = RegHdRegressor::new(
+        cfg,
+        Box::new(encoding::NonlinearEncoder::new(8, dim, 9)),
+    );
+    m.fit(&xs, &ys);
+    let probe: Vec<f32> = (0..8).map(|_| rng.next_gaussian() as f32).collect();
+    (m, probe)
+}
+
+fn bench_predict_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict/by-mode");
+    for mode in PredictionMode::ALL {
+        let (m, x) = trained(mode);
+        group.bench_function(mode.label(), |b| b.iter(|| m.predict_one(&x)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict_modes);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for similarity search — the operation the
+//! quantised-clustering framework (§3.1) accelerates.
+//!
+//! Measures the real speedup of packed-word Hamming similarity over
+//! full-precision cosine (the paper's "costly cosine similarity"), plus the
+//! value of bit-packing itself against a naive per-bit loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc::rng::HdRng;
+use hdc::similarity::{cosine, hamming_distance, softmax};
+use hdc::{BinaryHv, RealHv};
+
+fn bench_cosine_vs_hamming(c: &mut Criterion) {
+    let mut rng = HdRng::seed_from(2);
+    let mut group = c.benchmark_group("similarity/cosine-vs-hamming");
+    for dim in [1024usize, 4096] {
+        let a = RealHv::random_gaussian(dim, &mut rng);
+        let b = RealHv::random_gaussian(dim, &mut rng);
+        let ab = BinaryHv::random(dim, &mut rng);
+        let bb = BinaryHv::random(dim, &mut rng);
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bch, _| {
+            bch.iter(|| cosine(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("hamming-packed", dim), &dim, |bch, _| {
+            bch.iter(|| hamming_distance(&ab, &bb))
+        });
+        group.bench_with_input(BenchmarkId::new("hamming-naive", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                // Per-bit loop, as unpacked hardware-naive code would do.
+                let mut acc = 0usize;
+                for i in 0..dim {
+                    if ab.get(i) != bb.get(i) {
+                        acc += 1;
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_search(c: &mut Criterion) {
+    // Full k-way search, the §2.4 step ② at k = 8.
+    let mut rng = HdRng::seed_from(3);
+    let dim = 2048;
+    let k = 8;
+    let clusters_real: Vec<RealHv> = (0..k).map(|_| RealHv::random_gaussian(dim, &mut rng)).collect();
+    let clusters_bin: Vec<BinaryHv> = (0..k).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+    let q_real = RealHv::random_gaussian(dim, &mut rng);
+    let q_bin = BinaryHv::random(dim, &mut rng);
+    let mut group = c.benchmark_group("similarity/cluster-search-k8");
+    group.bench_function("cosine-search", |b| {
+        b.iter(|| {
+            let sims: Vec<f32> = clusters_real.iter().map(|c| cosine(&q_real, c)).collect();
+            softmax(&sims, 8.0)
+        })
+    });
+    group.bench_function("hamming-search", |b| {
+        b.iter(|| {
+            let sims: Vec<f32> = clusters_bin
+                .iter()
+                .map(|c| 1.0 - 2.0 * hamming_distance(&q_bin, c) as f32 / dim as f32)
+                .collect();
+            softmax(&sims, 8.0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosine_vs_hamming, bench_cluster_search);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for full RegHD training runs — the software-side
+//! counterpart of Figure 8's training-efficiency comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc::rng::HdRng;
+use reghd::config::{ClusterMode, PredictionMode, RegHdConfig};
+use reghd::{RegHdRegressor, Regressor};
+
+fn task(n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let mut rng = HdRng::seed_from(5);
+    let xs: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..6).map(|_| rng.next_gaussian() as f32).collect())
+        .collect();
+    let ys = xs
+        .iter()
+        .map(|x: &Vec<f32>| x[0] - x[1] + (2.0 * x[2]).sin())
+        .collect();
+    (xs, ys)
+}
+
+fn model(k: usize, cluster: ClusterMode, pred: PredictionMode) -> RegHdRegressor {
+    let dim = 1024;
+    let cfg = RegHdConfig::builder()
+        .dim(dim)
+        .models(k)
+        .max_epochs(5)
+        .min_epochs(5)
+        .convergence_tol(0.0)
+        .seed(7)
+        .cluster_mode(cluster)
+        .prediction_mode(pred)
+        .build();
+    RegHdRegressor::new(
+        cfg,
+        Box::new(encoding::NonlinearEncoder::new(6, dim, 7)),
+    )
+}
+
+fn bench_train_by_models(c: &mut Criterion) {
+    let (xs, ys) = task(300);
+    let mut group = c.benchmark_group("train/by-model-count");
+    group.sample_size(10);
+    for k in [1usize, 2, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut m = model(k, ClusterMode::Integer, PredictionMode::Full);
+                m.fit(&xs, &ys)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_by_quantisation(c: &mut Criterion) {
+    let (xs, ys) = task(300);
+    let mut group = c.benchmark_group("train/by-quantisation");
+    group.sample_size(10);
+    let configs: [(&str, ClusterMode, PredictionMode); 3] = [
+        ("full", ClusterMode::Integer, PredictionMode::Full),
+        (
+            "quant-cluster",
+            ClusterMode::FrameworkBinary,
+            PredictionMode::Full,
+        ),
+        (
+            "binary-query",
+            ClusterMode::FrameworkBinary,
+            PredictionMode::BinaryQuery,
+        ),
+    ];
+    for (name, cm, pm) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = model(4, cm, pm);
+                m.fit(&xs, &ys)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_by_models, bench_train_by_quantisation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 3 reproduction.
+//!
+//! * **(a)** regression quality during iterative retraining — training MSE
+//!   per epoch for the single-model regressor (§2.3's iterative learning).
+//! * **(b)** single-model vs multi-model quality on complex (multi-regime)
+//!   tasks — the capacity argument of §2.3/§2.4.
+//!
+//! ```text
+//! cargo run -p reghd-bench --release --bin fig3
+//! ```
+
+use encoding::NonlinearEncoder;
+use reghd::config::RegHdConfig;
+use reghd::{Regressor, SingleHdRegressor};
+use reghd_bench::harness::{self, prepare};
+use reghd_bench::report::{banner, fmt_mse, Table};
+
+fn main() {
+    banner(
+        "Figure 3a — quality vs training iterations (single model)",
+        "RegHD paper Fig. 3a",
+    );
+    let seed = 42u64;
+    let ds = datasets::paper::airfoil(seed);
+    let prep = prepare(&ds, seed);
+
+    let dim = harness::DIM;
+    let cfg = RegHdConfig::builder()
+        .dim(dim)
+        .max_epochs(30)
+        .convergence_tol(0.0) // run all epochs so the curve is complete
+        .seed(seed)
+        .build();
+    let enc = NonlinearEncoder::new(prep.features, dim, seed);
+    let mut single = SingleHdRegressor::new(cfg, Box::new(enc));
+    let report = single.fit(&prep.train_x, &prep.train_y);
+
+    let mut t = Table::new(["iteration", "train MSE (orig units)"]);
+    for (i, &m) in report.train_mse_history.iter().enumerate() {
+        if i < 5 || i % 5 == 4 {
+            t.row([format!("{}", i + 1), fmt_mse(prep.scaler.inverse_mse(m))]);
+        }
+    }
+    println!("{}", t.render());
+    let first = prep.scaler.inverse_mse(report.train_mse_history[0]);
+    let last = prep
+        .scaler
+        .inverse_mse(*report.train_mse_history.last().expect("nonempty"));
+    println!(
+        "improvement over training: {} -> {} ({:.1}% reduction)\n",
+        fmt_mse(first),
+        fmt_mse(last),
+        100.0 * (1.0 - last / first)
+    );
+
+    banner(
+        "Figure 3b — single-model vs multi-model on complex tasks",
+        "RegHD paper Fig. 3b",
+    );
+    let mut t = Table::new(["dataset", "single (k=1)", "multi (k=8)", "multi gain"]);
+    for ds in [
+        datasets::paper::airfoil(seed),
+        datasets::paper::facebook(seed),
+        datasets::paper::diabetes(seed),
+    ] {
+        let prep = prepare(&ds, seed);
+        let mut single = harness::reghd(prep.features, 1, seed);
+        let mut multi = harness::reghd(prep.features, 8, seed);
+        let s = harness::evaluate(&mut single, &prep);
+        let m = harness::evaluate(&mut multi, &prep);
+        t.row([
+            ds.name.clone(),
+            fmt_mse(s.test_mse),
+            fmt_mse(m.test_mse),
+            format!("{:+.1}%", 100.0 * (1.0 - m.test_mse / s.test_mse)),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,115 @@
+//! Figure 6 reproduction: regression quality with and without cluster
+//! quantisation.
+//!
+//! Three cluster configurations at k = 8 (§3.1):
+//! * **integer** — full-precision cosine cluster search (the reference);
+//! * **framework binary** — the paper's two-copy quantisation framework
+//!   (Hamming search, integer update, per-epoch re-binarisation);
+//! * **naive binary** — binarise on every update (the strawman).
+//!
+//! Expected shape: framework ≈ integer (paper: "similar regression
+//! quality"), naive clearly worse.
+//!
+//! ```text
+//! cargo run -p reghd-bench --release --bin fig6
+//! ```
+
+use reghd::config::{ClusterMode, PredictionMode};
+use reghd_bench::harness::{self, prepare, DIM};
+use reghd_bench::report::{banner, fmt_mse, Table};
+
+fn main() {
+    banner(
+        "Figure 6 — cluster quantisation vs regression quality (k=8)",
+        "RegHD paper Fig. 6",
+    );
+    let seed = 42u64;
+    let mut t = Table::new([
+        "dataset",
+        "integer",
+        "framework-binary",
+        "naive-binary",
+        "fw vs int",
+        "naive vs int",
+    ]);
+    let mut fw_ratios = Vec::new();
+    let mut naive_ratios = Vec::new();
+    for ds in datasets::paper::all(seed) {
+        eprintln!("[fig6] {}", ds.name);
+        let prep = prepare(&ds, seed);
+        let f = prep.features;
+        let run = |mode: ClusterMode| {
+            let mut m = harness::reghd_with(f, 8, DIM, mode, PredictionMode::Full, seed);
+            harness::evaluate(&mut m, &prep).test_mse
+        };
+        let int = run(ClusterMode::Integer);
+        let fw = run(ClusterMode::FrameworkBinary);
+        let naive = run(ClusterMode::NaiveBinary);
+        fw_ratios.push((fw / int) as f64);
+        naive_ratios.push((naive / int) as f64);
+        t.row([
+            ds.name.clone(),
+            fmt_mse(int),
+            fmt_mse(fw),
+            fmt_mse(naive),
+            format!("{:+.1}%", 100.0 * (fw / int - 1.0)),
+            format!("{:+.1}%", 100.0 * (naive / int - 1.0)),
+        ]);
+    }
+    println!("{}", t.render());
+    let gmean = |v: &[f64]| (v.iter().map(|r| r.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!(
+        "geometric-mean MSE ratio: framework-binary {:.3} (paper: ~1.003), naive-binary {:.3} (paper: clearly worse)",
+        gmean(&fw_ratios),
+        gmean(&naive_ratios)
+    );
+    println!("\nnote: on the noisy Table-1 workloads, naive binarisation's broken cluster");
+    println!("accumulation degrades gating toward uniform mixing, which on high-noise data");
+    println!("acts as regularisation — so it does not lose there. The paper's effect needs");
+    println!("cluster assignment to be load-bearing; the regime-dominant task below shows it:\n");
+
+    // Regime-dominant task: 8 well-separated regimes, low noise — here the
+    // cluster model matters and naive binarisation pays the paper's price.
+    let mut t = Table::new([
+        "task",
+        "integer",
+        "framework-binary",
+        "naive-binary",
+        "fw vs int",
+        "naive vs int",
+    ]);
+    for noise in [0.1f32, 0.3] {
+        let ds = datasets::synthetic::SyntheticSpec {
+            name: format!("regimes(noise={noise})"),
+            samples: 1200,
+            features: 8,
+            clusters: 8,
+            nonlinearity: 0.3,
+            noise_std: noise,
+            target_mean: 0.0,
+            target_std: 1.0,
+            skew: 0.0,
+            seed: 5,
+        }
+        .generate();
+        let prep = prepare(&ds, 5);
+        let f = prep.features;
+        let run = |mode: ClusterMode| {
+            let mut m = harness::reghd_with(f, 8, DIM, mode, PredictionMode::Full, 5);
+            harness::evaluate(&mut m, &prep).test_mse
+        };
+        let int = run(ClusterMode::Integer);
+        let fw = run(ClusterMode::FrameworkBinary);
+        let naive = run(ClusterMode::NaiveBinary);
+        t.row([
+            ds.name.clone(),
+            format!("{int:.4}"),
+            format!("{fw:.4}"),
+            format!("{naive:.4}"),
+            format!("{:+.1}%", 100.0 * (fw / int - 1.0)),
+            format!("{:+.1}%", 100.0 * (naive / int - 1.0)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper's shape on regime-dominant data: framework ~ integer, naive clearly worse.");
+}

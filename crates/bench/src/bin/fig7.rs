@@ -1,0 +1,85 @@
+//! Figure 7 reproduction: normalised regression quality across the
+//! quantisation configurations of §3.2.
+//!
+//! Configurations (k = 8, quantised clusters where noted):
+//! * full precision (reference, quality 1.0)
+//! * quantised cluster (binary Hamming search)
+//! * binary query × integer model
+//! * integer query × binary model
+//! * binary query × binary model
+//!
+//! Expected shape (paper): quantised cluster ≈ −0.3%; binary query ≈
+//! −1.5%; binary model ≈ −5.2%; binary×binary worst.
+//!
+//! ```text
+//! cargo run -p reghd-bench --release --bin fig7
+//! ```
+
+use datasets::metrics::normalized_quality;
+use reghd::config::{ClusterMode, PredictionMode};
+use reghd_bench::harness::{self, prepare, DIM};
+use reghd_bench::report::{banner, Table};
+
+fn main() {
+    banner(
+        "Figure 7 — normalised quality across quantisation configs (k=8)",
+        "RegHD paper Fig. 7",
+    );
+    let seed = 42u64;
+    let configs: [(&str, ClusterMode, PredictionMode); 5] = [
+        ("full-precision", ClusterMode::Integer, PredictionMode::Full),
+        (
+            "quant-cluster",
+            ClusterMode::FrameworkBinary,
+            PredictionMode::Full,
+        ),
+        (
+            "binary-query",
+            ClusterMode::FrameworkBinary,
+            PredictionMode::BinaryQuery,
+        ),
+        (
+            "binary-model",
+            ClusterMode::FrameworkBinary,
+            PredictionMode::BinaryModel,
+        ),
+        (
+            "binary-both",
+            ClusterMode::FrameworkBinary,
+            PredictionMode::BinaryBoth,
+        ),
+    ];
+
+    let datasets_all = datasets::paper::all(seed);
+    let mut header = vec!["config".to_string()];
+    header.extend(datasets_all.iter().map(|d| d.name.clone()));
+    header.push("mean".to_string());
+    let mut t = Table::new(header);
+
+    // Reference MSE per dataset (full precision).
+    let mut reference = Vec::new();
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (ci, (name, cmode, pmode)) in configs.iter().enumerate() {
+        eprintln!("[fig7] config {name}");
+        let mut row = Vec::new();
+        for (di, ds) in datasets_all.iter().enumerate() {
+            let prep = prepare(ds, seed);
+            let mut m = harness::reghd_with(prep.features, 8, DIM, *cmode, *pmode, seed);
+            let mse = harness::evaluate(&mut m, &prep).test_mse;
+            if ci == 0 {
+                reference.push(mse);
+            }
+            row.push(normalized_quality(reference[di], mse));
+        }
+        rows.push(row);
+    }
+    for ((name, _, _), row) in configs.iter().zip(&rows) {
+        let mean = row.iter().sum::<f32>() / row.len() as f32;
+        let mut cells = vec![name.to_string()];
+        cells.extend(row.iter().map(|q| format!("{q:.3}")));
+        cells.push(format!("{mean:.3}"));
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!("paper's mean normalised qualities: quant-cluster ~0.997, binary-query ~0.985, binary-model ~0.948, binary-both lowest");
+}

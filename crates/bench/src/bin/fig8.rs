@@ -1,0 +1,147 @@
+//! Figure 8 reproduction: training and inference efficiency of RegHD vs
+//! DNN and Baseline-HD on the FPGA-class device model.
+//!
+//! The paper reports (Kintex-7, RegHD-8 with binary clusters):
+//! * training: 5.6× faster, 12.3× more energy-efficient than DNN;
+//! * inference: 2.9× faster, 4.2× more energy-efficient than DNN;
+//! * RegHD-2 vs RegHD-32: 4.9× / 8.0× training advantage;
+//!   RegHD-8 vs RegHD-32: 2.8× / 2.1×.
+//!
+//! Iteration counts come from fitting the real Rust implementations;
+//! per-epoch operation counts come from `hwmodel::algos`.
+//!
+//! ```text
+//! cargo run -p reghd-bench --release --bin fig8
+//! ```
+
+use hwmodel::algos::{
+    baseline_hd_infer_cost, baseline_hd_train_epoch_cost, dnn_infer_cost, dnn_train_epoch_cost,
+    reghd_infer_cost, reghd_train_epoch_cost, DnnShape, RegHdShape,
+};
+use hwmodel::device::{energy_gain, speedup};
+use hwmodel::DeviceProfile;
+use reghd::config::{ClusterMode, PredictionMode};
+use reghd::Regressor;
+use reghd_bench::harness::{self, prepare, DIM};
+use reghd_bench::report::{banner, fmt_ratio, Table};
+
+fn main() {
+    // The paper evaluates on both a Kintex-7 FPGA and a Raspberry Pi 3B+
+    // (ARM Cortex-A53); report both device models.
+    for dev in [DeviceProfile::fpga_kintex7(), DeviceProfile::embedded_cpu()] {
+        run_for_device(&dev);
+    }
+}
+
+fn run_for_device(dev: &DeviceProfile) {
+    banner(
+        "Figure 8 — training/inference efficiency vs DNN and Baseline-HD",
+        &format!("RegHD paper Fig. 8 ({})", dev.name),
+    );
+    let seed = 42u64;
+    // Representative workload (airfoil: mid-sized, clearly nonlinear).
+    let ds = datasets::paper::airfoil(seed);
+    let prep = prepare(&ds, seed);
+    let n = prep.train_x.len() as u64;
+    let f = prep.features as u64;
+
+    // The paper's DNN comparator: grid-searched TensorFlow model,
+    // deployed via DNNWeaver (inference) / FPDeep (training).
+    let dnn_shape = DnnShape {
+        layers: vec![f, 512, 512, 1],
+    };
+    let dnn_epochs = {
+        let mut m = harness::dnn(prep.features, seed);
+        m.fit(&prep.train_x, &prep.train_y).epochs as u64
+    };
+    let dnn_train = dev.estimate(&(dnn_train_epoch_cost(&dnn_shape, n) * dnn_epochs));
+    let dnn_infer = dev.estimate(&dnn_infer_cost(&dnn_shape));
+
+    let bhd_bins = 64u64;
+    let bhd_epochs = {
+        let mut m = harness::baseline_hd(prep.features, seed);
+        m.fit(&prep.train_x, &prep.train_y).epochs as u64 + 1 // + single pass
+    };
+    let bhd_train =
+        dev.estimate(&(baseline_hd_train_epoch_cost(f, DIM as u64, bhd_bins, n) * bhd_epochs));
+    let bhd_infer = dev.estimate(&baseline_hd_infer_cost(f, DIM as u64, bhd_bins));
+
+    let mut t = Table::new([
+        "learner",
+        "epochs",
+        "train speedup vs DNN",
+        "train energy gain",
+        "infer speedup vs DNN",
+        "infer energy gain",
+    ]);
+    t.row([
+        "DNN".to_string(),
+        dnn_epochs.to_string(),
+        "1.00x".into(),
+        "1.00x".into(),
+        "1.00x".into(),
+        "1.00x".into(),
+    ]);
+    t.row([
+        format!("Baseline-HD({bhd_bins})"),
+        bhd_epochs.to_string(),
+        fmt_ratio(speedup(&dnn_train, &bhd_train)),
+        fmt_ratio(energy_gain(&dnn_train, &bhd_train)),
+        fmt_ratio(speedup(&dnn_infer, &bhd_infer)),
+        fmt_ratio(energy_gain(&dnn_infer, &bhd_infer)),
+    ]);
+
+    // "All results are reported RegHD using a binary cluster."
+    let mut reghd32_train = None;
+    let mut per_k = Vec::new();
+    for k in [1u64, 2, 8, 32] {
+        let epochs = {
+            let mut m = harness::reghd_with(
+                prep.features,
+                k as usize,
+                DIM,
+                ClusterMode::FrameworkBinary,
+                PredictionMode::Full,
+                seed,
+            );
+            m.fit(&prep.train_x, &prep.train_y).epochs as u64
+        };
+        let shape = RegHdShape {
+            dim: DIM as u64,
+            models: k,
+            features: f,
+            cluster_binary: true,
+            query_binary: false,
+            model_binary: false,
+        };
+        let train = dev.estimate(&(reghd_train_epoch_cost(&shape, n) * epochs));
+        let infer = dev.estimate(&reghd_infer_cost(&shape));
+        if k == 32 {
+            reghd32_train = Some(train);
+        }
+        per_k.push((k, train, infer));
+        t.row([
+            format!("RegHD-{k}"),
+            epochs.to_string(),
+            fmt_ratio(speedup(&dnn_train, &train)),
+            fmt_ratio(energy_gain(&dnn_train, &train)),
+            fmt_ratio(speedup(&dnn_infer, &infer)),
+            fmt_ratio(energy_gain(&dnn_infer, &infer)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let r32 = reghd32_train.expect("k=32 measured");
+    for (k, train, _) in &per_k {
+        if *k == 32 {
+            continue;
+        }
+        println!(
+            "RegHD-{k} vs RegHD-32 training: {} faster, {} more energy-efficient",
+            fmt_ratio(speedup(&r32, train)),
+            fmt_ratio(energy_gain(&r32, train)),
+        );
+    }
+    println!("\npaper: RegHD-8 vs DNN training 5.6x/12.3x, inference 2.9x/4.2x;");
+    println!("       RegHD-8 (RegHD-2) vs RegHD-32 training 2.8x/2.1x (4.9x/8.0x)");
+}

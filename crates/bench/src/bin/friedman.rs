@@ -1,0 +1,88 @@
+//! The Friedman benchmark suite: RegHD vs the extended model zoo on the
+//! classic synthetic regression functions with *known* ground truth.
+//!
+//! These are clean(er)-data tasks, so two effects invisible on the noisy
+//! Table-1 workloads appear here: the §2.3 single-pass-vs-iterative gap,
+//! and the value of the encoder nonlinearity on strongly interacting
+//! responses (Friedman #1's `sin(π·x₁x₂)` term).
+//!
+//! ```text
+//! cargo run -p reghd-bench --release --bin friedman
+//! ```
+
+use baselines::forest::{ForestConfig, ForestRegressor};
+use baselines::knn::{KnnRegressor, KnnWeighting};
+use datasets::friedman;
+use datasets::Dataset;
+use reghd::Regressor;
+use reghd_bench::harness::{self, prepare};
+use reghd_bench::report::{banner, fmt_mse, Table};
+
+fn main() {
+    banner(
+        "Friedman benchmark suite (known ground truth)",
+        "extended evaluation (DESIGN.md §5)",
+    );
+    let seed = 42u64;
+    let tasks: Vec<Dataset> = vec![
+        friedman::friedman1(1200, 1.0, seed),
+        friedman::friedman2(1200, 125.0, seed),
+        friedman::friedman3(1200, 0.1, seed),
+    ];
+
+    let mut header = vec!["model".to_string()];
+    header.extend(tasks.iter().map(|d| d.name.clone()));
+    let mut table = Table::new(header);
+
+    let names = [
+        "Linear",
+        "DecisionTree",
+        "RandomForest",
+        "kNN-5",
+        "DNN",
+        "SVR",
+        "RegHD-1",
+        "RegHD-8",
+    ];
+    let mut rows: Vec<Vec<f32>> = vec![Vec::new(); names.len()];
+    for ds in &tasks {
+        eprintln!("[friedman] {}", ds.name);
+        let prep = prepare(ds, seed);
+        let f = prep.features;
+        let mut models: Vec<Box<dyn Regressor>> = vec![
+            Box::new(harness::linear()),
+            Box::new(harness::tree()),
+            Box::new(ForestRegressor::new(ForestConfig {
+                seed,
+                ..ForestConfig::default()
+            })),
+            Box::new(KnnRegressor::new(5, KnnWeighting::InverseDistance)),
+            Box::new(harness::dnn(f, seed)),
+            Box::new(harness::svr(f, seed)),
+            Box::new(harness::reghd(f, 1, seed)),
+            Box::new(harness::reghd(f, 8, seed)),
+        ];
+        for (mi, model) in models.iter_mut().enumerate() {
+            let out = harness::evaluate(model.as_mut(), &prep);
+            rows[mi].push(out.test_mse);
+        }
+    }
+    for (name, row) in names.iter().zip(&rows) {
+        let mut cells = vec![name.to_string()];
+        cells.extend(row.iter().map(|&m| fmt_mse(m)));
+        table.row(cells);
+    }
+    println!("{}", table.render());
+
+    // Key shape: the nonlinear learners (forest, DNN, SVR, RegHD) must beat
+    // the linear model on Friedman #1, whose response is dominated by the
+    // sin/quadratic terms.
+    let linear_f1 = rows[0][0];
+    let reghd_f1 = rows[7][0];
+    println!(
+        "Friedman #1: RegHD-8 vs Linear: {} vs {} ({:.1}x better — the encoder nonlinearity at work)",
+        fmt_mse(reghd_f1),
+        fmt_mse(linear_f1),
+        linear_f1 / reghd_f1
+    );
+}

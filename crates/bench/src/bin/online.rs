@@ -1,0 +1,72 @@
+//! Single-pass (streaming) vs iterative training across the paper
+//! datasets — quantifying §2.3's observation that single-pass HD training
+//! "often provides low accuracy" and iterative retraining closes the gap,
+//! plus this workspace's [`reghd::OnlineRegHd`] extension.
+//!
+//! ```text
+//! cargo run -p reghd-bench --release --bin online
+//! ```
+
+use encoding::NonlinearEncoder;
+use reghd::config::RegHdConfig;
+use reghd::{OnlineRegHd, Regressor};
+use reghd_bench::harness::{self, prepare, DIM};
+use reghd_bench::report::{banner, fmt_mse, Table};
+
+fn main() {
+    banner(
+        "Single-pass (online) vs iterative training",
+        "RegHD paper §2.3 (single-pass accuracy gap)",
+    );
+    let seed = 42u64;
+    let mut t = Table::new([
+        "dataset",
+        "single-pass MSE",
+        "iterative MSE",
+        "iterative epochs",
+        "gap closed by iterating",
+    ]);
+    for ds in datasets::paper::all(seed) {
+        eprintln!("[online] {}", ds.name);
+        let prep = prepare(&ds, seed);
+
+        let cfg = RegHdConfig::builder()
+            .dim(DIM)
+            .models(8)
+            .seed(seed)
+            .build();
+        let enc = NonlinearEncoder::new(prep.features, DIM, seed ^ 0xE4C0DE);
+        let mut online = OnlineRegHd::new(cfg, Box::new(enc));
+        online.fit(&prep.train_x, &prep.train_y);
+        let preds = online.predict(&prep.test_x);
+        let online_mse = prep
+            .scaler
+            .inverse_mse(datasets::metrics::mse(&preds, &prep.test_y));
+
+        let mut iterative = harness::reghd(prep.features, 8, seed);
+        let out = harness::evaluate(&mut iterative, &prep);
+
+        let gap = if online_mse > out.test_mse {
+            format!(
+                "{:.0}%",
+                100.0 * (online_mse - out.test_mse) / online_mse
+            )
+        } else {
+            "0%".to_string()
+        };
+        t.row([
+            ds.name.clone(),
+            fmt_mse(online_mse),
+            fmt_mse(out.test_mse),
+            out.epochs.to_string(),
+            gap,
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected shape: iterative training wins where there is recoverable");
+    println!("structure left after one pass (boston, ccpp — the lower-noise tasks).");
+    println!("On the noisiest datasets a single pass acts as implicit early-stopping");
+    println!("regularisation and can even test better — the §2.3 single-pass accuracy");
+    println!("gap is a *clean-data* phenomenon, which the regime-dominant fig6 task");
+    println!("and the unit test `single_pass_fit_learns_but_less_than_iterative` show.");
+}

@@ -1,0 +1,117 @@
+//! Table 1 reproduction: quality of regression (MSE) for RegHD-k vs the
+//! state-of-the-art baselines on all seven datasets.
+//!
+//! ```text
+//! cargo run -p reghd-bench --release --bin table1
+//! ```
+//!
+//! The paper's qualitative shape this must reproduce:
+//! * Baseline-HD is the worst learner on every dataset (discrete output).
+//! * RegHD quality improves monotonically with the model count `k`.
+//! * RegHD-32 is competitive with the classical learners (between the
+//!   tree/linear tier and the DNN tier).
+
+use reghd::Regressor;
+use reghd_bench::harness::{self, prepare};
+use reghd_bench::report::{banner, fmt_mse, Table};
+
+fn main() {
+    banner(
+        "Table 1 — quality of regression (test MSE, original units)",
+        "RegHD paper Table 1",
+    );
+    let seed = 42u64;
+    let datasets = datasets::paper::all(seed);
+
+    let model_rows: Vec<&str> = vec![
+        "DNN",
+        "Linear",
+        "DecisionTree",
+        "SVR",
+        "Baseline-HD",
+        "RegHD-1",
+        "RegHD-2",
+        "RegHD-8",
+        "RegHD-32",
+    ];
+
+    // results[model][dataset]
+    let mut results: Vec<Vec<f32>> = vec![Vec::new(); model_rows.len()];
+    for ds in &datasets {
+        eprintln!("[table1] dataset {} ({} samples)", ds.name, ds.len());
+        let prep = prepare(ds, seed);
+        let f = prep.features;
+        let mut models: Vec<Box<dyn Regressor>> = vec![
+            Box::new(harness::dnn(f, seed)),
+            Box::new(harness::linear()),
+            Box::new(harness::tree()),
+            Box::new(harness::svr(f, seed)),
+            Box::new(harness::baseline_hd(f, seed)),
+            Box::new(harness::reghd(f, 1, seed)),
+            Box::new(harness::reghd(f, 2, seed)),
+            Box::new(harness::reghd(f, 8, seed)),
+            Box::new(harness::reghd(f, 32, seed)),
+        ];
+        for (mi, model) in models.iter_mut().enumerate() {
+            let out = harness::evaluate(model.as_mut(), &prep);
+            eprintln!(
+                "[table1]   {:<16} mse={:<12} epochs={:<3} ({:?})",
+                out.model,
+                fmt_mse(out.test_mse),
+                out.epochs,
+                out.train_time
+            );
+            results[mi].push(out.test_mse);
+        }
+    }
+
+    let mut table = Table::new(
+        std::iter::once("model".to_string())
+            .chain(datasets.iter().map(|d| d.name.clone()))
+            .collect::<Vec<_>>(),
+    );
+    for (mi, name) in model_rows.iter().enumerate() {
+        let mut cells = vec![name.to_string()];
+        cells.extend(results[mi].iter().map(|&m| fmt_mse(m)));
+        table.row(cells);
+    }
+    println!("{}", table.render());
+
+    // The qualitative checks the paper's Table 1 supports.
+    let idx = |name: &str| model_rows.iter().position(|&m| m == name).expect("known row");
+    let mean_of = |row: usize| -> f64 {
+        // Geometric-mean style comparison across datasets of different
+        // scales: average each model's MSE normalised by RegHD-32's.
+        let base = &results[idx("RegHD-32")];
+        results[row]
+            .iter()
+            .zip(base)
+            .map(|(&m, &b)| (m as f64 / b as f64).ln())
+            .sum::<f64>()
+            / base.len() as f64
+    };
+    println!("log-mean MSE relative to RegHD-32 (lower is better):");
+    for name in &model_rows {
+        println!("  {:<14} {:+.3}", name, mean_of(idx(name)));
+    }
+    let reghd_trend = results[idx("RegHD-1")]
+        .iter()
+        .zip(&results[idx("RegHD-32")])
+        .filter(|(a, b)| a > b)
+        .count();
+    println!(
+        "\nRegHD-32 beats RegHD-1 on {}/{} datasets (paper: more models => higher quality)",
+        reghd_trend,
+        datasets.len()
+    );
+    let bhd_worst = results[idx("Baseline-HD")]
+        .iter()
+        .zip(&results[idx("RegHD-8")])
+        .filter(|(b, r)| b > r)
+        .count();
+    println!(
+        "Baseline-HD worse than RegHD-8 on {}/{} datasets (paper: baseline-HD is the weakest)",
+        bhd_worst,
+        datasets.len()
+    );
+}

@@ -1,0 +1,113 @@
+//! Table 2 reproduction: RegHD quality loss and efficiency as the
+//! hypervector dimensionality shrinks from 4k to 0.5k.
+//!
+//! The paper reports (relative to D = 4k):
+//!
+//! | D | quality loss | train speedup/eff | infer speedup/eff |
+//! |---|---|---|---|
+//! | 3k | 0.1% | 1.18x / 1.26x | 1.19x / 1.30x |
+//! | 2k | 0.3% | 1.71x / 1.86x | 1.78x / 1.90x |
+//! | 1k | 0.9% | 3.09x / 3.53x | 3.67x / 3.81x |
+//! | 0.5k | 2.4% | 5.20x / 6.38x | 7.13x / 7.62x |
+//!
+//! Training speedups are sub-linear in 1/D because smaller models need more
+//! epochs to converge — measured here from the real fits, exactly as §4.4
+//! describes.
+//!
+//! ```text
+//! cargo run -p reghd-bench --release --bin table2
+//! ```
+
+use hwmodel::algos::{reghd_infer_cost, reghd_train_epoch_cost, RegHdShape};
+use hwmodel::device::{energy_gain, speedup};
+use hwmodel::DeviceProfile;
+use reghd::config::{ClusterMode, PredictionMode};
+use reghd_bench::harness::{self, prepare};
+use reghd_bench::report::{banner, fmt_ratio, Table};
+
+fn main() {
+    banner(
+        "Table 2 — quality loss and efficiency vs dimensionality",
+        "RegHD paper Table 2",
+    );
+    let seed = 42u64;
+    let dev = DeviceProfile::fpga_kintex7();
+    let k = 8usize;
+    let dims = [4096usize, 3072, 2048, 1024, 512];
+
+    // Quality loss averaged over all datasets; epochs and cost from the
+    // airfoil representative (matching Figure 8's workload).
+    let datasets_all = datasets::paper::all(seed);
+    let mut rows = Vec::new();
+    for &dim in &dims {
+        eprintln!("[table2] D = {dim}");
+        let mut ratios = Vec::new();
+        let mut epochs_sum = 0u64;
+        for ds in &datasets_all {
+            let prep = prepare(ds, seed);
+            let mut m = harness::reghd_with(
+                prep.features,
+                k,
+                dim,
+                ClusterMode::Integer,
+                PredictionMode::Full,
+                seed,
+            );
+            let out = harness::evaluate(&mut m, &prep);
+            ratios.push(out.test_mse as f64);
+            epochs_sum += out.epochs as u64;
+        }
+        let epochs_avg = epochs_sum / datasets_all.len() as u64;
+        rows.push((dim, ratios, epochs_avg));
+    }
+
+    let reference: Vec<f64> = rows[0].1.clone();
+    let ref_epochs = rows[0].2;
+    let f = 10u64; // representative feature count for the cost model
+    let n = 1200u64; // representative training-set size
+    let shape = |dim: usize| RegHdShape {
+        dim: dim as u64,
+        models: k as u64,
+        features: f,
+        cluster_binary: false,
+        query_binary: false,
+        model_binary: false,
+    };
+    let ref_train = dev.estimate(&(reghd_train_epoch_cost(&shape(4096), n) * ref_epochs));
+    let ref_infer = dev.estimate(&reghd_infer_cost(&shape(4096)));
+
+    let mut t = Table::new([
+        "D",
+        "quality loss",
+        "epochs",
+        "train speedup",
+        "train energy",
+        "infer speedup",
+        "infer energy",
+    ]);
+    for (dim, ratios, epochs) in &rows {
+        // Geometric-mean MSE ratio to the D=4k reference, expressed as a
+        // quality loss percentage.
+        let gmean_ratio = (ratios
+            .iter()
+            .zip(&reference)
+            .map(|(m, r)| (m / r).ln())
+            .sum::<f64>()
+            / ratios.len() as f64)
+            .exp();
+        let train = dev.estimate(&(reghd_train_epoch_cost(&shape(*dim), n) * *epochs));
+        let infer = dev.estimate(&reghd_infer_cost(&shape(*dim)));
+        t.row([
+            format!("{:.1}k", *dim as f64 / 1024.0),
+            format!("{:+.1}%", 100.0 * (gmean_ratio - 1.0)),
+            epochs.to_string(),
+            fmt_ratio(speedup(&ref_train, &train)),
+            fmt_ratio(energy_gain(&ref_train, &train)),
+            fmt_ratio(speedup(&ref_infer, &infer)),
+            fmt_ratio(energy_gain(&ref_infer, &infer)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper: 2k -> 0.3% loss, 1.71x/1.86x train, 1.78x/1.90x infer;");
+    println!("       0.5k -> 2.4% loss, 5.20x/6.38x train, 7.13x/7.62x infer");
+}

@@ -1,0 +1,32 @@
+//! # reghd-bench — the evaluation harness
+//!
+//! One binary per table/figure of the paper's evaluation section (§4):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — MSE of RegHD-k vs DNN / Linear / Tree / SVR / Baseline-HD on all seven datasets |
+//! | `fig3`   | Figure 3 — quality vs training iterations; single vs multi model |
+//! | `fig6`   | Figure 6 — cluster quantisation: integer vs framework-binary vs naive-binary |
+//! | `fig7`   | Figure 7 — normalised quality across prediction quantisation configs |
+//! | `fig8`   | Figure 8 — training/inference speed & energy vs DNN and Baseline-HD |
+//! | `fig9`   | Figure 9 — efficiency across quantisation configs |
+//! | `table2` | Table 2 — dimensionality sweep: quality loss and speed/energy |
+//! | `ablation` | DESIGN.md §5 — update-rule / encoder / softmax-β ablations |
+//! | `robustness` | §3 robustness claim — quality under injected hypervector noise |
+//! | `online` | §2.3 — single-pass (streaming) vs iterative training |
+//! | `friedman` | Friedman #1–#3 clean-ground-truth suite, extended model zoo |
+//! | `capacity` | §2.3 capacity analysis — Eq. 4 vs Monte-Carlo |
+//! | `sparsity` | SparseHD-style sparsification sweep — quality vs density |
+//!
+//! Run any of them with `cargo run -p reghd-bench --release --bin <name>`.
+//!
+//! The [`harness`] module holds the shared experiment plumbing: dataset
+//! preparation (feature standardisation + target scaling fitted on the
+//! train split), model factories with the tuned hyper-parameters, and the
+//! evaluation loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;

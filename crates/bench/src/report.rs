@@ -1,0 +1,142 @@
+//! Plain-text table formatting for the experiment binaries.
+//!
+//! Every binary prints a header naming the paper artefact it regenerates,
+//! then one aligned table per result set — the same rows/series the paper
+//! reports, so outputs can be pasted directly into `EXPERIMENTS.md`.
+
+/// A simple fixed-width table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row has {} cells, header has {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, &w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align the first column, right-align the rest
+                // (numeric).
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints a banner naming the experiment and the paper artefact.
+pub fn banner(experiment: &str, artefact: &str) {
+    println!("================================================================");
+    println!("{experiment}");
+    println!("Regenerates: {artefact}");
+    println!("================================================================");
+}
+
+/// Formats an MSE to a sensible precision for its magnitude (Table 1 mixes
+/// 0.5-scale wine MSEs with 11,000-scale facebook MSEs).
+pub fn fmt_mse(mse: f32) -> String {
+    if !mse.is_finite() {
+        return format!("{mse}");
+    }
+    if mse >= 100.0 {
+        format!("{mse:.0}")
+    } else if mse >= 1.0 {
+        format!("{mse:.1}")
+    } else {
+        format!("{mse:.3}")
+    }
+}
+
+/// Formats a ratio like `3.1x`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(["model", "mse"]);
+        t.row(["DNN", "14.6"]);
+        t.row(["RegHD-32", "15.8"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("model"));
+        assert!(lines[2].starts_with("DNN"));
+        // Numeric column right-aligned: both rows end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn ragged_row_panics() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt_mse_scales_precision() {
+        assert_eq!(fmt_mse(11344.8), "11345");
+        assert_eq!(fmt_mse(14.62), "14.6");
+        assert_eq!(fmt_mse(0.5312), "0.531");
+    }
+
+    #[test]
+    fn fmt_ratio_format() {
+        assert_eq!(fmt_ratio(5.6), "5.60x");
+    }
+}

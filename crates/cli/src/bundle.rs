@@ -1,0 +1,293 @@
+//! The CLI's model bundle: a trained RegHD model together with the
+//! feature/target scalers fitted on the training data, so the command-line
+//! interface accepts and emits values in **original units**.
+//!
+//! File layout: magic `RGCL`, version, feature scaler block, target scaler
+//! block, then the embedded `reghd::persist` model blob.
+
+use datasets::normalize::{Standardizer, TargetScaler};
+use datasets::Dataset;
+use encoding::EncoderSpec;
+use reghd::config::{ClusterMode, PredictionMode, RegHdConfig};
+use reghd::{persist, RegHdRegressor, Regressor};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"RGCL";
+const VERSION: u16 = 1;
+
+/// A trained model plus its data scalers.
+pub struct ModelBundle {
+    // (Debug via the manual impl below: the model itself is the interesting
+    // field, scalers are summarised.)
+    model: RegHdRegressor,
+    spec: EncoderSpec,
+    feat_means: Vec<f32>,
+    feat_stds: Vec<f32>,
+    target_mean: f32,
+    target_std: f32,
+}
+
+impl std::fmt::Debug for ModelBundle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelBundle")
+            .field("model", &self.model)
+            .field("features", &self.feat_means.len())
+            .field("target_mean", &self.target_mean)
+            .field("target_std", &self.target_std)
+            .finish()
+    }
+}
+
+/// Trains a bundle on a raw-unit dataset.
+pub fn train(
+    ds: &Dataset,
+    dim: usize,
+    models: usize,
+    epochs: usize,
+    seed: u64,
+    quantized: bool,
+) -> Result<ModelBundle, String> {
+    if ds.len() < 4 {
+        return Err("need at least 4 samples to train".to_string());
+    }
+    let std = Standardizer::fit(ds);
+    let normalised = std.transform(ds);
+    let scaler = TargetScaler::fit(&ds.targets);
+    let train_y: Vec<f32> = ds.targets.iter().map(|&y| scaler.transform(y)).collect();
+
+    let spec = EncoderSpec::Nonlinear {
+        input_dim: ds.num_features(),
+        dim,
+        seed: seed ^ 0xC11,
+    };
+    let mut builder = RegHdConfig::builder()
+        .dim(dim)
+        .models(models)
+        .max_epochs(epochs)
+        .seed(seed);
+    if quantized {
+        builder = builder
+            .cluster_mode(ClusterMode::FrameworkBinary)
+            .prediction_mode(PredictionMode::BinaryQuery);
+    }
+    let config = builder.build();
+    let mut model = RegHdRegressor::new(config, spec.build());
+    let report = model.fit(&normalised.features, &train_y);
+    println!(
+        "trained {} epochs (converged: {}); final train RMSE ≈ {:.4} (original units)",
+        report.epochs,
+        report.converged,
+        report
+            .final_mse()
+            .map(|m| scaler.inverse_mse(m).sqrt())
+            .unwrap_or(f32::NAN)
+    );
+
+    // Recover the fitted per-feature statistics by probing the
+    // standardizer (a zero row maps to −μ/σ; a one row lets us solve σ).
+    let zeros = vec![0.0f32; ds.num_features()];
+    let ones = vec![1.0f32; ds.num_features()];
+    let z = std.transform_row(&zeros);
+    let o = std.transform_row(&ones);
+    let mut feat_means = Vec::with_capacity(z.len());
+    let mut feat_stds = Vec::with_capacity(z.len());
+    for (&a, &b) in z.iter().zip(&o) {
+        let inv_sigma = b - a; // (1−μ)/σ − (0−μ)/σ = 1/σ
+        let sigma = if inv_sigma.abs() > 1e-12 {
+            1.0 / inv_sigma
+        } else {
+            1.0
+        };
+        feat_stds.push(sigma);
+        feat_means.push(-a * sigma);
+    }
+
+    Ok(ModelBundle {
+        model,
+        spec,
+        feat_means,
+        feat_stds,
+        target_mean: scaler.mean(),
+        target_std: scaler.std(),
+    })
+}
+
+impl ModelBundle {
+    /// Predicts in original units for raw-unit feature rows.
+    pub fn predict(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>, String> {
+        let expected = self.feat_means.len();
+        rows.iter()
+            .map(|row| {
+                if row.len() != expected {
+                    return Err(format!(
+                        "row has {} features, model expects {expected}",
+                        row.len()
+                    ));
+                }
+                let scaled: Vec<f32> = row
+                    .iter()
+                    .zip(self.feat_means.iter().zip(&self.feat_stds))
+                    .map(|(&x, (&m, &s))| if s != 0.0 { (x - m) / s } else { x - m })
+                    .collect();
+                let y_std = self.model.predict_one(&scaled);
+                Ok(y_std * self.target_std + self.target_mean)
+            })
+            .collect()
+    }
+
+    /// Writes the bundle to a file.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.feat_means.len() as u64).to_le_bytes());
+        for &m in &self.feat_means {
+            buf.extend_from_slice(&m.to_le_bytes());
+        }
+        for &s in &self.feat_stds {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.target_mean.to_le_bytes());
+        buf.extend_from_slice(&self.target_std.to_le_bytes());
+        persist::save(&self.model, &self.spec, &mut buf).map_err(|e| e.to_string())?;
+        std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(&buf))
+            .map_err(|e| format!("cannot write {path}: {e}"))
+    }
+
+    /// Reads a bundle from a file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut r: &[u8] = &bytes;
+        let mut magic = [0u8; 4];
+        read_exact(&mut r, &mut magic)?;
+        if &magic != MAGIC {
+            return Err("not a reghd-cli model bundle".to_string());
+        }
+        let version = read_u16(&mut r)?;
+        if version != VERSION {
+            return Err(format!("unsupported bundle version {version}"));
+        }
+        let n = read_u64(&mut r)? as usize;
+        if n > 1 << 20 {
+            return Err(format!("implausible feature count {n}"));
+        }
+        let mut feat_means = Vec::with_capacity(n);
+        for _ in 0..n {
+            feat_means.push(read_f32(&mut r)?);
+        }
+        let mut feat_stds = Vec::with_capacity(n);
+        for _ in 0..n {
+            feat_stds.push(read_f32(&mut r)?);
+        }
+        let target_mean = read_f32(&mut r)?;
+        let target_std = read_f32(&mut r)?;
+        let model = persist::load(&mut r).map_err(|e| e.to_string())?;
+        // The persist blob does not carry the spec back out; rebuild it
+        // from the model's config (the CLI always uses the Nonlinear
+        // encoder with the same derived seed).
+        let spec = EncoderSpec::Nonlinear {
+            input_dim: n,
+            dim: model.config().dim,
+            seed: model.config().seed ^ 0xC11,
+        };
+        Ok(Self {
+            model,
+            spec,
+            feat_means,
+            feat_stds,
+            target_mean,
+            target_std,
+        })
+    }
+}
+
+fn read_exact(r: &mut &[u8], buf: &mut [u8]) -> Result<(), String> {
+    if r.len() < buf.len() {
+        return Err("truncated bundle".to_string());
+    }
+    buf.copy_from_slice(&r[..buf.len()]);
+    *r = &r[buf.len()..];
+    Ok(())
+}
+
+fn read_u16(r: &mut &[u8]) -> Result<u16, String> {
+    let mut b = [0u8; 2];
+    read_exact(r, &mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut &[u8]) -> Result<u64, String> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut &[u8]) -> Result<f32, String> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let features: Vec<Vec<f32>> = (0..80)
+            .map(|i| vec![i as f32, (i % 7) as f32 * 10.0])
+            .collect();
+        let targets: Vec<f32> = features.iter().map(|r| 3.0 * r[0] - r[1] + 100.0).collect();
+        Dataset::new("toy", features, targets)
+    }
+
+    #[test]
+    fn train_predict_in_original_units() {
+        let ds = toy_dataset();
+        let bundle = train(&ds, 512, 2, 15, 1, false).unwrap();
+        let preds = bundle.predict(&ds.features).unwrap();
+        let mse = datasets::metrics::mse(&preds, &ds.targets);
+        let var = ds.target_variance();
+        assert!(mse < 0.1 * var, "mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let ds = toy_dataset();
+        let bundle = train(&ds, 512, 2, 10, 2, true).unwrap();
+        let path = std::env::temp_dir().join("reghd_cli_bundle_test.rghd");
+        let path_str = path.to_str().unwrap();
+        bundle.save(path_str).unwrap();
+        let loaded = ModelBundle::load(path_str).unwrap();
+        let a = bundle.predict(&ds.features[..5]).unwrap();
+        let b = loaded.predict(&ds.features[..5]).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let ds = toy_dataset();
+        let bundle = train(&ds, 256, 1, 5, 3, false).unwrap();
+        let err = bundle.predict(&[vec![1.0]]).unwrap_err();
+        assert!(err.contains("expects 2"));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("reghd_cli_garbage_test.rghd");
+        std::fs::write(&path, b"not a model").unwrap();
+        let err = ModelBundle::load(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("not a reghd-cli"), "err: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tiny_dataset_rejected() {
+        let ds = Dataset::new("t", vec![vec![1.0]; 2], vec![0.0; 2]);
+        assert!(train(&ds, 64, 1, 2, 0, false).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! `reghd-cli` — train, evaluate, and run RegHD models on CSV data.
+//!
+//! ```text
+//! reghd-cli train   --csv data.csv --out model.rghd [--dim 2048] [--models 8]
+//!                   [--epochs 40] [--seed 0] [--quantized]
+//! reghd-cli eval    --csv data.csv --model model.rghd
+//! reghd-cli predict --csv data.csv --model model.rghd
+//! ```
+//!
+//! CSV format: numeric columns, optional header, **last column is the
+//! target** (ignored by `predict` if present). The tool standardises
+//! features and targets on the training data and stores the scalers inside
+//! the model bundle, so evaluation and prediction accept raw units.
+
+mod bundle;
+
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  reghd-cli train   --csv <data.csv> --out <model.rghd> \
+         [--dim N] [--models K] [--epochs N] [--seed N] [--quantized]\n  \
+         reghd-cli eval    --csv <data.csv> --model <model.rghd>\n  \
+         reghd-cli predict --csv <data.csv> --model <model.rghd>"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--flags`.
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Self {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let value = args.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((key.to_string(), value));
+            } else {
+                eprintln!("unexpected argument: {a}");
+                usage();
+            }
+            i += 1;
+        }
+        Self { flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == key)
+    }
+
+    fn require(&self, key: &str) -> &str {
+        self.get(key).unwrap_or_else(|| {
+            eprintln!("missing required flag --{key}");
+            usage();
+        })
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {v}");
+                usage();
+            }),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "predict" => cmd_predict(&args),
+        _ => {
+            eprintln!("unknown command: {cmd}");
+            usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let csv = args.require("csv");
+    let out = args.require("out");
+    let dim: usize = args.parse_num("dim", 2048);
+    let models: usize = args.parse_num("models", 8);
+    let epochs: usize = args.parse_num("epochs", 40);
+    let seed: u64 = args.parse_num("seed", 0);
+    let quantized = args.has("quantized");
+
+    let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {}: {} samples × {} features",
+        ds.name,
+        ds.len(),
+        ds.num_features()
+    );
+    let bundle = bundle::train(&ds, dim, models, epochs, seed, quantized)?;
+    bundle.save(out)?;
+    println!("model written to {out}");
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let csv = args.require("csv");
+    let model_path = args.require("model");
+    let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
+    let bundle = bundle::ModelBundle::load(model_path)?;
+    let preds = bundle.predict(&ds.features)?;
+    let mse = datasets::metrics::mse(&preds, &ds.targets);
+    let rmse = datasets::metrics::rmse(&preds, &ds.targets);
+    let r2 = datasets::metrics::r2(&preds, &ds.targets);
+    println!("samples: {}", ds.len());
+    println!("MSE:  {mse:.6}");
+    println!("RMSE: {rmse:.6}");
+    println!("R²:   {r2:.4}");
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let csv = args.require("csv");
+    let model_path = args.require("model");
+    let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
+    let bundle = bundle::ModelBundle::load(model_path)?;
+    for p in bundle.predict(&ds.features)? {
+        println!("{p}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Args;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = parse(&["--csv", "data.csv", "--dim", "1024"]);
+        assert_eq!(a.get("csv"), Some("data.csv"));
+        assert_eq!(a.get("dim"), Some("1024"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn parses_boolean_flags() {
+        let a = parse(&["--quantized", "--csv", "x.csv"]);
+        assert!(a.has("quantized"));
+        assert!(!a.has("csv-missing"));
+        assert_eq!(a.get("csv"), Some("x.csv"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse(&["--quantized", "--models", "4"]);
+        assert!(a.has("quantized"));
+        assert_eq!(a.get("quantized"), None);
+        assert_eq!(a.get("models"), Some("4"));
+    }
+
+    #[test]
+    fn parse_num_defaults_and_overrides() {
+        let a = parse(&["--dim", "512"]);
+        assert_eq!(a.parse_num::<usize>("dim", 2048), 512);
+        assert_eq!(a.parse_num::<usize>("models", 8), 8);
+    }
+}

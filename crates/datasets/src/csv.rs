@@ -1,0 +1,242 @@
+//! Dependency-free CSV loading, so the real UCI datasets can be dropped in
+//! when network access is available.
+//!
+//! The format accepted is deliberately simple: comma-separated numeric
+//! values, optional header line (auto-detected: a first line containing any
+//! non-numeric cell is treated as a header), the **last column is the
+//! regression target**, blank lines skipped.
+
+use crate::Dataset;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Error from CSV parsing.
+#[derive(Debug)]
+pub enum LoadCsvError {
+    /// The underlying file could not be read.
+    Io(std::io::Error),
+    /// A data cell failed to parse as a number.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// The cell contents that failed to parse.
+        cell: String,
+    },
+    /// A row had a different number of columns than the first data row.
+    RaggedRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Expected column count.
+        expected: usize,
+        /// Observed column count.
+        actual: usize,
+    },
+    /// The file contained no data rows, or rows with fewer than 2 columns.
+    Empty,
+}
+
+impl fmt::Display for LoadCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadCsvError::Io(e) => write!(f, "failed to read csv: {e}"),
+            LoadCsvError::Parse { line, cell } => {
+                write!(f, "line {line}: cannot parse `{cell}` as a number")
+            }
+            LoadCsvError::RaggedRow {
+                line,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "line {line}: expected {expected} columns, found {actual}"
+            ),
+            LoadCsvError::Empty => write!(f, "csv contains no usable data rows"),
+        }
+    }
+}
+
+impl Error for LoadCsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadCsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadCsvError {
+    fn from(e: std::io::Error) -> Self {
+        LoadCsvError::Io(e)
+    }
+}
+
+/// Parses CSV text into a [`Dataset`]; last column is the target.
+///
+/// # Errors
+///
+/// Returns [`LoadCsvError`] on malformed numbers, ragged rows, or when no
+/// usable data is present.
+///
+/// # Examples
+///
+/// ```
+/// use datasets::csv::parse_csv;
+///
+/// let ds = parse_csv("f1,f2,target\n1.0,2.0,3.0\n4.0,5.0,6.0\n", "toy")?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.num_features(), 2);
+/// assert_eq!(ds.targets, vec![3.0, 6.0]);
+/// # Ok::<(), datasets::csv::LoadCsvError>(())
+/// ```
+pub fn parse_csv(text: &str, name: &str) -> Result<Dataset, LoadCsvError> {
+    let mut features = Vec::new();
+    let mut targets = Vec::new();
+    let mut expected_cols: Option<usize> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f32>, usize> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.parse::<f32>().map_err(|_| i))
+            .collect();
+        match parsed {
+            Err(bad_idx) => {
+                // Non-numeric cell: acceptable only as a header on the first
+                // non-blank line.
+                if expected_cols.is_none() && features.is_empty() {
+                    continue;
+                }
+                return Err(LoadCsvError::Parse {
+                    line: lineno + 1,
+                    cell: cells[bad_idx].to_string(),
+                });
+            }
+            Ok(nums) => {
+                if nums.len() < 2 {
+                    return Err(LoadCsvError::Empty);
+                }
+                match expected_cols {
+                    None => expected_cols = Some(nums.len()),
+                    Some(w) if w != nums.len() => {
+                        return Err(LoadCsvError::RaggedRow {
+                            line: lineno + 1,
+                            expected: w,
+                            actual: nums.len(),
+                        });
+                    }
+                    _ => {}
+                }
+                let (t, f) = nums.split_last().expect("len >= 2");
+                features.push(f.to_vec());
+                targets.push(*t);
+            }
+        }
+    }
+    if features.is_empty() {
+        return Err(LoadCsvError::Empty);
+    }
+    Ok(Dataset::new(name, features, targets))
+}
+
+/// Loads a CSV file from disk; see [`parse_csv`] for the accepted format.
+///
+/// # Errors
+///
+/// Returns [`LoadCsvError`] on I/O failure or malformed content.
+pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<Dataset, LoadCsvError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "csv".to_string());
+    let text = fs::read_to_string(path)?;
+    parse_csv(&text, &name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_header() {
+        let ds = parse_csv("a,b,y\n1,2,3\n4,5,6\n", "t").unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.features[1], vec![4.0, 5.0]);
+        assert_eq!(ds.targets, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn parses_without_header() {
+        let ds = parse_csv("1,2,3\n4,5,6\n", "t").unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let ds = parse_csv("\n1,2,3\n\n4,5,6\n\n", "t").unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn rejects_non_numeric_mid_file() {
+        let err = parse_csv("1,2,3\nx,5,6\n", "t").unwrap_err();
+        match err {
+            LoadCsvError::Parse { line, cell } => {
+                assert_eq!(line, 2);
+                assert_eq!(cell, "x");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = parse_csv("1,2,3\n4,5\n", "t").unwrap_err();
+        assert!(matches!(err, LoadCsvError::RaggedRow { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(parse_csv("", "t"), Err(LoadCsvError::Empty)));
+        assert!(matches!(
+            parse_csv("header,only\n", "t"),
+            Err(LoadCsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn rejects_single_column() {
+        assert!(matches!(parse_csv("1\n2\n", "t"), Err(LoadCsvError::Empty)));
+    }
+
+    #[test]
+    fn load_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("reghd_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.csv");
+        std::fs::write(&path, "a,y\n1.5,2.5\n-1.0,0.0\n").unwrap();
+        let ds = load_csv(&path).unwrap();
+        assert_eq!(ds.name, "mini");
+        assert_eq!(ds.targets, vec![2.5, 0.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn io_error_is_reported() {
+        let err = load_csv("/nonexistent/definitely/missing.csv").unwrap_err();
+        assert!(matches!(err, LoadCsvError::Io(_)));
+        assert!(err.to_string().contains("failed to read"));
+    }
+
+    #[test]
+    fn handles_whitespace_around_cells() {
+        let ds = parse_csv(" 1 , 2 , 3 \n", "t").unwrap();
+        assert_eq!(ds.features[0], vec![1.0, 2.0]);
+    }
+}

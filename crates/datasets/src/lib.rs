@@ -1,0 +1,218 @@
+//! # datasets — regression workloads, metrics, and data plumbing
+//!
+//! RegHD's evaluation (§4) runs on seven popular regression datasets:
+//! diabetes, Boston housing, NASA airfoil self-noise, wine quality, Facebook
+//! brand-post metrics, combined-cycle power plant (CCPP), and forest fires.
+//! Those archives are not available in this offline environment, so this
+//! crate provides **synthetic generators statistically matched to each
+//! dataset** — same feature count, sample count, target location/scale, and
+//! qualitative structure (degree of nonlinearity, multi-modality, noise
+//! floor, target skew). See `DESIGN.md` §3 for the substitution rationale:
+//! every algorithm under test is data-agnostic, and the evaluation's
+//! *shape* (relative ordering of learners, effect of model count and
+//! quantisation) is driven by the structural knobs the generators control.
+//!
+//! The crate also supplies the supporting plumbing every experiment needs:
+//! train/test splitting ([`split`]), z-score normalisation ([`normalize`]),
+//! quality metrics ([`metrics`]), and a dependency-free CSV loader
+//! ([`csv`]) so real datasets can be dropped in when available.
+//!
+//! ## Example
+//!
+//! ```
+//! use datasets::{paper, split::train_test_split, metrics::mse};
+//!
+//! let ds = paper::airfoil(42);
+//! assert_eq!(ds.num_features(), 5);
+//! let (train, test) = train_test_split(&ds, 0.2, 7);
+//! assert_eq!(train.len() + test.len(), ds.len());
+//!
+//! // A mean predictor's MSE equals the target variance.
+//! let mean = train.targets.iter().sum::<f32>() / train.len() as f32;
+//! let pred: Vec<f32> = vec![mean; test.len()];
+//! assert!(mse(&pred, &test.targets) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod drift;
+pub mod friedman;
+pub mod metrics;
+pub mod normalize;
+pub mod paper;
+pub mod split;
+pub mod synthetic;
+
+/// A regression dataset: row-major feature matrix plus scalar targets.
+///
+/// Invariant: `features.len() == targets.len()` and every feature row has
+/// the same width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"airfoil"`).
+    pub name: String,
+    /// Feature rows; all rows share the same length.
+    pub features: Vec<Vec<f32>>,
+    /// Regression targets, one per feature row.
+    pub targets: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating the shape invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != targets.len()` or rows have ragged
+    /// widths.
+    pub fn new(name: impl Into<String>, features: Vec<Vec<f32>>, targets: Vec<f32>) -> Self {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        if let Some(first) = features.first() {
+            let w = first.len();
+            assert!(
+                features.iter().all(|row| row.len() == w),
+                "feature rows must all have the same width"
+            );
+        }
+        Self {
+            name: name.into(),
+            features,
+            targets,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of features per sample (0 for an empty dataset).
+    pub fn num_features(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Mean of the targets (0 for an empty dataset).
+    pub fn target_mean(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (self.targets.iter().map(|&t| t as f64).sum::<f64>() / self.len() as f64) as f32
+    }
+
+    /// Population variance of the targets (0 for an empty dataset). This is
+    /// the MSE of the best constant predictor — the floor every learner must
+    /// beat.
+    pub fn target_variance(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mean = self.target_mean() as f64;
+        (self
+            .targets
+            .iter()
+            .map(|&t| (t as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.len() as f64) as f32
+    }
+
+    /// Returns the sample at `idx` as `(features, target)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn sample(&self, idx: usize) -> (&[f32], f32) {
+        (&self.features[idx], self.targets[idx])
+    }
+
+    /// Iterates over `(features, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], f32)> + '_ {
+        self.features
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.targets.iter().copied())
+    }
+
+    /// Builds a new dataset from the given row indices (used by splits and
+    /// subsampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset::new(
+            self.name.clone(),
+            indices.iter().map(|&i| self.features[i].clone()).collect(),
+            indices.iter().map(|&i| self.targets[i]).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_shapes() {
+        let ds = Dataset::new("t", vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![1.0, 2.0]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.num_features(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        Dataset::new("t", vec![vec![1.0]], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn ragged_rows_panic() {
+        Dataset::new("t", vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn target_stats() {
+        let ds = Dataset::new("t", vec![vec![0.0]; 4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((ds.target_mean() - 2.5).abs() < 1e-6);
+        assert!((ds.target_variance() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_dataset_stats_are_zero() {
+        let ds = Dataset::new("empty", vec![], vec![]);
+        assert!(ds.is_empty());
+        assert_eq!(ds.num_features(), 0);
+        assert_eq!(ds.target_mean(), 0.0);
+        assert_eq!(ds.target_variance(), 0.0);
+    }
+
+    #[test]
+    fn select_picks_rows() {
+        let ds = Dataset::new(
+            "t",
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![10.0, 20.0, 30.0],
+        );
+        let sub = ds.select(&[2, 0]);
+        assert_eq!(sub.targets, vec![30.0, 10.0]);
+        assert_eq!(sub.features, vec![vec![3.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let ds = Dataset::new("t", vec![vec![1.0], vec![2.0]], vec![5.0, 6.0]);
+        let pairs: Vec<_> = ds.iter().collect();
+        assert_eq!(pairs[0], (&[1.0][..], 5.0));
+        assert_eq!(pairs[1], (&[2.0][..], 6.0));
+    }
+}

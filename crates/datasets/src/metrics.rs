@@ -1,0 +1,183 @@
+//! Regression quality metrics.
+//!
+//! Table 1 of the paper reports **mean squared error** (MSE); the
+//! supplementary figures normalise it per dataset. This module provides MSE
+//! plus the usual companions (RMSE, MAE, R²) and the normalised-quality
+//! helper used by the Figure 6/7 reproductions.
+
+/// Mean squared error `Σ(ŷ−y)²/n`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(predictions: &[f32], targets: &[f32]) -> f32 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "mse: length mismatch ({} vs {})",
+        predictions.len(),
+        targets.len()
+    );
+    assert!(!predictions.is_empty(), "mse: empty input");
+    (predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p as f64 - t as f64).powi(2))
+        .sum::<f64>()
+        / predictions.len() as f64) as f32
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(predictions: &[f32], targets: &[f32]) -> f32 {
+    mse(predictions, targets).sqrt()
+}
+
+/// Mean absolute error `Σ|ŷ−y|/n`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mae(predictions: &[f32], targets: &[f32]) -> f32 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "mae: length mismatch ({} vs {})",
+        predictions.len(),
+        targets.len()
+    );
+    assert!(!predictions.is_empty(), "mae: empty input");
+    (predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p as f64 - t as f64).abs())
+        .sum::<f64>()
+        / predictions.len() as f64) as f32
+}
+
+/// Coefficient of determination `R² = 1 − SS_res/SS_tot`.
+///
+/// Returns `0.0` when the targets are constant and perfectly predicted,
+/// `f32::NEG_INFINITY`-free: a constant-target/-imperfect case yields a
+/// large negative value computed against `SS_tot = ε`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn r2(predictions: &[f32], targets: &[f32]) -> f32 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "r2: length mismatch ({} vs {})",
+        predictions.len(),
+        targets.len()
+    );
+    assert!(!predictions.is_empty(), "r2: empty input");
+    let mean = targets.iter().map(|&t| t as f64).sum::<f64>() / targets.len() as f64;
+    let ss_tot: f64 = targets.iter().map(|&t| (t as f64 - mean).powi(2)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p as f64 - t as f64).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 0.0 } else { f32::MIN };
+    }
+    (1.0 - ss_res / ss_tot) as f32
+}
+
+/// Normalised quality in `[0, 1]`: `baseline_mse / candidate_mse` clamped to
+/// 1. Used by the Figure 6/7 reproductions, where the full-precision RegHD
+/// model is the baseline (quality 1.0) and quantised variants score
+/// relative to it — matching the paper's "normalized quality of regression"
+/// axis, where *lower MSE = higher quality*.
+///
+/// # Panics
+///
+/// Panics if either MSE is negative. A `candidate_mse` of 0 is fine
+/// (quality saturates at 1).
+pub fn normalized_quality(baseline_mse: f32, candidate_mse: f32) -> f32 {
+    assert!(
+        baseline_mse >= 0.0 && candidate_mse >= 0.0,
+        "MSE values must be nonnegative"
+    );
+    if candidate_mse == 0.0 {
+        return 1.0;
+    }
+    (baseline_mse / candidate_mse).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_reference() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(mse(&[3.0], &[3.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_is_sqrt_mse() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [2.0, 4.0, 3.0];
+        assert!((rmse(&p, &t) - mse(&p, &t).sqrt()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mae_reference() {
+        assert_eq!(mae(&[1.0, -1.0], &[2.0, 1.0]), 1.5);
+    }
+
+    #[test]
+    fn r2_perfect_is_one() {
+        assert!((r2(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r2_mean_predictor_is_zero() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5; 4];
+        assert!(r2(&p, &t).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r2_worse_than_mean_is_negative() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [10.0, -10.0, 10.0];
+        assert!(r2(&p, &t) < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_targets() {
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 0.0);
+        assert!(r2(&[4.0, 6.0], &[5.0, 5.0]) < 0.0);
+    }
+
+    #[test]
+    fn normalized_quality_semantics() {
+        // Equal MSE → quality 1.
+        assert_eq!(normalized_quality(10.0, 10.0), 1.0);
+        // Candidate twice as bad → quality 0.5.
+        assert_eq!(normalized_quality(10.0, 20.0), 0.5);
+        // Candidate better than baseline saturates at 1.
+        assert_eq!(normalized_quality(10.0, 5.0), 1.0);
+        // Perfect candidate.
+        assert_eq!(normalized_quality(10.0, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_length_mismatch_panics() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mse_empty_panics() {
+        mse(&[], &[]);
+    }
+}

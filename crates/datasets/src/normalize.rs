@@ -1,0 +1,283 @@
+//! Feature and target normalisation.
+//!
+//! HD encoders are sensitive to input scale (the trigonometric nonlinearity
+//! of Eq. 1 wraps around for large |f|), so the standard pipeline is:
+//! fit a [`Standardizer`] on the *training* split, apply it to both splits,
+//! and optionally standardise targets too (remembering the inverse transform
+//! for reporting MSE in original units).
+
+use crate::Dataset;
+
+/// Per-feature z-score normaliser: `x' = (x − μ) / σ`.
+///
+/// Fitted statistics come from one dataset (the training split) and are then
+/// applied to any dataset with the same feature width. Constant features
+/// (σ = 0) pass through centred but unscaled.
+///
+/// # Examples
+///
+/// ```
+/// use datasets::{Dataset, normalize::Standardizer};
+///
+/// let train = Dataset::new("t", vec![vec![0.0], vec![2.0]], vec![0.0, 1.0]);
+/// let std = Standardizer::fit(&train);
+/// let out = std.transform(&train);
+/// assert!((out.features[0][0] + 1.0).abs() < 1e-6);
+/// assert!((out.features[1][0] - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits per-feature means and standard deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(ds: &Dataset) -> Self {
+        assert!(!ds.is_empty(), "cannot fit a standardizer on an empty dataset");
+        let n = ds.len() as f64;
+        let w = ds.num_features();
+        let mut means = vec![0.0f64; w];
+        for row in &ds.features {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; w];
+        for row in &ds.features {
+            for ((v, &m), &x) in vars.iter_mut().zip(&means).zip(row) {
+                let d = x as f64 - m;
+                *v += d * d;
+            }
+        }
+        let stds: Vec<f32> = vars
+            .iter()
+            .map(|&v| ((v / n).sqrt()) as f32)
+            .collect();
+        Self {
+            means: means.iter().map(|&m| m as f32).collect(),
+            stds,
+        }
+    }
+
+    /// Number of features the standardizer was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Applies the fitted transform to a dataset, returning a normalised
+    /// copy. Targets pass through unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's feature width differs from the fitted width.
+    pub fn transform(&self, ds: &Dataset) -> Dataset {
+        assert_eq!(
+            ds.num_features(),
+            self.num_features(),
+            "standardizer fitted on {} features, dataset has {}",
+            self.num_features(),
+            ds.num_features()
+        );
+        Dataset::new(
+            ds.name.clone(),
+            ds.features
+                .iter()
+                .map(|row| self.transform_row(row))
+                .collect(),
+            ds.targets.clone(),
+        )
+    }
+
+    /// Applies the fitted transform to a single feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the fitted width.
+    pub fn transform_row(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            row.len(),
+            self.num_features(),
+            "standardizer fitted on {} features, row has {}",
+            self.num_features(),
+            row.len()
+        );
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&x, (&m, &s))| if s > 0.0 { (x - m) / s } else { x - m })
+            .collect()
+    }
+}
+
+/// Affine target scaler `y' = (y − μ)/σ` with an exact inverse, used to
+/// report errors in original units after training on standardised targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetScaler {
+    mean: f32,
+    std: f32,
+}
+
+impl TargetScaler {
+    /// Fits on a target slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn fit(targets: &[f32]) -> Self {
+        assert!(!targets.is_empty(), "cannot fit on empty targets");
+        let n = targets.len() as f64;
+        let mean = targets.iter().map(|&t| t as f64).sum::<f64>() / n;
+        let var = targets
+            .iter()
+            .map(|&t| (t as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        Self {
+            mean: mean as f32,
+            std: (var.sqrt() as f32).max(f32::MIN_POSITIVE),
+        }
+    }
+
+    /// Forward transform to standardised units.
+    pub fn transform(&self, y: f32) -> f32 {
+        (y - self.mean) / self.std
+    }
+
+    /// Inverse transform back to original units.
+    pub fn inverse(&self, y_std: f32) -> f32 {
+        y_std * self.std + self.mean
+    }
+
+    /// Converts an MSE measured in standardised units back to original
+    /// units (multiplies by σ²).
+    pub fn inverse_mse(&self, mse_std: f32) -> f32 {
+        mse_std * self.std * self.std
+    }
+
+    /// The fitted mean.
+    pub fn mean(&self) -> f32 {
+        self.mean
+    }
+
+    /// The fitted standard deviation.
+    pub fn std(&self) -> f32 {
+        self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "t",
+            vec![
+                vec![1.0, 10.0, 5.0],
+                vec![2.0, 20.0, 5.0],
+                vec![3.0, 30.0, 5.0],
+            ],
+            vec![1.0, 2.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn transform_centers_and_scales() {
+        let ds = toy();
+        let s = Standardizer::fit(&ds);
+        let out = s.transform(&ds);
+        for j in 0..2 {
+            let col: Vec<f32> = out.features.iter().map(|r| r[j]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 3.0;
+            let var: f32 = col.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-6, "col {j} mean = {mean}");
+            assert!((var - 1.0).abs() < 1e-5, "col {j} var = {var}");
+        }
+    }
+
+    #[test]
+    fn constant_feature_passes_centred() {
+        let ds = toy();
+        let s = Standardizer::fit(&ds);
+        let out = s.transform(&ds);
+        // Third column is constant 5.0 → centred to 0, not divided by 0.
+        for row in &out.features {
+            assert_eq!(row[2], 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_preserves_targets() {
+        let ds = toy();
+        let out = Standardizer::fit(&ds).transform(&ds);
+        assert_eq!(out.targets, ds.targets);
+    }
+
+    #[test]
+    fn fitted_on_train_applies_to_test() {
+        let train = toy();
+        let s = Standardizer::fit(&train);
+        let row = s.transform_row(&[2.0, 20.0, 5.0]);
+        // Middle point of each non-constant feature → 0.
+        assert!(row[0].abs() < 1e-6);
+        assert!(row[1].abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn fit_empty_panics() {
+        Standardizer::fit(&Dataset::new("e", vec![], vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted on 3 features")]
+    fn width_mismatch_panics() {
+        let s = Standardizer::fit(&toy());
+        s.transform_row(&[1.0]);
+    }
+
+    #[test]
+    fn target_scaler_roundtrip() {
+        let t = [10.0f32, 20.0, 30.0, 40.0];
+        let s = TargetScaler::fit(&t);
+        for &y in &t {
+            assert!((s.inverse(s.transform(y)) - y).abs() < 1e-4);
+        }
+        assert!((s.mean() - 25.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn target_scaler_standardizes() {
+        let t = [10.0f32, 20.0, 30.0, 40.0];
+        let s = TargetScaler::fit(&t);
+        let z: Vec<f32> = t.iter().map(|&y| s.transform(y)).collect();
+        let mean: f32 = z.iter().sum::<f32>() / 4.0;
+        let var: f32 = z.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_mse_scales_by_variance() {
+        let t = [0.0f32, 2.0];
+        let s = TargetScaler::fit(&t); // std = 1
+        assert!((s.inverse_mse(0.5) - 0.5).abs() < 1e-6);
+        let t2 = [0.0f32, 20.0];
+        let s2 = TargetScaler::fit(&t2); // std = 10
+        assert!((s2.inverse_mse(0.5) - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn constant_targets_do_not_divide_by_zero() {
+        let s = TargetScaler::fit(&[3.0, 3.0, 3.0]);
+        assert!(s.transform(3.0).is_finite());
+        assert!(s.inverse(0.0).is_finite());
+    }
+}

@@ -1,0 +1,180 @@
+//! Train/test splitting and cross-validation folds.
+
+use crate::Dataset;
+use hdc::rng::HdRng;
+
+/// Shuffles indices `0..n` with a seeded Fisher–Yates.
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = HdRng::seed_from(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.next_below(i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Splits a dataset into `(train, test)` with the given test fraction,
+/// shuffling deterministically by `seed`.
+///
+/// The test set receives `round(n · test_fraction)` samples, clamped so both
+/// sides are nonempty whenever `n ≥ 2`.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is not within `(0, 1)` or the dataset has fewer
+/// than 2 samples.
+///
+/// # Examples
+///
+/// ```
+/// use datasets::{Dataset, split::train_test_split};
+///
+/// let ds = Dataset::new(
+///     "toy",
+///     (0..10).map(|i| vec![i as f32]).collect(),
+///     (0..10).map(|i| i as f32).collect(),
+/// );
+/// let (train, test) = train_test_split(&ds, 0.3, 1);
+/// assert_eq!(test.len(), 3);
+/// assert_eq!(train.len(), 7);
+/// ```
+pub fn train_test_split(ds: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0,1)"
+    );
+    assert!(ds.len() >= 2, "need at least 2 samples to split");
+    let n = ds.len();
+    let mut n_test = ((n as f64) * test_fraction).round() as usize;
+    n_test = n_test.clamp(1, n - 1);
+    let idx = shuffled_indices(n, seed);
+    let test = ds.select(&idx[..n_test]);
+    let train = ds.select(&idx[n_test..]);
+    (train, test)
+}
+
+/// Produces `k` cross-validation folds as `(train, validation)` pairs.
+/// Fold sizes differ by at most one sample; every sample appears in exactly
+/// one validation fold.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > ds.len()`.
+pub fn k_fold(ds: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(k <= ds.len(), "k cannot exceed the sample count");
+    let idx = shuffled_indices(ds.len(), seed);
+    let mut folds = Vec::with_capacity(k);
+    let base = ds.len() / k;
+    let extra = ds.len() % k;
+    let mut start = 0usize;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let val_idx = &idx[start..start + size];
+        let train_idx: Vec<usize> = idx[..start]
+            .iter()
+            .chain(&idx[start + size..])
+            .copied()
+            .collect();
+        folds.push((ds.select(&train_idx), ds.select(val_idx)));
+        start += size;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::new(
+            "toy",
+            (0..n).map(|i| vec![i as f32]).collect(),
+            (0..n).map(|i| i as f32).collect(),
+        )
+    }
+
+    #[test]
+    fn split_sizes() {
+        let ds = toy(100);
+        let (train, test) = train_test_split(&ds, 0.2, 42);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+    }
+
+    #[test]
+    fn split_is_partition() {
+        let ds = toy(50);
+        let (train, test) = train_test_split(&ds, 0.3, 7);
+        let mut all: Vec<f32> = train.targets.iter().chain(&test.targets).copied().collect();
+        all.sort_by(f32::total_cmp);
+        let expect: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn split_deterministic_by_seed() {
+        let ds = toy(30);
+        let (a1, _) = train_test_split(&ds, 0.25, 9);
+        let (a2, _) = train_test_split(&ds, 0.25, 9);
+        let (b, _) = train_test_split(&ds, 0.25, 10);
+        assert_eq!(a1.targets, a2.targets);
+        assert_ne!(a1.targets, b.targets);
+    }
+
+    #[test]
+    fn split_never_empty() {
+        let ds = toy(2);
+        let (train, test) = train_test_split(&ds, 0.01, 1);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+        let (train, test) = train_test_split(&ds, 0.99, 1);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn bad_fraction_panics() {
+        train_test_split(&toy(10), 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 samples")]
+    fn tiny_dataset_panics() {
+        train_test_split(&toy(1), 0.5, 0);
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let ds = toy(23);
+        let folds = k_fold(&ds, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut val_targets: Vec<f32> = folds
+            .iter()
+            .flat_map(|(_, v)| v.targets.clone())
+            .collect();
+        val_targets.sort_by(f32::total_cmp);
+        let expect: Vec<f32> = (0..23).map(|i| i as f32).collect();
+        assert_eq!(val_targets, expect);
+        // Each fold's train+val is the full set.
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 23);
+        }
+    }
+
+    #[test]
+    fn k_fold_sizes_balanced() {
+        let folds = k_fold(&toy(10), 3, 1);
+        let sizes: Vec<usize> = folds.iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn k_fold_k1_panics() {
+        k_fold(&toy(10), 1, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the datasets crate.
+
+use datasets::csv::parse_csv;
+use datasets::metrics::{mae, mse, r2, rmse};
+use datasets::normalize::{Standardizer, TargetScaler};
+use datasets::split::{k_fold, train_test_split};
+use datasets::Dataset;
+use proptest::prelude::*;
+
+fn dataset(rows: usize, cols: usize) -> impl Strategy<Value = Dataset> {
+    (
+        prop::collection::vec(prop::collection::vec(-100.0f32..100.0, cols), rows),
+        prop::collection::vec(-100.0f32..100.0, rows),
+    )
+        .prop_map(|(features, targets)| Dataset::new("prop", features, targets))
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip(ds in dataset(8, 3)) {
+        // Serialise to CSV text and parse back.
+        let mut text = String::from("f0,f1,f2,target\n");
+        for (row, &y) in ds.features.iter().zip(&ds.targets) {
+            text.push_str(&format!("{},{},{},{}\n", row[0], row[1], row[2], y));
+        }
+        let parsed = parse_csv(&text, "prop").unwrap();
+        prop_assert_eq!(parsed.len(), ds.len());
+        for i in 0..ds.len() {
+            for j in 0..3 {
+                prop_assert!((parsed.features[i][j] - ds.features[i][j]).abs()
+                    <= ds.features[i][j].abs() * 1e-5 + 1e-4);
+            }
+            prop_assert!((parsed.targets[i] - ds.targets[i]).abs()
+                <= ds.targets[i].abs() * 1e-5 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn split_partitions_samples(ds in dataset(20, 2), frac in 0.1f64..0.9, seed in any::<u64>()) {
+        let (train, test) = train_test_split(&ds, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), ds.len());
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+        // Multiset of targets is preserved.
+        let mut all: Vec<f32> = train.targets.iter().chain(&test.targets).copied().collect();
+        let mut orig = ds.targets.clone();
+        all.sort_by(f32::total_cmp);
+        orig.sort_by(f32::total_cmp);
+        prop_assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn k_fold_validation_sets_partition(ds in dataset(17, 2), k in 2usize..6, seed in any::<u64>()) {
+        let folds = k_fold(&ds, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let total_val: usize = folds.iter().map(|(_, v)| v.len()).sum();
+        prop_assert_eq!(total_val, ds.len());
+        for (train, val) in &folds {
+            prop_assert_eq!(train.len() + val.len(), ds.len());
+        }
+    }
+
+    #[test]
+    fn standardizer_output_is_centered(ds in dataset(12, 3)) {
+        let s = Standardizer::fit(&ds);
+        let out = s.transform(&ds);
+        for j in 0..3 {
+            let mean: f64 = out.features.iter().map(|r| r[j] as f64).sum::<f64>() / 12.0;
+            prop_assert!(mean.abs() < 1e-3, "column {} mean {}", j, mean);
+        }
+    }
+
+    #[test]
+    fn target_scaler_preserves_ordering(ys in prop::collection::vec(-1e3f32..1e3, 3..30)) {
+        let s = TargetScaler::fit(&ys);
+        for w in ys.windows(2) {
+            let (a, b) = (s.transform(w[0]), s.transform(w[1]));
+            prop_assert_eq!(a <= b, w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn mse_bounds_and_relations(
+        pairs in prop::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 1..40)
+    ) {
+        let (p, t): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let m = mse(&p, &t);
+        let r = rmse(&p, &t);
+        let a = mae(&p, &t);
+        prop_assert!(m >= 0.0);
+        prop_assert!((r * r - m).abs() <= 1e-2_f32.max(m * 1e-4));
+        // Jensen: MAE ≤ RMSE.
+        prop_assert!(a <= r + 1e-4);
+    }
+
+    #[test]
+    fn r2_of_exact_predictions_is_one(ys in prop::collection::vec(-10.0f32..10.0, 2..30)) {
+        // Skip degenerate constant targets.
+        let spread = ys.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+            - ys.iter().cloned().fold(f32::INFINITY, f32::min);
+        prop_assume!(spread > 0.1);
+        prop_assert!((r2(&ys, &ys) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn select_preserves_rows(ds in dataset(10, 2), idx in prop::collection::vec(0usize..10, 0..10)) {
+        let sub = ds.select(&idx);
+        prop_assert_eq!(sub.len(), idx.len());
+        for (si, &oi) in idx.iter().enumerate() {
+            prop_assert_eq!(&sub.features[si], &ds.features[oi]);
+            prop_assert_eq!(sub.targets[si], ds.targets[oi]);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Classic ID–level record encoding from the pre-RegHD HDC literature.
+//!
+//! Each feature position `k` gets a random **ID hypervector** and each
+//! quantised feature *value* gets a **level hypervector**. Level
+//! hypervectors form a flip-chain: `L_0` is random and each subsequent level
+//! flips a fixed fraction of fresh positions, so nearby quantisation levels
+//! stay similar while the extreme levels are nearly orthogonal. A record is
+//! encoded by binding each ID with its value's level and bundling:
+//!
+//! ```text
+//! H = Σ_k  ID_k ⊛ L(quantize(f_k))
+//! ```
+//!
+//! This is the encoding the Baseline-HD comparator (paper ref. \[18\]) builds
+//! on; RegHD's Table 1 shows its discrete nature is what makes HD
+//! *classification*-based regression inaccurate.
+
+use crate::Encoder;
+use hdc::rng::HdRng;
+use hdc::{BipolarHv, RealHv};
+
+/// ID–level encoder with `levels` quantisation steps over a fixed value
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use encoding::{Encoder, IdLevelEncoder};
+///
+/// let enc = IdLevelEncoder::new(3, 2048, 16, (-1.0, 1.0), 5);
+/// let h = enc.encode(&[0.0, 0.5, -0.5]);
+/// assert_eq!(h.dim(), 2048);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdLevelEncoder {
+    ids: Vec<BipolarHv>,
+    levels: Vec<BipolarHv>,
+    range: (f32, f32),
+    input_dim: usize,
+    dim: usize,
+}
+
+impl IdLevelEncoder {
+    /// Creates an ID–level encoder.
+    ///
+    /// `levels` is the number of quantisation steps; `range = (lo, hi)` is
+    /// the value interval mapped onto the level chain (values outside clamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0`, `dim == 0`, `levels < 2`, or
+    /// `range.0 >= range.1`.
+    pub fn new(
+        input_dim: usize,
+        dim: usize,
+        levels: usize,
+        range: (f32, f32),
+        seed: u64,
+    ) -> Self {
+        assert!(input_dim > 0, "input_dim must be nonzero");
+        assert!(dim > 0, "dim must be nonzero");
+        assert!(levels >= 2, "need at least 2 levels");
+        assert!(range.0 < range.1, "range must be nonempty");
+        let mut rng = HdRng::seed_from(seed);
+        let ids = (0..input_dim)
+            .map(|_| BipolarHv::random(dim, &mut rng))
+            .collect();
+
+        // Flip-chain of level hypervectors: L_{i+1} flips `dim/(2(levels-1))`
+        // fresh positions of L_i, so L_0 and L_{levels-1} differ in ~dim/2
+        // positions (nearly orthogonal), with similarity linear in level gap.
+        let mut levels_vec = Vec::with_capacity(levels);
+        let mut current: Vec<i8> = BipolarHv::random(dim, &mut rng).as_slice().to_vec();
+        levels_vec.push(BipolarHv::from_vec(current.clone()));
+        let flips_per_step = dim / (2 * (levels - 1));
+        // Shuffle all indices once; consume a fresh block per step so no
+        // position flips twice (keeps the similarity profile exactly linear).
+        let mut order: Vec<usize> = (0..dim).collect();
+        for i in (1..dim).rev() {
+            let j = rng.next_below(i + 1);
+            order.swap(i, j);
+        }
+        let mut cursor = 0usize;
+        for _ in 1..levels {
+            for _ in 0..flips_per_step {
+                if cursor < dim {
+                    current[order[cursor]] = -current[order[cursor]];
+                    cursor += 1;
+                }
+            }
+            levels_vec.push(BipolarHv::from_vec(current.clone()));
+        }
+
+        Self {
+            ids,
+            levels: levels_vec,
+            range,
+            input_dim,
+            dim,
+        }
+    }
+
+    /// Number of quantisation levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Maps a raw feature value to its quantisation level index.
+    pub fn quantize(&self, value: f32) -> usize {
+        let (lo, hi) = self.range;
+        let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let idx = (t * (self.levels.len() - 1) as f32).round() as usize;
+        idx.min(self.levels.len() - 1)
+    }
+}
+
+impl Encoder for IdLevelEncoder {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode(&self, features: &[f32]) -> RealHv {
+        assert_eq!(
+            features.len(),
+            self.input_dim,
+            "encode: expected {} features, got {}",
+            self.input_dim,
+            features.len()
+        );
+        let mut out = vec![0.0f32; self.dim];
+        for (k, &f) in features.iter().enumerate() {
+            let level = &self.levels[self.quantize(f)];
+            let id = self.ids[k].as_slice();
+            let lv = level.as_slice();
+            for d in 0..self.dim {
+                out[d] += (id[d] * lv[d]) as f32;
+            }
+        }
+        RealHv::from_vec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::similarity::cosine;
+
+    fn enc() -> IdLevelEncoder {
+        IdLevelEncoder::new(4, 4096, 32, (-1.0, 1.0), 7)
+    }
+
+    #[test]
+    fn quantize_maps_range() {
+        let e = enc();
+        assert_eq!(e.quantize(-1.0), 0);
+        assert_eq!(e.quantize(1.0), 31);
+        assert_eq!(e.quantize(0.0), 16); // rounds to middle
+        // Clamps outside the range.
+        assert_eq!(e.quantize(-5.0), 0);
+        assert_eq!(e.quantize(5.0), 31);
+    }
+
+    #[test]
+    fn level_chain_similarity_linear_in_gap() {
+        let e = IdLevelEncoder::new(1, 8192, 16, (0.0, 1.0), 3);
+        // Level i vs level 0: similarity should decay ~linearly.
+        let l = |i: usize| e.levels[i].to_real();
+        let s1 = cosine(&l(0), &l(1));
+        let s8 = cosine(&l(0), &l(8));
+        let s15 = cosine(&l(0), &l(15));
+        assert!(s1 > s8 && s8 > s15, "{s1} {s8} {s15}");
+        // Extremes nearly orthogonal (dim/2 flips).
+        assert!(s15.abs() < 0.1, "s15 = {s15}");
+        // One step flips dim/(2·15) bits → similarity ≈ 1 − 2/15·... ≈ 0.93.
+        assert!(s1 > 0.9, "s1 = {s1}");
+    }
+
+    #[test]
+    fn nearby_values_similar_far_values_not() {
+        let e = enc();
+        let h = e.encode(&[0.0, 0.0, 0.0, 0.0]);
+        let near = e.encode(&[0.05, -0.05, 0.05, 0.0]);
+        let far = e.encode(&[0.9, -0.9, 0.9, -0.9]);
+        assert!(cosine(&h, &near) > 0.8);
+        assert!(cosine(&h, &near) > cosine(&h, &far) + 0.3);
+    }
+
+    #[test]
+    fn discrete_plateaus() {
+        // Values that quantise to the same level encode identically — the
+        // discreteness that hurts Baseline-HD's regression accuracy.
+        let e = IdLevelEncoder::new(1, 512, 4, (0.0, 1.0), 1);
+        let a = e.encode(&[0.10]);
+        let b = e.encode(&[0.12]); // same level in a 4-level scheme
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = IdLevelEncoder::new(2, 256, 8, (0.0, 1.0), 5);
+        let b = IdLevelEncoder::new(2, 256, 8, (0.0, 1.0), 5);
+        assert_eq!(a.encode(&[0.3, 0.7]), b.encode(&[0.3, 0.7]));
+    }
+
+    #[test]
+    fn feature_positions_are_distinguished() {
+        // Swapping values between positions must change the encoding,
+        // because each position has its own ID hypervector.
+        let e = enc();
+        let ab = e.encode(&[1.0, -1.0, 0.0, 0.0]);
+        let ba = e.encode(&[-1.0, 1.0, 0.0, 0.0]);
+        assert!(cosine(&ab, &ba) < 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 levels")]
+    fn one_level_panics() {
+        IdLevelEncoder::new(1, 64, 1, (0.0, 1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be nonempty")]
+    fn bad_range_panics() {
+        IdLevelEncoder::new(1, 64, 4, (1.0, 1.0), 0);
+    }
+
+    #[test]
+    fn level_count_accessor() {
+        assert_eq!(enc().level_count(), 32);
+    }
+}

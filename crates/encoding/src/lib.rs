@@ -1,0 +1,135 @@
+//! # encoding — similarity-preserving HD encoders
+//!
+//! Implements the encoding stage of the RegHD pipeline (paper §2.2): mapping
+//! an `n`-dimensional feature vector into a `D`-dimensional hypervector such
+//! that inputs that are close in the original space stay close in HD space
+//! and unrelated inputs become nearly orthogonal ("the common-sense
+//! principle").
+//!
+//! Five encoders are provided:
+//!
+//! * [`NonlinearEncoder`] — RegHD's default, the paper's Eq. 1 map
+//!   `H[d] = cos(⟨F, W_d⟩ + b[d]) · sin(⟨F, W_d⟩)` over a Gaussian
+//!   projection (see that module's docs for the relation to the printed
+//!   per-feature bipolar form, which is representationally degenerate).
+//! * [`RffEncoder`] — the widely used random-Fourier-feature variant
+//!   `H[d] = cos(w_d·F + b_d)`; kept for ablation against Eq. 1.
+//! * [`ProjectionEncoder`] — plain signed random projection (no
+//!   nonlinearity); isolates the contribution of the trigonometric
+//!   nonlinearity in ablations.
+//! * [`IdLevelEncoder`] — the classic ID–level HDC record encoding used by
+//!   pre-RegHD classification systems; it is the substrate for the
+//!   Baseline-HD comparator (paper ref. \[18\]).
+//! * [`TemporalEncoder`] — permutation-binding window encoder turning any
+//!   of the above into a sequence/time-series encoder.
+//!
+//! [`EncoderSpec`] gives every encoder a compact serialisable description
+//! (used by `reghd::persist`).
+//!
+//! All encoders implement the object-safe [`Encoder`] trait and are fully
+//! deterministic given a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use encoding::{Encoder, NonlinearEncoder};
+//!
+//! let enc = NonlinearEncoder::new(4, 2048, 7);
+//! let h = enc.encode(&[0.1, -0.4, 0.9, 0.0]);
+//! assert_eq!(h.dim(), 2048);
+//!
+//! // Similarity preservation: a nearby input encodes to a similar
+//! // hypervector, a far one to a dissimilar one.
+//! let near = enc.encode(&[0.12, -0.41, 0.88, 0.01]);
+//! let far = enc.encode(&[-3.0, 2.5, -1.7, 4.0]);
+//! let sim_near = hdc::similarity::cosine(&h, &near);
+//! let sim_far = hdc::similarity::cosine(&h, &far);
+//! assert!(sim_near > sim_far);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod id_level;
+pub mod nonlinear;
+pub mod projection;
+pub mod rff;
+pub mod spec;
+pub mod temporal;
+
+pub use id_level::IdLevelEncoder;
+pub use nonlinear::NonlinearEncoder;
+pub use projection::ProjectionEncoder;
+pub use rff::RffEncoder;
+pub use spec::EncoderSpec;
+pub use temporal::TemporalEncoder;
+
+use hdc::{BinaryHv, RealHv};
+
+/// A similarity-preserving map from feature vectors to hypervectors.
+///
+/// Implementations are deterministic: encoding the same input twice yields
+/// exactly the same hypervector. The trait is object-safe so learners can
+/// hold `Box<dyn Encoder>`.
+pub trait Encoder: Send + Sync {
+    /// Number of input features `n` the encoder expects.
+    fn input_dim(&self) -> usize;
+
+    /// Hypervector dimensionality `D` this encoder produces.
+    fn dim(&self) -> usize;
+
+    /// Encodes a feature vector into a real hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.input_dim()`.
+    fn encode(&self, features: &[f32]) -> RealHv;
+
+    /// Encodes into the binary (sign-quantised) form used by the
+    /// quantized-prediction modes of §3.2. The default implementation
+    /// binarises [`Encoder::encode`]; implementations may override with a
+    /// cheaper direct path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.input_dim()`.
+    fn encode_binary(&self, features: &[f32]) -> BinaryHv {
+        self.encode(features).binarize()
+    }
+
+    /// Encodes into both precisions at once — RegHD's quantized training
+    /// keeps integer and binary copies of each encoded point (§3.1), and
+    /// producing them together avoids a second pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.input_dim()`.
+    fn encode_both(&self, features: &[f32]) -> (RealHv, BinaryHv) {
+        let real = self.encode(features);
+        let binary = real.binarize();
+        (real, binary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_is_object_safe() {
+        let enc: Box<dyn Encoder> = Box::new(NonlinearEncoder::new(3, 256, 1));
+        assert_eq!(enc.input_dim(), 3);
+        assert_eq!(enc.dim(), 256);
+        let h = enc.encode(&[0.0, 1.0, -1.0]);
+        assert_eq!(h.dim(), 256);
+    }
+
+    #[test]
+    fn encode_both_agrees_with_parts() {
+        let enc = NonlinearEncoder::new(2, 128, 5);
+        let x = [0.3, -0.6];
+        let (real, binary) = enc.encode_both(&x);
+        assert_eq!(real, enc.encode(&x));
+        assert_eq!(binary, enc.encode_binary(&x));
+    }
+}

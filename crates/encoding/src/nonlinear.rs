@@ -1,0 +1,296 @@
+//! RegHD's similarity-preserving nonlinear encoder (paper §2.2, Eq. 1).
+//!
+//! For an input `F = {f_1, …, f_n}` the encoded hypervector is
+//!
+//! ```text
+//! H[d] = cos(⟨F, W_d⟩ + b[d]) · sin(⟨F, W_d⟩)
+//! ```
+//!
+//! where `W_d` is a random Gaussian projection row and `b` a random phase
+//! hypervector drawn uniformly from `[0, 2π)`.
+//!
+//! ### Relation to the printed Eq. 1
+//!
+//! The paper prints the encoder as a per-feature sum
+//! `Σ_k cos(f_k·B_k[d] + b[d])·sin(f_k·B_k[d])` over *bipolar* base
+//! hypervectors `B_k ∈ {−1,+1}^D`. Taken literally, that form is
+//! representationally degenerate: because `B_k[d] = ±1`, every component
+//! sees the same unit frequency, so the span of the map collapses to
+//! `{sin(f_k), cos(f_k)}` per feature — it cannot fit even a linear target
+//! accurately. The authors' released implementations of this encoder
+//! (e.g. the RegHD model in `torchhd`) use the Gaussian-projection form
+//! above, which is what we implement; the literal printed form is available
+//! in the ablation suite through [`crate::ProjectionEncoder`] composition
+//! and is discussed in `DESIGN.md`.
+//!
+//! The product expands to `½·sin(2p + b) − ½·sin(b)` with `p = ⟨F, W_d⟩`:
+//! a phase-shifted random Fourier feature at twice the projection frequency
+//! plus an input-independent bias. The RFF part makes the map
+//! similarity-preserving (§2.2's common-sense principle); the bias is an
+//! artefact that downstream learners remove by mean-centring (see
+//! `reghd::RegHdConfig::center_encodings`).
+
+use crate::Encoder;
+use hdc::rng::HdRng;
+use hdc::RealHv;
+
+/// RegHD's default encoder: Gaussian projection through the
+/// `cos(p + b)·sin(p)` nonlinearity.
+///
+/// Inputs are assumed standardised (zero mean, unit variance per feature);
+/// the projection variance is `1/n` so the projected scalar `p` has unit
+/// variance regardless of the feature count.
+///
+/// # Examples
+///
+/// ```
+/// use encoding::{Encoder, NonlinearEncoder};
+///
+/// let enc = NonlinearEncoder::new(3, 1024, 42);
+/// let a = enc.encode(&[0.5, 0.2, -0.1]);
+/// let b = enc.encode(&[0.5, 0.2, -0.1]);
+/// assert_eq!(a, b); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct NonlinearEncoder {
+    /// Row-major Gaussian projection matrix: `dim` rows × `input_dim`.
+    weights: Vec<f32>,
+    /// `b`: random phase offsets, uniform in `[0, 2π)`.
+    phases: Vec<f32>,
+    input_dim: usize,
+    dim: usize,
+}
+
+impl NonlinearEncoder {
+    /// Creates an encoder for `input_dim` features producing `dim`-wide
+    /// hypervectors, with all randomness derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0` or `dim == 0`.
+    pub fn new(input_dim: usize, dim: usize, seed: u64) -> Self {
+        assert!(input_dim > 0, "input_dim must be nonzero");
+        assert!(dim > 0, "dim must be nonzero");
+        let mut rng = HdRng::seed_from(seed);
+        let scale = 1.0 / (input_dim as f32).sqrt();
+        let weights = (0..dim * input_dim)
+            .map(|_| scale * rng.next_gaussian() as f32)
+            .collect();
+        let phases = (0..dim)
+            .map(|_| (rng.next_f64() * std::f64::consts::TAU) as f32)
+            .collect();
+        Self {
+            weights,
+            phases,
+            input_dim,
+            dim,
+        }
+    }
+
+    /// The random phase hypervector `b`.
+    pub fn phases(&self) -> &[f32] {
+        &self.phases
+    }
+
+    /// The projection row `W_d` for output component `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= dim()`.
+    pub fn projection_row(&self, d: usize) -> &[f32] {
+        assert!(d < self.dim, "component index {d} out of range {}", self.dim);
+        &self.weights[d * self.input_dim..(d + 1) * self.input_dim]
+    }
+}
+
+impl Encoder for NonlinearEncoder {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode(&self, features: &[f32]) -> RealHv {
+        assert_eq!(
+            features.len(),
+            self.input_dim,
+            "encode: expected {} features, got {}",
+            self.input_dim,
+            features.len()
+        );
+        let mut out = Vec::with_capacity(self.dim);
+        for d in 0..self.dim {
+            let row = &self.weights[d * self.input_dim..(d + 1) * self.input_dim];
+            let p: f32 = row.iter().zip(features).map(|(&w, &f)| w * f).sum();
+            out.push((p + self.phases[d]).cos() * p.sin());
+        }
+        RealHv::from_vec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::similarity::cosine;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = NonlinearEncoder::new(4, 512, 9);
+        let b = NonlinearEncoder::new(4, 512, 9);
+        let x = [0.1, 0.7, -0.3, 0.0];
+        assert_eq!(a.encode(&x), b.encode(&x));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NonlinearEncoder::new(4, 512, 1);
+        let b = NonlinearEncoder::new(4, 512, 2);
+        let x = [0.1, 0.7, -0.3, 0.0];
+        assert_ne!(a.encode(&x), b.encode(&x));
+    }
+
+    #[test]
+    fn similarity_preservation() {
+        // The common-sense principle of §2.2: closer inputs → more similar
+        // hypervectors, monotone in input distance.
+        let enc = NonlinearEncoder::new(6, 4096, 3);
+        let x0 = [0.2, -0.1, 0.5, 0.8, -0.6, 0.3];
+        let h0 = enc.encode(&x0);
+        let mut prev_sim = 1.0f32;
+        for eps in [0.01f32, 0.1, 0.5, 2.0] {
+            let xe: Vec<f32> = x0.iter().map(|&v| v + eps).collect();
+            let sim = cosine(&h0, &enc.encode(&xe));
+            assert!(
+                sim < prev_sim + 0.02,
+                "similarity should decay with distance: eps={eps} sim={sim} prev={prev_sim}"
+            );
+            prev_sim = sim;
+        }
+        // Tiny perturbation stays very similar.
+        let near: Vec<f32> = x0.iter().map(|&v| v + 0.01).collect();
+        assert!(cosine(&h0, &enc.encode(&near)) > 0.95);
+    }
+
+    #[test]
+    fn distant_inputs_decorrelate_relative_to_near() {
+        // The product expands to ½·sin(2p+b) − ½·sin(b): the second term is
+        // a constant per-component bias shared by every encoding, so two
+        // unrelated inputs retain a baseline similarity rather than 0. What
+        // matters for learning is the *relative* decay, asserted here.
+        let enc = NonlinearEncoder::new(8, 4096, 11);
+        let mut rng = HdRng::seed_from(99);
+        let a: Vec<f32> = (0..8).map(|_| rng.next_gaussian() as f32 * 3.0).collect();
+        let b: Vec<f32> = (0..8).map(|_| rng.next_gaussian() as f32 * 3.0).collect();
+        let near: Vec<f32> = a.iter().map(|&v| v + 0.02).collect();
+        let ha = enc.encode(&a);
+        let sim_far = cosine(&ha, &enc.encode(&b));
+        let sim_near = cosine(&ha, &enc.encode(&near));
+        assert!(sim_far < 0.9, "sim_far = {sim_far}");
+        assert!(sim_near > sim_far + 0.05, "near={sim_near} far={sim_far}");
+    }
+
+    #[test]
+    fn zero_input_encodes_to_zero() {
+        // With p = 0: sin(0) = 0, so every component vanishes — a
+        // structural property of the cos·sin form.
+        let enc = NonlinearEncoder::new(3, 256, 4);
+        let h = enc.encode(&[0.0, 0.0, 0.0]);
+        assert!(h.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn output_components_bounded_by_one() {
+        let enc = NonlinearEncoder::new(5, 512, 8);
+        let h = enc.encode(&[10.0, -20.0, 3.0, 0.5, 100.0]);
+        assert!(h.max_abs() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 features")]
+    fn wrong_feature_count_panics() {
+        NonlinearEncoder::new(3, 64, 0).encode(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input_dim must be nonzero")]
+    fn zero_input_dim_panics() {
+        NonlinearEncoder::new(0, 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be nonzero")]
+    fn zero_dim_panics() {
+        NonlinearEncoder::new(3, 0, 0);
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let enc = NonlinearEncoder::new(3, 128, 0);
+        assert_eq!(enc.projection_row(0).len(), 3);
+        assert_eq!(enc.phases().len(), 128);
+        assert!(enc
+            .phases()
+            .iter()
+            .all(|&p| (0.0..std::f32::consts::TAU + 1e-4).contains(&p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn projection_row_out_of_range_panics() {
+        NonlinearEncoder::new(3, 16, 0).projection_row(16);
+    }
+
+    #[test]
+    fn matches_reference_formula() {
+        // Independent scalar implementation of the encoder map.
+        let enc = NonlinearEncoder::new(2, 16, 123);
+        let x = [0.4f32, -0.9];
+        let h = enc.encode(&x);
+        for d in 0..16 {
+            let row = enc.projection_row(d);
+            let p = row[0] * x[0] + row[1] * x[1];
+            let expect = (p + enc.phases()[d]).cos() * p.sin();
+            assert!((h.as_slice()[d] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn projection_variance_is_feature_count_invariant() {
+        // The 1/sqrt(n) weight scale keeps ⟨F, W_d⟩ at unit variance for
+        // standardised inputs regardless of n.
+        for n in [2usize, 8, 32] {
+            let enc = NonlinearEncoder::new(n, 4096, 7);
+            let mut rng = HdRng::seed_from(n as u64);
+            let x: Vec<f32> = (0..n).map(|_| rng.next_gaussian() as f32).collect();
+            let var: f64 = (0..4096)
+                .map(|d| {
+                    let p: f32 = enc
+                        .projection_row(d)
+                        .iter()
+                        .zip(&x)
+                        .map(|(&w, &f)| w * f)
+                        .sum();
+                    (p as f64) * (p as f64)
+                })
+                .sum::<f64>()
+                / 4096.0;
+            assert!(
+                (0.2..5.0).contains(&var),
+                "n={n}: projected variance {var} far from 1"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_encoding_is_sign_of_real() {
+        let enc = NonlinearEncoder::new(4, 256, 17);
+        let x = [0.3, 1.0, -0.7, 0.2];
+        let real = enc.encode(&x);
+        let bin = enc.encode_binary(&x);
+        for d in 0..256 {
+            assert_eq!(bin.get(d), real.as_slice()[d] > 0.0);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain random-projection encoder (no nonlinearity).
+//!
+//! `H[d] = Σ_k f_k · B_k[d]` — a linear signed projection through the same
+//! random bipolar base hypervectors as [`crate::NonlinearEncoder`], but with
+//! the trigonometric nonlinearity removed. A linear learner over this
+//! encoding is equivalent to a linear learner over the raw features, so the
+//! gap between this encoder and Eq. 1 in the ablation benches isolates the
+//! value of the encoder's nonlinearity (the property the paper credits for
+//! RegHD "learning a regression model in an efficient and linear way").
+
+use crate::Encoder;
+use hdc::rng::HdRng;
+use hdc::{BipolarHv, RealHv};
+
+/// Linear signed random projection into HD space.
+///
+/// # Examples
+///
+/// ```
+/// use encoding::{Encoder, ProjectionEncoder};
+///
+/// let enc = ProjectionEncoder::new(2, 512, 3);
+/// // Linearity: encode(a + b) == encode(a) + encode(b).
+/// let ab = enc.encode(&[0.3, 0.6]);
+/// let a = enc.encode(&[0.3, 0.0]);
+/// let b = enc.encode(&[0.0, 0.6]);
+/// let sum = a.checked_add(&b)?;
+/// for (x, y) in ab.as_slice().iter().zip(sum.as_slice()) {
+///     assert!((x - y).abs() < 1e-6);
+/// }
+/// # Ok::<(), hdc::DimensionMismatchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProjectionEncoder {
+    bases: Vec<BipolarHv>,
+    input_dim: usize,
+    dim: usize,
+}
+
+impl ProjectionEncoder {
+    /// Creates a projection encoder with seeded random bipolar bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0` or `dim == 0`.
+    pub fn new(input_dim: usize, dim: usize, seed: u64) -> Self {
+        assert!(input_dim > 0, "input_dim must be nonzero");
+        assert!(dim > 0, "dim must be nonzero");
+        let mut rng = HdRng::seed_from(seed);
+        let bases = (0..input_dim)
+            .map(|_| BipolarHv::random(dim, &mut rng))
+            .collect();
+        Self {
+            bases,
+            input_dim,
+            dim,
+        }
+    }
+}
+
+impl Encoder for ProjectionEncoder {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode(&self, features: &[f32]) -> RealHv {
+        assert_eq!(
+            features.len(),
+            self.input_dim,
+            "encode: expected {} features, got {}",
+            self.input_dim,
+            features.len()
+        );
+        let mut out = vec![0.0f32; self.dim];
+        for (k, &f) in features.iter().enumerate() {
+            let base = self.bases[k].as_slice();
+            for (o, &b) in out.iter_mut().zip(base) {
+                *o += f * b as f32;
+            }
+        }
+        RealHv::from_vec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::similarity::cosine;
+
+    #[test]
+    fn linearity() {
+        let enc = ProjectionEncoder::new(3, 256, 1);
+        let a = [0.5f32, -0.2, 0.8];
+        let b = [0.1f32, 0.9, -0.3];
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let h_sum = enc.encode(&sum);
+        let h_parts = enc.encode(&a).checked_add(&enc.encode(&b)).unwrap();
+        for (x, y) in h_sum.as_slice().iter().zip(h_parts.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn preserves_inner_products_in_expectation() {
+        // Johnson–Lindenstrauss-style: <enc(x), enc(y)>/D ≈ <x, y>.
+        let enc = ProjectionEncoder::new(4, 20_000, 2);
+        let x = [1.0f32, 0.5, -0.5, 0.0];
+        let y = [0.2f32, -1.0, 0.3, 0.7];
+        let raw: f32 = x.iter().zip(&y).map(|(&a, &b)| a * b).sum();
+        let emp = enc.encode(&x).dot(&enc.encode(&y)) / 20_000.0;
+        assert!((emp - raw).abs() < 0.1, "raw={raw} emp={emp}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ProjectionEncoder::new(2, 64, 9);
+        let b = ProjectionEncoder::new(2, 64, 9);
+        assert_eq!(a.encode(&[1.0, 2.0]), b.encode(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn similarity_decays() {
+        let enc = ProjectionEncoder::new(3, 4096, 5);
+        let x = [1.0f32, 1.0, 1.0];
+        let h = enc.encode(&x);
+        let near = enc.encode(&[1.1, 0.9, 1.0]);
+        let far = enc.encode(&[-1.0, 2.0, -3.0]);
+        assert!(cosine(&h, &near) > cosine(&h, &far));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 features")]
+    fn wrong_len_panics() {
+        ProjectionEncoder::new(2, 16, 0).encode(&[0.0; 3]);
+    }
+}

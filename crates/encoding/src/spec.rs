@@ -1,0 +1,225 @@
+//! Serializable encoder specifications.
+//!
+//! Every encoder in this crate is **deterministic given its constructor
+//! parameters** (all randomness is derived from the seed), so a trained
+//! model can be persisted by storing the encoder's *specification* rather
+//! than its expanded projection matrices — a few integers instead of
+//! megabytes. [`EncoderSpec`] is that specification; [`EncoderSpec::build`]
+//! reconstructs the identical encoder.
+
+use crate::{Encoder, IdLevelEncoder, NonlinearEncoder, ProjectionEncoder, RffEncoder};
+
+/// A compact, serialisable description of an encoder.
+///
+/// # Examples
+///
+/// ```
+/// use encoding::{Encoder, EncoderSpec};
+///
+/// let spec = EncoderSpec::Nonlinear { input_dim: 4, dim: 512, seed: 9 };
+/// let a = spec.build();
+/// let b = spec.build();
+/// assert_eq!(a.encode(&[0.1, 0.2, 0.3, 0.4]), b.encode(&[0.1, 0.2, 0.3, 0.4]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncoderSpec {
+    /// [`NonlinearEncoder`] — RegHD's default `cos·sin` map.
+    Nonlinear {
+        /// Input feature count.
+        input_dim: usize,
+        /// Hypervector dimensionality.
+        dim: usize,
+        /// Seed all randomness derives from.
+        seed: u64,
+    },
+    /// [`RffEncoder`] — cos-only random Fourier features.
+    Rff {
+        /// Input feature count.
+        input_dim: usize,
+        /// Hypervector dimensionality.
+        dim: usize,
+        /// Kernel length-scale σ.
+        bandwidth: f32,
+        /// Seed all randomness derives from.
+        seed: u64,
+    },
+    /// [`ProjectionEncoder`] — linear signed random projection.
+    Projection {
+        /// Input feature count.
+        input_dim: usize,
+        /// Hypervector dimensionality.
+        dim: usize,
+        /// Seed all randomness derives from.
+        seed: u64,
+    },
+    /// [`IdLevelEncoder`] — classic ID–level record encoding.
+    IdLevel {
+        /// Input feature count.
+        input_dim: usize,
+        /// Hypervector dimensionality.
+        dim: usize,
+        /// Number of quantisation levels.
+        levels: usize,
+        /// Value range mapped onto the level chain.
+        range: (f32, f32),
+        /// Seed all randomness derives from.
+        seed: u64,
+    },
+}
+
+impl EncoderSpec {
+    /// Reconstructs the encoder this spec describes. Deterministic: two
+    /// builds of the same spec encode identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's parameters are invalid (zero dims, bad range —
+    /// the same conditions the underlying constructors reject).
+    pub fn build(&self) -> Box<dyn Encoder> {
+        match *self {
+            EncoderSpec::Nonlinear {
+                input_dim,
+                dim,
+                seed,
+            } => Box::new(NonlinearEncoder::new(input_dim, dim, seed)),
+            EncoderSpec::Rff {
+                input_dim,
+                dim,
+                bandwidth,
+                seed,
+            } => Box::new(RffEncoder::new(input_dim, dim, bandwidth, seed)),
+            EncoderSpec::Projection {
+                input_dim,
+                dim,
+                seed,
+            } => Box::new(ProjectionEncoder::new(input_dim, dim, seed)),
+            EncoderSpec::IdLevel {
+                input_dim,
+                dim,
+                levels,
+                range,
+                seed,
+            } => Box::new(IdLevelEncoder::new(input_dim, dim, levels, range, seed)),
+        }
+    }
+
+    /// The hypervector dimensionality the built encoder will produce.
+    pub fn dim(&self) -> usize {
+        match *self {
+            EncoderSpec::Nonlinear { dim, .. }
+            | EncoderSpec::Rff { dim, .. }
+            | EncoderSpec::Projection { dim, .. }
+            | EncoderSpec::IdLevel { dim, .. } => dim,
+        }
+    }
+
+    /// The input feature count the built encoder will expect.
+    pub fn input_dim(&self) -> usize {
+        match *self {
+            EncoderSpec::Nonlinear { input_dim, .. }
+            | EncoderSpec::Rff { input_dim, .. }
+            | EncoderSpec::Projection { input_dim, .. }
+            | EncoderSpec::IdLevel { input_dim, .. } => input_dim,
+        }
+    }
+
+    /// A stable numeric tag identifying the variant (used by the binary
+    /// persistence format).
+    pub fn kind_tag(&self) -> u8 {
+        match self {
+            EncoderSpec::Nonlinear { .. } => 0,
+            EncoderSpec::Rff { .. } => 1,
+            EncoderSpec::Projection { .. } => 2,
+            EncoderSpec::IdLevel { .. } => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_are_deterministic() {
+        let specs = [
+            EncoderSpec::Nonlinear {
+                input_dim: 3,
+                dim: 128,
+                seed: 1,
+            },
+            EncoderSpec::Rff {
+                input_dim: 3,
+                dim: 128,
+                bandwidth: 1.5,
+                seed: 1,
+            },
+            EncoderSpec::Projection {
+                input_dim: 3,
+                dim: 128,
+                seed: 1,
+            },
+            EncoderSpec::IdLevel {
+                input_dim: 3,
+                dim: 128,
+                levels: 8,
+                range: (-1.0, 1.0),
+                seed: 1,
+            },
+        ];
+        let x = [0.2f32, -0.7, 0.4];
+        for spec in &specs {
+            assert_eq!(spec.build().encode(&x), spec.build().encode(&x));
+            assert_eq!(spec.dim(), 128);
+            assert_eq!(spec.input_dim(), 3);
+        }
+    }
+
+    #[test]
+    fn kind_tags_are_distinct() {
+        let tags = [
+            EncoderSpec::Nonlinear {
+                input_dim: 1,
+                dim: 8,
+                seed: 0,
+            }
+            .kind_tag(),
+            EncoderSpec::Rff {
+                input_dim: 1,
+                dim: 8,
+                bandwidth: 1.0,
+                seed: 0,
+            }
+            .kind_tag(),
+            EncoderSpec::Projection {
+                input_dim: 1,
+                dim: 8,
+                seed: 0,
+            }
+            .kind_tag(),
+            EncoderSpec::IdLevel {
+                input_dim: 1,
+                dim: 8,
+                levels: 2,
+                range: (0.0, 1.0),
+                seed: 0,
+            }
+            .kind_tag(),
+        ];
+        let mut sorted = tags.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn spec_matches_manual_construction() {
+        let spec = EncoderSpec::Nonlinear {
+            input_dim: 2,
+            dim: 64,
+            seed: 42,
+        };
+        let manual = NonlinearEncoder::new(2, 64, 42);
+        let x = [0.5f32, -0.5];
+        assert_eq!(spec.build().encode(&x), manual.encode(&x));
+    }
+}

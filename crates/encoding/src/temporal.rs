@@ -1,0 +1,207 @@
+//! Temporal window encoder: sequences of feature vectors into one
+//! hypervector, via permutation binding.
+//!
+//! HD computing represents *order* by cyclic permutation ρ: the window
+//! `x_{t−W+1}, …, x_t` encodes as
+//!
+//! ```text
+//! H = Σ_{i=0..W-1} ρⁱ( enc(x_{t−i}) )
+//! ```
+//!
+//! where `ρⁱ` rotates the hypervector by `i·stride` positions. Because
+//! rotation is an isometry that decorrelates a hypervector from its
+//! unrotated self, each lag occupies its own "slot" of the space while the
+//! sum remains similarity-preserving in each slot — the standard HD
+//! sequence trick (Kanerva 2009; used by the paper's time-series-flavoured
+//! motivation for IoT streams). This turns RegHD into a time-series
+//! regressor: encode a sliding window, regress the next value.
+
+use crate::Encoder;
+use hdc::RealHv;
+
+/// Encodes a flattened window of `window` consecutive feature vectors by
+/// permutation-binding each lag of an inner encoder's output.
+///
+/// Expects input of length `window × inner.input_dim()`, ordered most
+/// recent first.
+///
+/// # Examples
+///
+/// ```
+/// use encoding::{Encoder, NonlinearEncoder, TemporalEncoder};
+///
+/// let inner = NonlinearEncoder::new(2, 512, 3);
+/// let enc = TemporalEncoder::new(Box::new(inner), 3);
+/// assert_eq!(enc.input_dim(), 6); // 3 timesteps × 2 features
+/// let h = enc.encode(&[0.1, 0.2,  0.0, 0.1,  -0.1, 0.0]);
+/// assert_eq!(h.dim(), 512);
+/// ```
+pub struct TemporalEncoder {
+    inner: Box<dyn Encoder>,
+    window: usize,
+    stride: usize,
+}
+
+impl std::fmt::Debug for TemporalEncoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TemporalEncoder")
+            .field("window", &self.window)
+            .field("inner_dim", &self.inner.dim())
+            .finish()
+    }
+}
+
+impl TemporalEncoder {
+    /// Wraps `inner`, encoding windows of `window` timesteps. The rotation
+    /// stride defaults to 1 position per lag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(inner: Box<dyn Encoder>, window: usize) -> Self {
+        Self::with_stride(inner, window, 1)
+    }
+
+    /// Like [`TemporalEncoder::new`] with an explicit rotation stride per
+    /// lag (larger strides decorrelate lags harder for small `D`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `stride == 0`.
+    pub fn with_stride(inner: Box<dyn Encoder>, window: usize, stride: usize) -> Self {
+        assert!(window > 0, "window must be nonzero");
+        assert!(stride > 0, "stride must be nonzero");
+        Self {
+            inner,
+            window,
+            stride,
+        }
+    }
+
+    /// The window length in timesteps.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Rotates a real hypervector by `shift` positions (cyclic).
+    fn rotate(v: &RealHv, shift: usize) -> RealHv {
+        let data = v.as_slice();
+        let n = data.len();
+        if n == 0 {
+            return v.clone();
+        }
+        let s = shift % n;
+        let mut out = Vec::with_capacity(n);
+        out.extend_from_slice(&data[n - s..]);
+        out.extend_from_slice(&data[..n - s]);
+        RealHv::from_vec(out)
+    }
+}
+
+impl Encoder for TemporalEncoder {
+    fn input_dim(&self) -> usize {
+        self.window * self.inner.input_dim()
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn encode(&self, features: &[f32]) -> RealHv {
+        assert_eq!(
+            features.len(),
+            self.input_dim(),
+            "encode: expected {} features ({} steps × {}), got {}",
+            self.input_dim(),
+            self.window,
+            self.inner.input_dim(),
+            features.len()
+        );
+        let step = self.inner.input_dim();
+        let mut acc = RealHv::zeros(self.dim());
+        for (lag, chunk) in features.chunks(step).enumerate() {
+            let encoded = self.inner.encode(chunk);
+            let rotated = Self::rotate(&encoded, lag * self.stride);
+            acc.add_scaled(&rotated, 1.0);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NonlinearEncoder;
+    use hdc::similarity::cosine;
+
+    fn enc(window: usize) -> TemporalEncoder {
+        TemporalEncoder::new(Box::new(NonlinearEncoder::new(2, 2048, 7)), window)
+    }
+
+    #[test]
+    fn shape_accounting() {
+        let e = enc(4);
+        assert_eq!(e.input_dim(), 8);
+        assert_eq!(e.dim(), 2048);
+        assert_eq!(e.window(), 4);
+    }
+
+    #[test]
+    fn order_matters() {
+        // Swapping two timesteps must change the encoding: permutation
+        // binding distinguishes positions.
+        let e = enc(2);
+        let ab = e.encode(&[1.0, 0.0, 0.0, 1.0]);
+        let ba = e.encode(&[0.0, 1.0, 1.0, 0.0]);
+        let sim = cosine(&ab, &ba);
+        assert!(sim < 0.95, "order-swapped windows too similar: {sim}");
+    }
+
+    #[test]
+    fn similar_windows_stay_similar() {
+        let e = enc(3);
+        let base = [0.5f32, -0.2, 0.4, -0.1, 0.3, 0.0];
+        let near: Vec<f32> = base.iter().map(|&v| v + 0.02).collect();
+        let far = [-1.5f32, 2.0, 1.2, -2.0, 0.9, 1.5];
+        let h = e.encode(&base);
+        assert!(cosine(&h, &e.encode(&near)) > cosine(&h, &e.encode(&far)));
+        assert!(cosine(&h, &e.encode(&near)) > 0.9);
+    }
+
+    #[test]
+    fn rotation_is_cyclic() {
+        let v = RealHv::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let r = TemporalEncoder::rotate(&v, 1);
+        assert_eq!(r.as_slice(), &[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(TemporalEncoder::rotate(&v, 4), v);
+        assert_eq!(TemporalEncoder::rotate(&RealHv::zeros(0), 3).dim(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = enc(3);
+        let b = enc(3);
+        let x = [0.1f32; 6];
+        assert_eq!(a.encode(&x), b.encode(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 features")]
+    fn wrong_window_width_panics() {
+        enc(2).encode(&[0.0; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be nonzero")]
+    fn zero_window_panics() {
+        TemporalEncoder::new(Box::new(NonlinearEncoder::new(2, 64, 0)), 0);
+    }
+
+    #[test]
+    fn single_step_window_matches_inner() {
+        let inner = NonlinearEncoder::new(2, 256, 5);
+        let e = TemporalEncoder::new(Box::new(NonlinearEncoder::new(2, 256, 5)), 1);
+        let x = [0.3f32, -0.6];
+        assert_eq!(e.encode(&x), inner.encode(&x));
+    }
+}

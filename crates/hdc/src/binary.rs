@@ -1,0 +1,369 @@
+//! Bit-packed binary hypervectors.
+//!
+//! The quantized-clustering framework of RegHD §3.1 replaces costly cosine
+//! similarity over integer cluster hypervectors with **Hamming distance over
+//! binary hypervectors**. [`BinaryHv`] stores `D` bits packed into `u64`
+//! words so the Hamming distance of two `D = 4096` hypervectors is 64 XOR +
+//! popcount operations — the hardware-friendliness the paper's efficiency
+//! numbers rest on.
+
+use crate::rng::HdRng;
+use crate::RealHv;
+
+/// A hypervector of `{0,1}` components packed 64 per `u64` word.
+///
+/// Bits beyond `dim` in the last word are always kept zero ("canonical
+/// form"), so whole-word popcount operations need no masking.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::BinaryHv;
+///
+/// let a = BinaryHv::from_bits(4, [true, false, true, true]);
+/// let b = BinaryHv::from_bits(4, [true, true, true, false]);
+/// assert_eq!(hdc::similarity::hamming_distance(&a, &b), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BinaryHv {
+    dim: usize,
+    words: Vec<u64>,
+}
+
+fn words_for(dim: usize) -> usize {
+    dim.div_ceil(64)
+}
+
+impl BinaryHv {
+    /// Creates an all-zero binary hypervector of width `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            dim,
+            words: vec![0; words_for(dim)],
+        }
+    }
+
+    /// Creates a uniformly random binary hypervector.
+    pub fn random(dim: usize, rng: &mut HdRng) -> Self {
+        let mut words: Vec<u64> = (0..words_for(dim)).map(|_| rng.next_u64()).collect();
+        Self::mask_tail(dim, &mut words);
+        Self { dim, words }
+    }
+
+    /// Builds a binary hypervector from an iterator of bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields fewer or more than `dim` items.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(dim: usize, bits: I) -> Self {
+        let mut words = vec![0u64; words_for(dim)];
+        let mut count = 0usize;
+        for (i, bit) in bits.into_iter().enumerate() {
+            assert!(i < dim, "from_bits: more than {dim} bits supplied");
+            if bit {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+            count += 1;
+        }
+        assert_eq!(count, dim, "from_bits: expected {dim} bits, got {count}");
+        Self { dim, words }
+    }
+
+    fn mask_tail(dim: usize, words: &mut [u64]) {
+        let tail = dim % 64;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// The dimensionality `D` in bits.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the vector has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.dim == 0
+    }
+
+    /// The packed words backing the vector.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Bit at position `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= dim()`.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.dim, "bit index {idx} out of range {}", self.dim);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at position `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= dim()`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.dim, "bit index {idx} out of range {}", self.dim);
+        let mask = 1u64 << (idx % 64);
+        if value {
+            self.words[idx / 64] |= mask;
+        } else {
+            self.words[idx / 64] &= !mask;
+        }
+    }
+
+    /// Flips the bit at position `idx` (used by noise injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= dim()`.
+    pub fn flip(&mut self, idx: usize) {
+        assert!(idx < self.dim, "bit index {idx} out of range {}", self.dim);
+        self.words[idx / 64] ^= 1u64 << (idx % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// XOR of two binary hypervectors — the binding operator in the binary
+    /// HD algebra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn xor(&self, other: &BinaryHv) -> BinaryHv {
+        assert_eq!(
+            self.dim, other.dim,
+            "xor: dimension mismatch ({} vs {})",
+            self.dim, other.dim
+        );
+        BinaryHv {
+            dim: self.dim,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| a ^ b)
+                .collect(),
+        }
+    }
+
+    /// Bitwise AND; `a.and(b).count_ones()` is the "bitwise AND dot product"
+    /// used by the binary-query × binary-model prediction mode (§3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn and(&self, other: &BinaryHv) -> BinaryHv {
+        assert_eq!(
+            self.dim, other.dim,
+            "and: dimension mismatch ({} vs {})",
+            self.dim, other.dim
+        );
+        BinaryHv {
+            dim: self.dim,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Interprets the bits as a ±1 vector (bit 1 → `+1.0`, bit 0 → `-1.0`)
+    /// and computes the dot product with a real hypervector. This is the
+    /// multiply-free product behind the *binary query × integer model* and
+    /// *integer query × binary model* prediction modes of §3.2: each term is
+    /// a conditional add/subtract, never a multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.dim() != self.dim()`.
+    pub fn signed_dot(&self, other: &RealHv) -> f32 {
+        assert_eq!(
+            self.dim,
+            other.dim(),
+            "signed_dot: dimension mismatch ({} vs {})",
+            self.dim,
+            other.dim()
+        );
+        let vals = other.as_slice();
+        let mut acc = 0.0f64;
+        for (w, chunk) in self.words.iter().zip(vals.chunks(64)) {
+            for (i, &v) in chunk.iter().enumerate() {
+                if (w >> i) & 1 == 1 {
+                    acc += v as f64;
+                } else {
+                    acc -= v as f64;
+                }
+            }
+        }
+        acc as f32
+    }
+
+    /// Converts to a real ±1 hypervector (bit 1 → `+1.0`).
+    pub fn to_real_signed(&self) -> RealHv {
+        RealHv::from_vec((0..self.dim).map(|i| if self.get(i) { 1.0 } else { -1.0 }).collect())
+    }
+
+    /// Converts to a real 0/1 hypervector.
+    pub fn to_real(&self) -> RealHv {
+        RealHv::from_vec((0..self.dim).map(|i| if self.get(i) { 1.0 } else { 0.0 }).collect())
+    }
+}
+
+impl std::fmt::Display for BinaryHv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BinaryHv(dim={}, ones={})",
+            self.dim,
+            self.count_ones()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::hamming_distance;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let z = BinaryHv::zeros(130);
+        assert_eq!(z.dim(), 130);
+        assert_eq!(z.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_flip() {
+        let mut v = BinaryHv::zeros(100);
+        v.set(65, true);
+        assert!(v.get(65));
+        assert!(!v.get(64));
+        v.flip(65);
+        assert!(!v.get(65));
+        v.flip(0);
+        assert!(v.get(0));
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BinaryHv::zeros(10).get(10);
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let bits = [true, false, false, true, true];
+        let v = BinaryHv::from_bits(5, bits.iter().copied());
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(v.get(i), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 5 bits")]
+    fn from_bits_too_few_panics() {
+        BinaryHv::from_bits(5, [true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn from_bits_too_many_panics() {
+        BinaryHv::from_bits(2, [true, false, true]);
+    }
+
+    #[test]
+    fn random_tail_is_masked() {
+        // dim not a multiple of 64: bits past dim must be zero so popcount
+        // needs no masking.
+        let mut rng = HdRng::seed_from(1);
+        let v = BinaryHv::random(70, &mut rng);
+        let last = *v.as_words().last().unwrap();
+        assert_eq!(last >> 6, 0, "tail bits must be zero");
+    }
+
+    #[test]
+    fn random_is_balanced() {
+        let mut rng = HdRng::seed_from(2);
+        let v = BinaryHv::random(100_000, &mut rng);
+        let frac = v.count_ones() as f64 / 100_000.0;
+        assert!((frac - 0.5).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn xor_self_is_zero() {
+        let mut rng = HdRng::seed_from(3);
+        let v = BinaryHv::random(512, &mut rng);
+        assert_eq!(v.xor(&v).count_ones(), 0);
+    }
+
+    #[test]
+    fn xor_hamming_identity() {
+        let mut rng = HdRng::seed_from(4);
+        let a = BinaryHv::random(512, &mut rng);
+        let b = BinaryHv::random(512, &mut rng);
+        assert_eq!(a.xor(&b).count_ones(), hamming_distance(&a, &b));
+    }
+
+    #[test]
+    fn and_counts_intersection() {
+        let a = BinaryHv::from_bits(4, [true, true, false, false]);
+        let b = BinaryHv::from_bits(4, [true, false, true, false]);
+        assert_eq!(a.and(&b).count_ones(), 1);
+    }
+
+    #[test]
+    fn signed_dot_matches_reference() {
+        let mut rng = HdRng::seed_from(5);
+        let b = BinaryHv::random(200, &mut rng);
+        let r = RealHv::random_gaussian(200, &mut rng);
+        let reference: f32 = (0..200)
+            .map(|i| {
+                let s = if b.get(i) { 1.0 } else { -1.0 };
+                s * r.as_slice()[i]
+            })
+            .sum();
+        assert!((b.signed_dot(&r) - reference).abs() < 1e-3);
+    }
+
+    #[test]
+    fn signed_dot_equals_real_dot_of_signed_form() {
+        let mut rng = HdRng::seed_from(6);
+        let b = BinaryHv::random(333, &mut rng);
+        let r = RealHv::random_gaussian(333, &mut rng);
+        let via_real = b.to_real_signed().dot(&r);
+        assert!((b.signed_dot(&r) - via_real).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn xor_mismatch_panics() {
+        BinaryHv::zeros(4).xor(&BinaryHv::zeros(8));
+    }
+
+    #[test]
+    fn to_real_forms() {
+        let v = BinaryHv::from_bits(3, [true, false, true]);
+        assert_eq!(v.to_real().as_slice(), &[1.0, 0.0, 1.0]);
+        assert_eq!(v.to_real_signed().as_slice(), &[1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_vector_is_ok() {
+        let v = BinaryHv::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+    }
+}

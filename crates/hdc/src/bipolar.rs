@@ -1,0 +1,278 @@
+//! Bipolar (`{-1,+1}`) hypervectors.
+//!
+//! RegHD's encoder (§2.2, Eq. 1) projects each input feature through a
+//! random **bipolar base hypervector** `B_k ∈ {−1,+1}^D`. Independent random
+//! bipolar hypervectors are nearly orthogonal in expectation, which is the
+//! property the encoding relies on to keep dissimilar inputs dissimilar in HD
+//! space.
+
+use crate::rng::HdRng;
+use crate::RealHv;
+
+/// A hypervector whose components are `+1` or `-1`, stored as `i8`.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::BipolarHv;
+/// use hdc::rng::HdRng;
+///
+/// let mut rng = HdRng::seed_from(0);
+/// let b = BipolarHv::random(10_000, &mut rng);
+/// // Roughly balanced:
+/// let plus = b.as_slice().iter().filter(|&&v| v == 1).count();
+/// assert!((plus as f64 / 10_000.0 - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BipolarHv {
+    data: Vec<i8>,
+}
+
+impl BipolarHv {
+    /// Creates a uniformly random bipolar hypervector.
+    pub fn random(dim: usize, rng: &mut HdRng) -> Self {
+        let mut data = Vec::with_capacity(dim);
+        // Draw 64 sign bits at a time.
+        let mut remaining = dim;
+        while remaining > 0 {
+            let bits = rng.next_u64();
+            let take = remaining.min(64);
+            for i in 0..take {
+                data.push(if (bits >> i) & 1 == 1 { 1 } else { -1 });
+            }
+            remaining -= take;
+        }
+        Self { data }
+    }
+
+    /// Builds a bipolar hypervector from sign flags (`true` → `+1`).
+    pub fn from_signs<I: IntoIterator<Item = bool>>(signs: I) -> Self {
+        Self {
+            data: signs
+                .into_iter()
+                .map(|s| if s { 1 } else { -1 })
+                .collect(),
+        }
+    }
+
+    /// Wraps a raw `{-1,+1}` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is not `-1` or `+1`.
+    pub fn from_vec(data: Vec<i8>) -> Self {
+        assert!(
+            data.iter().all(|&v| v == 1 || v == -1),
+            "bipolar components must be -1 or +1"
+        );
+        Self { data }
+    }
+
+    /// The dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the components.
+    pub fn as_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Component at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= dim()`.
+    pub fn get(&self, idx: usize) -> i8 {
+        self.data[idx]
+    }
+
+    /// Dot product with another bipolar hypervector. For bipolar vectors this
+    /// equals `D − 2·hamming`, so it ranges over `[-D, D]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn dot(&self, other: &BipolarHv) -> i64 {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dot: dimension mismatch ({} vs {})",
+            self.dim(),
+            other.dim()
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as i64) * (b as i64))
+            .sum()
+    }
+
+    /// Element-wise product — the HD *binding* operator. Binding two bipolar
+    /// hypervectors yields another bipolar hypervector that is nearly
+    /// orthogonal to both inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn bind(&self, other: &BipolarHv) -> BipolarHv {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "bind: dimension mismatch ({} vs {})",
+            self.dim(),
+            other.dim()
+        );
+        BipolarHv {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Converts to a real hypervector (each ±1 becomes ±1.0).
+    pub fn to_real(&self) -> RealHv {
+        RealHv::from_vec(self.data.iter().map(|&a| a as f32).collect())
+    }
+
+    /// Converts to a binary hypervector (`+1` → bit 1, `-1` → bit 0).
+    pub fn to_binary(&self) -> crate::BinaryHv {
+        crate::BinaryHv::from_bits(self.dim(), self.data.iter().map(|&a| a > 0))
+    }
+
+    /// Cyclic rotation by `shift` positions — the HD *permutation* operator,
+    /// used to encode sequence position.
+    pub fn permute(&self, shift: usize) -> BipolarHv {
+        if self.data.is_empty() {
+            return self.clone();
+        }
+        let n = self.data.len();
+        let s = shift % n;
+        let mut data = Vec::with_capacity(n);
+        data.extend_from_slice(&self.data[n - s..]);
+        data.extend_from_slice(&self.data[..n - s]);
+        BipolarHv { data }
+    }
+}
+
+impl std::fmt::Display for BipolarHv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BipolarHv(dim={})", self.dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_balanced() {
+        let mut rng = HdRng::seed_from(2);
+        let v = BipolarHv::random(100_000, &mut rng);
+        let plus = v.as_slice().iter().filter(|&&a| a == 1).count();
+        let frac = plus as f64 / 100_000.0;
+        assert!((frac - 0.5).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn random_pairs_nearly_orthogonal() {
+        // δ(B_k1, B_k2) ≃ 0 — the property claimed under Eq. 1.
+        let mut rng = HdRng::seed_from(4);
+        for _ in 0..5 {
+            let a = BipolarHv::random(10_000, &mut rng);
+            let b = BipolarHv::random(10_000, &mut rng);
+            let cos = a.dot(&b) as f64 / 10_000.0;
+            assert!(cos.abs() < 0.04, "cos = {cos}");
+        }
+    }
+
+    #[test]
+    fn self_dot_is_dim() {
+        let mut rng = HdRng::seed_from(6);
+        let v = BipolarHv::random(777, &mut rng);
+        assert_eq!(v.dot(&v), 777);
+    }
+
+    #[test]
+    fn bind_is_involutive() {
+        // a ⊛ b ⊛ b = a   (binding by the same key twice cancels)
+        let mut rng = HdRng::seed_from(8);
+        let a = BipolarHv::random(512, &mut rng);
+        let b = BipolarHv::random(512, &mut rng);
+        assert_eq!(a.bind(&b).bind(&b), a);
+    }
+
+    #[test]
+    fn bind_decorrelates() {
+        let mut rng = HdRng::seed_from(10);
+        let a = BipolarHv::random(10_000, &mut rng);
+        let b = BipolarHv::random(10_000, &mut rng);
+        let bound = a.bind(&b);
+        assert!((bound.dot(&a) as f64 / 10_000.0).abs() < 0.04);
+        assert!((bound.dot(&b) as f64 / 10_000.0).abs() < 0.04);
+    }
+
+    #[test]
+    fn from_signs_roundtrip() {
+        let v = BipolarHv::from_signs([true, false, true]);
+        assert_eq!(v.as_slice(), &[1, -1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bipolar components")]
+    fn from_vec_rejects_invalid() {
+        BipolarHv::from_vec(vec![1, 0, -1]);
+    }
+
+    #[test]
+    fn permute_rotates() {
+        let v = BipolarHv::from_vec(vec![1, 1, -1, -1]);
+        let p = v.permute(1);
+        assert_eq!(p.as_slice(), &[-1, 1, 1, -1]);
+        // Full rotation is identity.
+        assert_eq!(v.permute(4), v);
+        // Empty vector is fine.
+        assert_eq!(BipolarHv::default().permute(3).dim(), 0);
+    }
+
+    #[test]
+    fn permute_preserves_self_similarity_but_decorrelates() {
+        let mut rng = HdRng::seed_from(12);
+        let v = BipolarHv::random(10_000, &mut rng);
+        let p = v.permute(1);
+        assert_eq!(p.dot(&p), 10_000);
+        assert!((v.dot(&p) as f64 / 10_000.0).abs() < 0.04);
+    }
+
+    #[test]
+    fn to_real_matches() {
+        let v = BipolarHv::from_vec(vec![1, -1]);
+        assert_eq!(v.to_real().as_slice(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn to_binary_matches() {
+        let v = BipolarHv::from_vec(vec![1, -1, 1]);
+        let b = v.to_binary();
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(2));
+    }
+
+    #[test]
+    fn dot_equals_dim_minus_twice_hamming() {
+        let mut rng = HdRng::seed_from(14);
+        let a = BipolarHv::random(2048, &mut rng);
+        let b = BipolarHv::random(2048, &mut rng);
+        let ham = crate::similarity::hamming_distance(&a.to_binary(), &b.to_binary());
+        assert_eq!(a.dot(&b), 2048 - 2 * ham as i64);
+    }
+}

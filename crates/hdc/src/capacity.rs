@@ -1,0 +1,337 @@
+//! Hypervector capacity analysis (paper §2.3, Eqs. 3–4).
+//!
+//! A single model hypervector `M = S₁ + … + S_P` bundles `P` patterns. When
+//! querying with `Q`, the recovered similarity decomposes into signal plus
+//! crosstalk noise (Eq. 3). Treating the per-component crosstalk as binomial,
+//! the probability of a **false positive** — deciding `Q ∈ M` when it is not —
+//! is the Gaussian tail probability
+//!
+//! ```text
+//! Pr( Z > T·sqrt(D/P) ) = (1/√2π) ∫_{T·√(D/P)}^{∞} e^{−t²/2} dt     (Eq. 4)
+//! ```
+//!
+//! This module implements that bound (via an `erfc` implementation, since the
+//! Rust standard library does not expose one), the inverse problem "how many
+//! patterns fit at a given error budget", and an empirical validator used by
+//! the test-suite to check the analysis against simulation.
+//!
+//! The paper's worked example — `D = 100,000`, `T = 0.5`, `P = 10,000` gives a
+//! ≈5.7% false-positive rate — is verified in the tests below.
+
+use crate::rng::HdRng;
+use crate::BipolarHv;
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Uses the Numerical-Recipes rational Chebyshev approximation (absolute
+/// error < 1.2e−7 everywhere), which is ample for capacity estimates.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal upper-tail probability `Pr(Z > z)`.
+pub fn gaussian_tail(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// False-positive probability of deciding a random query is stored in a
+/// bundle of `patterns` hypervectors of dimension `dim`, at normalised
+/// decision threshold `threshold` (the paper's `T`): Eq. 4.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `patterns == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::capacity::false_positive_probability;
+///
+/// // The paper's worked example: D = 100k, T = 0.5, P = 10k → ≈ 5.7%.
+/// let p = false_positive_probability(100_000, 10_000, 0.5);
+/// assert!((p - 0.057).abs() < 0.01);
+/// ```
+pub fn false_positive_probability(dim: usize, patterns: usize, threshold: f64) -> f64 {
+    assert!(dim > 0, "dim must be nonzero");
+    assert!(patterns > 0, "patterns must be nonzero");
+    gaussian_tail(threshold * (dim as f64 / patterns as f64).sqrt())
+}
+
+/// Maximum number of patterns a `dim`-wide hypervector can bundle while the
+/// false-positive probability (Eq. 4) stays at or below `max_error`, for
+/// decision threshold `threshold`. Returns 0 if even a single pattern
+/// exceeds the budget.
+///
+/// # Panics
+///
+/// Panics if `dim == 0`, `threshold <= 0`, or `max_error` is outside `(0,1)`.
+pub fn max_patterns(dim: usize, threshold: f64, max_error: f64) -> usize {
+    assert!(dim > 0, "dim must be nonzero");
+    assert!(threshold > 0.0, "threshold must be positive");
+    assert!(
+        (0.0..1.0).contains(&max_error) && max_error > 0.0,
+        "max_error must be in (0,1)"
+    );
+    // Pr(Z > T·sqrt(D/P)) ≤ e  ⇔  T·sqrt(D/P) ≥ z_e  ⇔  P ≤ D·T²/z_e².
+    // Invert the tail numerically (bisection on gaussian_tail).
+    let (mut lo, mut hi) = (0.0f64, 40.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if gaussian_tail(mid) > max_error {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let z_e = 0.5 * (lo + hi);
+    ((dim as f64) * threshold * threshold / (z_e * z_e)).floor() as usize
+}
+
+/// Minimum hypervector dimensionality needed to bundle `patterns` items
+/// while the false-positive probability (Eq. 4) stays at or below
+/// `max_error` for decision threshold `threshold` — the inverse of
+/// [`max_patterns`], used to size deployments.
+///
+/// # Panics
+///
+/// Panics if `patterns == 0`, `threshold <= 0`, or `max_error` is outside
+/// `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::capacity::{false_positive_probability, required_dimension};
+///
+/// let d = required_dimension(1_000, 0.5, 0.05);
+/// assert!(false_positive_probability(d, 1_000, 0.5) <= 0.05);
+/// ```
+pub fn required_dimension(patterns: usize, threshold: f64, max_error: f64) -> usize {
+    assert!(patterns > 0, "patterns must be nonzero");
+    assert!(threshold > 0.0, "threshold must be positive");
+    assert!(
+        (0.0..1.0).contains(&max_error) && max_error > 0.0,
+        "max_error must be in (0,1)"
+    );
+    // Invert the tail as in max_patterns: need T·sqrt(D/P) ≥ z_e, i.e.
+    // D ≥ P·z_e²/T².
+    let (mut lo, mut hi) = (0.0f64, 40.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if gaussian_tail(mid) > max_error {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let z_e = 0.5 * (lo + hi);
+    ((patterns as f64) * z_e * z_e / (threshold * threshold)).ceil() as usize
+}
+
+/// Result of an empirical capacity measurement: how often a *random*
+/// (unstored) query crosses the detection threshold against a bundle of
+/// `patterns` stored hypervectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityMeasurement {
+    /// Number of Monte-Carlo query trials performed.
+    pub trials: usize,
+    /// Fraction of unstored queries that crossed the threshold (false
+    /// positives).
+    pub false_positive_rate: f64,
+    /// Fraction of stored queries that were detected (true positives).
+    pub true_positive_rate: f64,
+}
+
+/// Monte-Carlo validation of the capacity analysis: bundles `patterns`
+/// random bipolar hypervectors of width `dim`, then measures how often
+/// stored/unstored queries cross `threshold` (normalised similarity
+/// `δ(M,Q)/D > T`).
+///
+/// # Panics
+///
+/// Panics if `dim`, `patterns`, or `trials` is zero.
+pub fn measure_capacity(
+    dim: usize,
+    patterns: usize,
+    threshold: f64,
+    trials: usize,
+    rng: &mut HdRng,
+) -> CapacityMeasurement {
+    assert!(dim > 0 && patterns > 0 && trials > 0, "parameters must be nonzero");
+    let stored: Vec<BipolarHv> = (0..patterns).map(|_| BipolarHv::random(dim, rng)).collect();
+    // Integer accumulator of the bundle.
+    let mut acc = vec![0i64; dim];
+    for s in &stored {
+        for (a, &b) in acc.iter_mut().zip(s.as_slice()) {
+            *a += b as i64;
+        }
+    }
+    let normalized_sim = |q: &BipolarHv| -> f64 {
+        let dot: i64 = acc
+            .iter()
+            .zip(q.as_slice())
+            .map(|(&a, &b)| a * b as i64)
+            .sum();
+        dot as f64 / dim as f64
+    };
+    let mut fp = 0usize;
+    let mut tp = 0usize;
+    for t in 0..trials {
+        let q = BipolarHv::random(dim, rng);
+        if normalized_sim(&q) > threshold {
+            fp += 1;
+        }
+        if normalized_sim(&stored[t % patterns]) > threshold {
+            tp += 1;
+        }
+    }
+    CapacityMeasurement {
+        trials,
+        false_positive_rate: fp as f64 / trials as f64,
+        true_positive_rate: tp as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        // erfc(0) = 1, erfc(∞) → 0, erfc(-x) = 2 - erfc(x).
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!(erfc(5.0) < 1e-10);
+        assert!((erfc(-1.0) - (2.0 - erfc(1.0))).abs() < 1e-12);
+        // erfc(1) ≈ 0.157299...
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        // erfc(0.5) ≈ 0.479500...
+        assert!((erfc(0.5) - 0.479_500_1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_tail_reference_values() {
+        // The rational approximation has absolute error ~1e-7.
+        assert!((gaussian_tail(0.0) - 0.5).abs() < 1e-6);
+        // Pr(Z > 1.6449) ≈ 0.05
+        assert!((gaussian_tail(1.6449) - 0.05).abs() < 1e-4);
+        // Pr(Z > 2.3263) ≈ 0.01
+        assert!((gaussian_tail(2.3263) - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        // D = 100,000, T = 0.5, P = 10,000 → "5.7% error" in the paper.
+        // T·sqrt(D/P) = 0.5·sqrt(10) ≈ 1.581; Pr(Z > 1.581) ≈ 5.69%.
+        let p = false_positive_probability(100_000, 10_000, 0.5);
+        assert!((p - 0.0569).abs() < 0.002, "p = {p}");
+    }
+
+    #[test]
+    fn error_monotone_in_patterns() {
+        let mut prev = 0.0;
+        for patterns in [10, 100, 1_000, 10_000] {
+            let p = false_positive_probability(10_000, patterns, 0.5);
+            assert!(p >= prev, "error should grow with pattern count");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn error_monotone_in_dim() {
+        let mut prev = 1.0;
+        for dim in [1_000, 4_000, 16_000, 64_000] {
+            let p = false_positive_probability(dim, 1_000, 0.5);
+            assert!(p <= prev, "error should shrink with dimensionality");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn max_patterns_inverts_probability() {
+        let dim = 50_000;
+        let t = 0.5;
+        let e = 0.05;
+        let p = max_patterns(dim, t, e);
+        assert!(p > 0);
+        // At the returned count the error must respect the budget...
+        assert!(false_positive_probability(dim, p, t) <= e + 1e-9);
+        // ...and be violated slightly above it.
+        assert!(false_positive_probability(dim, p + p / 10 + 1, t) > e);
+    }
+
+    #[test]
+    fn max_patterns_scales_linearly_with_dim() {
+        let a = max_patterns(10_000, 0.5, 0.05);
+        let b = max_patterns(20_000, 0.5, 0.05);
+        let ratio = b as f64 / a as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analysis() {
+        // Empirical validation of Eq. 4 at a parameter point small enough to
+        // run in a unit test.
+        let mut rng = HdRng::seed_from(42);
+        let (dim, patterns, t) = (2_000, 200, 0.5);
+        let analytic = false_positive_probability(dim, patterns, t);
+        let measured = measure_capacity(dim, patterns, t, 2_000, &mut rng);
+        assert!(
+            (measured.false_positive_rate - analytic).abs() < 0.02,
+            "analytic = {analytic}, measured = {}",
+            measured.false_positive_rate
+        );
+        // Stored patterns are almost always detected at this load
+        // (analytically Pr(1 + N(0, sqrt(P/D)) > T) ≈ 94% here).
+        assert!(measured.true_positive_rate > 0.9);
+    }
+
+    #[test]
+    fn required_dimension_inverts_probability() {
+        for patterns in [10usize, 100, 1_000] {
+            let d = required_dimension(patterns, 0.5, 0.05);
+            assert!(false_positive_probability(d, patterns, 0.5) <= 0.05 + 1e-9);
+            // One pattern fewer dimensions-per-pattern must violate the
+            // budget (within the ceil granularity).
+            if d > patterns {
+                let d_small = d - d / 10 - 1;
+                assert!(false_positive_probability(d_small, patterns, 0.5) > 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn required_dimension_and_max_patterns_are_consistent() {
+        let d = required_dimension(500, 0.5, 0.05);
+        let p = max_patterns(d, 0.5, 0.05);
+        assert!(p >= 500, "round trip lost capacity: {p} < 500");
+        assert!(p < 650, "round trip overshot: {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dim_panics() {
+        false_positive_probability(0, 10, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_error")]
+    fn bad_error_budget_panics() {
+        max_patterns(1000, 0.5, 1.5);
+    }
+}

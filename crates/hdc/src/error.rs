@@ -1,0 +1,157 @@
+//! Error types shared across the HD computing substrate.
+//!
+//! The substrate's fallible operations are all shape-related: combining two
+//! hypervectors of different dimensionality, or constructing a hypervector
+//! from malformed input. Hot-path arithmetic (dot products, bundling) instead
+//! asserts dimensions and panics, because a shape mismatch there is a
+//! programming error rather than a recoverable condition; the panic behaviour
+//! is documented on each such function.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when two hypervectors that must share a dimensionality do
+/// not.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{RealHv, DimensionMismatchError};
+///
+/// let a = RealHv::zeros(8);
+/// let b = RealHv::zeros(16);
+/// let err: DimensionMismatchError = a.checked_add(&b).unwrap_err();
+/// assert_eq!(err.expected(), 8);
+/// assert_eq!(err.actual(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimensionMismatchError {
+    expected: usize,
+    actual: usize,
+}
+
+impl DimensionMismatchError {
+    /// Creates a new mismatch error from the expected and observed widths.
+    pub fn new(expected: usize, actual: usize) -> Self {
+        Self { expected, actual }
+    }
+
+    /// The dimensionality the operation required.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// The dimensionality that was actually supplied.
+    pub fn actual(&self) -> usize {
+        self.actual
+    }
+}
+
+impl fmt::Display for DimensionMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hypervector dimension mismatch: expected {}, got {}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl Error for DimensionMismatchError {}
+
+/// Top-level error type for the `hdc` crate.
+///
+/// Currently all substrate failures are dimension mismatches or invalid
+/// construction parameters; the enum leaves room to grow without breaking
+/// downstream matches (`#[non_exhaustive]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// Two hypervectors that must agree in width did not.
+    DimensionMismatch(DimensionMismatchError),
+    /// A constructor was given an invalid parameter (e.g. zero dimension).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of why the value was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::DimensionMismatch(e) => e.fmt(f),
+            HdcError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for HdcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HdcError::DimensionMismatch(e) => Some(e),
+            HdcError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<DimensionMismatchError> for HdcError {
+    fn from(e: DimensionMismatchError) -> Self {
+        HdcError::DimensionMismatch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_dims() {
+        let e = DimensionMismatchError::new(10, 20);
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains("20"));
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let e = DimensionMismatchError::new(3, 7);
+        assert_eq!(e.expected(), 3);
+        assert_eq!(e.actual(), 7);
+    }
+
+    #[test]
+    fn hdc_error_from_mismatch() {
+        let e: HdcError = DimensionMismatchError::new(1, 2).into();
+        assert!(matches!(e, HdcError::DimensionMismatch(_)));
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn invalid_parameter_display() {
+        let e = HdcError::InvalidParameter {
+            name: "dim",
+            reason: "must be nonzero".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("dim"));
+        assert!(s.contains("nonzero"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+        assert_send_sync::<DimensionMismatchError>();
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error as _;
+        let e: HdcError = DimensionMismatchError::new(1, 2).into();
+        assert!(e.source().is_some());
+    }
+}

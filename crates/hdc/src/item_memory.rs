@@ -1,0 +1,198 @@
+//! Item memory and cleanup memory — the associative-lookup structures of
+//! classic HD computing (Kanerva 2009), provided as substrate for
+//! applications built on this workspace (e.g. symbol grounding around the
+//! regression core, or the associative accelerators of the paper's related
+//! work \[16, 17\]).
+//!
+//! An [`ItemMemory`] maps symbolic names to random hypervectors (the
+//! "codebook"); a *cleanup* query takes a noisy hypervector and returns
+//! the best-matching stored item — exactly the operation whose reliability
+//! the capacity analysis of [`crate::capacity`] bounds.
+
+use crate::rng::HdRng;
+use crate::similarity::hamming_similarity;
+use crate::BinaryHv;
+
+/// A codebook of named random binary hypervectors with associative
+/// (nearest-neighbour) cleanup.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::item_memory::ItemMemory;
+/// use hdc::rng::HdRng;
+///
+/// let mut rng = HdRng::seed_from(1);
+/// let mut memory = ItemMemory::new(2048);
+/// memory.insert("apple", &mut rng);
+/// memory.insert("banana", &mut rng);
+///
+/// // Corrupt apple's code by 10% and clean it up.
+/// let noisy = hdc::noise::flip_bits(memory.get("apple").unwrap(), 0.10, &mut rng).0;
+/// let (name, similarity) = memory.cleanup(&noisy).unwrap();
+/// assert_eq!(name, "apple");
+/// assert!(similarity > 0.6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ItemMemory {
+    dim: usize,
+    names: Vec<String>,
+    codes: Vec<BinaryHv>,
+}
+
+impl ItemMemory {
+    /// Creates an empty item memory for `dim`-bit codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dim must be nonzero");
+        Self {
+            dim,
+            names: Vec::new(),
+            codes: Vec::new(),
+        }
+    }
+
+    /// The code width in bits.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Inserts a fresh random code for `name` and returns a reference to
+    /// it. Re-inserting an existing name returns the existing code
+    /// unchanged (codes are stable identities).
+    pub fn insert(&mut self, name: &str, rng: &mut HdRng) -> &BinaryHv {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return &self.codes[i];
+        }
+        self.names.push(name.to_string());
+        self.codes.push(BinaryHv::random(self.dim, rng));
+        self.codes.last().expect("just pushed")
+    }
+
+    /// Looks up the exact code for `name`.
+    pub fn get(&self, name: &str) -> Option<&BinaryHv> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.codes[i])
+    }
+
+    /// Associative cleanup: returns the stored item most similar to
+    /// `query` (by Hamming similarity) together with that similarity, or
+    /// `None` when the memory is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()`.
+    pub fn cleanup(&self, query: &BinaryHv) -> Option<(&str, f32)> {
+        assert_eq!(
+            query.dim(),
+            self.dim,
+            "query width {} does not match memory width {}",
+            query.dim(),
+            self.dim
+        );
+        self.codes
+            .iter()
+            .zip(&self.names)
+            .map(|(code, name)| (name.as_str(), hamming_similarity(query, code)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Iterates over `(name, code)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &BinaryHv)> + '_ {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.codes.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::flip_bits;
+
+    fn filled(n: usize, dim: usize) -> (ItemMemory, HdRng) {
+        let mut rng = HdRng::seed_from(7);
+        let mut m = ItemMemory::new(dim);
+        for i in 0..n {
+            m.insert(&format!("item-{i}"), &mut rng);
+        }
+        (m, rng)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (m, _) = filled(5, 256);
+        assert_eq!(m.len(), 5);
+        assert!(m.get("item-3").is_some());
+        assert!(m.get("missing").is_none());
+    }
+
+    #[test]
+    fn reinsert_is_stable() {
+        let mut rng = HdRng::seed_from(1);
+        let mut m = ItemMemory::new(128);
+        let a = m.insert("x", &mut rng).clone();
+        let b = m.insert("x", &mut rng).clone();
+        assert_eq!(a, b);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn cleanup_recovers_under_heavy_noise() {
+        // 30% bit flips against 50 stored items at D = 2048: still
+        // recoverable (the capacity module predicts ≈ zero confusion).
+        let (m, mut rng) = filled(50, 2048);
+        for i in (0..50).step_by(9) {
+            let name = format!("item-{i}");
+            let (noisy, _) = flip_bits(m.get(&name).unwrap(), 0.30, &mut rng);
+            let (found, sim) = m.cleanup(&noisy).unwrap();
+            assert_eq!(found, name);
+            assert!(sim > 0.2, "similarity {sim}");
+        }
+    }
+
+    #[test]
+    fn cleanup_of_random_query_has_low_similarity() {
+        let (m, mut rng) = filled(20, 2048);
+        let random = BinaryHv::random(2048, &mut rng);
+        let (_, sim) = m.cleanup(&random).unwrap();
+        assert!(sim < 0.15, "random query matched too well: {sim}");
+    }
+
+    #[test]
+    fn cleanup_empty_is_none() {
+        let m = ItemMemory::new(64);
+        let q = BinaryHv::zeros(64);
+        assert!(m.cleanup(&q).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match memory width")]
+    fn cleanup_wrong_width_panics() {
+        let (m, _) = filled(2, 128);
+        m.cleanup(&BinaryHv::zeros(64));
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let (m, _) = filled(3, 64);
+        let names: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["item-0", "item-1", "item-2"]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Noise injection for robustness evaluation.
+//!
+//! RegHD's §3 argues that hypervector representations are inherently robust:
+//! "hypervectors store information across all their components so that no
+//! component is more responsible for storing any piece of information than
+//! another." This module provides the fault models used by the integration
+//! tests and benches to quantify that claim: random bit flips in binary
+//! hypervectors, sign flips and Gaussian perturbation in real hypervectors,
+//! and stuck-at faults emulating memory cell failure.
+
+use crate::rng::HdRng;
+use crate::{BinaryHv, RealHv};
+
+/// Flips each bit of `hv` independently with probability `rate`, returning
+/// the corrupted copy and the number of flips applied.
+///
+/// # Panics
+///
+/// Panics if `rate` is not within `[0, 1]`.
+pub fn flip_bits(hv: &BinaryHv, rate: f64, rng: &mut HdRng) -> (BinaryHv, usize) {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+    let mut out = hv.clone();
+    let mut flips = 0;
+    for i in 0..hv.dim() {
+        if rng.next_bool(rate) {
+            out.flip(i);
+            flips += 1;
+        }
+    }
+    (out, flips)
+}
+
+/// Flips exactly `count` distinct randomly chosen bits.
+///
+/// # Panics
+///
+/// Panics if `count > hv.dim()`.
+pub fn flip_exact_bits(hv: &BinaryHv, count: usize, rng: &mut HdRng) -> BinaryHv {
+    assert!(count <= hv.dim(), "cannot flip more bits than exist");
+    let mut out = hv.clone();
+    // Partial Fisher–Yates over indices.
+    let mut indices: Vec<usize> = (0..hv.dim()).collect();
+    for i in 0..count {
+        let j = i + rng.next_below(indices.len() - i);
+        indices.swap(i, j);
+        out.flip(indices[i]);
+    }
+    out
+}
+
+/// Negates each component of a real hypervector independently with
+/// probability `rate` — the real-valued analogue of a bit flip.
+///
+/// # Panics
+///
+/// Panics if `rate` is not within `[0, 1]`.
+pub fn flip_signs(hv: &RealHv, rate: f64, rng: &mut HdRng) -> RealHv {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+    RealHv::from_vec(
+        hv.as_slice()
+            .iter()
+            .map(|&v| if rng.next_bool(rate) { -v } else { v })
+            .collect(),
+    )
+}
+
+/// Adds i.i.d. Gaussian noise of standard deviation `sigma` to each
+/// component.
+///
+/// # Panics
+///
+/// Panics if `sigma < 0`.
+pub fn gaussian_perturb(hv: &RealHv, sigma: f64, rng: &mut HdRng) -> RealHv {
+    assert!(sigma >= 0.0, "sigma must be nonnegative");
+    RealHv::from_vec(
+        hv.as_slice()
+            .iter()
+            .map(|&v| v + (sigma * rng.next_gaussian()) as f32)
+            .collect(),
+    )
+}
+
+/// Forces each component to zero independently with probability `rate`,
+/// emulating stuck-at-zero memory faults.
+///
+/// # Panics
+///
+/// Panics if `rate` is not within `[0, 1]`.
+pub fn stuck_at_zero(hv: &RealHv, rate: f64, rng: &mut HdRng) -> RealHv {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+    RealHv::from_vec(
+        hv.as_slice()
+            .iter()
+            .map(|&v| if rng.next_bool(rate) { 0.0 } else { v })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{cosine, hamming_distance};
+
+    #[test]
+    fn flip_rate_zero_is_identity() {
+        let mut rng = HdRng::seed_from(1);
+        let v = BinaryHv::random(256, &mut rng);
+        let (out, flips) = flip_bits(&v, 0.0, &mut rng);
+        assert_eq!(out, v);
+        assert_eq!(flips, 0);
+    }
+
+    #[test]
+    fn flip_rate_one_flips_all() {
+        let mut rng = HdRng::seed_from(2);
+        let v = BinaryHv::random(256, &mut rng);
+        let (out, flips) = flip_bits(&v, 1.0, &mut rng);
+        assert_eq!(flips, 256);
+        assert_eq!(hamming_distance(&v, &out), 256);
+    }
+
+    #[test]
+    fn flip_rate_statistics() {
+        let mut rng = HdRng::seed_from(3);
+        let v = BinaryHv::random(100_000, &mut rng);
+        let (out, flips) = flip_bits(&v, 0.1, &mut rng);
+        assert_eq!(hamming_distance(&v, &out), flips);
+        let rate = flips as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn flip_exact_is_exact() {
+        let mut rng = HdRng::seed_from(4);
+        let v = BinaryHv::random(512, &mut rng);
+        for count in [0, 1, 17, 512] {
+            let out = flip_exact_bits(&v, count, &mut rng);
+            assert_eq!(hamming_distance(&v, &out), count);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more bits")]
+    fn flip_exact_too_many_panics() {
+        let mut rng = HdRng::seed_from(5);
+        let v = BinaryHv::zeros(4);
+        flip_exact_bits(&v, 5, &mut rng);
+    }
+
+    #[test]
+    fn similarity_degrades_gracefully() {
+        // The robustness claim: moderate bit-flip rates leave hypervectors
+        // still clearly recognisable (similarity scales as 1 - 2·rate).
+        let mut rng = HdRng::seed_from(6);
+        let v = BinaryHv::random(10_000, &mut rng);
+        let (n10, _) = flip_bits(&v, 0.10, &mut rng);
+        let sim = crate::similarity::hamming_similarity(&v, &n10);
+        assert!((sim - 0.8).abs() < 0.05, "sim = {sim}");
+    }
+
+    #[test]
+    fn sign_flip_preserves_magnitude() {
+        let mut rng = HdRng::seed_from(7);
+        let v = RealHv::random_gaussian(1024, &mut rng);
+        let f = flip_signs(&v, 0.2, &mut rng);
+        assert!((v.norm() - f.norm()).abs() / v.norm() < 1e-5);
+    }
+
+    #[test]
+    fn gaussian_perturb_zero_sigma_identity() {
+        let mut rng = HdRng::seed_from(8);
+        let v = RealHv::random_gaussian(64, &mut rng);
+        assert_eq!(gaussian_perturb(&v, 0.0, &mut rng), v);
+    }
+
+    #[test]
+    fn gaussian_perturb_keeps_similarity() {
+        let mut rng = HdRng::seed_from(9);
+        let v = RealHv::random_gaussian(4096, &mut rng);
+        let p = gaussian_perturb(&v, 0.5, &mut rng);
+        // cos ≈ 1/sqrt(1+σ²) ≈ 0.894 for unit-variance components.
+        let cos = cosine(&v, &p);
+        assert!(cos > 0.8, "cos = {cos}");
+    }
+
+    #[test]
+    fn stuck_at_zero_rate() {
+        let mut rng = HdRng::seed_from(10);
+        let v = RealHv::from_vec(vec![1.0; 50_000]);
+        let s = stuck_at_zero(&v, 0.25, &mut rng);
+        let zeros = s.as_slice().iter().filter(|&&x| x == 0.0).count();
+        let rate = zeros as f64 / 50_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn bad_rate_panics() {
+        let mut rng = HdRng::seed_from(11);
+        flip_signs(&RealHv::zeros(4), 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,218 @@
+//! Bulk hypervector operators: bundling, majority, weighted accumulation.
+//!
+//! *Bundling* (element-wise addition) is how HD computing superimposes
+//! multiple pieces of information into one hypervector — it is the operation
+//! whose saturation behaviour motivates RegHD's capacity analysis (§2.3) and
+//! the move to multi-model regression (§2.4).
+
+use crate::{BinaryHv, BipolarHv, RealHv};
+
+/// Bundles (sums) an iterator of real hypervectors into one accumulator.
+///
+/// Returns `None` when the iterator is empty (there is no well-defined
+/// dimensionality to return).
+///
+/// # Panics
+///
+/// Panics if the hypervectors disagree in dimensionality.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{RealHv, ops};
+///
+/// let vs = vec![
+///     RealHv::from_vec(vec![1.0, 2.0]),
+///     RealHv::from_vec(vec![3.0, -1.0]),
+/// ];
+/// let sum = ops::bundle(vs.iter()).expect("nonempty");
+/// assert_eq!(sum.as_slice(), &[4.0, 1.0]);
+/// ```
+pub fn bundle<'a, I: IntoIterator<Item = &'a RealHv>>(vs: I) -> Option<RealHv> {
+    let mut iter = vs.into_iter();
+    let first = iter.next()?;
+    let mut acc = first.clone();
+    for v in iter {
+        acc.add_scaled(v, 1.0);
+    }
+    Some(acc)
+}
+
+/// Bundles bipolar hypervectors into an integer-accumulated real hypervector.
+///
+/// Returns `None` when the iterator is empty.
+///
+/// # Panics
+///
+/// Panics if the hypervectors disagree in dimensionality.
+pub fn bundle_bipolar<'a, I: IntoIterator<Item = &'a BipolarHv>>(vs: I) -> Option<RealHv> {
+    let mut iter = vs.into_iter();
+    let first = iter.next()?;
+    let mut acc = first.to_real();
+    for v in iter {
+        let vals = v.as_slice();
+        assert_eq!(
+            acc.dim(),
+            vals.len(),
+            "bundle_bipolar: dimension mismatch ({} vs {})",
+            acc.dim(),
+            vals.len()
+        );
+        for (a, &b) in acc.as_mut_slice().iter_mut().zip(vals) {
+            *a += b as f32;
+        }
+    }
+    Some(acc)
+}
+
+/// Element-wise majority vote over binary hypervectors: each output bit is 1
+/// iff more than half the inputs have that bit set. Ties (possible for an
+/// even count) resolve to 0, matching a strict-majority rule.
+///
+/// Returns `None` when the slice is empty.
+///
+/// # Panics
+///
+/// Panics if the hypervectors disagree in dimensionality.
+pub fn majority(vs: &[BinaryHv]) -> Option<BinaryHv> {
+    let first = vs.first()?;
+    let dim = first.dim();
+    let mut counts = vec![0usize; dim];
+    for v in vs {
+        assert_eq!(
+            v.dim(),
+            dim,
+            "majority: dimension mismatch ({} vs {})",
+            dim,
+            v.dim()
+        );
+        for (i, c) in counts.iter_mut().enumerate() {
+            if v.get(i) {
+                *c += 1;
+            }
+        }
+    }
+    let half = vs.len();
+    Some(BinaryHv::from_bits(dim, counts.iter().map(|&c| 2 * c > half)))
+}
+
+/// Weighted accumulation `Σ w_i · v_i` — the primitive behind RegHD's
+/// confidence-weighted prediction (Eq. 6 evaluates scalar products, but the
+/// same weighted-bundle shape appears when composing models).
+///
+/// Returns `None` when the inputs are empty.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != vs.len()` or dimensionalities disagree.
+pub fn weighted_bundle(vs: &[RealHv], weights: &[f32]) -> Option<RealHv> {
+    assert_eq!(
+        vs.len(),
+        weights.len(),
+        "weighted_bundle: {} vectors vs {} weights",
+        vs.len(),
+        weights.len()
+    );
+    let first = vs.first()?;
+    let mut acc = RealHv::zeros(first.dim());
+    for (v, &w) in vs.iter().zip(weights) {
+        acc.add_scaled(v, w);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::HdRng;
+    use crate::similarity::cosine;
+
+    #[test]
+    fn bundle_empty_is_none() {
+        assert!(bundle(std::iter::empty::<&RealHv>()).is_none());
+        assert!(bundle_bipolar(std::iter::empty::<&BipolarHv>()).is_none());
+        assert!(majority(&[]).is_none());
+        assert!(weighted_bundle(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn bundle_single_is_identity() {
+        let v = RealHv::from_vec(vec![1.0, -2.0]);
+        assert_eq!(bundle([&v]).unwrap(), v);
+    }
+
+    #[test]
+    fn bundled_vector_similar_to_components() {
+        // The superposition property: a bundle remains similar to each of its
+        // (few) components — the basis of HD associative recall.
+        let mut rng = HdRng::seed_from(1);
+        let components: Vec<BipolarHv> =
+            (0..5).map(|_| BipolarHv::random(4096, &mut rng)).collect();
+        let sum = bundle_bipolar(components.iter()).unwrap();
+        for c in &components {
+            let cos = cosine(&sum, &c.to_real());
+            assert!(cos > 0.3, "component similarity too low: {cos}");
+        }
+        // ...but dissimilar to an unrelated vector.
+        let other = BipolarHv::random(4096, &mut rng);
+        assert!(cosine(&sum, &other.to_real()).abs() < 0.1);
+    }
+
+    #[test]
+    fn bundle_saturation_with_many_components() {
+        // Motivates multi-model regression: with many bundled patterns, the
+        // per-component similarity decays like 1/sqrt(P).
+        let mut rng = HdRng::seed_from(2);
+        let few: Vec<BipolarHv> = (0..4).map(|_| BipolarHv::random(2048, &mut rng)).collect();
+        let many: Vec<BipolarHv> = (0..64).map(|_| BipolarHv::random(2048, &mut rng)).collect();
+        let few_sum = bundle_bipolar(few.iter()).unwrap();
+        let many_sum = bundle_bipolar(many.iter()).unwrap();
+        let few_sim = cosine(&few_sum, &few[0].to_real());
+        let many_sim = cosine(&many_sum, &many[0].to_real());
+        assert!(
+            few_sim > 2.0 * many_sim,
+            "expected saturation: few={few_sim} many={many_sim}"
+        );
+    }
+
+    #[test]
+    fn majority_odd_count() {
+        let a = BinaryHv::from_bits(3, [true, true, false]);
+        let b = BinaryHv::from_bits(3, [true, false, false]);
+        let c = BinaryHv::from_bits(3, [false, true, false]);
+        let m = majority(&[a, b, c]).unwrap();
+        assert!(m.get(0));
+        assert!(m.get(1));
+        assert!(!m.get(2));
+    }
+
+    #[test]
+    fn majority_tie_resolves_zero() {
+        let a = BinaryHv::from_bits(1, [true]);
+        let b = BinaryHv::from_bits(1, [false]);
+        let m = majority(&[a, b]).unwrap();
+        assert!(!m.get(0));
+    }
+
+    #[test]
+    fn weighted_bundle_reference() {
+        let a = RealHv::from_vec(vec![1.0, 0.0]);
+        let b = RealHv::from_vec(vec![0.0, 1.0]);
+        let w = weighted_bundle(&[a, b], &[2.0, 3.0]).unwrap();
+        assert_eq!(w.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn weighted_bundle_len_mismatch_panics() {
+        weighted_bundle(&[RealHv::zeros(2)], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn majority_of_identical_is_identity() {
+        let mut rng = HdRng::seed_from(3);
+        let v = BinaryHv::random(100, &mut rng);
+        let m = majority(&[v.clone(), v.clone(), v.clone()]).unwrap();
+        assert_eq!(m, v);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the HD computing substrate.
+//!
+//! These pin down the algebraic invariants that the RegHD layers above rely
+//! on: metric properties of Hamming distance, bit-pack round-trips,
+//! cosine bounds and scale invariance, softmax normalisation, and the
+//! cosine/Hamming correspondence for bipolar vectors.
+
+use hdc::rng::HdRng;
+use hdc::similarity::{
+    argmax, cosine, hamming_distance, hamming_similarity, softmax, squared_euclidean,
+};
+use hdc::{BinaryHv, BipolarHv, RealHv};
+use proptest::prelude::*;
+
+/// Strategy: a binary hypervector of the given width built from random bits.
+fn binary_hv(dim: usize) -> impl Strategy<Value = BinaryHv> {
+    prop::collection::vec(any::<bool>(), dim).prop_map(move |bits| BinaryHv::from_bits(dim, bits))
+}
+
+/// Strategy: a real hypervector with bounded finite components.
+fn real_hv(dim: usize) -> impl Strategy<Value = RealHv> {
+    prop::collection::vec(-1000.0f32..1000.0, dim).prop_map(RealHv::from_vec)
+}
+
+proptest! {
+    #[test]
+    fn hamming_is_a_metric(a in binary_hv(192), b in binary_hv(192), c in binary_hv(192)) {
+        // Identity of indiscernibles.
+        prop_assert_eq!(hamming_distance(&a, &a), 0);
+        // Symmetry.
+        prop_assert_eq!(hamming_distance(&a, &b), hamming_distance(&b, &a));
+        // Triangle inequality.
+        prop_assert!(
+            hamming_distance(&a, &c) <= hamming_distance(&a, &b) + hamming_distance(&b, &c)
+        );
+    }
+
+    #[test]
+    fn binary_bit_roundtrip(bits in prop::collection::vec(any::<bool>(), 1..300)) {
+        let dim = bits.len();
+        let hv = BinaryHv::from_bits(dim, bits.iter().copied());
+        for (i, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(hv.get(i), bit);
+        }
+        prop_assert_eq!(hv.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn binary_set_then_get(dim in 1usize..200, ops in prop::collection::vec((0usize..200, any::<bool>()), 0..50)) {
+        let mut hv = BinaryHv::zeros(dim);
+        let mut reference = vec![false; dim];
+        for (idx, val) in ops {
+            let idx = idx % dim;
+            hv.set(idx, val);
+            reference[idx] = val;
+        }
+        for (i, &r) in reference.iter().enumerate() {
+            prop_assert_eq!(hv.get(i), r);
+        }
+    }
+
+    #[test]
+    fn xor_popcount_is_hamming(a in binary_hv(130), b in binary_hv(130)) {
+        prop_assert_eq!(a.xor(&b).count_ones(), hamming_distance(&a, &b));
+    }
+
+    #[test]
+    fn cosine_bounded_and_symmetric(a in real_hv(64), b in real_hv(64)) {
+        let c = cosine(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        prop_assert!((c - cosine(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_scale_invariant(a in real_hv(64), b in real_hv(64), k in 0.001f32..100.0) {
+        let mut bk = b.clone();
+        bk.scale(k);
+        let c1 = cosine(&a, &b);
+        let c2 = cosine(&a, &bk);
+        prop_assert!((c1 - c2).abs() < 1e-3, "c1={} c2={}", c1, c2);
+    }
+
+    #[test]
+    fn dot_bilinear(a in real_hv(32), b in real_hv(32), k in -10.0f32..10.0) {
+        let mut ak = a.clone();
+        ak.scale(k);
+        let lhs = ak.dot(&b);
+        let rhs = k * a.dot(&b);
+        // Relative tolerance: magnitudes can reach ~1e7.
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn softmax_is_distribution(scores in prop::collection::vec(-50.0f32..50.0, 1..20), beta in 0.01f32..20.0) {
+        let conf = softmax(&scores, beta);
+        prop_assert_eq!(conf.len(), scores.len());
+        let sum: f32 = conf.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum = {}", sum);
+        prop_assert!(conf.iter().all(|&c| (0.0..=1.0 + 1e-6).contains(&c)));
+    }
+
+    #[test]
+    fn softmax_argmax_consistent(scores in prop::collection::vec(-5.0f32..5.0, 1..10)) {
+        // The most-confident cluster is the most-similar cluster.
+        let conf = softmax(&scores, 3.0);
+        let am_scores = argmax(&scores).unwrap();
+        let am_conf = argmax(&conf).unwrap();
+        // With ties, indexes can differ but the confidence values cannot.
+        prop_assert!((conf[am_scores] - conf[am_conf]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bipolar_cosine_equals_hamming_similarity(signs in prop::collection::vec(any::<bool>(), 1..256)) {
+        let bp = BipolarHv::from_signs(signs.iter().copied());
+        let bn = bp.to_binary();
+        // Against an independent reference vector derived from the seed.
+        let mut rng = HdRng::seed_from(signs.len() as u64);
+        let other = BipolarHv::random(signs.len(), &mut rng);
+        let cos = cosine(&bp.to_real(), &other.to_real());
+        let ham = hamming_similarity(&bn, &other.to_binary());
+        prop_assert!((cos - ham).abs() < 1e-4, "cos={} ham={}", cos, ham);
+    }
+
+    #[test]
+    fn bind_preserves_distance(signs_a in prop::collection::vec(any::<bool>(), 64..128)) {
+        // Binding by a fixed key is an isometry of Hamming space.
+        let dim = signs_a.len();
+        let a = BipolarHv::from_signs(signs_a.iter().copied());
+        let mut rng = HdRng::seed_from(dim as u64 + 7);
+        let b = BipolarHv::random(dim, &mut rng);
+        let key = BipolarHv::random(dim, &mut rng);
+        let d_before = hamming_distance(&a.to_binary(), &b.to_binary());
+        let d_after = hamming_distance(&a.bind(&key).to_binary(), &b.bind(&key).to_binary());
+        prop_assert_eq!(d_before, d_after);
+    }
+
+    #[test]
+    fn binarize_idempotent_through_signed_form(v in real_hv(96)) {
+        // binarize(x) == binarize(to_real_signed(binarize(x)))
+        let b1 = v.binarize();
+        let b2 = b1.to_real_signed().binarize();
+        prop_assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn squared_euclidean_nonnegative_and_zero_iff_equal(a in real_hv(48)) {
+        prop_assert_eq!(squared_euclidean(&a, &a), 0.0);
+        let mut b = a.clone();
+        if !b.is_empty() {
+            b.as_mut_slice()[0] += 1.0;
+            prop_assert!(squared_euclidean(&a, &b) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rng_next_below_uniformity(seed in any::<u64>(), bound in 1usize..100) {
+        let mut rng = HdRng::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn permute_composes(signs in prop::collection::vec(any::<bool>(), 2..64), s1 in 0usize..64, s2 in 0usize..64) {
+        let v = BipolarHv::from_signs(signs.iter().copied());
+        let lhs = v.permute(s1).permute(s2);
+        let rhs = v.permute(s1 + s2);
+        prop_assert_eq!(lhs, rhs);
+    }
+}

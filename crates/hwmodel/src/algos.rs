@@ -1,0 +1,393 @@
+//! Analytic operation counts for every learner in the evaluation.
+//!
+//! Each function reproduces, term by term, the arithmetic an optimised
+//! implementation of the algorithm performs. The bench harness multiplies
+//! the per-epoch costs by iteration counts measured from the real Rust
+//! implementations, which is how the training-efficiency results of
+//! Figures 8–9 account for RegHD's convergence behaviour ("reducing the
+//! number of training iterations").
+
+use crate::ops::OpCount;
+
+/// Shape of a RegHD configuration, as the cost model sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegHdShape {
+    /// Hypervector dimensionality `D`.
+    pub dim: u64,
+    /// Number of cluster/model pairs `k`.
+    pub models: u64,
+    /// Input feature count `n`.
+    pub features: u64,
+    /// Whether cluster search uses binary Hamming similarity (§3.1).
+    pub cluster_binary: bool,
+    /// Whether the query is binarised for prediction (§3.2).
+    pub query_binary: bool,
+    /// Whether the models are binarised for prediction (§3.2).
+    pub model_binary: bool,
+}
+
+/// Cost of encoding one input into HD space (Eq. 1 form: Gaussian
+/// projection + cos·sin), including binarisation when any consumer needs
+/// the binary copy.
+pub fn encode_cost(shape: &RegHdShape) -> OpCount {
+    let d = shape.dim;
+    let n = shape.features;
+    let mut ops = OpCount {
+        // Projection: D rows × n MACs.
+        f32_mul: d * n,
+        f32_add: d * n,
+        // cos and sin per component, then one product.
+        transcendental: 2 * d,
+        mem_bytes: 4 * (n + d),
+        ..OpCount::zero()
+    };
+    ops.f32_mul += d;
+    if shape.query_binary || shape.cluster_binary {
+        // Sign comparisons + packed write.
+        ops.compare += d;
+        ops.mem_bytes += d / 8;
+    }
+    ops
+}
+
+/// Cost of the cluster similarity search for one query (step ② of Fig. 4).
+pub fn cluster_search_cost(shape: &RegHdShape) -> OpCount {
+    let d = shape.dim;
+    let k = shape.models;
+    if shape.cluster_binary {
+        // Hamming distance per cluster: XOR + popcount over D/64 words,
+        // plus an accumulate per word.
+        let words = d.div_ceil(64);
+        OpCount {
+            xor64: k * words,
+            popcount64: k * words,
+            int_add: k * words,
+            mem_bytes: k * (d / 8),
+            ..OpCount::zero()
+        }
+    } else {
+        // Cosine per cluster: D MACs plus a normalising divide (cluster
+        // norms cached, query norm computed once: D MACs + sqrt).
+        OpCount {
+            f32_mul: k * d + d,
+            f32_add: k * d + d,
+            transcendental: k + 1, // divisions + sqrt
+            mem_bytes: k * 4 * d,
+            ..OpCount::zero()
+        }
+    }
+}
+
+/// Cost of softmax confidence normalisation over `k` scores (step ③).
+pub fn softmax_cost(shape: &RegHdShape) -> OpCount {
+    let k = shape.models;
+    OpCount {
+        transcendental: 2 * k, // exp + divide per cluster
+        f32_add: k,
+        compare: k, // max-subtraction scan
+        ..OpCount::zero()
+    }
+}
+
+/// Cost of the weighted multi-model prediction (Eq. 6, step ④), in the
+/// configured precision mode.
+pub fn prediction_cost(shape: &RegHdShape) -> OpCount {
+    let d = shape.dim;
+    let k = shape.models;
+    let mut ops = match (shape.query_binary, shape.model_binary) {
+        // Full precision: D MACs per model.
+        (false, false) => OpCount {
+            f32_mul: k * d,
+            f32_add: k * d,
+            mem_bytes: k * 4 * d,
+            ..OpCount::zero()
+        },
+        // Binary query × integer model: conditional add/subtract only.
+        (true, false) => OpCount {
+            int_add: k * d,
+            mem_bytes: k * 4 * d,
+            ..OpCount::zero()
+        },
+        // Integer query × binary model: conditional add/subtract only.
+        (false, true) => OpCount {
+            int_add: k * d,
+            mem_bytes: k * 4 * d,
+            ..OpCount::zero()
+        },
+        // Binary × binary: XOR + popcount over packed words.
+        (true, true) => {
+            let words = d.div_ceil(64);
+            OpCount {
+                xor64: k * words,
+                popcount64: k * words,
+                int_add: k * words,
+                mem_bytes: k * (d / 8),
+                ..OpCount::zero()
+            }
+        }
+    };
+    // Confidence weighting: one multiply + add per model (plus the scalar
+    // amplitude multiply in binarised modes — same order).
+    ops.f32_mul += k;
+    ops.f32_add += k;
+    ops
+}
+
+/// Cost of the model update (Eq. 7, step ⑤) for one training sample —
+/// always applied to the integer models at full precision (§3.2).
+pub fn model_update_cost(shape: &RegHdShape) -> OpCount {
+    let d = shape.dim;
+    let k = shape.models;
+    OpCount {
+        // α·δ′_i·err precomputed per model (k muls), then D scale-adds.
+        f32_mul: k * d + k,
+        f32_add: k * d,
+        mem_bytes: k * 8 * d, // read-modify-write
+        ..OpCount::zero()
+    }
+}
+
+/// Cost of the cluster update (Eq. 8/9) for one training sample — one
+/// cluster receives `(1 − δ)·S`.
+pub fn cluster_update_cost(shape: &RegHdShape) -> OpCount {
+    let d = shape.dim;
+    OpCount {
+        f32_mul: d,
+        f32_add: d,
+        compare: shape.models, // argmax scan
+        mem_bytes: 8 * d,
+        ..OpCount::zero()
+    }
+}
+
+/// Cost of one full RegHD training epoch over `samples` data points.
+pub fn reghd_train_epoch_cost(shape: &RegHdShape, samples: u64) -> OpCount {
+    let per_sample = encode_cost(shape)
+        + cluster_search_cost(shape)
+        + softmax_cost(shape)
+        + prediction_cost(shape)
+        + model_update_cost(shape)
+        + cluster_update_cost(shape);
+    per_sample * samples
+}
+
+/// Cost of one RegHD inference (steps ①–④, no updates).
+pub fn reghd_infer_cost(shape: &RegHdShape) -> OpCount {
+    encode_cost(shape) + cluster_search_cost(shape) + softmax_cost(shape) + prediction_cost(shape)
+}
+
+/// Shape of a fully connected DNN, as the cost model sees it:
+/// `layers = [input, h1, …, 1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnnShape {
+    /// Layer widths, input first, output (1) last.
+    pub layers: Vec<u64>,
+}
+
+impl DnnShape {
+    /// Total MACs of one forward pass.
+    pub fn forward_macs(&self) -> u64 {
+        self.layers.windows(2).map(|w| w[0] * w[1]).sum()
+    }
+}
+
+/// Cost of one DNN inference (forward pass).
+pub fn dnn_infer_cost(shape: &DnnShape) -> OpCount {
+    let macs = shape.forward_macs();
+    let acts: u64 = shape.layers[1..].iter().sum();
+    OpCount {
+        f32_mul: macs,
+        f32_add: macs,
+        compare: acts, // ReLU
+        mem_bytes: 4 * (macs + acts),
+        ..OpCount::zero()
+    }
+}
+
+/// Cost of one DNN training epoch over `samples` points: forward pass +
+/// backward pass + weight update ≈ 3× forward MACs (the standard
+/// accounting), plus activation traffic.
+pub fn dnn_train_epoch_cost(shape: &DnnShape, samples: u64) -> OpCount {
+    let macs = shape.forward_macs();
+    let acts: u64 = shape.layers[1..].iter().sum();
+    let per_sample = OpCount {
+        f32_mul: 3 * macs,
+        f32_add: 3 * macs,
+        compare: 2 * acts,
+        transcendental: 0,
+        mem_bytes: 4 * (3 * macs + 2 * acts),
+        ..OpCount::zero()
+    };
+    per_sample * samples
+}
+
+/// Cost of one Baseline-HD inference: encode + similarity to every bin's
+/// class hypervector + argmax.
+pub fn baseline_hd_infer_cost(features: u64, dim: u64, bins: u64) -> OpCount {
+    let shape = RegHdShape {
+        dim,
+        models: bins,
+        features,
+        cluster_binary: false,
+        query_binary: false,
+        model_binary: false,
+    };
+    let mut ops = encode_cost(&shape);
+    ops += OpCount {
+        f32_mul: bins * dim,
+        f32_add: bins * dim,
+        transcendental: bins, // cosine normalising divides
+        compare: bins,        // argmax
+        mem_bytes: bins * 4 * dim,
+        ..OpCount::zero()
+    };
+    ops
+}
+
+/// Cost of one Baseline-HD training epoch: inference per sample plus the
+/// two class-vector updates on mispredictions (charged on every sample, the
+/// worst case that early epochs approach).
+pub fn baseline_hd_train_epoch_cost(features: u64, dim: u64, bins: u64, samples: u64) -> OpCount {
+    let per_sample = baseline_hd_infer_cost(features, dim, bins)
+        + OpCount {
+            f32_add: 2 * dim,
+            f32_mul: 2 * dim,
+            mem_bytes: 16 * dim,
+            ..OpCount::zero()
+        };
+    per_sample * samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+
+    fn full(dim: u64, k: u64) -> RegHdShape {
+        RegHdShape {
+            dim,
+            models: k,
+            features: 10,
+            cluster_binary: false,
+            query_binary: false,
+            model_binary: false,
+        }
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_models() {
+        // "Increasing the number of hypervectors linearly increases RegHD
+        // computation cost" (§4.3).
+        let dev = DeviceProfile::fpga_kintex7();
+        let t2 = dev.time_s(&reghd_infer_cost(&full(4096, 2)));
+        let t8 = dev.time_s(&reghd_infer_cost(&full(4096, 8)));
+        let t32 = dev.time_s(&reghd_infer_cost(&full(4096, 32)));
+        // Not exactly linear because encoding is shared, but strongly
+        // increasing and ordered.
+        assert!(t2 < t8 && t8 < t32);
+        assert!(t32 / t8 > 2.0, "t32/t8 = {}", t32 / t8);
+    }
+
+    #[test]
+    fn cost_scales_with_dimension() {
+        let dev = DeviceProfile::fpga_kintex7();
+        let t1k = dev.time_s(&reghd_infer_cost(&full(1024, 8)));
+        let t4k = dev.time_s(&reghd_infer_cost(&full(4096, 8)));
+        let ratio = t4k / t1k;
+        assert!((3.0..5.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn binary_cluster_search_is_cheaper() {
+        // Figure 9: cluster quantisation ≈ 2× faster training.
+        let dev = DeviceProfile::fpga_kintex7();
+        let fullp = cluster_search_cost(&full(4096, 8));
+        let mut shape = full(4096, 8);
+        shape.cluster_binary = true;
+        let quant = cluster_search_cost(&shape);
+        assert!(dev.time_s(&fullp) / dev.time_s(&quant) > 5.0);
+    }
+
+    #[test]
+    fn quantised_prediction_is_multiply_free_in_inner_loop() {
+        let mut shape = full(4096, 8);
+        shape.query_binary = true;
+        let ops = prediction_cost(&shape);
+        // Only the k per-model confidence weights multiply.
+        assert_eq!(ops.f32_mul, 8);
+        assert!(ops.int_add >= 8 * 4096);
+    }
+
+    #[test]
+    fn binary_both_prediction_is_cheapest() {
+        let dev = DeviceProfile::fpga_kintex7();
+        let t_full = dev.time_s(&prediction_cost(&full(4096, 8)));
+        let mut bq = full(4096, 8);
+        bq.query_binary = true;
+        let t_bq = dev.time_s(&prediction_cost(&bq));
+        let mut bb = bq;
+        bb.model_binary = true;
+        let t_bb = dev.time_s(&prediction_cost(&bb));
+        assert!(t_bb < t_bq && t_bq < t_full, "{t_bb} {t_bq} {t_full}");
+    }
+
+    #[test]
+    fn reghd_inference_beats_dnn_inference() {
+        // Figure 8's inference comparison (≈2.9× in the paper).
+        let dev = DeviceProfile::fpga_kintex7();
+        let reghd = reghd_infer_cost(&{
+            let mut s = full(4096, 8);
+            s.cluster_binary = true;
+            s
+        });
+        // Representative of the grid-searched TensorFlow models of §4.2.
+        let dnn = dnn_infer_cost(&DnnShape {
+            layers: vec![10, 512, 512, 1],
+        });
+        let ratio = dev.time_s(&dnn) / dev.time_s(&reghd);
+        assert!(ratio > 1.0, "reghd should be faster: ratio = {ratio}");
+    }
+
+    #[test]
+    fn dnn_training_is_3x_inference() {
+        let shape = DnnShape {
+            layers: vec![10, 64, 1],
+        };
+        let inf = dnn_infer_cost(&shape);
+        let train = dnn_train_epoch_cost(&shape, 1);
+        assert_eq!(train.f32_mul, 3 * inf.f32_mul);
+    }
+
+    #[test]
+    fn baseline_hd_cost_grows_with_bins() {
+        let dev = DeviceProfile::fpga_kintex7();
+        let small = baseline_hd_infer_cost(10, 4096, 16);
+        let large = baseline_hd_infer_cost(10, 4096, 256);
+        assert!(dev.time_s(&large) > 5.0 * dev.time_s(&small));
+    }
+
+    #[test]
+    fn baseline_hd_with_many_bins_costs_more_than_reghd() {
+        // The paper's point: emulating regression with hundreds of class
+        // hypervectors is "significantly inefficient in hardware".
+        let dev = DeviceProfile::fpga_kintex7();
+        let baseline = baseline_hd_infer_cost(10, 4096, 256);
+        let reghd = reghd_infer_cost(&full(4096, 8));
+        assert!(dev.time_s(&baseline) > dev.time_s(&reghd));
+    }
+
+    #[test]
+    fn train_epoch_scales_with_samples() {
+        let a = reghd_train_epoch_cost(&full(1024, 4), 100);
+        let b = reghd_train_epoch_cost(&full(1024, 4), 200);
+        assert_eq!(b.f32_mul, 2 * a.f32_mul);
+    }
+
+    #[test]
+    fn forward_macs_reference() {
+        let shape = DnnShape {
+            layers: vec![3, 5, 1],
+        };
+        assert_eq!(shape.forward_macs(), 15 + 5);
+    }
+}

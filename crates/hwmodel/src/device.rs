@@ -1,0 +1,280 @@
+//! Device profiles: mapping operation counts to time and energy.
+//!
+//! Two profiles mirror the paper's evaluation platforms:
+//!
+//! * [`DeviceProfile::fpga_kintex7`] — a Kintex-7-class FPGA: wide
+//!   parallelism, cheap bitwise/popcount logic in LUTs, comparatively
+//!   expensive DSP-based float multiplies.
+//! * [`DeviceProfile::embedded_cpu`] — an ARM Cortex-A53-class embedded CPU
+//!   (the paper's Raspberry Pi 3B+): modest parallelism (NEON), float and
+//!   integer closer in cost, higher static power share.
+//!
+//! Per-op energies are order-of-magnitude figures from the standard
+//! accounting literature (Horowitz, ISSCC'14 energy tables, scaled to the
+//! respective platforms). Absolute numbers are *not* the reproduction
+//! target; the ratios between operation classes are what drives the paper's
+//! relative efficiency results.
+
+use crate::ops::OpCount;
+
+/// Time and energy estimate for a workload on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated execution time in seconds.
+    pub time_s: f64,
+    /// Estimated energy in joules.
+    pub energy_j: f64,
+}
+
+impl CostEstimate {
+    /// Energy-delay product, a common combined figure of merit.
+    pub fn edp(&self) -> f64 {
+        self.time_s * self.energy_j
+    }
+}
+
+/// Per-operation-class cost table for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Number of parallel lanes the device sustains on element-wise
+    /// hypervector work.
+    pub lanes: f64,
+    /// Cycles per f32 multiply (per lane).
+    pub cyc_f32_mul: f64,
+    /// Cycles per f32 add.
+    pub cyc_f32_add: f64,
+    /// Cycles per integer add.
+    pub cyc_int_add: f64,
+    /// Cycles per 64-bit XOR.
+    pub cyc_xor64: f64,
+    /// Cycles per 64-bit popcount.
+    pub cyc_popcount64: f64,
+    /// Cycles per comparison.
+    pub cyc_compare: f64,
+    /// Cycles per transcendental.
+    pub cyc_transcendental: f64,
+    /// Cycles per byte of memory traffic (amortised bandwidth).
+    pub cyc_mem_byte: f64,
+    /// Energy per f32 multiply, picojoules.
+    pub pj_f32_mul: f64,
+    /// Energy per f32 add, picojoules.
+    pub pj_f32_add: f64,
+    /// Energy per integer add, picojoules.
+    pub pj_int_add: f64,
+    /// Energy per 64-bit XOR, picojoules.
+    pub pj_xor64: f64,
+    /// Energy per 64-bit popcount, picojoules.
+    pub pj_popcount64: f64,
+    /// Energy per comparison, picojoules.
+    pub pj_compare: f64,
+    /// Energy per transcendental, picojoules.
+    pub pj_transcendental: f64,
+    /// Energy per byte of memory traffic, picojoules.
+    pub pj_mem_byte: f64,
+    /// Static (leakage + idle) power in watts, charged over execution time.
+    pub static_power_w: f64,
+}
+
+impl DeviceProfile {
+    /// Kintex-7-class FPGA profile (the paper's KC705 evaluation kit).
+    pub fn fpga_kintex7() -> Self {
+        Self {
+            name: "Kintex-7 FPGA".to_string(),
+            freq_hz: 200e6,
+            lanes: 512.0,
+            cyc_f32_mul: 1.0,
+            cyc_f32_add: 1.0,
+            cyc_int_add: 0.25,
+            cyc_xor64: 0.05,
+            cyc_popcount64: 0.1,
+            cyc_compare: 0.25,
+            // FPGAs evaluate sin/cos/exp as pipelined BRAM lookup tables
+            // with interpolation — close to one result per cycle per lane.
+            cyc_transcendental: 2.0,
+            cyc_mem_byte: 0.02,
+            pj_f32_mul: 8.0,
+            pj_f32_add: 2.0,
+            pj_int_add: 0.4,
+            pj_xor64: 0.3,
+            pj_popcount64: 0.8,
+            pj_compare: 0.3,
+            pj_transcendental: 40.0,
+            pj_mem_byte: 2.0,
+            static_power_w: 0.6,
+        }
+    }
+
+    /// ARM Cortex-A53-class embedded CPU profile (the paper's RPi 3B+).
+    pub fn embedded_cpu() -> Self {
+        Self {
+            name: "ARM Cortex-A53".to_string(),
+            freq_hz: 1.4e9,
+            lanes: 8.0, // 4 cores × modest NEON ILP
+            cyc_f32_mul: 1.0,
+            cyc_f32_add: 1.0,
+            cyc_int_add: 0.5,
+            cyc_xor64: 0.25,
+            cyc_popcount64: 0.5,
+            cyc_compare: 0.5,
+            cyc_transcendental: 20.0,
+            cyc_mem_byte: 0.1,
+            pj_f32_mul: 15.0,
+            pj_f32_add: 6.0,
+            pj_int_add: 2.0,
+            pj_xor64: 1.0,
+            pj_popcount64: 2.0,
+            pj_compare: 1.5,
+            pj_transcendental: 120.0,
+            pj_mem_byte: 10.0,
+            static_power_w: 1.5,
+        }
+    }
+
+    /// Total cycles the workload needs (before dividing by lanes).
+    fn cycles(&self, ops: &OpCount) -> f64 {
+        ops.f32_mul as f64 * self.cyc_f32_mul
+            + ops.f32_add as f64 * self.cyc_f32_add
+            + ops.int_add as f64 * self.cyc_int_add
+            + ops.xor64 as f64 * self.cyc_xor64
+            + ops.popcount64 as f64 * self.cyc_popcount64
+            + ops.compare as f64 * self.cyc_compare
+            + ops.transcendental as f64 * self.cyc_transcendental
+            + ops.mem_bytes as f64 * self.cyc_mem_byte
+    }
+
+    /// Dynamic energy of the workload, in joules.
+    fn dynamic_energy_j(&self, ops: &OpCount) -> f64 {
+        1e-12
+            * (ops.f32_mul as f64 * self.pj_f32_mul
+                + ops.f32_add as f64 * self.pj_f32_add
+                + ops.int_add as f64 * self.pj_int_add
+                + ops.xor64 as f64 * self.pj_xor64
+                + ops.popcount64 as f64 * self.pj_popcount64
+                + ops.compare as f64 * self.pj_compare
+                + ops.transcendental as f64 * self.pj_transcendental
+                + ops.mem_bytes as f64 * self.pj_mem_byte)
+    }
+
+    /// Estimated execution time in seconds.
+    pub fn time_s(&self, ops: &OpCount) -> f64 {
+        self.cycles(ops) / (self.lanes * self.freq_hz)
+    }
+
+    /// Estimated total energy in joules (dynamic + static over runtime).
+    pub fn energy_j(&self, ops: &OpCount) -> f64 {
+        self.dynamic_energy_j(ops) + self.static_power_w * self.time_s(ops)
+    }
+
+    /// Full cost estimate.
+    pub fn estimate(&self, ops: &OpCount) -> CostEstimate {
+        CostEstimate {
+            time_s: self.time_s(ops),
+            energy_j: self.energy_j(ops),
+        }
+    }
+}
+
+/// Speedup of `candidate` relative to `baseline` (`> 1` means candidate is
+/// faster).
+pub fn speedup(baseline: &CostEstimate, candidate: &CostEstimate) -> f64 {
+    baseline.time_s / candidate.time_s
+}
+
+/// Energy-efficiency gain of `candidate` relative to `baseline` (`> 1`
+/// means candidate uses less energy).
+pub fn energy_gain(baseline: &CostEstimate, candidate: &CostEstimate) -> f64 {
+    baseline.energy_j / candidate.energy_j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mul_heavy() -> OpCount {
+        OpCount {
+            f32_mul: 1_000_000,
+            f32_add: 1_000_000,
+            ..OpCount::zero()
+        }
+    }
+
+    fn popcount_heavy() -> OpCount {
+        // Same "work width": 1M element-pairs processed 64 at a time.
+        OpCount {
+            xor64: 1_000_000 / 64,
+            popcount64: 1_000_000 / 64,
+            int_add: 1_000_000 / 64,
+            ..OpCount::zero()
+        }
+    }
+
+    #[test]
+    fn popcount_path_is_much_cheaper() {
+        // The core §3.1 premise: Hamming similarity over packed words beats
+        // cosine over floats by a large factor on both devices.
+        for dev in [DeviceProfile::fpga_kintex7(), DeviceProfile::embedded_cpu()] {
+            let full = dev.estimate(&mul_heavy());
+            let quant = dev.estimate(&popcount_heavy());
+            assert!(
+                speedup(&full, &quant) > 10.0,
+                "{}: speedup = {}",
+                dev.name,
+                speedup(&full, &quant)
+            );
+            assert!(energy_gain(&full, &quant) > 10.0);
+        }
+    }
+
+    #[test]
+    fn fpga_faster_than_embedded_cpu_on_parallel_work() {
+        let fpga = DeviceProfile::fpga_kintex7();
+        let cpu = DeviceProfile::embedded_cpu();
+        let w = mul_heavy();
+        assert!(fpga.time_s(&w) < cpu.time_s(&w));
+    }
+
+    #[test]
+    fn time_scales_linearly() {
+        let dev = DeviceProfile::fpga_kintex7();
+        let w = mul_heavy();
+        let t1 = dev.time_s(&w);
+        let t2 = dev.time_s(&(w * 2));
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_includes_static_share() {
+        let dev = DeviceProfile::embedded_cpu();
+        let w = mul_heavy();
+        let e = dev.energy_j(&w);
+        let t = dev.time_s(&w);
+        assert!(e > dev.static_power_w * t, "static power must be included");
+    }
+
+    #[test]
+    fn zero_ops_cost_nothing() {
+        let dev = DeviceProfile::fpga_kintex7();
+        let est = dev.estimate(&OpCount::zero());
+        assert_eq!(est.time_s, 0.0);
+        assert_eq!(est.energy_j, 0.0);
+        assert_eq!(est.edp(), 0.0);
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        let a = CostEstimate {
+            time_s: 2.0,
+            energy_j: 8.0,
+        };
+        let b = CostEstimate {
+            time_s: 1.0,
+            energy_j: 2.0,
+        };
+        assert_eq!(speedup(&a, &b), 2.0);
+        assert_eq!(energy_gain(&a, &b), 4.0);
+    }
+}

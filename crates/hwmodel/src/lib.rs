@@ -1,0 +1,43 @@
+//! # hwmodel — operation-level hardware cost model
+//!
+//! The RegHD paper measures training/inference efficiency on a Kintex-7
+//! FPGA and a Raspberry Pi 3B+ with a power meter (§4.1). Neither device is
+//! available in this environment, so this crate substitutes an **analytic
+//! operation-count model**: every learner reports how many operations of
+//! each class (float multiply, integer add, 64-bit XOR + popcount,
+//! transcendental, …) one training epoch or one inference costs, and a
+//! [`DeviceProfile`] maps those counts to time and energy.
+//!
+//! The efficiency claims being reproduced (Figures 8–9, Table 2) are
+//! **ratios** — RegHD vs DNN, quantised vs full precision, D = 1k vs 4k —
+//! and those ratios are driven by (a) the operation mix, captured exactly
+//! here, and (b) iteration counts, which the bench harness measures by
+//! running the real algorithms. See `DESIGN.md` §3.
+//!
+//! ```
+//! use hwmodel::{DeviceProfile, algos};
+//!
+//! let fpga = DeviceProfile::fpga_kintex7();
+//! let full = algos::reghd_infer_cost(&algos::RegHdShape {
+//!     dim: 4096, models: 8, features: 10,
+//!     cluster_binary: false, query_binary: false, model_binary: false,
+//! });
+//! let quant = algos::reghd_infer_cost(&algos::RegHdShape {
+//!     dim: 4096, models: 8, features: 10,
+//!     cluster_binary: true, query_binary: true, model_binary: true,
+//! });
+//! let speedup = fpga.time_s(&full) / fpga.time_s(&quant);
+//! assert!(speedup > 1.0); // quantised inference is faster
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod device;
+pub mod memory;
+pub mod ops;
+
+pub use device::{CostEstimate, DeviceProfile};
+pub use memory::Footprint;
+pub use ops::OpCount;

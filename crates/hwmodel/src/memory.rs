@@ -1,0 +1,154 @@
+//! Model memory footprints.
+//!
+//! Embedded deployment is bounded by storage as much as by compute ("IoT
+//! devices with limited storage" — paper §1). This module accounts for the
+//! bytes each learner must keep resident at inference time, which is also
+//! where the §3 quantisation shines: a binary hypervector costs 1 bit per
+//! component instead of 32.
+
+use crate::algos::{DnnShape, RegHdShape};
+
+/// Bytes of resident model state, by component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Bytes for the cluster hypervectors (or equivalent gating state).
+    pub cluster_bytes: u64,
+    /// Bytes for the regression model hypervectors / weights.
+    pub model_bytes: u64,
+    /// Bytes for the encoder parameters.
+    pub encoder_bytes: u64,
+}
+
+impl Footprint {
+    /// Total resident bytes.
+    pub fn total(&self) -> u64 {
+        self.cluster_bytes + self.model_bytes + self.encoder_bytes
+    }
+}
+
+/// Inference-time footprint of a RegHD configuration.
+///
+/// Binary copies cost `D/8` bytes; integer copies cost `4·D`. The encoder
+/// stores the projection matrix (`4·n·D`) and phases (`4·D`) — unless the
+/// deployment regenerates them from the seed on the fly, which is the
+/// usual HD trick; set `regenerate_encoder` for that accounting.
+pub fn reghd_footprint(shape: &RegHdShape, regenerate_encoder: bool) -> Footprint {
+    let d = shape.dim;
+    let k = shape.models;
+    let cluster_bytes = if shape.cluster_binary {
+        k * d.div_ceil(8)
+    } else {
+        k * 4 * d
+    };
+    let model_bytes = if shape.model_binary {
+        // Binary model + one f32 amplitude per model.
+        k * d.div_ceil(8) + 4 * k
+    } else {
+        k * 4 * d
+    };
+    let encoder_bytes = if regenerate_encoder {
+        8 // just the seed
+    } else {
+        4 * shape.features * d + 4 * d
+    };
+    Footprint {
+        cluster_bytes,
+        model_bytes,
+        encoder_bytes,
+    }
+}
+
+/// Inference-time footprint of a dense DNN (f32 weights + biases).
+pub fn dnn_footprint(shape: &DnnShape) -> Footprint {
+    let params: u64 = shape
+        .layers
+        .windows(2)
+        .map(|w| w[0] * w[1] + w[1])
+        .sum();
+    Footprint {
+        cluster_bytes: 0,
+        model_bytes: 4 * params,
+        encoder_bytes: 0,
+    }
+}
+
+/// Inference-time footprint of Baseline-HD: one integer class hypervector
+/// per output bin plus the encoder.
+pub fn baseline_hd_footprint(features: u64, dim: u64, bins: u64, regenerate_encoder: bool) -> Footprint {
+    Footprint {
+        cluster_bytes: 0,
+        model_bytes: bins * 4 * dim,
+        encoder_bytes: if regenerate_encoder {
+            8
+        } else {
+            4 * features * dim + 4 * dim
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(cluster_binary: bool, model_binary: bool) -> RegHdShape {
+        RegHdShape {
+            dim: 4096,
+            models: 8,
+            features: 10,
+            cluster_binary,
+            query_binary: model_binary,
+            model_binary,
+        }
+    }
+
+    #[test]
+    fn binary_clusters_are_32x_smaller() {
+        let full = reghd_footprint(&shape(false, false), true);
+        let quant = reghd_footprint(&shape(true, false), true);
+        assert_eq!(full.cluster_bytes, 32 * quant.cluster_bytes);
+    }
+
+    #[test]
+    fn binary_models_shrink_accordingly() {
+        let full = reghd_footprint(&shape(false, false), true);
+        let quant = reghd_footprint(&shape(false, true), true);
+        // 1 bit vs 32 bits, plus the small amplitude overhead.
+        assert!(quant.model_bytes < full.model_bytes / 30);
+    }
+
+    #[test]
+    fn seed_regeneration_removes_encoder_storage() {
+        let stored = reghd_footprint(&shape(false, false), false);
+        let regen = reghd_footprint(&shape(false, false), true);
+        assert!(stored.encoder_bytes > 100_000);
+        assert_eq!(regen.encoder_bytes, 8);
+        assert!(regen.total() < stored.total());
+    }
+
+    #[test]
+    fn quantised_reghd_fits_iot_budgets() {
+        // Fully binary RegHD-8 at D=4096 with seed-regenerated encoder:
+        // ~8 KiB — trivially within a microcontroller's SRAM.
+        let fp = reghd_footprint(&shape(true, true), true);
+        assert!(fp.total() < 16 * 1024, "total = {}", fp.total());
+    }
+
+    #[test]
+    fn dnn_footprint_counts_params() {
+        let fp = dnn_footprint(&DnnShape {
+            layers: vec![10, 512, 512, 1],
+        });
+        let params = 10 * 512 + 512 + 512 * 512 + 512 + 512 + 1;
+        assert_eq!(fp.model_bytes, 4 * params);
+        // The representative DNN outweighs even full-precision RegHD-8.
+        let reghd = reghd_footprint(&shape(false, false), true);
+        assert!(fp.total() > reghd.total());
+    }
+
+    #[test]
+    fn baseline_hd_grows_with_bins() {
+        let small = baseline_hd_footprint(10, 4096, 16, true);
+        let big = baseline_hd_footprint(10, 4096, 256, true);
+        assert_eq!(big.model_bytes, 16 * small.model_bytes);
+    }
+}

@@ -1,0 +1,174 @@
+//! Operation counting.
+//!
+//! [`OpCount`] tallies how many primitive operations of each class an
+//! algorithm performs. The classes are chosen to distinguish exactly the
+//! costs the RegHD quantisation framework trades between: full-precision
+//! multiply/add, integer (multiply-free) add, bitwise XOR + popcount over
+//! 64-bit words, comparisons, and transcendental evaluations.
+
+use std::ops::{Add, AddAssign, Mul};
+
+/// Tally of primitive operations, by class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCount {
+    /// 32-bit floating-point multiplications.
+    pub f32_mul: u64,
+    /// 32-bit floating-point additions/subtractions.
+    pub f32_add: u64,
+    /// Integer additions/subtractions (the multiply-free path).
+    pub int_add: u64,
+    /// 64-bit word XOR operations.
+    pub xor64: u64,
+    /// 64-bit word popcounts.
+    pub popcount64: u64,
+    /// Scalar comparisons (thresholding, argmax steps).
+    pub compare: u64,
+    /// Transcendental evaluations (sin, cos, exp, sqrt, division).
+    pub transcendental: u64,
+    /// Bytes moved to/from memory.
+    pub mem_bytes: u64,
+}
+
+impl OpCount {
+    /// An empty tally.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Total arithmetic operations (everything except memory traffic).
+    pub fn total_arith(&self) -> u64 {
+        self.f32_mul
+            + self.f32_add
+            + self.int_add
+            + self.xor64
+            + self.popcount64
+            + self.compare
+            + self.transcendental
+    }
+
+    /// Whether the tally contains any floating-point multiplies — the
+    /// "costly" operation class the quantised modes are designed to avoid
+    /// in their inner loops.
+    pub fn is_multiply_free(&self) -> bool {
+        self.f32_mul == 0
+    }
+}
+
+impl Add for OpCount {
+    type Output = OpCount;
+
+    fn add(self, rhs: OpCount) -> OpCount {
+        OpCount {
+            f32_mul: self.f32_mul + rhs.f32_mul,
+            f32_add: self.f32_add + rhs.f32_add,
+            int_add: self.int_add + rhs.int_add,
+            xor64: self.xor64 + rhs.xor64,
+            popcount64: self.popcount64 + rhs.popcount64,
+            compare: self.compare + rhs.compare,
+            transcendental: self.transcendental + rhs.transcendental,
+            mem_bytes: self.mem_bytes + rhs.mem_bytes,
+        }
+    }
+}
+
+impl AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: OpCount) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for OpCount {
+    type Output = OpCount;
+
+    /// Scales every class by `rhs` — e.g. per-sample cost × sample count.
+    fn mul(self, rhs: u64) -> OpCount {
+        OpCount {
+            f32_mul: self.f32_mul * rhs,
+            f32_add: self.f32_add * rhs,
+            int_add: self.int_add * rhs,
+            xor64: self.xor64 * rhs,
+            popcount64: self.popcount64 * rhs,
+            compare: self.compare * rhs,
+            transcendental: self.transcendental * rhs,
+            mem_bytes: self.mem_bytes * rhs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_empty() {
+        let z = OpCount::zero();
+        assert_eq!(z.total_arith(), 0);
+        assert!(z.is_multiply_free());
+    }
+
+    #[test]
+    fn add_accumulates_componentwise() {
+        let a = OpCount {
+            f32_mul: 1,
+            int_add: 2,
+            ..OpCount::zero()
+        };
+        let b = OpCount {
+            f32_mul: 10,
+            popcount64: 5,
+            ..OpCount::zero()
+        };
+        let c = a + b;
+        assert_eq!(c.f32_mul, 11);
+        assert_eq!(c.int_add, 2);
+        assert_eq!(c.popcount64, 5);
+    }
+
+    #[test]
+    fn mul_scales_everything() {
+        let a = OpCount {
+            f32_mul: 3,
+            mem_bytes: 7,
+            ..OpCount::zero()
+        };
+        let b = a * 4;
+        assert_eq!(b.f32_mul, 12);
+        assert_eq!(b.mem_bytes, 28);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let a = OpCount {
+            xor64: 2,
+            ..OpCount::zero()
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a + a);
+    }
+
+    #[test]
+    fn multiply_free_detection() {
+        let quantised = OpCount {
+            int_add: 100,
+            popcount64: 50,
+            ..OpCount::zero()
+        };
+        assert!(quantised.is_multiply_free());
+        let full = OpCount {
+            f32_mul: 1,
+            ..quantised
+        };
+        assert!(!full.is_multiply_free());
+    }
+
+    #[test]
+    fn total_arith_excludes_memory() {
+        let a = OpCount {
+            f32_add: 5,
+            mem_bytes: 1000,
+            ..OpCount::zero()
+        };
+        assert_eq!(a.total_arith(), 5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the hardware cost model: monotonicity and
+//! scaling laws that must hold for any shape.
+
+use hwmodel::algos::{
+    dnn_infer_cost, dnn_train_epoch_cost, reghd_infer_cost, reghd_train_epoch_cost, DnnShape,
+    RegHdShape,
+};
+use hwmodel::memory::{dnn_footprint, reghd_footprint};
+use hwmodel::{DeviceProfile, OpCount};
+use proptest::prelude::*;
+
+fn shape_strategy() -> impl Strategy<Value = RegHdShape> {
+    (
+        64u64..8192,
+        1u64..64,
+        1u64..32,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(dim, models, features, cb, qb, mb)| RegHdShape {
+            dim,
+            models,
+            features,
+            cluster_binary: cb,
+            query_binary: qb,
+            model_binary: mb,
+        })
+}
+
+proptest! {
+    #[test]
+    fn time_and_energy_nonnegative(shape in shape_strategy()) {
+        for dev in [DeviceProfile::fpga_kintex7(), DeviceProfile::embedded_cpu()] {
+            let est = dev.estimate(&reghd_infer_cost(&shape));
+            prop_assert!(est.time_s >= 0.0);
+            prop_assert!(est.energy_j >= 0.0);
+            prop_assert!(est.time_s.is_finite() && est.energy_j.is_finite());
+        }
+    }
+
+    #[test]
+    fn inference_cost_monotone_in_models(mut shape in shape_strategy()) {
+        let dev = DeviceProfile::fpga_kintex7();
+        shape.models = 2;
+        let t2 = dev.time_s(&reghd_infer_cost(&shape));
+        shape.models = 16;
+        let t16 = dev.time_s(&reghd_infer_cost(&shape));
+        prop_assert!(t16 > t2);
+    }
+
+    #[test]
+    fn inference_cost_monotone_in_dim(mut shape in shape_strategy()) {
+        let dev = DeviceProfile::fpga_kintex7();
+        shape.dim = 512;
+        let lo = dev.time_s(&reghd_infer_cost(&shape));
+        shape.dim = 4096;
+        let hi = dev.time_s(&reghd_infer_cost(&shape));
+        prop_assert!(hi > lo);
+    }
+
+    #[test]
+    fn quantisation_never_increases_inference_cost(mut shape in shape_strategy()) {
+        let dev = DeviceProfile::fpga_kintex7();
+        shape.cluster_binary = false;
+        shape.query_binary = false;
+        shape.model_binary = false;
+        let full = dev.time_s(&reghd_infer_cost(&shape));
+        shape.cluster_binary = true;
+        shape.query_binary = true;
+        shape.model_binary = true;
+        let quant = dev.time_s(&reghd_infer_cost(&shape));
+        prop_assert!(quant <= full, "quantised {} vs full {}", quant, full);
+    }
+
+    #[test]
+    fn train_epoch_scales_linearly_in_samples(shape in shape_strategy(), n in 1u64..500) {
+        let a = reghd_train_epoch_cost(&shape, n);
+        let b = reghd_train_epoch_cost(&shape, 2 * n);
+        prop_assert_eq!(b.total_arith(), 2 * a.total_arith());
+        prop_assert_eq!(b.mem_bytes, 2 * a.mem_bytes);
+    }
+
+    #[test]
+    fn opcount_algebra(a_mul in 0u64..1000, a_add in 0u64..1000, k in 0u64..100) {
+        let a = OpCount { f32_mul: a_mul, f32_add: a_add, ..OpCount::zero() };
+        prop_assert_eq!((a + a).f32_mul, 2 * a_mul);
+        prop_assert_eq!((a * k).f32_add, a_add * k);
+        // Distributivity of scaling over addition.
+        prop_assert_eq!((a + a) * k, a * k + a * k);
+    }
+
+    #[test]
+    fn dnn_train_more_expensive_than_infer(widths in prop::collection::vec(1u64..256, 2..5)) {
+        let shape = DnnShape { layers: widths };
+        let dev = DeviceProfile::embedded_cpu();
+        let infer = dev.time_s(&dnn_infer_cost(&shape));
+        let train = dev.time_s(&dnn_train_epoch_cost(&shape, 1));
+        prop_assert!(train >= infer);
+    }
+
+    #[test]
+    fn binary_footprint_never_larger(shape in shape_strategy()) {
+        let mut full = shape;
+        full.cluster_binary = false;
+        full.model_binary = false;
+        let mut quant = shape;
+        quant.cluster_binary = true;
+        quant.model_binary = true;
+        let f_full = reghd_footprint(&full, true);
+        let f_quant = reghd_footprint(&quant, true);
+        prop_assert!(f_quant.total() <= f_full.total());
+    }
+
+    #[test]
+    fn footprint_scales_with_models(mut shape in shape_strategy()) {
+        shape.models = 4;
+        let a = reghd_footprint(&shape, true);
+        shape.models = 8;
+        let b = reghd_footprint(&shape, true);
+        prop_assert!(b.cluster_bytes >= a.cluster_bytes);
+        prop_assert!(b.model_bytes >= a.model_bytes);
+    }
+
+    #[test]
+    fn dnn_footprint_positive(widths in prop::collection::vec(1u64..128, 2..4)) {
+        let fp = dnn_footprint(&DnnShape { layers: widths });
+        prop_assert!(fp.model_bytes > 0);
+    }
+}

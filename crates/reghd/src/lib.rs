@@ -1,0 +1,60 @@
+//! # reghd — hyperdimensional regression (RegHD, DAC 2021)
+//!
+//! A from-scratch Rust implementation of **RegHD** (Hernandez-Cano, Zou,
+//! Zhuo, Yin, Imani — *RegHD: Robust and Efficient Regression in
+//! Hyper-Dimensional Learning System*, DAC 2021), the first regression
+//! algorithm built on hyperdimensional computing.
+//!
+//! RegHD encodes feature vectors into high-dimensional space with a
+//! similarity-preserving nonlinear encoder and then learns **linearly in HD
+//! space**:
+//!
+//! * [`SingleHdRegressor`] — one model hypervector trained with the delta
+//!   rule of Eq. 2 (§2.3).
+//! * [`RegHdRegressor`] — the full multi-model system (§2.4): `k` cluster
+//!   hypervectors perform run-time clustering of the input space, `k`
+//!   model hypervectors perform regression, and predictions are the
+//!   confidence-weighted accumulation of all models (Eq. 6).
+//! * Quantisation framework (§3): binary cluster search via Hamming
+//!   distance ([`config::ClusterMode`]) and three reduced-precision
+//!   prediction modes ([`config::PredictionMode`]), all while updating
+//!   full-precision model copies during training.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reghd::{RegHdRegressor, Regressor, config::RegHdConfig};
+//! use encoding::NonlinearEncoder;
+//!
+//! // A tiny 1-D task: y = sin(3x).
+//! let xs: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32 / 100.0 - 1.0]).collect();
+//! let ys: Vec<f32> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+//!
+//! let config = RegHdConfig::builder().dim(2048).models(4).build();
+//! let encoder = NonlinearEncoder::new(1, 2048, 42);
+//! let mut model = RegHdRegressor::new(config, Box::new(encoder));
+//!
+//! let report = model.fit(&xs, &ys);
+//! assert!(report.final_mse().unwrap() < 0.05);
+//! let pred = model.predict_one(&[0.25]);
+//! assert!((pred - (0.75f32).sin()).abs() < 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod banks;
+pub mod config;
+pub mod diagnostics;
+pub mod model;
+pub mod online;
+pub mod persist;
+pub mod single;
+pub mod sparse;
+pub mod traits;
+
+pub use config::RegHdConfig;
+pub use model::RegHdRegressor;
+pub use online::OnlineRegHd;
+pub use single::SingleHdRegressor;
+pub use traits::{FitReport, Regressor};

@@ -1,0 +1,740 @@
+//! Multi-model hyperdimensional regression — the main RegHD algorithm
+//! (paper §2.4, Fig. 4) with the quantisation framework of §3.
+//!
+//! Training, per sample `(x, y)`:
+//!
+//! 1. encode `x` into `S` (integer) and `S^b` (binary)       — ①
+//! 2. similarity of `S` with every cluster `C_i` (Eq. 5,
+//!    or Hamming against `C_i^b` in quantised-cluster mode)   — ②
+//! 3. softmax-normalise similarities into confidences `δ′`    — ③
+//! 4. predict `ŷ = Σ_i δ′_i · (M_i ⋅ S)` (Eq. 6, in the
+//!    configured precision mode)                              — ④
+//! 5. update all models with the shared error `y − ŷ`
+//!    (Eq. 7; see [`UpdateRule`] for the weighting reading)   — ⑤
+//! 6. update the argmax cluster `C_l ← C_l + (1 − δ_l)·S`
+//!    (Eq. 8/9)
+//!
+//! Epochs repeat over shuffled data until the training MSE stabilises
+//! ("the quality of regression stabilizes during the last few iterations").
+
+use crate::banks::{ClusterBank, EncodedQuery, ModelBank};
+use crate::config::{RegHdConfig, UpdateRule};
+use crate::traits::{FitReport, Regressor};
+use encoding::Encoder;
+use hdc::rng::HdRng;
+use hdc::similarity::{argmax, softmax};
+
+/// The RegHD multi-model regressor.
+///
+/// # Examples
+///
+/// ```
+/// use reghd::{RegHdRegressor, Regressor, config::RegHdConfig};
+/// use encoding::NonlinearEncoder;
+///
+/// // Two regimes: y = +2 around x = -1, y = -2 around x = +1.
+/// let xs: Vec<Vec<f32>> = (0..100)
+///     .map(|i| {
+///         let c = if i % 2 == 0 { -1.0 } else { 1.0 };
+///         vec![c + 0.05 * ((i % 10) as f32 - 5.0) / 5.0]
+///     })
+///     .collect();
+/// let ys: Vec<f32> = xs.iter().map(|x| if x[0] < 0.0 { 2.0 } else { -2.0 }).collect();
+///
+/// let cfg = RegHdConfig::builder().dim(1024).models(4).max_epochs(20).build();
+/// let enc = NonlinearEncoder::new(1, 1024, 3);
+/// let mut model = RegHdRegressor::new(cfg, Box::new(enc));
+/// let report = model.fit(&xs, &ys);
+/// assert!(report.final_mse().unwrap() < 0.5);
+/// ```
+pub struct RegHdRegressor {
+    config: RegHdConfig,
+    encoder: Box<dyn Encoder>,
+    clusters: ClusterBank,
+    models: ModelBank,
+    intercept: f32,
+    /// Training-set mean encoding, subtracted from every encoding when
+    /// `config.center_encodings` is on (see that field's docs).
+    center: Option<hdc::RealHv>,
+    trained: bool,
+}
+
+impl std::fmt::Debug for RegHdRegressor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegHdRegressor")
+            .field("dim", &self.config.dim)
+            .field("models", &self.config.models)
+            .field("cluster_mode", &self.config.cluster_mode)
+            .field("prediction_mode", &self.config.prediction_mode)
+            .field("trained", &self.trained)
+            .finish()
+    }
+}
+
+impl RegHdRegressor {
+    /// Creates an untrained multi-model regressor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoder.dim() != config.dim` or the config is invalid.
+    pub fn new(config: RegHdConfig, encoder: Box<dyn Encoder>) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid RegHdConfig: {e}"));
+        assert_eq!(
+            encoder.dim(),
+            config.dim,
+            "encoder dim {} does not match config dim {}",
+            encoder.dim(),
+            config.dim
+        );
+        let mut rng = HdRng::seed_from(config.seed ^ 0xC1_05_7E_12);
+        let clusters = ClusterBank::new(config.models, config.dim, config.cluster_mode, &mut rng);
+        let models = ModelBank::new(config.models, config.dim, config.prediction_mode);
+        Self {
+            config,
+            encoder,
+            clusters,
+            models,
+            intercept: 0.0,
+            center: None,
+            trained: false,
+        }
+    }
+
+    /// The configuration this regressor was built with.
+    pub fn config(&self) -> &RegHdConfig {
+        &self.config
+    }
+
+    /// The cluster bank (inspection access).
+    pub fn clusters(&self) -> &ClusterBank {
+        &self.clusters
+    }
+
+    /// The model bank (inspection access).
+    pub fn models(&self) -> &ModelBank {
+        &self.models
+    }
+
+    /// Mutable model-bank access for out-of-band edits (sparsification).
+    pub(crate) fn models_mut(&mut self) -> &mut ModelBank {
+        &mut self.models
+    }
+
+    /// The learned intercept.
+    pub fn intercept(&self) -> f32 {
+        self.intercept
+    }
+
+    /// The training-set mean encoding subtracted from queries, if centring
+    /// is enabled and the model has been fitted.
+    pub fn center(&self) -> Option<&hdc::RealHv> {
+        self.center.as_ref()
+    }
+
+    /// Rebuilds a trained regressor from persisted state (see
+    /// [`crate::persist`]). The banks' binary copies and amplitudes are
+    /// re-derived from the integer copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid, the encoder/bank/config shapes
+    /// disagree, or the bank vectors are empty.
+    pub fn from_parts(
+        config: RegHdConfig,
+        encoder: Box<dyn Encoder>,
+        clusters_int: Vec<hdc::RealHv>,
+        models_int: Vec<hdc::RealHv>,
+        center: Option<hdc::RealHv>,
+        intercept: f32,
+    ) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid RegHdConfig: {e}"));
+        assert_eq!(encoder.dim(), config.dim, "encoder/config dim mismatch");
+        assert_eq!(clusters_int.len(), config.models, "cluster count mismatch");
+        assert_eq!(models_int.len(), config.models, "model count mismatch");
+        assert!(
+            clusters_int.iter().chain(&models_int).all(|v| v.dim() == config.dim),
+            "bank vectors must match config.dim"
+        );
+        if let Some(c) = &center {
+            assert_eq!(c.dim(), config.dim, "center width mismatch");
+        }
+        let clusters = ClusterBank::from_parts(config.cluster_mode, clusters_int);
+        let models = ModelBank::from_parts(config.prediction_mode, models_int);
+        Self {
+            config,
+            encoder,
+            clusters,
+            models,
+            intercept,
+            center,
+            trained: true,
+        }
+    }
+
+    /// Predicts with hardware-fault emulation: each component of the
+    /// encoded query hypervector has its sign flipped independently with
+    /// probability `flip_rate` before the similarity search and prediction
+    /// run. This is the §3 fault model ("errors in its components") used by
+    /// the robustness evaluation; because the dot product sees the product
+    /// of query and model components, faults here are interchangeable with
+    /// faults in the stored model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flip_rate` is not within `[0, 1]` or `x` has the wrong
+    /// width.
+    pub fn predict_one_with_noise(
+        &self,
+        x: &[f32],
+        flip_rate: f64,
+        rng: &mut HdRng,
+    ) -> f32 {
+        let q = self.encode(x);
+        let noisy = hdc::noise::flip_signs(&q.real, flip_rate, rng);
+        let q = EncodedQuery::new(noisy);
+        self.forward(&q).0
+    }
+
+    fn encode(&self, x: &[f32]) -> EncodedQuery {
+        let mut s = self.encoder.encode(x);
+        if let Some(center) = &self.center {
+            s.add_scaled(center, -1.0);
+        }
+        if self.config.normalize_encodings {
+            s.normalize();
+        }
+        EncodedQuery::new(s)
+    }
+
+    /// Crate-internal access to the full encoding pipeline (centre +
+    /// normalise), used by the diagnostics module.
+    pub(crate) fn encode_query(&self, x: &[f32]) -> EncodedQuery {
+        self.encode(x)
+    }
+
+    /// Continues training an already-fitted model on additional data for
+    /// `epochs` passes **without resetting** the learned state — the
+    /// incremental-retraining capability HD systems advertise for model
+    /// maintenance on devices. The stored encoding centre from the original
+    /// fit is reused (new data is assumed to come from a similar input
+    /// distribution); cluster and model banks keep accumulating.
+    ///
+    /// Refining on data from a *shifted* distribution adapts the model
+    /// toward it, trading away old-distribution precision like any online
+    /// learner under drift; interleave old samples ("replay") to retain
+    /// both.
+    ///
+    /// Returns the per-epoch training MSE on the new data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has not been fitted yet, the inputs are empty or
+    /// mismatched, or `epochs == 0`.
+    pub fn refine(&mut self, features: &[Vec<f32>], targets: &[f32], epochs: usize) -> FitReport {
+        assert!(self.trained, "refine requires a fitted model; call fit first");
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot refine on empty data");
+        assert!(epochs > 0, "epochs must be nonzero");
+
+        let encoded: Vec<EncodedQuery> = features.iter().map(|x| self.encode(x)).collect();
+        let mut rng = HdRng::seed_from(self.config.seed ^ 0x4E_F1_4E);
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.next_below(i + 1);
+                order.swap(i, j);
+            }
+            let mut sq_err = 0.0f64;
+            let model_is_binary = self.config.prediction_mode.model_is_binary();
+            for (step, &i) in order.iter().enumerate() {
+                let q = &encoded[i];
+                let (pred, conf, sims) = self.forward(q);
+                let err = targets[i] - pred;
+                sq_err += (err as f64) * (err as f64);
+                self.update_models(err, &conf, q);
+                if self.config.intercept {
+                    self.intercept += self.config.learning_rate * 0.1 * err;
+                }
+                if let Some(l) = argmax(&sims) {
+                    self.clusters.update(l, sims[l], &q.real);
+                }
+                if model_is_binary && (step + 1) % self.config.quantize_batch == 0 {
+                    self.models.end_epoch();
+                }
+            }
+            self.clusters.end_epoch();
+            self.models.end_epoch();
+            history.push((sq_err / order.len() as f64) as f32);
+        }
+        FitReport {
+            epochs: history.len(),
+            train_mse_history: history,
+            converged: false,
+        }
+    }
+
+    /// Steps ②–④ for one encoded query: similarities, confidences, and the
+    /// confidence-weighted prediction of Eq. 6. Returns
+    /// `(prediction, confidences, similarities)` so training can reuse the
+    /// intermediates ([C-INTERMEDIATE]).
+    fn forward(&self, q: &EncodedQuery) -> (f32, Vec<f32>, Vec<f32>) {
+        let sims = self.clusters.similarities(&q.real, &q.binary);
+        let conf = softmax(&sims, self.config.softmax_beta);
+        let scores = self.models.scores(&q.real, &q.binary, q.amp);
+        let pred: f32 = conf
+            .iter()
+            .zip(&scores)
+            .map(|(&c, &s)| c * s)
+            .sum::<f32>()
+            + self.intercept;
+        (pred, conf, sims)
+    }
+
+    /// Step ⑤: distribute the prediction error to the models per the
+    /// configured [`UpdateRule`].
+    fn update_models(&mut self, err: f32, conf: &[f32], q: &EncodedQuery) {
+        let alpha = self.config.learning_rate;
+        match self.config.update_rule {
+            UpdateRule::ConfidenceWeighted => {
+                for (i, &c) in conf.iter().enumerate() {
+                    if c > 1e-6 {
+                        self.models.update(i, alpha * c * err, &q.real);
+                    }
+                }
+            }
+            UpdateRule::SharedError => {
+                for i in 0..conf.len() {
+                    self.models.update(i, alpha * err, &q.real);
+                }
+            }
+            UpdateRule::ArgmaxOnly => {
+                if let Some(l) = argmax(conf) {
+                    self.models.update(l, alpha * err, &q.real);
+                }
+            }
+        }
+    }
+}
+
+impl Regressor for RegHdRegressor {
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot fit on empty data");
+
+        // Reset so repeated fits are independent.
+        let mut rng = HdRng::seed_from(self.config.seed ^ 0xC1_05_7E_12);
+        self.clusters = ClusterBank::new(
+            self.config.models,
+            self.config.dim,
+            self.config.cluster_mode,
+            &mut rng,
+        );
+        self.models = ModelBank::new(
+            self.config.models,
+            self.config.dim,
+            self.config.prediction_mode,
+        );
+        self.intercept = 0.0;
+        self.center = None;
+
+        // Fit the encoding centre (see `RegHdConfig::center_encodings`),
+        // then encode the training set once.
+        let mut raw: Vec<hdc::RealHv> =
+            features.iter().map(|x| self.encoder.encode(x)).collect();
+        if self.config.center_encodings {
+            let mut mean = hdc::RealHv::zeros(self.config.dim);
+            for s in &raw {
+                mean.add_scaled(s, 1.0 / raw.len() as f32);
+            }
+            for s in &mut raw {
+                s.add_scaled(&mean, -1.0);
+            }
+            self.center = Some(mean);
+        }
+        if self.config.normalize_encodings {
+            for s in &mut raw {
+                s.normalize();
+            }
+        }
+        let encoded: Vec<EncodedQuery> = raw.into_iter().map(EncodedQuery::new).collect();
+
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut history: Vec<f32> = Vec::new();
+        let mut calm_epochs = 0usize;
+        let mut converged = false;
+
+        for _epoch in 0..self.config.max_epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.next_below(i + 1);
+                order.swap(i, j);
+            }
+            let mut sq_err = 0.0f64;
+            let model_is_binary = self.config.prediction_mode.model_is_binary();
+            for (step, &i) in order.iter().enumerate() {
+                let q = &encoded[i];
+                let (pred, conf, sims) = self.forward(q);
+                let err = targets[i] - pred;
+                sq_err += (err as f64) * (err as f64);
+
+                self.update_models(err, &conf, q);
+                if self.config.intercept {
+                    self.intercept += self.config.learning_rate * 0.1 * err;
+                }
+                // Step ⑥: cluster update on the most-similar centre.
+                if let Some(l) = argmax(&sims) {
+                    self.clusters.update(l, sims[l], &q.real);
+                }
+                // Per-batch re-binarisation (§3.2 "or a batch"): keeps the
+                // quantised prediction path responsive to the updates.
+                if model_is_binary && (step + 1) % self.config.quantize_batch == 0 {
+                    self.models.end_epoch();
+                }
+            }
+            self.clusters.end_epoch();
+            self.models.end_epoch();
+
+            let epoch_mse = (sq_err / order.len() as f64) as f32;
+            // Stopping rule on the best MSE seen so far: an epoch only
+            // resets the patience counter if it *improves* on the best by
+            // more than the tolerance. (A last-epoch-relative rule never
+            // fires on noisy quantised training, which oscillates around
+            // its floor.)
+            match history
+                .iter()
+                .copied()
+                .fold(f32::INFINITY, f32::min)
+            {
+                best if epoch_mse < best * (1.0 - self.config.convergence_tol) => {
+                    calm_epochs = 0;
+                }
+                best if best.is_finite() => calm_epochs += 1,
+                _ => {}
+            }
+            history.push(epoch_mse);
+            if history.len() >= self.config.min_epochs && calm_epochs >= self.config.patience {
+                converged = true;
+                break;
+            }
+        }
+
+        self.trained = true;
+        FitReport {
+            epochs: history.len(),
+            train_mse_history: history,
+            converged,
+        }
+    }
+
+    fn predict_one(&self, x: &[f32]) -> f32 {
+        let q = self.encode(x);
+        self.forward(&q).0
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "RegHD-{}({},{})",
+            self.config.models,
+            self.config.cluster_mode.label(),
+            self.config.prediction_mode.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterMode, PredictionMode};
+    use encoding::NonlinearEncoder;
+
+    /// Multi-regime task: `k` well-separated input clusters with opposite
+    /// local slopes — the workload single-model RegHD cannot fit (§2.3).
+    fn multimodal(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = HdRng::seed_from(seed);
+        let centers = [
+            ([-2.0f32, -2.0], 3.0f32, 1.0f32),
+            ([2.0, 2.0], -3.0, -1.0),
+            ([-2.0, 2.0], 0.0, 2.5),
+            ([2.0, -2.0], 1.5, -2.5),
+        ];
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (c, slope, offset) = centers[rng.next_below(4)];
+            let x = [
+                c[0] + 0.3 * rng.next_gaussian() as f32,
+                c[1] + 0.3 * rng.next_gaussian() as f32,
+            ];
+            let y = offset + slope * (x[0] - c[0]) + 0.05 * rng.next_gaussian() as f32;
+            xs.push(x.to_vec());
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    fn make(models: usize, seed: u64) -> RegHdRegressor {
+        let cfg = RegHdConfig::builder()
+            .dim(2048)
+            .models(models)
+            .max_epochs(30)
+            .seed(seed)
+            .build();
+        let enc = NonlinearEncoder::new(2, 2048, seed);
+        RegHdRegressor::new(cfg, Box::new(enc))
+    }
+
+    fn make_with(
+        models: usize,
+        cluster: ClusterMode,
+        pred: PredictionMode,
+        seed: u64,
+    ) -> RegHdRegressor {
+        let cfg = RegHdConfig::builder()
+            .dim(2048)
+            .models(models)
+            .max_epochs(30)
+            .cluster_mode(cluster)
+            .prediction_mode(pred)
+            .seed(seed)
+            .build();
+        let enc = NonlinearEncoder::new(2, 2048, seed);
+        RegHdRegressor::new(cfg, Box::new(enc))
+    }
+
+    fn test_mse(model: &RegHdRegressor, xs: &[Vec<f32>], ys: &[f32]) -> f32 {
+        let preds = model.predict(xs);
+        preds
+            .iter()
+            .zip(ys)
+            .map(|(&p, &y)| (p - y) * (p - y))
+            .sum::<f32>()
+            / ys.len() as f32
+    }
+
+    #[test]
+    fn learns_multimodal_task() {
+        let (xs, ys) = multimodal(400, 1);
+        let mut m = make(8, 1);
+        let report = m.fit(&xs, &ys);
+        let var = {
+            let mean = ys.iter().sum::<f32>() / ys.len() as f32;
+            ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32
+        };
+        let mse = report.final_mse().unwrap();
+        assert!(mse < 0.1 * var, "mse {mse} vs variance {var}");
+    }
+
+    #[test]
+    fn multi_model_beats_single_on_multimodal() {
+        // Figure 3b's content. The gap appears under capacity pressure
+        // (§2.3): at small D a single hypervector saturates on a
+        // multi-regime task while the clustered models specialise.
+        let (xs, ys) = multimodal(400, 2);
+        let dim = 192;
+        let build = |models: usize| {
+            let cfg = RegHdConfig::builder()
+                .dim(dim)
+                .models(models)
+                .max_epochs(30)
+                .seed(2)
+                .build();
+            RegHdRegressor::new(cfg, Box::new(NonlinearEncoder::new(2, dim, 2)))
+        };
+        let mut single = build(1);
+        let mut multi = build(8);
+        single.fit(&xs, &ys);
+        multi.fit(&xs, &ys);
+        let mse_single = test_mse(&single, &xs, &ys);
+        let mse_multi = test_mse(&multi, &xs, &ys);
+        assert!(
+            mse_multi < mse_single,
+            "multi {mse_multi} should beat single {mse_single}"
+        );
+    }
+
+    #[test]
+    fn quantized_cluster_close_to_full_precision() {
+        // Figure 6's content: the framework's binary clusters track the
+        // integer clusters' quality.
+        let (xs, ys) = multimodal(300, 3);
+        let mut full = make_with(8, ClusterMode::Integer, PredictionMode::Full, 3);
+        let mut quant = make_with(8, ClusterMode::FrameworkBinary, PredictionMode::Full, 3);
+        full.fit(&xs, &ys);
+        quant.fit(&xs, &ys);
+        let mse_full = test_mse(&full, &xs, &ys);
+        let mse_quant = test_mse(&quant, &xs, &ys);
+        assert!(
+            mse_quant < mse_full * 2.0 + 0.05,
+            "quantized {mse_quant} should be close to full {mse_full}"
+        );
+    }
+
+    #[test]
+    fn binary_query_mode_trains() {
+        let (xs, ys) = multimodal(300, 4);
+        let mut m = make_with(8, ClusterMode::Integer, PredictionMode::BinaryQuery, 4);
+        let report = m.fit(&xs, &ys);
+        let var = 4.0; // roughly, for this task
+        assert!(
+            report.final_mse().unwrap() < var,
+            "binary-query should still learn: {:?}",
+            report.final_mse()
+        );
+    }
+
+    #[test]
+    fn all_prediction_modes_predict_finite() {
+        let (xs, ys) = multimodal(150, 5);
+        for mode in PredictionMode::ALL {
+            let mut m = make_with(4, ClusterMode::Integer, mode, 5);
+            m.fit(&xs, &ys);
+            let p = m.predict_one(&xs[0]);
+            assert!(p.is_finite(), "{mode:?} produced {p}");
+        }
+    }
+
+    #[test]
+    fn predictions_deterministic() {
+        let (xs, ys) = multimodal(100, 6);
+        let mut a = make(4, 6);
+        let mut b = make(4, 6);
+        a.fit(&xs, &ys);
+        b.fit(&xs, &ys);
+        for x in xs.iter().take(5) {
+            assert_eq!(a.predict_one(x), b.predict_one(x));
+        }
+    }
+
+    #[test]
+    fn refit_is_independent() {
+        let (xs, ys) = multimodal(100, 7);
+        let mut m = make(4, 7);
+        m.fit(&xs, &ys);
+        let first = m.predict_one(&xs[0]);
+        m.fit(&xs, &ys);
+        let second = m.predict_one(&xs[0]);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn clusters_specialise_to_input_regimes() {
+        // After training, different input regimes should activate different
+        // argmax clusters (the run-time clustering claim of §2.4).
+        let (xs, ys) = multimodal(400, 8);
+        let mut m = make(8, 8);
+        m.fit(&xs, &ys);
+        let probe = |x: &[f32]| {
+            let q = m.encode(x);
+            argmax(&m.clusters.similarities(&q.real, &q.binary)).unwrap()
+        };
+        let c1 = probe(&[-2.0, -2.0]);
+        let c2 = probe(&[2.0, 2.0]);
+        let c3 = probe(&[-2.0, 2.0]);
+        // At least two distinct regimes must map to distinct clusters.
+        assert!(
+            c1 != c2 || c2 != c3,
+            "all regimes mapped to cluster {c1} — no specialisation"
+        );
+    }
+
+    #[test]
+    fn refine_improves_on_new_regime() {
+        // Fit on two regimes, then refine with data from a third; the
+        // refined model must fit the new regime without forgetting the old
+        // ones entirely.
+        let (xs, ys) = multimodal(300, 11);
+        let mut m = make(8, 11);
+        m.fit(&xs, &ys);
+        let base_mse = test_mse(&m, &xs, &ys);
+
+        // New regime around (0, 0) with its own response.
+        let mut rng = HdRng::seed_from(77);
+        let new_x: Vec<Vec<f32>> = (0..150)
+            .map(|_| {
+                vec![
+                    0.3 * rng.next_gaussian() as f32,
+                    0.3 * rng.next_gaussian() as f32,
+                ]
+            })
+            .collect();
+        let new_y: Vec<f32> = new_x.iter().map(|x| 5.0 + x[0]).collect();
+        let before_new: f32 = new_x
+            .iter()
+            .zip(&new_y)
+            .map(|(x, &y)| {
+                let e = m.predict_one(x) - y;
+                e * e
+            })
+            .sum::<f32>()
+            / new_y.len() as f32;
+        m.refine(&new_x, &new_y, 10);
+        let after_new: f32 = new_x
+            .iter()
+            .zip(&new_y)
+            .map(|(x, &y)| {
+                let e = m.predict_one(x) - y;
+                e * e
+            })
+            .sum::<f32>()
+            / new_y.len() as f32;
+        assert!(
+            after_new < 0.3 * before_new,
+            "refine should fit the new regime: {before_new} -> {after_new}"
+        );
+        // Refinement on new-distribution-only data is *adaptation*: old-task
+        // precision is traded away (as in any drifting online learner). The
+        // bound is that the old task does not collapse below the mean
+        // predictor's floor.
+        let old_after = test_mse(&m, &xs, &ys);
+        let mean: f32 = ys.iter().sum::<f32>() / ys.len() as f32;
+        let var: f32 = ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32;
+        assert!(
+            old_after < 1.5 * var,
+            "old task collapsed far below the mean floor: {base_mse} -> {old_after} (var {var})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a fitted model")]
+    fn refine_before_fit_panics() {
+        make(2, 0).refine(&[vec![0.0, 0.0]], &[1.0], 1);
+    }
+
+    #[test]
+    fn name_encodes_configuration() {
+        let m = make_with(8, ClusterMode::FrameworkBinary, PredictionMode::BinaryQuery, 0);
+        let n = m.name();
+        assert!(n.contains("RegHD-8"));
+        assert!(n.contains("bin-cluster"));
+        assert!(n.contains("bin-query"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_empty_panics() {
+        make(2, 0).fit(&[], &[]);
+    }
+
+    #[test]
+    fn history_is_monotonic_enough() {
+        // Iterative training must improve substantially from epoch 1.
+        let (xs, ys) = multimodal(300, 9);
+        let mut m = make(8, 9);
+        let report = m.fit(&xs, &ys);
+        let first = report.train_mse_history[0];
+        let last = *report.train_mse_history.last().unwrap();
+        assert!(last < first, "no improvement: first {first}, last {last}");
+    }
+}

@@ -1,0 +1,353 @@
+//! Single-pass / streaming RegHD.
+//!
+//! HD computing's signature capability (and the reason the paper targets
+//! IoT systems) is **single-pass, online learning**: each sample updates
+//! the model once and is never revisited. [`OnlineRegHd`] exposes RegHD in
+//! that regime: [`OnlineRegHd::update`] consumes one `(x, y)` pair,
+//! returns the *prequential* (predict-then-train) error, and keeps running
+//! quality statistics. Used as a [`Regressor`], `fit` performs exactly one
+//! pass — the paper's "single-pass model" of §2.3, whose accuracy gap to
+//! iterative training is part of Figure 3a's story.
+//!
+//! Differences from the batch trainer: encodings cannot be mean-centred
+//! (the mean is unknown upfront), so the encoder bias is absorbed by the
+//! always-on intercept, and there is no convergence rule — the stream
+//! decides when to stop.
+
+use crate::banks::{ClusterBank, EncodedQuery, ModelBank};
+use crate::config::{RegHdConfig, UpdateRule};
+use crate::traits::{FitReport, Regressor};
+use encoding::Encoder;
+use hdc::rng::HdRng;
+use hdc::similarity::{argmax, softmax};
+
+/// Streaming RegHD: one update per sample, no second pass.
+///
+/// # Examples
+///
+/// ```
+/// use reghd::{OnlineRegHd, config::RegHdConfig};
+/// use encoding::NonlinearEncoder;
+///
+/// let cfg = RegHdConfig::builder().dim(1024).models(2).build();
+/// let mut model = OnlineRegHd::new(cfg, Box::new(NonlinearEncoder::new(1, 1024, 7)));
+/// // Stream y = 2x; the prequential error shrinks as samples arrive.
+/// let mut late_err = 0.0;
+/// for i in 0..500 {
+///     let x = [(i % 100) as f32 / 50.0 - 1.0];
+///     let err = model.update(&x, 2.0 * x[0]);
+///     if i >= 400 { late_err += err.abs(); }
+/// }
+/// assert!(late_err / 100.0 < 0.2);
+/// ```
+pub struct OnlineRegHd {
+    config: RegHdConfig,
+    encoder: Box<dyn Encoder>,
+    clusters: ClusterBank,
+    models: ModelBank,
+    intercept: f32,
+    samples_seen: u64,
+    /// Exponentially weighted prequential squared error.
+    ewma_sq_err: f64,
+    ewma_alpha: f64,
+}
+
+impl std::fmt::Debug for OnlineRegHd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineRegHd")
+            .field("dim", &self.config.dim)
+            .field("models", &self.config.models)
+            .field("samples_seen", &self.samples_seen)
+            .finish()
+    }
+}
+
+impl OnlineRegHd {
+    /// Creates a streaming regressor. `config.center_encodings` is ignored
+    /// (a stream has no precomputable mean); the intercept is always
+    /// learned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoder.dim() != config.dim` or the config is invalid.
+    pub fn new(mut config: RegHdConfig, encoder: Box<dyn Encoder>) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid RegHdConfig: {e}"));
+        assert_eq!(
+            encoder.dim(),
+            config.dim,
+            "encoder dim {} does not match config dim {}",
+            encoder.dim(),
+            config.dim
+        );
+        config.center_encodings = false;
+        config.intercept = true;
+        let mut rng = HdRng::seed_from(config.seed ^ ONLINE_SEED_SALT);
+        let clusters = ClusterBank::new(config.models, config.dim, config.cluster_mode, &mut rng);
+        let models = ModelBank::new(config.models, config.dim, config.prediction_mode);
+        Self {
+            config,
+            encoder,
+            clusters,
+            models,
+            intercept: 0.0,
+            samples_seen: 0,
+            ewma_sq_err: 0.0,
+            ewma_alpha: 0.02,
+        }
+    }
+
+    /// Number of samples consumed so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Exponentially weighted moving average of the prequential squared
+    /// error (0 before any update).
+    pub fn prequential_mse(&self) -> f32 {
+        self.ewma_sq_err as f32
+    }
+
+    fn encode(&self, x: &[f32]) -> EncodedQuery {
+        let mut s = self.encoder.encode(x);
+        if self.config.normalize_encodings {
+            s.normalize();
+        }
+        EncodedQuery::new(s)
+    }
+
+    fn forward(&self, q: &EncodedQuery) -> (f32, Vec<f32>, Vec<f32>) {
+        let sims = self.clusters.similarities(&q.real, &q.binary);
+        let conf = softmax(&sims, self.config.softmax_beta);
+        let scores = self.models.scores(&q.real, &q.binary, q.amp);
+        let pred: f32 =
+            conf.iter().zip(&scores).map(|(&c, &s)| c * s).sum::<f32>() + self.intercept;
+        (pred, conf, sims)
+    }
+
+    /// Consumes one sample: predicts, measures the prequential error,
+    /// applies the RegHD updates (Eq. 7/8), and returns `y − ŷ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong feature width.
+    pub fn update(&mut self, x: &[f32], y: f32) -> f32 {
+        let q = self.encode(x);
+        let (pred, conf, sims) = self.forward(&q);
+        let err = y - pred;
+
+        let alpha = self.config.learning_rate;
+        match self.config.update_rule {
+            UpdateRule::ConfidenceWeighted => {
+                for (i, &c) in conf.iter().enumerate() {
+                    if c > 1e-6 {
+                        self.models.update(i, alpha * c * err, &q.real);
+                    }
+                }
+            }
+            UpdateRule::SharedError => {
+                for i in 0..conf.len() {
+                    self.models.update(i, alpha * err, &q.real);
+                }
+            }
+            UpdateRule::ArgmaxOnly => {
+                if let Some(l) = argmax(&conf) {
+                    self.models.update(l, alpha * err, &q.real);
+                }
+            }
+        }
+        self.intercept += alpha * 0.1 * err;
+        if let Some(l) = argmax(&sims) {
+            self.clusters.update(l, sims[l], &q.real);
+        }
+
+        self.samples_seen += 1;
+        if self.samples_seen.is_multiple_of(self.config.quantize_batch as u64) {
+            self.models.end_epoch();
+            self.clusters.end_epoch();
+        }
+
+        let a = self.ewma_alpha;
+        self.ewma_sq_err = (1.0 - a) * self.ewma_sq_err + a * (err as f64) * (err as f64);
+        err
+    }
+}
+
+impl Regressor for OnlineRegHd {
+    /// Single pass over the data, in the order given (no shuffling — the
+    /// stream's order is the stream's order). Resets any previous state.
+    fn fit(&mut self, features: &[Vec<f32>], targets: &[f32]) -> FitReport {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same length"
+        );
+        assert!(!features.is_empty(), "cannot fit on empty data");
+        // Reset.
+        let mut rng = HdRng::seed_from(self.config.seed ^ ONLINE_SEED_SALT);
+        self.clusters = ClusterBank::new(
+            self.config.models,
+            self.config.dim,
+            self.config.cluster_mode,
+            &mut rng,
+        );
+        self.models = ModelBank::new(
+            self.config.models,
+            self.config.dim,
+            self.config.prediction_mode,
+        );
+        self.intercept = 0.0;
+        self.samples_seen = 0;
+        self.ewma_sq_err = 0.0;
+
+        let mut sq = 0.0f64;
+        for (x, &y) in features.iter().zip(targets) {
+            let e = self.update(x, y);
+            sq += (e as f64) * (e as f64);
+        }
+        self.models.end_epoch();
+        self.clusters.end_epoch();
+        FitReport {
+            epochs: 1,
+            train_mse_history: vec![(sq / targets.len() as f64) as f32],
+            converged: false,
+        }
+    }
+
+    fn predict_one(&self, x: &[f32]) -> f32 {
+        let q = self.encode(x);
+        self.forward(&q).0
+    }
+
+    fn name(&self) -> String {
+        format!("RegHD-online-{}", self.config.models)
+    }
+}
+
+/// Seed salt separating the streaming trainer's RNG stream from the batch
+/// trainer's.
+const ONLINE_SEED_SALT: u64 = 0x04_71_13_E5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encoding::NonlinearEncoder;
+
+    fn make(k: usize, seed: u64) -> OnlineRegHd {
+        let cfg = RegHdConfig::builder().dim(1024).models(k).seed(seed).build();
+        OnlineRegHd::new(cfg, Box::new(NonlinearEncoder::new(2, 1024, seed)))
+    }
+
+    fn stream(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = HdRng::seed_from(seed);
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0])
+            .collect();
+        let ys = xs.iter().map(|x| x[0] + (2.0 * x[1]).sin()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn prequential_error_shrinks() {
+        let (xs, ys) = stream(800, 1);
+        let mut m = make(2, 1);
+        let mut early = 0.0f64;
+        let mut late = 0.0f64;
+        for (i, (x, &y)) in xs.iter().zip(&ys).enumerate() {
+            let e = m.update(x, y) as f64;
+            if i < 100 {
+                early += e * e;
+            }
+            if i >= 700 {
+                late += e * e;
+            }
+        }
+        assert!(
+            late < 0.3 * early,
+            "streaming should learn: early={early:.2} late={late:.2}"
+        );
+        assert_eq!(m.samples_seen(), 800);
+        assert!(m.prequential_mse() > 0.0);
+    }
+
+    #[test]
+    fn single_pass_fit_learns_but_less_than_iterative() {
+        // Figure 3a's premise: one pass learns something; iterations help.
+        let (xs, ys) = stream(500, 2);
+        let mut online = make(2, 2);
+        online.fit(&xs, &ys);
+        let preds = online.predict(&xs);
+        let mse_online: f32 = preds
+            .iter()
+            .zip(&ys)
+            .map(|(&p, &y)| (p - y) * (p - y))
+            .sum::<f32>()
+            / ys.len() as f32;
+
+        let cfg = RegHdConfig::builder().dim(1024).models(2).max_epochs(20).seed(2).build();
+        let mut iterative = crate::RegHdRegressor::new(
+            cfg,
+            Box::new(NonlinearEncoder::new(2, 1024, 2)),
+        );
+        iterative.fit(&xs, &ys);
+        let preds = iterative.predict(&xs);
+        let mse_iter: f32 = preds
+            .iter()
+            .zip(&ys)
+            .map(|(&p, &y)| (p - y) * (p - y))
+            .sum::<f32>()
+            / ys.len() as f32;
+
+        let var = {
+            let mean: f32 = ys.iter().sum::<f32>() / ys.len() as f32;
+            ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32
+        };
+        assert!(mse_online < 0.5 * var, "single pass must learn: {mse_online} vs {var}");
+        assert!(
+            mse_iter <= mse_online * 1.05,
+            "iterative ({mse_iter}) should not lose to single-pass ({mse_online})"
+        );
+    }
+
+    #[test]
+    fn adapts_to_concept_drift() {
+        // The function flips sign mid-stream; online updates track it.
+        let mut m = make(2, 3);
+        let mut rng = HdRng::seed_from(3);
+        for _ in 0..600 {
+            let x = [rng.next_f32() * 2.0 - 1.0, 0.0];
+            m.update(&x, 2.0 * x[0]);
+        }
+        let before = m.predict_one(&[0.5, 0.0]);
+        for _ in 0..1200 {
+            let x = [rng.next_f32() * 2.0 - 1.0, 0.0];
+            m.update(&x, -2.0 * x[0]);
+        }
+        let after = m.predict_one(&[0.5, 0.0]);
+        assert!(before > 0.4, "before drift: {before}");
+        assert!(after < -0.4, "after drift: {after}");
+    }
+
+    #[test]
+    fn fit_resets_state() {
+        let (xs, ys) = stream(200, 4);
+        let mut m = make(2, 4);
+        m.fit(&xs, &ys);
+        let p1 = m.predict_one(&xs[0]);
+        m.fit(&xs, &ys);
+        assert_eq!(m.predict_one(&xs[0]), p1);
+        assert_eq!(m.samples_seen(), 200);
+    }
+
+    #[test]
+    fn name_reflects_streaming() {
+        assert_eq!(make(4, 0).name(), "RegHD-online-4");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        make(1, 0).fit(&[], &[]);
+    }
+}

@@ -1,0 +1,555 @@
+//! Model persistence: save a trained [`RegHdRegressor`] to a compact
+//! binary file and load it back, bit-exactly.
+//!
+//! Because every encoder in this workspace is deterministic given its
+//! [`EncoderSpec`], only the spec is stored — a few integers — plus the
+//! learned state: integer cluster and model hypervectors, the encoding
+//! centre, and the intercept. Binary copies and amplitudes are re-derived
+//! on load, so a round-tripped model predicts **identically** to the
+//! original in every quantisation mode.
+//!
+//! Format (little-endian): magic `RGHD`, version, config block, encoder
+//! spec block, learned-state block.
+//!
+//! ```
+//! use reghd::{RegHdRegressor, Regressor, config::RegHdConfig, persist};
+//! use encoding::EncoderSpec;
+//!
+//! let spec = EncoderSpec::Nonlinear { input_dim: 2, dim: 256, seed: 1 };
+//! let cfg = RegHdConfig::builder().dim(256).models(2).max_epochs(5).build();
+//! let mut model = RegHdRegressor::new(cfg.clone(), spec.build());
+//! let xs = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, -0.5], vec![-1.0, 0.3]];
+//! let ys = vec![0.0, 2.0, 0.5, -0.7];
+//! model.fit(&xs, &ys);
+//!
+//! let mut buf = Vec::new();
+//! persist::save(&model, &spec, &mut buf)?;
+//! let loaded = persist::load(&mut buf.as_slice())?;
+//! assert_eq!(loaded.predict_one(&[0.5, -0.5]), model.predict_one(&[0.5, -0.5]));
+//! # Ok::<(), reghd::persist::PersistError>(())
+//! ```
+
+use crate::config::{ClusterMode, PredictionMode, RegHdConfig, UpdateRule};
+use crate::model::RegHdRegressor;
+use encoding::EncoderSpec;
+use hdc::RealHv;
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RGHD";
+const VERSION: u16 = 1;
+
+/// Error raised by save/load.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not a RegHD model file, or is from an unsupported
+    /// version, or is structurally inconsistent.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "malformed model file: {m}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn w_u8<W: Write>(w: &mut W, v: u8) -> Result<(), PersistError> {
+    w.write_all(&[v])?;
+    Ok(())
+}
+
+fn w_u16<W: Write>(w: &mut W, v: u16) -> Result<(), PersistError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn w_u64<W: Write>(w: &mut W, v: u64) -> Result<(), PersistError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn w_f32<W: Write>(w: &mut W, v: f32) -> Result<(), PersistError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn r_u8<R: Read>(r: &mut R) -> Result<u8, PersistError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn r_u16<R: Read>(r: &mut R) -> Result<u16, PersistError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn r_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn r_f32<R: Read>(r: &mut R) -> Result<f32, PersistError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn r_usize<R: Read>(r: &mut R, what: &str) -> Result<usize, PersistError> {
+    let v = r_u64(r)?;
+    usize::try_from(v).map_err(|_| PersistError::Format(format!("{what} out of range: {v}")))
+}
+
+fn w_hv<W: Write>(w: &mut W, hv: &RealHv) -> Result<(), PersistError> {
+    w_u64(w, hv.dim() as u64)?;
+    for &v in hv.as_slice() {
+        w_f32(w, v)?;
+    }
+    Ok(())
+}
+
+fn r_hv<R: Read>(r: &mut R, expect_dim: usize) -> Result<RealHv, PersistError> {
+    let dim = r_usize(r, "hypervector dim")?;
+    if dim != expect_dim {
+        return Err(PersistError::Format(format!(
+            "hypervector dim {dim} does not match config dim {expect_dim}"
+        )));
+    }
+    if dim > (1 << 28) {
+        return Err(PersistError::Format(format!("implausible dim {dim}")));
+    }
+    let mut data = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        data.push(r_f32(r)?);
+    }
+    Ok(RealHv::from_vec(data))
+}
+
+fn cluster_mode_tag(m: ClusterMode) -> u8 {
+    match m {
+        ClusterMode::Integer => 0,
+        ClusterMode::FrameworkBinary => 1,
+        ClusterMode::NaiveBinary => 2,
+    }
+}
+
+fn cluster_mode_from(t: u8) -> Result<ClusterMode, PersistError> {
+    Ok(match t {
+        0 => ClusterMode::Integer,
+        1 => ClusterMode::FrameworkBinary,
+        2 => ClusterMode::NaiveBinary,
+        _ => return Err(PersistError::Format(format!("bad cluster mode tag {t}"))),
+    })
+}
+
+fn pred_mode_tag(m: PredictionMode) -> u8 {
+    match m {
+        PredictionMode::Full => 0,
+        PredictionMode::BinaryQuery => 1,
+        PredictionMode::BinaryModel => 2,
+        PredictionMode::BinaryBoth => 3,
+    }
+}
+
+fn pred_mode_from(t: u8) -> Result<PredictionMode, PersistError> {
+    Ok(match t {
+        0 => PredictionMode::Full,
+        1 => PredictionMode::BinaryQuery,
+        2 => PredictionMode::BinaryModel,
+        3 => PredictionMode::BinaryBoth,
+        _ => return Err(PersistError::Format(format!("bad prediction mode tag {t}"))),
+    })
+}
+
+fn update_rule_tag(r: UpdateRule) -> u8 {
+    match r {
+        UpdateRule::ConfidenceWeighted => 0,
+        UpdateRule::SharedError => 1,
+        UpdateRule::ArgmaxOnly => 2,
+    }
+}
+
+fn update_rule_from(t: u8) -> Result<UpdateRule, PersistError> {
+    Ok(match t {
+        0 => UpdateRule::ConfidenceWeighted,
+        1 => UpdateRule::SharedError,
+        2 => UpdateRule::ArgmaxOnly,
+        _ => return Err(PersistError::Format(format!("bad update rule tag {t}"))),
+    })
+}
+
+fn write_spec<W: Write>(w: &mut W, spec: &EncoderSpec) -> Result<(), PersistError> {
+    w_u8(w, spec.kind_tag())?;
+    match *spec {
+        EncoderSpec::Nonlinear {
+            input_dim,
+            dim,
+            seed,
+        }
+        | EncoderSpec::Projection {
+            input_dim,
+            dim,
+            seed,
+        } => {
+            w_u64(w, input_dim as u64)?;
+            w_u64(w, dim as u64)?;
+            w_u64(w, seed)?;
+        }
+        EncoderSpec::Rff {
+            input_dim,
+            dim,
+            bandwidth,
+            seed,
+        } => {
+            w_u64(w, input_dim as u64)?;
+            w_u64(w, dim as u64)?;
+            w_f32(w, bandwidth)?;
+            w_u64(w, seed)?;
+        }
+        EncoderSpec::IdLevel {
+            input_dim,
+            dim,
+            levels,
+            range,
+            seed,
+        } => {
+            w_u64(w, input_dim as u64)?;
+            w_u64(w, dim as u64)?;
+            w_u64(w, levels as u64)?;
+            w_f32(w, range.0)?;
+            w_f32(w, range.1)?;
+            w_u64(w, seed)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_spec<R: Read>(r: &mut R) -> Result<EncoderSpec, PersistError> {
+    let tag = r_u8(r)?;
+    Ok(match tag {
+        0 => EncoderSpec::Nonlinear {
+            input_dim: r_usize(r, "input_dim")?,
+            dim: r_usize(r, "dim")?,
+            seed: r_u64(r)?,
+        },
+        1 => EncoderSpec::Rff {
+            input_dim: r_usize(r, "input_dim")?,
+            dim: r_usize(r, "dim")?,
+            bandwidth: r_f32(r)?,
+            seed: r_u64(r)?,
+        },
+        2 => EncoderSpec::Projection {
+            input_dim: r_usize(r, "input_dim")?,
+            dim: r_usize(r, "dim")?,
+            seed: r_u64(r)?,
+        },
+        3 => EncoderSpec::IdLevel {
+            input_dim: r_usize(r, "input_dim")?,
+            dim: r_usize(r, "dim")?,
+            levels: r_usize(r, "levels")?,
+            range: (r_f32(r)?, r_f32(r)?),
+            seed: r_u64(r)?,
+        },
+        _ => return Err(PersistError::Format(format!("bad encoder tag {tag}"))),
+    })
+}
+
+/// Serialises a trained model to any writer. `spec` must describe the
+/// encoder the model was built with (the library cannot recover it from
+/// the trait object).
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on write failure.
+pub fn save<W: Write>(
+    model: &RegHdRegressor,
+    spec: &EncoderSpec,
+    w: &mut W,
+) -> Result<(), PersistError> {
+    let cfg = model.config();
+    w.write_all(MAGIC)?;
+    w_u16(w, VERSION)?;
+    // Config block.
+    w_u64(w, cfg.dim as u64)?;
+    w_u64(w, cfg.models as u64)?;
+    w_f32(w, cfg.learning_rate)?;
+    w_u64(w, cfg.max_epochs as u64)?;
+    w_u64(w, cfg.min_epochs as u64)?;
+    w_f32(w, cfg.convergence_tol)?;
+    w_u64(w, cfg.patience as u64)?;
+    w_f32(w, cfg.softmax_beta)?;
+    w_u64(w, cfg.quantize_batch as u64)?;
+    w_u8(w, cluster_mode_tag(cfg.cluster_mode))?;
+    w_u8(w, pred_mode_tag(cfg.prediction_mode))?;
+    w_u8(w, update_rule_tag(cfg.update_rule))?;
+    w_u8(w, u8::from(cfg.normalize_encodings))?;
+    w_u8(w, u8::from(cfg.center_encodings))?;
+    w_u8(w, u8::from(cfg.intercept))?;
+    w_u64(w, cfg.seed)?;
+    // Encoder block.
+    write_spec(w, spec)?;
+    // Learned state.
+    w_f32(w, model.intercept())?;
+    match model.center() {
+        Some(c) => {
+            w_u8(w, 1)?;
+            w_hv(w, c)?;
+        }
+        None => w_u8(w, 0)?,
+    }
+    for c in model.clusters().integer_clusters() {
+        w_hv(w, c)?;
+    }
+    for m in model.models().integer_models() {
+        w_hv(w, m)?;
+    }
+    Ok(())
+}
+
+/// Deserialises a model from any reader.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Format`] when the stream is not a valid model
+/// file (wrong magic/version, inconsistent shapes, bad enum tags) and
+/// [`PersistError::Io`] on read failure.
+pub fn load<R: Read>(r: &mut R) -> Result<RegHdRegressor, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic".to_string()));
+    }
+    let version = r_u16(r)?;
+    if version != VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let dim = r_usize(r, "dim")?;
+    let models = r_usize(r, "models")?;
+    let learning_rate = r_f32(r)?;
+    let max_epochs = r_usize(r, "max_epochs")?;
+    let min_epochs = r_usize(r, "min_epochs")?;
+    let convergence_tol = r_f32(r)?;
+    let patience = r_usize(r, "patience")?;
+    let softmax_beta = r_f32(r)?;
+    let quantize_batch = r_usize(r, "quantize_batch")?;
+    let cluster_mode = cluster_mode_from(r_u8(r)?)?;
+    let prediction_mode = pred_mode_from(r_u8(r)?)?;
+    let update_rule = update_rule_from(r_u8(r)?)?;
+    let normalize_encodings = r_u8(r)? != 0;
+    let center_encodings = r_u8(r)? != 0;
+    let intercept_on = r_u8(r)? != 0;
+    let seed = r_u64(r)?;
+    let cfg = RegHdConfig {
+        dim,
+        models,
+        learning_rate,
+        max_epochs,
+        min_epochs,
+        convergence_tol,
+        patience,
+        softmax_beta,
+        quantize_batch,
+        cluster_mode,
+        prediction_mode,
+        update_rule,
+        normalize_encodings,
+        center_encodings,
+        intercept: intercept_on,
+        seed,
+    };
+    cfg.validate().map_err(PersistError::Format)?;
+
+    let spec = read_spec(r)?;
+    if spec.dim() != dim {
+        return Err(PersistError::Format(format!(
+            "encoder dim {} does not match config dim {dim}",
+            spec.dim()
+        )));
+    }
+
+    let intercept = r_f32(r)?;
+    let center = if r_u8(r)? != 0 {
+        Some(r_hv(r, dim)?)
+    } else {
+        None
+    };
+    let mut clusters = Vec::with_capacity(models);
+    for _ in 0..models {
+        clusters.push(r_hv(r, dim)?);
+    }
+    let mut model_hvs = Vec::with_capacity(models);
+    for _ in 0..models {
+        model_hvs.push(r_hv(r, dim)?);
+    }
+    Ok(RegHdRegressor::from_parts(
+        cfg,
+        spec.build(),
+        clusters,
+        model_hvs,
+        center,
+        intercept,
+    ))
+}
+
+/// Saves a model to a file path. See [`save`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure.
+pub fn save_to_file<P: AsRef<Path>>(
+    model: &RegHdRegressor,
+    spec: &EncoderSpec,
+    path: P,
+) -> Result<(), PersistError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save(model, spec, &mut f)
+}
+
+/// Loads a model from a file path. See [`load`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem failure or malformed content.
+pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<RegHdRegressor, PersistError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    load(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regressor;
+
+    fn trained(pred: PredictionMode) -> (RegHdRegressor, EncoderSpec, Vec<Vec<f32>>) {
+        let spec = EncoderSpec::Nonlinear {
+            input_dim: 3,
+            dim: 256,
+            seed: 5,
+        };
+        let cfg = RegHdConfig::builder()
+            .dim(256)
+            .models(4)
+            .max_epochs(6)
+            .prediction_mode(pred)
+            .cluster_mode(ClusterMode::FrameworkBinary)
+            .seed(5)
+            .build();
+        let mut m = RegHdRegressor::new(cfg, spec.build());
+        let xs: Vec<Vec<f32>> = (0..60)
+            .map(|i| vec![(i % 5) as f32, (i % 7) as f32 / 7.0, -(i as f32) / 60.0])
+            .collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x[0] - x[1] + 2.0 * x[2]).collect();
+        m.fit(&xs, &ys);
+        (m, spec, xs)
+    }
+
+    #[test]
+    fn roundtrip_predicts_identically_in_every_mode() {
+        for pred in PredictionMode::ALL {
+            let (model, spec, xs) = trained(pred);
+            let mut buf = Vec::new();
+            save(&model, &spec, &mut buf).unwrap();
+            let loaded = load(&mut buf.as_slice()).unwrap();
+            for x in xs.iter().take(10) {
+                assert_eq!(
+                    loaded.predict_one(x),
+                    model.predict_one(x),
+                    "mode {pred:?} roundtrip mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (model, spec, xs) = trained(PredictionMode::Full);
+        let path = std::env::temp_dir().join("reghd_persist_test.rghd");
+        save_to_file(&model, &spec, &path).unwrap();
+        let loaded = load_from_file(&path).unwrap();
+        assert_eq!(loaded.predict_one(&xs[0]), model.predict_one(&xs[0]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load(&mut &b"NOPE\x01\x00"[..]).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u16.to_le_bytes());
+        let err = load(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let (model, spec, _) = trained(PredictionMode::Full);
+        let mut buf = Vec::new();
+        save(&model, &spec, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(
+            load(&mut buf.as_slice()).unwrap_err(),
+            PersistError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupted_enum_tag() {
+        let (model, spec, _) = trained(PredictionMode::Full);
+        let mut buf = Vec::new();
+        save(&model, &spec, &mut buf).unwrap();
+        // The cluster-mode tag sits at a fixed offset:
+        // 4 magic + 2 version + 8 dim + 8 models + 4 lr + 8 max + 8 min +
+        // 4 tol + 8 patience + 4 beta + 8 qbatch = 66.
+        buf[66] = 200;
+        let err = load(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("cluster mode"), "err: {err}");
+    }
+
+    #[test]
+    fn config_survives_roundtrip() {
+        let (model, spec, _) = trained(PredictionMode::BinaryQuery);
+        let mut buf = Vec::new();
+        save(&model, &spec, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.config(), model.config());
+        assert_eq!(loaded.intercept(), model.intercept());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PersistError>();
+    }
+}

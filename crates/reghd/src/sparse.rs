@@ -1,0 +1,193 @@
+//! Model sparsification — the SparseHD-style extension the paper's related
+//! work (§5) points at: "we can use these frameworks to sparsify the
+//! regression model".
+//!
+//! After training, the smallest-magnitude components of each model
+//! hypervector are dropped (set to zero). Because HD representations are
+//! holographic, the dot products that drive predictions degrade gracefully
+//! as density falls; the retained components can be stored and processed
+//! in compressed form, cutting the §3.2 prediction cost proportionally.
+//!
+//! The bench ablation (`cargo run -p reghd-bench --bin ablation`) and the
+//! unit tests quantify the quality/density trade-off.
+
+use crate::model::RegHdRegressor;
+
+/// Result of sparsifying a trained model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityReport {
+    /// Fraction of components that remain nonzero, averaged over models.
+    pub density: f32,
+    /// Components zeroed across all model hypervectors.
+    pub zeroed: usize,
+    /// Components retained across all model hypervectors.
+    pub retained: usize,
+}
+
+impl RegHdRegressor {
+    /// Fraction of nonzero components across the model hypervectors
+    /// (1.0 for a freshly trained dense model, 0.0 before training).
+    pub fn model_density(&self) -> f32 {
+        let mut nonzero = 0usize;
+        let mut total = 0usize;
+        for m in self.models().integer_models() {
+            nonzero += m.as_slice().iter().filter(|&&v| v != 0.0).count();
+            total += m.dim();
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        nonzero as f32 / total as f32
+    }
+
+    /// Drops the `1 − keep_fraction` smallest-magnitude components of each
+    /// model hypervector, then re-derives the binary copies/amplitudes so
+    /// every prediction mode sees the sparsified model.
+    ///
+    /// Per-model thresholding (rather than global) keeps each expert's
+    /// strongest components regardless of relative model norms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is not within `(0, 1]`.
+    pub fn sparsify_models(&mut self, keep_fraction: f32) -> SparsityReport {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in (0, 1]"
+        );
+        let mut zeroed = 0usize;
+        let mut retained = 0usize;
+        let bank = self.models_mut();
+        for mi in 0..bank.len() {
+            let m = bank.integer_model_mut(mi);
+            let dim = m.dim();
+            let keep = ((dim as f32 * keep_fraction).ceil() as usize).min(dim);
+            if keep == dim {
+                retained += m.as_slice().iter().filter(|&&v| v != 0.0).count();
+                continue;
+            }
+            // Find the magnitude threshold via select-by-sorting magnitudes.
+            let mut mags: Vec<f32> = m.as_slice().iter().map(|&v| v.abs()).collect();
+            mags.sort_by(f32::total_cmp);
+            let threshold = mags[dim - keep];
+            for v in m.as_mut_slice() {
+                if v.abs() < threshold || *v == 0.0 {
+                    if *v != 0.0 {
+                        zeroed += 1;
+                    }
+                    *v = 0.0;
+                } else {
+                    retained += 1;
+                }
+            }
+        }
+        bank.end_epoch_forced();
+        let total = (zeroed + retained).max(1);
+        SparsityReport {
+            density: retained as f32 / total as f32,
+            zeroed,
+            retained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RegHdConfig;
+    use crate::Regressor;
+    use encoding::NonlinearEncoder;
+    use hdc::rng::HdRng;
+
+    fn trained() -> (RegHdRegressor, Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = HdRng::seed_from(71);
+        let xs: Vec<Vec<f32>> = (0..300)
+            .map(|_| vec![rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0])
+            .collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x[0] + (2.0 * x[1]).sin()).collect();
+        let cfg = RegHdConfig::builder().dim(2048).models(4).max_epochs(15).seed(71).build();
+        let mut m = RegHdRegressor::new(cfg, Box::new(NonlinearEncoder::new(2, 2048, 71)));
+        m.fit(&xs, &ys);
+        (m, xs, ys)
+    }
+
+    fn mse(m: &RegHdRegressor, xs: &[Vec<f32>], ys: &[f32]) -> f32 {
+        m.predict(xs)
+            .iter()
+            .zip(ys)
+            .map(|(&p, &y)| (p - y) * (p - y))
+            .sum::<f32>()
+            / ys.len() as f32
+    }
+
+    #[test]
+    fn density_reflects_keep_fraction() {
+        let (mut m, _, _) = trained();
+        assert!(m.model_density() > 0.95);
+        let report = m.sparsify_models(0.25);
+        assert!((report.density - 0.25).abs() < 0.02, "{report:?}");
+        assert!((m.model_density() - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn moderate_sparsity_keeps_quality() {
+        let (mut m, xs, ys) = trained();
+        let dense = mse(&m, &xs, &ys);
+        m.sparsify_models(0.5);
+        let sparse = mse(&m, &xs, &ys);
+        let mean: f32 = ys.iter().sum::<f32>() / ys.len() as f32;
+        let var: f32 = ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32;
+        assert!(
+            sparse < dense + 0.1 * var,
+            "50% sparsity cost too much: {dense} -> {sparse} (var {var})"
+        );
+    }
+
+    #[test]
+    fn quality_degrades_monotonically_with_sparsity() {
+        let (m0, xs, ys) = trained();
+        let mut errs = Vec::new();
+        for keep in [1.0f32, 0.5, 0.2, 0.05] {
+            let mut m = trained().0;
+            let _ = &m0;
+            if keep < 1.0 {
+                m.sparsify_models(keep);
+            }
+            errs.push(mse(&m, &xs, &ys));
+        }
+        // Allow small non-monotonicity at high densities; the extreme end
+        // must be clearly worse than dense.
+        assert!(
+            errs[3] > errs[0],
+            "5% density should hurt: dense {} vs sparse {}",
+            errs[0],
+            errs[3]
+        );
+    }
+
+    #[test]
+    fn sparsify_keeps_every_prediction_mode_consistent() {
+        // Binary copies must be refreshed from the sparsified models.
+        let (mut m, xs, _) = trained();
+        m.sparsify_models(0.3);
+        let p1 = m.predict_one(&xs[0]);
+        let p2 = m.predict_one(&xs[0]);
+        assert_eq!(p1, p2);
+        assert!(p1.is_finite());
+    }
+
+    #[test]
+    fn keep_everything_is_identity() {
+        let (mut m, xs, ys) = trained();
+        let before = mse(&m, &xs, &ys);
+        let report = m.sparsify_models(1.0);
+        assert_eq!(report.zeroed, 0);
+        assert_eq!(mse(&m, &xs, &ys), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_fraction")]
+    fn zero_keep_panics() {
+        trained().0.sparsify_models(0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! The environment interface: episodic tasks with continuous observations
+//! and discrete actions.
+
+/// One transition returned by [`Environment::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Observation after the action.
+    pub state: Vec<f32>,
+    /// Immediate reward.
+    pub reward: f32,
+    /// Whether the episode ended with this transition.
+    pub done: bool,
+}
+
+/// An episodic reinforcement-learning environment.
+///
+/// Implementations are deterministic simulators (any stochasticity is
+/// seeded internally), matching the workspace-wide reproducibility rule.
+pub trait Environment {
+    /// Dimensionality of the observation vector.
+    fn state_dim(&self) -> usize;
+
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize;
+
+    /// Starts a new episode and returns the initial observation.
+    fn reset(&mut self) -> Vec<f32>;
+
+    /// Applies `action` and advances one timestep.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `action >= num_actions()` or if called
+    /// after the episode has ended without an intervening reset.
+    fn step(&mut self, action: usize) -> Step;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        t: usize,
+    }
+
+    impl Environment for Dummy {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> Vec<f32> {
+            self.t = 0;
+            vec![0.0]
+        }
+        fn step(&mut self, action: usize) -> Step {
+            assert!(action < 2);
+            self.t += 1;
+            Step {
+                state: vec![self.t as f32],
+                reward: -1.0,
+                done: self.t >= 3,
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut env: Box<dyn Environment> = Box::new(Dummy { t: 0 });
+        let s0 = env.reset();
+        assert_eq!(s0, vec![0.0]);
+        let mut steps = 0;
+        loop {
+            let s = env.step(0);
+            steps += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 3);
+    }
+}

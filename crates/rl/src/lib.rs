@@ -1,0 +1,48 @@
+//! # rl — hyperdimensional reinforcement learning
+//!
+//! The RegHD paper closes with: *"Regression is a key required algorithm
+//! which can be extended to support the first HD-based reinforcement
+//! learning."* This crate builds that extension: Q-learning with RegHD's
+//! machinery as the function approximator.
+//!
+//! * [`Environment`] — a minimal episodic RL environment interface with
+//!   continuous state vectors and discrete actions.
+//! * [`LineWorld`] / [`MountainCar`] — two classic control environments
+//!   implemented as simulators (no external dependencies).
+//! * [`HdQAgent`] — an ε-greedy Q-learning agent whose per-action value
+//!   functions are HD regressions: `Q(s, a) = M_a ⋅ enc(s) + b_a`, updated
+//!   with the TD delta rule — exactly Eq. 2 of the paper with the TD
+//!   target in place of the supervised label.
+//!
+//! ## Example
+//!
+//! ```
+//! use rl::{Environment, HdQAgent, LineWorld, QConfig};
+//!
+//! let mut env = LineWorld::new(40, 0.35);
+//! let mut agent = HdQAgent::new(env.state_dim(), env.num_actions(), QConfig {
+//!     episodes_to_min_epsilon: 80,
+//!     seed: 3,
+//!     ..QConfig::default()
+//! });
+//! for _ in 0..120 {
+//!     agent.run_episode(&mut env);
+//! }
+//! // A trained agent homes in on the target; random walking scores far
+//! // below this on this layout.
+//! let reward = agent.evaluate(&mut env, 10);
+//! assert!(reward > -18.0, "reward = {reward}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod env;
+pub mod line_world;
+pub mod mountain_car;
+
+pub use agent::{HdQAgent, QConfig};
+pub use env::{Environment, Step};
+pub use line_world::LineWorld;
+pub use mountain_car::MountainCar;

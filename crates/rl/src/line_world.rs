@@ -1,0 +1,166 @@
+//! LineWorld: a 1-D target-seeking task, small enough for unit tests yet
+//! non-trivial (the optimal policy depends on the continuous state).
+//!
+//! The agent sits at `x ∈ [−1, 1]` and must reach a fixed target. Actions:
+//! move left, stay, move right (fixed step). Reward per timestep is
+//! `−|x − target|`; the episode ends after `horizon` steps or on reaching
+//! the target within half a step. A random policy drifts; the optimal
+//! policy walks straight to the target and earns close to
+//! `−|x₀ − target|·(steps to arrive)/2` total reward.
+
+use crate::env::{Environment, Step};
+use hdc::rng::HdRng;
+
+/// 1-D continuous target-seeking environment.
+#[derive(Debug, Clone)]
+pub struct LineWorld {
+    horizon: usize,
+    target: f32,
+    step_size: f32,
+    x: f32,
+    t: usize,
+    rng: HdRng,
+    done: bool,
+}
+
+impl LineWorld {
+    /// Creates a LineWorld with the given episode `horizon` and target
+    /// position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0` or the target lies outside `[-1, 1]`.
+    pub fn new(horizon: usize, target: f32) -> Self {
+        assert!(horizon > 0, "horizon must be nonzero");
+        assert!((-1.0..=1.0).contains(&target), "target must be in [-1, 1]");
+        Self {
+            horizon,
+            target,
+            step_size: 0.1,
+            x: 0.0,
+            t: 0,
+            rng: HdRng::seed_from(0xCAFE),
+            done: true,
+        }
+    }
+
+    /// The target position.
+    pub fn target(&self) -> f32 {
+        self.target
+    }
+}
+
+impl Environment for LineWorld {
+    fn state_dim(&self) -> usize {
+        1
+    }
+
+    fn num_actions(&self) -> usize {
+        3 // left, stay, right
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        // Random start, away from the exact target.
+        self.x = self.rng.next_f32() * 2.0 - 1.0;
+        self.t = 0;
+        self.done = false;
+        vec![self.x]
+    }
+
+    fn step(&mut self, action: usize) -> Step {
+        assert!(action < 3, "action {action} out of range");
+        assert!(!self.done, "step after episode end; call reset()");
+        let delta = match action {
+            0 => -self.step_size,
+            1 => 0.0,
+            _ => self.step_size,
+        };
+        self.x = (self.x + delta).clamp(-1.0, 1.0);
+        self.t += 1;
+        let dist = (self.x - self.target).abs();
+        let reached = dist < self.step_size / 2.0;
+        self.done = reached || self.t >= self.horizon;
+        Step {
+            state: vec![self.x],
+            reward: -dist,
+            done: self.done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_terminates() {
+        let mut env = LineWorld::new(10, 0.5);
+        env.reset();
+        let mut steps = 0;
+        loop {
+            let s = env.step(1); // stand still
+            steps += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 10);
+    }
+
+    #[test]
+    fn walking_toward_target_terminates_early_with_high_reward() {
+        let mut env = LineWorld::new(100, 0.5);
+        let s0 = env.reset();
+        let mut x = s0[0];
+        let mut total = 0.0f32;
+        let mut steps = 0;
+        loop {
+            let a = if x < env.target() { 2 } else { 0 };
+            let s = env.step(a);
+            x = s.state[0];
+            total += s.reward;
+            steps += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert!(steps < 25, "optimal walk should reach quickly: {steps}");
+        assert!(total > -10.0, "optimal reward too low: {total}");
+    }
+
+    #[test]
+    fn reward_is_negative_distance() {
+        let mut env = LineWorld::new(5, 0.0);
+        env.reset();
+        let s = env.step(1);
+        assert!((s.reward + s.state[0].abs()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_action_panics() {
+        let mut env = LineWorld::new(5, 0.0);
+        env.reset();
+        env.step(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "step after episode end")]
+    fn step_after_done_panics() {
+        let mut env = LineWorld::new(1, 0.0);
+        env.reset();
+        env.step(1); // ends the episode (horizon 1)
+        env.step(1);
+    }
+
+    #[test]
+    fn resets_vary_start_position() {
+        let mut env = LineWorld::new(5, 0.0);
+        let starts: Vec<f32> = (0..10).map(|_| env.reset()[0]).collect();
+        let distinct = starts
+            .iter()
+            .filter(|&&s| (s - starts[0]).abs() > 1e-6)
+            .count();
+        assert!(distinct > 0, "start positions never vary");
+    }
+}

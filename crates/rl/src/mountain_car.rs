@@ -1,0 +1,170 @@
+//! Mountain Car — the classic underpowered-car control benchmark (Moore
+//! 1990, Sutton & Barto §10.1), implemented from its standard equations.
+//!
+//! State: position `p ∈ [−1.2, 0.6]`, velocity `v ∈ [−0.07, 0.07]`.
+//! Actions: push left / coast / push right. Dynamics:
+//!
+//! ```text
+//! v ← clamp(v + 0.001·(a−1) − 0.0025·cos(3p))
+//! p ← clamp(p + v)
+//! ```
+//!
+//! Reward −1 per step until the car reaches the right hilltop
+//! (`p ≥ 0.5`); the engine is too weak to climb directly, so the agent
+//! must learn to rock back and forth — a task a linear-in-raw-state value
+//! function cannot represent, but a RegHD-encoded one can.
+
+use crate::env::{Environment, Step};
+use hdc::rng::HdRng;
+
+/// The Mountain Car environment.
+#[derive(Debug, Clone)]
+pub struct MountainCar {
+    horizon: usize,
+    p: f32,
+    v: f32,
+    t: usize,
+    rng: HdRng,
+    done: bool,
+}
+
+impl MountainCar {
+    /// Creates a Mountain Car with the given step budget per episode (the
+    /// classic setting uses 200).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    pub fn new(horizon: usize) -> Self {
+        assert!(horizon > 0, "horizon must be nonzero");
+        Self {
+            horizon,
+            p: -0.5,
+            v: 0.0,
+            t: 0,
+            rng: HdRng::seed_from(0xCA4),
+            done: true,
+        }
+    }
+
+    fn observation(&self) -> Vec<f32> {
+        // Scale both state variables to O(1) for the encoder.
+        vec![self.p / 0.6, self.v / 0.07]
+    }
+
+    /// Whether the last episode ended at the goal (vs running out of
+    /// steps).
+    pub fn at_goal(&self) -> bool {
+        self.p >= 0.5
+    }
+}
+
+impl Environment for MountainCar {
+    fn state_dim(&self) -> usize {
+        2
+    }
+
+    fn num_actions(&self) -> usize {
+        3
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        // Classic uniform start in [-0.6, -0.4), zero velocity.
+        self.p = -0.6 + 0.2 * self.rng.next_f32();
+        self.v = 0.0;
+        self.t = 0;
+        self.done = false;
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize) -> Step {
+        assert!(action < 3, "action {action} out of range");
+        assert!(!self.done, "step after episode end; call reset()");
+        self.v += 0.001 * (action as f32 - 1.0) - 0.0025 * (3.0 * self.p).cos();
+        self.v = self.v.clamp(-0.07, 0.07);
+        self.p += self.v;
+        self.p = self.p.clamp(-1.2, 0.6);
+        if self.p <= -1.2 {
+            self.v = 0.0; // inelastic left wall
+        }
+        self.t += 1;
+        let reached = self.p >= 0.5;
+        self.done = reached || self.t >= self.horizon;
+        Step {
+            state: self.observation(),
+            reward: -1.0,
+            done: self.done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coasting_never_reaches_goal() {
+        let mut env = MountainCar::new(300);
+        env.reset();
+        loop {
+            if env.step(1).done {
+                break;
+            }
+        }
+        assert!(!env.at_goal(), "coasting should not climb the hill");
+    }
+
+    #[test]
+    fn full_throttle_alone_fails() {
+        // The defining property: the engine is too weak for a direct climb.
+        let mut env = MountainCar::new(300);
+        env.reset();
+        loop {
+            if env.step(2).done {
+                break;
+            }
+        }
+        assert!(!env.at_goal(), "direct full throttle should fail");
+    }
+
+    #[test]
+    fn energy_pumping_policy_reaches_goal() {
+        // Push in the direction of motion — the textbook solution.
+        let mut env = MountainCar::new(300);
+        let mut s = env.reset();
+        let mut steps = 0;
+        loop {
+            let v = s[1];
+            let a = if v >= 0.0 { 2 } else { 0 };
+            let out = env.step(a);
+            s = out.state;
+            steps += 1;
+            if out.done {
+                break;
+            }
+        }
+        assert!(env.at_goal(), "energy pumping must reach the flag");
+        assert!(steps < 200, "should arrive within the classic budget: {steps}");
+    }
+
+    #[test]
+    fn observations_are_scaled() {
+        let mut env = MountainCar::new(10);
+        let s = env.reset();
+        assert_eq!(s.len(), 2);
+        assert!(s[0].abs() <= 2.0 && s[1].abs() <= 1.0);
+    }
+
+    #[test]
+    fn velocity_clamped() {
+        let mut env = MountainCar::new(1000);
+        env.reset();
+        for _ in 0..100 {
+            let out = env.step(2);
+            assert!(out.state[1].abs() <= 1.0 + 1e-6);
+            if out.done {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Model interpretability — the paper's §1 point (ii): HD computing
+//! "offers an intuitive and human-interpretable model".
+//!
+//! Trains RegHD on a visibly multi-regime task and uses
+//! [`reghd::diagnostics`] to show what the mixture learned: which clusters
+//! own which parts of the input space, how confident the gating is, and
+//! how much each expert accumulated.
+//!
+//! ```text
+//! cargo run --example interpretability --release
+//! ```
+
+use reghd_repro::hdc::rng::HdRng;
+use reghd_repro::prelude::*;
+
+fn main() {
+    // Three visible regimes on the 1-D line, each with its own response.
+    let mut rng = HdRng::seed_from(21);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..600 {
+        let regime = rng.next_below(3);
+        let (center, slope, offset) = match regime {
+            0 => (-2.0f32, 1.5f32, 3.0f32),
+            1 => (0.0, -2.0, 0.0),
+            _ => (2.0, 0.5, -3.0),
+        };
+        let x = center + 0.3 * rng.next_gaussian() as f32;
+        xs.push(vec![x]);
+        ys.push(offset + slope * (x - center) + 0.05 * rng.next_gaussian() as f32);
+    }
+
+    let dim = 2048;
+    let config = RegHdConfig::builder().dim(dim).models(6).seed(21).build();
+    let mut model = RegHdRegressor::new(config, Box::new(NonlinearEncoder::new(1, dim, 21)));
+    model.fit(&xs, &ys);
+
+    println!("trained RegHD-6 on a 3-regime task; diagnostics over the training set:\n");
+    let diag = model.diagnostics(&xs);
+    println!("{diag}\n");
+
+    // Which cluster answers for which part of the line?
+    println!("cluster routing across the input range:");
+    for probe in [-2.5f32, -2.0, -1.5, -0.5, 0.0, 0.5, 1.5, 2.0, 2.5] {
+        let d = model.diagnostics(&[vec![probe]]);
+        let cluster = d
+            .cluster_histogram
+            .iter()
+            .position(|&c| c == 1)
+            .expect("single probe routes somewhere");
+        println!(
+            "  x = {probe:+.1} -> cluster {cluster}, prediction {:+.2}",
+            model.predict_one(&[probe])
+        );
+    }
+    println!("\nregimes map to distinct clusters — the run-time clustering of §2.4,");
+    println!("inspectable rather than buried in a weight matrix.");
+}

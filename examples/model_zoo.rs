@@ -1,0 +1,83 @@
+//! Model zoo: every learner in the workspace on one dataset, via the shared
+//! [`Regressor`] interface — including a k-fold grid search for the RegHD
+//! model count, the way §4.2 tunes hyper-parameters.
+//!
+//! ```text
+//! cargo run --example model_zoo --release
+//! ```
+
+use reghd_repro::baselines::baseline_hd::BaselineHdConfig;
+use reghd_repro::baselines::forest::{ForestConfig, ForestRegressor};
+use reghd_repro::baselines::gbt::{GbtConfig, GbtRegressor};
+use reghd_repro::baselines::grid::grid_search;
+use reghd_repro::baselines::knn::{KnnRegressor, KnnWeighting};
+use reghd_repro::baselines::mlp::MlpConfig;
+use reghd_repro::baselines::svr::SvrConfig;
+use reghd_repro::baselines::tree::TreeConfig;
+use reghd_repro::prelude::*;
+
+fn main() {
+    let seed = 3u64;
+    let ds = datasets::paper::boston(seed);
+    let (train, test) = datasets::split::train_test_split(&ds, 0.2, seed);
+    let std = datasets::normalize::Standardizer::fit(&train);
+    let train_n = std.transform(&train);
+    let test_n = std.transform(&test);
+    let scaler = datasets::normalize::TargetScaler::fit(&train.targets);
+    let train_y: Vec<f32> = train.targets.iter().map(|&y| scaler.transform(y)).collect();
+    let test_y: Vec<f32> = test.targets.iter().map(|&y| scaler.transform(y)).collect();
+    let f = ds.num_features();
+    let dim = 1024;
+
+    // Grid-search the RegHD model count with 4-fold CV on the training set.
+    let reghd_factory = move |k: usize| {
+        move || -> Box<dyn Regressor> {
+            let cfg = RegHdConfig::builder().dim(dim).models(k).seed(seed).build();
+            Box::new(RegHdRegressor::new(
+                cfg,
+                Box::new(NonlinearEncoder::new(f, dim, seed)),
+            ))
+        }
+    };
+    let candidates: Vec<(String, Box<dyn Fn() -> Box<dyn Regressor>>)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|k| {
+            (
+                format!("RegHD k={k}"),
+                Box::new(reghd_factory(k)) as Box<dyn Fn() -> Box<dyn Regressor>>,
+            )
+        })
+        .collect();
+    let grid = grid_search(&candidates, &train_n.features, &train_y, 4, seed);
+    println!("grid search over RegHD model count (4-fold CV):");
+    for s in &grid.scores {
+        println!("  {:<12} cv-mse {:.4}", s.label, s.cv_mse);
+    }
+    println!("  -> selected: {}\n", grid.best().label);
+
+    // The full zoo, evaluated on the held-out test split.
+    let mut zoo: Vec<Box<dyn Regressor>> = vec![
+        Box::new(MeanRegressor::new()),
+        Box::new(LinearRegressor::new(1e-4)),
+        Box::new(TreeRegressor::new(TreeConfig::default())),
+        Box::new(ForestRegressor::new(ForestConfig { seed, ..ForestConfig::default() })),
+        Box::new(GbtRegressor::new(GbtConfig::default())),
+        Box::new(KnnRegressor::new(5, KnnWeighting::InverseDistance)),
+        Box::new(SvrRegressor::new(f, SvrConfig { seed, ..SvrConfig::default() })),
+        Box::new(MlpRegressor::new(f, MlpConfig { seed, ..MlpConfig::default() })),
+        Box::new(BaselineHd::new(
+            BaselineHdConfig::default(),
+            Box::new(NonlinearEncoder::new(f, dim, seed)),
+        )),
+        candidates[grid.best_index].1(),
+    ];
+    println!("{:<24} {:>12} {:>8}", "model", "test MSE", "epochs");
+    for model in &mut zoo {
+        let report = model.fit(&train_n.features, &train_y);
+        let mse = scaler.inverse_mse(datasets::metrics::mse(
+            &model.predict(&test_n.features),
+            &test_y,
+        ));
+        println!("{:<24} {:>12.2} {:>8}", model.name(), mse, report.epochs);
+    }
+}

@@ -1,0 +1,89 @@
+//! Power-plant output forecasting — the IoT scenario RegHD's introduction
+//! motivates: a stream of sensor readings (ambient temperature, pressure,
+//! humidity, exhaust vacuum) from which a resource-constrained device must
+//! predict electrical output in real time.
+//!
+//! Trains RegHD and the classical baselines on the CCPP-style workload and
+//! compares quality and (modelled) on-device cost.
+//!
+//! ```text
+//! cargo run --example power_plant --release
+//! ```
+
+use reghd_repro::hwmodel::algos::{reghd_infer_cost, RegHdShape};
+use reghd_repro::prelude::*;
+
+fn main() {
+    let seed = 7u64;
+    let ds = datasets::paper::ccpp(seed);
+    println!(
+        "CCPP workload: {} samples x {} sensor features, output {:.0} ± {:.0} MW-scale units",
+        ds.len(),
+        ds.num_features(),
+        ds.target_mean(),
+        ds.target_variance().sqrt()
+    );
+    let (train, test) = datasets::split::train_test_split(&ds, 0.2, seed);
+    // Keep the example snappy: 2000 training rows are plenty here.
+    let train = train.select(&(0..train.len().min(2000)).collect::<Vec<_>>());
+
+    // Standardise features on the training split.
+    let std = datasets::normalize::Standardizer::fit(&train);
+    let train_n = std.transform(&train);
+    let test_n = std.transform(&test);
+    let scaler = datasets::normalize::TargetScaler::fit(&train.targets);
+    let train_y: Vec<f32> = train.targets.iter().map(|&y| scaler.transform(y)).collect();
+    let test_y: Vec<f32> = test.targets.iter().map(|&y| scaler.transform(y)).collect();
+
+    let dim = 2048;
+    let mut results: Vec<(String, f32)> = Vec::new();
+
+    // RegHD with quantised clusters — the deployable configuration.
+    let config = RegHdConfig::builder()
+        .dim(dim)
+        .models(8)
+        .cluster_mode(ClusterMode::FrameworkBinary)
+        .seed(seed)
+        .build();
+    let encoder = NonlinearEncoder::new(ds.num_features(), dim, seed);
+    let mut reghd_model = RegHdRegressor::new(config, Box::new(encoder));
+    reghd_model.fit(&train_n.features, &train_y);
+    let mse = datasets::metrics::mse(&reghd_model.predict(&test_n.features), &test_y);
+    results.push(("RegHD-8 (quantised clusters)".into(), scaler.inverse_mse(mse)));
+
+    // Linear baseline.
+    let mut linear = LinearRegressor::new(1e-4);
+    linear.fit(&train_n.features, &train_y);
+    let mse = datasets::metrics::mse(&linear.predict(&test_n.features), &test_y);
+    results.push(("Linear regression".into(), scaler.inverse_mse(mse)));
+
+    // Mean floor.
+    let mut mean = MeanRegressor::new();
+    mean.fit(&train_n.features, &train_y);
+    let mse = datasets::metrics::mse(&mean.predict(&test_n.features), &test_y);
+    results.push(("Mean predictor (floor)".into(), scaler.inverse_mse(mse)));
+
+    println!("\ntest MSE (original units):");
+    for (name, mse) in &results {
+        println!("  {name:<30} {mse:>10.2}");
+    }
+
+    // What does one prediction cost on an embedded device?
+    let shape = RegHdShape {
+        dim: dim as u64,
+        models: 8,
+        features: ds.num_features() as u64,
+        cluster_binary: true,
+        query_binary: false,
+        model_binary: false,
+    };
+    let dev = DeviceProfile::embedded_cpu();
+    let est = dev.estimate(&reghd_infer_cost(&shape));
+    println!(
+        "\nmodelled per-prediction cost on {}: {:.1} µs, {:.2} µJ",
+        dev.name,
+        est.time_s * 1e6,
+        est.energy_j * 1e6
+    );
+    println!("(see `cargo run -p reghd-bench --bin fig8` for the full efficiency study)");
+}

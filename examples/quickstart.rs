@@ -1,0 +1,47 @@
+//! Quickstart: train a RegHD model on a toy nonlinear task in ~20 lines.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use reghd_repro::prelude::*;
+
+fn main() {
+    // A 2-D nonlinear regression task: y = sin(3·x0) + x1².
+    let xs: Vec<Vec<f32>> = (0..400)
+        .map(|i| {
+            let a = (i % 20) as f32 / 10.0 - 1.0;
+            let b = (i / 20) as f32 / 10.0 - 1.0;
+            vec![a, b]
+        })
+        .collect();
+    let ys: Vec<f32> = xs.iter().map(|x| (3.0 * x[0]).sin() + x[1] * x[1]).collect();
+
+    // Build: a similarity-preserving encoder into D = 2048 dimensions and a
+    // 4-model RegHD regressor on top.
+    let dim = 2048;
+    let config = RegHdConfig::builder().dim(dim).models(4).seed(42).build();
+    let encoder = NonlinearEncoder::new(2, dim, 42);
+    let mut model = RegHdRegressor::new(config, Box::new(encoder));
+
+    // Train (iterative epochs until the training MSE stabilises).
+    let report = model.fit(&xs, &ys);
+    println!(
+        "trained in {} epochs (converged: {}), final train MSE = {:.4}",
+        report.epochs,
+        report.converged,
+        report.final_mse().expect("at least one epoch")
+    );
+
+    // Predict on a few unseen points.
+    for probe in [[0.25f32, 0.5], [-0.8, 0.1], [0.0, -0.9]] {
+        let truth = (3.0 * probe[0]).sin() + probe[1] * probe[1];
+        let pred = model.predict_one(&probe);
+        println!(
+            "f({:+.2}, {:+.2}) = {truth:+.3}, RegHD predicts {pred:+.3} (err {:+.3})",
+            probe[0],
+            probe[1],
+            pred - truth
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Time-series forecasting with the temporal (permutation-binding) encoder:
+//! the IoT sensor-stream scenario of the paper's introduction, end to end.
+//!
+//! A synthetic sensor signal (two seasonal components + trend + noise) is
+//! windowed; each window of the last `W` readings encodes into one
+//! hypervector (order preserved by cyclic permutation), and RegHD regresses
+//! the next reading.
+//!
+//! ```text
+//! cargo run --example timeseries_forecast --release
+//! ```
+
+use reghd_repro::hdc::rng::HdRng;
+use reghd_repro::prelude::*;
+use reghd_repro::encoding::TemporalEncoder;
+
+/// Synthetic sensor signal: two periods, slow drift, mild noise.
+fn signal(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = HdRng::seed_from(seed);
+    (0..n)
+        .map(|t| {
+            let t = t as f32;
+            // Fast seasonal component (period ≈ 16 samples) over a slower
+            // one — adjacent readings differ a lot, so naive persistence
+            // forecasting fails while a window-based model succeeds.
+            (0.4 * t).sin() + 0.4 * (0.05 * t).sin() + 0.0005 * t
+                + 0.05 * rng.next_gaussian() as f32
+        })
+        .collect()
+}
+
+fn main() {
+    let window = 8usize;
+    let series = signal(1200, 3);
+
+    // Build (window → next value) supervised pairs; most recent reading
+    // first in each window.
+    let mut xs: Vec<Vec<f32>> = Vec::new();
+    let mut ys: Vec<f32> = Vec::new();
+    for t in window..series.len() {
+        let mut w: Vec<f32> = (0..window).map(|i| series[t - 1 - i]).collect();
+        // One reading per "timestep"; the temporal encoder sees `window`
+        // single-feature steps.
+        xs.push(std::mem::take(&mut w));
+        ys.push(series[t]);
+    }
+    let split = xs.len() * 4 / 5;
+    let (train_x, test_x) = xs.split_at(split);
+    let (train_y, test_y) = ys.split_at(split);
+
+    let dim = 2048;
+    let inner = NonlinearEncoder::new(1, dim, 11);
+    let encoder = TemporalEncoder::new(Box::new(inner), window);
+    let config = RegHdConfig::builder().dim(dim).models(4).seed(11).build();
+    let mut model = RegHdRegressor::new(config, Box::new(encoder));
+    let report = model.fit(train_x, train_y);
+    println!(
+        "trained on {} windows in {} epochs (converged: {})",
+        split, report.epochs, report.converged
+    );
+
+    let preds = model.predict(test_x);
+    let mse = reghd_repro::datasets::metrics::mse(&preds, test_y);
+    // Baselines: persistence (predict the last reading) and the mean.
+    let persistence: Vec<f32> = test_x.iter().map(|w| w[0]).collect();
+    let mse_persist = reghd_repro::datasets::metrics::mse(&persistence, test_y);
+    let mean = train_y.iter().sum::<f32>() / train_y.len() as f32;
+    let mse_mean =
+        reghd_repro::datasets::metrics::mse(&vec![mean; test_y.len()], test_y);
+
+    println!("\none-step-ahead forecast MSE on the held-out tail:");
+    println!("  RegHD over temporal encoding : {mse:.5}");
+    println!("  persistence (copy last value): {mse_persist:.5}");
+    println!("  train-mean predictor         : {mse_mean:.5}");
+
+    // Show a few forecasts.
+    println!("\nsample forecasts:");
+    for i in (0..test_y.len()).step_by(test_y.len() / 5) {
+        println!(
+            "  t+{i:>3}: actual {:+.3}  predicted {:+.3}",
+            test_y[i], preds[i]
+        );
+    }
+}

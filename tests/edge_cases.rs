@@ -1,0 +1,189 @@
+//! Failure-injection and degenerate-input integration tests — the edge
+//! cases DESIGN.md §7 commits to: tiny datasets, constant features or
+//! targets, extreme magnitudes, and adversarial shapes.
+
+use reghd_repro::prelude::*;
+
+fn reghd(features: usize, seed: u64) -> RegHdRegressor {
+    let cfg = RegHdConfig::builder()
+        .dim(256)
+        .models(2)
+        .max_epochs(5)
+        .min_epochs(1)
+        .seed(seed)
+        .build();
+    RegHdRegressor::new(cfg, Box::new(NonlinearEncoder::new(features, 256, seed)))
+}
+
+#[test]
+fn single_sample_fit_is_usable() {
+    let mut m = reghd(2, 1);
+    m.fit(&[vec![0.5, -0.5]], &[3.0]);
+    let p = m.predict_one(&[0.5, -0.5]);
+    assert!(p.is_finite());
+    // With one sample the model should at least move toward the target.
+    assert!((p - 3.0).abs() < 3.0, "p = {p}");
+}
+
+#[test]
+fn two_identical_samples_do_not_nan() {
+    // Mean-centring two identical encodings gives all-zero vectors; the
+    // normalisation guard must keep everything finite.
+    let mut m = reghd(2, 2);
+    m.fit(&vec![vec![1.0, 1.0]; 2], &[5.0, 5.0]);
+    assert!(m.predict_one(&[1.0, 1.0]).is_finite());
+}
+
+#[test]
+fn constant_features_varying_targets() {
+    // Nothing to learn from x: the model should fall back to ~the mean.
+    let mut m = reghd(2, 3);
+    let xs = vec![vec![2.0, 2.0]; 40];
+    let ys: Vec<f32> = (0..40).map(|i| (i % 5) as f32).collect();
+    m.fit(&xs, &ys);
+    let p = m.predict_one(&[2.0, 2.0]);
+    let mean = ys.iter().sum::<f32>() / 40.0;
+    assert!((p - mean).abs() < 1.5, "p = {p}, mean = {mean}");
+}
+
+#[test]
+fn constant_targets_are_learned_exactly() {
+    // Needs enough epochs for the slow intercept channel to absorb the
+    // offset (its learning rate is α/10).
+    let cfg = RegHdConfig::builder()
+        .dim(256)
+        .models(2)
+        .max_epochs(25)
+        .seed(4)
+        .build();
+    let mut m = RegHdRegressor::new(cfg, Box::new(NonlinearEncoder::new(2, 256, 4)));
+    let xs: Vec<Vec<f32>> = (0..30).map(|i| vec![i as f32 / 15.0, 0.0]).collect();
+    m.fit(&xs, &[7.0; 30]);
+    for x in xs.iter().step_by(7) {
+        assert!((m.predict_one(x) - 7.0).abs() < 1.0);
+    }
+}
+
+#[test]
+fn extreme_feature_magnitudes_stay_finite() {
+    // Unstandardised gigantic features: the trig encoder is bounded, so
+    // nothing overflows.
+    let mut m = reghd(2, 5);
+    let xs = vec![
+        vec![1e20f32, -1e20],
+        vec![1e19, 1e20],
+        vec![-1e20, -1e19],
+        vec![1e18, -1e18],
+    ];
+    let ys = vec![1.0f32, 2.0, 3.0, 4.0];
+    m.fit(&xs, &ys);
+    assert!(m.predict_one(&xs[0]).is_finite());
+}
+
+#[test]
+fn extreme_target_magnitudes_stay_finite() {
+    let mut m = reghd(1, 6);
+    let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32 / 10.0 - 1.0]).collect();
+    let ys: Vec<f32> = xs.iter().map(|x| 1e8 * x[0]).collect();
+    let report = m.fit(&xs, &ys);
+    assert!(report.train_mse_history.iter().all(|v| v.is_finite()));
+    assert!(m.predict_one(&[0.5]).is_finite());
+}
+
+#[test]
+fn more_models_than_samples_is_legal() {
+    let mut m = {
+        let cfg = RegHdConfig::builder()
+            .dim(128)
+            .models(16)
+            .max_epochs(3)
+            .min_epochs(1)
+            .build();
+        RegHdRegressor::new(cfg, Box::new(NonlinearEncoder::new(1, 128, 7)))
+    };
+    m.fit(&[vec![0.0], vec![1.0], vec![2.0]], &[0.0, 1.0, 2.0]);
+    assert!(m.predict_one(&[1.5]).is_finite());
+}
+
+#[test]
+fn wide_data_more_features_than_samples() {
+    let features = 50usize;
+    let mut m = reghd(features, 8);
+    let xs: Vec<Vec<f32>> = (0..5)
+        .map(|i| (0..features).map(|j| ((i * j) % 7) as f32 / 7.0).collect())
+        .collect();
+    let ys = vec![1.0f32, -1.0, 0.5, -0.5, 0.0];
+    m.fit(&xs, &ys);
+    for (x, &y) in xs.iter().zip(&ys) {
+        let p = m.predict_one(x);
+        assert!(p.is_finite());
+        // Over-parameterised regime: should interpolate the 5 points well.
+        assert!((p - y).abs() < 1.0, "p = {p}, y = {y}");
+    }
+}
+
+#[test]
+fn baselines_survive_degenerate_inputs() {
+    use reghd_repro::baselines::tree::TreeConfig;
+    let xs = vec![vec![1.0f32, 2.0]; 6];
+    let ys = vec![3.0f32; 6];
+    let mut models: Vec<Box<dyn Regressor>> = vec![
+        Box::new(MeanRegressor::new()),
+        Box::new(LinearRegressor::new(1e-4)),
+        Box::new(TreeRegressor::new(TreeConfig::default())),
+        Box::new(KnnRegressor::new(
+            3,
+            reghd_repro::baselines::knn::KnnWeighting::Uniform,
+        )),
+    ];
+    for m in &mut models {
+        m.fit(&xs, &ys);
+        let p = m.predict_one(&[1.0, 2.0]);
+        assert!(
+            (p - 3.0).abs() < 1e-3,
+            "{} failed constant-data fit: {p}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn quantized_modes_survive_tiny_data() {
+    for pred in PredictionMode::ALL {
+        let cfg = RegHdConfig::builder()
+            .dim(128)
+            .models(2)
+            .max_epochs(3)
+            .min_epochs(1)
+            .prediction_mode(pred)
+            .cluster_mode(ClusterMode::FrameworkBinary)
+            .build();
+        let mut m = RegHdRegressor::new(cfg, Box::new(NonlinearEncoder::new(1, 128, 9)));
+        m.fit(&[vec![0.1], vec![0.9]], &[1.0, -1.0]);
+        assert!(m.predict_one(&[0.5]).is_finite(), "{pred:?}");
+    }
+}
+
+#[test]
+fn online_handles_constant_stream() {
+    let cfg = RegHdConfig::builder().dim(128).models(2).build();
+    let mut m = OnlineRegHd::new(cfg, Box::new(NonlinearEncoder::new(1, 128, 10)));
+    for _ in 0..200 {
+        let e = m.update(&[1.0], 4.0);
+        assert!(e.is_finite());
+    }
+    assert!((m.predict_one(&[1.0]) - 4.0).abs() < 0.5);
+}
+
+#[test]
+fn encoder_zero_input_is_handled_end_to_end() {
+    // x = 0 encodes to the zero hypervector (sin(0) = 0); centring +
+    // intercept must still give a usable prediction.
+    let mut m = reghd(1, 11);
+    let xs: Vec<Vec<f32>> = (-10..=10).map(|i| vec![i as f32 / 10.0]).collect();
+    let ys: Vec<f32> = xs.iter().map(|x| x[0] + 1.0).collect();
+    m.fit(&xs, &ys);
+    let p = m.predict_one(&[0.0]);
+    assert!(p.is_finite());
+    assert!((p - 1.0).abs() < 0.5, "p = {p}");
+}

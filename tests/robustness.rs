@@ -1,0 +1,115 @@
+//! Integration tests for the §3 robustness claims: trained RegHD models
+//! degrade gracefully under hypervector component faults, and the Eq. 3/4
+//! capacity analysis predicts the behaviour of real bundles.
+
+use reghd_repro::hdc::capacity;
+use reghd_repro::hdc::noise;
+use reghd_repro::hdc::rng::HdRng;
+use reghd_repro::prelude::*;
+
+fn trained_model() -> (RegHdRegressor, Vec<Vec<f32>>, Vec<f32>) {
+    let mut rng = HdRng::seed_from(31);
+    let xs: Vec<Vec<f32>> = (0..300)
+        .map(|_| (0..4).map(|_| rng.next_gaussian() as f32).collect())
+        .collect();
+    let ys: Vec<f32> = xs
+        .iter()
+        .map(|x| x[0] + 0.5 * x[1] - (x[2] * 1.5).sin())
+        .collect();
+    let cfg = RegHdConfig::builder().dim(2048).models(4).max_epochs(15).seed(31).build();
+    let enc = NonlinearEncoder::new(4, 2048, 31);
+    let mut m = RegHdRegressor::new(cfg, Box::new(enc));
+    m.fit(&xs, &ys);
+    (m, xs, ys)
+}
+
+#[test]
+fn graceful_degradation_under_component_faults() {
+    let (m, xs, ys) = trained_model();
+    let clean = datasets::metrics::mse(&m.predict(&xs), &ys);
+    let mut prev = clean;
+    for rate in [0.01f64, 0.05, 0.10] {
+        let mut rng = HdRng::seed_from(77);
+        let preds: Vec<f32> = xs
+            .iter()
+            .map(|x| m.predict_one_with_noise(x, rate, &mut rng))
+            .collect();
+        let noisy = datasets::metrics::mse(&preds, &ys);
+        // Monotone-ish growth, and small faults stay near-clean.
+        assert!(
+            noisy >= prev * 0.8,
+            "rate {rate}: MSE should not drop substantially"
+        );
+        prev = noisy;
+    }
+    // The headline: with 5% of components faulted, the error stays a small
+    // fraction of the target variance (the clean fit is near-perfect here,
+    // so a variance-relative bound is the meaningful one).
+    let mean: f32 = ys.iter().sum::<f32>() / ys.len() as f32;
+    let var: f32 = ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32;
+    let mut rng = HdRng::seed_from(78);
+    let preds: Vec<f32> = xs
+        .iter()
+        .map(|x| m.predict_one_with_noise(x, 0.05, &mut rng))
+        .collect();
+    let at5 = datasets::metrics::mse(&preds, &ys);
+    assert!(
+        at5 < 0.1 * var,
+        "5% faults cost too much: {at5} vs variance {var} (clean {clean})"
+    );
+}
+
+#[test]
+fn zero_fault_rate_is_identity() {
+    let (m, xs, _) = trained_model();
+    let mut rng = HdRng::seed_from(1);
+    for x in xs.iter().take(10) {
+        assert_eq!(m.predict_one_with_noise(x, 0.0, &mut rng), m.predict_one(x));
+    }
+}
+
+#[test]
+fn binary_similarity_survives_bit_flips() {
+    // The substrate-level robustness property feeding the model-level one:
+    // a 10%-corrupted binary hypervector is still far more similar to its
+    // original than to an unrelated vector.
+    let mut rng = HdRng::seed_from(41);
+    let dim = 4096;
+    let v = BinaryHv::random(dim, &mut rng);
+    let other = BinaryHv::random(dim, &mut rng);
+    let (corrupted, _) = noise::flip_bits(&v, 0.10, &mut rng);
+    let self_sim = reghd_repro::hdc::similarity::hamming_similarity(&v, &corrupted);
+    let cross_sim = reghd_repro::hdc::similarity::hamming_similarity(&v, &other);
+    assert!(self_sim > 0.7);
+    assert!(cross_sim.abs() < 0.1);
+}
+
+#[test]
+fn capacity_analysis_predicts_cluster_search_reliability() {
+    // Eq. 4 cross-check at the scale the harness actually uses: with D =
+    // 2048 and k = 8 bundled patterns per cluster, false-positive pressure
+    // is negligible at T = 0.5.
+    let p = capacity::false_positive_probability(2048, 8, 0.5);
+    assert!(p < 1e-6, "false positive probability {p} unexpectedly high");
+    // And the analysis is honest: at heavy load it reports real risk.
+    let heavy = capacity::false_positive_probability(2048, 2048, 0.5);
+    assert!(heavy > 0.2);
+}
+
+#[test]
+fn stuck_at_zero_faults_are_tolerated_by_dot_products() {
+    // Zeroing 10% of a trained model's components scales its dot products
+    // by ≈ 0.9 on average — bounded, predictable degradation.
+    let mut rng = HdRng::seed_from(51);
+    let m = RealHv::random_gaussian(4096, &mut rng);
+    let q = RealHv::random_gaussian(4096, &mut rng);
+    let clean = m.dot(&q);
+    let faulted = noise::stuck_at_zero(&m, 0.10, &mut rng);
+    let noisy = faulted.dot(&q);
+    // The perturbation is a random 10% subset's contribution.
+    let denom = clean.abs().max(m.norm() * q.norm() * 0.05);
+    assert!(
+        (noisy - clean).abs() / denom < 1.0,
+        "stuck-at-zero perturbation too large: {clean} -> {noisy}"
+    );
+}
