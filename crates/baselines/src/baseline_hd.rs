@@ -148,7 +148,11 @@ impl Regressor for BaselineHd {
         let (lo, hi) = (pct(0.02), pct(0.98));
         // Degenerate constant-target case: widen artificially so bin_of is
         // well defined.
-        self.range = if hi > lo { (lo, hi) } else { (lo - 0.5, lo + 0.5) };
+        self.range = if hi > lo {
+            (lo, hi)
+        } else {
+            (lo - 0.5, lo + 0.5)
+        };
 
         let dim = self.encoder.dim();
         self.classes = vec![RealHv::zeros(dim); self.config.bins];
@@ -156,8 +160,7 @@ impl Regressor for BaselineHd {
 
         // Encode once, with mean-centring (see
         // `reghd::RegHdConfig::center_encodings` for the rationale).
-        let mut encoded: Vec<RealHv> =
-            features.iter().map(|x| self.encoder.encode(x)).collect();
+        let mut encoded: Vec<RealHv> = features.iter().map(|x| self.encoder.encode(x)).collect();
         let mut mean = RealHv::zeros(dim);
         for s in &encoded {
             mean.add_scaled(s, 1.0 / encoded.len() as f32);
@@ -233,7 +236,9 @@ mod tests {
     }
 
     fn ramp(n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
-        let xs: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / n as f32 * 2.0 - 1.0]).collect();
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![i as f32 / n as f32 * 2.0 - 1.0])
+            .collect();
         let ys = xs.iter().map(|x| x[0]).collect();
         (xs, ys)
     }

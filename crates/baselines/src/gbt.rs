@@ -85,8 +85,7 @@ impl Regressor for GbtRegressor {
         assert!(!features.is_empty(), "cannot fit on empty data");
         self.trees.clear();
         // Stage 0: the mean.
-        self.base =
-            (targets.iter().map(|&t| t as f64).sum::<f64>() / targets.len() as f64) as f32;
+        self.base = (targets.iter().map(|&t| t as f64).sum::<f64>() / targets.len() as f64) as f32;
         let mut residuals: Vec<f32> = targets.iter().map(|&y| y - self.base).collect();
         let mut history = Vec::with_capacity(self.config.rounds);
         for _ in 0..self.config.rounds {
@@ -148,7 +147,10 @@ mod tests {
         let report = m.fit(&xs, &ys);
         let first = report.train_mse_history[0];
         let last = *report.train_mse_history.last().unwrap();
-        assert!(last < 0.3 * first, "no boosting progress: {first} -> {last}");
+        assert!(
+            last < 0.3 * first,
+            "no boosting progress: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -4,6 +4,9 @@
 use hdc::rng::HdRng;
 use reghd::Regressor;
 
+/// A named model factory entering the grid: `(label, || fresh model)`.
+pub type Candidate = (String, Box<dyn Fn() -> Box<dyn Regressor>>);
+
 /// One evaluated grid candidate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CandidateScore {
@@ -61,7 +64,7 @@ impl GridResult {
 /// assert_eq!(result.best().label, "lambda=0");
 /// ```
 pub fn grid_search(
-    candidates: &[(String, Box<dyn Fn() -> Box<dyn Regressor>>)],
+    candidates: &[Candidate],
     features: &[Vec<f32>],
     targets: &[f32],
     folds: usize,
@@ -107,8 +110,7 @@ pub fn grid_search(
                 .chain(&idx[range.end..])
                 .copied()
                 .collect();
-            let train_x: Vec<Vec<f32>> =
-                train_idx.iter().map(|&i| features[i].clone()).collect();
+            let train_x: Vec<Vec<f32>> = train_idx.iter().map(|&i| features[i].clone()).collect();
             let train_y: Vec<f32> = train_idx.iter().map(|&i| targets[i]).collect();
             let mut model = factory();
             model.fit(&train_x, &train_y);

@@ -101,11 +101,7 @@ impl Regressor for KnnRegressor {
             .iter()
             .zip(&self.train_y)
             .map(|(row, &y)| {
-                let d: f32 = row
-                    .iter()
-                    .zip(x)
-                    .map(|(&a, &b)| (a - b) * (a - b))
-                    .sum();
+                let d: f32 = row.iter().zip(x).map(|(&a, &b)| (a - b) * (a - b)).sum();
                 (d, y)
             })
             .collect();
@@ -113,9 +109,7 @@ impl Regressor for KnnRegressor {
         dist.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let neighbours = &dist[..k];
         match self.weighting {
-            KnnWeighting::Uniform => {
-                neighbours.iter().map(|&(_, y)| y).sum::<f32>() / k as f32
-            }
+            KnnWeighting::Uniform => neighbours.iter().map(|&(_, y)| y).sum::<f32>() / k as f32,
             KnnWeighting::InverseDistance => {
                 let mut num = 0.0f64;
                 let mut den = 0.0f64;

@@ -277,7 +277,10 @@ mod tests {
                 ]
             })
             .collect();
-        let ys = xs.iter().map(|x| 1.5 * x[0] - 2.0 * x[1] + 0.5 * x[2] + 3.0).collect();
+        let ys = xs
+            .iter()
+            .map(|x| 1.5 * x[0] - 2.0 * x[1] + 0.5 * x[2] + 3.0)
+            .collect();
         (xs, ys)
     }
 

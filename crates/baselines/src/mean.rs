@@ -37,8 +37,7 @@ impl Regressor for MeanRegressor {
             "features and targets must have the same length"
         );
         assert!(!targets.is_empty(), "cannot fit on empty data");
-        self.mean =
-            (targets.iter().map(|&t| t as f64).sum::<f64>() / targets.len() as f64) as f32;
+        self.mean = (targets.iter().map(|&t| t as f64).sum::<f64>() / targets.len() as f64) as f32;
         let mse = (targets
             .iter()
             .map(|&t| (t as f64 - self.mean as f64).powi(2))

@@ -162,11 +162,7 @@ impl MlpRegressor {
     fn train_batch(&mut self, xs: &[&Vec<f32>], ys: &[f32], step: f32) -> f64 {
         let nl = self.layers.len();
         // Accumulate gradients over the batch.
-        let mut gw: Vec<Vec<f32>> = self
-            .layers
-            .iter()
-            .map(|l| vec![0.0; l.w.len()])
-            .collect();
+        let mut gw: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
         let mut gb: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
         let mut sq_err = 0.0f64;
         for (x, &y) in xs.iter().zip(ys) {
@@ -193,10 +189,9 @@ impl MlpRegressor {
                 // Delta for the previous layer (through ReLU).
                 let prev_act = &acts[li];
                 let mut new_delta = vec![0.0f32; layer.cols];
-                for r in 0..layer.rows {
-                    let row = &layer.w[r * layer.cols..(r + 1) * layer.cols];
+                for (row, &d) in layer.w.chunks_exact(layer.cols).zip(&delta) {
                     for (nd, &w) in new_delta.iter_mut().zip(row) {
-                        *nd += delta[r] * w;
+                        *nd += d * w;
                     }
                 }
                 for (nd, &a) in new_delta.iter_mut().zip(prev_act) {
@@ -316,7 +311,10 @@ mod tests {
         let xs: Vec<Vec<f32>> = (0..300)
             .map(|_| vec![rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0])
             .collect();
-        let ys: Vec<f32> = xs.iter().map(|x| x[0] * x[1] + (2.0 * x[0]).sin()).collect();
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|x| x[0] * x[1] + (2.0 * x[0]).sin())
+            .collect();
         let mut m = MlpRegressor::new(2, cfg(200, 3));
         let report = m.fit(&xs, &ys);
         let var = {

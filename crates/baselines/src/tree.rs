@@ -68,7 +68,10 @@ impl TreeRegressor {
     ///
     /// Panics if `min_samples_leaf == 0`.
     pub fn new(config: TreeConfig) -> Self {
-        assert!(config.min_samples_leaf > 0, "min_samples_leaf must be nonzero");
+        assert!(
+            config.min_samples_leaf > 0,
+            "min_samples_leaf must be nonzero"
+        );
         Self {
             config,
             root: None,
@@ -105,42 +108,38 @@ impl TreeRegressor {
         indices: &mut [usize],
         depth: usize,
     ) -> Node {
-        let mean = indices.iter().map(|&i| targets[i] as f64).sum::<f64>()
-            / indices.len() as f64;
-        let sse =
-            |idx: &[usize]| -> f64 {
-                if idx.is_empty() {
-                    return 0.0;
-                }
-                let m = idx.iter().map(|&i| targets[i] as f64).sum::<f64>() / idx.len() as f64;
-                idx.iter()
-                    .map(|&i| (targets[i] as f64 - m).powi(2))
-                    .sum::<f64>()
-            };
+        let mean = indices.iter().map(|&i| targets[i] as f64).sum::<f64>() / indices.len() as f64;
+        let sse = |idx: &[usize]| -> f64 {
+            if idx.is_empty() {
+                return 0.0;
+            }
+            let m = idx.iter().map(|&i| targets[i] as f64).sum::<f64>() / idx.len() as f64;
+            idx.iter()
+                .map(|&i| (targets[i] as f64 - m).powi(2))
+                .sum::<f64>()
+        };
         let node_sse = sse(indices);
         if depth >= self.config.max_depth
             || indices.len() < 2 * self.config.min_samples_leaf
             || node_sse < 1e-12
         {
-            return Node::Leaf {
-                value: mean as f32,
-            };
+            return Node::Leaf { value: mean as f32 };
         }
 
         // Find the best (feature, threshold) by scanning each sorted column.
         let mut best: Option<(usize, f32, f64)> = None;
         let d = features[0].len();
         let mut sorted: Vec<usize> = indices.to_vec();
+        // `f` indexes a column across permuted rows; there is no slice to
+        // iterate directly (clippy's range-loop suggestion misfires here).
+        #[allow(clippy::needless_range_loop)]
         for f in 0..d {
             sorted.sort_by(|&a, &b| features[a][f].total_cmp(&features[b][f]));
             // Prefix sums over sorted order enable O(1) split evaluation.
             let mut prefix_sum = 0.0f64;
             let mut prefix_sq = 0.0f64;
             let total_sum: f64 = sorted.iter().map(|&i| targets[i] as f64).sum();
-            let total_sq: f64 = sorted
-                .iter()
-                .map(|&i| (targets[i] as f64).powi(2))
-                .sum();
+            let total_sq: f64 = sorted.iter().map(|&i| (targets[i] as f64).powi(2)).sum();
             for split in 1..sorted.len() {
                 let prev = sorted[split - 1];
                 prefix_sum += targets[prev] as f64;
@@ -160,8 +159,7 @@ impl TreeRegressor {
                 let rs = total_sum - prefix_sum;
                 let sse_r = (total_sq - prefix_sq) - rs * rs / nr;
                 let combined = sse_l + sse_r;
-                let threshold =
-                    0.5 * (features[sorted[split - 1]][f] + features[sorted[split]][f]);
+                let threshold = 0.5 * (features[sorted[split - 1]][f] + features[sorted[split]][f]);
                 if best.is_none_or(|(_, _, b)| combined < b) {
                     best = Some((f, threshold, combined));
                 }
@@ -170,17 +168,14 @@ impl TreeRegressor {
 
         match best {
             Some((feature, threshold, combined)) if combined < node_sse - 1e-12 => {
-                let split_point = itertools_partition(indices, |&i| {
-                    features[i][feature] <= threshold
-                });
+                let split_point =
+                    itertools_partition(indices, |&i| features[i][feature] <= threshold);
                 let (left_idx, right_idx) = indices.split_at_mut(split_point);
                 // Guard against degenerate partitions (shouldn't happen given
                 // the threshold choice, but protects against float edge
                 // cases).
                 if left_idx.is_empty() || right_idx.is_empty() {
-                    return Node::Leaf {
-                        value: mean as f32,
-                    };
+                    return Node::Leaf { value: mean as f32 };
                 }
                 let left = self.build(features, targets, left_idx, depth + 1);
                 let right = self.build(features, targets, right_idx, depth + 1);
@@ -191,9 +186,7 @@ impl TreeRegressor {
                     right: Box::new(right),
                 }
             }
-            _ => Node::Leaf {
-                value: mean as f32,
-            },
+            _ => Node::Leaf { value: mean as f32 },
         }
     }
 }
@@ -259,7 +252,11 @@ impl Regressor for TreeRegressor {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -390,6 +387,9 @@ mod tests {
 
     #[test]
     fn name_is_stable() {
-        assert_eq!(TreeRegressor::new(TreeConfig::default()).name(), "DecisionTree");
+        assert_eq!(
+            TreeRegressor::new(TreeConfig::default()).name(),
+            "DecisionTree"
+        );
     }
 }

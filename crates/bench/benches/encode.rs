@@ -53,5 +53,10 @@ fn bench_encode_binary(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encoders, bench_encode_dims, bench_encode_binary);
+criterion_group!(
+    benches,
+    bench_encoders,
+    bench_encode_dims,
+    bench_encode_binary
+);
 criterion_main!(benches);

@@ -23,10 +23,7 @@ fn trained(pred: PredictionMode) -> (RegHdRegressor, Vec<f32>) {
         .prediction_mode(pred)
         .seed(9)
         .build();
-    let mut m = RegHdRegressor::new(
-        cfg,
-        Box::new(encoding::NonlinearEncoder::new(8, dim, 9)),
-    );
+    let mut m = RegHdRegressor::new(cfg, Box::new(encoding::NonlinearEncoder::new(8, dim, 9)));
     m.fit(&xs, &ys);
     let probe: Vec<f32> = (0..8).map(|_| rng.next_gaussian() as f32).collect();
     (m, probe)

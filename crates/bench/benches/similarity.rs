@@ -45,7 +45,9 @@ fn bench_cluster_search(c: &mut Criterion) {
     let mut rng = HdRng::seed_from(3);
     let dim = 2048;
     let k = 8;
-    let clusters_real: Vec<RealHv> = (0..k).map(|_| RealHv::random_gaussian(dim, &mut rng)).collect();
+    let clusters_real: Vec<RealHv> = (0..k)
+        .map(|_| RealHv::random_gaussian(dim, &mut rng))
+        .collect();
     let clusters_bin: Vec<BinaryHv> = (0..k).map(|_| BinaryHv::random(dim, &mut rng)).collect();
     let q_real = RealHv::random_gaussian(dim, &mut rng);
     let q_bin = BinaryHv::random(dim, &mut rng);

@@ -30,10 +30,7 @@ fn model(k: usize, cluster: ClusterMode, pred: PredictionMode) -> RegHdRegressor
         .cluster_mode(cluster)
         .prediction_mode(pred)
         .build();
-    RegHdRegressor::new(
-        cfg,
-        Box::new(encoding::NonlinearEncoder::new(6, dim, 7)),
-    )
+    RegHdRegressor::new(cfg, Box::new(encoding::NonlinearEncoder::new(6, dim, 7)))
 }
 
 fn bench_train_by_models(c: &mut Criterion) {

@@ -46,7 +46,12 @@ fn main() {
     println!("{}", t.render());
 
     banner("Ablation 2 — encoder choice (k=8)", "DESIGN.md §5");
-    let mut t = Table::new(["dataset", "cos*sin (Eq.1)", "cos-only RFF", "linear projection"]);
+    let mut t = Table::new([
+        "dataset",
+        "cos*sin (Eq.1)",
+        "cos-only RFF",
+        "linear projection",
+    ]);
     for ds in &datasets_used {
         let prep = prepare(ds, seed);
         let f = prep.features;

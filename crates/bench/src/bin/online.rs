@@ -30,11 +30,7 @@ fn main() {
         eprintln!("[online] {}", ds.name);
         let prep = prepare(&ds, seed);
 
-        let cfg = RegHdConfig::builder()
-            .dim(DIM)
-            .models(8)
-            .seed(seed)
-            .build();
+        let cfg = RegHdConfig::builder().dim(DIM).models(8).seed(seed).build();
         let enc = NonlinearEncoder::new(prep.features, DIM, seed ^ 0xE4C0DE);
         let mut online = OnlineRegHd::new(cfg, Box::new(enc));
         online.fit(&prep.train_x, &prep.train_y);
@@ -47,10 +43,7 @@ fn main() {
         let out = harness::evaluate(&mut iterative, &prep);
 
         let gap = if online_mse > out.test_mse {
-            format!(
-                "{:.0}%",
-                100.0 * (online_mse - out.test_mse) / online_mse
-            )
+            format!("{:.0}%", 100.0 * (online_mse - out.test_mse) / online_mse)
         } else {
             "0%".to_string()
         };

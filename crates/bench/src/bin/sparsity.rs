@@ -58,9 +58,8 @@ fn main() {
 
     println!("geometric-mean quality loss and modelled inference-cost share vs dense:");
     for (ki, &keep) in keeps.iter().enumerate() {
-        let gmean = (ratios[ki].iter().map(|r| r.ln()).sum::<f64>()
-            / ratios[ki].len() as f64)
-            .exp();
+        let gmean =
+            (ratios[ki].iter().map(|r| r.ln()).sum::<f64>() / ratios[ki].len() as f64).exp();
         println!(
             "  keep {:>3.0}%: quality {:+.1}%, prediction work ~{:.0}% of dense",
             keep * 100.0,

@@ -78,7 +78,12 @@ fn main() {
     println!("{}", table.render());
 
     // The qualitative checks the paper's Table 1 supports.
-    let idx = |name: &str| model_rows.iter().position(|&m| m == name).expect("known row");
+    let idx = |name: &str| {
+        model_rows
+            .iter()
+            .position(|&m| m == name)
+            .expect("known row")
+    };
     let mean_of = |row: usize| -> f64 {
         // Geometric-mean style comparison across datasets of different
         // scales: average each model's MSE normalised by RegHD-32's.

@@ -118,7 +118,14 @@ pub const DIM: usize = 2048;
 
 /// Builds a RegHD model with the harness defaults.
 pub fn reghd(features: usize, k: usize, seed: u64) -> RegHdRegressor {
-    reghd_with(features, k, DIM, ClusterMode::Integer, PredictionMode::Full, seed)
+    reghd_with(
+        features,
+        k,
+        DIM,
+        ClusterMode::Integer,
+        PredictionMode::Full,
+        seed,
+    )
 }
 
 /// Builds a RegHD model with full control over the quantisation modes.
@@ -245,7 +252,12 @@ mod tests {
         let out = evaluate(&mut model, &prep);
         // Linear must explain most of CCPP's near-linear structure.
         let var = prep.scaler.std() * prep.scaler.std();
-        assert!(out.test_mse < 0.8 * var, "mse {} vs var {}", out.test_mse, var);
+        assert!(
+            out.test_mse < 0.8 * var,
+            "mse {} vs var {}",
+            out.test_mse,
+            var
+        );
     }
 
     #[test]

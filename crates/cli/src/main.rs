@@ -1,19 +1,23 @@
-//! `reghd-cli` — train, evaluate, and run RegHD models on CSV data.
+//! `reghd-cli` — train, evaluate, run, and serve RegHD models on CSV data.
 //!
 //! ```text
 //! reghd-cli train   --csv data.csv --out model.rghd [--dim 2048] [--models 8]
 //!                   [--epochs 40] [--seed 0] [--quantized]
 //! reghd-cli eval    --csv data.csv --model model.rghd
 //! reghd-cli predict --csv data.csv --model model.rghd
+//! reghd-cli serve   --model model.rghd --addr 127.0.0.1:7878
+//!                   [--name NAME] [--workers N] [--max-batch N] [--max-wait-us N]
 //! ```
 //!
 //! CSV format: numeric columns, optional header, **last column is the
 //! target** (ignored by `predict` if present). The tool standardises
 //! features and targets on the training data and stores the scalers inside
 //! the model bundle, so evaluation and prediction accept raw units.
+//!
+//! `serve` exposes the line-oriented TCP protocol implemented in
+//! `reghd-serve` (see the README's Serving section).
 
-mod bundle;
-
+use reghd_serve::bundle::{self, ModelBundle};
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -21,35 +25,50 @@ fn usage() -> ! {
         "usage:\n  reghd-cli train   --csv <data.csv> --out <model.rghd> \
          [--dim N] [--models K] [--epochs N] [--seed N] [--quantized]\n  \
          reghd-cli eval    --csv <data.csv> --model <model.rghd>\n  \
-         reghd-cli predict --csv <data.csv> --model <model.rghd>"
+         reghd-cli predict --csv <data.csv> --model <model.rghd>\n  \
+         reghd-cli serve   --model <model.rghd> [--name NAME] [--addr HOST:PORT] \
+         [--workers N] [--max-batch N] [--max-wait-us N]"
     );
     std::process::exit(2);
 }
 
 /// Minimal flag parser: `--key value` pairs plus boolean `--flags`.
+#[derive(Debug)]
 struct Args {
     flags: Vec<(String, Option<String>)>,
 }
 
+/// A token following `--key` counts as its value unless it is itself a
+/// flag. Numeric lookalikes (`-3`, `-0.5`, even a pathological `--5`) are
+/// values, so `--threshold -0.5` parses the way the user meant it.
+fn is_flag_token(tok: &str) -> bool {
+    match tok.strip_prefix("--") {
+        Some(rest) => rest.parse::<f64>().is_err(),
+        None => false,
+    }
+}
+
 impl Args {
-    fn parse(args: &[String]) -> Self {
-        let mut flags = Vec::new();
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags: Vec<(String, Option<String>)> = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let a = &args[i];
-            if let Some(key) = a.strip_prefix("--") {
-                let value = args.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
-                if value.is_some() {
-                    i += 1;
-                }
-                flags.push((key.to_string(), value));
-            } else {
-                eprintln!("unexpected argument: {a}");
-                usage();
+            if !is_flag_token(a) {
+                return Err(format!("unexpected argument: {a}"));
             }
+            let key = a.trim_start_matches("--");
+            if flags.iter().any(|(k, _)| k == key) {
+                return Err(format!("duplicate flag --{key}"));
+            }
+            let value = args.get(i + 1).filter(|v| !is_flag_token(v)).cloned();
+            if value.is_some() {
+                i += 1;
+            }
+            flags.push((key.to_string(), value));
             i += 1;
         }
-        Self { flags }
+        Ok(Self { flags })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -84,11 +103,18 @@ impl Args {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
-    let args = Args::parse(&argv[1..]);
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
     let result = match cmd.as_str() {
         "train" => cmd_train(&args),
         "eval" => cmd_eval(&args),
         "predict" => cmd_predict(&args),
+        "serve" => cmd_serve(&args),
         _ => {
             eprintln!("unknown command: {cmd}");
             usage();
@@ -119,7 +145,13 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         ds.len(),
         ds.num_features()
     );
-    let bundle = bundle::train(&ds, dim, models, epochs, seed, quantized)?;
+    let (bundle, report) = bundle::train(&ds, dim, models, epochs, seed, quantized)?;
+    println!(
+        "trained: {} epochs, converged: {}, final train MSE (scaled): {:.6}",
+        report.epochs,
+        report.converged,
+        report.final_mse().unwrap_or(f32::NAN)
+    );
     bundle.save(out)?;
     println!("model written to {out}");
     Ok(())
@@ -129,7 +161,7 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     let csv = args.require("csv");
     let model_path = args.require("model");
     let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
-    let bundle = bundle::ModelBundle::load(model_path)?;
+    let bundle = ModelBundle::load(model_path)?;
     let preds = bundle.predict(&ds.features)?;
     let mse = datasets::metrics::mse(&preds, &ds.targets);
     let rmse = datasets::metrics::rmse(&preds, &ds.targets);
@@ -145,11 +177,60 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let csv = args.require("csv");
     let model_path = args.require("model");
     let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
-    let bundle = bundle::ModelBundle::load(model_path)?;
+    let bundle = ModelBundle::load(model_path)?;
     for p in bundle.predict(&ds.features)? {
         println!("{p}");
     }
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use reghd_serve::batcher::BatcherConfig;
+    use reghd_serve::registry::ModelRegistry;
+    use reghd_serve::server::{serve, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let model_path = args.require("model");
+    let default_name = std::path::Path::new(model_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("default")
+        .to_string();
+    let name = args.get("name").unwrap_or(&default_name).to_string();
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let workers: usize = args.parse_num("workers", 4);
+    let max_batch: usize = args.parse_num("max-batch", 32);
+    let max_wait_us: u64 = args.parse_num("max-wait-us", 500);
+
+    let registry = Arc::new(ModelRegistry::new());
+    let meta = registry
+        .load(&name, model_path)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "loaded model {} v{} (dim={}, k={}, {} features, hash={})",
+        meta.name, meta.version, meta.dim, meta.models, meta.input_dim, meta.hash
+    );
+    let cfg = ServerConfig {
+        addr,
+        workers,
+        batcher: BatcherConfig {
+            max_batch,
+            max_wait: Duration::from_micros(max_wait_us),
+            ..BatcherConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let handle = serve(cfg, registry).map_err(|e| e.to_string())?;
+    println!(
+        "serving on {} with {workers} workers (max_batch={max_batch}, max_wait={max_wait_us}µs)",
+        handle.local_addr()
+    );
+    println!("protocol: predict <model> <f32,f32,...> | reload <model> <path> | stats | health");
+    // Serve until the process is killed; Ctrl-C terminates the listener.
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +238,11 @@ mod tests {
     use super::Args;
 
     fn parse(args: &[&str]) -> Args {
-        Args::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        Args::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn parse_err(args: &[&str]) -> String {
+        Args::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
     }
 
     #[test]
@@ -182,6 +267,32 @@ mod tests {
         assert!(a.has("quantized"));
         assert_eq!(a.get("quantized"), None);
         assert_eq!(a.get("models"), Some("4"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = parse(&["--threshold", "-0.5", "--offset", "-3"]);
+        assert_eq!(a.get("threshold"), Some("-0.5"));
+        assert_eq!(a.get("offset"), Some("-3"));
+    }
+
+    #[test]
+    fn double_dash_numeric_token_is_a_value() {
+        // Pathological but unambiguous: "--5" is a number, not a flag name.
+        let a = parse(&["--seed", "--5"]);
+        assert_eq!(a.get("seed"), Some("--5"));
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        let err = parse_err(&["--dim", "512", "--dim", "1024"]);
+        assert!(err.contains("duplicate flag --dim"), "{err}");
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        let err = parse_err(&["stray"]);
+        assert!(err.contains("unexpected argument"), "{err}");
     }
 
     #[test]

@@ -208,8 +208,7 @@ mod tests {
         let (_, ys2) = s.take(200);
         let mean1: f32 = ys1.iter().sum::<f32>() / 200.0;
         let mean2: f32 = ys2.iter().sum::<f32>() / 200.0;
-        let var1: f32 =
-            ys1.iter().map(|&y| (y - mean1) * (y - mean1)).sum::<f32>() / 200.0;
+        let var1: f32 = ys1.iter().map(|&y| (y - mean1) * (y - mean1)).sum::<f32>() / 200.0;
         // The concepts are random; requiring the means to differ by a
         // meaningful fraction of the standard deviation catches "no drift".
         assert!(
@@ -252,7 +251,11 @@ mod tests {
 
     #[test]
     fn all_kinds_produce_finite_samples() {
-        for kind in [DriftKind::Abrupt, DriftKind::Gradual, DriftKind::Incremental] {
+        for kind in [
+            DriftKind::Abrupt,
+            DriftKind::Gradual,
+            DriftKind::Incremental,
+        ] {
             let mut s = DriftStream::new(4, 50, kind, 5);
             let (xs, ys) = s.take(120);
             assert_eq!(xs.len(), 120);

@@ -25,7 +25,7 @@ use hdc::rng::HdRng;
 pub fn friedman1(samples: usize, noise_std: f32, seed: u64) -> Dataset {
     assert!(samples > 0, "samples must be nonzero");
     assert!(noise_std >= 0.0, "noise_std must be nonnegative");
-    let mut rng = HdRng::seed_from(seed ^ 0xF41E_D1);
+    let mut rng = HdRng::seed_from(seed ^ 0x00F4_1ED1);
     let mut features = Vec::with_capacity(samples);
     let mut targets = Vec::with_capacity(samples);
     for _ in 0..samples {
@@ -53,7 +53,7 @@ pub fn friedman1(samples: usize, noise_std: f32, seed: u64) -> Dataset {
 pub fn friedman2(samples: usize, noise_std: f32, seed: u64) -> Dataset {
     assert!(samples > 0, "samples must be nonzero");
     assert!(noise_std >= 0.0, "noise_std must be nonnegative");
-    let mut rng = HdRng::seed_from(seed ^ 0xF41E_D2);
+    let mut rng = HdRng::seed_from(seed ^ 0x00F4_1ED2);
     let tau = std::f32::consts::PI;
     let mut features = Vec::with_capacity(samples);
     let mut targets = Vec::with_capacity(samples);
@@ -79,7 +79,7 @@ pub fn friedman2(samples: usize, noise_std: f32, seed: u64) -> Dataset {
 pub fn friedman3(samples: usize, noise_std: f32, seed: u64) -> Dataset {
     assert!(samples > 0, "samples must be nonzero");
     assert!(noise_std >= 0.0, "noise_std must be nonnegative");
-    let mut rng = HdRng::seed_from(seed ^ 0xF41E_D3);
+    let mut rng = HdRng::seed_from(seed ^ 0x00F4_1ED3);
     let tau = std::f32::consts::PI;
     let mut features = Vec::with_capacity(samples);
     let mut targets = Vec::with_capacity(samples);
@@ -108,7 +108,11 @@ mod tests {
         // Classic mean ≈ 14.4, range roughly [0, 30].
         let mean = ds.target_mean();
         assert!((10.0..20.0).contains(&mean), "mean = {mean}");
-        assert!(ds.features.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
+        assert!(ds
+            .features
+            .iter()
+            .flatten()
+            .all(|&x| (0.0..1.0).contains(&x)));
     }
 
     #[test]

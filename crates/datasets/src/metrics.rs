@@ -89,9 +89,9 @@ pub fn r2(predictions: &[f32], targets: &[f32]) -> f32 {
     (1.0 - ss_res / ss_tot) as f32
 }
 
-/// Normalised quality in `[0, 1]`: `baseline_mse / candidate_mse` clamped to
-/// 1. Used by the Figure 6/7 reproductions, where the full-precision RegHD
-/// model is the baseline (quality 1.0) and quantised variants score
+/// Normalised quality in `[0, 1]`: `baseline_mse / candidate_mse`, clamped
+/// at one. Used by the Figure 6/7 reproductions, where the full-precision
+/// RegHD model is the baseline (quality 1.0) and quantised variants score
 /// relative to it — matching the paper's "normalized quality of regression"
 /// axis, where *lower MSE = higher quality*.
 ///

@@ -38,7 +38,10 @@ impl Standardizer {
     ///
     /// Panics if the dataset is empty.
     pub fn fit(ds: &Dataset) -> Self {
-        assert!(!ds.is_empty(), "cannot fit a standardizer on an empty dataset");
+        assert!(
+            !ds.is_empty(),
+            "cannot fit a standardizer on an empty dataset"
+        );
         let n = ds.len() as f64;
         let w = ds.num_features();
         let mut means = vec![0.0f64; w];
@@ -57,10 +60,7 @@ impl Standardizer {
                 *v += d * d;
             }
         }
-        let stds: Vec<f32> = vars
-            .iter()
-            .map(|&v| ((v / n).sqrt()) as f32)
-            .collect();
+        let stds: Vec<f32> = vars.iter().map(|&v| ((v / n).sqrt()) as f32).collect();
         Self {
             means: means.iter().map(|&m| m as f32).collect(),
             stds,

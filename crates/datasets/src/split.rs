@@ -151,10 +151,7 @@ mod tests {
         let ds = toy(23);
         let folds = k_fold(&ds, 5, 3);
         assert_eq!(folds.len(), 5);
-        let mut val_targets: Vec<f32> = folds
-            .iter()
-            .flat_map(|(_, v)| v.targets.clone())
-            .collect();
+        let mut val_targets: Vec<f32> = folds.iter().flat_map(|(_, v)| v.targets.clone()).collect();
         val_targets.sort_by(f32::total_cmp);
         let expect: Vec<f32> = (0..23).map(|i| i as f32).collect();
         assert_eq!(val_targets, expect);

@@ -120,10 +120,8 @@ impl SyntheticSpec {
                 .zip(&regime.center)
                 .map(|((&w, &xi), &mi)| w * (xi - mi))
                 .sum();
-            let vx: f32 =
-                regime.v.iter().zip(&x).map(|(&a, &b)| a * b).sum::<f32>() / sqrt_f;
-            let ux: f32 =
-                regime.u.iter().zip(&x).map(|(&a, &b)| a * b).sum::<f32>() / sqrt_f;
+            let vx: f32 = regime.v.iter().zip(&x).map(|(&a, &b)| a * b).sum::<f32>() / sqrt_f;
+            let ux: f32 = regime.u.iter().zip(&x).map(|(&a, &b)| a * b).sum::<f32>() / sqrt_f;
             let nonlin = self.nonlinearity * ((2.0 * vx).sin() + 0.5 * ux * ux);
             let y = regime.offset + local / sqrt_f.max(1.0) + nonlin;
             features_out.push(x);
@@ -159,11 +157,7 @@ impl SyntheticSpec {
                 *y = ((self.skew * *y).exp() - 1.0) / self.skew;
             }
             let mean2 = z.iter().map(|&y| y as f64).sum::<f64>() / n;
-            let var2 = z
-                .iter()
-                .map(|&y| (y as f64 - mean2).powi(2))
-                .sum::<f64>()
-                / n;
+            let var2 = z.iter().map(|&y| (y as f64 - mean2).powi(2)).sum::<f64>() / n;
             let std2 = var2.sqrt().max(1e-9);
             for y in &mut z {
                 *y = ((*y as f64 - mean2) / std2) as f32;
@@ -214,7 +208,11 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        assert!((ds.target_mean() - 100.0).abs() < 1.0, "{}", ds.target_mean());
+        assert!(
+            (ds.target_mean() - 100.0).abs() < 1.0,
+            "{}",
+            ds.target_mean()
+        );
         let std = ds.target_variance().sqrt();
         assert!((std - 15.0).abs() < 1.0, "std = {std}");
     }
@@ -247,7 +245,10 @@ mod tests {
         let s_base = skewness(&base.targets);
         let s_skewed = skewness(&skewed.targets);
         assert!(s_skewed > 1.0, "s_skewed = {s_skewed}");
-        assert!(s_skewed > s_base + 0.5, "base {s_base} vs skewed {s_skewed}");
+        assert!(
+            s_skewed > s_base + 0.5,
+            "base {s_base} vs skewed {s_skewed}"
+        );
     }
 
     #[test]

@@ -50,13 +50,7 @@ impl IdLevelEncoder {
     ///
     /// Panics if `input_dim == 0`, `dim == 0`, `levels < 2`, or
     /// `range.0 >= range.1`.
-    pub fn new(
-        input_dim: usize,
-        dim: usize,
-        levels: usize,
-        range: (f32, f32),
-        seed: u64,
-    ) -> Self {
+    pub fn new(input_dim: usize, dim: usize, levels: usize, range: (f32, f32), seed: u64) -> Self {
         assert!(input_dim > 0, "input_dim must be nonzero");
         assert!(dim > 0, "dim must be nonzero");
         assert!(levels >= 2, "need at least 2 levels");
@@ -159,7 +153,7 @@ mod tests {
         assert_eq!(e.quantize(-1.0), 0);
         assert_eq!(e.quantize(1.0), 31);
         assert_eq!(e.quantize(0.0), 16); // rounds to middle
-        // Clamps outside the range.
+                                         // Clamps outside the range.
         assert_eq!(e.quantize(-5.0), 0);
         assert_eq!(e.quantize(5.0), 31);
     }

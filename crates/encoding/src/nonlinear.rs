@@ -98,7 +98,11 @@ impl NonlinearEncoder {
     ///
     /// Panics if `d >= dim()`.
     pub fn projection_row(&self, d: usize) -> &[f32] {
-        assert!(d < self.dim, "component index {d} out of range {}", self.dim);
+        assert!(
+            d < self.dim,
+            "component index {d} out of range {}",
+            self.dim
+        );
         &self.weights[d * self.input_dim..(d + 1) * self.input_dim]
     }
 }

@@ -212,23 +212,26 @@ impl BinaryHv {
 
     /// Converts to a real ±1 hypervector (bit 1 → `+1.0`).
     pub fn to_real_signed(&self) -> RealHv {
-        RealHv::from_vec((0..self.dim).map(|i| if self.get(i) { 1.0 } else { -1.0 }).collect())
+        RealHv::from_vec(
+            (0..self.dim)
+                .map(|i| if self.get(i) { 1.0 } else { -1.0 })
+                .collect(),
+        )
     }
 
     /// Converts to a real 0/1 hypervector.
     pub fn to_real(&self) -> RealHv {
-        RealHv::from_vec((0..self.dim).map(|i| if self.get(i) { 1.0 } else { 0.0 }).collect())
+        RealHv::from_vec(
+            (0..self.dim)
+                .map(|i| if self.get(i) { 1.0 } else { 0.0 })
+                .collect(),
+        )
     }
 }
 
 impl std::fmt::Display for BinaryHv {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "BinaryHv(dim={}, ones={})",
-            self.dim,
-            self.count_ones()
-        )
+        write!(f, "BinaryHv(dim={}, ones={})", self.dim, self.count_ones())
     }
 }
 

@@ -48,10 +48,7 @@ impl BipolarHv {
     /// Builds a bipolar hypervector from sign flags (`true` → `+1`).
     pub fn from_signs<I: IntoIterator<Item = bool>>(signs: I) -> Self {
         Self {
-            data: signs
-                .into_iter()
-                .map(|s| if s { 1 } else { -1 })
-                .collect(),
+            data: signs.into_iter().map(|s| if s { 1 } else { -1 }).collect(),
         }
     }
 

@@ -36,9 +36,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -173,7 +172,10 @@ pub fn measure_capacity(
     trials: usize,
     rng: &mut HdRng,
 ) -> CapacityMeasurement {
-    assert!(dim > 0 && patterns > 0 && trials > 0, "parameters must be nonzero");
+    assert!(
+        dim > 0 && patterns > 0 && trials > 0,
+        "parameters must be nonzero"
+    );
     let stored: Vec<BipolarHv> = (0..patterns).map(|_| BipolarHv::random(dim, rng)).collect();
     // Integer accumulator of the bundle.
     let mut acc = vec![0i64; dim];

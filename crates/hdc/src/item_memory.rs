@@ -114,10 +114,7 @@ impl ItemMemory {
 
     /// Iterates over `(name, code)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &BinaryHv)> + '_ {
-        self.names
-            .iter()
-            .map(String::as_str)
-            .zip(self.codes.iter())
+        self.names.iter().map(String::as_str).zip(self.codes.iter())
     }
 }
 

@@ -93,7 +93,10 @@ pub fn majority(vs: &[BinaryHv]) -> Option<BinaryHv> {
         }
     }
     let half = vs.len();
-    Some(BinaryHv::from_bits(dim, counts.iter().map(|&c| 2 * c > half)))
+    Some(BinaryHv::from_bits(
+        dim,
+        counts.iter().map(|&c| 2 * c > half),
+    ))
 }
 
 /// Weighted accumulation `Σ w_i · v_i` — the primitive behind RegHD's

@@ -151,8 +151,18 @@ pub fn squared_euclidean(a: &RealHv, b: &RealHv) -> f32 {
 /// assert!((conf.iter().sum::<f32>() - 1.0).abs() < 1e-6);
 /// ```
 pub fn softmax(scores: &[f32], beta: f32) -> Vec<f32> {
+    let mut out = Vec::with_capacity(scores.len());
+    softmax_into(scores, beta, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`softmax`]: clears `out` and fills it with
+/// the confidences. Batched prediction paths call this once per row with a
+/// reused buffer.
+pub fn softmax_into(scores: &[f32], beta: f32, out: &mut Vec<f32>) {
+    out.clear();
     if scores.is_empty() {
-        return Vec::new();
+        return;
     }
     let max = scores
         .iter()
@@ -160,19 +170,22 @@ pub fn softmax(scores: &[f32], beta: f32) -> Vec<f32> {
         .filter(|s| s.is_finite())
         .fold(f32::NEG_INFINITY, f32::max);
     let max = if max.is_finite() { max } else { 0.0 };
-    let exps: Vec<f64> = scores
-        .iter()
-        .map(|&s| {
-            let s = if s.is_finite() { s } else { max };
-            ((s - max) as f64 * beta as f64).exp()
-        })
-        .collect();
-    let sum: f64 = exps.iter().sum();
+    // Two passes recomputing the exponentials keeps the arithmetic (and
+    // therefore every seeded training trajectory) bit-identical to the
+    // allocating version while needing no f64 scratch buffer; the doubled
+    // exp cost over k ≈ 8 scores is noise next to the D-wide dot products
+    // that produced them.
+    let exp = |s: f32| {
+        let s = if s.is_finite() { s } else { max };
+        ((s - max) as f64 * beta as f64).exp()
+    };
+    let sum: f64 = scores.iter().map(|&s| exp(s)).sum();
     if sum <= 0.0 || !sum.is_finite() {
         // Degenerate case: fall back to uniform confidences.
-        return vec![1.0 / scores.len() as f32; scores.len()];
+        out.extend(std::iter::repeat_n(1.0 / scores.len() as f32, scores.len()));
+        return;
     }
-    exps.iter().map(|&e| (e / sum) as f32).collect()
+    out.extend(scores.iter().map(|&s| (exp(s) / sum) as f32));
 }
 
 /// Index of the maximum score, breaking ties toward the lower index.
@@ -263,7 +276,10 @@ mod tests {
 
     #[test]
     fn hamming_similarity_empty_is_zero() {
-        assert_eq!(hamming_similarity(&BinaryHv::zeros(0), &BinaryHv::zeros(0)), 0.0);
+        assert_eq!(
+            hamming_similarity(&BinaryHv::zeros(0), &BinaryHv::zeros(0)),
+            0.0
+        );
     }
 
     #[test]

@@ -60,11 +60,7 @@ pub fn reghd_footprint(shape: &RegHdShape, regenerate_encoder: bool) -> Footprin
 
 /// Inference-time footprint of a dense DNN (f32 weights + biases).
 pub fn dnn_footprint(shape: &DnnShape) -> Footprint {
-    let params: u64 = shape
-        .layers
-        .windows(2)
-        .map(|w| w[0] * w[1] + w[1])
-        .sum();
+    let params: u64 = shape.layers.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
     Footprint {
         cluster_bytes: 0,
         model_bytes: 4 * params,
@@ -74,7 +70,12 @@ pub fn dnn_footprint(shape: &DnnShape) -> Footprint {
 
 /// Inference-time footprint of Baseline-HD: one integer class hypervector
 /// per output bin plus the encoder.
-pub fn baseline_hd_footprint(features: u64, dim: u64, bins: u64, regenerate_encoder: bool) -> Footprint {
+pub fn baseline_hd_footprint(
+    features: u64,
+    dim: u64,
+    bins: u64,
+    regenerate_encoder: bool,
+) -> Footprint {
     Footprint {
         cluster_bytes: 0,
         model_bytes: bins * 4 * dim,

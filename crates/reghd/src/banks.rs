@@ -32,11 +32,7 @@ fn amplitude(hv: &RealHv) -> f32 {
     if hv.is_empty() {
         return 0.0;
     }
-    (hv.as_slice()
-        .iter()
-        .map(|&v| v.abs() as f64)
-        .sum::<f64>()
-        / hv.dim() as f64) as f32
+    (hv.as_slice().iter().map(|&v| v.abs() as f64).sum::<f64>() / hv.dim() as f64) as f32
 }
 
 /// The `k` cluster hypervectors with quantisation support (§3.1).
@@ -115,13 +111,21 @@ impl ClusterBank {
     /// cosine over integer clusters, or Hamming similarity over binary
     /// clusters (Eq. 5 vs §3.1).
     pub fn similarities(&self, s: &RealHv, s_bin: &BinaryHv) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.int.len());
+        self.similarities_into(s, s_bin, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ClusterBank::similarities`]: clears
+    /// `out` and fills it with one similarity per cluster. Batched
+    /// prediction reuses one buffer across rows.
+    pub fn similarities_into(&self, s: &RealHv, s_bin: &BinaryHv, out: &mut Vec<f32>) {
+        out.clear();
         match self.mode {
-            ClusterMode::Integer => self.int.iter().map(|c| cosine(s, c)).collect(),
-            ClusterMode::FrameworkBinary | ClusterMode::NaiveBinary => self
-                .bin
-                .iter()
-                .map(|c| hamming_similarity(s_bin, c))
-                .collect(),
+            ClusterMode::Integer => out.extend(self.int.iter().map(|c| cosine(s, c))),
+            ClusterMode::FrameworkBinary | ClusterMode::NaiveBinary => {
+                out.extend(self.bin.iter().map(|c| hamming_similarity(s_bin, c)))
+            }
         }
     }
 
@@ -259,30 +263,35 @@ impl ModelBank {
     /// `s_amp` the query's scalar amplitude (mean |component|), used by the
     /// binary-query modes.
     pub fn scores(&self, s: &RealHv, s_bin: &BinaryHv, s_amp: f32) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.int.len());
+        self.scores_into(s, s_bin, s_amp, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ModelBank::scores`]: clears `out` and
+    /// fills it with one raw score per model. Batched prediction reuses one
+    /// buffer across rows.
+    pub fn scores_into(&self, s: &RealHv, s_bin: &BinaryHv, s_amp: f32, out: &mut Vec<f32>) {
+        out.clear();
         match self.mode {
-            PredictionMode::Full => self.int.iter().map(|m| m.dot(s)).collect(),
-            PredictionMode::BinaryQuery => self
-                .int
-                .iter()
-                .map(|m| s_amp * s_bin.signed_dot(m))
-                .collect(),
-            PredictionMode::BinaryModel => self
-                .bin
-                .iter()
-                .zip(&self.amps)
-                .map(|(mb, &a)| a * mb.signed_dot(s))
-                .collect(),
-            PredictionMode::BinaryBoth => self
-                .bin
-                .iter()
-                .zip(&self.amps)
-                .map(|(mb, &a)| {
+            PredictionMode::Full => out.extend(self.int.iter().map(|m| m.dot(s))),
+            PredictionMode::BinaryQuery => {
+                out.extend(self.int.iter().map(|m| s_amp * s_bin.signed_dot(m)))
+            }
+            PredictionMode::BinaryModel => out.extend(
+                self.bin
+                    .iter()
+                    .zip(&self.amps)
+                    .map(|(mb, &a)| a * mb.signed_dot(s)),
+            ),
+            PredictionMode::BinaryBoth => {
+                out.extend(self.bin.iter().zip(&self.amps).map(|(mb, &a)| {
                     // ±1 · ±1 dot = D − 2·hamming: XOR + popcount only.
                     let dim = mb.dim() as i64;
                     let ham = hdc::similarity::hamming_distance(mb, s_bin) as i64;
                     a * s_amp * (dim - 2 * ham) as f32
-                })
-                .collect(),
+                }))
+            }
         }
     }
 

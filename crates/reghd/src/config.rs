@@ -55,12 +55,18 @@ pub enum PredictionMode {
 impl PredictionMode {
     /// Whether the mode binarises the query hypervector.
     pub fn query_is_binary(self) -> bool {
-        matches!(self, PredictionMode::BinaryQuery | PredictionMode::BinaryBoth)
+        matches!(
+            self,
+            PredictionMode::BinaryQuery | PredictionMode::BinaryBoth
+        )
     }
 
     /// Whether the mode binarises the model hypervectors.
     pub fn model_is_binary(self) -> bool {
-        matches!(self, PredictionMode::BinaryModel | PredictionMode::BinaryBoth)
+        matches!(
+            self,
+            PredictionMode::BinaryModel | PredictionMode::BinaryBoth
+        )
     }
 
     /// Short label used in reports.
@@ -415,8 +421,10 @@ mod tests {
 
     #[test]
     fn validate_reports_bad_lr() {
-        let mut cfg = RegHdConfig::default();
-        cfg.learning_rate = -1.0;
+        let mut cfg = RegHdConfig {
+            learning_rate: -1.0,
+            ..RegHdConfig::default()
+        };
         assert!(cfg.validate().is_err());
         cfg.learning_rate = f32::NAN;
         assert!(cfg.validate().is_err());

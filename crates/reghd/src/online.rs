@@ -163,7 +163,10 @@ impl OnlineRegHd {
         }
 
         self.samples_seen += 1;
-        if self.samples_seen.is_multiple_of(self.config.quantize_batch as u64) {
+        if self
+            .samples_seen
+            .is_multiple_of(self.config.quantize_batch as u64)
+        {
             self.models.end_epoch();
             self.clusters.end_epoch();
         }
@@ -235,7 +238,11 @@ mod tests {
     use encoding::NonlinearEncoder;
 
     fn make(k: usize, seed: u64) -> OnlineRegHd {
-        let cfg = RegHdConfig::builder().dim(1024).models(k).seed(seed).build();
+        let cfg = RegHdConfig::builder()
+            .dim(1024)
+            .models(k)
+            .seed(seed)
+            .build();
         OnlineRegHd::new(cfg, Box::new(NonlinearEncoder::new(2, 1024, seed)))
     }
 
@@ -285,11 +292,14 @@ mod tests {
             .sum::<f32>()
             / ys.len() as f32;
 
-        let cfg = RegHdConfig::builder().dim(1024).models(2).max_epochs(20).seed(2).build();
-        let mut iterative = crate::RegHdRegressor::new(
-            cfg,
-            Box::new(NonlinearEncoder::new(2, 1024, 2)),
-        );
+        let cfg = RegHdConfig::builder()
+            .dim(1024)
+            .models(2)
+            .max_epochs(20)
+            .seed(2)
+            .build();
+        let mut iterative =
+            crate::RegHdRegressor::new(cfg, Box::new(NonlinearEncoder::new(2, 1024, 2)));
         iterative.fit(&xs, &ys);
         let preds = iterative.predict(&xs);
         let mse_iter: f32 = preds
@@ -303,7 +313,10 @@ mod tests {
             let mean: f32 = ys.iter().sum::<f32>() / ys.len() as f32;
             ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32
         };
-        assert!(mse_online < 0.5 * var, "single pass must learn: {mse_online} vs {var}");
+        assert!(
+            mse_online < 0.5 * var,
+            "single pass must learn: {mse_online} vs {var}"
+        );
         assert!(
             mse_iter <= mse_online * 1.05,
             "iterative ({mse_iter}) should not lose to single-pass ({mse_online})"

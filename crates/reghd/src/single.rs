@@ -177,11 +177,7 @@ impl Regressor for SingleHdRegressor {
             // iterations" — an epoch resets the patience counter only when
             // it improves on the best MSE so far by more than the
             // tolerance, so oscillation around a floor counts as calm.
-            match history
-                .iter()
-                .copied()
-                .fold(f32::INFINITY, f32::min)
-            {
+            match history.iter().copied().fold(f32::INFINITY, f32::min) {
                 best if epoch_mse < best * (1.0 - self.config.convergence_tol) => {
                     calm_epochs = 0;
                 }
@@ -269,7 +265,10 @@ mod tests {
             ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32
         };
         let mse = report.final_mse().unwrap();
-        assert!(mse < 0.2 * var, "mse {mse} should be well under variance {var}");
+        assert!(
+            mse < 0.2 * var,
+            "mse {mse} should be well under variance {var}"
+        );
     }
 
     #[test]

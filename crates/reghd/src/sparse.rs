@@ -105,7 +105,12 @@ mod tests {
             .map(|_| vec![rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0])
             .collect();
         let ys: Vec<f32> = xs.iter().map(|x| x[0] + (2.0 * x[1]).sin()).collect();
-        let cfg = RegHdConfig::builder().dim(2048).models(4).max_epochs(15).seed(71).build();
+        let cfg = RegHdConfig::builder()
+            .dim(2048)
+            .models(4)
+            .max_epochs(15)
+            .seed(71)
+            .build();
         let mut m = RegHdRegressor::new(cfg, Box::new(NonlinearEncoder::new(2, 2048, 71)));
         m.fit(&xs, &ys);
         (m, xs, ys)

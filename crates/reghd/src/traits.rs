@@ -43,8 +43,20 @@ pub trait Regressor {
     fn predict_one(&self, x: &[f32]) -> f32;
 
     /// Predicts targets for a batch of feature vectors.
+    ///
+    /// The default implementation loops over [`Regressor::predict_one`];
+    /// implementations with a cheaper amortised path (shared scratch
+    /// buffers, one encoding pass) should override this. Serving code
+    /// (`reghd-serve`) funnels coalesced micro-batches through here.
+    fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Predicts targets for a batch of feature vectors. Alias for
+    /// [`Regressor::predict_batch`], kept for the bench harness's
+    /// historical call sites.
     fn predict(&self, features: &[Vec<f32>]) -> Vec<f32> {
-        features.iter().map(|x| self.predict_one(x)).collect()
+        self.predict_batch(features)
     }
 
     /// Human-readable model name used in reports.
@@ -84,6 +96,14 @@ mod tests {
         let mut m = MeanModel { mean: 0.0 };
         m.fit(&[vec![1.0], vec![2.0]], &[10.0, 20.0]);
         assert_eq!(m.predict(&[vec![0.0], vec![9.0]]), vec![15.0, 15.0]);
+        assert_eq!(m.predict_batch(&[vec![0.0], vec![9.0]]), vec![15.0, 15.0]);
+        assert!(m.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn predict_batch_is_object_safe() {
+        let m: Box<dyn Regressor> = Box::new(MeanModel { mean: 3.0 });
+        assert_eq!(m.predict_batch(&[vec![1.0], vec![2.0]]), vec![3.0, 3.0]);
     }
 
     #[test]

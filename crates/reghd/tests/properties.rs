@@ -95,6 +95,56 @@ proptest! {
     }
 
     #[test]
+    fn persist_roundtrip_every_mode_combination(
+        (xs, ys) in small_problem(),
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        // Exhaustive sweep: every ClusterMode × PredictionMode pair must
+        // survive a save/load round-trip with bit-exact predictions.
+        let cluster_modes = [
+            ClusterMode::Integer,
+            ClusterMode::FrameworkBinary,
+            ClusterMode::NaiveBinary,
+        ];
+        for cluster in cluster_modes {
+            for pred in PredictionMode::ALL {
+                let spec = EncoderSpec::Nonlinear { input_dim: 2, dim: 128, seed };
+                let cfg = RegHdConfig::builder()
+                    .dim(128)
+                    .models(k)
+                    .max_epochs(2)
+                    .min_epochs(1)
+                    .cluster_mode(cluster)
+                    .prediction_mode(pred)
+                    .seed(seed)
+                    .build();
+                let mut m = RegHdRegressor::new(cfg, spec.build());
+                m.fit(&xs, &ys);
+                let mut buf = Vec::new();
+                persist::save(&m, &spec, &mut buf).unwrap();
+                let loaded = persist::load(&mut buf.as_slice()).unwrap();
+                let orig_cfg = m.config();
+                let loaded_cfg = loaded.config();
+                prop_assert_eq!(loaded_cfg.cluster_mode, orig_cfg.cluster_mode);
+                prop_assert_eq!(loaded_cfg.prediction_mode, orig_cfg.prediction_mode);
+                for x in xs.iter().take(5) {
+                    prop_assert_eq!(
+                        loaded.predict_one(x),
+                        m.predict_one(x),
+                        "round-trip drift under {:?}/{:?}",
+                        cluster,
+                        pred
+                    );
+                }
+                // The batched path must agree with the loaded model too.
+                let batch: Vec<Vec<f32>> = xs.iter().take(5).cloned().collect();
+                prop_assert_eq!(loaded.predict_batch(&batch), m.predict_batch(&batch));
+            }
+        }
+    }
+
+    #[test]
     fn online_stream_stays_finite(
         (xs, ys) in small_problem(),
         seed in any::<u64>(),

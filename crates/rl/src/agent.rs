@@ -153,8 +153,16 @@ impl HdQAgent {
     ///
     /// Panics if the environment's shape does not match the agent's.
     pub fn run_episode<E: Environment>(&mut self, env: &mut E) -> f32 {
-        assert_eq!(env.state_dim(), self.encoder.input_dim(), "state_dim mismatch");
-        assert_eq!(env.num_actions(), self.models.len(), "action count mismatch");
+        assert_eq!(
+            env.state_dim(),
+            self.encoder.input_dim(),
+            "state_dim mismatch"
+        );
+        assert_eq!(
+            env.num_actions(),
+            self.models.len(),
+            "action count mismatch"
+        );
         let mut state = env.reset();
         let mut total = 0.0f32;
         loop {
@@ -288,7 +296,14 @@ mod tests {
 
     #[test]
     fn greedy_action_tracks_q() {
-        let mut agent = HdQAgent::new(1, 2, QConfig { seed: 5, ..QConfig::default() });
+        let mut agent = HdQAgent::new(
+            1,
+            2,
+            QConfig {
+                seed: 5,
+                ..QConfig::default()
+            },
+        );
         // Nudge action 1's value up at a probe state. (State 0.0 would
         // encode to the zero vector — sin(0) = 0 — so use a nonzero one.)
         let s = agent.encode(&[0.5]);
@@ -321,7 +336,14 @@ mod tests {
     fn deterministic_given_seed() {
         let run = || {
             let mut env = LineWorld::new(20, 0.2);
-            let mut agent = HdQAgent::new(1, 3, QConfig { seed: 9, ..QConfig::default() });
+            let mut agent = HdQAgent::new(
+                1,
+                3,
+                QConfig {
+                    seed: 9,
+                    ..QConfig::default()
+                },
+            );
             let mut rewards = Vec::new();
             for _ in 0..5 {
                 rewards.push(agent.run_episode(&mut env));
@@ -367,7 +389,14 @@ mod mountain_car_tests {
     #[test]
     fn training_updates_values() {
         let mut env = MountainCar::new(60);
-        let mut agent = HdQAgent::new(2, 3, QConfig { dim: 512, ..QConfig::default() });
+        let mut agent = HdQAgent::new(
+            2,
+            3,
+            QConfig {
+                dim: 512,
+                ..QConfig::default()
+            },
+        );
         let before = agent.q_values(&[-0.8, 0.0]);
         for _ in 0..3 {
             agent.run_episode(&mut env);

@@ -144,7 +144,10 @@ mod tests {
             }
         }
         assert!(env.at_goal(), "energy pumping must reach the flag");
-        assert!(steps < 200, "should arrive within the classic budget: {steps}");
+        assert!(
+            steps < 200,
+            "should arrive within the classic budget: {steps}"
+        );
     }
 
     #[test]

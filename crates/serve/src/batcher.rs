@@ -1,0 +1,355 @@
+//! Micro-batching queue in front of the worker pool.
+//!
+//! Policy: when a worker is idle, pending rows are dispatched immediately
+//! (fall-through — no batching tax on a lightly loaded server). When every
+//! worker is busy, the dispatcher coalesces arrivals for up to
+//! `max_wait` or until `max_batch` rows accumulate, amortising the
+//! per-call overhead exactly when throughput matters.
+//!
+//! The queue is bounded: [`Batcher::enqueue`] refuses rows once
+//! `queue_cap` is reached so a slow model sheds load (`err busy`) instead
+//! of growing latency without bound.
+
+use crate::metrics::ModelMetrics;
+use crate::registry::ServedModel;
+use crate::worker::{Batch, WorkItem, WorkerPool};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for the batcher.
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Largest number of rows coalesced into one model call.
+    pub max_batch: usize,
+    /// Longest time a row may wait for companions when all workers are busy.
+    pub max_wait: Duration,
+    /// Bound on queued rows; beyond it [`Batcher::enqueue`] sheds.
+    pub queue_cap: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// A queued row bound to the model version resolved at enqueue time.
+struct Pending {
+    model: Arc<ServedModel>,
+    metrics: Arc<ModelMetrics>,
+    item: WorkItem,
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    stop: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    cfg: BatcherConfig,
+    pool: Arc<WorkerPool>,
+}
+
+/// Queue + dispatcher thread implementing the micro-batching policy.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("cfg", &self.shared.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Groups drained rows by model identity (name + version, so rows pinned
+/// to different versions around a hot swap never share a batch) and splits
+/// each group into `max_batch`-sized chunks.
+fn into_batches(drained: Vec<Pending>, max_batch: usize) -> Vec<Batch> {
+    let mut groups: HashMap<(String, u64), Batch> = HashMap::new();
+    let mut order: Vec<(String, u64)> = Vec::new();
+    let mut out = Vec::new();
+    for p in drained {
+        let key = (p.model.meta.name.clone(), p.model.meta.version);
+        let batch = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            Batch {
+                model: p.model.clone(),
+                metrics: p.metrics.clone(),
+                items: Vec::new(),
+            }
+        });
+        batch.items.push(p.item);
+        if batch.items.len() >= max_batch {
+            out.push(groups.remove(&key).unwrap());
+            order.retain(|k| k != &key);
+        }
+    }
+    // Emit remaining partial groups in first-seen order for determinism.
+    for key in order {
+        if let Some(b) = groups.remove(&key) {
+            out.push(b);
+        }
+    }
+    out
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    loop {
+        let drained: Vec<Pending> = {
+            let mut q = shared.queue.lock().unwrap();
+            // Sleep until there is work or we are asked to stop.
+            while q.items.is_empty() && !q.stop {
+                q = shared.cond.wait(q).unwrap();
+            }
+            if q.items.is_empty() && q.stop {
+                return; // queue fully drained — safe to exit
+            }
+            // Coalesce only when it can pay off: all workers busy and the
+            // window isn't already full. Idle workers get rows at once.
+            if !shared.pool.has_idle_worker() && q.items.len() < shared.cfg.max_batch && !q.stop {
+                let (guard, _timeout) = shared.cond.wait_timeout(q, shared.cfg.max_wait).unwrap();
+                q = guard;
+            }
+            q.items.drain(..).collect()
+        };
+        if drained.is_empty() {
+            continue;
+        }
+        for batch in into_batches(drained, shared.cfg.max_batch) {
+            // `submit` blocks when the pool's channel is full; backpressure
+            // then propagates to `enqueue` via the bounded queue above.
+            if shared.pool.submit(batch).is_err() {
+                return; // pool shut down underneath us
+            }
+        }
+    }
+}
+
+impl Batcher {
+    /// Starts the dispatcher thread over `pool`.
+    pub fn new(cfg: BatcherConfig, pool: Arc<WorkerPool>) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                stop: false,
+            }),
+            cond: Condvar::new(),
+            cfg,
+            pool,
+        });
+        let dispatcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("reghd-batcher".to_string())
+                .spawn(move || dispatcher_loop(&shared))
+                .expect("spawn batcher thread")
+        };
+        Self {
+            shared,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// Queues one row for `model`. Returns `false` (after recording a shed)
+    /// when the queue is at capacity or the batcher is stopping — the
+    /// caller should answer `err busy`.
+    pub fn enqueue(
+        &self,
+        model: Arc<ServedModel>,
+        metrics: Arc<ModelMetrics>,
+        item: WorkItem,
+    ) -> bool {
+        let mut q = self.shared.queue.lock().unwrap();
+        if q.stop || q.items.len() >= self.shared.cfg.queue_cap {
+            drop(q);
+            metrics.record_shed();
+            return false;
+        }
+        q.items.push_back(Pending {
+            model,
+            metrics,
+            item,
+        });
+        drop(q);
+        self.shared.cond.notify_one();
+        true
+    }
+
+    /// Rows currently waiting for dispatch.
+    pub fn depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().items.len()
+    }
+
+    /// Stops accepting rows, drains everything already queued, and joins
+    /// the dispatcher. Called automatically on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.stop = true;
+        }
+        self.shared.cond.notify_all();
+        if let Some(h) = self.dispatcher.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle;
+    use crate::registry::ModelRegistry;
+    use datasets::Dataset;
+    use std::sync::mpsc::sync_channel;
+    use std::time::Instant;
+
+    fn served(seed: u64) -> Arc<ServedModel> {
+        let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 2) as f32]).collect();
+        let targets: Vec<f32> = features.iter().map(|r| r[0] + r[1]).collect();
+        let ds = Dataset::new("toy", features, targets);
+        let (b, _) = bundle::train(&ds, 128, 2, 3, seed, false).unwrap();
+        let reg = ModelRegistry::new();
+        reg.load_bytes("m", &b.to_bytes().unwrap()).unwrap();
+        reg.get("m").unwrap()
+    }
+
+    fn item(row: Vec<f32>) -> (WorkItem, std::sync::mpsc::Receiver<Result<f32, String>>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            WorkItem {
+                row,
+                enqueued_at: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn enqueued_rows_get_answers() {
+        let model = served(1);
+        let metrics = Arc::new(ModelMetrics::default());
+        let pool = Arc::new(WorkerPool::new(2, 8));
+        let batcher = Batcher::new(BatcherConfig::default(), pool);
+        let mut rxs = Vec::new();
+        for i in 0..20 {
+            let (it, rx) = item(vec![i as f32, (i + 1) as f32]);
+            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            rxs.push(rx);
+        }
+        for rx in rxs {
+            assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+        }
+        assert_eq!(metrics.ok.load(std::sync::atomic::Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let model = served(2);
+        let metrics = Arc::new(ModelMetrics::default());
+        // Pool with a dead-slow start: 1 worker, but we just make the queue
+        // tiny so the third enqueue before dispatch can shed. Stop the
+        // dispatcher first so nothing drains.
+        let pool = Arc::new(WorkerPool::new(1, 1));
+        let batcher = Batcher::new(
+            BatcherConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                queue_cap: 2,
+            },
+            pool,
+        );
+        // Freeze the dispatcher by taking the queue lock while we overfill.
+        {
+            let mut q = batcher.shared.queue.lock().unwrap();
+            for i in 0..2 {
+                let (tx, _rx) = sync_channel(1);
+                q.items.push_back(Pending {
+                    model: model.clone(),
+                    metrics: metrics.clone(),
+                    item: WorkItem {
+                        row: vec![i as f32, 0.0],
+                        enqueued_at: Instant::now(),
+                        reply: tx,
+                    },
+                });
+            }
+        }
+        let (it, _rx) = item(vec![9.0, 9.0]);
+        assert!(!batcher.enqueue(model, metrics.clone(), it));
+        assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_rows() {
+        let model = served(3);
+        let metrics = Arc::new(ModelMetrics::default());
+        let pool = Arc::new(WorkerPool::new(1, 8));
+        let batcher = Batcher::new(BatcherConfig::default(), pool);
+        let mut rxs = Vec::new();
+        for i in 0..10 {
+            let (it, rx) = item(vec![i as f32, i as f32]);
+            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            rxs.push(rx);
+        }
+        batcher.shutdown();
+        // Every queued row must still have been answered — zero drops.
+        for rx in rxs {
+            assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn batches_respect_max_batch_and_version_grouping() {
+        let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 2) as f32]).collect();
+        let targets: Vec<f32> = features.iter().map(|r| r[0] + r[1]).collect();
+        let ds = Dataset::new("toy", features, targets);
+        let reg = ModelRegistry::new();
+        let (ba, _) = bundle::train(&ds, 128, 2, 3, 4, false).unwrap();
+        let (bb, _) = bundle::train(&ds, 128, 2, 3, 5, false).unwrap();
+        reg.load_bytes("a", &ba.to_bytes().unwrap()).unwrap();
+        reg.load_bytes("b", &bb.to_bytes().unwrap()).unwrap();
+        let a = reg.get("a").unwrap();
+        let b = reg.get("b").unwrap();
+        let metrics = Arc::new(ModelMetrics::default());
+        let mut drained = Vec::new();
+        for i in 0..5 {
+            let (tx, _rx) = sync_channel(1);
+            let model = if i % 2 == 0 { a.clone() } else { b.clone() };
+            drained.push(Pending {
+                model,
+                metrics: metrics.clone(),
+                item: WorkItem {
+                    row: vec![i as f32, 0.0],
+                    enqueued_at: Instant::now(),
+                    reply: tx,
+                },
+            });
+        }
+        let batches = into_batches(drained, 2);
+        let total: usize = batches.iter().map(|b| b.items.len()).sum();
+        assert_eq!(total, 5, "no row may be lost in grouping");
+        assert!(batches.iter().all(|b| b.items.len() <= 2));
+        // 3 rows for "a" (split 2+1) and 2 for "b" → exactly 3 batches,
+        // proving rows for different models never share a batch.
+        assert_eq!(batches.len(), 3);
+    }
+}

@@ -1,14 +1,20 @@
-//! The CLI's model bundle: a trained RegHD model together with the
-//! feature/target scalers fitted on the training data, so the command-line
-//! interface accepts and emits values in **original units**.
+//! The deployable model bundle: a trained RegHD model together with the
+//! feature/target scalers fitted on the training data, so serving and
+//! command-line tools accept and emit values in **original units**.
 //!
 //! File layout: magic `RGCL`, version, feature scaler block, target scaler
-//! block, then the embedded `reghd::persist` model blob.
+//! block, then the embedded `reghd::persist` model blob. The format is
+//! bit-exact across a round-trip: a loaded bundle predicts identically to
+//! the one that was saved (see `reghd::persist` for why).
+//!
+//! This module originated in `reghd-cli` and moved here so the serving
+//! registry and the CLI share one implementation.
 
 use datasets::normalize::{Standardizer, TargetScaler};
 use datasets::Dataset;
 use encoding::EncoderSpec;
 use reghd::config::{ClusterMode, PredictionMode, RegHdConfig};
+use reghd::traits::FitReport;
 use reghd::{persist, RegHdRegressor, Regressor};
 use std::io::{Read, Write};
 
@@ -38,7 +44,8 @@ impl std::fmt::Debug for ModelBundle {
     }
 }
 
-/// Trains a bundle on a raw-unit dataset.
+/// Trains a bundle on a raw-unit dataset. Returns the bundle together with
+/// the fit report so callers (CLI, tests) decide what to print.
 pub fn train(
     ds: &Dataset,
     dim: usize,
@@ -46,7 +53,7 @@ pub fn train(
     epochs: usize,
     seed: u64,
     quantized: bool,
-) -> Result<ModelBundle, String> {
+) -> Result<(ModelBundle, FitReport), String> {
     if ds.len() < 4 {
         return Err("need at least 4 samples to train".to_string());
     }
@@ -73,15 +80,6 @@ pub fn train(
     let config = builder.build();
     let mut model = RegHdRegressor::new(config, spec.build());
     let report = model.fit(&normalised.features, &train_y);
-    println!(
-        "trained {} epochs (converged: {}); final train RMSE ≈ {:.4} (original units)",
-        report.epochs,
-        report.converged,
-        report
-            .final_mse()
-            .map(|m| scaler.inverse_mse(m).sqrt())
-            .unwrap_or(f32::NAN)
-    );
 
     // Recover the fitted per-feature statistics by probing the
     // standardizer (a zero row maps to −μ/σ; a one row lets us solve σ).
@@ -102,41 +100,68 @@ pub fn train(
         feat_means.push(-a * sigma);
     }
 
-    Ok(ModelBundle {
-        model,
-        spec,
-        feat_means,
-        feat_stds,
-        target_mean: scaler.mean(),
-        target_std: scaler.std(),
-    })
+    Ok((
+        ModelBundle {
+            model,
+            spec,
+            feat_means,
+            feat_stds,
+            target_mean: scaler.mean(),
+            target_std: scaler.std(),
+        },
+        report,
+    ))
 }
 
 impl ModelBundle {
+    /// Number of raw input features a prediction row must have.
+    pub fn num_features(&self) -> usize {
+        self.feat_means.len()
+    }
+
+    /// The trained regressor (configuration inspection for registry
+    /// metadata).
+    pub fn model(&self) -> &RegHdRegressor {
+        &self.model
+    }
+
+    /// The target scaler's standard deviation — converts a standardised
+    /// training RMSE back to original units.
+    pub fn target_std(&self) -> f32 {
+        self.target_std
+    }
+
     /// Predicts in original units for raw-unit feature rows.
     pub fn predict(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>, String> {
         let expected = self.feat_means.len();
-        rows.iter()
-            .map(|row| {
-                if row.len() != expected {
-                    return Err(format!(
-                        "row has {} features, model expects {expected}",
-                        row.len()
-                    ));
-                }
-                let scaled: Vec<f32> = row
-                    .iter()
+        let mut scaled = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != expected {
+                return Err(format!(
+                    "row has {} features, model expects {expected}",
+                    row.len()
+                ));
+            }
+            scaled.push(
+                row.iter()
                     .zip(self.feat_means.iter().zip(&self.feat_stds))
                     .map(|(&x, (&m, &s))| if s != 0.0 { (x - m) / s } else { x - m })
-                    .collect();
-                let y_std = self.model.predict_one(&scaled);
-                Ok(y_std * self.target_std + self.target_mean)
-            })
-            .collect()
+                    .collect::<Vec<f32>>(),
+            );
+        }
+        // One batched pass through the model (shared scratch buffers in
+        // RegHdRegressor::predict_batch) — the hot path of the serving
+        // worker pool.
+        Ok(self
+            .model
+            .predict_batch(&scaled)
+            .into_iter()
+            .map(|y_std| y_std * self.target_std + self.target_mean)
+            .collect())
     }
 
-    /// Writes the bundle to a file.
-    pub fn save(&self, path: &str) -> Result<(), String> {
+    /// Serialises the bundle to bytes.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, String> {
         let mut buf: Vec<u8> = Vec::new();
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&VERSION.to_le_bytes());
@@ -150,18 +175,13 @@ impl ModelBundle {
         buf.extend_from_slice(&self.target_mean.to_le_bytes());
         buf.extend_from_slice(&self.target_std.to_le_bytes());
         persist::save(&self.model, &self.spec, &mut buf).map_err(|e| e.to_string())?;
-        std::fs::File::create(path)
-            .and_then(|mut f| f.write_all(&buf))
-            .map_err(|e| format!("cannot write {path}: {e}"))
+        Ok(buf)
     }
 
-    /// Reads a bundle from a file.
-    pub fn load(path: &str) -> Result<Self, String> {
-        let mut bytes = Vec::new();
-        std::fs::File::open(path)
-            .and_then(|mut f| f.read_to_end(&mut bytes))
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
-        let mut r: &[u8] = &bytes;
+    /// Deserialises a bundle from bytes (the hot-reload entry point: the
+    /// registry hashes and loads from one in-memory copy).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r: &[u8] = bytes;
         let mut magic = [0u8; 4];
         read_exact(&mut r, &mut magic)?;
         if &magic != MAGIC {
@@ -202,6 +222,23 @@ impl ModelBundle {
             target_mean,
             target_std,
         })
+    }
+
+    /// Writes the bundle to a file.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let buf = self.to_bytes()?;
+        std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(&buf))
+            .map_err(|e| format!("cannot write {path}: {e}"))
+    }
+
+    /// Reads a bundle from a file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        Self::from_bytes(&bytes)
     }
 }
 
@@ -247,7 +284,8 @@ mod tests {
     #[test]
     fn train_predict_in_original_units() {
         let ds = toy_dataset();
-        let bundle = train(&ds, 512, 2, 15, 1, false).unwrap();
+        let (bundle, report) = train(&ds, 512, 2, 15, 1, false).unwrap();
+        assert!(report.epochs >= 1);
         let preds = bundle.predict(&ds.features).unwrap();
         let mse = datasets::metrics::mse(&preds, &ds.targets);
         let var = ds.target_variance();
@@ -257,8 +295,8 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let ds = toy_dataset();
-        let bundle = train(&ds, 512, 2, 10, 2, true).unwrap();
-        let path = std::env::temp_dir().join("reghd_cli_bundle_test.rghd");
+        let (bundle, _) = train(&ds, 512, 2, 10, 2, true).unwrap();
+        let path = std::env::temp_dir().join("reghd_serve_bundle_test.rghd");
         let path_str = path.to_str().unwrap();
         bundle.save(path_str).unwrap();
         let loaded = ModelBundle::load(path_str).unwrap();
@@ -269,16 +307,29 @@ mod tests {
     }
 
     #[test]
+    fn byte_roundtrip_is_bit_exact() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 9, false).unwrap();
+        let bytes = bundle.to_bytes().unwrap();
+        let loaded = ModelBundle::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.to_bytes().unwrap(), bytes);
+        assert_eq!(
+            bundle.predict(&ds.features[..3]).unwrap(),
+            loaded.predict(&ds.features[..3]).unwrap()
+        );
+    }
+
+    #[test]
     fn predict_rejects_wrong_width() {
         let ds = toy_dataset();
-        let bundle = train(&ds, 256, 1, 5, 3, false).unwrap();
+        let (bundle, _) = train(&ds, 256, 1, 5, 3, false).unwrap();
         let err = bundle.predict(&[vec![1.0]]).unwrap_err();
         assert!(err.contains("expects 2"));
     }
 
     #[test]
     fn load_rejects_garbage() {
-        let path = std::env::temp_dir().join("reghd_cli_garbage_test.rghd");
+        let path = std::env::temp_dir().join("reghd_serve_garbage_test.rghd");
         std::fs::write(&path, b"not a model").unwrap();
         let err = ModelBundle::load(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("not a reghd-cli"), "err: {err}");
@@ -289,5 +340,11 @@ mod tests {
     fn tiny_dataset_rejected() {
         let ds = Dataset::new("t", vec![vec![1.0]; 2], vec![0.0; 2]);
         assert!(train(&ds, 64, 1, 2, 0, false).is_err());
+    }
+
+    #[test]
+    fn bundle_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelBundle>();
     }
 }

@@ -1,0 +1,98 @@
+//! # reghd-serve — concurrent inference for trained RegHD models
+//!
+//! The serving subsystem: a [`registry::ModelRegistry`] of hot-swappable
+//! named models loaded from `.rghd` bundles, a [`batcher::Batcher`] that
+//! micro-batches incoming rows, a fixed [`worker::WorkerPool`] executing
+//! batched predictions, a line-oriented TCP front-end
+//! ([`server::serve`]), and lock-free [`metrics`].
+//!
+//! Everything is built on `std` (threads, channels, `TcpListener`) — no
+//! external runtime. A trained [`bundle::ModelBundle`] is immutable while
+//! served, so one copy of the learned state is shared by every worker
+//! thread; hot swaps replace the `Arc` atomically and in-flight requests
+//! finish on the version they resolved.
+//!
+//! ```no_run
+//! use reghd_serve::registry::ModelRegistry;
+//! use reghd_serve::server::{serve, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.load("demo", "model.rghd").unwrap();
+//! let handle = serve(ServerConfig::default(), registry).unwrap();
+//! println!("serving on {}", handle.local_addr());
+//! # handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod bundle;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod worker;
+
+pub use batcher::{Batcher, BatcherConfig};
+pub use bundle::ModelBundle;
+pub use metrics::{LatencyHistogram, MetricsHub, ModelMetrics};
+pub use registry::{ModelMeta, ModelRegistry, ServedModel};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use worker::{Batch, WorkItem, WorkerPool};
+
+/// Errors surfaced by the serving subsystem.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem or socket failure.
+    Io(std::io::Error),
+    /// A bundle failed to parse or validate.
+    Bundle(String),
+    /// No model is loaded under the requested name.
+    NotFound(String),
+    /// A model is already loaded under the requested name.
+    AlreadyLoaded(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Bundle(msg) => write!(f, "bad bundle: {msg}"),
+            Self::NotFound(name) => write!(f, "unknown model {name}"),
+            Self::AlreadyLoaded(name) => write!(f, "model {name} already loaded"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelRegistry>();
+        assert_send_sync::<ModelBundle>();
+        assert_send_sync::<MetricsHub>();
+        assert_send_sync::<WorkerPool>();
+        assert_send_sync::<Batcher>();
+        assert_send_sync::<ServerHandle>();
+    }
+
+    #[test]
+    fn errors_render_with_context() {
+        let e = ServeError::NotFound("m".to_string());
+        assert_eq!(e.to_string(), "unknown model m");
+        let e = ServeError::Bundle("bad magic".to_string());
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Serving metrics: lock-free per-model counters and a µs-bucketed latency
+//! histogram with approximate p50/p95/p99 readout.
+//!
+//! Everything is atomic so the hot path (worker threads recording one
+//! sample per served row) never takes a lock; the `stats` command and the
+//! shutdown dump read a consistent-enough snapshot with relaxed loads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Upper bounds (inclusive, in µs) of the latency histogram buckets. The
+/// final `u64::MAX` bucket catches everything slower than one second.
+pub const BUCKET_BOUNDS_US: [u64; 20] = [
+    1,
+    2,
+    5,
+    10,
+    25,
+    50,
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    u64::MAX,
+];
+
+/// Fixed-bucket latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 20],
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate percentile (`p` in `0.0..=1.0`) as the upper bound of
+    /// the bucket containing the p-th sample, in µs. Returns `None` when
+    /// the histogram is empty.
+    pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(BUCKET_BOUNDS_US[i]);
+            }
+        }
+        Some(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1])
+    }
+}
+
+/// Counters for one served model.
+#[derive(Debug, Default)]
+pub struct ModelMetrics {
+    /// Rows answered successfully.
+    pub ok: AtomicU64,
+    /// Rows answered with an error.
+    pub errors: AtomicU64,
+    /// Rows rejected at enqueue time because the queue was full.
+    pub shed: AtomicU64,
+    /// Batches dispatched to the worker pool for this model.
+    pub batches: AtomicU64,
+    /// Rows carried by those batches (batched_rows / batches = mean batch).
+    pub batched_rows: AtomicU64,
+    /// End-to-end latency (enqueue → reply) of successful rows.
+    pub latency: LatencyHistogram,
+}
+
+impl ModelMetrics {
+    /// Records a successfully served row with its end-to-end latency.
+    pub fn record_ok(&self, latency: Duration) {
+        self.ok.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Records a failed row.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a shed (load-rejected) row.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a dispatched batch of `rows` rows.
+    pub fn record_batch(&self, rows: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// One protocol line summarising this model's counters.
+    pub fn render(&self, name: &str) -> String {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let rows = self.batched_rows.load(Ordering::Relaxed);
+        let mean_batch = if batches > 0 {
+            rows as f64 / batches as f64
+        } else {
+            0.0
+        };
+        format!(
+            "stat {name} ok={} err={} shed={} batches={batches} mean_batch={mean_batch:.2} \
+             p50us={} p95us={} p99us={}",
+            self.ok.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.latency.percentile_us(0.50).unwrap_or(0),
+            self.latency.percentile_us(0.95).unwrap_or(0),
+            self.latency.percentile_us(0.99).unwrap_or(0),
+        )
+    }
+}
+
+/// Registry of per-model metrics plus server-wide counters.
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    per_model: RwLock<HashMap<String, Arc<ModelMetrics>>>,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Protocol lines that failed to parse.
+    pub bad_requests: AtomicU64,
+}
+
+impl MetricsHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics cell for `name`, created on first use. Metrics survive
+    /// hot-reloads of the underlying model (same name, new bytes) so
+    /// latency history spans versions.
+    pub fn for_model(&self, name: &str) -> Arc<ModelMetrics> {
+        if let Some(m) = self.per_model.read().unwrap().get(name) {
+            return m.clone();
+        }
+        let mut map = self.per_model.write().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(ModelMetrics::default()))
+            .clone()
+    }
+
+    /// `stat` lines for every model, sorted by name for stable output.
+    pub fn render_all(&self) -> Vec<String> {
+        let map = self.per_model.read().unwrap();
+        let mut names: Vec<&String> = map.keys().collect();
+        names.sort();
+        names.into_iter().map(|n| map[n].render(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_us(0.5), None);
+    }
+
+    #[test]
+    fn percentiles_land_in_right_buckets() {
+        let h = LatencyHistogram::default();
+        // 90 fast samples (≤10µs bucket), 10 slow ones (≤2500µs bucket).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(7));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(2_000));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile_us(0.50), Some(10));
+        assert_eq!(h.percentile_us(0.99), Some(2_500));
+    }
+
+    #[test]
+    fn oversized_latency_hits_last_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.percentile_us(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn model_metrics_render_contains_counters() {
+        let m = ModelMetrics::default();
+        m.record_ok(Duration::from_micros(30));
+        m.record_ok(Duration::from_micros(40));
+        m.record_error();
+        m.record_shed();
+        m.record_batch(2);
+        let line = m.render("demo");
+        assert!(line.contains("stat demo"), "{line}");
+        assert!(line.contains("ok=2"), "{line}");
+        assert!(line.contains("err=1"), "{line}");
+        assert!(line.contains("shed=1"), "{line}");
+        assert!(line.contains("mean_batch=2.00"), "{line}");
+        assert!(line.contains("p50us=50"), "{line}");
+    }
+
+    #[test]
+    fn hub_reuses_cells_per_name() {
+        let hub = MetricsHub::new();
+        let a = hub.for_model("m");
+        let b = hub.for_model("m");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.record_ok(Duration::from_micros(5));
+        assert_eq!(b.ok.load(Ordering::Relaxed), 1);
+        assert_eq!(hub.render_all().len(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Hot-swappable model registry.
+//!
+//! Models live behind `Arc` pointers inside an `RwLock<HashMap>`; a lookup
+//! clones the `Arc` and releases the lock before any prediction work, and a
+//! [`ModelRegistry::reload`] swaps the pointer under a brief write lock.
+//! In-flight requests therefore keep predicting against the version they
+//! resolved — a hot swap drops **zero** requests, it only changes what
+//! later lookups observe (the `ArcSwap` pattern, built on `std` only).
+
+use crate::bundle::ModelBundle;
+use crate::ServeError;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Metadata describing one loaded model version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelMeta {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Monotonic version, starting at 1 and bumped by every reload.
+    pub version: u64,
+    /// FNV-1a hash of the bundle bytes (hex) — identifies the artefact.
+    pub hash: String,
+    /// Size of the bundle in bytes.
+    pub bytes: usize,
+    /// Raw feature width a `predict` row must have.
+    pub input_dim: usize,
+    /// Hypervector dimensionality `D`.
+    pub dim: usize,
+    /// Number of cluster/model pairs `k`.
+    pub models: usize,
+    /// Cluster quantisation mode label.
+    pub cluster_mode: &'static str,
+    /// Prediction quantisation mode label.
+    pub prediction_mode: &'static str,
+}
+
+/// One immutable, shareable loaded model version.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// The deserialised bundle (model + scalers).
+    pub bundle: ModelBundle,
+    /// Metadata snapshot taken at load time.
+    pub meta: ModelMeta,
+}
+
+/// Named collection of served models with atomic hot-swap semantics.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    inner: RwLock<HashMap<String, Arc<ServedModel>>>,
+}
+
+/// 64-bit FNV-1a over the bundle bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn build_entry(name: &str, version: u64, bytes: &[u8]) -> Result<Arc<ServedModel>, ServeError> {
+    let bundle = ModelBundle::from_bytes(bytes).map_err(ServeError::Bundle)?;
+    let cfg = bundle.model().config();
+    let meta = ModelMeta {
+        name: name.to_string(),
+        version,
+        hash: format!("{:016x}", fnv1a(bytes)),
+        bytes: bytes.len(),
+        input_dim: bundle.num_features(),
+        dim: cfg.dim,
+        models: cfg.models,
+        cluster_mode: cfg.cluster_mode.label(),
+        prediction_mode: cfg.prediction_mode.label(),
+    };
+    Ok(Arc::new(ServedModel { bundle, meta }))
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a new model under `name` from raw bundle bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::AlreadyLoaded`] if the name is taken (use
+    /// [`ModelRegistry::reload_bytes`] to swap) or [`ServeError::Bundle`]
+    /// if the bytes do not parse.
+    pub fn load_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
+        let entry = build_entry(name, 1, bytes)?;
+        let meta = entry.meta.clone();
+        let mut map = self.inner.write().unwrap();
+        if map.contains_key(name) {
+            return Err(ServeError::AlreadyLoaded(name.to_string()));
+        }
+        map.insert(name.to_string(), entry);
+        Ok(meta)
+    }
+
+    /// Loads a new model under `name` from a `.rghd` bundle file.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelRegistry::load_bytes`]; additionally [`ServeError::Io`]
+    /// on filesystem failure.
+    pub fn load(&self, name: &str, path: &str) -> Result<ModelMeta, ServeError> {
+        let bytes = std::fs::read(path)?;
+        self.load_bytes(name, &bytes)
+    }
+
+    /// Hot-swaps the model under `name` with new bundle bytes. The swap is
+    /// atomic: lookups before it complete against the old version, lookups
+    /// after it observe the new one; no request is dropped. The new bundle
+    /// is parsed **before** the write lock is taken, so a corrupt artefact
+    /// leaves the running version untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotFound`] when nothing is loaded under `name`,
+    /// [`ServeError::Bundle`] when the bytes do not parse.
+    pub fn reload_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
+        // Parse outside the lock (it deserialises megabytes of weights).
+        let staged = build_entry(name, 0, bytes)?;
+        let mut map = self.inner.write().unwrap();
+        let old = map
+            .get(name)
+            .ok_or_else(|| ServeError::NotFound(name.to_string()))?;
+        let version = old.meta.version + 1;
+        let mut entry = Arc::into_inner(staged).expect("staged entry is uniquely owned");
+        entry.meta.version = version;
+        let meta = entry.meta.clone();
+        map.insert(name.to_string(), Arc::new(entry));
+        Ok(meta)
+    }
+
+    /// Hot-swaps the model under `name` from a `.rghd` bundle file. See
+    /// [`ModelRegistry::reload_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelRegistry::reload_bytes`]; additionally
+    /// [`ServeError::Io`] on filesystem failure.
+    pub fn reload(&self, name: &str, path: &str) -> Result<ModelMeta, ServeError> {
+        let bytes = std::fs::read(path)?;
+        self.reload_bytes(name, &bytes)
+    }
+
+    /// Removes the model under `name`. In-flight requests holding the Arc
+    /// finish normally; the weights are freed when the last holder drops.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotFound`] when nothing is loaded under `name`.
+    pub fn unload(&self, name: &str) -> Result<ModelMeta, ServeError> {
+        let mut map = self.inner.write().unwrap();
+        map.remove(name)
+            .map(|e| e.meta.clone())
+            .ok_or_else(|| ServeError::NotFound(name.to_string()))
+    }
+
+    /// Resolves `name` to its current version. The returned `Arc` pins
+    /// that version for the caller's lifetime regardless of later swaps.
+    pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
+        self.inner.read().unwrap().get(name).cloned()
+    }
+
+    /// Metadata for every loaded model, sorted by name.
+    pub fn list(&self) -> Vec<ModelMeta> {
+        let map = self.inner.read().unwrap();
+        let mut metas: Vec<ModelMeta> = map.values().map(|e| e.meta.clone()).collect();
+        metas.sort_by(|a, b| a.name.cmp(&b.name));
+        metas
+    }
+
+    /// Number of loaded models.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle;
+    use datasets::Dataset;
+
+    fn toy_bytes(seed: u64) -> Vec<u8> {
+        let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 2) as f32]).collect();
+        let targets: Vec<f32> = features.iter().map(|r| r[0] + r[1]).collect();
+        let ds = Dataset::new("toy", features, targets);
+        let (b, _) = bundle::train(&ds, 128, 2, 3, seed, false).unwrap();
+        b.to_bytes().unwrap()
+    }
+
+    #[test]
+    fn load_get_list_unload() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        let meta = reg.load_bytes("a", &toy_bytes(1)).unwrap();
+        assert_eq!(meta.version, 1);
+        assert_eq!(meta.input_dim, 2);
+        assert_eq!(meta.dim, 128);
+        assert_eq!(meta.models, 2);
+        assert_eq!(meta.hash.len(), 16);
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("b").is_none());
+        assert_eq!(reg.list().len(), 1);
+        assert_eq!(reg.unload("a").unwrap().name, "a");
+        assert!(matches!(reg.unload("a"), Err(ServeError::NotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_load_rejected() {
+        let reg = ModelRegistry::new();
+        let bytes = toy_bytes(2);
+        reg.load_bytes("m", &bytes).unwrap();
+        assert!(matches!(
+            reg.load_bytes("m", &bytes),
+            Err(ServeError::AlreadyLoaded(_))
+        ));
+    }
+
+    #[test]
+    fn reload_bumps_version_and_preserves_in_flight_arc() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("m", &toy_bytes(3)).unwrap();
+        let pinned = reg.get("m").unwrap();
+        let meta = reg.reload_bytes("m", &toy_bytes(4)).unwrap();
+        assert_eq!(meta.version, 2);
+        // The pinned Arc still serves the old version.
+        assert_eq!(pinned.meta.version, 1);
+        assert_eq!(reg.get("m").unwrap().meta.version, 2);
+        // Different bytes → different hash.
+        assert_ne!(pinned.meta.hash, meta.hash);
+    }
+
+    #[test]
+    fn reload_of_missing_name_fails() {
+        let reg = ModelRegistry::new();
+        assert!(matches!(
+            reg.reload_bytes("ghost", &toy_bytes(5)),
+            Err(ServeError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_reload_leaves_old_version_running() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("m", &toy_bytes(6)).unwrap();
+        assert!(matches!(
+            reg.reload_bytes("m", b"garbage"),
+            Err(ServeError::Bundle(_))
+        ));
+        assert_eq!(reg.get("m").unwrap().meta.version, 1);
+    }
+
+    #[test]
+    fn registry_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelRegistry>();
+    }
+}

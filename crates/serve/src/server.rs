@@ -1,0 +1,409 @@
+//! Line-oriented TCP front-end.
+//!
+//! Wire protocol (one request per line, one reply per line unless noted):
+//!
+//! ```text
+//! predict <model> <f32,f32,...>   →  ok <y>            | err <reason>
+//! reload <model> <path>           →  ok reloaded <model> v<version>
+//! health                          →  ok
+//! stats                           →  model/stat lines, then ok
+//! quit                            →  ok (and the connection closes)
+//! ```
+//!
+//! Overload is answered with `err busy` (the row is shed, never silently
+//! dropped). Idle connections are closed after the configured read
+//! timeout. Shutdown is graceful: the listener stops accepting, open
+//! connections are joined, and the batcher drains every queued row before
+//! the worker pool exits.
+
+use crate::batcher::{Batcher, BatcherConfig};
+use crate::metrics::MetricsHub;
+use crate::registry::ModelRegistry;
+use crate::worker::{WorkItem, WorkerPool};
+use crate::ServeError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`. Port `0` picks a free port
+    /// (the bound address is reported by [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads running model predictions.
+    pub workers: usize,
+    /// Micro-batching knobs.
+    pub batcher: BatcherConfig,
+    /// Idle connections are closed after this long without a request.
+    pub read_timeout: Duration,
+    /// How long a connection waits for its prediction before giving up.
+    pub reply_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            batcher: BatcherConfig::default(),
+            read_timeout: Duration::from_secs(30),
+            reply_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared state every connection thread works against.
+struct Ctx {
+    registry: Arc<ModelRegistry>,
+    hub: Arc<MetricsHub>,
+    batcher: Arc<Batcher>,
+    stop: Arc<AtomicBool>,
+    reply_timeout: Duration,
+}
+
+/// Running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    hub: Arc<MetricsHub>,
+    batcher: Arc<Batcher>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The `stats` payload: registry inventory plus per-model counters.
+fn stats_lines(registry: &ModelRegistry, hub: &MetricsHub, queue_depth: usize) -> Vec<String> {
+    let mut lines: Vec<String> = registry
+        .list()
+        .iter()
+        .map(|m| {
+            format!(
+                "model {} v{} hash={} dim={} k={} cluster={} prediction={} bytes={}",
+                m.name,
+                m.version,
+                m.hash,
+                m.dim,
+                m.models,
+                m.cluster_mode,
+                m.prediction_mode,
+                m.bytes
+            )
+        })
+        .collect();
+    lines.extend(hub.render_all());
+    lines.push(format!(
+        "server connections={} bad_requests={} queue_depth={queue_depth}",
+        hub.connections.load(Ordering::Relaxed),
+        hub.bad_requests.load(Ordering::Relaxed),
+    ));
+    lines
+}
+
+/// Handles one request line; returns the reply lines and whether the
+/// connection should close afterwards.
+fn handle_line(line: &str, ctx: &Ctx) -> (Vec<String>, bool) {
+    let mut parts = line.split_whitespace();
+    match parts.next() {
+        Some("health") => (vec!["ok".to_string()], false),
+        Some("quit") => (vec!["ok".to_string()], true),
+        Some("stats") => {
+            let mut lines = stats_lines(&ctx.registry, &ctx.hub, ctx.batcher.depth());
+            lines.push("ok".to_string());
+            (lines, false)
+        }
+        Some("reload") => {
+            let (Some(name), Some(path)) = (parts.next(), parts.next()) else {
+                ctx.hub.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return (vec!["err usage: reload <model> <path>".to_string()], false);
+            };
+            match ctx.registry.reload(name, path) {
+                Ok(meta) => (
+                    vec![format!("ok reloaded {} v{}", meta.name, meta.version)],
+                    false,
+                ),
+                Err(e) => (vec![format!("err {e}")], false),
+            }
+        }
+        Some("predict") => {
+            let (Some(name), Some(csv)) = (parts.next(), parts.next()) else {
+                ctx.hub.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return (
+                    vec!["err usage: predict <model> <f32,f32,...>".to_string()],
+                    false,
+                );
+            };
+            let Some(served) = ctx.registry.get(name) else {
+                return (vec![format!("err unknown model {name}")], false);
+            };
+            let row: Result<Vec<f32>, _> =
+                csv.split(',').map(|t| t.trim().parse::<f32>()).collect();
+            let row = match row {
+                Ok(r) if !r.is_empty() => r,
+                _ => {
+                    ctx.hub.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    return (vec!["err malformed feature row".to_string()], false);
+                }
+            };
+            let metrics = ctx.hub.for_model(name);
+            let (tx, rx) = sync_channel(1);
+            let item = WorkItem {
+                row,
+                enqueued_at: Instant::now(),
+                reply: tx,
+            };
+            if !ctx.batcher.enqueue(served, metrics, item) {
+                return (vec!["err busy".to_string()], false);
+            }
+            match rx.recv_timeout(ctx.reply_timeout) {
+                Ok(Ok(y)) => (vec![format!("ok {y}")], false),
+                Ok(Err(msg)) => (vec![format!("err {msg}")], false),
+                Err(_) => (vec!["err prediction timed out".to_string()], false),
+            }
+        }
+        Some(other) => {
+            ctx.hub.bad_requests.fetch_add(1, Ordering::Relaxed);
+            (vec![format!("err unknown command {other}")], false)
+        }
+        None => (Vec::new(), false), // blank line: ignore
+    }
+}
+
+fn handle_conn(stream: TcpStream, ctx: &Ctx, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let (replies, close) = handle_line(line.trim_end(), ctx);
+                for reply in replies {
+                    if writeln!(writer, "{reply}").is_err() {
+                        return;
+                    }
+                }
+                if writer.flush().is_err() || close {
+                    return;
+                }
+            }
+            // Idle past the read timeout, or the server is stopping.
+            Err(_) => return,
+        }
+        if ctx.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Binds `cfg.addr` and starts serving `registry` until
+/// [`ServerHandle::shutdown`] (or drop).
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the address cannot be bound.
+pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let hub = Arc::new(MetricsHub::new());
+    let pool = Arc::new(WorkerPool::new(cfg.workers, cfg.workers * 2));
+    let batcher = Arc::new(Batcher::new(cfg.batcher.clone(), pool));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let ctx = Arc::new(Ctx {
+        registry,
+        hub: hub.clone(),
+        batcher: batcher.clone(),
+        stop: stop.clone(),
+        reply_timeout: cfg.reply_timeout,
+    });
+    let read_timeout = cfg.read_timeout;
+    let stop_accept = stop.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("reghd-accept".to_string())
+        .spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !stop_accept.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        ctx.hub.connections.fetch_add(1, Ordering::Relaxed);
+                        let ctx = ctx.clone();
+                        let h = std::thread::Builder::new()
+                            .name("reghd-conn".to_string())
+                            .spawn(move || handle_conn(stream, &ctx, read_timeout))
+                            .expect("spawn connection thread");
+                        conns.push(h);
+                        conns.retain(|h| !h.is_finished());
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for h in conns {
+                let _ = h.join();
+            }
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        local_addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        hub,
+        batcher,
+    })
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics hub (for inspection in tests and benches).
+    pub fn metrics(&self) -> Arc<MetricsHub> {
+        self.hub.clone()
+    }
+
+    /// Gracefully stops the server: no new connections, open connections
+    /// joined, queued rows drained through the pool. Returns the final
+    /// `stat` lines so callers can log them.
+    pub fn shutdown(mut self) -> Vec<String> {
+        self.stop_and_join();
+        self.hub.render_all()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        self.batcher.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle;
+    use datasets::Dataset;
+    use std::io::BufRead;
+
+    fn start_server() -> (ServerHandle, Arc<ModelRegistry>) {
+        let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 2) as f32]).collect();
+        let targets: Vec<f32> = features.iter().map(|r| r[0] + r[1]).collect();
+        let ds = Dataset::new("toy", features, targets);
+        let (b, _) = bundle::train(&ds, 128, 2, 3, 11, false).unwrap();
+        let registry = Arc::new(ModelRegistry::new());
+        registry.load_bytes("toy", &b.to_bytes().unwrap()).unwrap();
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg, registry.clone()).unwrap();
+        (handle, registry)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, req: &str) -> String {
+        writeln!(stream, "{req}").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn health_predict_and_errors_over_loopback() {
+        let (handle, _registry) = start_server();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        assert_eq!(roundtrip(&mut s, "health"), "ok");
+        let reply = roundtrip(&mut s, "predict toy 3.0,4.0");
+        assert!(reply.starts_with("ok "), "{reply}");
+        assert!(reply[3..].parse::<f32>().is_ok(), "{reply}");
+        assert_eq!(
+            roundtrip(&mut s, "predict ghost 1,2"),
+            "err unknown model ghost"
+        );
+        let bad = roundtrip(&mut s, "predict toy 1,abc");
+        assert_eq!(bad, "err malformed feature row");
+        let unknown = roundtrip(&mut s, "frobnicate");
+        assert!(unknown.starts_with("err unknown command"), "{unknown}");
+        let stats = handle.shutdown();
+        assert!(!stats.is_empty());
+        assert!(stats[0].contains("ok=1"), "{stats:?}");
+    }
+
+    #[test]
+    fn stats_lists_models_and_counters() {
+        let (handle, _registry) = start_server();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        let _ = roundtrip(&mut s, "predict toy 1.0,2.0");
+        writeln!(s, "stats").unwrap();
+        s.flush().unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end().to_string();
+            let done = line == "ok";
+            lines.push(line);
+            if done {
+                break;
+            }
+        }
+        assert!(
+            lines.iter().any(|l| l.starts_with("model toy v1")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("stat toy ") && l.contains("ok=1")),
+            "{lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.starts_with("server ")), "{lines:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn quit_closes_connection() {
+        let (handle, _registry) = start_server();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        assert_eq!(roundtrip(&mut s, "quit"), "ok");
+        let mut reader = BufReader::new(s);
+        let mut line = String::new();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "server must close");
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,261 @@
+//! Fixed-size worker pool over `std::thread` and channels.
+//!
+//! Workers pull [`Batch`]es from a shared receiver, run the model's batched
+//! predict, and answer each row's reply channel. The pool tracks how many
+//! workers are currently executing so the batcher can decide between
+//! immediate dispatch (a worker is idle) and coalescing (all busy).
+
+use crate::metrics::ModelMetrics;
+use crate::registry::ServedModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One pending prediction row plus its reply channel.
+#[derive(Debug)]
+pub struct WorkItem {
+    /// Raw (unscaled) feature row.
+    pub row: Vec<f32>,
+    /// When the row entered the queue — start of the latency measurement.
+    pub enqueued_at: Instant,
+    /// Where the answer goes. A dropped receiver (client hung up) is fine;
+    /// the send error is ignored.
+    pub reply: SyncSender<Result<f32, String>>,
+}
+
+/// A group of rows bound for the same model version.
+#[derive(Debug)]
+pub struct Batch {
+    /// The model version every row in this batch is evaluated against.
+    pub model: Arc<ServedModel>,
+    /// Metrics cell the results are recorded into.
+    pub metrics: Arc<ModelMetrics>,
+    /// The rows.
+    pub items: Vec<WorkItem>,
+}
+
+/// Fixed pool of prediction threads.
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<SyncSender<Batch>>,
+    handles: Vec<JoinHandle<()>>,
+    busy: Arc<AtomicUsize>,
+    workers: usize,
+}
+
+/// Executes one batch: batched predict, then one reply per row.
+fn run_batch(batch: Batch) {
+    let rows: Vec<Vec<f32>> = batch.items.iter().map(|i| i.row.clone()).collect();
+    batch.metrics.record_batch(rows.len());
+    match batch.model.bundle.predict(&rows) {
+        Ok(preds) => {
+            for (item, pred) in batch.items.into_iter().zip(preds) {
+                batch.metrics.record_ok(item.enqueued_at.elapsed());
+                let _ = item.reply.send(Ok(pred));
+            }
+        }
+        Err(msg) => {
+            for item in batch.items {
+                batch.metrics.record_error();
+                let _ = item.reply.send(Err(msg.clone()));
+            }
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (clamped to at least 1) with a dispatch
+    /// channel holding at most `queue_depth` batches.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = sync_channel::<Batch>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let busy = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx: Arc<Mutex<Receiver<Batch>>> = rx.clone();
+                let busy = busy.clone();
+                std::thread::Builder::new()
+                    .name(format!("reghd-worker-{i}"))
+                    .spawn(move || loop {
+                        // Holding the mutex only while waiting for one batch
+                        // keeps the other workers free to grab the next.
+                        let batch = match rx.lock().unwrap().recv() {
+                            Ok(b) => b,
+                            Err(_) => return, // pool dropped its sender
+                        };
+                        busy.fetch_add(1, Ordering::SeqCst);
+                        run_batch(batch);
+                        busy.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            handles,
+            busy,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether at least one worker is idle right now. Advisory — the
+    /// answer can be stale by the time the caller acts on it, which only
+    /// costs a slightly suboptimal coalescing decision, never correctness.
+    pub fn has_idle_worker(&self) -> bool {
+        self.busy.load(Ordering::SeqCst) < self.workers
+    }
+
+    /// Submits a batch, blocking if the dispatch channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the batch back if the pool has shut down.
+    pub fn submit(&self, batch: Batch) -> Result<(), Batch> {
+        match &self.tx {
+            Some(tx) => tx.send(batch).map_err(|e| e.0),
+            None => Err(batch),
+        }
+    }
+
+    /// Stops accepting work and joins all workers after they drain the
+    /// channel. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.tx.take(); // closing the channel ends every worker loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle;
+    use crate::registry::ModelRegistry;
+    use datasets::Dataset;
+
+    fn toy_model() -> (ModelRegistry, Arc<ServedModel>) {
+        let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 3) as f32]).collect();
+        let targets: Vec<f32> = features.iter().map(|r| r[0] * 2.0).collect();
+        let ds = Dataset::new("toy", features, targets);
+        let (b, _) = bundle::train(&ds, 128, 2, 3, 9, false).unwrap();
+        let reg = ModelRegistry::new();
+        reg.load_bytes("m", &b.to_bytes().unwrap()).unwrap();
+        let served = reg.get("m").unwrap();
+        (reg, served)
+    }
+
+    #[test]
+    fn pool_answers_batches_and_matches_direct_predict() {
+        let (_reg, served) = toy_model();
+        let metrics = Arc::new(ModelMetrics::default());
+        let pool = WorkerPool::new(2, 8);
+        let rows: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32, i as f32 + 1.0]).collect();
+        let direct = served.bundle.predict(&rows).unwrap();
+
+        let mut receivers = Vec::new();
+        let mut items = Vec::new();
+        for row in &rows {
+            let (tx, rx) = sync_channel(1);
+            receivers.push(rx);
+            items.push(WorkItem {
+                row: row.clone(),
+                enqueued_at: Instant::now(),
+                reply: tx,
+            });
+        }
+        pool.submit(Batch {
+            model: served,
+            metrics: metrics.clone(),
+            items,
+        })
+        .unwrap();
+        for (rx, want) in receivers.iter().zip(&direct) {
+            let got = rx.recv().unwrap().unwrap();
+            assert_eq!(got, *want, "pooled result must be bit-exact");
+        }
+        assert_eq!(metrics.ok.load(Ordering::Relaxed), 6);
+        assert_eq!(metrics.batches.load(Ordering::Relaxed), 1);
+        assert!(metrics.latency.count() >= 6);
+    }
+
+    #[test]
+    fn bad_row_width_reports_error_per_item() {
+        let (_reg, served) = toy_model();
+        let metrics = Arc::new(ModelMetrics::default());
+        let pool = WorkerPool::new(1, 4);
+        let (tx, rx) = sync_channel(1);
+        pool.submit(Batch {
+            model: served,
+            metrics: metrics.clone(),
+            items: vec![WorkItem {
+                row: vec![1.0, 2.0, 3.0], // model expects 2 features
+                enqueued_at: Instant::now(),
+                reply: tx,
+            }],
+        })
+        .unwrap();
+        let err = rx.recv().unwrap().unwrap_err();
+        assert!(err.contains("features"), "{err}");
+        assert_eq!(metrics.errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shutdown_joins_and_rejects_new_work() {
+        let (_reg, served) = toy_model();
+        let mut pool = WorkerPool::new(2, 4);
+        pool.shutdown();
+        let res = pool.submit(Batch {
+            model: served,
+            metrics: Arc::new(ModelMetrics::default()),
+            items: Vec::new(),
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn dropped_reply_receiver_does_not_poison_pool() {
+        let (_reg, served) = toy_model();
+        let metrics = Arc::new(ModelMetrics::default());
+        let pool = WorkerPool::new(1, 4);
+        let (tx, rx) = sync_channel::<Result<f32, String>>(1);
+        drop(rx); // client hung up before the answer
+        pool.submit(Batch {
+            model: served.clone(),
+            metrics: metrics.clone(),
+            items: vec![WorkItem {
+                row: vec![1.0, 2.0],
+                enqueued_at: Instant::now(),
+                reply: tx,
+            }],
+        })
+        .unwrap();
+        // The pool must still serve a later, healthy request.
+        let (tx2, rx2) = sync_channel(1);
+        pool.submit(Batch {
+            model: served,
+            metrics,
+            items: vec![WorkItem {
+                row: vec![3.0, 4.0],
+                enqueued_at: Instant::now(),
+                reply: tx2,
+            }],
+        })
+        .unwrap();
+        assert!(rx2.recv().unwrap().is_ok());
+    }
+}

@@ -9,7 +9,7 @@
 use reghd_repro::baselines::baseline_hd::BaselineHdConfig;
 use reghd_repro::baselines::forest::{ForestConfig, ForestRegressor};
 use reghd_repro::baselines::gbt::{GbtConfig, GbtRegressor};
-use reghd_repro::baselines::grid::grid_search;
+use reghd_repro::baselines::grid::{grid_search, Candidate};
 use reghd_repro::baselines::knn::{KnnRegressor, KnnWeighting};
 use reghd_repro::baselines::mlp::MlpConfig;
 use reghd_repro::baselines::svr::SvrConfig;
@@ -39,7 +39,7 @@ fn main() {
             ))
         }
     };
-    let candidates: Vec<(String, Box<dyn Fn() -> Box<dyn Regressor>>)> = [1usize, 2, 4, 8]
+    let candidates: Vec<Candidate> = [1usize, 2, 4, 8]
         .into_iter()
         .map(|k| {
             (
@@ -60,11 +60,26 @@ fn main() {
         Box::new(MeanRegressor::new()),
         Box::new(LinearRegressor::new(1e-4)),
         Box::new(TreeRegressor::new(TreeConfig::default())),
-        Box::new(ForestRegressor::new(ForestConfig { seed, ..ForestConfig::default() })),
+        Box::new(ForestRegressor::new(ForestConfig {
+            seed,
+            ..ForestConfig::default()
+        })),
         Box::new(GbtRegressor::new(GbtConfig::default())),
         Box::new(KnnRegressor::new(5, KnnWeighting::InverseDistance)),
-        Box::new(SvrRegressor::new(f, SvrConfig { seed, ..SvrConfig::default() })),
-        Box::new(MlpRegressor::new(f, MlpConfig { seed, ..MlpConfig::default() })),
+        Box::new(SvrRegressor::new(
+            f,
+            SvrConfig {
+                seed,
+                ..SvrConfig::default()
+            },
+        )),
+        Box::new(MlpRegressor::new(
+            f,
+            MlpConfig {
+                seed,
+                ..MlpConfig::default()
+            },
+        )),
         Box::new(BaselineHd::new(
             BaselineHdConfig::default(),
             Box::new(NonlinearEncoder::new(f, dim, seed)),

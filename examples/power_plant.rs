@@ -49,7 +49,10 @@ fn main() {
     let mut reghd_model = RegHdRegressor::new(config, Box::new(encoder));
     reghd_model.fit(&train_n.features, &train_y);
     let mse = datasets::metrics::mse(&reghd_model.predict(&test_n.features), &test_y);
-    results.push(("RegHD-8 (quantised clusters)".into(), scaler.inverse_mse(mse)));
+    results.push((
+        "RegHD-8 (quantised clusters)".into(),
+        scaler.inverse_mse(mse),
+    ));
 
     // Linear baseline.
     let mut linear = LinearRegressor::new(1e-4);

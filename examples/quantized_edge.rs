@@ -26,7 +26,10 @@ fn main() {
 
     let dim = 2048;
     let dev = DeviceProfile::fpga_kintex7();
-    println!("airfoil workload, D = {dim}, k = 8, device model: {}\n", dev.name);
+    println!(
+        "airfoil workload, D = {dim}, k = 8, device model: {}\n",
+        dev.name
+    );
     println!(
         "{:<36} {:>10} {:>12} {:>12}",
         "configuration", "test MSE", "infer time", "infer energy"
@@ -62,8 +65,10 @@ fn main() {
         let encoder = NonlinearEncoder::new(ds.num_features(), dim, seed);
         let mut model = RegHdRegressor::new(config, Box::new(encoder));
         model.fit(&train_n.features, &train_y);
-        let mse =
-            scaler.inverse_mse(datasets::metrics::mse(&model.predict(&test_n.features), &test_y));
+        let mse = scaler.inverse_mse(datasets::metrics::mse(
+            &model.predict(&test_n.features),
+            &test_y,
+        ));
         let shape = RegHdShape {
             dim: dim as u64,
             models: 8,

@@ -15,7 +15,10 @@ fn main() {
             vec![a, b]
         })
         .collect();
-    let ys: Vec<f32> = xs.iter().map(|x| (3.0 * x[0]).sin() + x[1] * x[1]).collect();
+    let ys: Vec<f32> = xs
+        .iter()
+        .map(|x| (3.0 * x[0]).sin() + x[1] * x[1])
+        .collect();
 
     // Build: a similarity-preserving encoder into D = 2048 dimensions and a
     // 4-model RegHD regressor on top.

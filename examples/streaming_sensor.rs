@@ -10,10 +10,10 @@
 //! cargo run --example streaming_sensor --release
 //! ```
 
+use reghd_repro::encoding::EncoderSpec;
 use reghd_repro::hdc::rng::HdRng;
 use reghd_repro::prelude::*;
 use reghd_repro::reghd::persist;
-use reghd_repro::encoding::EncoderSpec;
 
 fn main() {
     let dim = 1024;
@@ -31,7 +31,11 @@ fn main() {
     let sample = |phase: u32, rng: &mut HdRng| -> ([f32; 2], f32) {
         let t = rng.next_f32() * 2.0 - 1.0;
         let h = rng.next_f32() * 2.0 - 1.0;
-        let y = if phase == 1 { 2.0 * t - h } else { -2.0 * t + h };
+        let y = if phase == 1 {
+            2.0 * t - h
+        } else {
+            -2.0 * t + h
+        };
         ([t, h], y + 0.05 * rng.next_gaussian() as f32)
     };
 
@@ -40,7 +44,11 @@ fn main() {
         let (x, y) = sample(1, &mut rng);
         model.update(&x, y);
         if i % 500 == 499 {
-            println!("  after {:>4} samples: prequential MSE {:.4}", i + 1, model.prequential_mse());
+            println!(
+                "  after {:>4} samples: prequential MSE {:.4}",
+                i + 1,
+                model.prequential_mse()
+            );
         }
     }
     let probe = [0.5f32, -0.25];
@@ -55,7 +63,11 @@ fn main() {
         let (x, y) = sample(2, &mut rng);
         model.update(&x, y);
         if i % 1000 == 999 {
-            println!("  after {:>4} samples: prequential MSE {:.4}", i + 1, model.prequential_mse());
+            println!(
+                "  after {:>4} samples: prequential MSE {:.4}",
+                i + 1,
+                model.prequential_mse()
+            );
         }
     }
     println!(

@@ -10,9 +10,9 @@
 //! cargo run --example timeseries_forecast --release
 //! ```
 
+use reghd_repro::encoding::TemporalEncoder;
 use reghd_repro::hdc::rng::HdRng;
 use reghd_repro::prelude::*;
-use reghd_repro::encoding::TemporalEncoder;
 
 /// Synthetic sensor signal: two periods, slow drift, mild noise.
 fn signal(n: usize, seed: u64) -> Vec<f32> {
@@ -23,7 +23,9 @@ fn signal(n: usize, seed: u64) -> Vec<f32> {
             // Fast seasonal component (period ≈ 16 samples) over a slower
             // one — adjacent readings differ a lot, so naive persistence
             // forecasting fails while a window-based model succeeds.
-            (0.4 * t).sin() + 0.4 * (0.05 * t).sin() + 0.0005 * t
+            (0.4 * t).sin()
+                + 0.4 * (0.05 * t).sin()
+                + 0.0005 * t
                 + 0.05 * rng.next_gaussian() as f32
         })
         .collect()
@@ -65,8 +67,7 @@ fn main() {
     let persistence: Vec<f32> = test_x.iter().map(|w| w[0]).collect();
     let mse_persist = reghd_repro::datasets::metrics::mse(&persistence, test_y);
     let mean = train_y.iter().sum::<f32>() / train_y.len() as f32;
-    let mse_mean =
-        reghd_repro::datasets::metrics::mse(&vec![mean; test_y.len()], test_y);
+    let mse_mean = reghd_repro::datasets::metrics::mse(&vec![mean; test_y.len()], test_y);
 
     println!("\none-step-ahead forecast MSE on the held-out tail:");
     println!("  RegHD over temporal encoding : {mse:.5}");

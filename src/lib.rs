@@ -40,6 +40,7 @@ pub use encoding;
 pub use hdc;
 pub use hwmodel;
 pub use reghd;
+pub use reghd_serve;
 pub use rl;
 
 /// Convenience re-exports of the most commonly used items.

@@ -74,9 +74,7 @@ fn baseline_hd_is_limited_by_discretisation_where_reghd_is_not() {
     // smooth high-precision target. Baseline-HD's bin floor keeps it above
     // RegHD.
     let mut rng = HdRng::seed_from(63);
-    let xs: Vec<Vec<f32>> = (0..500)
-        .map(|_| vec![rng.next_f32() * 2.0 - 1.0])
-        .collect();
+    let xs: Vec<Vec<f32>> = (0..500).map(|_| vec![rng.next_f32() * 2.0 - 1.0]).collect();
     let ys: Vec<f32> = xs.iter().map(|x| x[0]).collect();
 
     let mut bhd = BaselineHd::new(
@@ -86,13 +84,21 @@ fn baseline_hd_is_limited_by_discretisation_where_reghd_is_not() {
         },
         Box::new(NonlinearEncoder::new(1, 1024, 2)),
     );
-    let cfg = RegHdConfig::builder().dim(1024).models(2).max_epochs(20).seed(2).build();
+    let cfg = RegHdConfig::builder()
+        .dim(1024)
+        .models(2)
+        .max_epochs(20)
+        .seed(2)
+        .build();
     let mut reghd = RegHdRegressor::new(cfg, Box::new(NonlinearEncoder::new(1, 1024, 2)));
 
     let mse_bhd = mse_of(&mut bhd, &xs, &ys);
     let mse_reghd = mse_of(&mut reghd, &xs, &ys);
     // 16 bins over [-1, 1]: quantisation floor = (2/16)²/12 ≈ 1.3e-3.
-    assert!(mse_bhd > 1e-3, "baseline-HD beat its own quantisation floor?");
+    assert!(
+        mse_bhd > 1e-3,
+        "baseline-HD beat its own quantisation floor?"
+    );
     assert!(
         mse_reghd < mse_bhd / 2.0,
         "RegHD ({mse_reghd}) must clearly beat Baseline-HD ({mse_bhd})"
@@ -103,7 +109,7 @@ fn baseline_hd_is_limited_by_discretisation_where_reghd_is_not() {
 fn grid_search_agrees_with_held_out_evaluation() {
     // The §4.2 tuning protocol: the k chosen by CV must be at least as good
     // on a held-out set as the worst candidate.
-    use reghd_repro::baselines::grid::grid_search;
+    use reghd_repro::baselines::grid::{grid_search, Candidate};
     let ds = datasets::paper::airfoil(64);
     let (train, test) = datasets::split::train_test_split(&ds, 0.3, 64);
     let train = train.select(&(0..500).collect::<Vec<_>>());
@@ -129,7 +135,7 @@ fn grid_search_agrees_with_held_out_evaluation() {
             ))
         }
     };
-    let candidates: Vec<(String, Box<dyn Fn() -> Box<dyn Regressor>>)> = vec![
+    let candidates: Vec<Candidate> = vec![
         ("k=1".to_string(), Box::new(mk(1))),
         ("k=8".to_string(), Box::new(mk(8))),
     ];

@@ -89,8 +89,7 @@ fn quantised_clusters_stay_close_to_full_precision() {
         let train_n = std.transform(&train);
         let test_n = std.transform(&test);
         let scaler = datasets::normalize::TargetScaler::fit(&train.targets);
-        let train_y: Vec<f32> =
-            train.targets.iter().map(|&y| scaler.transform(y)).collect();
+        let train_y: Vec<f32> = train.targets.iter().map(|&y| scaler.transform(y)).collect();
         let test_y: Vec<f32> = test.targets.iter().map(|&y| scaler.transform(y)).collect();
         let run = |mode: ClusterMode| {
             let cfg = RegHdConfig::builder()
@@ -145,7 +144,12 @@ fn single_and_multi_apis_agree_at_k1_in_spirit() {
     let train_y: Vec<f32> = train.targets.iter().map(|&y| scaler.transform(y)).collect();
     let test_y: Vec<f32> = test.targets.iter().map(|&y| scaler.transform(y)).collect();
 
-    let cfg = RegHdConfig::builder().dim(1024).models(1).max_epochs(15).seed(17).build();
+    let cfg = RegHdConfig::builder()
+        .dim(1024)
+        .models(1)
+        .max_epochs(15)
+        .seed(17)
+        .build();
     let mut single = SingleHdRegressor::new(
         cfg.clone(),
         Box::new(NonlinearEncoder::new(ds.num_features(), 1024, 17)),

@@ -147,8 +147,9 @@ fn hamming_and_cosine_search_agree_on_sign_patterns() {
     let ham_rank: Vec<usize> = {
         let mut idx: Vec<usize> = (0..10).collect();
         idx.sort_by(|&a, &b| {
-            hamming_similarity(&candidates[b].to_binary(), &q.to_binary())
-                .total_cmp(&hamming_similarity(&candidates[a].to_binary(), &q.to_binary()))
+            hamming_similarity(&candidates[b].to_binary(), &q.to_binary()).total_cmp(
+                &hamming_similarity(&candidates[a].to_binary(), &q.to_binary()),
+            )
         });
         idx
     };

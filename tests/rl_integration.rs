@@ -69,7 +69,14 @@ fn learned_policy_points_toward_the_target() {
 
 #[test]
 fn q_values_are_deterministic_and_finite() {
-    let agent = HdQAgent::new(2, 3, QConfig { dim: 512, ..QConfig::default() });
+    let agent = HdQAgent::new(
+        2,
+        3,
+        QConfig {
+            dim: 512,
+            ..QConfig::default()
+        },
+    );
     let q1 = agent.q_values(&[0.1, -0.4]);
     let q2 = agent.q_values(&[0.1, -0.4]);
     assert_eq!(q1, q2);

@@ -16,7 +16,12 @@ fn trained_model() -> (RegHdRegressor, Vec<Vec<f32>>, Vec<f32>) {
         .iter()
         .map(|x| x[0] + 0.5 * x[1] - (x[2] * 1.5).sin())
         .collect();
-    let cfg = RegHdConfig::builder().dim(2048).models(4).max_epochs(15).seed(31).build();
+    let cfg = RegHdConfig::builder()
+        .dim(2048)
+        .models(4)
+        .max_epochs(15)
+        .seed(31)
+        .build();
     let enc = NonlinearEncoder::new(4, 2048, 31);
     let mut m = RegHdRegressor::new(cfg, Box::new(enc));
     m.fit(&xs, &ys);
