@@ -62,7 +62,7 @@ fn bench_single_thread(model: &ServedModel, rows: &[Vec<f32>]) -> f64 {
 
 /// Worker pool with no coalescing: every row is its own batch.
 fn bench_worker_pool(model: &Arc<ServedModel>, rows: &[Vec<f32>]) -> f64 {
-    let pool = WorkerPool::new(WORKERS, WORKERS * 4);
+    let pool = WorkerPool::new(WORKERS, WORKERS * 4).expect("spawn workers");
     let metrics = Arc::new(ModelMetrics::default());
     let start = Instant::now();
     let mut rxs = Vec::with_capacity(rows.len());
@@ -88,7 +88,7 @@ fn bench_worker_pool(model: &Arc<ServedModel>, rows: &[Vec<f32>]) -> f64 {
 
 /// Worker pool fed through the micro-batcher (coalesces under load).
 fn bench_micro_batched(model: &Arc<ServedModel>, rows: &[Vec<f32>], max_batch: usize) -> f64 {
-    let pool = Arc::new(WorkerPool::new(WORKERS, WORKERS * 4));
+    let pool = Arc::new(WorkerPool::new(WORKERS, WORKERS * 4).expect("spawn workers"));
     let metrics = Arc::new(ModelMetrics::default());
     let batcher = Batcher::new(
         BatcherConfig {
@@ -97,7 +97,8 @@ fn bench_micro_batched(model: &Arc<ServedModel>, rows: &[Vec<f32>], max_batch: u
             queue_cap: ROWS + 1,
         },
         pool,
-    );
+    )
+    .expect("spawn dispatcher");
     let start = Instant::now();
     let mut rxs = Vec::with_capacity(rows.len());
     for row in rows {

@@ -14,13 +14,34 @@
 //! redundancy over D = 2048 components); the DNN degrades sharply.
 //!
 //! ```text
-//! cargo run -p reghd-bench --release --bin robustness
+//! cargo run -p reghd-bench --release --bin robustness [-- --dim N]
 //! ```
+//!
+//! `--dim` overrides the hypervector dimensionality (default 2048). CI
+//! uses a small dimension as a fast smoke run; the paper-scale default is
+//! what the docs quote.
 
 use hdc::rng::HdRng;
+use reghd::config::{ClusterMode, PredictionMode};
 use reghd::Regressor;
 use reghd_bench::harness::{self, prepare};
 use reghd_bench::report::{banner, Table};
+
+/// Parses `--dim N` from argv; any other argument is rejected.
+fn dim_from_args() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => 2048,
+        [flag, value] if flag == "--dim" => value.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --dim: {value}");
+            std::process::exit(2);
+        }),
+        _ => {
+            eprintln!("usage: robustness [--dim N]");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     banner(
@@ -28,10 +49,19 @@ fn main() {
         "RegHD paper §3 robustness claim",
     );
     let seed = 42u64;
+    let dim = dim_from_args();
+    println!("hypervector dimensionality: D = {dim}");
     let ds = datasets::paper::airfoil(seed);
     let prep = prepare(&ds, seed);
 
-    let mut reghd = harness::reghd(prep.features, 8, seed);
+    let mut reghd = harness::reghd_with(
+        prep.features,
+        8,
+        dim,
+        ClusterMode::Integer,
+        PredictionMode::Full,
+        seed,
+    );
     reghd.fit(&prep.train_x, &prep.train_y);
     let mut dnn = harness::dnn(prep.features, seed);
     dnn.fit(&prep.train_x, &prep.train_y);

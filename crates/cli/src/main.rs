@@ -7,6 +7,9 @@
 //! reghd-cli predict --csv data.csv --model model.rghd
 //! reghd-cli serve   --model model.rghd --addr 127.0.0.1:7878
 //!                   [--name NAME] [--workers N] [--max-batch N] [--max-wait-us N]
+//!                   [--canary] [--chaos] [--sweep-interval-ms N]
+//! reghd-cli inject  --addr HOST:PORT --kind bitflip|delay|kill|panic|garble|clear
+//!                   [--model NAME] [--rate R] [--seed N] [--ms N] [--n N]
 //! ```
 //!
 //! CSV format: numeric columns, optional header, **last column is the
@@ -15,7 +18,11 @@
 //! the model bundle, so evaluation and prediction accept raw units.
 //!
 //! `serve` exposes the line-oriented TCP protocol implemented in
-//! `reghd-serve` (see the README's Serving section).
+//! `reghd-serve` (see the README's Serving section). `serve --canary`
+//! replays the bundle's embedded canary rows before binding the socket;
+//! `serve --chaos` enables the `inject` protocol command so a running
+//! server can be fault-tested, and `inject` is the matching client that
+//! arms one fault (see the README's Fault tolerance section).
 
 use reghd_serve::bundle::{self, ModelBundle};
 use std::process::ExitCode;
@@ -27,7 +34,10 @@ fn usage() -> ! {
          reghd-cli eval    --csv <data.csv> --model <model.rghd>\n  \
          reghd-cli predict --csv <data.csv> --model <model.rghd>\n  \
          reghd-cli serve   --model <model.rghd> [--name NAME] [--addr HOST:PORT] \
-         [--workers N] [--max-batch N] [--max-wait-us N]"
+         [--workers N] [--max-batch N] [--max-wait-us N] [--canary] [--chaos] \
+         [--sweep-interval-ms N]\n  \
+         reghd-cli inject  --addr <HOST:PORT> --kind <bitflip|delay|kill|panic|garble|clear> \
+         [--model NAME] [--rate R] [--seed N] [--ms N] [--n N]"
     );
     std::process::exit(2);
 }
@@ -115,6 +125,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&args),
         "predict" => cmd_predict(&args),
         "serve" => cmd_serve(&args),
+        "inject" => cmd_inject(&args),
         _ => {
             eprintln!("unknown command: {cmd}");
             usage();
@@ -202,6 +213,22 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let workers: usize = args.parse_num("workers", 4);
     let max_batch: usize = args.parse_num("max-batch", 32);
     let max_wait_us: u64 = args.parse_num("max-wait-us", 500);
+    let sweep_interval_ms: u64 = args.parse_num("sweep-interval-ms", 0);
+    let chaos = args.has("chaos");
+
+    if args.has("canary") {
+        // Verbose pre-flight: replay the bundle's embedded reference rows
+        // before touching the network. (The registry canaries every load
+        // and reload anyway; this surfaces the verdict up front.)
+        let b = ModelBundle::load(model_path)?;
+        match b.canary_len() {
+            0 => println!("canary: bundle carries no reference rows (pre-v2 bundle?)"),
+            n => {
+                b.run_canary()?;
+                println!("canary: {n} reference rows replayed bit-exact");
+            }
+        }
+    }
 
     let registry = Arc::new(ModelRegistry::new());
     let meta = registry
@@ -219,6 +246,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             max_wait: Duration::from_micros(max_wait_us),
             ..BatcherConfig::default()
         },
+        sweep_interval: (sweep_interval_ms > 0).then(|| Duration::from_millis(sweep_interval_ms)),
+        enable_inject: chaos,
         ..ServerConfig::default()
     };
     let handle = serve(cfg, registry).map_err(|e| e.to_string())?;
@@ -226,11 +255,80 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "serving on {} with {workers} workers (max_batch={max_batch}, max_wait={max_wait_us}µs)",
         handle.local_addr()
     );
-    println!("protocol: predict <model> <f32,f32,...> | reload <model> <path> | stats | health");
+    if chaos {
+        println!("chaos mode: the `inject` protocol command is ENABLED");
+    }
+    if sweep_interval_ms > 0 {
+        println!("integrity sweep every {sweep_interval_ms}ms");
+    }
+    println!(
+        "protocol: predict <model> <f32,f32,...> | reload <model> <path> | sweep | stats | health"
+    );
     // Serve until the process is killed; Ctrl-C terminates the listener.
     loop {
         std::thread::sleep(Duration::from_secs(60));
     }
+}
+
+/// Builds the protocol line for one `inject` invocation, or an error for
+/// a bad combination of flags. Pure so the flag → line mapping is testable
+/// without a server.
+fn inject_line(args: &Args) -> Result<String, String> {
+    let kind = args.require("kind");
+    match kind {
+        "bitflip" => {
+            let model = args.require("model");
+            let rate: f64 = args.parse_num("rate", 0.05);
+            let seed: u64 = args.parse_num("seed", 0);
+            if !(0.0..=1.0).contains(&rate) {
+                return Err("--rate must be in [0,1]".to_string());
+            }
+            Ok(format!("inject bitflip {model} {rate} {seed}"))
+        }
+        "delay" => {
+            let ms: u64 = args.parse_num("ms", 0);
+            Ok(format!("inject delay {ms}"))
+        }
+        "kill" | "panic" => {
+            let n: usize = args.parse_num("n", 1);
+            Ok(format!("inject {kind} {n}"))
+        }
+        "garble" => {
+            let rate: f64 = args.parse_num("rate", 0.0);
+            if !(0.0..=1.0).contains(&rate) {
+                return Err("--rate must be in [0,1]".to_string());
+            }
+            Ok(format!("inject garble {rate}"))
+        }
+        "clear" => Ok("inject clear".to_string()),
+        other => Err(format!(
+            "unknown fault kind {other} (expected bitflip|delay|kill|panic|garble|clear)"
+        )),
+    }
+}
+
+fn cmd_inject(args: &Args) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let addr = args.require("addr");
+    let line = inject_line(args)?;
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    writeln!(stream, "{line}").map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| e.to_string())?;
+    let reply = reply.trim_end();
+    if reply.is_empty() {
+        return Err("server closed the connection without a reply".to_string());
+    }
+    println!("{reply}");
+    if reply.starts_with("err") {
+        return Err(format!("server refused: {reply}"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -300,5 +398,36 @@ mod tests {
         let a = parse(&["--dim", "512"]);
         assert_eq!(a.parse_num::<usize>("dim", 2048), 512);
         assert_eq!(a.parse_num::<usize>("models", 8), 8);
+    }
+
+    #[test]
+    fn inject_lines_render_per_kind() {
+        let line = |args: &[&str]| super::inject_line(&parse(args));
+        assert_eq!(
+            line(&["--kind", "bitflip", "--model", "toy", "--rate", "0.1", "--seed", "7"]),
+            Ok("inject bitflip toy 0.1 7".to_string())
+        );
+        assert_eq!(
+            line(&["--kind", "delay", "--ms", "250"]),
+            Ok("inject delay 250".to_string())
+        );
+        assert_eq!(line(&["--kind", "kill"]), Ok("inject kill 1".to_string()));
+        assert_eq!(
+            line(&["--kind", "panic", "--n", "3"]),
+            Ok("inject panic 3".to_string())
+        );
+        assert_eq!(
+            line(&["--kind", "garble", "--rate", "0.5"]),
+            Ok("inject garble 0.5".to_string())
+        );
+        assert_eq!(line(&["--kind", "clear"]), Ok("inject clear".to_string()));
+    }
+
+    #[test]
+    fn inject_rejects_bad_kind_and_rate() {
+        let err = super::inject_line(&parse(&["--kind", "meteor"])).unwrap_err();
+        assert!(err.contains("unknown fault kind"), "{err}");
+        let err = super::inject_line(&parse(&["--kind", "garble", "--rate", "1.5"])).unwrap_err();
+        assert!(err.contains("must be in [0,1]"), "{err}");
     }
 }

@@ -55,13 +55,28 @@ pub fn flip_exact_bits(hv: &BinaryHv, count: usize, rng: &mut HdRng) -> BinaryHv
 ///
 /// Panics if `rate` is not within `[0, 1]`.
 pub fn flip_signs(hv: &RealHv, rate: f64, rng: &mut HdRng) -> RealHv {
+    let mut out = hv.clone();
+    flip_signs_in_place(&mut out, rate, rng);
+    out
+}
+
+/// In-place variant of [`flip_signs`], returning the number of components
+/// flipped. Used by the serving-layer fault injector, which corrupts a
+/// cloned model state and wants the flip count for its report.
+///
+/// # Panics
+///
+/// Panics if `rate` is not within `[0, 1]`.
+pub fn flip_signs_in_place(hv: &mut RealHv, rate: f64, rng: &mut HdRng) -> usize {
     assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
-    RealHv::from_vec(
-        hv.as_slice()
-            .iter()
-            .map(|&v| if rng.next_bool(rate) { -v } else { v })
-            .collect(),
-    )
+    let mut flips = 0;
+    for v in hv.as_mut_slice() {
+        if rng.next_bool(rate) {
+            *v = -*v;
+            flips += 1;
+        }
+    }
+    flips
 }
 
 /// Adds i.i.d. Gaussian noise of standard deviation `sigma` to each
@@ -156,6 +171,16 @@ mod tests {
         let (n10, _) = flip_bits(&v, 0.10, &mut rng);
         let sim = crate::similarity::hamming_similarity(&v, &n10);
         assert!((sim - 0.8).abs() < 0.05, "sim = {sim}");
+    }
+
+    #[test]
+    fn flip_signs_in_place_counts_flips() {
+        let mut rng = HdRng::seed_from(21);
+        let mut v = RealHv::from_vec(vec![1.0; 10_000]);
+        let flips = flip_signs_in_place(&mut v, 0.3, &mut rng);
+        let negatives = v.as_slice().iter().filter(|&&x| x < 0.0).count();
+        assert_eq!(flips, negatives);
+        assert!((flips as f64 / 10_000.0 - 0.3).abs() < 0.02);
     }
 
     #[test]

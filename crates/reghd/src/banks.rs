@@ -272,8 +272,26 @@ impl ModelBank {
     /// fills it with one raw score per model. Batched prediction reuses one
     /// buffer across rows.
     pub fn scores_into(&self, s: &RealHv, s_bin: &BinaryHv, s_amp: f32, out: &mut Vec<f32>) {
+        self.scores_into_mode(self.mode, s, s_bin, s_amp, out);
+    }
+
+    /// Like [`ModelBank::scores_into`] but in an explicit mode rather than
+    /// the bank's configured one. The serving layer uses this to force the
+    /// multiply-free `BinaryQuery` path (§3.2) as a degraded fallback
+    /// regardless of how the model was trained. Note that the binary model
+    /// copies are refreshed per epoch only in the binary-model modes, so
+    /// forcing `BinaryModel`/`BinaryBoth` on a bank built in another mode
+    /// reads copies derived at construction ([`ModelBank::from_parts`]).
+    pub fn scores_into_mode(
+        &self,
+        mode: PredictionMode,
+        s: &RealHv,
+        s_bin: &BinaryHv,
+        s_amp: f32,
+        out: &mut Vec<f32>,
+    ) {
         out.clear();
-        match self.mode {
+        match mode {
             PredictionMode::Full => out.extend(self.int.iter().map(|m| m.dot(s))),
             PredictionMode::BinaryQuery => {
                 out.extend(self.int.iter().map(|m| s_amp * s_bin.signed_dot(m)))

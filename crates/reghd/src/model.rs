@@ -197,6 +197,43 @@ impl RegHdRegressor {
         self.forward(&q).0
     }
 
+    /// Batched prediction forced through the multiply-free quantised
+    /// binary-query path (§3.2, `PredictionMode::BinaryQuery`), regardless
+    /// of the configured prediction mode. The serving layer uses this as
+    /// its **degraded-mode** fallback: when the full-precision path is
+    /// unavailable (timeout, saturation, corruption flag), the binary path
+    /// still produces a finite, holographically robust estimate. Non-finite
+    /// input rows short-circuit to `NaN` exactly like
+    /// [`Regressor::predict_batch`].
+    pub fn predict_batch_degraded(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        let k = self.config.models;
+        let mut sims = Vec::with_capacity(k);
+        let mut conf = Vec::with_capacity(k);
+        let mut scores = Vec::with_capacity(k);
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            if !x.iter().all(|v| v.is_finite()) {
+                out.push(f32::NAN);
+                continue;
+            }
+            let q = self.encode(x);
+            self.clusters
+                .similarities_into(&q.real, &q.binary, &mut sims);
+            softmax_into(&sims, self.config.softmax_beta, &mut conf);
+            self.models.scores_into_mode(
+                crate::config::PredictionMode::BinaryQuery,
+                &q.real,
+                &q.binary,
+                q.amp,
+                &mut scores,
+            );
+            let pred: f32 =
+                conf.iter().zip(&scores).map(|(&c, &s)| c * s).sum::<f32>() + self.intercept;
+            out.push(pred);
+        }
+        out
+    }
+
     fn encode(&self, x: &[f32]) -> EncodedQuery {
         let mut s = self.encoder.encode(x);
         if let Some(center) = &self.center {
@@ -447,6 +484,13 @@ impl Regressor for RegHdRegressor {
         let mut scores = Vec::with_capacity(k);
         let mut out = Vec::with_capacity(xs.len());
         for x in xs {
+            // A NaN/Inf feature would silently poison the encoding (and,
+            // through normalisation, every component of the query HV);
+            // short-circuit to NaN so callers can detect the bad row.
+            if !x.iter().all(|v| v.is_finite()) {
+                out.push(f32::NAN);
+                continue;
+            }
             let q = self.encode(x);
             self.clusters
                 .similarities_into(&q.real, &q.binary, &mut sims);
@@ -793,5 +837,66 @@ mod tests {
         let first = report.train_mse_history[0];
         let last = *report.train_mse_history.last().unwrap();
         assert!(last < first, "no improvement: first {first}, last {last}");
+    }
+
+    #[test]
+    fn non_finite_rows_predict_nan_not_poison() {
+        let (xs, ys) = multimodal(200, 13);
+        let mut m = make(4, 13);
+        m.fit(&xs, &ys);
+        let batch = vec![
+            xs[0].clone(),
+            vec![f32::NAN, 1.0],
+            vec![1.0, f32::INFINITY],
+            xs[1].clone(),
+        ];
+        let preds = m.predict_batch(&batch);
+        assert_eq!(preds.len(), 4);
+        assert!(preds[0].is_finite());
+        assert!(preds[1].is_nan());
+        assert!(preds[2].is_nan());
+        assert!(preds[3].is_finite());
+        // Bad rows must not perturb neighbouring predictions.
+        assert_eq!(preds[0], m.predict_one(&xs[0]));
+        assert_eq!(preds[3], m.predict_one(&xs[1]));
+    }
+
+    #[test]
+    fn degraded_path_matches_binary_query_mode() {
+        // The degraded fallback must be exactly the §3.2 BinaryQuery path:
+        // a model *configured* for BinaryQuery predicts identically through
+        // predict_batch and predict_batch_degraded.
+        let (xs, ys) = multimodal(200, 14);
+        let mut m = make_with(4, ClusterMode::Integer, PredictionMode::BinaryQuery, 14);
+        m.fit(&xs, &ys);
+        assert_eq!(
+            m.predict_batch(&xs[..10]),
+            m.predict_batch_degraded(&xs[..10])
+        );
+    }
+
+    #[test]
+    fn degraded_path_is_finite_and_close_for_full_models() {
+        let (xs, ys) = multimodal(300, 15);
+        let mut m = make(4, 15);
+        m.fit(&xs, &ys);
+        let full = m.predict_batch(&xs[..50]);
+        let degraded = m.predict_batch_degraded(&xs[..50]);
+        assert!(degraded.iter().all(|p| p.is_finite()));
+        // Quantisation costs accuracy but the estimate stays in the same
+        // regime (the paper reports <4% quality loss for binary paths).
+        let var = {
+            let mean = ys.iter().sum::<f32>() / ys.len() as f32;
+            ys.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32
+        };
+        let mse: f32 = full
+            .iter()
+            .zip(&degraded)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / 50.0;
+        assert!(mse < var, "degraded path diverged: mse {mse} vs var {var}");
+        let nan_row = m.predict_batch_degraded(&[vec![f32::NAN, 0.0]]);
+        assert!(nan_row[0].is_nan());
     }
 }

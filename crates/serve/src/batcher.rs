@@ -13,8 +13,9 @@
 use crate::metrics::ModelMetrics;
 use crate::registry::ServedModel;
 use crate::worker::{Batch, WorkItem, WorkerPool};
+use crate::{lock_unpoisoned, ServeError};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -107,10 +108,14 @@ fn into_batches(drained: Vec<Pending>, max_batch: usize) -> Vec<Batch> {
 fn dispatcher_loop(shared: &Shared) {
     loop {
         let drained: Vec<Pending> = {
-            let mut q = shared.queue.lock().unwrap();
+            // All waits recover from poisoning: a worker/connection thread
+            // that panicked while holding the queue lock must not silence
+            // the dispatcher — the queue itself (a VecDeque of
+            // self-contained items) stays structurally valid.
+            let mut q = lock_unpoisoned(&shared.queue);
             // Sleep until there is work or we are asked to stop.
             while q.items.is_empty() && !q.stop {
-                q = shared.cond.wait(q).unwrap();
+                q = shared.cond.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
             if q.items.is_empty() && q.stop {
                 return; // queue fully drained — safe to exit
@@ -118,7 +123,10 @@ fn dispatcher_loop(shared: &Shared) {
             // Coalesce only when it can pay off: all workers busy and the
             // window isn't already full. Idle workers get rows at once.
             if !shared.pool.has_idle_worker() && q.items.len() < shared.cfg.max_batch && !q.stop {
-                let (guard, _timeout) = shared.cond.wait_timeout(q, shared.cfg.max_wait).unwrap();
+                let (guard, _timeout) = shared
+                    .cond
+                    .wait_timeout(q, shared.cfg.max_wait)
+                    .unwrap_or_else(PoisonError::into_inner);
                 q = guard;
             }
             q.items.drain(..).collect()
@@ -138,7 +146,11 @@ fn dispatcher_loop(shared: &Shared) {
 
 impl Batcher {
     /// Starts the dispatcher thread over `pool`.
-    pub fn new(cfg: BatcherConfig, pool: Arc<WorkerPool>) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] if the dispatcher thread cannot be created.
+    pub fn new(cfg: BatcherConfig, pool: Arc<WorkerPool>) -> Result<Self, ServeError> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
@@ -153,12 +165,12 @@ impl Batcher {
             std::thread::Builder::new()
                 .name("reghd-batcher".to_string())
                 .spawn(move || dispatcher_loop(&shared))
-                .expect("spawn batcher thread")
+                .map_err(ServeError::Spawn)?
         };
-        Self {
+        Ok(Self {
             shared,
             dispatcher: Mutex::new(Some(dispatcher)),
-        }
+        })
     }
 
     /// Queues one row for `model`. Returns `false` (after recording a shed)
@@ -170,7 +182,7 @@ impl Batcher {
         metrics: Arc<ModelMetrics>,
         item: WorkItem,
     ) -> bool {
-        let mut q = self.shared.queue.lock().unwrap();
+        let mut q = lock_unpoisoned(&self.shared.queue);
         if q.stop || q.items.len() >= self.shared.cfg.queue_cap {
             drop(q);
             metrics.record_shed();
@@ -188,18 +200,18 @@ impl Batcher {
 
     /// Rows currently waiting for dispatch.
     pub fn depth(&self) -> usize {
-        self.shared.queue.lock().unwrap().items.len()
+        lock_unpoisoned(&self.shared.queue).items.len()
     }
 
     /// Stops accepting rows, drains everything already queued, and joins
     /// the dispatcher. Called automatically on drop.
     pub fn shutdown(&self) {
         {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_unpoisoned(&self.shared.queue);
             q.stop = true;
         }
         self.shared.cond.notify_all();
-        if let Some(h) = self.dispatcher.lock().unwrap().take() {
+        if let Some(h) = lock_unpoisoned(&self.dispatcher).take() {
             let _ = h.join();
         }
     }
@@ -242,12 +254,30 @@ mod tests {
         )
     }
 
+    /// A batcher with no dispatcher thread: the queue's accept/shed logic
+    /// can be exercised deterministically, with nothing draining it.
+    fn undispatched(cfg: BatcherConfig) -> Batcher {
+        let pool = Arc::new(WorkerPool::new(1, 1).unwrap());
+        Batcher {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(QueueState {
+                    items: VecDeque::new(),
+                    stop: false,
+                }),
+                cond: Condvar::new(),
+                cfg,
+                pool,
+            }),
+            dispatcher: Mutex::new(None),
+        }
+    }
+
     #[test]
     fn enqueued_rows_get_answers() {
         let model = served(1);
         let metrics = Arc::new(ModelMetrics::default());
-        let pool = Arc::new(WorkerPool::new(2, 8));
-        let batcher = Batcher::new(BatcherConfig::default(), pool);
+        let pool = Arc::new(WorkerPool::new(2, 8).unwrap());
+        let batcher = Batcher::new(BatcherConfig::default(), pool).unwrap();
         let mut rxs = Vec::new();
         for i in 0..20 {
             let (it, rx) = item(vec![i as f32, (i + 1) as f32]);
@@ -267,7 +297,7 @@ mod tests {
         // Pool with a dead-slow start: 1 worker, but we just make the queue
         // tiny so the third enqueue before dispatch can shed. Stop the
         // dispatcher first so nothing drains.
-        let pool = Arc::new(WorkerPool::new(1, 1));
+        let pool = Arc::new(WorkerPool::new(1, 1).unwrap());
         let batcher = Batcher::new(
             BatcherConfig {
                 max_batch: 4,
@@ -275,7 +305,8 @@ mod tests {
                 queue_cap: 2,
             },
             pool,
-        );
+        )
+        .unwrap();
         // Freeze the dispatcher by taking the queue lock while we overfill.
         {
             let mut q = batcher.shared.queue.lock().unwrap();
@@ -302,8 +333,8 @@ mod tests {
     fn shutdown_drains_queued_rows() {
         let model = served(3);
         let metrics = Arc::new(ModelMetrics::default());
-        let pool = Arc::new(WorkerPool::new(1, 8));
-        let batcher = Batcher::new(BatcherConfig::default(), pool);
+        let pool = Arc::new(WorkerPool::new(1, 8).unwrap());
+        let batcher = Batcher::new(BatcherConfig::default(), pool).unwrap();
         let mut rxs = Vec::new();
         for i in 0..10 {
             let (it, rx) = item(vec![i as f32, i as f32]);
@@ -351,5 +382,93 @@ mod tests {
         // 3 rows for "a" (split 2+1) and 2 for "b" → exactly 3 batches,
         // proving rows for different models never share a batch.
         assert_eq!(batches.len(), 3);
+    }
+
+    #[test]
+    fn zero_max_wait_still_answers_everything() {
+        // max_wait == 0 collapses the coalescing window entirely; the
+        // dispatcher must spin through wait_timeout(0) without hanging or
+        // busy-dropping rows.
+        let model = served(6);
+        let metrics = Arc::new(ModelMetrics::default());
+        let pool = Arc::new(WorkerPool::new(1, 4).unwrap());
+        let batcher = Batcher::new(
+            BatcherConfig {
+                max_batch: 8,
+                max_wait: Duration::ZERO,
+                queue_cap: 64,
+            },
+            pool,
+        )
+        .unwrap();
+        let mut rxs = Vec::new();
+        for i in 0..16 {
+            let (it, rx) = item(vec![i as f32, i as f32]);
+            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            rxs.push(rx);
+        }
+        for rx in rxs {
+            assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn queue_exactly_at_capacity_accepts_then_sheds() {
+        // Boundary check on the cap: the row that *reaches* capacity is
+        // accepted, the row that would *exceed* it is shed.
+        let model = served(7);
+        let metrics = Arc::new(ModelMetrics::default());
+        let batcher = undispatched(BatcherConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 3,
+        });
+        for i in 0..3 {
+            let (it, _rx) = item(vec![i as f32, 0.0]);
+            assert!(
+                batcher.enqueue(model.clone(), metrics.clone(), it),
+                "row {i} is within capacity"
+            );
+        }
+        assert_eq!(batcher.depth(), 3);
+        let (it, _rx) = item(vec![99.0, 0.0]);
+        assert!(!batcher.enqueue(model.clone(), metrics.clone(), it));
+        assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 1);
+        // Shedding must not have evicted anything already accepted.
+        assert_eq!(batcher.depth(), 3);
+    }
+
+    #[test]
+    fn shed_then_drain_preserves_fifo_and_reopens_queue() {
+        let model = served(8);
+        let metrics = Arc::new(ModelMetrics::default());
+        let batcher = undispatched(BatcherConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 3,
+        });
+        for i in 0..3 {
+            let (it, _rx) = item(vec![i as f32, 0.0]);
+            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+        }
+        let (it, _rx) = item(vec![99.0, 0.0]);
+        assert!(!batcher.enqueue(model.clone(), metrics.clone(), it));
+
+        // Drain exactly as the dispatcher would and check the shed row
+        // left no hole: survivors come out in arrival order.
+        let drained: Vec<Pending> = lock_unpoisoned(&batcher.shared.queue)
+            .items
+            .drain(..)
+            .collect();
+        let order: Vec<f32> = drained.iter().map(|p| p.item.row[0]).collect();
+        assert_eq!(order, vec![0.0, 1.0, 2.0]);
+        let batches = into_batches(drained, 8);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].items.len(), 3);
+
+        // After the drain the queue is open for business again.
+        let (it, _rx) = item(vec![7.0, 0.0]);
+        assert!(batcher.enqueue(model, metrics, it));
+        assert_eq!(batcher.depth(), 1);
     }
 }

@@ -2,10 +2,32 @@
 //! feature/target scalers fitted on the training data, so serving and
 //! command-line tools accept and emit values in **original units**.
 //!
-//! File layout: magic `RGCL`, version, feature scaler block, target scaler
-//! block, then the embedded `reghd::persist` model blob. The format is
-//! bit-exact across a round-trip: a loaded bundle predicts identically to
-//! the one that was saved (see `reghd::persist` for why).
+//! # File layout
+//!
+//! Version 2 (written by this crate) wraps every payload in a CRC32-guarded
+//! section so that a flipped bit anywhere in a stored bundle is caught at
+//! load time rather than silently served:
+//!
+//! ```text
+//! magic "RGCL" | version: u16 = 2
+//! [scalers section] [canary section] [model section]
+//! section := len: u64 | payload (len bytes) | crc32(payload): u32
+//! ```
+//!
+//! * **scalers** — feature means/stds and the target scaler (v1 body).
+//! * **canary** — up to [`CANARY_ROWS`] raw-unit reference rows captured at
+//!   training time together with the model's own predictions for them. A
+//!   reloaded bundle replays these rows and must reproduce the stored
+//!   predictions **bit-exactly** before it is allowed to serve (see
+//!   [`ModelBundle::run_canary`]); the registry rolls back to the previous
+//!   version on mismatch.
+//! * **model** — the embedded `reghd::persist` blob.
+//!
+//! Version 1 bundles (no checksums, no canary) remain loadable; they simply
+//! skip the canary replay.
+//!
+//! The format is bit-exact across a round-trip: a loaded bundle predicts
+//! identically to the one that was saved (see `reghd::persist` for why).
 //!
 //! This module originated in `reghd-cli` and moved here so the serving
 //! registry and the CLI share one implementation.
@@ -13,15 +35,18 @@
 use datasets::normalize::{Standardizer, TargetScaler};
 use datasets::Dataset;
 use encoding::EncoderSpec;
+use hdc::rng::HdRng;
 use reghd::config::{ClusterMode, PredictionMode, RegHdConfig};
 use reghd::traits::FitReport;
 use reghd::{persist, RegHdRegressor, Regressor};
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"RGCL";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Maximum number of reference rows stored in a bundle's canary section.
+pub const CANARY_ROWS: usize = 8;
 
-/// A trained model plus its data scalers.
+/// A trained model plus its data scalers and canary reference rows.
 pub struct ModelBundle {
     // (Debug via the manual impl below: the model itself is the interesting
     // field, scalers are summarised.)
@@ -31,6 +56,8 @@ pub struct ModelBundle {
     feat_stds: Vec<f32>,
     target_mean: f32,
     target_std: f32,
+    canary_rows: Vec<Vec<f32>>,
+    canary_preds: Vec<f32>,
 }
 
 impl std::fmt::Debug for ModelBundle {
@@ -40,12 +67,17 @@ impl std::fmt::Debug for ModelBundle {
             .field("features", &self.feat_means.len())
             .field("target_mean", &self.target_mean)
             .field("target_std", &self.target_std)
+            .field("canary_rows", &self.canary_rows.len())
             .finish()
     }
 }
 
 /// Trains a bundle on a raw-unit dataset. Returns the bundle together with
 /// the fit report so callers (CLI, tests) decide what to print.
+///
+/// Up to [`CANARY_ROWS`] evenly spaced training rows are captured, together
+/// with the freshly trained model's predictions for them, as the bundle's
+/// canary section.
 pub fn train(
     ds: &Dataset,
     dim: usize,
@@ -100,17 +132,32 @@ pub fn train(
         feat_means.push(-a * sigma);
     }
 
-    Ok((
-        ModelBundle {
-            model,
-            spec,
-            feat_means,
-            feat_stds,
-            target_mean: scaler.mean(),
-            target_std: scaler.std(),
-        },
-        report,
-    ))
+    let mut bundle = ModelBundle {
+        model,
+        spec,
+        feat_means,
+        feat_stds,
+        target_mean: scaler.mean(),
+        target_std: scaler.std(),
+        canary_rows: Vec::new(),
+        canary_preds: Vec::new(),
+    };
+
+    // Capture canary reference rows spread across the training set (raw
+    // units, so the replay exercises the scalers too).
+    let step = (ds.len() / CANARY_ROWS).max(1);
+    let rows: Vec<Vec<f32>> = ds
+        .features
+        .iter()
+        .step_by(step)
+        .take(CANARY_ROWS)
+        .cloned()
+        .collect();
+    let preds = bundle.predict(&rows)?;
+    bundle.canary_rows = rows;
+    bundle.canary_preds = preds;
+
+    Ok((bundle, report))
 }
 
 impl ModelBundle {
@@ -131,16 +178,25 @@ impl ModelBundle {
         self.target_std
     }
 
-    /// Predicts in original units for raw-unit feature rows.
-    pub fn predict(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>, String> {
+    /// Number of canary reference rows stored in this bundle (0 for
+    /// bundles loaded from the v1 format).
+    pub fn canary_len(&self) -> usize {
+        self.canary_rows.len()
+    }
+
+    /// Standardises raw-unit rows, validating width and finiteness.
+    fn scale_rows(&self, rows: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, String> {
         let expected = self.feat_means.len();
         let mut scaled = Vec::with_capacity(rows.len());
-        for row in rows {
+        for (i, row) in rows.iter().enumerate() {
             if row.len() != expected {
                 return Err(format!(
                     "row has {} features, model expects {expected}",
                     row.len()
                 ));
+            }
+            if let Some(j) = row.iter().position(|v| !v.is_finite()) {
+                return Err(format!("row {i} has a non-finite feature at index {j}"));
             }
             scaled.push(
                 row.iter()
@@ -149,6 +205,13 @@ impl ModelBundle {
                     .collect::<Vec<f32>>(),
             );
         }
+        Ok(scaled)
+    }
+
+    /// Predicts in original units for raw-unit feature rows. Rows with the
+    /// wrong width or non-finite (NaN/Inf) features are rejected.
+    pub fn predict(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>, String> {
+        let scaled = self.scale_rows(rows)?;
         // One batched pass through the model (shared scratch buffers in
         // RegHdRegressor::predict_batch) — the hot path of the serving
         // worker pool.
@@ -160,26 +223,166 @@ impl ModelBundle {
             .collect())
     }
 
-    /// Serialises the bundle to bytes.
+    /// Predicts through the multiply-free quantised binary-query path
+    /// (§3.2) regardless of the bundle's configured prediction mode — the
+    /// serving layer's **degraded-mode** fallback when the full-precision
+    /// path is unavailable (worker timeout, queue saturation, or a model
+    /// flagged corrupt, where the binary path's holographic robustness is
+    /// exactly the property the paper argues for).
+    pub fn predict_degraded(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>, String> {
+        let scaled = self.scale_rows(rows)?;
+        Ok(self
+            .model
+            .predict_batch_degraded(&scaled)
+            .into_iter()
+            .map(|y_std| y_std * self.target_std + self.target_mean)
+            .collect())
+    }
+
+    /// Replays the stored canary rows and checks the predictions against
+    /// the values recorded at save time, **bit-exactly**. `Ok` for bundles
+    /// without a canary section (v1). The registry runs this after every
+    /// load/reload and refuses to swap in a model that fails.
+    pub fn run_canary(&self) -> Result<(), String> {
+        if self.canary_rows.is_empty() {
+            return Ok(());
+        }
+        let got = self.predict(&self.canary_rows)?;
+        for (i, (&g, &e)) in got.iter().zip(&self.canary_preds).enumerate() {
+            if g.to_bits() != e.to_bits() {
+                return Err(format!("canary row {i} predicted {g}, bundle recorded {e}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the canary section (lengths must agree). Test hook for
+    /// crafting bundles whose checksums are valid but whose canary replay
+    /// fails — the scenario that distinguishes the canary check from the
+    /// load-time CRC check.
+    pub fn with_canary(mut self, rows: Vec<Vec<f32>>, preds: Vec<f32>) -> Result<Self, String> {
+        if rows.len() != preds.len() {
+            return Err(format!(
+                "canary rows ({}) and predictions ({}) disagree",
+                rows.len(),
+                preds.len()
+            ));
+        }
+        if rows.len() > CANARY_ROWS {
+            return Err(format!("at most {CANARY_ROWS} canary rows"));
+        }
+        if rows.iter().any(|r| r.len() != self.num_features()) {
+            return Err("canary row width mismatch".to_string());
+        }
+        self.canary_rows = rows;
+        self.canary_preds = preds;
+        Ok(self)
+    }
+
+    /// Returns a copy of this bundle whose served hypervector state
+    /// (cluster and model banks) has each component's sign flipped
+    /// independently with probability `rate` — the §3 component-fault
+    /// model applied to the *stored model* rather than the query. Also
+    /// returns the number of flipped components. Scalers and canary rows
+    /// are carried over unchanged, so the corrupted copy fails its canary
+    /// replay (with overwhelming probability for any meaningful rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn with_model_faults(&self, rate: f64, seed: u64) -> (Self, usize) {
+        let mut rng = HdRng::seed_from(seed);
+        let mut clusters = self.model.clusters().integer_clusters().to_vec();
+        let mut models = self.model.models().integer_models().to_vec();
+        let mut flips = 0;
+        for hv in clusters.iter_mut().chain(models.iter_mut()) {
+            flips += hdc::noise::flip_signs_in_place(hv, rate, &mut rng);
+        }
+        let model = RegHdRegressor::from_parts(
+            self.model.config().clone(),
+            self.spec.build(),
+            clusters,
+            models,
+            self.model.center().cloned(),
+            self.model.intercept(),
+        );
+        (
+            Self {
+                model,
+                spec: self.spec.clone(),
+                feat_means: self.feat_means.clone(),
+                feat_stds: self.feat_stds.clone(),
+                target_mean: self.target_mean,
+                target_std: self.target_std,
+                canary_rows: self.canary_rows.clone(),
+                canary_preds: self.canary_preds.clone(),
+            },
+            flips,
+        )
+    }
+
+    /// CRC32 over the bundle's in-memory learned state (intercept, centre,
+    /// cluster/model hypervectors, scalers). The registry records this at
+    /// load time and periodically recomputes it to detect in-memory
+    /// corruption of a served model.
+    pub fn state_checksum(&self) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update(&self.model.intercept().to_le_bytes());
+        if let Some(c) = self.model.center() {
+            update_f32s(&mut crc, c.as_slice());
+        }
+        for hv in self.model.clusters().integer_clusters() {
+            update_f32s(&mut crc, hv.as_slice());
+        }
+        for hv in self.model.models().integer_models() {
+            update_f32s(&mut crc, hv.as_slice());
+        }
+        update_f32s(&mut crc, &self.feat_means);
+        update_f32s(&mut crc, &self.feat_stds);
+        crc.update(&self.target_mean.to_le_bytes());
+        crc.update(&self.target_std.to_le_bytes());
+        crc.finalize()
+    }
+
+    /// Serialises the bundle to bytes (v2: CRC32-guarded sections).
     pub fn to_bytes(&self) -> Result<Vec<u8>, String> {
         let mut buf: Vec<u8> = Vec::new();
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&VERSION.to_le_bytes());
-        buf.extend_from_slice(&(self.feat_means.len() as u64).to_le_bytes());
+
+        let mut scalers: Vec<u8> = Vec::new();
+        scalers.extend_from_slice(&(self.feat_means.len() as u64).to_le_bytes());
         for &m in &self.feat_means {
-            buf.extend_from_slice(&m.to_le_bytes());
+            scalers.extend_from_slice(&m.to_le_bytes());
         }
         for &s in &self.feat_stds {
-            buf.extend_from_slice(&s.to_le_bytes());
+            scalers.extend_from_slice(&s.to_le_bytes());
         }
-        buf.extend_from_slice(&self.target_mean.to_le_bytes());
-        buf.extend_from_slice(&self.target_std.to_le_bytes());
-        persist::save(&self.model, &self.spec, &mut buf).map_err(|e| e.to_string())?;
+        scalers.extend_from_slice(&self.target_mean.to_le_bytes());
+        scalers.extend_from_slice(&self.target_std.to_le_bytes());
+        write_section(&mut buf, &scalers);
+
+        let mut canary: Vec<u8> = Vec::new();
+        canary.extend_from_slice(&(self.canary_rows.len() as u64).to_le_bytes());
+        for row in &self.canary_rows {
+            for &v in row {
+                canary.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for &p in &self.canary_preds {
+            canary.extend_from_slice(&p.to_le_bytes());
+        }
+        write_section(&mut buf, &canary);
+
+        let mut blob: Vec<u8> = Vec::new();
+        persist::save(&self.model, &self.spec, &mut blob).map_err(|e| e.to_string())?;
+        write_section(&mut buf, &blob);
         Ok(buf)
     }
 
     /// Deserialises a bundle from bytes (the hot-reload entry point: the
-    /// registry hashes and loads from one in-memory copy).
+    /// registry hashes and loads from one in-memory copy). Reads both the
+    /// checksummed v2 layout and the legacy v1 layout.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
         let mut r: &[u8] = bytes;
         let mut magic = [0u8; 4];
@@ -187,41 +390,105 @@ impl ModelBundle {
         if &magic != MAGIC {
             return Err("not a reghd-cli model bundle".to_string());
         }
-        let version = read_u16(&mut r)?;
-        if version != VERSION {
-            return Err(format!("unsupported bundle version {version}"));
+        match read_u16(&mut r)? {
+            1 => Self::read_v1(&mut r),
+            2 => Self::read_v2(&mut r),
+            v => Err(format!("unsupported bundle version {v}")),
         }
-        let n = read_u64(&mut r)? as usize;
-        if n > 1 << 20 {
-            return Err(format!("implausible feature count {n}"));
+    }
+
+    /// Legacy layout: scalers and model blob inline, no checksums, no
+    /// canary.
+    fn read_v1(r: &mut &[u8]) -> Result<Self, String> {
+        let (feat_means, feat_stds, target_mean, target_std) = read_scalers(r)?;
+        let model = persist::load(r).map_err(|e| e.to_string())?;
+        Ok(Self::assemble(
+            model,
+            feat_means,
+            feat_stds,
+            target_mean,
+            target_std,
+            Vec::new(),
+            Vec::new(),
+        ))
+    }
+
+    fn read_v2(r: &mut &[u8]) -> Result<Self, String> {
+        let scalers = read_section(r, "scalers")?;
+        let canary = read_section(r, "canary")?;
+        let blob = read_section(r, "model")?;
+        if !r.is_empty() {
+            return Err(format!("{} trailing bytes after model section", r.len()));
         }
-        let mut feat_means = Vec::with_capacity(n);
-        for _ in 0..n {
-            feat_means.push(read_f32(&mut r)?);
+
+        let mut s: &[u8] = &scalers;
+        let (feat_means, feat_stds, target_mean, target_std) = read_scalers(&mut s)?;
+        if !s.is_empty() {
+            return Err("trailing bytes in scalers section".to_string());
         }
-        let mut feat_stds = Vec::with_capacity(n);
-        for _ in 0..n {
-            feat_stds.push(read_f32(&mut r)?);
+        let n = feat_means.len();
+
+        let mut c: &[u8] = &canary;
+        let rows = read_u64(&mut c)? as usize;
+        if rows > CANARY_ROWS {
+            return Err(format!("implausible canary row count {rows}"));
         }
-        let target_mean = read_f32(&mut r)?;
-        let target_std = read_f32(&mut r)?;
-        let model = persist::load(&mut r).map_err(|e| e.to_string())?;
+        let mut canary_rows = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let mut row = Vec::with_capacity(n);
+            for _ in 0..n {
+                row.push(read_f32(&mut c)?);
+            }
+            canary_rows.push(row);
+        }
+        let mut canary_preds = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            canary_preds.push(read_f32(&mut c)?);
+        }
+        if !c.is_empty() {
+            return Err("trailing bytes in canary section".to_string());
+        }
+
+        let mut b: &[u8] = &blob;
+        let model = persist::load(&mut b).map_err(|e| e.to_string())?;
+        Ok(Self::assemble(
+            model,
+            feat_means,
+            feat_stds,
+            target_mean,
+            target_std,
+            canary_rows,
+            canary_preds,
+        ))
+    }
+
+    fn assemble(
+        model: RegHdRegressor,
+        feat_means: Vec<f32>,
+        feat_stds: Vec<f32>,
+        target_mean: f32,
+        target_std: f32,
+        canary_rows: Vec<Vec<f32>>,
+        canary_preds: Vec<f32>,
+    ) -> Self {
         // The persist blob does not carry the spec back out; rebuild it
         // from the model's config (the CLI always uses the Nonlinear
         // encoder with the same derived seed).
         let spec = EncoderSpec::Nonlinear {
-            input_dim: n,
+            input_dim: feat_means.len(),
             dim: model.config().dim,
             seed: model.config().seed ^ 0xC11,
         };
-        Ok(Self {
+        Self {
             model,
             spec,
             feat_means,
             feat_stds,
             target_mean,
             target_std,
-        })
+            canary_rows,
+            canary_preds,
+        }
     }
 
     /// Writes the bundle to a file.
@@ -240,6 +507,51 @@ impl ModelBundle {
             .map_err(|e| format!("cannot read {path}: {e}"))?;
         Self::from_bytes(&bytes)
     }
+}
+
+/// Shared scaler-block layout (v1 body / v2 scalers section payload).
+fn read_scalers(r: &mut &[u8]) -> Result<(Vec<f32>, Vec<f32>, f32, f32), String> {
+    let n = read_u64(r)? as usize;
+    if n > 1 << 20 {
+        return Err(format!("implausible feature count {n}"));
+    }
+    let mut feat_means = Vec::with_capacity(n);
+    for _ in 0..n {
+        feat_means.push(read_f32(r)?);
+    }
+    let mut feat_stds = Vec::with_capacity(n);
+    for _ in 0..n {
+        feat_stds.push(read_f32(r)?);
+    }
+    let target_mean = read_f32(r)?;
+    let target_std = read_f32(r)?;
+    Ok((feat_means, feat_stds, target_mean, target_std))
+}
+
+fn write_section(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// Reads one `len | payload | crc` section, verifying the checksum.
+fn read_section(r: &mut &[u8], name: &str) -> Result<Vec<u8>, String> {
+    let len = read_u64(r)? as usize;
+    if r.len() < len + 4 {
+        return Err(format!("truncated bundle ({name} section)"));
+    }
+    let payload = r[..len].to_vec();
+    *r = &r[len..];
+    let mut cb = [0u8; 4];
+    read_exact(r, &mut cb)?;
+    let stored = u32::from_le_bytes(cb);
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch in {name} section (stored {stored:08x}, computed {computed:08x})"
+        ));
+    }
+    Ok(payload)
 }
 
 fn read_exact(r: &mut &[u8], buf: &mut [u8]) -> Result<(), String> {
@@ -269,9 +581,72 @@ fn read_f32(r: &mut &[u8]) -> Result<f32, String> {
     Ok(f32::from_le_bytes(b))
 }
 
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, reflected). Implemented locally: the
+// workspace takes no external dependency for 20 lines of table-driven
+// arithmetic, and bundle integrity must not hinge on an optional crate.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming CRC32 state (used by [`ModelBundle::state_checksum`], which
+/// hashes the learned state without serialising it).
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = CRC_TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    fn finalize(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+fn update_f32s(crc: &mut Crc32, vals: &[f32]) {
+    for &v in vals {
+        crc.update(&v.to_le_bytes());
+    }
+}
+
+/// CRC32 (IEEE) of `bytes` — the checksum written after each v2 section.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{corrupt_bytes, ByteFault};
 
     fn toy_dataset() -> Dataset {
         let features: Vec<Vec<f32>> = (0..80)
@@ -279,6 +654,26 @@ mod tests {
             .collect();
         let targets: Vec<f32> = features.iter().map(|r| 3.0 * r[0] - r[1] + 100.0).collect();
         Dataset::new("toy", features, targets)
+    }
+
+    /// Serialises `b` in the legacy v1 layout (inline scalers + blob, no
+    /// checksums) so backward compatibility is tested without a fixture
+    /// file.
+    fn to_bytes_v1(b: &ModelBundle) -> Vec<u8> {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&(b.feat_means.len() as u64).to_le_bytes());
+        for &m in &b.feat_means {
+            buf.extend_from_slice(&m.to_le_bytes());
+        }
+        for &s in &b.feat_stds {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        buf.extend_from_slice(&b.target_mean.to_le_bytes());
+        buf.extend_from_slice(&b.target_std.to_le_bytes());
+        persist::save(&b.model, &b.spec, &mut buf).unwrap();
+        buf
     }
 
     #[test]
@@ -320,11 +715,142 @@ mod tests {
     }
 
     #[test]
+    fn v1_bundle_still_loads() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 4, false).unwrap();
+        let legacy = to_bytes_v1(&bundle);
+        let loaded = ModelBundle::from_bytes(&legacy).unwrap();
+        assert_eq!(loaded.canary_len(), 0);
+        loaded.run_canary().unwrap(); // vacuous for v1, must not error
+        assert_eq!(
+            bundle.predict(&ds.features[..5]).unwrap(),
+            loaded.predict(&ds.features[..5]).unwrap()
+        );
+        // Re-saving a v1 load upgrades it to the checksummed v2 layout.
+        let upgraded = loaded.to_bytes().unwrap();
+        assert_eq!(&upgraded[4..6], &2u16.to_le_bytes());
+    }
+
+    #[test]
+    fn flipped_payload_byte_rejected_with_checksum_error() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 5, false).unwrap();
+        let bytes = bundle.to_bytes().unwrap();
+        // Flip a byte deep inside the model section payload.
+        let mut corrupted = bytes.clone();
+        let idx = corrupted.len() - 100;
+        corrupted[idx] ^= 0x40;
+        let err = ModelBundle::from_bytes(&corrupted).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "err: {err}");
+        // And the scalers section near the front.
+        let mut corrupted = bytes.clone();
+        corrupted[20] ^= 0x01;
+        let err = ModelBundle::from_bytes(&corrupted).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "err: {err}");
+    }
+
+    #[test]
+    fn random_corruption_never_loads() {
+        // Whatever a random flip or truncation hits (payload, length
+        // field, crc), the load must fail — never a silently wrong model.
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 1, 5, 6, false).unwrap();
+        let bytes = bundle.to_bytes().unwrap();
+        let mut rng = HdRng::seed_from(77);
+        for _ in 0..20 {
+            let mut b = bytes.clone();
+            corrupt_bytes(&mut b, ByteFault::FlipByte, &mut rng);
+            assert!(ModelBundle::from_bytes(&b).is_err());
+        }
+        for _ in 0..20 {
+            let mut b = bytes.clone();
+            corrupt_bytes(&mut b, ByteFault::Truncate, &mut rng);
+            assert!(ModelBundle::from_bytes(&b).is_err());
+        }
+    }
+
+    #[test]
+    fn canary_replay_passes_on_clean_roundtrip() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 7, false).unwrap();
+        assert!(bundle.canary_len() > 0);
+        bundle.run_canary().unwrap();
+        let loaded = ModelBundle::from_bytes(&bundle.to_bytes().unwrap()).unwrap();
+        assert_eq!(loaded.canary_len(), bundle.canary_len());
+        loaded.run_canary().unwrap();
+    }
+
+    #[test]
+    fn canary_detects_model_faults() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 8, false).unwrap();
+        let (faulty, flips) = bundle.with_model_faults(0.2, 99);
+        assert!(flips > 0);
+        let err = faulty.run_canary().unwrap_err();
+        assert!(err.contains("canary row"), "err: {err}");
+    }
+
+    #[test]
+    fn crafted_canary_mismatch_fails_despite_valid_checksums() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 10, false).unwrap();
+        let rows = vec![ds.features[0].clone()];
+        let wrong = vec![bundle.predict(&rows).unwrap()[0] + 1.0];
+        let crafted = bundle.with_canary(rows, wrong).unwrap();
+        // The bytes are internally consistent — checksums pass …
+        let loaded = ModelBundle::from_bytes(&crafted.to_bytes().unwrap()).unwrap();
+        // … but the replay does not.
+        assert!(loaded.run_canary().is_err());
+    }
+
+    #[test]
+    fn state_checksum_tracks_corruption() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 11, false).unwrap();
+        let clean = bundle.state_checksum();
+        // Stable across serialisation.
+        let loaded = ModelBundle::from_bytes(&bundle.to_bytes().unwrap()).unwrap();
+        assert_eq!(loaded.state_checksum(), clean);
+        // Changed by even a low-rate fault.
+        let (faulty, _) = bundle.with_model_faults(0.01, 3);
+        assert_ne!(faulty.state_checksum(), clean);
+    }
+
+    #[test]
+    fn degraded_predictions_are_finite_original_units() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 512, 2, 15, 12, false).unwrap();
+        let full = bundle.predict(&ds.features[..10]).unwrap();
+        let degraded = bundle.predict_degraded(&ds.features[..10]).unwrap();
+        assert_eq!(degraded.len(), 10);
+        assert!(degraded.iter().all(|p| p.is_finite()));
+        // Same units, same regime: both should straddle the target range.
+        let var = ds.target_variance();
+        for (f, d) in full.iter().zip(&degraded) {
+            assert!((f - d).abs() < 4.0 * var.sqrt(), "full {f} vs degraded {d}");
+        }
+    }
+
+    #[test]
     fn predict_rejects_wrong_width() {
         let ds = toy_dataset();
         let (bundle, _) = train(&ds, 256, 1, 5, 3, false).unwrap();
         let err = bundle.predict(&[vec![1.0]]).unwrap_err();
         assert!(err.contains("expects 2"));
+    }
+
+    #[test]
+    fn predict_rejects_non_finite_features() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 1, 5, 3, false).unwrap();
+        let err = bundle.predict(&[vec![1.0, f32::NAN]]).unwrap_err();
+        assert!(err.contains("non-finite"), "err: {err}");
+        let err = bundle
+            .predict(&[vec![1.0, 2.0], vec![f32::INFINITY, 0.0]])
+            .unwrap_err();
+        assert!(err.contains("row 1"), "err: {err}");
+        let err = bundle.predict_degraded(&[vec![1.0, f32::NAN]]).unwrap_err();
+        assert!(err.contains("non-finite"), "err: {err}");
     }
 
     #[test]
@@ -340,6 +866,17 @@ mod tests {
     fn tiny_dataset_rejected() {
         let ds = Dataset::new("t", vec![vec![1.0]; 2], vec![0.0; 2]);
         assert!(train(&ds, 64, 1, 2, 0, false).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Seeded, deterministic fault injection for the serving subsystem.
+//!
+//! The paper's robustness claim (§3: "hypervectors store information across
+//! all their components so that no component is more responsible for
+//! storing any piece of information than another") is evaluated offline by
+//! `hdc::noise` and the `robustness` bench. This module carries the same
+//! fault model **online**: a [`FaultInjector`] shared between the server,
+//! worker pool, and test harnesses can
+//!
+//! * flip bits (sign-flip components) in *served* model hypervectors —
+//!   via [`crate::registry::ModelRegistry::inject_model_faults`], which
+//!   reuses `hdc::noise` on a cloned model state;
+//! * corrupt or truncate bundle bytes before a load ([`corrupt_bytes`]);
+//! * delay, kill, or panic worker threads mid-batch;
+//! * garble inbound socket lines so the protocol layer sees trash.
+//!
+//! Everything is driven by one seeded [`HdRng`], so a chaos run is
+//! reproducible from its seed. All knobs default to *off*; a default
+//! injector is inert and costs one relaxed atomic load per check.
+
+use crate::lock_unpoisoned;
+use hdc::rng::HdRng;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Byte-level bundle corruption modes used by load-integrity tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteFault {
+    /// XOR one randomly chosen payload byte with a random nonzero mask.
+    FlipByte,
+    /// Drop a random-length tail of the buffer.
+    Truncate,
+}
+
+/// Corrupts `bytes` in place per `fault`, deterministically from `rng`.
+/// Returns the affected offset (flip) or the new length (truncate).
+///
+/// The first six bytes (magic + version) are left intact so the corruption
+/// exercises the *checksum* path rather than the format-detection path.
+pub fn corrupt_bytes(bytes: &mut Vec<u8>, fault: ByteFault, rng: &mut HdRng) -> usize {
+    match fault {
+        ByteFault::FlipByte => {
+            if bytes.len() <= 6 {
+                return 0;
+            }
+            let idx = 6 + rng.next_below(bytes.len() - 6);
+            let mask = (rng.next_below(255) + 1) as u8;
+            bytes[idx] ^= mask;
+            idx
+        }
+        ByteFault::Truncate => {
+            if bytes.len() <= 6 {
+                return bytes.len();
+            }
+            let keep = 6 + rng.next_below(bytes.len() - 6);
+            bytes.truncate(keep);
+            keep
+        }
+    }
+}
+
+/// Shared, seeded fault state consulted by workers and the protocol layer.
+///
+/// All methods take `&self`; the injector is designed to sit behind an
+/// `Arc` shared by every thread in the server.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: Mutex<HdRng>,
+    /// Per-batch worker sleep, in microseconds. 0 = off.
+    worker_delay_us: AtomicU64,
+    /// Number of pending worker kills (each worker that picks one up
+    /// exits, dropping its current batch).
+    pending_kills: AtomicUsize,
+    /// Number of pending deliberate worker panics (each panics mid-batch
+    /// inside the pool's containment boundary).
+    pending_panics: AtomicUsize,
+    /// Probability (in parts-per-million) that an inbound protocol line is
+    /// garbled before parsing. 0 = off.
+    garble_ppm: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Creates an inert injector whose randomness is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Mutex::new(HdRng::seed_from(seed ^ 0xFA_07_5E_ED)),
+            worker_delay_us: AtomicU64::new(0),
+            pending_kills: AtomicUsize::new(0),
+            pending_panics: AtomicUsize::new(0),
+            garble_ppm: AtomicU64::new(0),
+        }
+    }
+
+    /// Resets every knob to off. Pending kills/panics are discarded.
+    pub fn clear(&self) {
+        self.worker_delay_us.store(0, Ordering::Relaxed);
+        self.pending_kills.store(0, Ordering::Relaxed);
+        self.pending_panics.store(0, Ordering::Relaxed);
+        self.garble_ppm.store(0, Ordering::Relaxed);
+    }
+
+    /// Makes every worker sleep for `d` before executing each batch
+    /// (emulating a stalled model call). `Duration::ZERO` turns it off.
+    pub fn set_worker_delay(&self, d: Duration) {
+        self.worker_delay_us.store(
+            d.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The currently configured per-batch delay, if any.
+    pub fn worker_delay(&self) -> Option<Duration> {
+        match self.worker_delay_us.load(Ordering::Relaxed) {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+
+    /// Schedules `n` worker kills. Each is consumed by one worker thread,
+    /// which exits as if it crashed (its in-flight batch is dropped, so
+    /// waiting clients observe a disconnected reply channel). The pool
+    /// refuses to kill its last live worker.
+    pub fn kill_workers(&self, n: usize) {
+        self.pending_kills.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Consumes one pending kill, if any.
+    pub fn take_kill(&self) -> bool {
+        take_one(&self.pending_kills)
+    }
+
+    /// Schedules `n` deliberate worker panics (testing the pool's panic
+    /// containment boundary).
+    pub fn panic_batches(&self, n: usize) {
+        self.pending_panics.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Consumes one pending panic, if any.
+    pub fn take_panic(&self) -> bool {
+        take_one(&self.pending_panics)
+    }
+
+    /// Sets the probability that an inbound protocol line is garbled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn set_garble_rate(&self, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        self.garble_ppm
+            .store((rate * 1_000_000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Garbles `line` in place with the configured probability, returning
+    /// whether it was touched. Garbling replaces one character with `'~'`
+    /// (never a newline), so a garbled request still reaches the parser as
+    /// one line — the fault surfaces as a typed protocol error, not a
+    /// framing break.
+    pub fn garble_line(&self, line: &mut String) -> bool {
+        let ppm = self.garble_ppm.load(Ordering::Relaxed);
+        if ppm == 0 || line.is_empty() {
+            return false;
+        }
+        let mut rng = lock_unpoisoned(&self.rng);
+        if !rng.next_bool(ppm as f64 / 1_000_000.0) {
+            return false;
+        }
+        let chars: Vec<char> = line.chars().collect();
+        let idx = rng.next_below(chars.len());
+        let garbled: String = chars
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i == idx && c != '\n' { '~' } else { c })
+            .collect();
+        *line = garbled;
+        true
+    }
+
+    /// Whether any fault is currently armed (for `stats` reporting).
+    pub fn any_armed(&self) -> bool {
+        self.worker_delay_us.load(Ordering::Relaxed) != 0
+            || self.pending_kills.load(Ordering::Relaxed) != 0
+            || self.pending_panics.load(Ordering::Relaxed) != 0
+            || self.garble_ppm.load(Ordering::Relaxed) != 0
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Decrements `counter` if positive; returns whether it did. Lock-free
+/// compare-exchange loop so concurrent workers never double-consume.
+fn take_one(counter: &AtomicUsize) -> bool {
+    let mut cur = counter.load(Ordering::Relaxed);
+    while cur > 0 {
+        match counter.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_by_default() {
+        let inj = FaultInjector::new(1);
+        assert!(inj.worker_delay().is_none());
+        assert!(!inj.take_kill());
+        assert!(!inj.take_panic());
+        let mut line = "predict m 1,2".to_string();
+        assert!(!inj.garble_line(&mut line));
+        assert_eq!(line, "predict m 1,2");
+        assert!(!inj.any_armed());
+    }
+
+    #[test]
+    fn kills_and_panics_are_consumed_exactly() {
+        let inj = FaultInjector::new(2);
+        inj.kill_workers(2);
+        inj.panic_batches(1);
+        assert!(inj.any_armed());
+        assert!(inj.take_kill());
+        assert!(inj.take_kill());
+        assert!(!inj.take_kill());
+        assert!(inj.take_panic());
+        assert!(!inj.take_panic());
+        assert!(!inj.any_armed());
+    }
+
+    #[test]
+    fn delay_round_trips() {
+        let inj = FaultInjector::new(3);
+        inj.set_worker_delay(Duration::from_millis(7));
+        assert_eq!(inj.worker_delay(), Some(Duration::from_millis(7)));
+        inj.set_worker_delay(Duration::ZERO);
+        assert!(inj.worker_delay().is_none());
+    }
+
+    #[test]
+    fn garble_is_deterministic_per_seed() {
+        let run = |seed| {
+            let inj = FaultInjector::new(seed);
+            inj.set_garble_rate(0.5);
+            let mut hits = Vec::new();
+            for i in 0..40 {
+                let mut line = format!("predict toy {i},{i}");
+                if inj.garble_line(&mut line) {
+                    hits.push((i, line));
+                }
+            }
+            hits
+        };
+        let a = run(9);
+        let b = run(9);
+        let c = run(10);
+        assert_eq!(a, b, "same seed must garble identically");
+        assert_ne!(a, c, "different seeds should diverge");
+        assert!(!a.is_empty(), "rate 0.5 over 40 lines must hit");
+        for (_, line) in &a {
+            assert!(line.contains('~'), "{line}");
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn garble_rate_one_touches_everything() {
+        let inj = FaultInjector::new(11);
+        inj.set_garble_rate(1.0);
+        let mut line = "health".to_string();
+        assert!(inj.garble_line(&mut line));
+        assert_ne!(line, "health");
+        assert_eq!(line.chars().count(), 6);
+    }
+
+    #[test]
+    fn corrupt_flip_changes_one_byte_past_header() {
+        let mut rng = HdRng::seed_from(4);
+        let original: Vec<u8> = (0..200u8).collect();
+        let mut bytes = original.clone();
+        let idx = corrupt_bytes(&mut bytes, ByteFault::FlipByte, &mut rng);
+        assert!(idx >= 6);
+        assert_eq!(bytes.len(), original.len());
+        let diffs: Vec<usize> = (0..bytes.len())
+            .filter(|&i| bytes[i] != original[i])
+            .collect();
+        assert_eq!(diffs, vec![idx]);
+    }
+
+    #[test]
+    fn corrupt_truncate_keeps_header() {
+        let mut rng = HdRng::seed_from(5);
+        let mut bytes: Vec<u8> = (0..100u8).collect();
+        let keep = corrupt_bytes(&mut bytes, ByteFault::Truncate, &mut rng);
+        assert_eq!(bytes.len(), keep);
+        assert!(keep >= 6);
+        assert!(keep < 100);
+    }
+
+    #[test]
+    fn injector_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultInjector>();
+    }
+}

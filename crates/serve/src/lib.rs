@@ -29,6 +29,7 @@
 
 pub mod batcher;
 pub mod bundle;
+pub mod faults;
 pub mod metrics;
 pub mod registry;
 pub mod server;
@@ -36,22 +37,54 @@ pub mod worker;
 
 pub use batcher::{Batcher, BatcherConfig};
 pub use bundle::ModelBundle;
+pub use faults::FaultInjector;
 pub use metrics::{LatencyHistogram, MetricsHub, ModelMetrics};
-pub use registry::{ModelMeta, ModelRegistry, ServedModel};
+pub use registry::{ModelMeta, ModelRegistry, ServedModel, SweepReport};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use worker::{Batch, WorkItem, WorkerPool};
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Every mutex in this crate guards state that stays structurally valid
+/// even if a holder panicked mid-critical-section (atomic counters, maps of
+/// `Arc`s, queues of self-contained items), so the right response to poison
+/// is to keep serving rather than propagate the panic to every other
+/// thread — a poisoned batcher lock must not take the whole server down.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks an `RwLock`, recovering from poisoning (see
+/// [`lock_unpoisoned`] for why recovery is sound here).
+pub(crate) fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks an `RwLock`, recovering from poisoning (see
+/// [`lock_unpoisoned`]).
+pub(crate) fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Errors surfaced by the serving subsystem.
 #[derive(Debug)]
 pub enum ServeError {
     /// Filesystem or socket failure.
     Io(std::io::Error),
-    /// A bundle failed to parse or validate.
+    /// A bundle failed to parse or validate (including `.rghd` v2
+    /// checksum mismatches).
     Bundle(String),
     /// No model is loaded under the requested name.
     NotFound(String),
     /// A model is already loaded under the requested name.
     AlreadyLoaded(String),
+    /// A reloaded bundle parsed but failed its canary replay; the
+    /// previously served version was kept (automatic rollback).
+    Canary(String),
+    /// A background thread could not be spawned.
+    Spawn(std::io::Error),
 }
 
 impl std::fmt::Display for ServeError {
@@ -61,6 +94,8 @@ impl std::fmt::Display for ServeError {
             Self::Bundle(msg) => write!(f, "bad bundle: {msg}"),
             Self::NotFound(name) => write!(f, "unknown model {name}"),
             Self::AlreadyLoaded(name) => write!(f, "model {name} already loaded"),
+            Self::Canary(msg) => write!(f, "canary check failed: {msg}"),
+            Self::Spawn(e) => write!(f, "cannot spawn thread: {e}"),
         }
     }
 }
@@ -94,5 +129,32 @@ mod tests {
         assert_eq!(e.to_string(), "unknown model m");
         let e = ServeError::Bundle("bad magic".to_string());
         assert!(e.to_string().contains("bad magic"));
+        let e = ServeError::Canary("row 0 drifted".to_string());
+        assert!(e.to_string().contains("canary"), "{e}");
+    }
+
+    #[test]
+    fn poisoned_locks_recover() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        // Poison the mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7);
+
+        let l = std::sync::Arc::new(RwLock::new(3u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert_eq!(*read_unpoisoned(&l), 3);
+        *write_unpoisoned(&l) = 4;
+        assert_eq!(*read_unpoisoned(&l), 4);
     }
 }

@@ -86,6 +86,11 @@ pub struct ModelMetrics {
     pub errors: AtomicU64,
     /// Rows rejected at enqueue time because the queue was full.
     pub shed: AtomicU64,
+    /// Rows answered through the degraded (quantised binary) fallback
+    /// path instead of the full-precision pipeline.
+    pub degraded: AtomicU64,
+    /// Worker batches lost to a contained panic.
+    pub panics: AtomicU64,
     /// Batches dispatched to the worker pool for this model.
     pub batches: AtomicU64,
     /// Rows carried by those batches (batched_rows / batches = mean batch).
@@ -111,6 +116,16 @@ impl ModelMetrics {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a row answered through the degraded fallback path.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker batch lost to a contained panic.
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a dispatched batch of `rows` rows.
     pub fn record_batch(&self, rows: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -127,11 +142,13 @@ impl ModelMetrics {
             0.0
         };
         format!(
-            "stat {name} ok={} err={} shed={} batches={batches} mean_batch={mean_batch:.2} \
-             p50us={} p95us={} p99us={}",
+            "stat {name} ok={} err={} shed={} degraded={} panics={} batches={batches} \
+             mean_batch={mean_batch:.2} p50us={} p95us={} p99us={}",
             self.ok.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
+            self.degraded.load(Ordering::Relaxed),
+            self.panics.load(Ordering::Relaxed),
             self.latency.percentile_us(0.50).unwrap_or(0),
             self.latency.percentile_us(0.95).unwrap_or(0),
             self.latency.percentile_us(0.99).unwrap_or(0),
@@ -147,6 +164,12 @@ pub struct MetricsHub {
     pub connections: AtomicU64,
     /// Protocol lines that failed to parse.
     pub bad_requests: AtomicU64,
+    /// Reloads refused because the staged bundle failed its canary replay.
+    pub canary_failures: AtomicU64,
+    /// Corrupted models rolled back to their last-good version by a sweep.
+    pub rollbacks: AtomicU64,
+    /// Integrity sweeps executed (periodic or on-demand).
+    pub sweeps: AtomicU64,
 }
 
 impl MetricsHub {
@@ -159,10 +182,10 @@ impl MetricsHub {
     /// hot-reloads of the underlying model (same name, new bytes) so
     /// latency history spans versions.
     pub fn for_model(&self, name: &str) -> Arc<ModelMetrics> {
-        if let Some(m) = self.per_model.read().unwrap().get(name) {
+        if let Some(m) = crate::read_unpoisoned(&self.per_model).get(name) {
             return m.clone();
         }
-        let mut map = self.per_model.write().unwrap();
+        let mut map = crate::write_unpoisoned(&self.per_model);
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(ModelMetrics::default()))
             .clone()
@@ -170,7 +193,7 @@ impl MetricsHub {
 
     /// `stat` lines for every model, sorted by name for stable output.
     pub fn render_all(&self) -> Vec<String> {
-        let map = self.per_model.read().unwrap();
+        let map = crate::read_unpoisoned(&self.per_model);
         let mut names: Vec<&String> = map.keys().collect();
         names.sort();
         names.into_iter().map(|n| map[n].render(n)).collect()
@@ -217,12 +240,17 @@ mod tests {
         m.record_ok(Duration::from_micros(40));
         m.record_error();
         m.record_shed();
+        m.record_degraded();
+        m.record_degraded();
+        m.record_panic();
         m.record_batch(2);
         let line = m.render("demo");
         assert!(line.contains("stat demo"), "{line}");
         assert!(line.contains("ok=2"), "{line}");
         assert!(line.contains("err=1"), "{line}");
         assert!(line.contains("shed=1"), "{line}");
+        assert!(line.contains("degraded=2"), "{line}");
+        assert!(line.contains("panics=1"), "{line}");
         assert!(line.contains("mean_batch=2.00"), "{line}");
         assert!(line.contains("p50us=50"), "{line}");
     }

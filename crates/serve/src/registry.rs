@@ -1,4 +1,4 @@
-//! Hot-swappable model registry.
+//! Hot-swappable model registry with integrity checking.
 //!
 //! Models live behind `Arc` pointers inside an `RwLock<HashMap>`; a lookup
 //! clones the `Arc` and releases the lock before any prediction work, and a
@@ -6,10 +6,25 @@
 //! In-flight requests therefore keep predicting against the version they
 //! resolved — a hot swap drops **zero** requests, it only changes what
 //! later lookups observe (the `ArcSwap` pattern, built on `std` only).
+//!
+//! # Integrity
+//!
+//! Every load and reload must pass the bundle's **canary replay**
+//! ([`crate::bundle::ModelBundle::run_canary`]) before the swap happens; a
+//! reload whose canary fails returns [`ServeError::Canary`] and leaves the
+//! previous version serving — automatic rollback by never switching.
+//!
+//! Each served entry also records a CRC32 of its in-memory learned state at
+//! load time ([`ServedModel::state_crc`]). [`ModelRegistry::sweep`]
+//! recomputes those checksums; an entry that no longer matches (silent
+//! in-memory corruption, or a fault injected via
+//! [`ModelRegistry::inject_model_faults`]) is flagged corrupt and, when a
+//! distinct last-good version exists, atomically rolled back to it.
 
 use crate::bundle::ModelBundle;
-use crate::ServeError;
+use crate::{read_unpoisoned, write_unpoisoned, ServeError};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Metadata describing one loaded model version.
@@ -33,21 +48,58 @@ pub struct ModelMeta {
     pub cluster_mode: &'static str,
     /// Prediction quantisation mode label.
     pub prediction_mode: &'static str,
+    /// Number of canary reference rows the bundle carries (0 for v1).
+    pub canary_rows: usize,
 }
 
 /// One immutable, shareable loaded model version.
 #[derive(Debug)]
 pub struct ServedModel {
-    /// The deserialised bundle (model + scalers).
+    /// The deserialised bundle (model + scalers + canary rows).
     pub bundle: ModelBundle,
     /// Metadata snapshot taken at load time.
     pub meta: ModelMeta,
+    /// CRC32 of the in-memory learned state recorded when the entry was
+    /// built. [`ModelRegistry::sweep`] recomputes the state checksum and
+    /// compares against this to detect silent corruption.
+    pub state_crc: u32,
+    /// Set once the sweep finds this entry's state diverged from
+    /// [`ServedModel::state_crc`]. The server routes requests for a
+    /// corrupt-flagged model through the degraded (binary) path.
+    pub corrupt: AtomicBool,
+}
+
+impl ServedModel {
+    /// Whether the sweep has flagged this entry as corrupted.
+    pub fn is_corrupt(&self) -> bool {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+}
+
+/// What one [`ModelRegistry::sweep`] pass found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepReport {
+    /// Models whose state checksum was recomputed.
+    pub checked: usize,
+    /// Models whose state no longer matched their recorded checksum.
+    pub corrupted: usize,
+    /// Corrupted models that were rolled back to a distinct last-good
+    /// version (the remainder stay flagged and serve degraded).
+    pub rolled_back: usize,
+}
+
+/// One registry slot: the serving version plus the most recent version
+/// known good at swap time, kept for sweep rollback.
+#[derive(Debug)]
+struct Slot {
+    current: Arc<ServedModel>,
+    last_good: Arc<ServedModel>,
 }
 
 /// Named collection of served models with atomic hot-swap semantics.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    inner: RwLock<HashMap<String, Arc<ServedModel>>>,
+    inner: RwLock<HashMap<String, Slot>>,
 }
 
 /// 64-bit FNV-1a over the bundle bytes.
@@ -60,8 +112,11 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn build_entry(name: &str, version: u64, bytes: &[u8]) -> Result<Arc<ServedModel>, ServeError> {
+/// Parses bytes into a served entry and runs its canary replay. The entry
+/// is returned unwrapped so callers can adjust metadata before sharing it.
+fn build_entry(name: &str, version: u64, bytes: &[u8]) -> Result<ServedModel, ServeError> {
     let bundle = ModelBundle::from_bytes(bytes).map_err(ServeError::Bundle)?;
+    bundle.run_canary().map_err(ServeError::Canary)?;
     let cfg = bundle.model().config();
     let meta = ModelMeta {
         name: name.to_string(),
@@ -73,8 +128,15 @@ fn build_entry(name: &str, version: u64, bytes: &[u8]) -> Result<Arc<ServedModel
         models: cfg.models,
         cluster_mode: cfg.cluster_mode.label(),
         prediction_mode: cfg.prediction_mode.label(),
+        canary_rows: bundle.canary_len(),
     };
-    Ok(Arc::new(ServedModel { bundle, meta }))
+    let state_crc = bundle.state_checksum();
+    Ok(ServedModel {
+        bundle,
+        meta,
+        state_crc,
+        corrupt: AtomicBool::new(false),
+    })
 }
 
 impl ModelRegistry {
@@ -83,21 +145,29 @@ impl ModelRegistry {
         Self::default()
     }
 
-    /// Loads a new model under `name` from raw bundle bytes.
+    /// Loads a new model under `name` from raw bundle bytes. The bundle's
+    /// canary rows are replayed before the model becomes visible.
     ///
     /// # Errors
     ///
     /// [`ServeError::AlreadyLoaded`] if the name is taken (use
-    /// [`ModelRegistry::reload_bytes`] to swap) or [`ServeError::Bundle`]
-    /// if the bytes do not parse.
+    /// [`ModelRegistry::reload_bytes`] to swap), [`ServeError::Bundle`]
+    /// if the bytes do not parse or fail a section checksum, or
+    /// [`ServeError::Canary`] if the canary replay mismatches.
     pub fn load_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
-        let entry = build_entry(name, 1, bytes)?;
+        let entry = Arc::new(build_entry(name, 1, bytes)?);
         let meta = entry.meta.clone();
-        let mut map = self.inner.write().unwrap();
+        let mut map = write_unpoisoned(&self.inner);
         if map.contains_key(name) {
             return Err(ServeError::AlreadyLoaded(name.to_string()));
         }
-        map.insert(name.to_string(), entry);
+        map.insert(
+            name.to_string(),
+            Slot {
+                current: entry.clone(),
+                last_good: entry,
+            },
+        );
         Ok(meta)
     }
 
@@ -115,25 +185,28 @@ impl ModelRegistry {
     /// Hot-swaps the model under `name` with new bundle bytes. The swap is
     /// atomic: lookups before it complete against the old version, lookups
     /// after it observe the new one; no request is dropped. The new bundle
-    /// is parsed **before** the write lock is taken, so a corrupt artefact
-    /// leaves the running version untouched.
+    /// is parsed, checksum-verified, and canary-replayed **before** the
+    /// write lock is taken, so a corrupt or drifted artefact leaves the
+    /// running version untouched — rollback by never switching.
     ///
     /// # Errors
     ///
     /// [`ServeError::NotFound`] when nothing is loaded under `name`,
-    /// [`ServeError::Bundle`] when the bytes do not parse.
+    /// [`ServeError::Bundle`] when the bytes do not parse or fail a
+    /// section checksum, [`ServeError::Canary`] when the staged bundle's
+    /// canary replay mismatches (the old version keeps serving).
     pub fn reload_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
         // Parse outside the lock (it deserialises megabytes of weights).
-        let staged = build_entry(name, 0, bytes)?;
-        let mut map = self.inner.write().unwrap();
-        let old = map
-            .get(name)
+        let mut entry = build_entry(name, 0, bytes)?;
+        let mut map = write_unpoisoned(&self.inner);
+        let slot = map
+            .get_mut(name)
             .ok_or_else(|| ServeError::NotFound(name.to_string()))?;
-        let version = old.meta.version + 1;
-        let mut entry = Arc::into_inner(staged).expect("staged entry is uniquely owned");
-        entry.meta.version = version;
+        entry.meta.version = slot.current.meta.version + 1;
         let meta = entry.meta.clone();
-        map.insert(name.to_string(), Arc::new(entry));
+        let shared = Arc::new(entry);
+        slot.current = shared.clone();
+        slot.last_good = shared;
         Ok(meta)
     }
 
@@ -156,34 +229,93 @@ impl ModelRegistry {
     ///
     /// [`ServeError::NotFound`] when nothing is loaded under `name`.
     pub fn unload(&self, name: &str) -> Result<ModelMeta, ServeError> {
-        let mut map = self.inner.write().unwrap();
+        let mut map = write_unpoisoned(&self.inner);
         map.remove(name)
-            .map(|e| e.meta.clone())
+            .map(|s| s.current.meta.clone())
             .ok_or_else(|| ServeError::NotFound(name.to_string()))
     }
 
     /// Resolves `name` to its current version. The returned `Arc` pins
     /// that version for the caller's lifetime regardless of later swaps.
     pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
-        self.inner.read().unwrap().get(name).cloned()
+        read_unpoisoned(&self.inner)
+            .get(name)
+            .map(|s| s.current.clone())
     }
 
     /// Metadata for every loaded model, sorted by name.
     pub fn list(&self) -> Vec<ModelMeta> {
-        let map = self.inner.read().unwrap();
-        let mut metas: Vec<ModelMeta> = map.values().map(|e| e.meta.clone()).collect();
+        let map = read_unpoisoned(&self.inner);
+        let mut metas: Vec<ModelMeta> = map.values().map(|s| s.current.meta.clone()).collect();
         metas.sort_by(|a, b| a.name.cmp(&b.name));
         metas
     }
 
     /// Number of loaded models.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().len()
+        read_unpoisoned(&self.inner).len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().unwrap().is_empty()
+        read_unpoisoned(&self.inner).is_empty()
+    }
+
+    /// Recomputes every served model's state checksum against the value
+    /// recorded at load time. A mismatching entry is flagged corrupt and,
+    /// when its slot holds a distinct last-good version, rolled back to it
+    /// atomically (in-flight requests on the corrupted Arc finish, then it
+    /// drops). The server runs this periodically; the `sweep` protocol
+    /// command runs it on demand.
+    pub fn sweep(&self) -> SweepReport {
+        let mut report = SweepReport::default();
+        let mut map = write_unpoisoned(&self.inner);
+        for slot in map.values_mut() {
+            report.checked += 1;
+            if slot.current.bundle.state_checksum() == slot.current.state_crc {
+                continue;
+            }
+            report.corrupted += 1;
+            slot.current.corrupt.store(true, Ordering::Relaxed);
+            if !Arc::ptr_eq(&slot.current, &slot.last_good) {
+                slot.current = slot.last_good.clone();
+                report.rolled_back += 1;
+            }
+        }
+        report
+    }
+
+    /// Swaps the model under `name` for a copy whose hypervector state has
+    /// random sign flips at `rate` (seeded) — emulating silent memory
+    /// corruption of served weights, the paper's §3 component-fault model.
+    /// The entry keeps the **clean** recorded checksum and the slot keeps
+    /// its last-good version, so a subsequent [`ModelRegistry::sweep`]
+    /// detects the divergence and rolls back. Returns the number of
+    /// flipped components.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotFound`] when nothing is loaded under `name`.
+    pub fn inject_model_faults(
+        &self,
+        name: &str,
+        rate: f64,
+        seed: u64,
+    ) -> Result<usize, ServeError> {
+        let mut map = write_unpoisoned(&self.inner);
+        let slot = map
+            .get_mut(name)
+            .ok_or_else(|| ServeError::NotFound(name.to_string()))?;
+        let (faulty, flips) = slot.current.bundle.with_model_faults(rate, seed);
+        slot.current = Arc::new(ServedModel {
+            bundle: faulty,
+            meta: slot.current.meta.clone(),
+            // Deliberately the pre-fault checksum: corruption is silent
+            // until a sweep recomputes the state hash.
+            state_crc: slot.current.state_crc,
+            corrupt: AtomicBool::new(false),
+        });
+        Ok(flips)
     }
 }
 
@@ -193,12 +325,19 @@ mod tests {
     use crate::bundle;
     use datasets::Dataset;
 
-    fn toy_bytes(seed: u64) -> Vec<u8> {
+    fn toy_dataset() -> Dataset {
         let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 2) as f32]).collect();
         let targets: Vec<f32> = features.iter().map(|r| r[0] + r[1]).collect();
-        let ds = Dataset::new("toy", features, targets);
-        let (b, _) = bundle::train(&ds, 128, 2, 3, seed, false).unwrap();
-        b.to_bytes().unwrap()
+        Dataset::new("toy", features, targets)
+    }
+
+    fn toy_bundle(seed: u64) -> bundle::ModelBundle {
+        let (b, _) = bundle::train(&toy_dataset(), 128, 2, 3, seed, false).unwrap();
+        b
+    }
+
+    fn toy_bytes(seed: u64) -> Vec<u8> {
+        toy_bundle(seed).to_bytes().unwrap()
     }
 
     #[test]
@@ -211,6 +350,7 @@ mod tests {
         assert_eq!(meta.dim, 128);
         assert_eq!(meta.models, 2);
         assert_eq!(meta.hash.len(), 16);
+        assert!(meta.canary_rows > 0);
         assert!(reg.get("a").is_some());
         assert!(reg.get("b").is_none());
         assert_eq!(reg.list().len(), 1);
@@ -261,6 +401,116 @@ mod tests {
             Err(ServeError::Bundle(_))
         ));
         assert_eq!(reg.get("m").unwrap().meta.version, 1);
+    }
+
+    #[test]
+    fn checksum_corrupted_reload_leaves_old_version_running() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("m", &toy_bytes(6)).unwrap();
+        let mut bad = toy_bytes(7);
+        let idx = bad.len() - 60;
+        bad[idx] ^= 0x10;
+        let err = reg.reload_bytes("m", &bad).unwrap_err();
+        assert!(matches!(err, ServeError::Bundle(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert_eq!(reg.get("m").unwrap().meta.version, 1);
+    }
+
+    #[test]
+    fn canary_failing_reload_is_rolled_back() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("m", &toy_bytes(8)).unwrap();
+        let before = reg.get("m").unwrap();
+
+        // Craft a bundle whose checksums are valid but whose recorded
+        // canary predictions do not match its own model.
+        let b = toy_bundle(9);
+        let rows = vec![vec![1.0_f32, 2.0], vec![3.0, 4.0]];
+        let mut preds = b.predict(&rows).unwrap();
+        preds[1] += 0.5;
+        let drifted = b.with_canary(rows, preds).unwrap().to_bytes().unwrap();
+
+        let err = reg.reload_bytes("m", &drifted).unwrap_err();
+        assert!(matches!(err, ServeError::Canary(_)), "{err}");
+        // Old version untouched — same Arc, same predictions.
+        let after = reg.get("m").unwrap();
+        assert!(Arc::ptr_eq(&before, &after));
+        assert_eq!(after.meta.version, 1);
+    }
+
+    #[test]
+    fn canary_failing_initial_load_is_refused() {
+        let b = toy_bundle(10);
+        let rows = vec![vec![0.0_f32, 0.0]];
+        let preds = vec![b.predict(&rows).unwrap()[0] + 1.0];
+        let bad = b.with_canary(rows, preds).unwrap().to_bytes().unwrap();
+        let reg = ModelRegistry::new();
+        assert!(matches!(
+            reg.load_bytes("m", &bad),
+            Err(ServeError::Canary(_))
+        ));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn sweep_on_clean_registry_reports_zero() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("a", &toy_bytes(11)).unwrap();
+        reg.load_bytes("b", &toy_bytes(12)).unwrap();
+        let report = reg.sweep();
+        assert_eq!(
+            report,
+            SweepReport {
+                checked: 2,
+                corrupted: 0,
+                rolled_back: 0
+            }
+        );
+    }
+
+    #[test]
+    fn injected_faults_are_swept_and_rolled_back_bit_exact() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("m", &toy_bytes(13)).unwrap();
+        let probe = vec![vec![5.0_f32, 10.0], vec![20.0, 40.0]];
+        let clean = reg.get("m").unwrap();
+        let clean_preds = clean.bundle.predict(&probe).unwrap();
+
+        let flips = reg.inject_model_faults("m", 0.2, 42).unwrap();
+        assert!(flips > 0);
+        // Corruption is silent until a sweep: the swapped entry reports
+        // the clean checksum and no corrupt flag.
+        let faulty = reg.get("m").unwrap();
+        assert!(!faulty.is_corrupt());
+        assert_ne!(
+            faulty.bundle.predict(&probe).unwrap(),
+            clean_preds,
+            "fault injection should perturb predictions"
+        );
+
+        let report = reg.sweep();
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.corrupted, 1);
+        assert_eq!(report.rolled_back, 1);
+
+        // Post-rollback predictions match the pre-fault model bit-exactly.
+        let restored = reg.get("m").unwrap();
+        assert!(Arc::ptr_eq(&restored, &clean));
+        let restored_preds = restored.bundle.predict(&probe).unwrap();
+        for (a, b) in clean_preds.iter().zip(&restored_preds) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A second sweep finds nothing.
+        assert_eq!(reg.sweep().corrupted, 0);
+    }
+
+    #[test]
+    fn inject_on_missing_name_fails() {
+        let reg = ModelRegistry::new();
+        assert!(matches!(
+            reg.inject_model_faults("ghost", 0.1, 1),
+            Err(ServeError::NotFound(_))
+        ));
     }
 
     #[test]

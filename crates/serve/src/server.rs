@@ -3,28 +3,41 @@
 //! Wire protocol (one request per line, one reply per line unless noted):
 //!
 //! ```text
-//! predict <model> <f32,f32,...>   →  ok <y>            | err <reason>
+//! predict <model> <f32,f32,...>   →  ok <y> | degraded <y> | err <reason>
 //! reload <model> <path>           →  ok reloaded <model> v<version>
+//! sweep                           →  ok swept checked=N corrupted=N rolled_back=N
+//! inject <fault> [...]            →  ok ... (only with ServerConfig::enable_inject)
 //! health                          →  ok
 //! stats                           →  model/stat lines, then ok
 //! quit                            →  ok (and the connection closes)
 //! ```
 //!
-//! Overload is answered with `err busy` (the row is shed, never silently
-//! dropped). Idle connections are closed after the configured read
-//! timeout. Shutdown is graceful: the listener stops accepting, open
-//! connections are joined, and the batcher drains every queued row before
-//! the worker pool exits.
+//! # Graceful degradation
+//!
+//! A `predict` that cannot take the full-precision path — the queue shed
+//! the row, the reply timed out, the worker died mid-batch, or the model
+//! is flagged corrupt — is answered through the quantised binary path
+//! (§3.2) **inline on the connection thread** and tagged `degraded <y>`
+//! instead of erroring. Every request gets a well-formed reply; `err` is
+//! reserved for requests that are themselves invalid (unknown model,
+//! malformed or non-finite features) or for servers that cannot produce
+//! any estimate at all.
+//!
+//! Idle connections are closed after the configured read timeout.
+//! Shutdown is graceful: the listener stops accepting, open connections
+//! are joined, and the batcher drains every queued row before the worker
+//! pool exits.
 
 use crate::batcher::{Batcher, BatcherConfig};
-use crate::metrics::MetricsHub;
-use crate::registry::ModelRegistry;
+use crate::faults::FaultInjector;
+use crate::metrics::{MetricsHub, ModelMetrics};
+use crate::registry::{ModelRegistry, ServedModel};
 use crate::worker::{WorkItem, WorkerPool};
 use crate::ServeError;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::sync_channel;
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -41,8 +54,18 @@ pub struct ServerConfig {
     pub batcher: BatcherConfig,
     /// Idle connections are closed after this long without a request.
     pub read_timeout: Duration,
-    /// How long a connection waits for its prediction before giving up.
+    /// How long a connection waits for its prediction before falling back
+    /// to the degraded path.
     pub reply_timeout: Duration,
+    /// Run a registry integrity sweep this often (`None` disables the
+    /// background sweeper; the `sweep` protocol command always works).
+    pub sweep_interval: Option<Duration>,
+    /// Accept the `inject` protocol command. Off by default: fault
+    /// injection is a test/chaos facility, not a production surface.
+    pub enable_inject: bool,
+    /// Seed for the server's [`FaultInjector`] (only meaningful with
+    /// `enable_inject` or when tests drive the injector directly).
+    pub fault_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +76,9 @@ impl Default for ServerConfig {
             batcher: BatcherConfig::default(),
             read_timeout: Duration::from_secs(30),
             reply_timeout: Duration::from_secs(10),
+            sweep_interval: None,
+            enable_inject: false,
+            fault_seed: 0,
         }
     }
 }
@@ -62,8 +88,10 @@ struct Ctx {
     registry: Arc<ModelRegistry>,
     hub: Arc<MetricsHub>,
     batcher: Arc<Batcher>,
+    injector: Arc<FaultInjector>,
     stop: Arc<AtomicBool>,
     reply_timeout: Duration,
+    enable_inject: bool,
 }
 
 /// Running server. Dropping the handle shuts the server down.
@@ -71,8 +99,10 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    sweeper_thread: Option<JoinHandle<()>>,
     hub: Arc<MetricsHub>,
     batcher: Arc<Batcher>,
+    injector: Arc<FaultInjector>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -90,7 +120,7 @@ fn stats_lines(registry: &ModelRegistry, hub: &MetricsHub, queue_depth: usize) -
         .iter()
         .map(|m| {
             format!(
-                "model {} v{} hash={} dim={} k={} cluster={} prediction={} bytes={}",
+                "model {} v{} hash={} dim={} k={} cluster={} prediction={} bytes={} canary={}",
                 m.name,
                 m.version,
                 m.hash,
@@ -98,17 +128,109 @@ fn stats_lines(registry: &ModelRegistry, hub: &MetricsHub, queue_depth: usize) -
                 m.models,
                 m.cluster_mode,
                 m.prediction_mode,
-                m.bytes
+                m.bytes,
+                m.canary_rows,
             )
         })
         .collect();
     lines.extend(hub.render_all());
     lines.push(format!(
-        "server connections={} bad_requests={} queue_depth={queue_depth}",
+        "server connections={} bad_requests={} queue_depth={queue_depth} \
+         canary_failures={} rollbacks={} sweeps={}",
         hub.connections.load(Ordering::Relaxed),
         hub.bad_requests.load(Ordering::Relaxed),
+        hub.canary_failures.load(Ordering::Relaxed),
+        hub.rollbacks.load(Ordering::Relaxed),
+        hub.sweeps.load(Ordering::Relaxed),
     ));
     lines
+}
+
+/// Answers one row through the quantised binary fallback, tagging the
+/// reply `degraded`. Runs inline on the connection thread so it cannot be
+/// starved by the very saturation or faults it is compensating for.
+fn degraded_reply(served: &ServedModel, metrics: &ModelMetrics, row: &[f32]) -> String {
+    match served.bundle.predict_degraded(&[row.to_vec()]) {
+        Ok(preds) if preds.first().is_some_and(|p| p.is_finite()) => {
+            metrics.record_degraded();
+            format!("degraded {}", preds[0])
+        }
+        Ok(_) => {
+            metrics.record_error();
+            "err degraded prediction not finite".to_string()
+        }
+        Err(msg) => {
+            metrics.record_error();
+            format!("err {msg}")
+        }
+    }
+}
+
+/// Runs one registry sweep and folds the result into the hub counters.
+fn run_sweep(registry: &ModelRegistry, hub: &MetricsHub) -> crate::registry::SweepReport {
+    let report = registry.sweep();
+    hub.sweeps.fetch_add(1, Ordering::Relaxed);
+    hub.rollbacks
+        .fetch_add(report.rolled_back as u64, Ordering::Relaxed);
+    report
+}
+
+/// Parses and executes an `inject` command (the server's chaos surface).
+fn handle_inject(parts: &mut std::str::SplitWhitespace<'_>, ctx: &Ctx) -> String {
+    const USAGE: &str = "err usage: inject bitflip <model> <rate> <seed> | delay <ms> | \
+                         kill <n> | panic <n> | garble <rate> | clear";
+    match parts.next() {
+        Some("bitflip") => {
+            let (Some(name), Some(rate), Some(seed)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return USAGE.to_string();
+            };
+            let (Ok(rate), Ok(seed)) = (rate.parse::<f64>(), seed.parse::<u64>()) else {
+                return USAGE.to_string();
+            };
+            if !(0.0..=1.0).contains(&rate) {
+                return "err rate must be in [0,1]".to_string();
+            }
+            match ctx.registry.inject_model_faults(name, rate, seed) {
+                Ok(flips) => format!("ok injected flips={flips}"),
+                Err(e) => format!("err {e}"),
+            }
+        }
+        Some("delay") => match parts.next().and_then(|t| t.parse::<u64>().ok()) {
+            Some(ms) => {
+                ctx.injector.set_worker_delay(Duration::from_millis(ms));
+                "ok".to_string()
+            }
+            None => USAGE.to_string(),
+        },
+        Some("kill") => match parts.next().and_then(|t| t.parse::<usize>().ok()) {
+            Some(n) => {
+                ctx.injector.kill_workers(n);
+                "ok".to_string()
+            }
+            None => USAGE.to_string(),
+        },
+        Some("panic") => match parts.next().and_then(|t| t.parse::<usize>().ok()) {
+            Some(n) => {
+                ctx.injector.panic_batches(n);
+                "ok".to_string()
+            }
+            None => USAGE.to_string(),
+        },
+        Some("garble") => match parts.next().and_then(|t| t.parse::<f64>().ok()) {
+            Some(rate) if (0.0..=1.0).contains(&rate) => {
+                ctx.injector.set_garble_rate(rate);
+                "ok".to_string()
+            }
+            Some(_) => "err rate must be in [0,1]".to_string(),
+            None => USAGE.to_string(),
+        },
+        Some("clear") => {
+            ctx.injector.clear();
+            "ok".to_string()
+        }
+        _ => USAGE.to_string(),
+    }
 }
 
 /// Handles one request line; returns the reply lines and whether the
@@ -123,6 +245,22 @@ fn handle_line(line: &str, ctx: &Ctx) -> (Vec<String>, bool) {
             lines.push("ok".to_string());
             (lines, false)
         }
+        Some("sweep") => {
+            let r = run_sweep(&ctx.registry, &ctx.hub);
+            (
+                vec![format!(
+                    "ok swept checked={} corrupted={} rolled_back={}",
+                    r.checked, r.corrupted, r.rolled_back
+                )],
+                false,
+            )
+        }
+        Some("inject") => {
+            if !ctx.enable_inject {
+                return (vec!["err inject disabled".to_string()], false);
+            }
+            (vec![handle_inject(&mut parts, ctx)], false)
+        }
         Some("reload") => {
             let (Some(name), Some(path)) = (parts.next(), parts.next()) else {
                 ctx.hub.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -133,7 +271,12 @@ fn handle_line(line: &str, ctx: &Ctx) -> (Vec<String>, bool) {
                     vec![format!("ok reloaded {} v{}", meta.name, meta.version)],
                     false,
                 ),
-                Err(e) => (vec![format!("err {e}")], false),
+                Err(e) => {
+                    if matches!(e, ServeError::Canary(_)) {
+                        ctx.hub.canary_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (vec![format!("err {e}")], false)
+                }
             }
         }
         Some("predict") => {
@@ -156,20 +299,39 @@ fn handle_line(line: &str, ctx: &Ctx) -> (Vec<String>, bool) {
                     return (vec!["err malformed feature row".to_string()], false);
                 }
             };
+            if !row.iter().all(|v| v.is_finite()) {
+                // NaN/Inf would poison the whole encoded hypervector; this
+                // is a client bug, not a degradable server fault.
+                ctx.hub.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return (vec!["err non-finite feature value".to_string()], false);
+            }
             let metrics = ctx.hub.for_model(name);
+            if served.is_corrupt() {
+                // Flagged by a sweep that had no distinct last-good version
+                // to roll back to: serve the §3.2 binary path, whose
+                // holographic redundancy is the paper's robustness story.
+                return (vec![degraded_reply(&served, &metrics, &row)], false);
+            }
             let (tx, rx) = sync_channel(1);
             let item = WorkItem {
-                row,
+                row: row.clone(),
                 enqueued_at: Instant::now(),
                 reply: tx,
             };
-            if !ctx.batcher.enqueue(served, metrics, item) {
-                return (vec!["err busy".to_string()], false);
+            if !ctx.batcher.enqueue(served.clone(), metrics.clone(), item) {
+                // Queue saturated (the shed is already recorded): degrade
+                // rather than bounce the request.
+                return (vec![degraded_reply(&served, &metrics, &row)], false);
             }
             match rx.recv_timeout(ctx.reply_timeout) {
                 Ok(Ok(y)) => (vec![format!("ok {y}")], false),
                 Ok(Err(msg)) => (vec![format!("err {msg}")], false),
-                Err(_) => (vec!["err prediction timed out".to_string()], false),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    // Timed out, or the worker died mid-batch (killed or
+                    // panicked — the reply sender dropped without an
+                    // answer). Either way: degrade, don't error.
+                    (vec![degraded_reply(&served, &metrics, &row)], false)
+                }
             }
         }
         Some(other) => {
@@ -194,6 +356,10 @@ fn handle_conn(stream: TcpStream, ctx: &Ctx, read_timeout: Duration) {
         match reader.read_line(&mut line) {
             Ok(0) => return, // client closed
             Ok(_) => {
+                // Socket-level fault injection: the garbled request still
+                // parses as one line, so the damage surfaces as a typed
+                // protocol error rather than a framing break.
+                ctx.injector.garble_line(&mut line);
                 let (replies, close) = handle_line(line.trim_end(), ctx);
                 for reply in replies {
                     if writeln!(writer, "{reply}").is_err() {
@@ -218,23 +384,31 @@ fn handle_conn(stream: TcpStream, ctx: &Ctx, read_timeout: Duration) {
 ///
 /// # Errors
 ///
-/// [`ServeError::Io`] when the address cannot be bound.
+/// [`ServeError::Io`] when the address cannot be bound,
+/// [`ServeError::Spawn`] when a background thread cannot be created.
 pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHandle, ServeError> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
     let hub = Arc::new(MetricsHub::new());
-    let pool = Arc::new(WorkerPool::new(cfg.workers, cfg.workers * 2));
-    let batcher = Arc::new(Batcher::new(cfg.batcher.clone(), pool));
+    let injector = Arc::new(FaultInjector::new(cfg.fault_seed));
+    let pool = Arc::new(WorkerPool::with_injector(
+        cfg.workers,
+        cfg.workers * 2,
+        injector.clone(),
+    )?);
+    let batcher = Arc::new(Batcher::new(cfg.batcher.clone(), pool)?);
     let stop = Arc::new(AtomicBool::new(false));
 
     let ctx = Arc::new(Ctx {
-        registry,
+        registry: registry.clone(),
         hub: hub.clone(),
         batcher: batcher.clone(),
+        injector: injector.clone(),
         stop: stop.clone(),
         reply_timeout: cfg.reply_timeout,
+        enable_inject: cfg.enable_inject,
     });
     let read_timeout = cfg.read_timeout;
     let stop_accept = stop.clone();
@@ -247,12 +421,16 @@ pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHa
                     Ok((stream, _peer)) => {
                         ctx.hub.connections.fetch_add(1, Ordering::Relaxed);
                         let ctx = ctx.clone();
-                        let h = std::thread::Builder::new()
+                        let spawned = std::thread::Builder::new()
                             .name("reghd-conn".to_string())
-                            .spawn(move || handle_conn(stream, &ctx, read_timeout))
-                            .expect("spawn connection thread");
-                        conns.push(h);
-                        conns.retain(|h| !h.is_finished());
+                            .spawn(move || handle_conn(stream, &ctx, read_timeout));
+                        // On spawn failure (thread exhaustion) the stream
+                        // is simply dropped — the connection closes but
+                        // the server stays alive.
+                        if let Ok(h) = spawned {
+                            conns.push(h);
+                            conns.retain(|h| !h.is_finished());
+                        }
                     }
                     Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -264,14 +442,43 @@ pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHa
                 let _ = h.join();
             }
         })
-        .expect("spawn accept thread");
+        .map_err(ServeError::Spawn)?;
+
+    let sweeper_thread = match cfg.sweep_interval {
+        Some(interval) => {
+            let registry = registry.clone();
+            let hub = hub.clone();
+            let stop = stop.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("reghd-sweeper".to_string())
+                    .spawn(move || {
+                        let mut since_sweep = Duration::ZERO;
+                        let tick =
+                            Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
+                        while !stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(tick);
+                            since_sweep += tick;
+                            if since_sweep >= interval {
+                                since_sweep = Duration::ZERO;
+                                run_sweep(&registry, &hub);
+                            }
+                        }
+                    })
+                    .map_err(ServeError::Spawn)?,
+            )
+        }
+        None => None,
+    };
 
     Ok(ServerHandle {
         local_addr,
         stop,
         accept_thread: Some(accept_thread),
+        sweeper_thread,
         hub,
         batcher,
+        injector,
     })
 }
 
@@ -286,6 +493,12 @@ impl ServerHandle {
         self.hub.clone()
     }
 
+    /// The server's fault injector — lets chaos tests arm faults without
+    /// going through the `inject` protocol command.
+    pub fn injector(&self) -> Arc<FaultInjector> {
+        self.injector.clone()
+    }
+
     /// Gracefully stops the server: no new connections, open connections
     /// joined, queued rows drained through the pool. Returns the final
     /// `stat` lines so callers can log them.
@@ -297,6 +510,9 @@ impl ServerHandle {
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sweeper_thread.take() {
             let _ = h.join();
         }
         self.batcher.shutdown();
@@ -316,13 +532,18 @@ mod tests {
     use datasets::Dataset;
     use std::io::BufRead;
 
-    fn start_server() -> (ServerHandle, Arc<ModelRegistry>) {
+    fn toy_registry() -> Arc<ModelRegistry> {
         let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 2) as f32]).collect();
         let targets: Vec<f32> = features.iter().map(|r| r[0] + r[1]).collect();
         let ds = Dataset::new("toy", features, targets);
         let (b, _) = bundle::train(&ds, 128, 2, 3, 11, false).unwrap();
         let registry = Arc::new(ModelRegistry::new());
         registry.load_bytes("toy", &b.to_bytes().unwrap()).unwrap();
+        registry
+    }
+
+    fn start_server() -> (ServerHandle, Arc<ModelRegistry>) {
+        let registry = toy_registry();
         let cfg = ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
@@ -364,6 +585,86 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_features_are_protocol_errors() {
+        let (handle, _registry) = start_server();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        for req in [
+            "predict toy NaN,1.0",
+            "predict toy 1.0,inf",
+            "predict toy -inf,0.0",
+        ] {
+            assert_eq!(roundtrip(&mut s, req), "err non-finite feature value");
+        }
+        // The model itself is untouched — a clean row still predicts.
+        let reply = roundtrip(&mut s, "predict toy 2.0,4.0");
+        assert!(reply.starts_with("ok "), "{reply}");
+        assert!(
+            handle.metrics().bad_requests.load(Ordering::Relaxed) >= 3,
+            "non-finite rows must count as bad requests"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn corrupt_flagged_model_serves_degraded() {
+        let (handle, registry) = start_server();
+        // Simulate a sweep that found corruption but had nothing to roll
+        // back to: the serving Arc gets flagged in place.
+        registry
+            .get("toy")
+            .unwrap()
+            .corrupt
+            .store(true, Ordering::Relaxed);
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        let reply = roundtrip(&mut s, "predict toy 3.0,4.0");
+        assert!(reply.starts_with("degraded "), "{reply}");
+        let y: f32 = reply["degraded ".len()..].parse().unwrap();
+        assert!(y.is_finite());
+        let stats = handle.shutdown();
+        assert!(stats[0].contains("degraded=1"), "{stats:?}");
+    }
+
+    #[test]
+    fn sweep_command_reports_and_inject_is_gated() {
+        let (handle, _registry) = start_server();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        assert_eq!(
+            roundtrip(&mut s, "sweep"),
+            "ok swept checked=1 corrupted=0 rolled_back=0"
+        );
+        // inject is refused unless explicitly enabled.
+        assert_eq!(roundtrip(&mut s, "inject delay 10"), "err inject disabled");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn inject_bitflip_sweep_recovers_over_protocol() {
+        let registry = toy_registry();
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            enable_inject: true,
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg, registry.clone()).unwrap();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+
+        let clean = roundtrip(&mut s, "predict toy 3.0,4.0");
+        let reply = roundtrip(&mut s, "inject bitflip toy 0.3 7");
+        assert!(reply.starts_with("ok injected flips="), "{reply}");
+        let faulty = roundtrip(&mut s, "predict toy 3.0,4.0");
+        assert!(faulty.starts_with("ok "), "{faulty}");
+        assert_ne!(clean, faulty, "bit flips must perturb the prediction");
+
+        let sweep = roundtrip(&mut s, "sweep");
+        assert_eq!(sweep, "ok swept checked=1 corrupted=1 rolled_back=1");
+        let recovered = roundtrip(&mut s, "predict toy 3.0,4.0");
+        assert_eq!(recovered, clean, "rollback must be bit-exact");
+        handle.shutdown();
+    }
+
+    #[test]
     fn stats_lists_models_and_counters() {
         let (handle, _registry) = start_server();
         let mut s = TcpStream::connect(handle.local_addr()).unwrap();
@@ -392,7 +693,37 @@ mod tests {
                 .any(|l| l.starts_with("stat toy ") && l.contains("ok=1")),
             "{lines:?}"
         );
-        assert!(lines.iter().any(|l| l.starts_with("server ")), "{lines:?}");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("server ") && l.contains("sweeps=")),
+            "{lines:?}"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn background_sweeper_rolls_back_injected_faults() {
+        let registry = toy_registry();
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            sweep_interval: Some(Duration::from_millis(25)),
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg, registry.clone()).unwrap();
+        registry.inject_model_faults("toy", 0.3, 5).unwrap();
+        let hub = handle.metrics();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while hub.rollbacks.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            hub.rollbacks.load(Ordering::Relaxed) >= 1,
+            "sweeper must roll the injected fault back"
+        );
+        assert!(hub.sweeps.load(Ordering::Relaxed) >= 1);
         handle.shutdown();
     }
 

@@ -4,9 +4,22 @@
 //! predict, and answer each row's reply channel. The pool tracks how many
 //! workers are currently executing so the batcher can decide between
 //! immediate dispatch (a worker is idle) and coalescing (all busy).
+//!
+//! # Fault containment
+//!
+//! Each batch runs inside `std::panic::catch_unwind`: a panic (whether
+//! organic or injected through a [`FaultInjector`]) is contained to that
+//! batch — its reply senders drop, so waiting clients observe a
+//! disconnected channel and fall back to the degraded path, while the
+//! worker thread survives to take the next batch. An injected *kill* makes
+//! a worker exit as if it crashed, except that the pool refuses to kill its
+//! last live worker.
 
+use crate::faults::FaultInjector;
 use crate::metrics::ModelMetrics;
 use crate::registry::ServedModel;
+use crate::{lock_unpoisoned, ServeError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -42,6 +55,7 @@ pub struct WorkerPool {
     tx: Option<SyncSender<Batch>>,
     handles: Vec<JoinHandle<()>>,
     busy: Arc<AtomicUsize>,
+    alive: Arc<AtomicUsize>,
     workers: usize,
 }
 
@@ -65,52 +79,142 @@ fn run_batch(batch: Batch) {
     }
 }
 
+/// The per-thread worker loop. Returns when the dispatch channel closes or
+/// an injected kill is consumed.
+fn worker_loop(
+    rx: Arc<Mutex<Receiver<Batch>>>,
+    busy: Arc<AtomicUsize>,
+    alive: Arc<AtomicUsize>,
+    injector: Option<Arc<FaultInjector>>,
+) {
+    loop {
+        // Holding the mutex only while waiting for one batch keeps the
+        // other workers free to grab the next.
+        let batch = match lock_unpoisoned(&rx).recv() {
+            Ok(b) => b,
+            Err(_) => {
+                // Pool dropped its sender: orderly shutdown.
+                alive.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        };
+        busy.fetch_add(1, Ordering::SeqCst);
+        let mut injected_panic = false;
+        if let Some(inj) = &injector {
+            if let Some(d) = inj.worker_delay() {
+                std::thread::sleep(d);
+            }
+            if inj.take_kill() {
+                // Exit as if crashed — unless this is the last live
+                // worker, in which case the kill is dropped (a pool that
+                // can never make progress again is an outage, not a
+                // recoverable fault).
+                if alive.fetch_sub(1, Ordering::SeqCst) > 1 {
+                    busy.fetch_sub(1, Ordering::SeqCst);
+                    // `batch` drops here: its reply senders disconnect and
+                    // waiting clients take the degraded path.
+                    return;
+                }
+                alive.fetch_add(1, Ordering::SeqCst);
+            }
+            injected_panic = inj.take_panic();
+        }
+        let metrics = batch.metrics.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if injected_panic {
+                panic!("injected worker panic");
+            }
+            run_batch(batch);
+        }));
+        if outcome.is_err() {
+            // The batch was consumed by the unwind; its reply senders are
+            // gone, which is exactly the disconnect signal clients expect.
+            metrics.record_panic();
+        }
+        busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 impl WorkerPool {
     /// Spawns `workers` threads (clamped to at least 1) with a dispatch
     /// channel holding at most `queue_depth` batches.
-    pub fn new(workers: usize, queue_depth: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] if the OS refuses a thread; any threads
+    /// already spawned are shut down before returning.
+    pub fn new(workers: usize, queue_depth: usize) -> Result<Self, ServeError> {
+        Self::build(workers, queue_depth, None)
+    }
+
+    /// Like [`WorkerPool::new`], but every worker consults `injector`
+    /// before each batch (delay / kill / panic faults).
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkerPool::new`].
+    pub fn with_injector(
+        workers: usize,
+        queue_depth: usize,
+        injector: Arc<FaultInjector>,
+    ) -> Result<Self, ServeError> {
+        Self::build(workers, queue_depth, Some(injector))
+    }
+
+    fn build(
+        workers: usize,
+        queue_depth: usize,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, ServeError> {
         let workers = workers.max(1);
         let (tx, rx) = sync_channel::<Batch>(queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let busy = Arc::new(AtomicUsize::new(0));
-        let handles = (0..workers)
-            .map(|i| {
-                let rx: Arc<Mutex<Receiver<Batch>>> = rx.clone();
-                let busy = busy.clone();
-                std::thread::Builder::new()
-                    .name(format!("reghd-worker-{i}"))
-                    .spawn(move || loop {
-                        // Holding the mutex only while waiting for one batch
-                        // keeps the other workers free to grab the next.
-                        let batch = match rx.lock().unwrap().recv() {
-                            Ok(b) => b,
-                            Err(_) => return, // pool dropped its sender
-                        };
-                        busy.fetch_add(1, Ordering::SeqCst);
-                        run_batch(batch);
-                        busy.fetch_sub(1, Ordering::SeqCst);
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Self {
+        let alive = Arc::new(AtomicUsize::new(workers));
+        let mut pool = Self {
             tx: Some(tx),
-            handles,
-            busy,
+            handles: Vec::with_capacity(workers),
+            busy: busy.clone(),
+            alive: alive.clone(),
             workers,
+        };
+        for i in 0..workers {
+            let rx = rx.clone();
+            let busy = busy.clone();
+            let worker_alive = alive.clone();
+            let injector = injector.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("reghd-worker-{i}"))
+                .spawn(move || worker_loop(rx, busy, worker_alive, injector));
+            match handle {
+                Ok(h) => pool.handles.push(h),
+                Err(e) => {
+                    // Threads we did spawn believe `workers` are alive;
+                    // correct the count, then let shutdown join them.
+                    alive.fetch_sub(workers - i, Ordering::SeqCst);
+                    pool.shutdown();
+                    return Err(ServeError::Spawn(e));
+                }
+            }
         }
+        Ok(pool)
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool was built with.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Whether at least one worker is idle right now. Advisory — the
+    /// Number of workers currently alive (spawned minus injected kills).
+    pub fn alive_workers(&self) -> usize {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Whether at least one live worker is idle right now. Advisory — the
     /// answer can be stale by the time the caller acts on it, which only
     /// costs a slightly suboptimal coalescing decision, never correctness.
     pub fn has_idle_worker(&self) -> bool {
-        self.busy.load(Ordering::SeqCst) < self.workers
+        self.busy.load(Ordering::SeqCst) < self.alive.load(Ordering::SeqCst)
     }
 
     /// Submits a batch, blocking if the dispatch channel is full.
@@ -147,6 +251,7 @@ mod tests {
     use crate::bundle;
     use crate::registry::ModelRegistry;
     use datasets::Dataset;
+    use std::time::Duration;
 
     fn toy_model() -> (ModelRegistry, Arc<ServedModel>) {
         let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 3) as f32]).collect();
@@ -159,24 +264,32 @@ mod tests {
         (reg, served)
     }
 
+    fn item(row: Vec<f32>) -> (WorkItem, Receiver<Result<f32, String>>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            WorkItem {
+                row,
+                enqueued_at: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
     #[test]
     fn pool_answers_batches_and_matches_direct_predict() {
         let (_reg, served) = toy_model();
         let metrics = Arc::new(ModelMetrics::default());
-        let pool = WorkerPool::new(2, 8);
+        let pool = WorkerPool::new(2, 8).unwrap();
         let rows: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32, i as f32 + 1.0]).collect();
         let direct = served.bundle.predict(&rows).unwrap();
 
         let mut receivers = Vec::new();
         let mut items = Vec::new();
         for row in &rows {
-            let (tx, rx) = sync_channel(1);
+            let (it, rx) = item(row.clone());
             receivers.push(rx);
-            items.push(WorkItem {
-                row: row.clone(),
-                enqueued_at: Instant::now(),
-                reply: tx,
-            });
+            items.push(it);
         }
         pool.submit(Batch {
             model: served,
@@ -197,16 +310,12 @@ mod tests {
     fn bad_row_width_reports_error_per_item() {
         let (_reg, served) = toy_model();
         let metrics = Arc::new(ModelMetrics::default());
-        let pool = WorkerPool::new(1, 4);
-        let (tx, rx) = sync_channel(1);
+        let pool = WorkerPool::new(1, 4).unwrap();
+        let (it, rx) = item(vec![1.0, 2.0, 3.0]); // model expects 2 features
         pool.submit(Batch {
             model: served,
             metrics: metrics.clone(),
-            items: vec![WorkItem {
-                row: vec![1.0, 2.0, 3.0], // model expects 2 features
-                enqueued_at: Instant::now(),
-                reply: tx,
-            }],
+            items: vec![it],
         })
         .unwrap();
         let err = rx.recv().unwrap().unwrap_err();
@@ -217,7 +326,7 @@ mod tests {
     #[test]
     fn shutdown_joins_and_rejects_new_work() {
         let (_reg, served) = toy_model();
-        let mut pool = WorkerPool::new(2, 4);
+        let mut pool = WorkerPool::new(2, 4).unwrap();
         pool.shutdown();
         let res = pool.submit(Batch {
             model: served,
@@ -231,7 +340,7 @@ mod tests {
     fn dropped_reply_receiver_does_not_poison_pool() {
         let (_reg, served) = toy_model();
         let metrics = Arc::new(ModelMetrics::default());
-        let pool = WorkerPool::new(1, 4);
+        let pool = WorkerPool::new(1, 4).unwrap();
         let (tx, rx) = sync_channel::<Result<f32, String>>(1);
         drop(rx); // client hung up before the answer
         pool.submit(Batch {
@@ -245,17 +354,113 @@ mod tests {
         })
         .unwrap();
         // The pool must still serve a later, healthy request.
-        let (tx2, rx2) = sync_channel(1);
+        let (it, rx2) = item(vec![3.0, 4.0]);
         pool.submit(Batch {
             model: served,
             metrics,
-            items: vec![WorkItem {
-                row: vec![3.0, 4.0],
-                enqueued_at: Instant::now(),
-                reply: tx2,
-            }],
+            items: vec![it],
         })
         .unwrap();
         assert!(rx2.recv().unwrap().is_ok());
+    }
+
+    #[test]
+    fn injected_panic_is_contained() {
+        let (_reg, served) = toy_model();
+        let metrics = Arc::new(ModelMetrics::default());
+        let inj = Arc::new(FaultInjector::new(1));
+        let pool = WorkerPool::with_injector(1, 4, inj.clone()).unwrap();
+
+        inj.panic_batches(1);
+        let (it, rx) = item(vec![1.0, 2.0]);
+        pool.submit(Batch {
+            model: served.clone(),
+            metrics: metrics.clone(),
+            items: vec![it],
+        })
+        .unwrap();
+        // The panicked batch's reply channel disconnects without an answer.
+        assert!(rx.recv().is_err());
+
+        // The same (sole) worker survives and answers the next batch.
+        let (it, rx) = item(vec![3.0, 4.0]);
+        pool.submit(Batch {
+            model: served,
+            metrics: metrics.clone(),
+            items: vec![it],
+        })
+        .unwrap();
+        assert!(rx.recv().unwrap().is_ok());
+        assert_eq!(metrics.panics.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.alive_workers(), 1);
+    }
+
+    #[test]
+    fn injected_kill_removes_worker_but_never_the_last() {
+        let (_reg, served) = toy_model();
+        let metrics = Arc::new(ModelMetrics::default());
+        let inj = Arc::new(FaultInjector::new(2));
+        let pool = WorkerPool::with_injector(2, 8, inj.clone()).unwrap();
+        assert_eq!(pool.alive_workers(), 2);
+
+        // First kill: one worker exits, its batch is dropped.
+        inj.kill_workers(1);
+        let (it, rx) = item(vec![1.0, 2.0]);
+        pool.submit(Batch {
+            model: served.clone(),
+            metrics: metrics.clone(),
+            items: vec![it],
+        })
+        .unwrap();
+        assert!(rx.recv().is_err(), "killed worker's batch must drop");
+        // Wait for the exit to be visible.
+        for _ in 0..100 {
+            if pool.alive_workers() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.alive_workers(), 1);
+
+        // Second kill: refused, the last worker keeps serving.
+        inj.kill_workers(1);
+        let (it, rx) = item(vec![3.0, 4.0]);
+        pool.submit(Batch {
+            model: served.clone(),
+            metrics: metrics.clone(),
+            items: vec![it],
+        })
+        .unwrap();
+        assert!(rx.recv().unwrap().is_ok(), "last worker must survive");
+        assert_eq!(pool.alive_workers(), 1);
+
+        // And it continues to answer after the refused kill.
+        let (it, rx) = item(vec![5.0, 6.0]);
+        pool.submit(Batch {
+            model: served,
+            metrics,
+            items: vec![it],
+        })
+        .unwrap();
+        assert!(rx.recv().unwrap().is_ok());
+    }
+
+    #[test]
+    fn injected_delay_slows_batches() {
+        let (_reg, served) = toy_model();
+        let metrics = Arc::new(ModelMetrics::default());
+        let inj = Arc::new(FaultInjector::new(3));
+        let pool = WorkerPool::with_injector(1, 4, inj.clone()).unwrap();
+        inj.set_worker_delay(Duration::from_millis(50));
+        let start = Instant::now();
+        let (it, rx) = item(vec![1.0, 2.0]);
+        pool.submit(Batch {
+            model: served,
+            metrics,
+            items: vec![it],
+        })
+        .unwrap();
+        assert!(rx.recv().unwrap().is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(50));
     }
 }

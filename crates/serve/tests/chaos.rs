@@ -1,0 +1,344 @@
+//! Chaos end-to-end test: a full server under a randomized-but-seeded
+//! fault storm. The invariants under test are the serving layer's
+//! robustness contract:
+//!
+//! 1. **Zero panics.** No client or server thread may panic, no matter
+//!    which faults fire (worker delays, kills, deliberate batch panics,
+//!    garbled request lines, bit-flipped model state, corrupted bundles).
+//! 2. **Bounded, well-formed replies.** Every request receives exactly one
+//!    reply line, and it is one of `ok <finite>`, `degraded <finite>`, or
+//!    `err <reason>` — never silence, never trash.
+//! 3. **Full recovery.** After the fault window closes (faults cleared,
+//!    corrupted model swept and rolled back), predictions are bit-exact
+//!    identical to the pre-fault baseline.
+
+use datasets::Dataset;
+use reghd_serve::bundle::{self, ModelBundle};
+use reghd_serve::registry::ModelRegistry;
+use reghd_serve::server::{serve, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 424_242;
+const STORM_CLIENTS: usize = 3;
+const STORM_REQUESTS: usize = 8;
+
+fn toy_dataset() -> Dataset {
+    let features: Vec<Vec<f32>> = (0..60)
+        .map(|i| vec![i as f32 * 0.5, (i % 7) as f32, (i * 3 % 11) as f32])
+        .collect();
+    let targets: Vec<f32> = features
+        .iter()
+        .map(|r| 2.0 * r[0] - r[1] + 0.5 * r[2])
+        .collect();
+    Dataset::new("chaos", features, targets)
+}
+
+fn train_bundle(seed: u64) -> ModelBundle {
+    let (b, _) = bundle::train(&toy_dataset(), 256, 4, 4, seed, false).unwrap();
+    b
+}
+
+fn row_to_csv(row: &[f32]) -> String {
+    row.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Self {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        assert!(!reply.is_empty(), "server dropped a request: {line}");
+        reply.trim_end().to_string()
+    }
+}
+
+/// Invariant 2: classifies a reply, panicking on anything malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reply {
+    Ok,
+    Degraded,
+    Err,
+}
+
+fn classify(reply: &str) -> Reply {
+    if let Some(rest) = reply.strip_prefix("ok ") {
+        let y: f32 = rest.parse().unwrap_or_else(|_| panic!("bad ok: {reply}"));
+        assert!(y.is_finite(), "non-finite ok reply: {reply}");
+        Reply::Ok
+    } else if let Some(rest) = reply.strip_prefix("degraded ") {
+        let y: f32 = rest
+            .parse()
+            .unwrap_or_else(|_| panic!("bad degraded: {reply}"));
+        assert!(y.is_finite(), "non-finite degraded reply: {reply}");
+        Reply::Degraded
+    } else if let Some(rest) = reply.strip_prefix("err ") {
+        assert!(!rest.trim().is_empty(), "empty err reply");
+        Reply::Err
+    } else {
+        panic!("malformed reply: {reply:?}");
+    }
+}
+
+/// Fires `STORM_CLIENTS` concurrent clients, each sending
+/// `STORM_REQUESTS` predict requests over seeded row indices. Returns the
+/// classified replies; panics (failing the test) on any malformed one.
+fn storm(addr: SocketAddr, rows: &[Vec<f32>], phase: u64) -> Vec<Reply> {
+    let handles: Vec<_> = (0..STORM_CLIENTS)
+        .map(|c| {
+            let rows = rows.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                // Simple seeded LCG so each phase/client walks its own
+                // deterministic row sequence.
+                let mut state = SEED
+                    .wrapping_mul(phase * 31 + c as u64 + 1)
+                    .wrapping_add(0x9E37_79B9);
+                (0..STORM_REQUESTS)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let idx = (state >> 33) as usize % rows.len();
+                        let reply =
+                            client.request(&format!("predict toy {}", row_to_csv(&rows[idx])));
+                        classify(&reply)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("storm client panicked"))
+        .collect()
+}
+
+/// Invariant 3 helper: the server's current answers for every row.
+fn snapshot(client: &mut Client, rows: &[Vec<f32>]) -> Vec<String> {
+    rows.iter()
+        .map(|r| client.request(&format!("predict toy {}", row_to_csv(r))))
+        .collect()
+}
+
+fn stats_lines(client: &mut Client) -> Vec<String> {
+    writeln!(client.writer, "stats").unwrap();
+    client.writer.flush().unwrap();
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        client.reader.read_line(&mut line).unwrap();
+        let line = line.trim_end().to_string();
+        let done = line == "ok";
+        lines.push(line);
+        if done {
+            break;
+        }
+    }
+    lines
+}
+
+fn start_chaos_server() -> (ServerHandle, Arc<ModelRegistry>, ModelBundle) {
+    let b = train_bundle(101);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load_bytes("toy", &b.to_bytes().unwrap()).unwrap();
+    let handle = serve(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 3,
+            read_timeout: Duration::from_secs(30),
+            // Short reply timeout so delay faults trip the degraded path
+            // quickly instead of stretching the test.
+            reply_timeout: Duration::from_millis(100),
+            enable_inject: true,
+            fault_seed: SEED,
+            ..ServerConfig::default()
+        },
+        registry.clone(),
+    )
+    .unwrap();
+    (handle, registry, b)
+}
+
+#[test]
+fn seeded_fault_storm_recovers_bit_exact() {
+    let (handle, _registry, baseline_bundle) = start_chaos_server();
+    let addr = handle.local_addr();
+    let rows = toy_dataset().features;
+    let mut admin = Client::connect(addr);
+
+    // ---- Baseline: clean server, every reply `ok` and bit-exact. ----
+    let baseline = snapshot(&mut admin, &rows);
+    for (reply, want) in baseline.iter().zip(baseline_bundle.predict(&rows).unwrap()) {
+        assert_eq!(reply, &format!("ok {want}"));
+    }
+
+    // ---- Fault window 1: stalled workers → degraded replies. ----
+    assert_eq!(admin.request("inject delay 300"), "ok");
+    let replies = storm(addr, &rows, 1);
+    assert_eq!(replies.len(), STORM_CLIENTS * STORM_REQUESTS);
+    assert!(
+        replies.contains(&Reply::Degraded),
+        "a 300ms stall against a 100ms reply timeout must degrade: {replies:?}"
+    );
+    assert!(
+        replies.iter().all(|r| *r != Reply::Err),
+        "stalls must degrade, not error: {replies:?}"
+    );
+    handle.injector().clear();
+
+    // ---- Fault window 2: kill a worker mid-traffic. ----
+    assert_eq!(admin.request("inject kill 1"), "ok");
+    let replies = storm(addr, &rows, 2);
+    assert_eq!(replies.len(), STORM_CLIENTS * STORM_REQUESTS);
+    assert!(
+        replies.iter().all(|r| *r != Reply::Err),
+        "a killed worker's dropped batch must degrade, not error: {replies:?}"
+    );
+
+    // ---- Fault window 3: deliberate worker panics (containment). ----
+    assert_eq!(admin.request("inject panic 2"), "ok");
+    let replies = storm(addr, &rows, 3);
+    assert_eq!(replies.len(), STORM_CLIENTS * STORM_REQUESTS);
+    assert!(
+        replies.iter().all(|r| *r != Reply::Err),
+        "a contained panic must degrade, not error: {replies:?}"
+    );
+
+    // ---- Fault window 4: garbled request lines → typed errors. ----
+    handle.injector().set_garble_rate(1.0);
+    let replies = storm(addr, &rows, 4);
+    assert_eq!(replies.len(), STORM_CLIENTS * STORM_REQUESTS);
+    // Nearly every line is garbled (the rare miss is the RNG landing on
+    // the trailing newline); garbled requests must surface as protocol
+    // errors, never as framing breaks or panics.
+    let errs = replies.iter().filter(|r| **r == Reply::Err).count();
+    assert!(
+        errs >= replies.len() / 2,
+        "garbling barely fired: {replies:?}"
+    );
+    handle.injector().clear();
+
+    // ---- Recovery A: faults cleared, untouched model — bit-exact. ----
+    assert_eq!(snapshot(&mut admin, &rows), baseline);
+
+    // ---- Fault window 5: bit flips in served hypervectors. ----
+    let reply = admin.request(&format!("inject bitflip toy 0.25 {SEED}"));
+    assert!(reply.starts_with("ok injected flips="), "{reply}");
+    let faulted = snapshot(&mut admin, &rows);
+    assert_ne!(faulted, baseline, "flips must perturb some prediction");
+    // Every faulted reply is still well-formed and finite.
+    for r in &faulted {
+        classify(r);
+    }
+
+    // ---- Recovery B: sweep detects the corruption and rolls back. ----
+    assert_eq!(
+        admin.request("sweep"),
+        "ok swept checked=1 corrupted=1 rolled_back=1"
+    );
+    assert_eq!(
+        snapshot(&mut admin, &rows),
+        baseline,
+        "post-rollback predictions must match the pre-fault model bit-exactly"
+    );
+
+    // ---- Fault window 6: corrupted bundle bytes are refused at load. ----
+    let v2 = train_bundle(202);
+    let mut bytes = v2.to_bytes().unwrap();
+    let idx = bytes.len() - 100;
+    bytes[idx] ^= 0x40;
+    let dir = std::env::temp_dir();
+    let bad_path = dir.join(format!("reghd-chaos-bad-{}.rghd", std::process::id()));
+    std::fs::write(&bad_path, &bytes).unwrap();
+    let reply = admin.request(&format!("reload toy {}", bad_path.display()));
+    assert!(
+        reply.starts_with("err ") && reply.contains("checksum mismatch"),
+        "corrupt bundle must be rejected with a checksum error: {reply}"
+    );
+    assert_eq!(
+        snapshot(&mut admin, &rows),
+        baseline,
+        "a refused reload must leave the old version serving"
+    );
+
+    // ---- Fault window 7: canary-failing bundle is refused at load. ----
+    let lying = train_bundle(303)
+        .with_canary(vec![rows[0].clone()], vec![123_456.0])
+        .unwrap();
+    let lie_path = dir.join(format!("reghd-chaos-lie-{}.rghd", std::process::id()));
+    lying.save(lie_path.to_str().unwrap()).unwrap();
+    let reply = admin.request(&format!("reload toy {}", lie_path.display()));
+    assert!(
+        reply.starts_with("err canary check failed"),
+        "canary mismatch must be refused: {reply}"
+    );
+    assert_eq!(
+        snapshot(&mut admin, &rows),
+        baseline,
+        "a canary-refused reload must leave the old version serving"
+    );
+
+    // ---- A clean reload still works after the whole storm. ----
+    let good_path = dir.join(format!("reghd-chaos-good-{}.rghd", std::process::id()));
+    v2.save(good_path.to_str().unwrap()).unwrap();
+    assert_eq!(
+        admin.request(&format!("reload toy {}", good_path.display())),
+        "ok reloaded toy v2"
+    );
+    let v2_want: Vec<String> = v2
+        .predict(&rows)
+        .unwrap()
+        .into_iter()
+        .map(|y| format!("ok {y}"))
+        .collect();
+    assert_eq!(snapshot(&mut admin, &rows), v2_want);
+
+    // ---- Bookkeeping: the storm is visible in the metrics. ----
+    let lines = stats_lines(&mut admin);
+    let stat = lines
+        .iter()
+        .find(|l| l.starts_with("stat toy "))
+        .unwrap_or_else(|| panic!("no stat line in {lines:?}"));
+    let field = |name: &str| -> u64 {
+        stat.split(&format!("{name}="))
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no {name}= in {stat}"))
+    };
+    assert!(field("degraded") >= 1, "{stat}");
+    assert!(field("panics") >= 1, "{stat}");
+    let server = lines
+        .iter()
+        .find(|l| l.starts_with("server "))
+        .unwrap_or_else(|| panic!("no server line in {lines:?}"));
+    assert!(server.contains("canary_failures=1"), "{server}");
+    assert!(server.contains("rollbacks=1"), "{server}");
+    assert!(server.contains("sweeps=1"), "{server}");
+
+    handle.shutdown();
+    for p in [&bad_path, &lie_path, &good_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
