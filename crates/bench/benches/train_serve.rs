@@ -1,0 +1,160 @@
+//! Streaming-training throughput, alone and while serving: the
+//! `reghd-train` pipeline drives an abruptly drifting stream twice — once
+//! bare (single-pass samples/sec ceiling) and once publishing canary-gated
+//! checkpoints into a live registry that a reader thread hammers with
+//! predictions for the whole run. Reports both training rates, the
+//! concurrent serving rate, and the drift/publication counters, and writes
+//! a JSON summary to `results/train.json`.
+//!
+//! Plain `main` harness (no criterion), same rationale as `serve.rs`: the
+//! subject is end-to-end pipeline throughput under concurrency, so one
+//! warmed wall-clock measurement per configuration is the honest number.
+
+use datasets::drift::{DriftKind, DriftStream};
+use reghd_serve::registry::ModelRegistry;
+use reghd_train::{DriftSource, EwmaDetector, PublishTarget, Trainer, TrainerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const DIM: usize = 2048;
+const K: usize = 4;
+const FEATURES: usize = 8;
+const SAMPLES: u64 = 20_000;
+const QUICK_SAMPLES: u64 = 2_000;
+
+fn source(samples: u64) -> DriftSource {
+    // One abrupt concept switch mid-run, so the drift machinery is on the
+    // measured path (detector firing, cluster reset) rather than idle.
+    let period = (samples / 2).max(1) as usize;
+    DriftSource::new(
+        DriftStream::new(FEATURES, period, DriftKind::Abrupt, 33),
+        FEATURES,
+        "drift:abrupt:bench",
+    )
+}
+
+fn trainer(samples: u64, publish: Option<PublishTarget>) -> Trainer {
+    let cfg = TrainerConfig {
+        dim: DIM,
+        models: K,
+        seed: 33,
+        max_samples: Some(samples),
+        // Eight republications per run when publishing.
+        checkpoint_every: publish.as_ref().map(|_| (samples / 8).max(1)),
+        ..TrainerConfig::default()
+    };
+    let mut t = Trainer::new(cfg, FEATURES).with_detector(Box::new(EwmaDetector::default()));
+    if let Some(target) = publish {
+        t = t.with_publish(target);
+    }
+    t
+}
+
+/// Bare pipeline: predict-then-train with drift detection, no checkpoints.
+fn bench_train_only(samples: u64) -> f64 {
+    let mut src = source(samples);
+    let mut t = trainer(samples, None);
+    let start = Instant::now();
+    let report = t.run(&mut src).expect("train");
+    assert_eq!(report.samples, samples);
+    samples as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Trainer publishing into a registry while a reader thread predicts out
+/// of it as fast as it can. Returns (train rate, serve rate, report).
+fn bench_train_while_serve(samples: u64) -> (f64, f64, reghd_train::TrainReport) {
+    let registry = Arc::new(ModelRegistry::new());
+    let mut src = source(samples);
+    let mut t = trainer(
+        samples,
+        Some(PublishTarget {
+            registry: registry.clone(),
+            name: "live".to_string(),
+        }),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let registry = registry.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let row = vec![0.25_f32; FEATURES];
+            let mut served = 0u64;
+            let mut elapsed = 0.0_f64;
+            while !stop.load(Ordering::Relaxed) {
+                // Nothing to read until the first checkpoint publishes.
+                let Some(model) = registry.get("live") else {
+                    std::thread::yield_now();
+                    continue;
+                };
+                let start = Instant::now();
+                model
+                    .bundle
+                    .predict(std::slice::from_ref(&row))
+                    .expect("predict");
+                elapsed += start.elapsed().as_secs_f64();
+                served += 1;
+            }
+            if elapsed > 0.0 {
+                served as f64 / elapsed
+            } else {
+                0.0
+            }
+        })
+    };
+
+    let start = Instant::now();
+    let report = t.run(&mut src).expect("train");
+    let train_rate = samples as f64 / start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let serve_rate = reader.join().expect("reader thread");
+    (train_rate, serve_rate, report)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let samples = if quick { QUICK_SAMPLES } else { SAMPLES };
+
+    // Warm-up: a short bare run so lazy allocs don't bias the first mode.
+    bench_train_only(samples.min(500));
+
+    let alone = bench_train_only(samples);
+    let (contended, serve_rate, report) = bench_train_while_serve(samples);
+    assert_eq!(
+        report.canary_failures, 0,
+        "canary must stay green: {report:?}"
+    );
+    assert!(report.publications >= 1, "nothing published: {report:?}");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "streaming train throughput (dim={DIM}, k={K}, features={FEATURES}, \
+         samples={samples}, cores={cores})"
+    );
+    println!("  train only        : {alone:>10.0} samples/sec");
+    println!(
+        "  train while serve : {contended:>10.0} samples/sec ({:.2}x of bare)",
+        contended / alone
+    );
+    println!("  concurrent serve  : {serve_rate:>10.0} rows/sec");
+    println!(
+        "  drift events {} | checkpoints {} | publications {} | canary failures {}",
+        report.drift_events, report.checkpoints, report.publications, report.canary_failures
+    );
+
+    let json = format!(
+        "{{\n  \"dim\": {DIM},\n  \"k\": {K},\n  \"features\": {FEATURES},\n  \
+         \"samples\": {samples},\n  \"cores\": {cores},\n  \
+         \"train_only_samples_per_sec\": {alone:.1},\n  \"train_while_serve\": {{\n    \
+         \"samples_per_sec\": {contended:.1},\n    \"serve_rows_per_sec\": {serve_rate:.1},\n    \
+         \"drift_events\": {},\n    \"checkpoints\": {},\n    \"publications\": {},\n    \
+         \"canary_failures\": {}\n  }}\n}}\n",
+        report.drift_events, report.checkpoints, report.publications, report.canary_failures
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/train.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("summary written to {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -3,6 +3,11 @@
 //! ```text
 //! reghd-cli train   --csv data.csv --out model.rghd [--dim 2048] [--models 8]
 //!                   [--epochs 40] [--seed 0] [--quantized]
+//! reghd-cli train   --source drift:abrupt:4:1000|csv:data.csv|tcp:HOST:PORT:N
+//!                   [--samples N] [--checkpoint-every N] [--checkpoint-dir DIR]
+//!                   [--drift ph|ewma|off] [--drift-action reset|shadow]
+//!                   [--publish-to NAME] [--serve-addr HOST:PORT]
+//!                   [--resume state.rghd] [--dim N] [--models K] [--seed N]
 //! reghd-cli eval    --csv data.csv --model model.rghd
 //! reghd-cli predict --csv data.csv --model model.rghd
 //! reghd-cli serve   --model model.rghd --addr 127.0.0.1:7878
@@ -16,6 +21,15 @@
 //! target** (ignored by `predict` if present). The tool standardises
 //! features and targets on the training data and stores the scalers inside
 //! the model bundle, so evaluation and prediction accept raw units.
+//!
+//! `train --source` switches to the **streaming** pipeline (`reghd-train`):
+//! single-pass predict-then-train over a pluggable sample source with drift
+//! detection, periodic canary-carrying checkpoints, and optional hot-swap
+//! publication into an in-process serving registry (`--publish-to` +
+//! `--serve-addr`). Sources: `drift:<abrupt|gradual|incremental>:<features>:
+//! <period>` (synthetic non-stationary stream), `csv:<path>` (replay), and
+//! `tcp:<host>:<port>:<features>` (line-protocol feed, one CSV row per
+//! line, target last).
 //!
 //! `serve` exposes the line-oriented TCP protocol implemented in
 //! `reghd-serve` (see the README's Serving section). `serve --canary`
@@ -31,6 +45,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  reghd-cli train   --csv <data.csv> --out <model.rghd> \
          [--dim N] [--models K] [--epochs N] [--seed N] [--quantized]\n  \
+         reghd-cli train   --source <drift:KIND:FEATURES:PERIOD|csv:PATH|tcp:HOST:PORT:FEATURES> \
+         [--samples N] [--checkpoint-every N] [--checkpoint-dir DIR] [--drift ph|ewma|off] \
+         [--drift-action reset|shadow] [--publish-to NAME] [--serve-addr HOST:PORT] \
+         [--resume state.rghd] [--dim N] [--models K] [--seed N]\n  \
          reghd-cli eval    --csv <data.csv> --model <model.rghd>\n  \
          reghd-cli predict --csv <data.csv> --model <model.rghd>\n  \
          reghd-cli serve   --model <model.rghd> [--name NAME] [--addr HOST:PORT] \
@@ -141,6 +159,9 @@ fn main() -> ExitCode {
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
+    if args.has("source") {
+        return cmd_train_stream(args);
+    }
     let csv = args.require("csv");
     let out = args.require("out");
     let dim: usize = args.parse_num("dim", 2048);
@@ -165,6 +186,202 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     );
     bundle.save(out)?;
     println!("model written to {out}");
+    Ok(())
+}
+
+/// A parsed `--source` specification (separate from the opened source so
+/// the string → spec mapping is testable without touching disk or network).
+#[derive(Debug, PartialEq, Eq)]
+enum SourceSpec {
+    Drift {
+        kind: datasets::drift::DriftKind,
+        features: usize,
+        period: usize,
+    },
+    Csv(String),
+    Tcp {
+        addr: String,
+        features: usize,
+    },
+}
+
+fn parse_source_spec(spec: &str) -> Result<SourceSpec, String> {
+    use datasets::drift::DriftKind;
+    if let Some(rest) = spec.strip_prefix("drift:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [kind, features, period] = parts.as_slice() else {
+            return Err(format!(
+                "bad drift source {spec:?} (expected drift:<abrupt|gradual|incremental>:<features>:<period>)"
+            ));
+        };
+        let kind = match *kind {
+            "abrupt" => DriftKind::Abrupt,
+            "gradual" => DriftKind::Gradual,
+            "incremental" => DriftKind::Incremental,
+            other => return Err(format!("unknown drift kind {other:?}")),
+        };
+        let features: usize = features
+            .parse()
+            .map_err(|_| format!("bad feature count in {spec:?}"))?;
+        let period: usize = period
+            .parse()
+            .map_err(|_| format!("bad period in {spec:?}"))?;
+        if features == 0 || period == 0 {
+            return Err("drift features and period must be nonzero".to_string());
+        }
+        Ok(SourceSpec::Drift {
+            kind,
+            features,
+            period,
+        })
+    } else if let Some(path) = spec.strip_prefix("csv:") {
+        Ok(SourceSpec::Csv(path.to_string()))
+    } else if let Some(rest) = spec.strip_prefix("tcp:") {
+        // The address itself contains a colon, so the feature count is the
+        // segment after the LAST colon: tcp:<host>:<port>:<features>.
+        let Some((addr, features)) = rest.rsplit_once(':') else {
+            return Err(format!(
+                "bad tcp source {spec:?} (expected tcp:<host>:<port>:<features>)"
+            ));
+        };
+        let features: usize = features
+            .parse()
+            .map_err(|_| format!("bad feature count in {spec:?}"))?;
+        if features == 0 || !addr.contains(':') {
+            return Err(format!(
+                "bad tcp source {spec:?} (expected tcp:<host>:<port>:<features>)"
+            ));
+        }
+        Ok(SourceSpec::Tcp {
+            addr: addr.to_string(),
+            features,
+        })
+    } else {
+        Err(format!(
+            "unknown source {spec:?} (expected drift:…, csv:…, or tcp:…)"
+        ))
+    }
+}
+
+fn open_source(spec: &SourceSpec, seed: u64) -> Result<Box<dyn reghd_train::SampleSource>, String> {
+    use datasets::drift::DriftStream;
+    use reghd_train::{CsvReplaySource, DriftSource, TcpFeedSource};
+    match spec {
+        SourceSpec::Drift {
+            kind,
+            features,
+            period,
+        } => {
+            let stream = DriftStream::new(*features, *period, *kind, seed);
+            Ok(Box::new(DriftSource::new(
+                stream,
+                *features,
+                format!("drift:{kind:?}:{features}:{period}"),
+            )))
+        }
+        SourceSpec::Csv(path) => Ok(Box::new(CsvReplaySource::from_path(path)?)),
+        SourceSpec::Tcp { addr, features } => {
+            Ok(Box::new(TcpFeedSource::connect(addr, *features)?))
+        }
+    }
+}
+
+fn cmd_train_stream(args: &Args) -> Result<(), String> {
+    use reghd_serve::registry::ModelRegistry;
+    use reghd_serve::server::{serve, ServerConfig};
+    use reghd_train::{
+        DriftAction, EwmaDetector, PageHinkley, PublishTarget, Trainer, TrainerConfig,
+    };
+    use std::sync::Arc;
+
+    let spec = parse_source_spec(args.require("source"))?;
+    let dim: usize = args.parse_num("dim", 2048);
+    let models: usize = args.parse_num("models", 4);
+    let seed: u64 = args.parse_num("seed", 0);
+    let samples: u64 = args.parse_num("samples", 10_000);
+    let checkpoint_every: u64 = args.parse_num("checkpoint-every", 0);
+
+    let mut source = open_source(&spec, seed)?;
+    let cfg = TrainerConfig {
+        dim,
+        models,
+        seed,
+        max_samples: Some(samples),
+        checkpoint_every: (checkpoint_every > 0).then_some(checkpoint_every),
+        checkpoint_dir: args.get("checkpoint-dir").map(Into::into),
+        drift_action: match args.get("drift-action").unwrap_or("reset") {
+            "reset" => DriftAction::ResetWorstCluster,
+            "shadow" => DriftAction::ShadowPromote,
+            other => return Err(format!("unknown drift action {other:?} (reset|shadow)")),
+        },
+        ..TrainerConfig::default()
+    };
+    let mut trainer = match args.get("resume") {
+        Some(path) => {
+            let t = Trainer::resume(cfg, source.num_features(), path)?;
+            println!("resumed from {path} at sample {}", t.model().samples_seen());
+            t
+        }
+        None => Trainer::new(cfg, source.num_features()),
+    };
+    match args.get("drift").unwrap_or("ph") {
+        "ph" => trainer = trainer.with_detector(Box::new(PageHinkley::default())),
+        "ewma" => trainer = trainer.with_detector(Box::new(EwmaDetector::default())),
+        "off" => {}
+        other => return Err(format!("unknown drift detector {other:?} (ph|ewma|off)")),
+    }
+
+    let registry = Arc::new(ModelRegistry::new());
+    if let Some(name) = args.get("publish-to") {
+        trainer = trainer.with_publish(PublishTarget {
+            registry: registry.clone(),
+            name: name.to_string(),
+        });
+    }
+    let server = match args.get("serve-addr") {
+        Some(addr) => {
+            let handle = serve(
+                ServerConfig {
+                    addr: addr.to_string(),
+                    train_status: Some(trainer.status()),
+                    ..ServerConfig::default()
+                },
+                registry.clone(),
+            )
+            .map_err(|e| e.to_string())?;
+            println!("serving on {} while training", handle.local_addr());
+            Some(handle)
+        }
+        None => None,
+    };
+
+    println!(
+        "streaming from {} ({} features)",
+        source.label(),
+        source.num_features()
+    );
+    let report = trainer.run(source.as_mut())?;
+    println!(
+        "trained {} samples: preq MSE {:.6}, drift events {}, checkpoints {}, \
+         publications {} ({} canary failures), cluster resets {}, promotions {}",
+        report.samples,
+        report.final_prequential_mse,
+        report.drift_events,
+        report.checkpoints,
+        report.publications,
+        report.canary_failures,
+        report.cluster_resets,
+        report.promotions,
+    );
+    for meta in registry.list() {
+        println!(
+            "published model {} v{} (dim={}, k={}, hash={})",
+            meta.name, meta.version, meta.dim, meta.models, meta.hash
+        );
+    }
+    if let Some(h) = server {
+        h.shutdown();
+    }
     Ok(())
 }
 
@@ -421,6 +638,54 @@ mod tests {
             Ok("inject garble 0.5".to_string())
         );
         assert_eq!(line(&["--kind", "clear"]), Ok("inject clear".to_string()));
+    }
+
+    #[test]
+    fn source_specs_parse_per_scheme() {
+        use super::{parse_source_spec, SourceSpec};
+        use datasets::drift::DriftKind;
+        assert_eq!(
+            parse_source_spec("drift:abrupt:4:1000"),
+            Ok(SourceSpec::Drift {
+                kind: DriftKind::Abrupt,
+                features: 4,
+                period: 1000
+            })
+        );
+        assert_eq!(
+            parse_source_spec("drift:gradual:2:50"),
+            Ok(SourceSpec::Drift {
+                kind: DriftKind::Gradual,
+                features: 2,
+                period: 50
+            })
+        );
+        assert_eq!(
+            parse_source_spec("csv:data/train.csv"),
+            Ok(SourceSpec::Csv("data/train.csv".to_string()))
+        );
+        assert_eq!(
+            parse_source_spec("tcp:127.0.0.1:9000:3"),
+            Ok(SourceSpec::Tcp {
+                addr: "127.0.0.1:9000".to_string(),
+                features: 3
+            })
+        );
+    }
+
+    #[test]
+    fn bad_source_specs_are_rejected() {
+        use super::parse_source_spec;
+        for bad in [
+            "drift:meteoric:4:1000", // unknown kind
+            "drift:abrupt:4",        // missing period
+            "drift:abrupt:0:100",    // zero features
+            "tcp:9000:3",            // no host:port
+            "tcp:127.0.0.1:9000",    // feature count not numeric? (port eaten)
+            "stdin",                 // unknown scheme
+        ] {
+            assert!(parse_source_spec(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

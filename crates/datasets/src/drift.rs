@@ -249,6 +249,67 @@ mod tests {
         );
     }
 
+    /// Mean absolute prequential error of an online learner over `n`
+    /// samples of `stream`, returned per-sample.
+    fn prequential_errors(stream: &mut DriftStream, n: usize, seed: u64) -> Vec<f32> {
+        use encoding::NonlinearEncoder;
+        use reghd::{config::RegHdConfig, OnlineRegHd};
+        let cfg = RegHdConfig::builder().dim(512).models(2).seed(seed).build();
+        let mut m = OnlineRegHd::new(cfg, Box::new(NonlinearEncoder::new(2, 512, seed)));
+        (0..n)
+            .map(|_| {
+                let (x, y) = stream.next_sample();
+                m.update(&x, y).abs()
+            })
+            .collect()
+    }
+
+    fn window_mean(errs: &[f32], range: std::ops::Range<usize>) -> f32 {
+        let w = &errs[range];
+        w.iter().sum::<f32>() / w.len() as f32
+    }
+
+    #[test]
+    fn online_learner_recovers_across_gradual_transitions() {
+        // Gradual drift mixes in the next concept over the second half of
+        // each period: the error rises during the mixing window and
+        // settles again once the new concept has fully taken over.
+        let mut s = DriftStream::new(2, 1000, DriftKind::Gradual, 11);
+        let errs = prequential_errors(&mut s, 3000, 11);
+        let settled2 = window_mean(&errs, 1200..1500); // clean 2nd concept
+        let mixing23 = window_mean(&errs, 1800..2000); // deep in the ramp
+        let settled3 = window_mean(&errs, 2200..2500); // clean 3rd concept
+        assert!(
+            mixing23 > settled2,
+            "no error elevation during the gradual transition: \
+             {settled2} -> {mixing23}"
+        );
+        assert!(
+            settled3 < mixing23,
+            "no recovery after the gradual transition: {mixing23} -> {settled3}"
+        );
+    }
+
+    #[test]
+    fn online_learner_tracks_incremental_drift() {
+        // Incremental drift rotates the concept continuously; a single-pass
+        // learner must keep tracking it — settled error stays bounded
+        // instead of growing as the function slides away.
+        let mut s = DriftStream::new(2, 1000, DriftKind::Incremental, 12);
+        let errs = prequential_errors(&mut s, 3000, 12);
+        let untrained = window_mean(&errs, 0..100);
+        let early = window_mean(&errs, 600..900);
+        let late = window_mean(&errs, 2600..2900);
+        assert!(
+            late < untrained,
+            "tracking lost: late error {late} vs untrained {untrained}"
+        );
+        assert!(
+            late < 2.0 * early,
+            "error diverges under incremental drift: {early} -> {late}"
+        );
+    }
+
     #[test]
     fn all_kinds_produce_finite_samples() {
         for kind in [

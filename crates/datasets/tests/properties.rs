@@ -1,6 +1,7 @@
 //! Property-based tests for the datasets crate.
 
 use datasets::csv::parse_csv;
+use datasets::drift::{DriftKind, DriftStream};
 use datasets::metrics::{mae, mse, r2, rmse};
 use datasets::normalize::{Standardizer, TargetScaler};
 use datasets::split::{k_fold, train_test_split};
@@ -100,6 +101,28 @@ proptest! {
             - ys.iter().cloned().fold(f32::INFINITY, f32::min);
         prop_assume!(spread > 0.1);
         prop_assert!((r2(&ys, &ys) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn drift_stream_is_deterministic_by_seed(
+        seed in any::<u64>(),
+        kind_idx in 0usize..3,
+        features in 1usize..5,
+        period in 1usize..200,
+    ) {
+        let kind = [DriftKind::Abrupt, DriftKind::Gradual, DriftKind::Incremental][kind_idx];
+        // Identical construction parameters replay the identical stream,
+        // across at least one concept boundary.
+        let mut a = DriftStream::new(features, period, kind, seed);
+        let mut b = DriftStream::new(features, period, kind, seed);
+        for _ in 0..(2 * period + 10) {
+            prop_assert_eq!(a.next_sample(), b.next_sample());
+        }
+        // A different seed diverges somewhere in the same horizon.
+        let mut c = DriftStream::new(features, period, kind, seed);
+        let mut d = DriftStream::new(features, period, kind, seed ^ 0x9E37_79B9);
+        let diverged = (0..(2 * period + 10)).any(|_| c.next_sample() != d.next_sample());
+        prop_assert!(diverged, "distinct seeds replayed the same stream");
     }
 
     #[test]

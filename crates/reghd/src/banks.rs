@@ -158,6 +158,21 @@ impl ClusterBank {
         }
     }
 
+    /// Re-initialises cluster `l` to fresh random binary values — the same
+    /// initialisation a newly constructed bank uses (§2.4). Streaming
+    /// trainers call this on concept drift to evict a cluster whose region
+    /// of input space no longer exists; the next samples that land nearest
+    /// to the fresh random vector re-grow it under the new concept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn reset(&mut self, l: usize, rng: &mut HdRng) {
+        let dim = self.int[l].dim();
+        self.int[l] = BipolarHv::random(dim, rng).to_real();
+        self.bin[l] = self.int[l].binarize();
+    }
+
     /// Epoch boundary: re-quantise binary copies from the integer copies
     /// (the single-comparison binarisation step of Fig. 5a).
     pub fn end_epoch(&mut self) {
@@ -321,6 +336,21 @@ impl ModelBank {
     /// Panics if `i` is out of range or dimensions mismatch.
     pub fn update(&mut self, i: usize, delta: f32, s: &RealHv) {
         self.int[i].add_scaled(s, delta);
+    }
+
+    /// Re-initialises model `i` to the zero hypervector — the same state a
+    /// newly constructed bank starts from (§2.4). Paired with
+    /// [`ClusterBank::reset`] when a streaming trainer evicts a stale
+    /// cluster/model pair on concept drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn reset(&mut self, i: usize) {
+        let dim = self.int[i].dim();
+        self.int[i] = RealHv::zeros(dim);
+        self.bin[i] = BinaryHv::zeros(dim);
+        self.amps[i] = 0.0;
     }
 
     /// Epoch boundary: refresh binary copies and amplitudes from the

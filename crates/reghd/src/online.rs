@@ -50,6 +50,10 @@ pub struct OnlineRegHd {
     /// Exponentially weighted prequential squared error.
     ewma_sq_err: f64,
     ewma_alpha: f64,
+    /// Per-cluster EWMA of the absolute prequential error, attributed to
+    /// the argmax cluster of each sample. Drift responders use this to
+    /// pick the worst-performing cluster to evict.
+    cluster_err: Vec<f64>,
 }
 
 impl std::fmt::Debug for OnlineRegHd {
@@ -86,6 +90,7 @@ impl OnlineRegHd {
         let mut rng = HdRng::seed_from(config.seed ^ ONLINE_SEED_SALT);
         let clusters = ClusterBank::new(config.models, config.dim, config.cluster_mode, &mut rng);
         let models = ModelBank::new(config.models, config.dim, config.prediction_mode);
+        let k = config.models;
         Self {
             config,
             encoder,
@@ -95,6 +100,57 @@ impl OnlineRegHd {
             samples_seen: 0,
             ewma_sq_err: 0.0,
             ewma_alpha: 0.02,
+            cluster_err: vec![0.0; k],
+        }
+    }
+
+    /// Rebuilds a streaming regressor from persisted state (see
+    /// [`crate::persist::load_online`]). Binary bank copies are re-derived
+    /// from the integer copies, so a model saved at a quantisation
+    /// boundary (see [`OnlineRegHd::quantize_now`]) round-trips bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid or any shape disagrees with it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        mut config: RegHdConfig,
+        encoder: Box<dyn Encoder>,
+        clusters_int: Vec<hdc::RealHv>,
+        models_int: Vec<hdc::RealHv>,
+        intercept: f32,
+        samples_seen: u64,
+        ewma_sq_err: f64,
+        cluster_err: Vec<f64>,
+    ) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid RegHdConfig: {e}"));
+        assert_eq!(encoder.dim(), config.dim, "encoder/config dim mismatch");
+        assert_eq!(clusters_int.len(), config.models, "cluster count mismatch");
+        assert_eq!(models_int.len(), config.models, "model count mismatch");
+        assert_eq!(cluster_err.len(), config.models, "cluster_err mismatch");
+        assert!(
+            clusters_int
+                .iter()
+                .chain(&models_int)
+                .all(|v| v.dim() == config.dim),
+            "bank vectors must match config.dim"
+        );
+        config.center_encodings = false;
+        config.intercept = true;
+        let clusters = ClusterBank::from_parts(config.cluster_mode, clusters_int);
+        let models = ModelBank::from_parts(config.prediction_mode, models_int);
+        Self {
+            config,
+            encoder,
+            clusters,
+            models,
+            intercept,
+            samples_seen,
+            ewma_sq_err,
+            ewma_alpha: 0.02,
+            cluster_err,
         }
     }
 
@@ -103,10 +159,43 @@ impl OnlineRegHd {
         self.samples_seen
     }
 
+    /// The configuration this regressor runs with (after the streaming
+    /// normalisation applied by [`OnlineRegHd::new`]).
+    pub fn config(&self) -> &RegHdConfig {
+        &self.config
+    }
+
+    /// The learned intercept.
+    pub fn intercept(&self) -> f32 {
+        self.intercept
+    }
+
+    /// The cluster bank (inspection and persistence access).
+    pub fn clusters(&self) -> &ClusterBank {
+        &self.clusters
+    }
+
+    /// The model bank (inspection and persistence access).
+    pub fn models(&self) -> &ModelBank {
+        &self.models
+    }
+
+    /// Per-cluster EWMA of the absolute prequential error (attributed to
+    /// each sample's argmax cluster).
+    pub fn cluster_errors(&self) -> &[f64] {
+        &self.cluster_err
+    }
+
     /// Exponentially weighted moving average of the prequential squared
     /// error (0 before any update).
     pub fn prequential_mse(&self) -> f32 {
         self.ewma_sq_err as f32
+    }
+
+    /// The raw f64 prequential EWMA state ([`crate::persist`] stores this
+    /// bit-exactly so a resumed trainer continues the same statistic).
+    pub(crate) fn ewma_sq_err_raw(&self) -> f64 {
+        self.ewma_sq_err
     }
 
     fn encode(&self, x: &[f32]) -> EncodedQuery {
@@ -160,6 +249,8 @@ impl OnlineRegHd {
         self.intercept += alpha * 0.1 * err;
         if let Some(l) = argmax(&sims) {
             self.clusters.update(l, sims[l], &q.real);
+            let b = CLUSTER_ERR_ALPHA;
+            self.cluster_err[l] = (1.0 - b) * self.cluster_err[l] + b * (err.abs() as f64);
         }
 
         self.samples_seen += 1;
@@ -174,6 +265,68 @@ impl OnlineRegHd {
         let a = self.ewma_alpha;
         self.ewma_sq_err = (1.0 - a) * self.ewma_sq_err + a * (err as f64) * (err as f64);
         err
+    }
+
+    /// Index of the cluster with the highest attributed prequential error
+    /// — the eviction candidate when a drift detector fires.
+    pub fn worst_cluster(&self) -> usize {
+        self.cluster_err
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Evicts cluster `l`: the cluster hypervector is re-initialised to
+    /// fresh random binary values, its model hypervector to zero, and its
+    /// error attribution cleared — the drift-recovery hook. The fresh
+    /// random vector is deterministic given the config seed and the number
+    /// of samples seen, so a checkpointed-and-resumed trainer resets
+    /// identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn reset_cluster(&mut self, l: usize) {
+        let mut rng = HdRng::seed_from(
+            self.config.seed
+                ^ ONLINE_SEED_SALT
+                ^ (self.samples_seen.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        self.clusters.reset(l, &mut rng);
+        self.models.reset(l);
+        self.cluster_err[l] = 0.0;
+    }
+
+    /// Forces a quantisation boundary now: binary bank copies and
+    /// amplitudes are refreshed from the integer copies, exactly as at a
+    /// `quantize_batch` boundary. Checkpointing calls this first so the
+    /// persisted integer state fully determines prediction behaviour (the
+    /// binary copies are re-derived on load).
+    pub fn quantize_now(&mut self) {
+        self.models.end_epoch();
+        self.clusters.end_epoch();
+    }
+
+    /// Snapshots the current learned state as a batch [`RegHdRegressor`]
+    /// (binary copies re-derived), the form the serving bundle embeds.
+    /// `spec` must describe this model's encoder; predictions of the
+    /// snapshot match the live model bit-exactly when taken at a
+    /// quantisation boundary ([`OnlineRegHd::quantize_now`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` does not match the config's dimensionality.
+    pub fn snapshot(&self, spec: &encoding::EncoderSpec) -> crate::RegHdRegressor {
+        crate::RegHdRegressor::from_parts(
+            self.config.clone(),
+            spec.build(),
+            self.clusters.integer_clusters().to_vec(),
+            self.models.integer_models().to_vec(),
+            None,
+            self.intercept,
+        )
     }
 }
 
@@ -203,6 +356,7 @@ impl Regressor for OnlineRegHd {
         self.intercept = 0.0;
         self.samples_seen = 0;
         self.ewma_sq_err = 0.0;
+        self.cluster_err = vec![0.0; self.config.models];
 
         let mut sq = 0.0f64;
         for (x, &y) in features.iter().zip(targets) {
@@ -231,6 +385,9 @@ impl Regressor for OnlineRegHd {
 /// Seed salt separating the streaming trainer's RNG stream from the batch
 /// trainer's.
 const ONLINE_SEED_SALT: u64 = 0x04_71_13_E5;
+
+/// EWMA rate for the per-cluster error attribution.
+const CLUSTER_ERR_ALPHA: f64 = 0.05;
 
 #[cfg(test)]
 mod tests {
@@ -356,6 +513,66 @@ mod tests {
     #[test]
     fn name_reflects_streaming() {
         assert_eq!(make(4, 0).name(), "RegHD-online-4");
+    }
+
+    #[test]
+    fn cluster_error_attribution_and_reset() {
+        let (xs, ys) = stream(400, 5);
+        let mut m = make(3, 5);
+        for (x, &y) in xs.iter().zip(&ys) {
+            m.update(x, y);
+        }
+        assert!(m.cluster_errors().iter().any(|&e| e > 0.0));
+        let worst = m.worst_cluster();
+        assert!(worst < 3);
+        m.reset_cluster(worst);
+        assert_eq!(m.cluster_errors()[worst], 0.0);
+        // The evicted pair contributes a zero model score; the regressor
+        // keeps predicting finite values and keeps learning.
+        assert!(m.predict_one(&xs[0]).is_finite());
+        let mut late = 0.0f64;
+        for (x, &y) in xs.iter().zip(&ys) {
+            late += m.update(x, y).abs() as f64;
+        }
+        assert!(late.is_finite());
+    }
+
+    #[test]
+    fn reset_is_deterministic_in_sample_position() {
+        let (xs, ys) = stream(100, 6);
+        let mut a = make(2, 6);
+        let mut b = make(2, 6);
+        for (x, &y) in xs.iter().zip(&ys) {
+            a.update(x, y);
+            b.update(x, y);
+        }
+        a.reset_cluster(0);
+        b.reset_cluster(0);
+        assert_eq!(
+            a.clusters().integer_clusters()[0],
+            b.clusters().integer_clusters()[0]
+        );
+    }
+
+    #[test]
+    fn snapshot_predicts_identically_at_quantization_boundary() {
+        use encoding::EncoderSpec;
+        let spec = EncoderSpec::Nonlinear {
+            input_dim: 2,
+            dim: 1024,
+            seed: 7,
+        };
+        let cfg = RegHdConfig::builder().dim(1024).models(2).seed(7).build();
+        let mut m = OnlineRegHd::new(cfg, spec.build());
+        let (xs, ys) = stream(300, 7);
+        for (x, &y) in xs.iter().zip(&ys) {
+            m.update(x, y);
+        }
+        m.quantize_now();
+        let snap = m.snapshot(&spec);
+        for x in xs.iter().take(20) {
+            assert_eq!(snap.predict_one(x).to_bits(), m.predict_one(x).to_bits());
+        }
     }
 
     #[test]

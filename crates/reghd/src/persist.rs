@@ -31,6 +31,7 @@
 
 use crate::config::{ClusterMode, PredictionMode, RegHdConfig, UpdateRule};
 use crate::model::RegHdRegressor;
+use crate::online::OnlineRegHd;
 use encoding::EncoderSpec;
 use hdc::RealHv;
 use std::error::Error;
@@ -40,6 +41,12 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"RGHD";
 const VERSION: u16 = 1;
+/// Version 2 adds a model-kind byte after the version so streaming
+/// ([`OnlineRegHd`]) state can share the format. Batch models keep writing
+/// version 1 (bit-identical to earlier releases); [`load`] accepts both.
+const VERSION_KINDED: u16 = 2;
+const KIND_BATCH: u8 = 0;
+const KIND_ONLINE: u8 = 1;
 
 /// Error raised by save/load.
 #[derive(Debug)]
@@ -95,6 +102,11 @@ fn w_f32<W: Write>(w: &mut W, v: f32) -> Result<(), PersistError> {
     Ok(())
 }
 
+fn w_f64<W: Write>(w: &mut W, v: f64) -> Result<(), PersistError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
 fn r_u8<R: Read>(r: &mut R) -> Result<u8, PersistError> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
@@ -117,6 +129,12 @@ fn r_f32<R: Read>(r: &mut R) -> Result<f32, PersistError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(f32::from_le_bytes(b))
+}
+
+fn r_f64<R: Read>(r: &mut R) -> Result<f64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
 }
 
 fn r_usize<R: Read>(r: &mut R, what: &str) -> Result<usize, PersistError> {
@@ -278,22 +296,7 @@ fn read_spec<R: Read>(r: &mut R) -> Result<EncoderSpec, PersistError> {
     })
 }
 
-/// Serialises a trained model to any writer. `spec` must describe the
-/// encoder the model was built with (the library cannot recover it from
-/// the trait object).
-///
-/// # Errors
-///
-/// Returns [`PersistError::Io`] on write failure.
-pub fn save<W: Write>(
-    model: &RegHdRegressor,
-    spec: &EncoderSpec,
-    w: &mut W,
-) -> Result<(), PersistError> {
-    let cfg = model.config();
-    w.write_all(MAGIC)?;
-    w_u16(w, VERSION)?;
-    // Config block.
+fn write_config<W: Write>(w: &mut W, cfg: &RegHdConfig) -> Result<(), PersistError> {
     w_u64(w, cfg.dim as u64)?;
     w_u64(w, cfg.models as u64)?;
     w_f32(w, cfg.learning_rate)?;
@@ -310,7 +313,59 @@ pub fn save<W: Write>(
     w_u8(w, u8::from(cfg.center_encodings))?;
     w_u8(w, u8::from(cfg.intercept))?;
     w_u64(w, cfg.seed)?;
-    // Encoder block.
+    Ok(())
+}
+
+fn read_config<R: Read>(r: &mut R) -> Result<RegHdConfig, PersistError> {
+    let cfg = RegHdConfig {
+        dim: r_usize(r, "dim")?,
+        models: r_usize(r, "models")?,
+        learning_rate: r_f32(r)?,
+        max_epochs: r_usize(r, "max_epochs")?,
+        min_epochs: r_usize(r, "min_epochs")?,
+        convergence_tol: r_f32(r)?,
+        patience: r_usize(r, "patience")?,
+        softmax_beta: r_f32(r)?,
+        quantize_batch: r_usize(r, "quantize_batch")?,
+        cluster_mode: cluster_mode_from(r_u8(r)?)?,
+        prediction_mode: pred_mode_from(r_u8(r)?)?,
+        update_rule: update_rule_from(r_u8(r)?)?,
+        normalize_encodings: r_u8(r)? != 0,
+        center_encodings: r_u8(r)? != 0,
+        intercept: r_u8(r)? != 0,
+        seed: r_u64(r)?,
+    };
+    cfg.validate().map_err(PersistError::Format)?;
+    Ok(cfg)
+}
+
+fn read_spec_checked<R: Read>(r: &mut R, dim: usize) -> Result<EncoderSpec, PersistError> {
+    let spec = read_spec(r)?;
+    if spec.dim() != dim {
+        return Err(PersistError::Format(format!(
+            "encoder dim {} does not match config dim {dim}",
+            spec.dim()
+        )));
+    }
+    Ok(spec)
+}
+
+/// Serialises a trained model to any writer. `spec` must describe the
+/// encoder the model was built with (the library cannot recover it from
+/// the trait object).
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on write failure.
+pub fn save<W: Write>(
+    model: &RegHdRegressor,
+    spec: &EncoderSpec,
+    w: &mut W,
+) -> Result<(), PersistError> {
+    let cfg = model.config();
+    w.write_all(MAGIC)?;
+    w_u16(w, VERSION)?;
+    write_config(w, cfg)?;
     write_spec(w, spec)?;
     // Learned state.
     w_f32(w, model.intercept())?;
@@ -344,54 +399,29 @@ pub fn load<R: Read>(r: &mut R) -> Result<RegHdRegressor, PersistError> {
         return Err(PersistError::Format("bad magic".to_string()));
     }
     let version = r_u16(r)?;
-    if version != VERSION {
-        return Err(PersistError::Format(format!(
-            "unsupported version {version} (expected {VERSION})"
-        )));
+    match version {
+        VERSION => {}
+        VERSION_KINDED => {
+            let kind = r_u8(r)?;
+            if kind == KIND_ONLINE {
+                return Err(PersistError::Format(
+                    "this file holds an online (streaming) model: use load_online".to_string(),
+                ));
+            }
+            if kind != KIND_BATCH {
+                return Err(PersistError::Format(format!("bad model kind {kind}")));
+            }
+        }
+        _ => {
+            return Err(PersistError::Format(format!(
+                "unsupported version {version} (expected {VERSION} or {VERSION_KINDED})"
+            )));
+        }
     }
-    let dim = r_usize(r, "dim")?;
-    let models = r_usize(r, "models")?;
-    let learning_rate = r_f32(r)?;
-    let max_epochs = r_usize(r, "max_epochs")?;
-    let min_epochs = r_usize(r, "min_epochs")?;
-    let convergence_tol = r_f32(r)?;
-    let patience = r_usize(r, "patience")?;
-    let softmax_beta = r_f32(r)?;
-    let quantize_batch = r_usize(r, "quantize_batch")?;
-    let cluster_mode = cluster_mode_from(r_u8(r)?)?;
-    let prediction_mode = pred_mode_from(r_u8(r)?)?;
-    let update_rule = update_rule_from(r_u8(r)?)?;
-    let normalize_encodings = r_u8(r)? != 0;
-    let center_encodings = r_u8(r)? != 0;
-    let intercept_on = r_u8(r)? != 0;
-    let seed = r_u64(r)?;
-    let cfg = RegHdConfig {
-        dim,
-        models,
-        learning_rate,
-        max_epochs,
-        min_epochs,
-        convergence_tol,
-        patience,
-        softmax_beta,
-        quantize_batch,
-        cluster_mode,
-        prediction_mode,
-        update_rule,
-        normalize_encodings,
-        center_encodings,
-        intercept: intercept_on,
-        seed,
-    };
-    cfg.validate().map_err(PersistError::Format)?;
-
-    let spec = read_spec(r)?;
-    if spec.dim() != dim {
-        return Err(PersistError::Format(format!(
-            "encoder dim {} does not match config dim {dim}",
-            spec.dim()
-        )));
-    }
+    let cfg = read_config(r)?;
+    let dim = cfg.dim;
+    let models = cfg.models;
+    let spec = read_spec_checked(r, dim)?;
 
     let intercept = r_f32(r)?;
     let center = if r_u8(r)? != 0 {
@@ -439,6 +469,132 @@ pub fn save_to_file<P: AsRef<Path>>(
 pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<RegHdRegressor, PersistError> {
     let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
     load(&mut f)
+}
+
+/// Serialises a streaming [`OnlineRegHd`] model to any writer.
+///
+/// Beyond the batch format this stores the training cursor — samples seen,
+/// the prequential EWMA, and per-cluster error estimates — so a resumed
+/// trainer continues the exact statistic stream it left off. The binary
+/// bank copies are *not* stored (they are re-derived on load), so for a
+/// bit-exact round-trip in the binary prediction/cluster modes call
+/// [`OnlineRegHd::quantize_now`] before saving; the default
+/// `Integer`/`Full` modes are always bit-exact.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on write failure.
+pub fn save_online<W: Write>(
+    model: &OnlineRegHd,
+    spec: &EncoderSpec,
+    w: &mut W,
+) -> Result<(), PersistError> {
+    let cfg = model.config();
+    w.write_all(MAGIC)?;
+    w_u16(w, VERSION_KINDED)?;
+    w_u8(w, KIND_ONLINE)?;
+    write_config(w, cfg)?;
+    write_spec(w, spec)?;
+    // Learned state + training cursor.
+    w_f32(w, model.intercept())?;
+    w_u64(w, model.samples_seen())?;
+    w_f64(w, model.ewma_sq_err_raw())?;
+    for &e in model.cluster_errors() {
+        w_f64(w, e)?;
+    }
+    for c in model.clusters().integer_clusters() {
+        w_hv(w, c)?;
+    }
+    for m in model.models().integer_models() {
+        w_hv(w, m)?;
+    }
+    Ok(())
+}
+
+/// Deserialises a streaming model saved by [`save_online`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::Format`] when the stream is not a valid online
+/// model file (including batch files, which must go through [`load`]) and
+/// [`PersistError::Io`] on read failure.
+pub fn load_online<R: Read>(r: &mut R) -> Result<OnlineRegHd, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic".to_string()));
+    }
+    let version = r_u16(r)?;
+    if version == VERSION {
+        return Err(PersistError::Format(
+            "this file holds a batch model: use load".to_string(),
+        ));
+    }
+    if version != VERSION_KINDED {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version} (expected {VERSION_KINDED})"
+        )));
+    }
+    let kind = r_u8(r)?;
+    if kind != KIND_ONLINE {
+        return Err(PersistError::Format(
+            "this file holds a batch model: use load".to_string(),
+        ));
+    }
+    let cfg = read_config(r)?;
+    let dim = cfg.dim;
+    let models = cfg.models;
+    let spec = read_spec_checked(r, dim)?;
+
+    let intercept = r_f32(r)?;
+    let samples_seen = r_u64(r)?;
+    let ewma_sq_err = r_f64(r)?;
+    let mut cluster_err = Vec::with_capacity(models);
+    for _ in 0..models {
+        cluster_err.push(r_f64(r)?);
+    }
+    let mut clusters = Vec::with_capacity(models);
+    for _ in 0..models {
+        clusters.push(r_hv(r, dim)?);
+    }
+    let mut model_hvs = Vec::with_capacity(models);
+    for _ in 0..models {
+        model_hvs.push(r_hv(r, dim)?);
+    }
+    Ok(OnlineRegHd::from_parts(
+        cfg,
+        spec.build(),
+        clusters,
+        model_hvs,
+        intercept,
+        samples_seen,
+        ewma_sq_err,
+        cluster_err,
+    ))
+}
+
+/// Saves a streaming model to a file path. See [`save_online`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure.
+pub fn save_online_to_file<P: AsRef<Path>>(
+    model: &OnlineRegHd,
+    spec: &EncoderSpec,
+    path: P,
+) -> Result<(), PersistError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save_online(model, spec, &mut f)
+}
+
+/// Loads a streaming model from a file path. See [`load_online`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem failure or malformed content.
+pub fn load_online_from_file<P: AsRef<Path>>(path: P) -> Result<OnlineRegHd, PersistError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    load_online(&mut f)
 }
 
 #[cfg(test)]
@@ -551,5 +707,73 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PersistError>();
+    }
+
+    fn streamed(n: usize) -> (OnlineRegHd, EncoderSpec, Vec<Vec<f32>>) {
+        let spec = EncoderSpec::Nonlinear {
+            input_dim: 3,
+            dim: 256,
+            seed: 9,
+        };
+        let cfg = RegHdConfig::builder().dim(256).models(4).seed(9).build();
+        let mut m = OnlineRegHd::new(cfg, spec.build());
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![(i % 5) as f32, (i % 7) as f32 / 7.0, -(i as f32) / 60.0])
+            .collect();
+        for x in &xs {
+            let y = x[0] - x[1] + 2.0 * x[2];
+            m.update(x, y);
+        }
+        (m, spec, xs)
+    }
+
+    #[test]
+    fn online_roundtrip_is_bit_exact_at_quantization_boundary() {
+        let (mut model, spec, xs) = streamed(60);
+        model.quantize_now();
+        let mut buf = Vec::new();
+        save_online(&model, &spec, &mut buf).unwrap();
+        let mut loaded = load_online(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.samples_seen(), model.samples_seen());
+        assert_eq!(loaded.prequential_mse(), model.prequential_mse());
+        assert_eq!(loaded.cluster_errors(), model.cluster_errors());
+        for x in xs.iter().take(10) {
+            assert_eq!(loaded.predict_one(x), model.predict_one(x));
+        }
+        // Continued training must also agree bit-for-bit: the persisted
+        // cursor (samples_seen, EWMA, per-cluster errors) drives the same
+        // update trajectory as the original.
+        for x in xs.iter().take(20) {
+            let y = x[0] + 1.0;
+            assert_eq!(loaded.update(x, y), model.update(x, y));
+        }
+        assert_eq!(loaded.prequential_mse(), model.prequential_mse());
+    }
+
+    #[test]
+    fn online_file_roundtrip() {
+        let (mut model, spec, xs) = streamed(40);
+        model.quantize_now();
+        let path = std::env::temp_dir().join("reghd_persist_online_test.rghd");
+        save_online_to_file(&model, &spec, &path).unwrap();
+        let loaded = load_online_from_file(&path).unwrap();
+        assert_eq!(loaded.predict_one(&xs[0]), model.predict_one(&xs[0]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn online_and_batch_loaders_reject_each_others_files() {
+        let (online, ospec, _) = streamed(30);
+        let mut obuf = Vec::new();
+        save_online(&online, &ospec, &mut obuf).unwrap();
+        let err = load(&mut obuf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("load_online"), "err: {err}");
+
+        let (batch, bspec, _) = trained(PredictionMode::Full);
+        let mut bbuf = Vec::new();
+        save(&batch, &bspec, &mut bbuf).unwrap();
+        let err = load_online(&mut bbuf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("batch model"), "err: {err}");
     }
 }

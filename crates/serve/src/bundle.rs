@@ -161,6 +161,64 @@ pub fn train(
 }
 
 impl ModelBundle {
+    /// Wraps an already-trained model (the streaming trainer's snapshot
+    /// path) into a bundle, capturing up to [`CANARY_ROWS`] of the given
+    /// raw-unit rows — together with the model's own predictions for them —
+    /// as the canary section.
+    ///
+    /// The model **must** have been built with the Nonlinear encoder at the
+    /// derived seed `config.seed ^ 0xC11` (the convention every loader in
+    /// this crate re-derives the spec from; [`train`] and the streaming
+    /// trainer both follow it). A model built differently would serialise
+    /// fine but fail its own canary replay on reload — caught, but late.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched scaler lengths, rows whose width disagrees with
+    /// the scalers, and non-finite canary rows.
+    pub fn from_trained(
+        model: RegHdRegressor,
+        feat_means: Vec<f32>,
+        feat_stds: Vec<f32>,
+        target_mean: f32,
+        target_std: f32,
+        canary_source: &[Vec<f32>],
+    ) -> Result<Self, String> {
+        if feat_means.len() != feat_stds.len() {
+            return Err(format!(
+                "feature means ({}) and stds ({}) disagree",
+                feat_means.len(),
+                feat_stds.len()
+            ));
+        }
+        let spec = EncoderSpec::Nonlinear {
+            input_dim: feat_means.len(),
+            dim: model.config().dim,
+            seed: model.config().seed ^ 0xC11,
+        };
+        let mut bundle = Self {
+            model,
+            spec,
+            feat_means,
+            feat_stds,
+            target_mean,
+            target_std,
+            canary_rows: Vec::new(),
+            canary_preds: Vec::new(),
+        };
+        let step = (canary_source.len() / CANARY_ROWS).max(1);
+        let rows: Vec<Vec<f32>> = canary_source
+            .iter()
+            .step_by(step)
+            .take(CANARY_ROWS)
+            .cloned()
+            .collect();
+        let preds = bundle.predict(&rows)?;
+        bundle.canary_rows = rows;
+        bundle.canary_preds = preds;
+        Ok(bundle)
+    }
+
     /// Number of raw input features a prediction row must have.
     pub fn num_features(&self) -> usize {
         self.feat_means.len()
@@ -767,6 +825,52 @@ mod tests {
             corrupt_bytes(&mut b, ByteFault::Truncate, &mut rng);
             assert!(ModelBundle::from_bytes(&b).is_err());
         }
+    }
+
+    #[test]
+    fn from_trained_online_snapshot_roundtrips_with_passing_canary() {
+        // Mirror the streaming trainer's checkpoint path: train online,
+        // quantise, snapshot, wrap with identity scalers, round-trip.
+        let seed = 21u64;
+        let spec = EncoderSpec::Nonlinear {
+            input_dim: 2,
+            dim: 256,
+            seed: seed ^ 0xC11,
+        };
+        let cfg = RegHdConfig::builder().dim(256).models(2).seed(seed).build();
+        let mut online = reghd::OnlineRegHd::new(cfg, spec.build());
+        let rows: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32 / 50.0, 1.0]).collect();
+        for r in &rows {
+            online.update(r, r[0] * 3.0 - 1.0);
+        }
+        online.quantize_now();
+        let snapshot = online.snapshot(&spec);
+
+        let bundle =
+            ModelBundle::from_trained(snapshot, vec![0.0; 2], vec![1.0; 2], 0.0, 1.0, &rows)
+                .unwrap();
+        assert!(bundle.canary_len() > 0);
+        bundle.run_canary().unwrap();
+
+        let loaded = ModelBundle::from_bytes(&bundle.to_bytes().unwrap()).unwrap();
+        loaded.run_canary().unwrap();
+        assert_eq!(
+            bundle.predict(&rows[..5]).unwrap(),
+            loaded.predict(&rows[..5]).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_trained_rejects_mismatched_scalers() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 1, 5, 3, false).unwrap();
+        let model = ModelBundle::from_bytes(&bundle.to_bytes().unwrap())
+            .unwrap()
+            .model;
+        let err =
+            ModelBundle::from_trained(model, vec![0.0; 2], vec![1.0; 3], 0.0, 1.0, &ds.features)
+                .unwrap_err();
+        assert!(err.contains("disagree"), "err: {err}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod faults;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod status;
 pub mod worker;
 
 pub use batcher::{Batcher, BatcherConfig};
@@ -41,6 +42,7 @@ pub use faults::FaultInjector;
 pub use metrics::{LatencyHistogram, MetricsHub, ModelMetrics};
 pub use registry::{ModelMeta, ModelRegistry, ServedModel, SweepReport};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use status::TrainStatus;
 pub use worker::{Batch, WorkItem, WorkerPool};
 
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};

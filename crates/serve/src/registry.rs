@@ -210,6 +210,42 @@ impl ModelRegistry {
         Ok(meta)
     }
 
+    /// Publishes bundle bytes under `name`, creating the entry when absent
+    /// and hot-swapping it when present — the streaming trainer's upsert
+    /// path (it cannot know whether an operator already loaded the name).
+    /// Exactly like [`ModelRegistry::load_bytes`]/[`ModelRegistry::reload_bytes`],
+    /// the bundle must pass checksum verification and its canary replay
+    /// **before** the swap; a failing artefact leaves the registry
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bundle`] when the bytes do not parse or fail a
+    /// section checksum, [`ServeError::Canary`] when the canary replay
+    /// mismatches.
+    pub fn publish_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
+        let mut entry = build_entry(name, 1, bytes)?;
+        let mut map = write_unpoisoned(&self.inner);
+        if let Some(slot) = map.get_mut(name) {
+            entry.meta.version = slot.current.meta.version + 1;
+            let meta = entry.meta.clone();
+            let shared = Arc::new(entry);
+            slot.current = shared.clone();
+            slot.last_good = shared;
+            return Ok(meta);
+        }
+        let meta = entry.meta.clone();
+        let shared = Arc::new(entry);
+        map.insert(
+            name.to_string(),
+            Slot {
+                current: shared.clone(),
+                last_good: shared,
+            },
+        );
+        Ok(meta)
+    }
+
     /// Hot-swaps the model under `name` from a `.rghd` bundle file. See
     /// [`ModelRegistry::reload_bytes`].
     ///
@@ -381,6 +417,34 @@ mod tests {
         assert_eq!(reg.get("m").unwrap().meta.version, 2);
         // Different bytes → different hash.
         assert_ne!(pinned.meta.hash, meta.hash);
+    }
+
+    #[test]
+    fn publish_upserts_and_bumps_versions() {
+        let reg = ModelRegistry::new();
+        // First publish creates the entry …
+        let meta = reg.publish_bytes("m", &toy_bytes(30)).unwrap();
+        assert_eq!(meta.version, 1);
+        // … later publishes hot-swap it, bumping the version.
+        let meta = reg.publish_bytes("m", &toy_bytes(31)).unwrap();
+        assert_eq!(meta.version, 2);
+        assert_eq!(reg.get("m").unwrap().meta.version, 2);
+        // A corrupt publish leaves the serving version untouched.
+        assert!(matches!(
+            reg.publish_bytes("m", b"garbage"),
+            Err(ServeError::Bundle(_))
+        ));
+        assert_eq!(reg.get("m").unwrap().meta.version, 2);
+    }
+
+    #[test]
+    fn list_is_sorted_by_name() {
+        let reg = ModelRegistry::new();
+        for name in ["zeta", "alpha", "mid"] {
+            reg.publish_bytes(name, &toy_bytes(33)).unwrap();
+        }
+        let names: Vec<String> = reg.list().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
     }
 
     #[test]

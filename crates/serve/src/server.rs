@@ -5,6 +5,8 @@
 //! ```text
 //! predict <model> <f32,f32,...>   →  ok <y> | degraded <y> | err <reason>
 //! reload <model> <path>           →  ok reloaded <model> v<version>
+//! list                            →  model lines (name-sorted), then ok
+//! train-status                    →  ok train ... (needs an attached trainer)
 //! sweep                           →  ok swept checked=N corrupted=N rolled_back=N
 //! inject <fault> [...]            →  ok ... (only with ServerConfig::enable_inject)
 //! health                          →  ok
@@ -31,7 +33,8 @@
 use crate::batcher::{Batcher, BatcherConfig};
 use crate::faults::FaultInjector;
 use crate::metrics::{MetricsHub, ModelMetrics};
-use crate::registry::{ModelRegistry, ServedModel};
+use crate::registry::{ModelMeta, ModelRegistry, ServedModel};
+use crate::status::TrainStatus;
 use crate::worker::{WorkItem, WorkerPool};
 use crate::ServeError;
 use std::io::{BufRead, BufReader, Write};
@@ -66,6 +69,10 @@ pub struct ServerConfig {
     /// Seed for the server's [`FaultInjector`] (only meaningful with
     /// `enable_inject` or when tests drive the injector directly).
     pub fault_seed: u64,
+    /// Status block of an in-process streaming trainer, rendered by the
+    /// `train-status` protocol command. `None` (the default) makes that
+    /// command answer `err no trainer attached`.
+    pub train_status: Option<Arc<TrainStatus>>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +86,7 @@ impl Default for ServerConfig {
             sweep_interval: None,
             enable_inject: false,
             fault_seed: 0,
+            train_status: None,
         }
     }
 }
@@ -92,6 +100,7 @@ struct Ctx {
     stop: Arc<AtomicBool>,
     reply_timeout: Duration,
     enable_inject: bool,
+    train_status: Option<Arc<TrainStatus>>,
 }
 
 /// Running server. Dropping the handle shuts the server down.
@@ -113,26 +122,27 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
+/// One `model …` inventory line (shared by `stats` and `list`). The
+/// registry returns metas name-sorted, so replies built from it are
+/// deterministic for a given set of loaded models.
+fn model_line(m: &ModelMeta) -> String {
+    format!(
+        "model {} v{} hash={} dim={} k={} cluster={} prediction={} bytes={} canary={}",
+        m.name,
+        m.version,
+        m.hash,
+        m.dim,
+        m.models,
+        m.cluster_mode,
+        m.prediction_mode,
+        m.bytes,
+        m.canary_rows,
+    )
+}
+
 /// The `stats` payload: registry inventory plus per-model counters.
 fn stats_lines(registry: &ModelRegistry, hub: &MetricsHub, queue_depth: usize) -> Vec<String> {
-    let mut lines: Vec<String> = registry
-        .list()
-        .iter()
-        .map(|m| {
-            format!(
-                "model {} v{} hash={} dim={} k={} cluster={} prediction={} bytes={} canary={}",
-                m.name,
-                m.version,
-                m.hash,
-                m.dim,
-                m.models,
-                m.cluster_mode,
-                m.prediction_mode,
-                m.bytes,
-                m.canary_rows,
-            )
-        })
-        .collect();
+    let mut lines: Vec<String> = registry.list().iter().map(model_line).collect();
     lines.extend(hub.render_all());
     lines.push(format!(
         "server connections={} bad_requests={} queue_depth={queue_depth} \
@@ -245,6 +255,15 @@ fn handle_line(line: &str, ctx: &Ctx) -> (Vec<String>, bool) {
             lines.push("ok".to_string());
             (lines, false)
         }
+        Some("list") => {
+            let mut lines: Vec<String> = ctx.registry.list().iter().map(model_line).collect();
+            lines.push("ok".to_string());
+            (lines, false)
+        }
+        Some("train-status") => match &ctx.train_status {
+            Some(status) => (vec![format!("ok {}", status.summary())], false),
+            None => (vec!["err no trainer attached".to_string()], false),
+        },
         Some("sweep") => {
             let r = run_sweep(&ctx.registry, &ctx.hub);
             (
@@ -409,6 +428,7 @@ pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHa
         stop: stop.clone(),
         reply_timeout: cfg.reply_timeout,
         enable_inject: cfg.enable_inject,
+        train_status: cfg.train_status.clone(),
     });
     let read_timeout = cfg.read_timeout;
     let stop_accept = stop.clone();
@@ -699,6 +719,88 @@ mod tests {
                 .any(|l| l.starts_with("server ") && l.contains("sweeps=")),
             "{lines:?}"
         );
+        handle.shutdown();
+    }
+
+    fn read_until_ok(s: &mut TcpStream, req: &str) -> Vec<String> {
+        writeln!(s, "{req}").unwrap();
+        s.flush().unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end().to_string();
+            let done = line == "ok" || line.starts_with("err");
+            lines.push(line);
+            if done {
+                break;
+            }
+        }
+        lines
+    }
+
+    #[test]
+    fn list_replies_name_sorted() {
+        let registry = toy_registry(); // loads "toy"
+        let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 3) as f32]).collect();
+        let targets: Vec<f32> = features.iter().map(|r| r[0] - r[1]).collect();
+        let ds = Dataset::new("extra", features, targets);
+        let (b, _) = bundle::train(&ds, 128, 2, 3, 12, false).unwrap();
+        registry
+            .load_bytes("alpha", &b.to_bytes().unwrap())
+            .unwrap();
+
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg, registry).unwrap();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        let lines = read_until_ok(&mut s, "list");
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].starts_with("model alpha v1 "), "{lines:?}");
+        assert!(lines[1].starts_with("model toy v1 "), "{lines:?}");
+        assert_eq!(lines[2], "ok");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn train_status_command_renders_attached_trainer() {
+        let registry = toy_registry();
+        // Without a trainer the command is a typed error.
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg, registry.clone()).unwrap();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        assert_eq!(roundtrip(&mut s, "train-status"), "err no trainer attached");
+        handle.shutdown();
+
+        // With one attached, the live counters come back.
+        let status = Arc::new(TrainStatus::new());
+        status.record_sample(0.5);
+        status.record_drift(0);
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            train_status: Some(status.clone()),
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg, registry).unwrap();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        let reply = roundtrip(&mut s, "train-status");
+        assert!(reply.starts_with("ok train samples=1"), "{reply}");
+        assert!(reply.contains("drift_events=1"), "{reply}");
+        status.record_checkpoint();
+        let reply = roundtrip(&mut s, "train-status");
+        assert!(reply.contains("checkpoints=1"), "{reply}");
         handle.shutdown();
     }
 

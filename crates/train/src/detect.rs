@@ -1,0 +1,274 @@
+//! Concept-drift detection on the prequential error stream.
+//!
+//! The trainer feeds each predict-then-train absolute error into a
+//! [`DriftDetector`]; when the detector fires, the pipeline responds (see
+//! `pipeline::DriftAction`) and resets the detector so consecutive alarms
+//! describe distinct drift events.
+//!
+//! Two detectors ship here, both dependency-free:
+//!
+//! * [`PageHinkley`] — the classic sequential change-point test: it
+//!   accumulates deviations of the error above its running mean and fires
+//!   when the accumulated drift exceeds a threshold `lambda`. Robust to
+//!   noise, tuned by `delta` (minimum deviation considered meaningful).
+//! * [`EwmaDetector`] — two exponentially weighted averages of the error
+//!   at different time constants; drift is a fast average exceeding a
+//!   multiple of the slow one. Simpler, faster to fire, easier to reason
+//!   about on bursty streams.
+
+/// Sequential detector over the prequential absolute-error stream.
+pub trait DriftDetector: Send {
+    /// Feeds the next absolute prequential error. Returns `true` when the
+    /// detector signals a drift at this sample.
+    fn observe(&mut self, err: f64) -> bool;
+
+    /// Clears internal state (the trainer calls this after responding to a
+    /// drift, so the next alarm describes a fresh event).
+    fn reset(&mut self);
+
+    /// Short label for status lines.
+    fn label(&self) -> &'static str;
+}
+
+/// Page–Hinkley change-point test on the error magnitude.
+///
+/// Maintains the running mean of observed errors and the cumulative sum
+/// `m_t = Σ (err_i − mean_i − delta)`; drift fires when
+/// `m_t − min(m_1..m_t) > lambda`, i.e. when the error has stayed
+/// meaningfully above its historical mean long enough to accumulate
+/// `lambda` worth of excess.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    /// Minimum deviation from the mean that counts toward the alarm.
+    delta: f64,
+    /// Accumulated-excess threshold that fires the alarm.
+    lambda: f64,
+    /// Samples ignored after construction/reset while the mean settles.
+    warmup: u64,
+    count: u64,
+    mean: f64,
+    cum: f64,
+    cum_min: f64,
+}
+
+impl PageHinkley {
+    /// Creates a detector. `delta` is the deviation dead-band, `lambda`
+    /// the accumulated-excess threshold, `warmup` the number of initial
+    /// samples used only to settle the running mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` or `lambda` is not a positive finite number.
+    pub fn new(delta: f64, lambda: f64, warmup: u64) -> Self {
+        assert!(delta.is_finite() && delta > 0.0, "delta must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
+        Self {
+            delta,
+            lambda,
+            warmup,
+            count: 0,
+            mean: 0.0,
+            cum: 0.0,
+            cum_min: 0.0,
+        }
+    }
+}
+
+impl Default for PageHinkley {
+    /// Parameters that behave well on unit-scale error streams: dead-band
+    /// 0.05, threshold 15, 50-sample warm-up.
+    fn default() -> Self {
+        Self::new(0.05, 15.0, 50)
+    }
+}
+
+impl DriftDetector for PageHinkley {
+    fn observe(&mut self, err: f64) -> bool {
+        if !err.is_finite() {
+            return false;
+        }
+        self.count += 1;
+        let n = self.count as f64;
+        self.mean += (err - self.mean) / n;
+        if self.count <= self.warmup {
+            return false;
+        }
+        self.cum += err - self.mean - self.delta;
+        self.cum_min = self.cum_min.min(self.cum);
+        self.cum - self.cum_min > self.lambda
+    }
+
+    fn reset(&mut self) {
+        self.count = 0;
+        self.mean = 0.0;
+        self.cum = 0.0;
+        self.cum_min = 0.0;
+    }
+
+    fn label(&self) -> &'static str {
+        "page-hinkley"
+    }
+}
+
+/// Fast-vs-slow EWMA threshold detector.
+///
+/// Tracks two EWMAs of the absolute error — a fast one (recent behaviour)
+/// and a slow one (steady state). Drift fires when
+/// `fast > ratio * slow + margin` after the warm-up, i.e. the recent error
+/// has risen well clear of its long-run level.
+#[derive(Debug, Clone)]
+pub struct EwmaDetector {
+    fast_alpha: f64,
+    slow_alpha: f64,
+    ratio: f64,
+    /// Absolute floor added to the comparison so near-zero steady states
+    /// don't alarm on noise.
+    margin: f64,
+    warmup: u64,
+    count: u64,
+    fast: f64,
+    slow: f64,
+}
+
+impl EwmaDetector {
+    /// Creates a detector; `fast_alpha` > `slow_alpha` are the EWMA gains,
+    /// `ratio` the firing multiple, `warmup` the settling period.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < slow_alpha < fast_alpha <= 1` and `ratio > 1`.
+    pub fn new(fast_alpha: f64, slow_alpha: f64, ratio: f64, margin: f64, warmup: u64) -> Self {
+        assert!(
+            0.0 < slow_alpha && slow_alpha < fast_alpha && fast_alpha <= 1.0,
+            "need 0 < slow_alpha < fast_alpha <= 1"
+        );
+        assert!(ratio > 1.0, "ratio must exceed 1");
+        assert!(margin >= 0.0 && margin.is_finite(), "margin must be >= 0");
+        Self {
+            fast_alpha,
+            slow_alpha,
+            ratio,
+            margin,
+            warmup,
+            count: 0,
+            fast: 0.0,
+            slow: 0.0,
+        }
+    }
+}
+
+impl Default for EwmaDetector {
+    /// Fast gain 0.1 (~10-sample memory), slow gain 0.005 (~200 samples),
+    /// fire at 2× with a 0.05 margin after 50 samples.
+    fn default() -> Self {
+        Self::new(0.1, 0.005, 2.0, 0.05, 50)
+    }
+}
+
+impl DriftDetector for EwmaDetector {
+    fn observe(&mut self, err: f64) -> bool {
+        if !err.is_finite() {
+            return false;
+        }
+        self.count += 1;
+        if self.count == 1 {
+            self.fast = err;
+            self.slow = err;
+            return false;
+        }
+        self.fast += self.fast_alpha * (err - self.fast);
+        self.slow += self.slow_alpha * (err - self.slow);
+        if self.count <= self.warmup {
+            return false;
+        }
+        self.fast > self.ratio * self.slow + self.margin
+    }
+
+    fn reset(&mut self) {
+        self.count = 0;
+        self.fast = 0.0;
+        self.slow = 0.0;
+    }
+
+    fn label(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A steady noise regime followed by a level shift at `shift_at`.
+    fn shifted_stream(n: usize, shift_at: usize, low: f64, high: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let base = if i < shift_at { low } else { high };
+                // Deterministic jitter, ±10%.
+                base * (1.0 + 0.1 * ((i * 7919 % 13) as f64 / 6.0 - 1.0))
+            })
+            .collect()
+    }
+
+    fn first_alarm(det: &mut dyn DriftDetector, errs: &[f64]) -> Option<usize> {
+        errs.iter().position(|&e| det.observe(e))
+    }
+
+    #[test]
+    fn page_hinkley_fires_after_shift_not_before() {
+        let errs = shifted_stream(2000, 1000, 0.2, 1.5);
+        let mut det = PageHinkley::default();
+        let alarm = first_alarm(&mut det, &errs).expect("must fire");
+        assert!(alarm >= 1000, "fired at {alarm}, before the shift");
+        assert!(alarm < 1200, "fired at {alarm}, too slow");
+    }
+
+    #[test]
+    fn ewma_fires_after_shift_not_before() {
+        let errs = shifted_stream(2000, 1000, 0.2, 1.5);
+        let mut det = EwmaDetector::default();
+        let alarm = first_alarm(&mut det, &errs).expect("must fire");
+        assert!(alarm >= 1000, "fired at {alarm}, before the shift");
+        assert!(alarm < 1100, "fired at {alarm}, too slow");
+    }
+
+    #[test]
+    fn detectors_stay_quiet_on_stationary_noise() {
+        let errs = shifted_stream(3000, 3000, 0.5, 0.5); // never shifts
+        let mut ph = PageHinkley::default();
+        let mut ew = EwmaDetector::default();
+        assert_eq!(first_alarm(&mut ph, &errs), None);
+        assert_eq!(first_alarm(&mut ew, &errs), None);
+    }
+
+    #[test]
+    fn reset_rearms_the_detector() {
+        let errs = shifted_stream(800, 400, 0.2, 2.0);
+        let mut det = EwmaDetector::default();
+        let alarm = first_alarm(&mut det, &errs).unwrap();
+        det.reset();
+        // Re-feed the post-shift regime from scratch: warm-up applies
+        // again, the slow average re-settles at the new level, no alarm.
+        let calm: Vec<f64> = errs[alarm..].to_vec();
+        assert_eq!(first_alarm(&mut det, &calm), None);
+    }
+
+    #[test]
+    fn non_finite_errors_are_ignored() {
+        let mut det = PageHinkley::default();
+        for _ in 0..100 {
+            assert!(!det.observe(f64::NAN));
+            assert!(!det.observe(f64::INFINITY));
+        }
+        assert!(!det.observe(0.3));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PageHinkley::default().label(), "page-hinkley");
+        assert_eq!(EwmaDetector::default().label(), "ewma");
+    }
+}

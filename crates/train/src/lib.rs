@@ -1,0 +1,45 @@
+//! # reghd-train — streaming training for RegHD models
+//!
+//! The single-pass, non-stationary half of the system: where `reghd-serve`
+//! answers queries against frozen snapshots, this crate *produces* those
+//! snapshots from a live sample stream, in the paper's §2.3 online regime
+//! (one look at each sample, predict-then-train).
+//!
+//! The pieces, composable and individually testable:
+//!
+//! * [`source`] — pluggable [`source::SampleSource`] adapters: synthetic
+//!   drift streams, CSV replays, and a line-protocol TCP feed;
+//! * [`detect`] — [`detect::DriftDetector`] implementations (Page–Hinkley
+//!   and a fast/slow-EWMA threshold) watching the prequential error;
+//! * [`pipeline`] — the [`pipeline::Trainer`] tying them together:
+//!   prequential updates, drift responses (worst-cluster reset or
+//!   shadow-model promotion), atomic canary-carrying checkpoints, and
+//!   hot-swap publication into a live `reghd_serve` registry.
+//!
+//! ```no_run
+//! use datasets::drift::{DriftKind, DriftStream};
+//! use reghd_train::detect::PageHinkley;
+//! use reghd_train::pipeline::{Trainer, TrainerConfig};
+//! use reghd_train::source::DriftSource;
+//!
+//! let mut source = DriftSource::new(
+//!     DriftStream::new(4, 1000, DriftKind::Abrupt, 7),
+//!     4,
+//!     "drift:abrupt",
+//! );
+//! let cfg = TrainerConfig { max_samples: Some(5000), ..TrainerConfig::default() };
+//! let mut trainer = Trainer::new(cfg, 4).with_detector(Box::new(PageHinkley::default()));
+//! let report = trainer.run(&mut source).unwrap();
+//! println!("drift events: {}", report.drift_events);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod pipeline;
+pub mod source;
+
+pub use detect::{DriftDetector, EwmaDetector, PageHinkley};
+pub use pipeline::{DriftAction, PublishTarget, TrainReport, Trainer, TrainerConfig};
+pub use source::{CsvReplaySource, DriftSource, SampleSource, TcpFeedSource};

@@ -1,0 +1,262 @@
+//! Pluggable sample sources for the streaming trainer.
+//!
+//! A [`SampleSource`] yields raw-unit `(features, target)` pairs one at a
+//! time — the single-pass regime of the paper's §2.3 — until it is
+//! exhausted (finite replays) or the trainer's sample budget runs out
+//! (endless generators). Three adapters ship here:
+//!
+//! * [`DriftSource`] — wraps a [`datasets::drift::DriftStream`], the
+//!   synthetic non-stationary generator;
+//! * [`CsvReplaySource`] — replays a loaded [`Dataset`] row by row, as a
+//!   recorded stream;
+//! * [`TcpFeedSource`] — reads samples off a TCP connection, one CSV row
+//!   per line with the target in the last column (the same row format the
+//!   dataset CSV loader accepts, transplanted onto the serve subsystem's
+//!   line-oriented framing).
+
+use datasets::drift::DriftStream;
+use datasets::Dataset;
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+
+/// An ordered stream of raw-unit training samples.
+pub trait SampleSource: Send {
+    /// Draws the next `(features, target)` pair, or `None` when the
+    /// stream is exhausted.
+    fn next_sample(&mut self) -> Option<(Vec<f32>, f32)>;
+
+    /// Feature width of every sample this source yields.
+    fn num_features(&self) -> usize;
+
+    /// Short human-readable label for logs and status lines.
+    fn label(&self) -> String;
+}
+
+/// Endless synthetic source backed by a [`DriftStream`].
+#[derive(Debug, Clone)]
+pub struct DriftSource {
+    stream: DriftStream,
+    features: usize,
+    label: String,
+}
+
+impl DriftSource {
+    /// Wraps a drift stream. The label records the stream's parameters so
+    /// `train-status` consumers can tell sources apart.
+    pub fn new(stream: DriftStream, features: usize, label: impl Into<String>) -> Self {
+        Self {
+            stream,
+            features,
+            label: label.into(),
+        }
+    }
+}
+
+impl SampleSource for DriftSource {
+    fn next_sample(&mut self) -> Option<(Vec<f32>, f32)> {
+        Some(self.stream.next_sample())
+    }
+
+    fn num_features(&self) -> usize {
+        self.features
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Finite source replaying a loaded dataset in row order.
+#[derive(Debug, Clone)]
+pub struct CsvReplaySource {
+    ds: Dataset,
+    cursor: usize,
+}
+
+impl CsvReplaySource {
+    /// Replays `ds` from its first row.
+    pub fn new(ds: Dataset) -> Self {
+        Self { ds, cursor: 0 }
+    }
+
+    /// Loads a CSV file (last column = target) and replays it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the loader's error message for unreadable or malformed
+    /// files.
+    pub fn from_path(path: &str) -> Result<Self, String> {
+        let ds = datasets::csv::load_csv(path).map_err(|e| e.to_string())?;
+        Ok(Self::new(ds))
+    }
+
+    /// Rows remaining to be replayed.
+    pub fn remaining(&self) -> usize {
+        self.ds.len() - self.cursor
+    }
+}
+
+impl SampleSource for CsvReplaySource {
+    fn next_sample(&mut self) -> Option<(Vec<f32>, f32)> {
+        if self.cursor >= self.ds.len() {
+            return None;
+        }
+        let (x, y) = self.ds.sample(self.cursor);
+        self.cursor += 1;
+        Some((x.to_vec(), y))
+    }
+
+    fn num_features(&self) -> usize {
+        self.ds.num_features()
+    }
+
+    fn label(&self) -> String {
+        format!("csv:{}", self.ds.name)
+    }
+}
+
+/// Source reading samples from a line-oriented TCP feed.
+///
+/// One sample per line: comma-separated numbers, last value the target
+/// (e.g. `0.5,-1.2,3.4` is a 2-feature sample with target `3.4`). Blank
+/// lines and lines starting with `#` are skipped; a malformed or
+/// wrong-width line is counted ([`TcpFeedSource::rejected`]) and skipped
+/// rather than killing the stream. The stream ends when the peer closes
+/// the connection.
+#[derive(Debug)]
+pub struct TcpFeedSource {
+    reader: BufReader<TcpStream>,
+    features: usize,
+    peer: String,
+    rejected: u64,
+}
+
+impl TcpFeedSource {
+    /// Connects to `addr` and declares the expected feature width (the
+    /// trainer must size its encoder before the first line arrives).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, rendered as a string.
+    pub fn connect(addr: &str, features: usize) -> Result<Self, String> {
+        if features == 0 {
+            return Err("feature width must be nonzero".to_string());
+        }
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            features,
+            peer: addr.to_string(),
+            rejected: 0,
+        })
+    }
+
+    /// Lines skipped because they failed to parse or had the wrong width.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    fn parse_line(&mut self, line: &str) -> Option<(Vec<f32>, f32)> {
+        let vals: Result<Vec<f32>, _> = line.split(',').map(|t| t.trim().parse::<f32>()).collect();
+        match vals {
+            Ok(v) if v.len() == self.features + 1 && v.iter().all(|x| x.is_finite()) => {
+                let y = v[self.features];
+                Some((v[..self.features].to_vec(), y))
+            }
+            _ => {
+                self.rejected += 1;
+                None
+            }
+        }
+    }
+}
+
+impl SampleSource for TcpFeedSource {
+    fn next_sample(&mut self) -> Option<(Vec<f32>, f32)> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return None, // peer closed / socket error
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        continue;
+                    }
+                    if let Some(sample) = self.parse_line(trimmed) {
+                        return Some(sample);
+                    }
+                }
+            }
+        }
+    }
+
+    fn num_features(&self) -> usize {
+        self.features
+    }
+
+    fn label(&self) -> String {
+        format!("tcp:{}", self.peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::drift::DriftKind;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    #[test]
+    fn drift_source_is_endless_and_sized() {
+        let stream = DriftStream::new(3, 100, DriftKind::Abrupt, 1);
+        let mut src = DriftSource::new(stream, 3, "drift:abrupt");
+        assert_eq!(src.num_features(), 3);
+        for _ in 0..250 {
+            let (x, y) = src.next_sample().unwrap();
+            assert_eq!(x.len(), 3);
+            assert!(y.is_finite());
+        }
+        assert_eq!(src.label(), "drift:abrupt");
+    }
+
+    #[test]
+    fn csv_replay_yields_rows_in_order_then_ends() {
+        let ds = Dataset::new("t", vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![10.0, 20.0]);
+        let mut src = CsvReplaySource::new(ds);
+        assert_eq!(src.num_features(), 2);
+        assert_eq!(src.remaining(), 2);
+        assert_eq!(src.next_sample(), Some((vec![1.0, 2.0], 10.0)));
+        assert_eq!(src.next_sample(), Some((vec![3.0, 4.0], 20.0)));
+        assert_eq!(src.next_sample(), None);
+        assert_eq!(src.next_sample(), None, "exhaustion is sticky");
+    }
+
+    #[test]
+    fn tcp_feed_parses_skips_and_ends_on_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let feeder = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            write!(
+                s,
+                "# header comment\n1.0,2.0,3.0\n\nnot,a,number\n4.0,5.0\n-1.5,0.5,2.5\n"
+            )
+            .unwrap();
+            // Dropping `s` closes the connection → end of stream.
+        });
+
+        let mut src = TcpFeedSource::connect(&addr.to_string(), 2).unwrap();
+        assert_eq!(src.next_sample(), Some((vec![1.0, 2.0], 3.0)));
+        assert_eq!(src.next_sample(), Some((vec![-1.5, 0.5], 2.5)));
+        assert_eq!(src.next_sample(), None);
+        assert_eq!(src.rejected(), 2, "bad parse + wrong width");
+        feeder.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_feed_rejects_zero_width() {
+        assert!(TcpFeedSource::connect("127.0.0.1:1", 0).is_err());
+    }
+}

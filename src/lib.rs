@@ -14,6 +14,10 @@
 //!   Baseline-HD), all from scratch.
 //! * [`hwmodel`] — the operation-level hardware cost model that stands in
 //!   for the paper's FPGA/RPi measurements.
+//! * [`reghd_serve`] — concurrent inference: hot-swappable registry,
+//!   micro-batching, TCP front-end, fault tolerance.
+//! * [`reghd_train`] — streaming training: prequential pipeline, drift
+//!   detection, checkpointing, hot-swap publication.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -41,6 +45,7 @@ pub use hdc;
 pub use hwmodel;
 pub use reghd;
 pub use reghd_serve;
+pub use reghd_train;
 pub use rl;
 
 /// Convenience re-exports of the most commonly used items.
