@@ -2,17 +2,18 @@
 //!
 //! ```text
 //! reghd-cli train   --csv data.csv --out model.rghd [--dim 2048] [--models 8]
-//!                   [--epochs 40] [--seed 0] [--quantized]
+//!                   [--epochs 40] [--seed 0] [--threads N] [--quantized]
 //! reghd-cli train   --source drift:abrupt:4:1000|csv:data.csv|tcp:HOST:PORT:N
 //!                   [--samples N] [--checkpoint-every N] [--checkpoint-dir DIR]
 //!                   [--drift ph|ewma|off] [--drift-action reset|shadow]
 //!                   [--publish-to NAME] [--serve-addr HOST:PORT]
 //!                   [--resume state.rghd] [--dim N] [--models K] [--seed N]
+//!                   [--threads N]
 //! reghd-cli eval    --csv data.csv --model model.rghd
 //! reghd-cli predict --csv data.csv --model model.rghd
 //! reghd-cli serve   --model model.rghd --addr 127.0.0.1:7878
-//!                   [--name NAME] [--workers N] [--max-batch N] [--max-wait-us N]
-//!                   [--canary] [--chaos] [--sweep-interval-ms N]
+//!                   [--name NAME] [--workers N] [--threads N] [--max-batch N]
+//!                   [--max-wait-us N] [--canary] [--chaos] [--sweep-interval-ms N]
 //! reghd-cli inject  --addr HOST:PORT --kind bitflip|delay|kill|panic|garble|clear
 //!                   [--model NAME] [--rate R] [--seed N] [--ms N] [--n N]
 //! ```
@@ -31,6 +32,10 @@
 //! `tcp:<host>:<port>:<features>` (line-protocol feed, one CSV row per
 //! line, target last).
 //!
+//! `--threads N` sets row-parallelism for batch encoding/prediction
+//! (`0`, the default, uses all available cores; `1` is sequential).
+//! Chunked rows keep outputs **bit-identical** at every setting.
+//!
 //! `serve` exposes the line-oriented TCP protocol implemented in
 //! `reghd-serve` (see the README's Serving section). `serve --canary`
 //! replays the bundle's embedded canary rows before binding the socket;
@@ -44,15 +49,15 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  reghd-cli train   --csv <data.csv> --out <model.rghd> \
-         [--dim N] [--models K] [--epochs N] [--seed N] [--quantized]\n  \
+         [--dim N] [--models K] [--epochs N] [--seed N] [--threads N] [--quantized]\n  \
          reghd-cli train   --source <drift:KIND:FEATURES:PERIOD|csv:PATH|tcp:HOST:PORT:FEATURES> \
          [--samples N] [--checkpoint-every N] [--checkpoint-dir DIR] [--drift ph|ewma|off] \
          [--drift-action reset|shadow] [--publish-to NAME] [--serve-addr HOST:PORT] \
-         [--resume state.rghd] [--dim N] [--models K] [--seed N]\n  \
+         [--resume state.rghd] [--dim N] [--models K] [--seed N] [--threads N]\n  \
          reghd-cli eval    --csv <data.csv> --model <model.rghd>\n  \
          reghd-cli predict --csv <data.csv> --model <model.rghd>\n  \
          reghd-cli serve   --model <model.rghd> [--name NAME] [--addr HOST:PORT] \
-         [--workers N] [--max-batch N] [--max-wait-us N] [--canary] [--chaos] \
+         [--workers N] [--threads N] [--max-batch N] [--max-wait-us N] [--canary] [--chaos] \
          [--sweep-interval-ms N]\n  \
          reghd-cli inject  --addr <HOST:PORT> --kind <bitflip|delay|kill|panic|garble|clear> \
          [--model NAME] [--rate R] [--seed N] [--ms N] [--n N]"
@@ -68,10 +73,13 @@ struct Args {
 
 /// A token following `--key` counts as its value unless it is itself a
 /// flag. Numeric lookalikes (`-3`, `-0.5`, even a pathological `--5`) are
-/// values, so `--threshold -0.5` parses the way the user meant it.
+/// values, so `--threshold -0.5` parses the way the user meant it. Only
+/// *finite* numbers qualify: `--inf`, `--nan`, and `--infinity` happen to
+/// parse as `f64`, but nobody passes infinity on a command line — they are
+/// flag names.
 fn is_flag_token(tok: &str) -> bool {
     match tok.strip_prefix("--") {
-        Some(rest) => rest.parse::<f64>().is_err(),
+        Some(rest) => !rest.parse::<f64>().is_ok_and(|v| v.is_finite()),
         None => false,
     }
 }
@@ -168,6 +176,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let models: usize = args.parse_num("models", 8);
     let epochs: usize = args.parse_num("epochs", 40);
     let seed: u64 = args.parse_num("seed", 0);
+    let threads: usize = args.parse_num("threads", 0);
     let quantized = args.has("quantized");
 
     let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
@@ -177,7 +186,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         ds.len(),
         ds.num_features()
     );
-    let (bundle, report) = bundle::train(&ds, dim, models, epochs, seed, quantized)?;
+    let (bundle, report) =
+        bundle::train_with_threads(&ds, dim, models, epochs, seed, quantized, threads)?;
     println!(
         "trained: {} epochs, converged: {}, final train MSE (scaled): {:.6}",
         report.epochs,
@@ -300,12 +310,14 @@ fn cmd_train_stream(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parse_num("seed", 0);
     let samples: u64 = args.parse_num("samples", 10_000);
     let checkpoint_every: u64 = args.parse_num("checkpoint-every", 0);
+    let threads: usize = args.parse_num("threads", 0);
 
     let mut source = open_source(&spec, seed)?;
     let cfg = TrainerConfig {
         dim,
         models,
         seed,
+        threads,
         max_samples: Some(samples),
         checkpoint_every: (checkpoint_every > 0).then_some(checkpoint_every),
         checkpoint_dir: args.get("checkpoint-dir").map(Into::into),
@@ -332,6 +344,9 @@ fn cmd_train_stream(args: &Args) -> Result<(), String> {
     }
 
     let registry = Arc::new(ModelRegistry::new());
+    // Published checkpoints (and any model served from --serve-addr)
+    // predict on the same thread count as the trainer's canary path.
+    registry.set_default_threads(threads);
     if let Some(name) = args.get("publish-to") {
         trainer = trainer.with_publish(PublishTarget {
             registry: registry.clone(),
@@ -343,6 +358,7 @@ fn cmd_train_stream(args: &Args) -> Result<(), String> {
             let handle = serve(
                 ServerConfig {
                     addr: addr.to_string(),
+                    threads,
                     train_status: Some(trainer.status()),
                     ..ServerConfig::default()
                 },
@@ -428,6 +444,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let name = args.get("name").unwrap_or(&default_name).to_string();
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let workers: usize = args.parse_num("workers", 4);
+    let threads: usize = args.parse_num("threads", 0);
     let max_batch: usize = args.parse_num("max-batch", 32);
     let max_wait_us: u64 = args.parse_num("max-wait-us", 500);
     let sweep_interval_ms: u64 = args.parse_num("sweep-interval-ms", 0);
@@ -458,6 +475,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let cfg = ServerConfig {
         addr,
         workers,
+        threads,
         batcher: BatcherConfig {
             max_batch,
             max_wait: Duration::from_micros(max_wait_us),
@@ -469,8 +487,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
     let handle = serve(cfg, registry).map_err(|e| e.to_string())?;
     println!(
-        "serving on {} with {workers} workers (max_batch={max_batch}, max_wait={max_wait_us}µs)",
-        handle.local_addr()
+        "serving on {} with {workers} workers (threads={}, max_batch={max_batch}, \
+         max_wait={max_wait_us}µs)",
+        handle.local_addr(),
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
     );
     if chaos {
         println!("chaos mode: the `inject` protocol command is ENABLED");
@@ -596,6 +620,23 @@ mod tests {
         // Pathological but unambiguous: "--5" is a number, not a flag name.
         let a = parse(&["--seed", "--5"]);
         assert_eq!(a.get("seed"), Some("--5"));
+    }
+
+    #[test]
+    fn non_finite_numeric_lookalikes_are_flags() {
+        // "inf", "nan", and "infinity" all parse as f64, but a flag named
+        // --inf must not be swallowed as the previous flag's value.
+        for tok in ["--inf", "--nan", "--infinity", "--NaN", "--Inf"] {
+            assert!(super::is_flag_token(tok), "{tok} must be a flag");
+        }
+        let a = parse(&["--quantized", "--inf", "--nan"]);
+        assert!(a.has("quantized"));
+        assert_eq!(a.get("quantized"), None);
+        assert!(a.has("inf"));
+        assert!(a.has("nan"));
+        // Finite values still bind: scientific notation included.
+        let a = parse(&["--threshold", "-1e-3"]);
+        assert_eq!(a.get("threshold"), Some("-1e-3"));
     }
 
     #[test]

@@ -109,6 +109,25 @@ pub trait Encoder: Send + Sync {
         let binary = real.binarize();
         (real, binary)
     }
+
+    /// Encodes a batch of rows, splitting the rows across up to `threads`
+    /// scoped threads ([`hdc::par::chunked_map`]).
+    ///
+    /// Each row goes through the exact same [`Encoder::encode`] call as the
+    /// sequential path and chunk outputs are concatenated in input order, so
+    /// the result is **bit-identical** to
+    /// `rows.iter().map(|r| self.encode(r)).collect()` for every thread
+    /// count. `threads == 0` means "use available parallelism"; `1` is the
+    /// exact old sequential behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from [`Encoder::input_dim`].
+    fn encode_batch(&self, rows: &[Vec<f32>], threads: usize) -> Vec<RealHv> {
+        hdc::par::chunked_map(rows, hdc::par::resolve_threads(threads), |row| {
+            self.encode(row)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +141,24 @@ mod tests {
         assert_eq!(enc.dim(), 256);
         let h = enc.encode(&[0.0, 1.0, -1.0]);
         assert_eq!(h.dim(), 256);
+    }
+
+    #[test]
+    fn encode_batch_is_bit_identical_across_thread_counts() {
+        let enc = NonlinearEncoder::new(3, 512, 9);
+        let rows: Vec<Vec<f32>> = (0..37)
+            .map(|i| vec![i as f32 * 0.1, (i as f32).sin(), -0.5 + i as f32 * 0.02])
+            .collect();
+        let seq: Vec<_> = rows.iter().map(|r| enc.encode(r)).collect();
+        for threads in [0usize, 1, 2, 4, 8] {
+            let par = enc.encode_batch(&rows, threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                let ab: Vec<u32> = a.as_slice().iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, bb, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod error;
 pub mod item_memory;
 pub mod noise;
 pub mod ops;
+pub mod par;
 pub mod rng;
 pub mod similarity;
 

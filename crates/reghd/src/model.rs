@@ -57,6 +57,10 @@ pub struct RegHdRegressor {
     /// `config.center_encodings` is on (see that field's docs).
     center: Option<hdc::RealHv>,
     trained: bool,
+    /// Row-parallelism knob for the batch paths (`0` = available
+    /// parallelism, `1` = sequential). Atomic so serving can set it through
+    /// a shared reference after the model is behind an `Arc`.
+    threads: std::sync::atomic::AtomicUsize,
 }
 
 impl std::fmt::Debug for RegHdRegressor {
@@ -99,12 +103,43 @@ impl RegHdRegressor {
             intercept: 0.0,
             center: None,
             trained: false,
+            threads: std::sync::atomic::AtomicUsize::new(1),
         }
+    }
+
+    /// Sets the number of threads the batch paths (`predict_batch`, the
+    /// `fit`/`refine` encoding passes) may use. `0` means "use available
+    /// parallelism"; `1` restores the exact single-threaded behavior.
+    ///
+    /// Rows are split across threads in contiguous chunks with the per-row
+    /// arithmetic order unchanged ([`hdc::par`]), so predictions are
+    /// **bit-identical** for every setting. Takes `&self` so the knob can be
+    /// turned after the model is shared behind an `Arc`.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads
+            .store(threads, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The configured thread knob, as set by [`Self::set_threads`]
+    /// (`0` = available parallelism). New models default to `1`.
+    pub fn threads(&self) -> usize {
+        self.threads.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The thread knob resolved to an actual thread count.
+    fn effective_threads(&self) -> usize {
+        hdc::par::resolve_threads(self.threads())
     }
 
     /// The configuration this regressor was built with.
     pub fn config(&self) -> &RegHdConfig {
         &self.config
+    }
+
+    /// The encoder this regressor encodes queries with (benchmarks drive
+    /// `Encoder::encode_batch` on it directly).
+    pub fn encoder(&self) -> &dyn encoding::Encoder {
+        self.encoder.as_ref()
     }
 
     /// The cluster bank (inspection access).
@@ -175,6 +210,7 @@ impl RegHdRegressor {
             intercept,
             center,
             trained: true,
+            threads: std::sync::atomic::AtomicUsize::new(1),
         }
     }
 
@@ -206,32 +242,56 @@ impl RegHdRegressor {
     /// input rows short-circuit to `NaN` exactly like
     /// [`Regressor::predict_batch`].
     pub fn predict_batch_degraded(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        let threads = self.effective_threads();
+        if threads > 1 && xs.len() > 1 {
+            return hdc::par::chunked_map(xs, threads, |x| self.predict_row_degraded(x));
+        }
+        xs.iter().map(|x| self.predict_row_degraded(x)).collect()
+    }
+
+    /// One row of the degraded (forced-`BinaryQuery`) path. Shared by the
+    /// sequential and row-parallel schedules so both run the exact same
+    /// per-row arithmetic.
+    fn predict_row_degraded(&self, x: &[f32]) -> f32 {
+        if !x.iter().all(|v| v.is_finite()) {
+            return f32::NAN;
+        }
         let k = self.config.models;
         let mut sims = Vec::with_capacity(k);
         let mut conf = Vec::with_capacity(k);
         let mut scores = Vec::with_capacity(k);
-        let mut out = Vec::with_capacity(xs.len());
-        for x in xs {
-            if !x.iter().all(|v| v.is_finite()) {
-                out.push(f32::NAN);
-                continue;
-            }
-            let q = self.encode(x);
-            self.clusters
-                .similarities_into(&q.real, &q.binary, &mut sims);
-            softmax_into(&sims, self.config.softmax_beta, &mut conf);
-            self.models.scores_into_mode(
-                crate::config::PredictionMode::BinaryQuery,
-                &q.real,
-                &q.binary,
-                q.amp,
-                &mut scores,
-            );
-            let pred: f32 =
-                conf.iter().zip(&scores).map(|(&c, &s)| c * s).sum::<f32>() + self.intercept;
-            out.push(pred);
+        let q = self.encode(x);
+        self.clusters
+            .similarities_into(&q.real, &q.binary, &mut sims);
+        softmax_into(&sims, self.config.softmax_beta, &mut conf);
+        self.models.scores_into_mode(
+            crate::config::PredictionMode::BinaryQuery,
+            &q.real,
+            &q.binary,
+            q.amp,
+            &mut scores,
+        );
+        conf.iter().zip(&scores).map(|(&c, &s)| c * s).sum::<f32>() + self.intercept
+    }
+
+    /// One row of the full-precision batch path, exactly the arithmetic of
+    /// the sequential `predict_batch` loop body (non-finite rows map to
+    /// `NaN`); used by the row-parallel schedule.
+    fn predict_row(&self, x: &[f32]) -> f32 {
+        if !x.iter().all(|v| v.is_finite()) {
+            return f32::NAN;
         }
-        out
+        let k = self.config.models;
+        let mut sims = Vec::with_capacity(k);
+        let mut conf = Vec::with_capacity(k);
+        let mut scores = Vec::with_capacity(k);
+        let q = self.encode(x);
+        self.clusters
+            .similarities_into(&q.real, &q.binary, &mut sims);
+        softmax_into(&sims, self.config.softmax_beta, &mut conf);
+        self.models
+            .scores_into(&q.real, &q.binary, q.amp, &mut scores);
+        conf.iter().zip(&scores).map(|(&c, &s)| c * s).sum::<f32>() + self.intercept
     }
 
     fn encode(&self, x: &[f32]) -> EncodedQuery {
@@ -282,7 +342,8 @@ impl RegHdRegressor {
         assert!(!features.is_empty(), "cannot refine on empty data");
         assert!(epochs > 0, "epochs must be nonzero");
 
-        let encoded: Vec<EncodedQuery> = features.iter().map(|x| self.encode(x)).collect();
+        let encoded: Vec<EncodedQuery> =
+            hdc::par::chunked_map(features, self.effective_threads(), |x| self.encode(x));
         let mut rng = HdRng::seed_from(self.config.seed ^ 0x4E_F1_4E);
         let mut order: Vec<usize> = (0..features.len()).collect();
         let mut history = Vec::with_capacity(epochs);
@@ -385,8 +446,12 @@ impl Regressor for RegHdRegressor {
         self.center = None;
 
         // Fit the encoding centre (see `RegHdConfig::center_encodings`),
-        // then encode the training set once.
-        let mut raw: Vec<hdc::RealHv> = features.iter().map(|x| self.encoder.encode(x)).collect();
+        // then encode the training set once. The encoding pass is the
+        // per-epoch-independent bulk of fit's cost and rows are independent,
+        // so it goes through the bit-exact row-parallel batch encoder.
+        let mut raw: Vec<hdc::RealHv> = self
+            .encoder
+            .encode_batch(features, self.effective_threads());
         if self.config.center_encodings {
             let mut mean = hdc::RealHv::zeros(self.config.dim);
             for s in &raw {
@@ -477,7 +542,16 @@ impl Regressor for RegHdRegressor {
     /// all rows (three fewer heap allocations per row than the
     /// `predict_one` loop), which is what the `reghd-serve` micro-batcher
     /// relies on for throughput.
+    ///
+    /// When [`RegHdRegressor::set_threads`] asks for more than one thread,
+    /// rows are split across scoped threads in contiguous chunks with the
+    /// per-row arithmetic unchanged, so the output is **bit-identical** to
+    /// the single-threaded run.
     fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        let threads = self.effective_threads();
+        if threads > 1 && xs.len() > 1 {
+            return hdc::par::chunked_map(xs, threads, |x| self.predict_row(x));
+        }
         let k = self.config.models;
         let mut sims = Vec::with_capacity(k);
         let mut conf = Vec::with_capacity(k);
@@ -796,6 +870,39 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn threaded_predict_batch_is_bit_identical() {
+        let (xs, ys) = multimodal(120, 21);
+        let mut m = make(4, 21);
+        m.fit(&xs, &ys);
+        let seq = m.predict_batch(&xs);
+        let seq_degraded = m.predict_batch_degraded(&xs);
+        for threads in [0usize, 2, 4, 8] {
+            m.set_threads(threads);
+            assert_eq!(m.threads(), threads);
+            assert_eq!(m.predict_batch(&xs), seq, "threads={threads}");
+            assert_eq!(
+                m.predict_batch_degraded(&xs),
+                seq_degraded,
+                "degraded threads={threads}"
+            );
+        }
+        m.set_threads(1);
+    }
+
+    #[test]
+    fn threaded_fit_is_bit_identical() {
+        let (xs, ys) = multimodal(120, 22);
+        let mut seq = make(4, 22);
+        seq.fit(&xs, &ys);
+        let mut par = make(4, 22);
+        par.set_threads(4);
+        par.fit(&xs, &ys);
+        for x in xs.iter().take(10) {
+            assert_eq!(seq.predict_one(x), par.predict_one(x));
         }
     }
 

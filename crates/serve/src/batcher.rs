@@ -122,10 +122,20 @@ fn dispatcher_loop(shared: &Shared) {
             }
             // Coalesce only when it can pay off: all workers busy and the
             // window isn't already full. Idle workers get rows at once.
-            if !shared.pool.has_idle_worker() && q.items.len() < shared.cfg.max_batch && !q.stop {
+            // Loop on a fixed deadline: every arrival's `notify_one` (and
+            // any spurious wakeup) ends a single `wait_timeout`, so without
+            // the loop a saturated pool would emit 1–2-row batches and the
+            // window would never fill.
+            let deadline = std::time::Instant::now() + shared.cfg.max_wait;
+            while !shared.pool.has_idle_worker() && q.items.len() < shared.cfg.max_batch && !q.stop
+            {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    break;
+                }
                 let (guard, _timeout) = shared
                     .cond
-                    .wait_timeout(q, shared.cfg.max_wait)
+                    .wait_timeout(q, deadline - now)
                     .unwrap_or_else(PoisonError::into_inner);
                 q = guard;
             }
@@ -173,9 +183,12 @@ impl Batcher {
         })
     }
 
-    /// Queues one row for `model`. Returns `false` (after recording a shed)
-    /// when the queue is at capacity or the batcher is stopping — the
-    /// caller should answer `err busy`.
+    /// Queues one row for `model`. Returns `false` when the row cannot be
+    /// accepted — the caller should answer `err busy`. The two refusal
+    /// reasons are counted separately so load dashboards don't read a
+    /// shutdown as overload: a full queue records a **shed**, a stopping
+    /// batcher records a **stop-time rejection**
+    /// ([`ModelMetrics::record_stopped`]).
     pub fn enqueue(
         &self,
         model: Arc<ServedModel>,
@@ -183,7 +196,12 @@ impl Batcher {
         item: WorkItem,
     ) -> bool {
         let mut q = lock_unpoisoned(&self.shared.queue);
-        if q.stop || q.items.len() >= self.shared.cfg.queue_cap {
+        if q.stop {
+            drop(q);
+            metrics.record_stopped();
+            return false;
+        }
+        if q.items.len() >= self.shared.cfg.queue_cap {
             drop(q);
             metrics.record_shed();
             return false;
@@ -436,6 +454,86 @@ mod tests {
         assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 1);
         // Shedding must not have evicted anything already accepted.
         assert_eq!(batcher.depth(), 3);
+    }
+
+    #[test]
+    fn saturated_pool_coalesces_toward_max_batch() {
+        // Regression test for the collapsed coalescing window: a single
+        // `wait_timeout` call ended the window on every arrival's
+        // `notify_one`, so a saturated pool got 1–2-row batches. With the
+        // deadline loop, a slow 1-worker pool under a steady arrival stream
+        // must see a mean batch size of at least `max_batch / 2`.
+        let model = served(9);
+        let metrics = Arc::new(ModelMetrics::default());
+        let inj = Arc::new(crate::faults::FaultInjector::new(9));
+        let pool = Arc::new(WorkerPool::with_injector(1, 1, inj.clone()).unwrap());
+        inj.set_worker_delay(Duration::from_millis(10));
+        let max_batch = 8usize;
+        let batcher = Batcher::new(
+            BatcherConfig {
+                max_batch,
+                max_wait: Duration::from_millis(30),
+                queue_cap: 1024,
+            },
+            pool,
+        )
+        .unwrap();
+        let mut rxs = Vec::new();
+        for i in 0..48 {
+            let (it, rx) = item(vec![i as f32, 0.0]);
+            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            rxs.push(rx);
+            // Steady trickle: rows arrive one by one while the worker is
+            // pinned, exactly the notify-per-arrival pattern that broke the
+            // single-wait window.
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        for rx in rxs {
+            assert!(rx.recv_timeout(Duration::from_secs(20)).unwrap().is_ok());
+        }
+        let batches = metrics.batches.load(std::sync::atomic::Ordering::Relaxed);
+        let rows = metrics
+            .batched_rows
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(rows, 48);
+        let mean = rows as f64 / batches as f64;
+        assert!(
+            mean >= (max_batch / 2) as f64,
+            "saturated pool should coalesce: mean batch {mean:.2} over {batches} batches"
+        );
+    }
+
+    #[test]
+    fn stop_time_rejection_is_not_counted_as_shed() {
+        let model = served(10);
+        let metrics = Arc::new(ModelMetrics::default());
+        let batcher = undispatched(BatcherConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 2,
+        });
+        // Full queue → shed (the overload signal).
+        for i in 0..2 {
+            let (it, _rx) = item(vec![i as f32, 0.0]);
+            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+        }
+        let (it, _rx) = item(vec![9.0, 0.0]);
+        assert!(!batcher.enqueue(model.clone(), metrics.clone(), it));
+        assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            metrics.stopped.load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+
+        // Stopping batcher → rejection counted separately, never as shed.
+        lock_unpoisoned(&batcher.shared.queue).stop = true;
+        let (it, _rx) = item(vec![10.0, 0.0]);
+        assert!(!batcher.enqueue(model, metrics.clone(), it));
+        assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            metrics.stopped.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
     }
 
     #[test]

@@ -86,6 +86,25 @@ pub fn train(
     seed: u64,
     quantized: bool,
 ) -> Result<(ModelBundle, FitReport), String> {
+    train_with_threads(ds, dim, models, epochs, seed, quantized, 1)
+}
+
+/// [`train`] with a row-parallelism knob: the per-epoch encoding pass and
+/// all batch predictions (including the canary capture) run on `threads`
+/// threads (`0` = available parallelism, `1` = sequential). Rows are split
+/// into contiguous chunks with per-row arithmetic unchanged, so the trained
+/// bundle is **bit-identical** to [`train`]'s for every setting; the knob
+/// stays set on the returned bundle.
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_threads(
+    ds: &Dataset,
+    dim: usize,
+    models: usize,
+    epochs: usize,
+    seed: u64,
+    quantized: bool,
+    threads: usize,
+) -> Result<(ModelBundle, FitReport), String> {
     if ds.len() < 4 {
         return Err("need at least 4 samples to train".to_string());
     }
@@ -111,6 +130,7 @@ pub fn train(
     }
     let config = builder.build();
     let mut model = RegHdRegressor::new(config, spec.build());
+    model.set_threads(threads);
     let report = model.fit(&normalised.features, &train_y);
 
     // Recover the fitted per-feature statistics by probing the
@@ -228,6 +248,16 @@ impl ModelBundle {
     /// metadata).
     pub fn model(&self) -> &RegHdRegressor {
         &self.model
+    }
+
+    /// Sets the row-parallelism knob on the embedded model (`0` = available
+    /// parallelism, `1` = sequential). Prediction batches are split across
+    /// threads with per-row arithmetic unchanged, so [`ModelBundle::predict`]
+    /// stays bit-identical for every setting — the canary replay in
+    /// particular is unaffected. Takes `&self` so serving can turn the knob
+    /// on a bundle already behind an `Arc`.
+    pub fn set_threads(&self, threads: usize) {
+        self.model.set_threads(threads);
     }
 
     /// The target scaler's standard deviation — converts a standardised
@@ -743,6 +773,23 @@ mod tests {
         let mse = datasets::metrics::mse(&preds, &ds.targets);
         let var = ds.target_variance();
         assert!(mse < 0.1 * var, "mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn threaded_training_is_bit_identical_to_sequential() {
+        let ds = toy_dataset();
+        let (seq, _) = train(&ds, 512, 2, 10, 1, false).unwrap();
+        for threads in [0, 2, 4] {
+            let (par, _) = train_with_threads(&ds, 512, 2, 10, 1, false, threads).unwrap();
+            // Same bytes on disk, same predictions to the bit.
+            assert_eq!(par.to_bytes().unwrap(), seq.to_bytes().unwrap());
+            assert_eq!(
+                par.predict(&ds.features).unwrap(),
+                seq.predict(&ds.features).unwrap(),
+                "threads={threads}"
+            );
+            par.run_canary().unwrap();
+        }
     }
 
     #[test]

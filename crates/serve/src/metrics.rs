@@ -60,7 +60,13 @@ impl LatencyHistogram {
     /// Approximate percentile (`p` in `0.0..=1.0`) as the upper bound of
     /// the bucket containing the p-th sample, in µs. Returns `None` when
     /// the histogram is empty.
+    ///
+    /// The reported value saturates at the last **finite** bound
+    /// (1 000 000 µs): the overflow bucket's nominal bound is `u64::MAX`,
+    /// which would otherwise leak `p99us=18446744073709551615` into the
+    /// `stats` protocol output.
     pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        const LAST_FINITE_US: u64 = 1_000_000;
         let total = self.count();
         if total == 0 {
             return None;
@@ -70,10 +76,10 @@ impl LatencyHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return Some(BUCKET_BOUNDS_US[i]);
+                return Some(BUCKET_BOUNDS_US[i].min(LAST_FINITE_US));
             }
         }
-        Some(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1])
+        Some(LAST_FINITE_US)
     }
 }
 
@@ -86,6 +92,9 @@ pub struct ModelMetrics {
     pub errors: AtomicU64,
     /// Rows rejected at enqueue time because the queue was full.
     pub shed: AtomicU64,
+    /// Rows rejected at enqueue time because the batcher was stopping —
+    /// kept apart from `shed` so a shutdown never reads as overload.
+    pub stopped: AtomicU64,
     /// Rows answered through the degraded (quantised binary) fallback
     /// path instead of the full-precision pipeline.
     pub degraded: AtomicU64,
@@ -116,6 +125,11 @@ impl ModelMetrics {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a row rejected because the batcher was stopping.
+    pub fn record_stopped(&self) {
+        self.stopped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a row answered through the degraded fallback path.
     pub fn record_degraded(&self) {
         self.degraded.fetch_add(1, Ordering::Relaxed);
@@ -142,11 +156,12 @@ impl ModelMetrics {
             0.0
         };
         format!(
-            "stat {name} ok={} err={} shed={} degraded={} panics={} batches={batches} \
-             mean_batch={mean_batch:.2} p50us={} p95us={} p99us={}",
+            "stat {name} ok={} err={} shed={} stopped={} degraded={} panics={} \
+             batches={batches} mean_batch={mean_batch:.2} p50us={} p95us={} p99us={}",
             self.ok.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
+            self.stopped.load(Ordering::Relaxed),
             self.degraded.load(Ordering::Relaxed),
             self.panics.load(Ordering::Relaxed),
             self.latency.percentile_us(0.50).unwrap_or(0),
@@ -228,9 +243,12 @@ mod tests {
 
     #[test]
     fn oversized_latency_hits_last_bucket() {
+        // Samples beyond one second land in the overflow bucket, but the
+        // reported percentile saturates at the last finite bound instead of
+        // leaking u64::MAX into the protocol output.
         let h = LatencyHistogram::default();
         h.record(Duration::from_secs(3600));
-        assert_eq!(h.percentile_us(1.0), Some(u64::MAX));
+        assert_eq!(h.percentile_us(1.0), Some(1_000_000));
     }
 
     #[test]
@@ -240,6 +258,7 @@ mod tests {
         m.record_ok(Duration::from_micros(40));
         m.record_error();
         m.record_shed();
+        m.record_stopped();
         m.record_degraded();
         m.record_degraded();
         m.record_panic();
@@ -249,6 +268,7 @@ mod tests {
         assert!(line.contains("ok=2"), "{line}");
         assert!(line.contains("err=1"), "{line}");
         assert!(line.contains("shed=1"), "{line}");
+        assert!(line.contains("stopped=1"), "{line}");
         assert!(line.contains("degraded=2"), "{line}");
         assert!(line.contains("panics=1"), "{line}");
         assert!(line.contains("mean_batch=2.00"), "{line}");

@@ -24,7 +24,7 @@
 use crate::bundle::ModelBundle;
 use crate::{read_unpoisoned, write_unpoisoned, ServeError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Metadata describing one loaded model version.
@@ -97,9 +97,22 @@ struct Slot {
 }
 
 /// Named collection of served models with atomic hot-swap semantics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ModelRegistry {
     inner: RwLock<HashMap<String, Slot>>,
+    /// Thread knob applied to every bundle this registry loads or swaps in
+    /// (`0` = available parallelism). Predictions are bit-identical at any
+    /// setting ([`crate::bundle::ModelBundle::set_threads`]).
+    default_threads: AtomicUsize,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self {
+            inner: RwLock::new(HashMap::new()),
+            default_threads: AtomicUsize::new(1),
+        }
+    }
 }
 
 /// 64-bit FNV-1a over the bundle bytes.
@@ -145,6 +158,27 @@ impl ModelRegistry {
         Self::default()
     }
 
+    /// Sets the thread knob applied to every loaded bundle (`0` = available
+    /// parallelism, `1` = sequential; default `1`). Applies immediately to
+    /// all models already in the registry and to every future
+    /// load/reload/publish. Safe at any time: the parallel schedule is
+    /// bit-identical to the sequential one, so in-flight requests and
+    /// canary replays are unaffected.
+    pub fn set_default_threads(&self, threads: usize) {
+        self.default_threads.store(threads, Ordering::Relaxed);
+        let map = read_unpoisoned(&self.inner);
+        for slot in map.values() {
+            slot.current.bundle.set_threads(threads);
+            slot.last_good.bundle.set_threads(threads);
+        }
+    }
+
+    /// The thread knob new loads inherit (see
+    /// [`ModelRegistry::set_default_threads`]).
+    pub fn default_threads(&self) -> usize {
+        self.default_threads.load(Ordering::Relaxed)
+    }
+
     /// Loads a new model under `name` from raw bundle bytes. The bundle's
     /// canary rows are replayed before the model becomes visible.
     ///
@@ -155,7 +189,9 @@ impl ModelRegistry {
     /// if the bytes do not parse or fail a section checksum, or
     /// [`ServeError::Canary`] if the canary replay mismatches.
     pub fn load_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
-        let entry = Arc::new(build_entry(name, 1, bytes)?);
+        let entry = build_entry(name, 1, bytes)?;
+        entry.bundle.set_threads(self.default_threads());
+        let entry = Arc::new(entry);
         let meta = entry.meta.clone();
         let mut map = write_unpoisoned(&self.inner);
         if map.contains_key(name) {
@@ -198,6 +234,7 @@ impl ModelRegistry {
     pub fn reload_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
         // Parse outside the lock (it deserialises megabytes of weights).
         let mut entry = build_entry(name, 0, bytes)?;
+        entry.bundle.set_threads(self.default_threads());
         let mut map = write_unpoisoned(&self.inner);
         let slot = map
             .get_mut(name)
@@ -225,6 +262,7 @@ impl ModelRegistry {
     /// mismatches.
     pub fn publish_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
         let mut entry = build_entry(name, 1, bytes)?;
+        entry.bundle.set_threads(self.default_threads());
         let mut map = write_unpoisoned(&self.inner);
         if let Some(slot) = map.get_mut(name) {
             entry.meta.version = slot.current.meta.version + 1;
@@ -575,6 +613,22 @@ mod tests {
             reg.inject_model_faults("ghost", 0.1, 1),
             Err(ServeError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn default_threads_apply_to_loaded_and_future_models() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("a", &toy_bytes(40)).unwrap();
+        assert_eq!(reg.get("a").unwrap().bundle.model().threads(), 1);
+        // Applies retroactively to already-loaded models …
+        reg.set_default_threads(4);
+        assert_eq!(reg.default_threads(), 4);
+        assert_eq!(reg.get("a").unwrap().bundle.model().threads(), 4);
+        // … and is inherited by later loads and swaps.
+        reg.publish_bytes("b", &toy_bytes(41)).unwrap();
+        assert_eq!(reg.get("b").unwrap().bundle.model().threads(), 4);
+        reg.reload_bytes("a", &toy_bytes(42)).unwrap();
+        assert_eq!(reg.get("a").unwrap().bundle.model().threads(), 4);
     }
 
     #[test]

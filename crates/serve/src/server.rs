@@ -53,6 +53,12 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads running model predictions.
     pub workers: usize,
+    /// Row-parallelism inside each model call: prediction batches are split
+    /// across this many scoped threads with per-row arithmetic unchanged
+    /// (bit-identical results). `0` means "use available parallelism";
+    /// `1` is the exact old sequential behavior. Applied to every model in
+    /// the registry at startup and inherited by later loads and reloads.
+    pub threads: usize,
     /// Micro-batching knobs.
     pub batcher: BatcherConfig,
     /// Idle connections are closed after this long without a request.
@@ -80,6 +86,7 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:7878".to_string(),
             workers: 4,
+            threads: 1,
             batcher: BatcherConfig::default(),
             read_timeout: Duration::from_secs(30),
             reply_timeout: Duration::from_secs(10),
@@ -409,6 +416,10 @@ pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHa
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+
+    // Models already loaded pick the knob up now; later loads inherit it
+    // from the registry.
+    registry.set_default_threads(cfg.threads);
 
     let hub = Arc::new(MetricsHub::new());
     let injector = Arc::new(FaultInjector::new(cfg.fault_seed));
@@ -827,6 +838,37 @@ mod tests {
         );
         assert!(hub.sweeps.load(Ordering::Relaxed) >= 1);
         handle.shutdown();
+    }
+
+    #[test]
+    fn threaded_server_predictions_match_sequential() {
+        // The --threads knob must not change a single reply byte: the
+        // parallel schedule is bit-identical and f32 Display is
+        // shortest-roundtrip, so the protocol strings are equal too.
+        let rows = ["predict toy 3.0,4.0", "predict toy 10.5,-2.25"];
+        let mut replies = Vec::new();
+        for threads in [1usize, 4] {
+            let registry = toy_registry();
+            let cfg = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                threads,
+                read_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
+            };
+            let handle = serve(cfg, registry.clone()).unwrap();
+            assert_eq!(registry.default_threads(), threads);
+            assert_eq!(
+                registry.get("toy").unwrap().bundle.model().threads(),
+                threads
+            );
+            let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+            let got: Vec<String> = rows.iter().map(|r| roundtrip(&mut s, r)).collect();
+            assert!(got.iter().all(|r| r.starts_with("ok ")), "{got:?}");
+            replies.push(got);
+            handle.shutdown();
+        }
+        assert_eq!(replies[0], replies[1]);
     }
 
     #[test]
