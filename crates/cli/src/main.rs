@@ -9,11 +9,12 @@
 //!                   [--publish-to NAME] [--serve-addr HOST:PORT]
 //!                   [--resume state.rghd] [--dim N] [--models K] [--seed N]
 //!                   [--threads N]
-//! reghd-cli eval    --csv data.csv --model model.rghd
-//! reghd-cli predict --csv data.csv --model model.rghd
+//! reghd-cli eval    --csv data.csv --model model.rghd [--trig exact|fast]
+//! reghd-cli predict --csv data.csv --model model.rghd [--trig exact|fast]
 //! reghd-cli serve   --model model.rghd --addr 127.0.0.1:7878
-//!                   [--name NAME] [--workers N] [--threads N] [--max-batch N]
-//!                   [--max-wait-us N] [--canary] [--chaos] [--sweep-interval-ms N]
+//!                   [--name NAME] [--workers N] [--threads N] [--trig exact|fast]
+//!                   [--max-batch N] [--max-wait-us N] [--canary] [--chaos]
+//!                   [--sweep-interval-ms N]
 //! reghd-cli inject  --addr HOST:PORT --kind bitflip|delay|kill|panic|garble|clear
 //!                   [--model NAME] [--rate R] [--seed N] [--ms N] [--n N]
 //! ```
@@ -36,6 +37,13 @@
 //! (`0`, the default, uses all available cores; `1` is sequential).
 //! Chunked rows keep outputs **bit-identical** at every setting.
 //!
+//! `--trig fast` (eval/predict/serve) swaps the encoder's `sin`/`cos` for a
+//! range-reduced polynomial approximation with a documented error bound
+//! (`hdc::kernels::FAST_TRIG_MAX_ABS_ERROR`, ≈1.5e-6 per component) in
+//! exchange for encoding throughput. The default `exact` reproduces the
+//! training-time arithmetic bit for bit; canary replays always force exact
+//! mode, so bundle integrity checks are unaffected by this knob.
+//!
 //! `serve` exposes the line-oriented TCP protocol implemented in
 //! `reghd-serve` (see the README's Serving section). `serve --canary`
 //! replays the bundle's embedded canary rows before binding the socket;
@@ -54,11 +62,11 @@ fn usage() -> ! {
          [--samples N] [--checkpoint-every N] [--checkpoint-dir DIR] [--drift ph|ewma|off] \
          [--drift-action reset|shadow] [--publish-to NAME] [--serve-addr HOST:PORT] \
          [--resume state.rghd] [--dim N] [--models K] [--seed N] [--threads N]\n  \
-         reghd-cli eval    --csv <data.csv> --model <model.rghd>\n  \
-         reghd-cli predict --csv <data.csv> --model <model.rghd>\n  \
+         reghd-cli eval    --csv <data.csv> --model <model.rghd> [--trig exact|fast]\n  \
+         reghd-cli predict --csv <data.csv> --model <model.rghd> [--trig exact|fast]\n  \
          reghd-cli serve   --model <model.rghd> [--name NAME] [--addr HOST:PORT] \
-         [--workers N] [--threads N] [--max-batch N] [--max-wait-us N] [--canary] [--chaos] \
-         [--sweep-interval-ms N]\n  \
+         [--workers N] [--threads N] [--trig exact|fast] [--max-batch N] [--max-wait-us N] \
+         [--canary] [--chaos] [--sweep-interval-ms N]\n  \
          reghd-cli inject  --addr <HOST:PORT> --kind <bitflip|delay|kill|panic|garble|clear> \
          [--model NAME] [--rate R] [--seed N] [--ms N] [--n N]"
     );
@@ -133,6 +141,16 @@ impl Args {
                 usage();
             }),
         }
+    }
+}
+
+/// Maps the `--trig` flag to a [`hdc::TrigMode`] (`exact` when absent).
+fn parse_trig(args: &Args) -> Result<hdc::TrigMode, String> {
+    match args.get("trig") {
+        None => Ok(hdc::TrigMode::Exact),
+        Some("exact") => Ok(hdc::TrigMode::Exact),
+        Some("fast") => Ok(hdc::TrigMode::Fast),
+        Some(other) => Err(format!("unknown trig mode {other:?} (expected exact|fast)")),
     }
 }
 
@@ -404,8 +422,10 @@ fn cmd_train_stream(args: &Args) -> Result<(), String> {
 fn cmd_eval(args: &Args) -> Result<(), String> {
     let csv = args.require("csv");
     let model_path = args.require("model");
+    let trig = parse_trig(args)?;
     let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
     let bundle = ModelBundle::load(model_path)?;
+    bundle.set_trig_mode(trig);
     let preds = bundle.predict(&ds.features)?;
     let mse = datasets::metrics::mse(&preds, &ds.targets);
     let rmse = datasets::metrics::rmse(&preds, &ds.targets);
@@ -420,8 +440,10 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
 fn cmd_predict(args: &Args) -> Result<(), String> {
     let csv = args.require("csv");
     let model_path = args.require("model");
+    let trig = parse_trig(args)?;
     let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
     let bundle = ModelBundle::load(model_path)?;
+    bundle.set_trig_mode(trig);
     for p in bundle.predict(&ds.features)? {
         println!("{p}");
     }
@@ -445,6 +467,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let workers: usize = args.parse_num("workers", 4);
     let threads: usize = args.parse_num("threads", 0);
+    let trig = parse_trig(args)?;
     let max_batch: usize = args.parse_num("max-batch", 32);
     let max_wait_us: u64 = args.parse_num("max-wait-us", 500);
     let sweep_interval_ms: u64 = args.parse_num("sweep-interval-ms", 0);
@@ -476,6 +499,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         addr,
         workers,
         threads,
+        trig,
         batcher: BatcherConfig {
             max_batch,
             max_wait: Duration::from_micros(max_wait_us),
@@ -727,6 +751,22 @@ mod tests {
         ] {
             assert!(parse_source_spec(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn trig_flag_parses_and_rejects_unknown_modes() {
+        use hdc::TrigMode;
+        assert_eq!(super::parse_trig(&parse(&[])), Ok(TrigMode::Exact));
+        assert_eq!(
+            super::parse_trig(&parse(&["--trig", "exact"])),
+            Ok(TrigMode::Exact)
+        );
+        assert_eq!(
+            super::parse_trig(&parse(&["--trig", "fast"])),
+            Ok(TrigMode::Fast)
+        );
+        let err = super::parse_trig(&parse(&["--trig", "approximate"])).unwrap_err();
+        assert!(err.contains("unknown trig mode"), "{err}");
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub use temporal::TemporalEncoder;
 
 use hdc::{BinaryHv, RealHv};
 
+pub use hdc::TrigMode;
+
 /// A similarity-preserving map from feature vectors to hypervectors.
 ///
 /// Implementations are deterministic: encoding the same input twice yields
@@ -111,11 +113,11 @@ pub trait Encoder: Send + Sync {
     }
 
     /// Encodes a batch of rows, splitting the rows across up to `threads`
-    /// scoped threads ([`hdc::par::chunked_map`]).
+    /// scoped threads.
     ///
-    /// Each row goes through the exact same [`Encoder::encode`] call as the
-    /// sequential path and chunk outputs are concatenated in input order, so
-    /// the result is **bit-identical** to
+    /// Delegates to [`Encoder::encode_batch_into`], so encoders with a
+    /// blocked-kernel override get it here too. Chunk boundaries never
+    /// change per-row arithmetic, so the result is **bit-identical** to
     /// `rows.iter().map(|r| self.encode(r)).collect()` for every thread
     /// count. `threads == 0` means "use available parallelism"; `1` is the
     /// exact old sequential behavior.
@@ -124,10 +126,48 @@ pub trait Encoder: Send + Sync {
     ///
     /// Panics if any row's length differs from [`Encoder::input_dim`].
     fn encode_batch(&self, rows: &[Vec<f32>], threads: usize) -> Vec<RealHv> {
-        hdc::par::chunked_map(rows, hdc::par::resolve_threads(threads), |row| {
-            self.encode(row)
-        })
+        let mut out = vec![RealHv::default(); rows.len()];
+        self.encode_batch_into(rows, &mut out, threads);
+        out
     }
+
+    /// Encodes a batch of rows **into pre-allocated output slots**, reusing
+    /// each slot's existing buffer — the zero-allocation entry point of the
+    /// serving hot path. Rows are split across up to `threads` scoped
+    /// threads ([`hdc::par::chunked_zip_mut`]).
+    ///
+    /// The default implementation runs the scalar [`Encoder::encode`] per
+    /// row; `NonlinearEncoder`, `RffEncoder`, and `ProjectionEncoder`
+    /// override it with the cache-blocked kernels of [`hdc::kernels`],
+    /// which are bit-identical to the scalar path by construction, so every
+    /// implementation of this method yields bit-identical results at every
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `out` disagree in length or any row's length
+    /// differs from [`Encoder::input_dim`].
+    fn encode_batch_into(&self, rows: &[Vec<f32>], out: &mut [RealHv], threads: usize) {
+        let threads = hdc::par::resolve_threads(threads);
+        hdc::par::chunked_zip_mut(rows, out, threads, |part, out_part| {
+            for (row, slot) in part.iter().zip(out_part.iter_mut()) {
+                *slot = self.encode(row);
+            }
+        });
+    }
+
+    /// How this encoder evaluates `sin`/`cos` (see [`TrigMode`]). Encoders
+    /// without a trigonometric stage always report
+    /// [`TrigMode::Exact`].
+    fn trig_mode(&self) -> TrigMode {
+        TrigMode::Exact
+    }
+
+    /// Switches the trig evaluation mode. The knob is atomic (usable
+    /// through `&self` on a shared encoder, like the thread knobs). The
+    /// default implementation is a no-op for encoders without a
+    /// trigonometric stage.
+    fn set_trig_mode(&self, _mode: TrigMode) {}
 }
 
 #[cfg(test)]
@@ -168,5 +208,41 @@ mod tests {
         let (real, binary) = enc.encode_both(&x);
         assert_eq!(real, enc.encode(&x));
         assert_eq!(binary, enc.encode_binary(&x));
+    }
+
+    #[test]
+    fn encode_batch_into_reuses_buffers_and_matches_encode() {
+        let enc = NonlinearEncoder::new(3, 257, 21);
+        let rows: Vec<Vec<f32>> = (0..9)
+            .map(|i| vec![i as f32 * 0.2, -1.0 + i as f32 * 0.1, 0.5])
+            .collect();
+        let mut out = vec![RealHv::zeros(257); rows.len()];
+        let ptrs: Vec<*const f32> = out.iter().map(|o| o.as_slice().as_ptr()).collect();
+        for threads in [0usize, 1, 2, 4] {
+            enc.encode_batch_into(&rows, &mut out, threads);
+            for (row, got) in rows.iter().zip(&out) {
+                let want = enc.encode(row);
+                let gb: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "threads={threads}");
+            }
+        }
+        // Pre-sized slots keep their allocations across calls.
+        let now: Vec<*const f32> = out.iter().map(|o| o.as_slice().as_ptr()).collect();
+        assert_eq!(ptrs, now, "encode_batch_into must reuse the output buffers");
+    }
+
+    #[test]
+    fn trig_mode_knob_defaults_to_exact_and_is_object_safe() {
+        let enc: Box<dyn Encoder> = Box::new(NonlinearEncoder::new(2, 64, 3));
+        assert_eq!(enc.trig_mode(), TrigMode::Exact);
+        enc.set_trig_mode(TrigMode::Fast);
+        assert_eq!(enc.trig_mode(), TrigMode::Fast);
+        enc.set_trig_mode(TrigMode::Exact);
+        assert_eq!(enc.trig_mode(), TrigMode::Exact);
+        // An encoder without a trig stage ignores the knob.
+        let proj: Box<dyn Encoder> = Box::new(ProjectionEncoder::new(2, 64, 3));
+        proj.set_trig_mode(TrigMode::Fast);
+        assert_eq!(proj.trig_mode(), TrigMode::Exact);
     }
 }

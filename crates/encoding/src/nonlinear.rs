@@ -30,9 +30,12 @@
 //! artefact that downstream learners remove by mean-centring (see
 //! `reghd::RegHdConfig::center_encodings`).
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use crate::Encoder;
+use hdc::kernels::{fast_cos, fast_sin, project_blocked};
 use hdc::rng::HdRng;
-use hdc::RealHv;
+use hdc::{BinaryHv, RealHv, TrigMode};
 
 /// RegHD's default encoder: Gaussian projection through the
 /// `cos(p + b)·sin(p)` nonlinearity.
@@ -51,7 +54,7 @@ use hdc::RealHv;
 /// let b = enc.encode(&[0.5, 0.2, -0.1]);
 /// assert_eq!(a, b); // deterministic
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NonlinearEncoder {
     /// Row-major Gaussian projection matrix: `dim` rows × `input_dim`.
     weights: Vec<f32>,
@@ -59,6 +62,21 @@ pub struct NonlinearEncoder {
     phases: Vec<f32>,
     input_dim: usize,
     dim: usize,
+    /// Trig evaluation mode ([`TrigMode`] as a byte); atomic so the knob is
+    /// flippable through `&self` on a shared encoder.
+    trig: AtomicU8,
+}
+
+impl Clone for NonlinearEncoder {
+    fn clone(&self) -> Self {
+        Self {
+            weights: self.weights.clone(),
+            phases: self.phases.clone(),
+            input_dim: self.input_dim,
+            dim: self.dim,
+            trig: AtomicU8::new(self.trig.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl NonlinearEncoder {
@@ -84,6 +102,7 @@ impl NonlinearEncoder {
             phases,
             input_dim,
             dim,
+            trig: AtomicU8::new(TrigMode::Exact.as_u8()),
         }
     }
 
@@ -124,13 +143,86 @@ impl Encoder for NonlinearEncoder {
             self.input_dim,
             features.len()
         );
+        let fast = self.trig_mode() == TrigMode::Fast;
         let mut out = Vec::with_capacity(self.dim);
         for d in 0..self.dim {
             let row = &self.weights[d * self.input_dim..(d + 1) * self.input_dim];
             let p: f32 = row.iter().zip(features).map(|(&w, &f)| w * f).sum();
-            out.push((p + self.phases[d]).cos() * p.sin());
+            out.push(if fast {
+                fast_cos(p + self.phases[d]) * fast_sin(p)
+            } else {
+                (p + self.phases[d]).cos() * p.sin()
+            });
         }
         RealHv::from_vec(out)
+    }
+
+    fn encode_both(&self, features: &[f32]) -> (RealHv, BinaryHv) {
+        // Fused single pass: the sign bit of each component is packed while
+        // the component is still in a register, instead of re-walking the
+        // real hypervector in `binarize()`. Identical results to
+        // `(self.encode(x), self.encode(x).binarize())` by construction —
+        // the bit test is the same `v > 0.0` that `binarize` uses.
+        assert_eq!(
+            features.len(),
+            self.input_dim,
+            "encode: expected {} features, got {}",
+            self.input_dim,
+            features.len()
+        );
+        let fast = self.trig_mode() == TrigMode::Fast;
+        let mut out = Vec::with_capacity(self.dim);
+        let mut words = vec![0u64; self.dim.div_ceil(64)];
+        for d in 0..self.dim {
+            let row = &self.weights[d * self.input_dim..(d + 1) * self.input_dim];
+            let p: f32 = row.iter().zip(features).map(|(&w, &f)| w * f).sum();
+            let v = if fast {
+                fast_cos(p + self.phases[d]) * fast_sin(p)
+            } else {
+                (p + self.phases[d]).cos() * p.sin()
+            };
+            if v > 0.0 {
+                words[d / 64] |= 1u64 << (d % 64);
+            }
+            out.push(v);
+        }
+        (RealHv::from_vec(out), BinaryHv::from_words(self.dim, words))
+    }
+
+    fn encode_batch_into(&self, rows: &[Vec<f32>], out: &mut [RealHv], threads: usize) {
+        let threads = hdc::par::resolve_threads(threads);
+        let mode = self.trig_mode();
+        hdc::par::chunked_zip_mut(rows, out, threads, |part, out_part| {
+            let row_refs: Vec<&[f32]> = part.iter().map(Vec::as_slice).collect();
+            project_blocked(&self.weights, self.input_dim, self.dim, &row_refs, out_part);
+            // Trig post-op in place over the projected values; the exact arm
+            // is the same expression as the scalar `encode` loop, so the
+            // batch path stays bit-identical to it.
+            for hv in out_part.iter_mut() {
+                match mode {
+                    TrigMode::Exact => {
+                        for (v, &b) in hv.as_mut_slice().iter_mut().zip(&self.phases) {
+                            let p = *v;
+                            *v = (p + b).cos() * p.sin();
+                        }
+                    }
+                    TrigMode::Fast => {
+                        for (v, &b) in hv.as_mut_slice().iter_mut().zip(&self.phases) {
+                            let p = *v;
+                            *v = fast_cos(p + b) * fast_sin(p);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    fn trig_mode(&self) -> TrigMode {
+        TrigMode::from_u8(self.trig.load(Ordering::Relaxed))
+    }
+
+    fn set_trig_mode(&self, mode: TrigMode) {
+        self.trig.store(mode.as_u8(), Ordering::Relaxed);
     }
 }
 
@@ -296,5 +388,64 @@ mod tests {
         for d in 0..256 {
             assert_eq!(bin.get(d), real.as_slice()[d] > 0.0);
         }
+    }
+
+    #[test]
+    fn fused_encode_both_matches_separate_passes() {
+        let enc = NonlinearEncoder::new(5, 321, 29);
+        let x = [0.4, -1.2, 0.0, 2.5, -0.3];
+        for mode in [TrigMode::Exact, TrigMode::Fast] {
+            enc.set_trig_mode(mode);
+            let (real, binary) = enc.encode_both(&x);
+            assert_eq!(real, enc.encode(&x), "{mode:?}");
+            assert_eq!(binary, enc.encode(&x).binarize(), "{mode:?}");
+        }
+        enc.set_trig_mode(TrigMode::Exact);
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_scalar_in_both_trig_modes() {
+        let enc = NonlinearEncoder::new(3, 259, 31);
+        let rows: Vec<Vec<f32>> = (0..7)
+            .map(|i| vec![i as f32 * 0.3 - 1.0, (i as f32).cos(), 0.8])
+            .collect();
+        for mode in [TrigMode::Exact, TrigMode::Fast] {
+            enc.set_trig_mode(mode);
+            let mut out = vec![RealHv::default(); rows.len()];
+            enc.encode_batch_into(&rows, &mut out, 1);
+            for (row, got) in rows.iter().zip(&out) {
+                let want = enc.encode(row);
+                let gb: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "{mode:?}");
+            }
+        }
+        enc.set_trig_mode(TrigMode::Exact);
+    }
+
+    #[test]
+    fn fast_trig_mode_stays_close_to_exact() {
+        let enc = NonlinearEncoder::new(4, 1024, 37);
+        let x = [1.3, -0.8, 2.2, 0.1];
+        let exact = enc.encode(&x);
+        enc.set_trig_mode(TrigMode::Fast);
+        let fast = enc.encode(&x);
+        enc.set_trig_mode(TrigMode::Exact);
+        // Product of two approximations, each within the documented bound
+        // and magnitude ≤ 1: |ab − a'b'| ≤ |a−a'| + |b−b'| + ε².
+        let tol = 2.5 * hdc::kernels::FAST_TRIG_MAX_ABS_ERROR;
+        for (e, f) in exact.as_slice().iter().zip(fast.as_slice()) {
+            assert!((e - f).abs() <= tol, "exact={e} fast={f}");
+        }
+    }
+
+    #[test]
+    fn clone_carries_the_trig_mode() {
+        let enc = NonlinearEncoder::new(2, 64, 1);
+        enc.set_trig_mode(TrigMode::Fast);
+        let cloned = enc.clone();
+        assert_eq!(cloned.trig_mode(), TrigMode::Fast);
+        let x = [0.2, -0.4];
+        assert_eq!(cloned.encode(&x), enc.encode(&x));
     }
 }

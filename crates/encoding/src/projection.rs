@@ -9,6 +9,7 @@
 //! RegHD "learning a regression model in an efficient and linear way").
 
 use crate::Encoder;
+use hdc::kernels::project_bipolar_blocked;
 use hdc::rng::HdRng;
 use hdc::{BipolarHv, RealHv};
 
@@ -84,6 +85,14 @@ impl Encoder for ProjectionEncoder {
         }
         RealHv::from_vec(out)
     }
+
+    fn encode_batch_into(&self, rows: &[Vec<f32>], out: &mut [RealHv], threads: usize) {
+        let threads = hdc::par::resolve_threads(threads);
+        hdc::par::chunked_zip_mut(rows, out, threads, |part, out_part| {
+            let row_refs: Vec<&[f32]> = part.iter().map(Vec::as_slice).collect();
+            project_bipolar_blocked(&self.bases, self.dim, &row_refs, out_part);
+        });
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +145,24 @@ mod tests {
     #[should_panic(expected = "expected 2 features")]
     fn wrong_len_panics() {
         ProjectionEncoder::new(2, 16, 0).encode(&[0.0; 3]);
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_scalar() {
+        use crate::Encoder;
+        let enc = ProjectionEncoder::new(4, 263, 19);
+        let rows: Vec<Vec<f32>> = (0..7)
+            .map(|i| vec![i as f32 * 0.5 - 1.5, (i as f32).sin(), 0.2, -0.9])
+            .collect();
+        let mut out = vec![RealHv::default(); rows.len()];
+        for threads in [1usize, 3] {
+            enc.encode_batch_into(&rows, &mut out, threads);
+            for (row, got) in rows.iter().zip(&out) {
+                let want = enc.encode(row);
+                let gb: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "threads={threads}");
+            }
+        }
     }
 }

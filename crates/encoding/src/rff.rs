@@ -8,9 +8,12 @@
 //! similarity-preserving map. Included here to ablate against the paper's
 //! Eq. 1 form ([`crate::NonlinearEncoder`]).
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use crate::Encoder;
+use hdc::kernels::{fast_cos, project_blocked};
 use hdc::rng::HdRng;
-use hdc::RealHv;
+use hdc::{RealHv, TrigMode};
 
 /// Gaussian random-projection + cosine encoder (random Fourier features).
 ///
@@ -25,7 +28,7 @@ use hdc::RealHv;
 /// // Components are bounded by the cosine range.
 /// assert!(h.max_abs() <= 1.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RffEncoder {
     /// Row-major projection matrix, `dim` rows of `input_dim` weights.
     weights: Vec<f32>,
@@ -33,6 +36,21 @@ pub struct RffEncoder {
     input_dim: usize,
     dim: usize,
     bandwidth: f32,
+    /// Trig evaluation mode ([`TrigMode`] as a byte, atomic knob).
+    trig: AtomicU8,
+}
+
+impl Clone for RffEncoder {
+    fn clone(&self) -> Self {
+        Self {
+            weights: self.weights.clone(),
+            phases: self.phases.clone(),
+            input_dim: self.input_dim,
+            dim: self.dim,
+            bandwidth: self.bandwidth,
+            trig: AtomicU8::new(self.trig.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl RffEncoder {
@@ -60,6 +78,7 @@ impl RffEncoder {
             input_dim,
             dim,
             bandwidth,
+            trig: AtomicU8::new(TrigMode::Exact.as_u8()),
         }
     }
 
@@ -86,13 +105,51 @@ impl Encoder for RffEncoder {
             self.input_dim,
             features.len()
         );
+        let fast = self.trig_mode() == TrigMode::Fast;
         let mut out = Vec::with_capacity(self.dim);
         for d in 0..self.dim {
             let row = &self.weights[d * self.input_dim..(d + 1) * self.input_dim];
             let proj: f32 = row.iter().zip(features).map(|(&w, &f)| w * f).sum();
-            out.push((proj + self.phases[d]).cos());
+            out.push(if fast {
+                fast_cos(proj + self.phases[d])
+            } else {
+                (proj + self.phases[d]).cos()
+            });
         }
         RealHv::from_vec(out)
+    }
+
+    fn encode_batch_into(&self, rows: &[Vec<f32>], out: &mut [RealHv], threads: usize) {
+        let threads = hdc::par::resolve_threads(threads);
+        let mode = self.trig_mode();
+        hdc::par::chunked_zip_mut(rows, out, threads, |part, out_part| {
+            let row_refs: Vec<&[f32]> = part.iter().map(Vec::as_slice).collect();
+            project_blocked(&self.weights, self.input_dim, self.dim, &row_refs, out_part);
+            // Same post-op expression as the scalar `encode` loop, so the
+            // blocked path stays bit-identical to it.
+            for hv in out_part.iter_mut() {
+                match mode {
+                    TrigMode::Exact => {
+                        for (v, &b) in hv.as_mut_slice().iter_mut().zip(&self.phases) {
+                            *v = (*v + b).cos();
+                        }
+                    }
+                    TrigMode::Fast => {
+                        for (v, &b) in hv.as_mut_slice().iter_mut().zip(&self.phases) {
+                            *v = fast_cos(*v + b);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    fn trig_mode(&self) -> TrigMode {
+        TrigMode::from_u8(self.trig.load(Ordering::Relaxed))
+    }
+
+    fn set_trig_mode(&self, mode: TrigMode) {
+        self.trig.store(mode.as_u8(), Ordering::Relaxed);
     }
 }
 
@@ -179,5 +236,43 @@ mod tests {
     #[test]
     fn accessor() {
         assert_eq!(RffEncoder::new(2, 16, 2.5, 0).bandwidth(), 2.5);
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_scalar_in_both_trig_modes() {
+        use hdc::TrigMode;
+        let enc = RffEncoder::new(3, 261, 1.3, 41);
+        let rows: Vec<Vec<f32>> = (0..6)
+            .map(|i| vec![i as f32 * 0.4 - 1.0, (i as f32).sin(), -0.6])
+            .collect();
+        for mode in [TrigMode::Exact, TrigMode::Fast] {
+            enc.set_trig_mode(mode);
+            let mut out = vec![RealHv::default(); rows.len()];
+            enc.encode_batch_into(&rows, &mut out, 1);
+            for (row, got) in rows.iter().zip(&out) {
+                let want = enc.encode(row);
+                let gb: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "{mode:?}");
+            }
+        }
+        enc.set_trig_mode(TrigMode::Exact);
+    }
+
+    #[test]
+    fn fast_trig_mode_stays_close_to_exact() {
+        use hdc::TrigMode;
+        let enc = RffEncoder::new(3, 1024, 1.0, 43);
+        let x = [0.7, -1.1, 0.4];
+        let exact = enc.encode(&x);
+        enc.set_trig_mode(TrigMode::Fast);
+        let fast = enc.encode(&x);
+        enc.set_trig_mode(TrigMode::Exact);
+        for (e, f) in exact.as_slice().iter().zip(fast.as_slice()) {
+            assert!(
+                (e - f).abs() <= hdc::kernels::FAST_TRIG_MAX_ABS_ERROR,
+                "exact={e} fast={f}"
+            );
+        }
     }
 }

@@ -69,6 +69,29 @@ impl BinaryHv {
         Self { dim, words }
     }
 
+    /// Builds a binary hypervector directly from pre-packed words (64 bits
+    /// per word, little-endian bit order within a word — the layout
+    /// [`BinaryHv::as_words`] exposes). Bits beyond `dim` in the last word
+    /// are cleared to keep the canonical form. This is the fused-encoding
+    /// fast path: encoders that compute sign bits while writing the real
+    /// hypervector can pack them into words on the fly instead of running a
+    /// second binarisation pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` is not exactly `dim.div_ceil(64)`.
+    pub fn from_words(dim: usize, mut words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            words_for(dim),
+            "from_words: expected {} words for dim {dim}, got {}",
+            words_for(dim),
+            words.len()
+        );
+        Self::mask_tail(dim, &mut words);
+        Self { dim, words }
+    }
+
     fn mask_tail(dim: usize, words: &mut [u64]) {
         let tail = dim % 64;
         if tail != 0 {
@@ -245,6 +268,23 @@ mod tests {
         let z = BinaryHv::zeros(130);
         assert_eq!(z.dim(), 130);
         assert_eq!(z.count_ones(), 0);
+    }
+
+    #[test]
+    fn from_words_matches_from_bits_and_masks_tail() {
+        // 70 bits: the second word's bits ≥ 6 must be cleared.
+        let words = vec![u64::MAX, u64::MAX];
+        let v = BinaryHv::from_words(70, words);
+        assert_eq!(v.dim(), 70);
+        assert_eq!(v.count_ones(), 70);
+        let w = BinaryHv::from_bits(70, (0..70).map(|_| true));
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_words")]
+    fn from_words_rejects_wrong_word_count() {
+        let _ = BinaryHv::from_words(70, vec![0u64]);
     }
 
     #[test]

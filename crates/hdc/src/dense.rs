@@ -80,6 +80,14 @@ impl RealHv {
         self.data
     }
 
+    /// Resets the vector to `dim` zeros, reusing the existing allocation
+    /// when it is large enough — the zero-allocation building block of the
+    /// `kernels` batch paths and the prediction scratch buffers.
+    pub fn reset(&mut self, dim: usize) {
+        self.data.clear();
+        self.data.resize(dim, 0.0);
+    }
+
     /// Dot product `self · other`.
     ///
     /// # Panics
@@ -94,21 +102,45 @@ impl RealHv {
             other.dim()
         );
         // Accumulate in f64: with D of several thousand, f32 accumulation
-        // error is visible in the regression error metrics.
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| a as f64 * b as f64)
-            .sum::<f64>() as f32
+        // error is visible in the regression error metrics. Four
+        // independent accumulators break the serial add-latency chain so
+        // the Eq. 5 cosine cluster search gets instruction-level
+        // parallelism; the combine order is FIXED as
+        // ((s0 + s1) + (s2 + s3)) + tail, so for a given width the result
+        // is deterministic (it differs from the old single-accumulator
+        // chain by f64 rounding, i.e. far below f32 resolution).
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut a4 = self.data.chunks_exact(4);
+        let mut b4 = other.data.chunks_exact(4);
+        for (ca, cb) in (&mut a4).zip(&mut b4) {
+            s0 += f64::from(ca[0]) * f64::from(cb[0]);
+            s1 += f64::from(ca[1]) * f64::from(cb[1]);
+            s2 += f64::from(ca[2]) * f64::from(cb[2]);
+            s3 += f64::from(ca[3]) * f64::from(cb[3]);
+        }
+        let mut tail = 0.0f64;
+        for (&a, &b) in a4.remainder().iter().zip(b4.remainder()) {
+            tail += f64::from(a) * f64::from(b);
+        }
+        (((s0 + s1) + (s2 + s3)) + tail) as f32
     }
 
     /// Euclidean norm `‖self‖₂`.
     pub fn norm(&self) -> f32 {
-        self.data
-            .iter()
-            .map(|&a| a as f64 * a as f64)
-            .sum::<f64>()
-            .sqrt() as f32
+        // Same 4-way unroll and fixed combine order as [`RealHv::dot`].
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut a4 = self.data.chunks_exact(4);
+        for ca in &mut a4 {
+            s0 += f64::from(ca[0]) * f64::from(ca[0]);
+            s1 += f64::from(ca[1]) * f64::from(ca[1]);
+            s2 += f64::from(ca[2]) * f64::from(ca[2]);
+            s3 += f64::from(ca[3]) * f64::from(ca[3]);
+        }
+        let mut tail = 0.0f64;
+        for &a in a4.remainder() {
+            tail += f64::from(a) * f64::from(a);
+        }
+        (((s0 + s1) + (s2 + s3)) + tail).sqrt() as f32
     }
 
     /// In-place `self += alpha * other` — the core RegHD model update
@@ -323,6 +355,53 @@ mod tests {
         let a = RealHv::random_gaussian(256, &mut rng);
         let b = RealHv::random_gaussian(256, &mut rng);
         assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unrolled_dot_and_norm_match_f64_reference() {
+        // Widths straddling the 4-way unroll boundary, including the
+        // remainder lanes. The f64 accumulation keeps the unrolled result
+        // within one f32 ulp of the sequential f64 reference.
+        let mut rng = HdRng::seed_from(9);
+        for dim in [1usize, 2, 3, 4, 5, 7, 8, 257, 1023] {
+            let a = RealHv::random_gaussian(dim, &mut rng);
+            let b = RealHv::random_gaussian(dim, &mut rng);
+            let want_dot = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(&x, &y)| f64::from(x) * f64::from(y))
+                .sum::<f64>();
+            let got = f64::from(a.dot(&b));
+            assert!(
+                (got - want_dot).abs() <= 1e-4 * (1.0 + want_dot.abs()),
+                "dim={dim}: dot {got} vs {want_dot}"
+            );
+            let want_norm = a
+                .as_slice()
+                .iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum::<f64>()
+                .sqrt();
+            let got = f64::from(a.norm());
+            assert!(
+                (got - want_norm).abs() <= 1e-4 * (1.0 + want_norm),
+                "dim={dim}: norm {got} vs {want_norm}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_zeroes() {
+        let mut v = RealHv::from_vec(vec![3.0; 64]);
+        let ptr = v.as_slice().as_ptr();
+        v.reset(32);
+        assert_eq!(v.dim(), 32);
+        assert!(v.as_slice().iter().all(|&a| a == 0.0));
+        assert_eq!(v.as_slice().as_ptr(), ptr, "shrinking must not realloc");
+        v.reset(64);
+        assert_eq!(v.dim(), 64);
+        assert!(v.as_slice().iter().all(|&a| a == 0.0));
     }
 
     #[test]

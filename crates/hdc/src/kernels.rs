@@ -1,0 +1,507 @@
+//! Cache-blocked batch kernels for the encode hot path, plus opt-in fast
+//! trigonometry.
+//!
+//! # Blocked projection
+//!
+//! The RegHD encoders spend almost all of their time in a `D × n` matvec
+//! per row (`P = X·Wᵀ` over a batch). The scalar path walks one output
+//! dimension at a time with a single `f32` accumulator, which (a) re-streams
+//! the whole weight matrix from memory for every row and (b) serialises the
+//! adds into one latency-bound dependency chain. [`project_blocked`] fixes
+//! both without changing a single result bit:
+//!
+//! * **tiling** — output dimensions are processed in tiles of [`DIM_TILE`]
+//!   and rows in tiles of [`ROW_TILE`], so one weight tile is loaded once
+//!   and reused across every row in the batch instead of being re-streamed
+//!   per row;
+//! * **multi-accumulator unrolling** — inside a tile, `ROW_TILE × 2`
+//!   independent `f32` accumulators run side by side, giving the CPU
+//!   instruction-level parallelism (and LLVM a clean autovectorisation
+//!   target) where the scalar loop had a single serial add chain.
+//!
+//! **Bit-exactness.** Every accumulator still sums its `k` (feature) terms
+//! in ascending order, starting from `0.0f32`, exactly like the scalar
+//! loop's `iter().zip().map(|(&w, &f)| w * f).sum::<f32>()`. The unroll
+//! only interleaves *independent* accumulators (different rows / output
+//! dims); it never re-associates the reduction over `k`, and Rust never
+//! contracts `mul + add` into a fused-multiply-add. So the kernel output is
+//! bit-identical to the scalar path for every tile size, batch size, and
+//! row/dim remainder — which is what lets the row-parallel equivalence
+//! guarantees of `hdc::par` carry over unchanged.
+//!
+//! # Fast trigonometry
+//!
+//! [`TrigMode::Fast`] swaps `libm` sin/cos for a range-reduced polynomial
+//! evaluation ([`fast_sin`]/[`fast_cos`]) with absolute error bounded by
+//! [`FAST_TRIG_MAX_ABS_ERROR`]. It is strictly opt-in: the default
+//! [`TrigMode::Exact`] keeps the bit-exact `libm` path, and anything that
+//! must replay bit-exactly (training, canary replay) always runs `Exact`.
+
+use crate::bipolar::BipolarHv;
+use crate::dense::RealHv;
+
+/// Rows processed together in one tile: each weight value loaded in the
+/// inner loop is reused across this many batch rows.
+pub const ROW_TILE: usize = 4;
+
+/// Output dimensions per tile: one tile of weight rows (`DIM_TILE × n`
+/// floats) stays cache-hot while every row tile of the batch streams
+/// through it.
+pub const DIM_TILE: usize = 128;
+
+/// How the encoders evaluate `sin`/`cos`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrigMode {
+    /// `libm` sin/cos — bit-exact, the default everywhere.
+    #[default]
+    Exact,
+    /// Range-reduced polynomial sin/cos with absolute error bounded by
+    /// [`FAST_TRIG_MAX_ABS_ERROR`]. Opt-in, inference-only.
+    Fast,
+}
+
+impl TrigMode {
+    /// Encodes the mode as a byte for storage in an `AtomicU8` knob.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            TrigMode::Exact => 0,
+            TrigMode::Fast => 1,
+        }
+    }
+
+    /// Decodes a byte written by [`TrigMode::as_u8`] (unknown values fall
+    /// back to `Exact`, the safe default).
+    pub fn from_u8(v: u8) -> Self {
+        if v == 1 {
+            TrigMode::Fast
+        } else {
+            TrigMode::Exact
+        }
+    }
+}
+
+/// Absolute error bound for [`fast_sin`] and [`fast_cos`] versus the `f64`
+/// reference, valid for arguments `|x| ≤ 1e4` (the encoders' projections
+/// plus a phase in `[0, 2π)` sit far inside that). Asserted over a dense
+/// argument sweep in this module's tests and in the repo-level
+/// `kernel_equivalence` suite.
+pub const FAST_TRIG_MAX_ABS_ERROR: f32 = 1.5e-6;
+
+/// Range reduction: writes `x = k·π/2 + r` with `r ∈ [−π/4, π/4]` and
+/// returns `(k mod 4, r)`. The reduction runs in `f64` so the quadrant and
+/// remainder stay accurate across the documented `|x| ≤ 1e4` range.
+#[inline]
+fn reduce_quarter(x: f32) -> (u8, f32) {
+    let xd = f64::from(x);
+    let k = (xd * std::f64::consts::FRAC_2_PI).round();
+    let r = (xd - k * std::f64::consts::FRAC_PI_2) as f32;
+    // `as` saturates (and maps NaN to 0), so pathological inputs still
+    // produce a well-defined quadrant; the NaN remainder propagates.
+    // `& 3` is `rem_euclid(4)` on two's complement.
+    let q = (k as i64 & 3) as u8;
+    (q, r)
+}
+
+/// Taylor sine on the reduced range `[−π/4, π/4]`.
+#[inline]
+fn sin_poly(r: f32) -> f32 {
+    let r2 = r * r;
+    r * (1.0 + r2 * (-1.0 / 6.0 + r2 * (1.0 / 120.0 + r2 * (-1.0 / 5040.0))))
+}
+
+/// Taylor cosine on the reduced range `[−π/4, π/4]`.
+#[inline]
+fn cos_poly(r: f32) -> f32 {
+    let r2 = r * r;
+    1.0 + r2 * (-1.0 / 2.0 + r2 * (1.0 / 24.0 + r2 * (-1.0 / 720.0 + r2 * (1.0 / 40320.0))))
+}
+
+/// Polynomial `sin(x)` with absolute error ≤ [`FAST_TRIG_MAX_ABS_ERROR`]
+/// for `|x| ≤ 1e4`. NaN and infinite inputs return NaN, like `libm`.
+#[inline]
+pub fn fast_sin(x: f32) -> f32 {
+    let (q, r) = reduce_quarter(x);
+    // Both polynomials are evaluated and the quadrant picks between them
+    // with selects: the quadrant is data-dependent, so a branch here
+    // mispredicts on essentially every element and blocks vectorization,
+    // while two cheap polynomials plus selects pipeline cleanly.
+    let s = sin_poly(r);
+    let c = cos_poly(r);
+    let v = if q & 1 == 0 { s } else { c };
+    if q & 2 == 0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Polynomial `cos(x)` with absolute error ≤ [`FAST_TRIG_MAX_ABS_ERROR`]
+/// for `|x| ≤ 1e4`. NaN and infinite inputs return NaN, like `libm`.
+#[inline]
+pub fn fast_cos(x: f32) -> f32 {
+    let (q, r) = reduce_quarter(x);
+    // Branchless quadrant selection — see `fast_sin`. cos is negative in
+    // quadrants 1 and 2, i.e. exactly when bit 1 of `q + 1` is set.
+    let s = sin_poly(r);
+    let c = cos_poly(r);
+    let v = if q & 1 == 0 { c } else { s };
+    if (q + 1) & 2 == 0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Cache-blocked batch projection `outs[r][d] = Σ_k rows[r][k] ·
+/// weights[d·n + k]` for a **row-major** `dim × input_dim` weight matrix
+/// (the `NonlinearEncoder`/`RffEncoder` layout).
+///
+/// Each output vector in `outs` is reset to `dim` zeros (reusing its
+/// allocation) and then fully overwritten. Results are bit-identical to the
+/// scalar per-row loop — see the module docs for why the tiling cannot
+/// change the reduction order.
+///
+/// # Panics
+///
+/// Panics when `rows` and `outs` disagree in length, a row is not
+/// `input_dim` wide, or the weight matrix is not `dim × input_dim`.
+pub fn project_blocked(
+    weights: &[f32],
+    input_dim: usize,
+    dim: usize,
+    rows: &[&[f32]],
+    outs: &mut [RealHv],
+) {
+    assert_eq!(rows.len(), outs.len(), "rows/outs length mismatch");
+    assert_eq!(
+        weights.len(),
+        dim * input_dim,
+        "weight matrix must be dim × input_dim"
+    );
+    for row in rows {
+        assert_eq!(row.len(), input_dim, "row width must match input_dim");
+    }
+    for out in outs.iter_mut() {
+        out.reset(dim);
+    }
+    let mut d0 = 0;
+    while d0 < dim {
+        let d1 = (d0 + DIM_TILE).min(dim);
+        for (row_tile, out_tile) in rows.chunks(ROW_TILE).zip(outs.chunks_mut(ROW_TILE)) {
+            match (row_tile, &mut *out_tile) {
+                ([x0, x1, x2, x3], [o0, o1, o2, o3]) => project_tile4(
+                    weights,
+                    input_dim,
+                    d0,
+                    d1,
+                    [x0, x1, x2, x3],
+                    [
+                        o0.as_mut_slice(),
+                        o1.as_mut_slice(),
+                        o2.as_mut_slice(),
+                        o3.as_mut_slice(),
+                    ],
+                ),
+                _ => {
+                    for (x, o) in row_tile.iter().zip(out_tile.iter_mut()) {
+                        project_tile1(weights, input_dim, d0, d1, x, o.as_mut_slice());
+                    }
+                }
+            }
+        }
+        d0 = d1;
+    }
+}
+
+/// One `ROW_TILE × [dlo, dhi)` tile: dims in pairs, `4 × 2 = 8`
+/// independent accumulators, each summing over `k` in ascending order from
+/// `0.0` exactly like the scalar loop.
+fn project_tile4(
+    weights: &[f32],
+    n: usize,
+    dlo: usize,
+    dhi: usize,
+    x: [&[f32]; ROW_TILE],
+    o: [&mut [f32]; ROW_TILE],
+) {
+    let [x0, x1, x2, x3] = [&x[0][..n], &x[1][..n], &x[2][..n], &x[3][..n]];
+    let [o0, o1, o2, o3] = o;
+    let mut d = dlo;
+    while d + 2 <= dhi {
+        let wa = &weights[d * n..(d + 1) * n];
+        let wb = &weights[(d + 1) * n..(d + 2) * n];
+        let (mut a0a, mut a0b, mut a1a, mut a1b) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let (mut a2a, mut a2b, mut a3a, mut a3b) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for k in 0..n {
+            let (va, vb) = (wa[k], wb[k]);
+            a0a += x0[k] * va;
+            a0b += x0[k] * vb;
+            a1a += x1[k] * va;
+            a1b += x1[k] * vb;
+            a2a += x2[k] * va;
+            a2b += x2[k] * vb;
+            a3a += x3[k] * va;
+            a3b += x3[k] * vb;
+        }
+        o0[d] = a0a;
+        o0[d + 1] = a0b;
+        o1[d] = a1a;
+        o1[d + 1] = a1b;
+        o2[d] = a2a;
+        o2[d + 1] = a2b;
+        o3[d] = a3a;
+        o3[d + 1] = a3b;
+        d += 2;
+    }
+    if d < dhi {
+        let wa = &weights[d * n..(d + 1) * n];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for k in 0..n {
+            let va = wa[k];
+            a0 += x0[k] * va;
+            a1 += x1[k] * va;
+            a2 += x2[k] * va;
+            a3 += x3[k] * va;
+        }
+        o0[d] = a0;
+        o1[d] = a1;
+        o2[d] = a2;
+        o3[d] = a3;
+    }
+}
+
+/// Remainder-row tile (fewer than [`ROW_TILE`] rows left): one row, dims in
+/// pairs so there are still two independent accumulator chains.
+fn project_tile1(weights: &[f32], n: usize, dlo: usize, dhi: usize, x: &[f32], o: &mut [f32]) {
+    let x = &x[..n];
+    let mut d = dlo;
+    while d + 2 <= dhi {
+        let wa = &weights[d * n..(d + 1) * n];
+        let wb = &weights[(d + 1) * n..(d + 2) * n];
+        let (mut aa, mut ab) = (0.0f32, 0.0f32);
+        for k in 0..n {
+            aa += x[k] * wa[k];
+            ab += x[k] * wb[k];
+        }
+        o[d] = aa;
+        o[d + 1] = ab;
+        d += 2;
+    }
+    if d < dhi {
+        let wa = &weights[d * n..(d + 1) * n];
+        let mut aa = 0.0f32;
+        for k in 0..n {
+            aa += x[k] * wa[k];
+        }
+        o[d] = aa;
+    }
+}
+
+/// Cache-blocked batch projection for the **transposed** bipolar layout of
+/// `ProjectionEncoder`: `outs[r][d] = Σ_k rows[r][k] · bases[k][d]` with one
+/// base hypervector per input feature.
+///
+/// `k` stays the outer loop (matching the scalar path, so every `(row, d)`
+/// accumulator sums in ascending `k` order from `0.0`), dims are tiled so
+/// the row tile's output sections stay in L1 across the whole `k` sweep,
+/// and each base row's `i8 → f32` conversion is shared by [`ROW_TILE`] rows
+/// instead of being redone per row.
+///
+/// # Panics
+///
+/// Panics when `rows` and `outs` disagree in length, a row is not
+/// `bases.len()` wide, or a base hypervector is not `dim` wide.
+pub fn project_bipolar_blocked(
+    bases: &[BipolarHv],
+    dim: usize,
+    rows: &[&[f32]],
+    outs: &mut [RealHv],
+) {
+    assert_eq!(rows.len(), outs.len(), "rows/outs length mismatch");
+    for row in rows {
+        assert_eq!(row.len(), bases.len(), "row width must match bases.len()");
+    }
+    for base in bases {
+        assert_eq!(base.dim(), dim, "base hypervector width must match dim");
+    }
+    for out in outs.iter_mut() {
+        out.reset(dim);
+    }
+    let n = bases.len();
+    let mut d0 = 0;
+    while d0 < dim {
+        let d1 = (d0 + DIM_TILE).min(dim);
+        for (row_tile, out_tile) in rows.chunks(ROW_TILE).zip(outs.chunks_mut(ROW_TILE)) {
+            match (row_tile, &mut *out_tile) {
+                ([x0, x1, x2, x3], [o0, o1, o2, o3]) => {
+                    let (t0, t1) = (
+                        &mut o0.as_mut_slice()[d0..d1],
+                        &mut o1.as_mut_slice()[d0..d1],
+                    );
+                    let (t2, t3) = (
+                        &mut o2.as_mut_slice()[d0..d1],
+                        &mut o3.as_mut_slice()[d0..d1],
+                    );
+                    for k in 0..n {
+                        let base = &bases[k].as_slice()[d0..d1];
+                        let (f0, f1, f2, f3) = (x0[k], x1[k], x2[k], x3[k]);
+                        for (j, &b) in base.iter().enumerate() {
+                            let bf = f32::from(b);
+                            t0[j] += f0 * bf;
+                            t1[j] += f1 * bf;
+                            t2[j] += f2 * bf;
+                            t3[j] += f3 * bf;
+                        }
+                    }
+                }
+                _ => {
+                    for (x, o) in row_tile.iter().zip(out_tile.iter_mut()) {
+                        let t = &mut o.as_mut_slice()[d0..d1];
+                        for k in 0..n {
+                            let base = &bases[k].as_slice()[d0..d1];
+                            let f = x[k];
+                            for (j, &b) in base.iter().enumerate() {
+                                t[j] += f * f32::from(b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        d0 = d1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::HdRng;
+
+    /// The scalar reference: exactly the per-row loop the encoders use.
+    fn scalar_project(weights: &[f32], n: usize, dim: usize, row: &[f32]) -> Vec<f32> {
+        (0..dim)
+            .map(|d| {
+                weights[d * n..(d + 1) * n]
+                    .iter()
+                    .zip(row)
+                    .map(|(&w, &f)| w * f)
+                    .sum::<f32>()
+            })
+            .collect()
+    }
+
+    fn scalar_project_bipolar(bases: &[BipolarHv], dim: usize, row: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; dim];
+        for (k, &f) in row.iter().enumerate() {
+            for (o, &b) in out.iter_mut().zip(bases[k].as_slice()) {
+                *o += f * f32::from(b);
+            }
+        }
+        out
+    }
+
+    fn gaussian(len: usize, rng: &mut HdRng) -> Vec<f32> {
+        (0..len).map(|_| rng.next_gaussian() as f32).collect()
+    }
+
+    #[test]
+    fn blocked_projection_is_bit_identical_to_scalar() {
+        let mut rng = HdRng::seed_from(11);
+        // Dims and batch sizes straddling the tile boundaries: 1, tile−1,
+        // tile, tile+1, primes, and non-divisors of DIM_TILE/ROW_TILE.
+        for &(n, dim) in &[(1usize, 1usize), (3, 127), (7, 128), (5, 129), (13, 257)] {
+            let weights = gaussian(dim * n, &mut rng);
+            for &batch in &[1usize, 3, 4, 5, 11] {
+                let rows: Vec<Vec<f32>> = (0..batch).map(|_| gaussian(n, &mut rng)).collect();
+                let row_refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+                let mut outs = vec![RealHv::default(); batch];
+                project_blocked(&weights, n, dim, &row_refs, &mut outs);
+                for (row, out) in rows.iter().zip(&outs) {
+                    let want = scalar_project(&weights, n, dim, row);
+                    let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                    let got_bits: Vec<u32> = out.as_slice().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(got_bits, want_bits, "n={n} dim={dim} batch={batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_projection_reuses_output_allocations() {
+        let mut rng = HdRng::seed_from(5);
+        let (n, dim) = (4, 64);
+        let weights = gaussian(dim * n, &mut rng);
+        let rows: Vec<Vec<f32>> = (0..6).map(|_| gaussian(n, &mut rng)).collect();
+        let row_refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        // Pre-sized outputs keep their allocation; stale contents must not
+        // leak into the result.
+        let mut outs = vec![RealHv::from_vec(vec![99.0; dim]); 6];
+        let ptrs: Vec<*const f32> = outs.iter().map(|o| o.as_slice().as_ptr()).collect();
+        project_blocked(&weights, n, dim, &row_refs, &mut outs);
+        for (out, ptr) in outs.iter().zip(ptrs) {
+            assert_eq!(out.as_slice().as_ptr(), ptr, "allocation must be reused");
+            assert!(out.as_slice().iter().all(|v| *v != 99.0));
+        }
+    }
+
+    #[test]
+    fn blocked_bipolar_projection_is_bit_identical_to_scalar() {
+        let mut rng = HdRng::seed_from(23);
+        for &(n, dim) in &[(1usize, 1usize), (4, 127), (6, 129), (9, 131)] {
+            let bases: Vec<BipolarHv> = (0..n).map(|_| BipolarHv::random(dim, &mut rng)).collect();
+            for &batch in &[1usize, 3, 4, 5, 9] {
+                let rows: Vec<Vec<f32>> = (0..batch).map(|_| gaussian(n, &mut rng)).collect();
+                let row_refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+                let mut outs = vec![RealHv::default(); batch];
+                project_bipolar_blocked(&bases, dim, &row_refs, &mut outs);
+                for (row, out) in rows.iter().zip(&outs) {
+                    let want = scalar_project_bipolar(&bases, dim, row);
+                    let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                    let got_bits: Vec<u32> = out.as_slice().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(got_bits, want_bits, "n={n} dim={dim} batch={batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_trig_honours_documented_error_bound() {
+        // Dense sweep over the encoders' working range plus a coarser sweep
+        // out to the documented |x| ≤ 1e4 limit.
+        let mut max_err = 0.0f64;
+        let mut x = -20.0f64;
+        while x <= 20.0 {
+            let xf = x as f32;
+            max_err = max_err.max((f64::from(fast_sin(xf)) - f64::from(xf).sin()).abs());
+            max_err = max_err.max((f64::from(fast_cos(xf)) - f64::from(xf).cos()).abs());
+            x += 1e-3;
+        }
+        let mut x = -1e4f64;
+        while x <= 1e4 {
+            let xf = x as f32;
+            max_err = max_err.max((f64::from(fast_sin(xf)) - f64::from(xf).sin()).abs());
+            max_err = max_err.max((f64::from(fast_cos(xf)) - f64::from(xf).cos()).abs());
+            x += 0.37;
+        }
+        assert!(
+            max_err <= f64::from(FAST_TRIG_MAX_ABS_ERROR),
+            "measured max error {max_err:e} exceeds the documented bound"
+        );
+    }
+
+    #[test]
+    fn fast_trig_propagates_non_finite_inputs() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert!(fast_sin(bad).is_nan());
+            assert!(fast_cos(bad).is_nan());
+        }
+    }
+
+    #[test]
+    fn trig_mode_roundtrips_through_u8() {
+        assert_eq!(TrigMode::from_u8(TrigMode::Exact.as_u8()), TrigMode::Exact);
+        assert_eq!(TrigMode::from_u8(TrigMode::Fast.as_u8()), TrigMode::Fast);
+        assert_eq!(TrigMode::from_u8(250), TrigMode::Exact);
+        assert_eq!(TrigMode::default(), TrigMode::Exact);
+    }
+}

@@ -49,6 +49,7 @@ pub mod capacity;
 pub mod dense;
 pub mod error;
 pub mod item_memory;
+pub mod kernels;
 pub mod noise;
 pub mod ops;
 pub mod par;
@@ -59,3 +60,4 @@ pub use binary::BinaryHv;
 pub use bipolar::BipolarHv;
 pub use dense::RealHv;
 pub use error::{DimensionMismatchError, HdcError};
+pub use kernels::TrigMode;

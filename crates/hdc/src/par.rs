@@ -118,6 +118,52 @@ where
     flat
 }
 
+/// Splits `items` and `outs` into the *same* contiguous chunks and runs
+/// `f(items_chunk, outs_chunk)` on up to `threads` scoped threads — the
+/// in-place counterpart of [`chunked_map`] for callers that write into
+/// pre-allocated output slots instead of collecting fresh vectors.
+///
+/// Same bit-exactness contract: chunk boundaries never change per-item
+/// arithmetic, so as long as `f` computes each output slot from its own
+/// input row only, results are identical for every thread count.
+/// `threads <= 1` short-circuits to a single `f(items, outs)` call.
+///
+/// # Panics
+///
+/// Panics when `items` and `outs` disagree in length, and propagates a
+/// panic from `f` (the scope joins all threads first).
+pub fn chunked_zip_mut<T, U, F>(items: &[T], outs: &mut [U], threads: usize, f: F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T], &mut [U]) + Sync,
+{
+    assert_eq!(
+        items.len(),
+        outs.len(),
+        "chunked_zip_mut: items/outs length mismatch"
+    );
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        f(items, outs);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .zip(outs.chunks_mut(chunk))
+            .map(|(part, out_part)| {
+                let f = &f;
+                scope.spawn(move || f(part, out_part))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("par worker panicked");
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +200,35 @@ mod tests {
         let empty: Vec<i32> = Vec::new();
         assert!(chunked_map(&empty, 8, |x| *x).is_empty());
         assert_eq!(chunked_map(&[5], 8, |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn zip_mut_matches_sequential_for_every_thread_count() {
+        let items: Vec<f32> = (0..131).map(|i| i as f32 * 0.7 - 11.0).collect();
+        let mut seq = vec![0.0f32; items.len()];
+        let work = |part: &[f32], out: &mut [f32]| {
+            for (x, o) in part.iter().zip(out.iter_mut()) {
+                *o = (x * 2.3).cos() + x;
+            }
+        };
+        work(&items, &mut seq);
+        for threads in [0, 1, 2, 3, 5, 8, 200] {
+            let mut par = vec![0.0f32; items.len()];
+            chunked_zip_mut(&items, &mut par, threads, work);
+            let seq_bits: Vec<u32> = seq.iter().map(|v| v.to_bits()).collect();
+            let par_bits: Vec<u32> = par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "threads={threads}");
+        }
+        // Degenerate shapes are fine.
+        let mut empty_out: Vec<f32> = Vec::new();
+        chunked_zip_mut(&[], &mut empty_out, 4, work);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn zip_mut_rejects_mismatched_lengths() {
+        let mut out = vec![0u8; 2];
+        chunked_zip_mut(&[1u8, 2, 3], &mut out, 2, |_, _| {});
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod sparse;
 pub mod traits;
 
 pub use config::RegHdConfig;
-pub use model::RegHdRegressor;
+pub use model::{PredictScratch, RegHdRegressor};
 pub use online::OnlineRegHd;
 pub use single::SingleHdRegressor;
 pub use traits::{FitReport, Regressor};

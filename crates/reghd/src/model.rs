@@ -18,11 +18,29 @@
 //! ("the quality of regression stabilizes during the last few iterations").
 
 use crate::banks::{ClusterBank, EncodedQuery, ModelBank};
-use crate::config::{RegHdConfig, UpdateRule};
+use crate::config::{PredictionMode, RegHdConfig, UpdateRule};
 use crate::traits::{FitReport, Regressor};
 use encoding::Encoder;
 use hdc::rng::HdRng;
 use hdc::similarity::{argmax, softmax, softmax_into};
+use hdc::{RealHv, TrigMode};
+
+/// Reusable per-caller buffers for [`RegHdRegressor::predict_batch_with`].
+///
+/// Holds the encoded-hypervector slots the blocked batch encoder writes
+/// into plus the per-row similarity/confidence/score buffers. A caller that
+/// keeps one `PredictScratch` alive across calls (the `reghd-serve` worker
+/// loop does) gets a steady-state prediction path with **no `RealHv`
+/// allocations per request** — the remaining per-row allocation is the
+/// 8×-smaller binary view built by [`EncodedQuery::new`].
+#[derive(Debug, Default)]
+pub struct PredictScratch {
+    /// Output slots for the batch encoder; grown on demand, never shrunk.
+    encoded: Vec<RealHv>,
+    sims: Vec<f32>,
+    conf: Vec<f32>,
+    scores: Vec<f32>,
+}
 
 /// The RegHD multi-model regressor.
 ///
@@ -242,56 +260,103 @@ impl RegHdRegressor {
     /// input rows short-circuit to `NaN` exactly like
     /// [`Regressor::predict_batch`].
     pub fn predict_batch_degraded(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        let mut scratch = PredictScratch::default();
+        self.predict_batch_mode_with(xs, PredictionMode::BinaryQuery, &mut scratch)
+    }
+
+    /// [`Regressor::predict_batch`] with caller-owned scratch buffers — the
+    /// zero-allocation serving entry point. Results are bit-identical to
+    /// `predict_batch` (which is this method with throwaway scratch).
+    pub fn predict_batch_with(&self, xs: &[Vec<f32>], scratch: &mut PredictScratch) -> Vec<f32> {
+        self.predict_batch_mode_with(xs, self.models.mode(), scratch)
+    }
+
+    /// The shared batch-prediction engine: blocked batch encode into the
+    /// scratch slots, then one forward pass per row with every intermediate
+    /// buffer reused. `mode` selects the score path (`scores_into` is
+    /// `scores_into_mode` with the bank's own mode, so passing it here
+    /// changes nothing for the configured path and lets the degraded
+    /// fallback force `BinaryQuery`).
+    fn predict_batch_mode_with(
+        &self,
+        xs: &[Vec<f32>],
+        mode: PredictionMode,
+        scratch: &mut PredictScratch,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; xs.len()];
         let threads = self.effective_threads();
         if threads > 1 && xs.len() > 1 {
-            return hdc::par::chunked_map(xs, threads, |x| self.predict_row_degraded(x));
+            // Same contiguous chunking as the encoder's own batch path, so
+            // per-row arithmetic (and therefore every output bit) matches
+            // the sequential run; each worker carries its own scratch.
+            hdc::par::chunked_zip_mut(xs, &mut out, threads, |part, out_part| {
+                let mut local = PredictScratch::default();
+                self.predict_chunk_into(part, out_part, mode, &mut local);
+            });
+        } else {
+            self.predict_chunk_into(xs, &mut out, mode, scratch);
         }
-        xs.iter().map(|x| self.predict_row_degraded(x)).collect()
+        out
     }
 
-    /// One row of the degraded (forced-`BinaryQuery`) path. Shared by the
-    /// sequential and row-parallel schedules so both run the exact same
-    /// per-row arithmetic.
-    fn predict_row_degraded(&self, x: &[f32]) -> f32 {
-        if !x.iter().all(|v| v.is_finite()) {
-            return f32::NAN;
+    /// One contiguous chunk of the batch path: kernel-encode every row into
+    /// the scratch slots (bit-identical to scalar `encode`), then run the
+    /// forward pass per row, handing each slot's buffer back for the next
+    /// call. Non-finite rows short-circuit to `NaN` exactly like the old
+    /// per-row loop.
+    fn predict_chunk_into(
+        &self,
+        xs: &[Vec<f32>],
+        out: &mut [f32],
+        mode: PredictionMode,
+        scratch: &mut PredictScratch,
+    ) {
+        if scratch.encoded.len() < xs.len() {
+            scratch.encoded.resize(xs.len(), RealHv::default());
         }
-        let k = self.config.models;
-        let mut sims = Vec::with_capacity(k);
-        let mut conf = Vec::with_capacity(k);
-        let mut scores = Vec::with_capacity(k);
-        let q = self.encode(x);
-        self.clusters
-            .similarities_into(&q.real, &q.binary, &mut sims);
-        softmax_into(&sims, self.config.softmax_beta, &mut conf);
-        self.models.scores_into_mode(
-            crate::config::PredictionMode::BinaryQuery,
-            &q.real,
-            &q.binary,
-            q.amp,
-            &mut scores,
-        );
-        conf.iter().zip(&scores).map(|(&c, &s)| c * s).sum::<f32>() + self.intercept
+        self.encoder
+            .encode_batch_into(xs, &mut scratch.encoded[..xs.len()], 1);
+        for (i, x) in xs.iter().enumerate() {
+            if !x.iter().all(|v| v.is_finite()) {
+                out[i] = f32::NAN;
+                continue;
+            }
+            let mut real = std::mem::take(&mut scratch.encoded[i]);
+            if let Some(center) = &self.center {
+                real.add_scaled(center, -1.0);
+            }
+            if self.config.normalize_encodings {
+                real.normalize();
+            }
+            let q = EncodedQuery::new(real);
+            self.clusters
+                .similarities_into(&q.real, &q.binary, &mut scratch.sims);
+            softmax_into(&scratch.sims, self.config.softmax_beta, &mut scratch.conf);
+            self.models
+                .scores_into_mode(mode, &q.real, &q.binary, q.amp, &mut scratch.scores);
+            out[i] = scratch
+                .conf
+                .iter()
+                .zip(&scratch.scores)
+                .map(|(&c, &s)| c * s)
+                .sum::<f32>()
+                + self.intercept;
+            // Hand the encoded buffer back to its slot so the next batch
+            // through this scratch reuses the allocation.
+            scratch.encoded[i] = q.real;
+        }
     }
 
-    /// One row of the full-precision batch path, exactly the arithmetic of
-    /// the sequential `predict_batch` loop body (non-finite rows map to
-    /// `NaN`); used by the row-parallel schedule.
-    fn predict_row(&self, x: &[f32]) -> f32 {
-        if !x.iter().all(|v| v.is_finite()) {
-            return f32::NAN;
-        }
-        let k = self.config.models;
-        let mut sims = Vec::with_capacity(k);
-        let mut conf = Vec::with_capacity(k);
-        let mut scores = Vec::with_capacity(k);
-        let q = self.encode(x);
-        self.clusters
-            .similarities_into(&q.real, &q.binary, &mut sims);
-        softmax_into(&sims, self.config.softmax_beta, &mut conf);
-        self.models
-            .scores_into(&q.real, &q.binary, q.amp, &mut scores);
-        conf.iter().zip(&scores).map(|(&c, &s)| c * s).sum::<f32>() + self.intercept
+    /// Forwards to the encoder's trig knob (see [`TrigMode`]): `Fast` swaps
+    /// `libm` sin/cos for the bounded-error polynomial path during
+    /// inference. Training and canary replay always force `Exact`.
+    pub fn set_trig_mode(&self, mode: TrigMode) {
+        self.encoder.set_trig_mode(mode);
+    }
+
+    /// The encoder's current trig evaluation mode.
+    pub fn trig_mode(&self) -> TrigMode {
+        self.encoder.trig_mode()
     }
 
     fn encode(&self, x: &[f32]) -> EncodedQuery {
@@ -342,8 +407,22 @@ impl RegHdRegressor {
         assert!(!features.is_empty(), "cannot refine on empty data");
         assert!(epochs > 0, "epochs must be nonzero");
 
-        let encoded: Vec<EncodedQuery> =
-            hdc::par::chunked_map(features, self.effective_threads(), |x| self.encode(x));
+        // Blocked batch encode (bit-identical to per-row `encode`), then the
+        // centre/normalise steps the per-row path would apply.
+        let encoded: Vec<EncodedQuery> = self
+            .encoder
+            .encode_batch(features, self.effective_threads())
+            .into_iter()
+            .map(|mut s| {
+                if let Some(center) = &self.center {
+                    s.add_scaled(center, -1.0);
+                }
+                if self.config.normalize_encodings {
+                    s.normalize();
+                }
+                EncodedQuery::new(s)
+            })
+            .collect();
         let mut rng = HdRng::seed_from(self.config.seed ^ 0x4E_F1_4E);
         let mut order: Vec<usize> = (0..features.len()).collect();
         let mut history = Vec::with_capacity(epochs);
@@ -537,45 +616,17 @@ impl Regressor for RegHdRegressor {
         self.forward(&q).0
     }
 
-    /// Batched prediction with per-row work amortised: the similarity,
-    /// confidence, and score buffers are allocated once and reused across
-    /// all rows (three fewer heap allocations per row than the
-    /// `predict_one` loop), which is what the `reghd-serve` micro-batcher
-    /// relies on for throughput.
+    /// Batched prediction through the cache-blocked encode kernel with
+    /// every per-row buffer reused (see [`RegHdRegressor::predict_batch_with`]
+    /// for the variant that also reuses buffers *across* calls).
     ///
     /// When [`RegHdRegressor::set_threads`] asks for more than one thread,
     /// rows are split across scoped threads in contiguous chunks with the
     /// per-row arithmetic unchanged, so the output is **bit-identical** to
     /// the single-threaded run.
     fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<f32> {
-        let threads = self.effective_threads();
-        if threads > 1 && xs.len() > 1 {
-            return hdc::par::chunked_map(xs, threads, |x| self.predict_row(x));
-        }
-        let k = self.config.models;
-        let mut sims = Vec::with_capacity(k);
-        let mut conf = Vec::with_capacity(k);
-        let mut scores = Vec::with_capacity(k);
-        let mut out = Vec::with_capacity(xs.len());
-        for x in xs {
-            // A NaN/Inf feature would silently poison the encoding (and,
-            // through normalisation, every component of the query HV);
-            // short-circuit to NaN so callers can detect the bad row.
-            if !x.iter().all(|v| v.is_finite()) {
-                out.push(f32::NAN);
-                continue;
-            }
-            let q = self.encode(x);
-            self.clusters
-                .similarities_into(&q.real, &q.binary, &mut sims);
-            softmax_into(&sims, self.config.softmax_beta, &mut conf);
-            self.models
-                .scores_into(&q.real, &q.binary, q.amp, &mut scores);
-            let pred: f32 =
-                conf.iter().zip(&scores).map(|(&c, &s)| c * s).sum::<f32>() + self.intercept;
-            out.push(pred);
-        }
-        out
+        let mut scratch = PredictScratch::default();
+        self.predict_batch_with(xs, &mut scratch)
     }
 
     fn name(&self) -> String {
@@ -903,6 +954,53 @@ mod tests {
         par.fit(&xs, &ys);
         for x in xs.iter().take(10) {
             assert_eq!(seq.predict_one(x), par.predict_one(x));
+        }
+    }
+
+    #[test]
+    fn predict_batch_with_reuses_scratch_and_matches() {
+        let (xs, ys) = multimodal(80, 23);
+        let mut m = make(4, 23);
+        m.fit(&xs, &ys);
+        let base = m.predict_batch(&xs[..20]);
+        let mut scratch = PredictScratch::default();
+        assert_eq!(m.predict_batch_with(&xs[..20], &mut scratch), base);
+        // Steady state: the encoded slots keep their allocations across
+        // calls through the same scratch.
+        let ptrs: Vec<*const f32> = scratch
+            .encoded
+            .iter()
+            .map(|o| o.as_slice().as_ptr())
+            .collect();
+        assert_eq!(m.predict_batch_with(&xs[..20], &mut scratch), base);
+        let now: Vec<*const f32> = scratch
+            .encoded
+            .iter()
+            .map(|o| o.as_slice().as_ptr())
+            .collect();
+        assert_eq!(ptrs, now, "scratch slots must be reused across calls");
+        // NaN rows leave their slot untouched but still predict NaN.
+        let mixed = vec![xs[0].clone(), vec![f32::NAN, 0.0], xs[1].clone()];
+        let preds = m.predict_batch_with(&mixed, &mut scratch);
+        assert!(preds[0].is_finite() && preds[1].is_nan() && preds[2].is_finite());
+    }
+
+    #[test]
+    fn trig_mode_forwards_to_encoder_and_fast_stays_close() {
+        let (xs, ys) = multimodal(120, 24);
+        let mut m = make(4, 24);
+        m.fit(&xs, &ys);
+        assert_eq!(m.trig_mode(), TrigMode::Exact);
+        let exact = m.predict_batch(&xs[..20]);
+        m.set_trig_mode(TrigMode::Fast);
+        assert_eq!(m.trig_mode(), TrigMode::Fast);
+        let fast = m.predict_batch(&xs[..20]);
+        m.set_trig_mode(TrigMode::Exact);
+        for (e, f) in exact.iter().zip(&fast) {
+            assert!(
+                (e - f).abs() < 0.02 * (1.0 + e.abs()),
+                "fast-trig prediction drifted: exact={e} fast={f}"
+            );
         }
     }
 

@@ -199,11 +199,18 @@ impl OnlineRegHd {
     }
 
     fn encode(&self, x: &[f32]) -> EncodedQuery {
-        let mut s = self.encoder.encode(x);
+        // Fused single-pass encoding (§3.1: quantised training keeps an
+        // integer and a binary copy of every encoded point). Sound here
+        // because this trainer never centres encodings (`new` forces
+        // `center_encodings = false`) and `normalize` only scales by a
+        // positive factor, which cannot flip the sign of any component —
+        // so the pre-normalisation binary view equals the
+        // post-normalisation one that `EncodedQuery::new` would derive.
+        let (mut s, binary) = self.encoder.encode_both(x);
         if self.config.normalize_encodings {
             s.normalize();
         }
-        EncodedQuery::new(s)
+        EncodedQuery::from_parts(s, binary)
     }
 
     fn forward(&self, q: &EncodedQuery) -> (f32, Vec<f32>, Vec<f32>) {

@@ -260,6 +260,20 @@ impl ModelBundle {
         self.model.set_threads(threads);
     }
 
+    /// Sets the encoder's trig evaluation mode (see [`hdc::TrigMode`]).
+    /// `Fast` trades the documented bounded trig error for throughput on
+    /// the inference path; [`ModelBundle::run_canary`] always forces
+    /// `Exact` for its replay, so the knob never breaks bit-exact rollback
+    /// checks. Takes `&self`, like the thread knob.
+    pub fn set_trig_mode(&self, mode: hdc::TrigMode) {
+        self.model.set_trig_mode(mode);
+    }
+
+    /// The embedded model's current trig evaluation mode.
+    pub fn trig_mode(&self) -> hdc::TrigMode {
+        self.model.trig_mode()
+    }
+
     /// The target scaler's standard deviation — converts a standardised
     /// training RMSE back to original units.
     pub fn target_std(&self) -> f32 {
@@ -299,13 +313,25 @@ impl ModelBundle {
     /// Predicts in original units for raw-unit feature rows. Rows with the
     /// wrong width or non-finite (NaN/Inf) features are rejected.
     pub fn predict(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>, String> {
+        let mut scratch = reghd::PredictScratch::default();
+        self.predict_with(rows, &mut scratch)
+    }
+
+    /// [`ModelBundle::predict`] with caller-owned scratch buffers — the
+    /// serving worker loop keeps one [`reghd::PredictScratch`] alive across
+    /// micro-batches so the steady-state hot path allocates no encoded
+    /// hypervectors per request. Bit-identical to `predict`.
+    pub fn predict_with(
+        &self,
+        rows: &[Vec<f32>],
+        scratch: &mut reghd::PredictScratch,
+    ) -> Result<Vec<f32>, String> {
         let scaled = self.scale_rows(rows)?;
-        // One batched pass through the model (shared scratch buffers in
-        // RegHdRegressor::predict_batch) — the hot path of the serving
-        // worker pool.
+        // One blocked batched pass through the model — the hot path of the
+        // serving worker pool.
         Ok(self
             .model
-            .predict_batch(&scaled)
+            .predict_batch_with(&scaled, scratch)
             .into_iter()
             .map(|y_std| y_std * self.target_std + self.target_mean)
             .collect())
@@ -335,7 +361,14 @@ impl ModelBundle {
         if self.canary_rows.is_empty() {
             return Ok(());
         }
-        let got = self.predict(&self.canary_rows)?;
+        // The recorded predictions were captured in Exact trig mode; force
+        // it for the replay so an operator's `Fast` knob cannot turn a
+        // healthy bundle into a false canary failure, then restore.
+        let saved = self.model.trig_mode();
+        self.model.set_trig_mode(hdc::TrigMode::Exact);
+        let got = self.predict(&self.canary_rows);
+        self.model.set_trig_mode(saved);
+        let got = got?;
         for (i, (&g, &e)) in got.iter().zip(&self.canary_preds).enumerate() {
             if g.to_bits() != e.to_bits() {
                 return Err(format!("canary row {i} predicted {g}, bundle recorded {e}"));

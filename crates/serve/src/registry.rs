@@ -23,8 +23,9 @@
 
 use crate::bundle::ModelBundle;
 use crate::{read_unpoisoned, write_unpoisoned, ServeError};
+use hdc::TrigMode;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Metadata describing one loaded model version.
@@ -104,6 +105,11 @@ pub struct ModelRegistry {
     /// (`0` = available parallelism). Predictions are bit-identical at any
     /// setting ([`crate::bundle::ModelBundle::set_threads`]).
     default_threads: AtomicUsize,
+    /// Trig-mode knob applied to every bundle this registry loads or swaps
+    /// in, stored as [`TrigMode::as_u8`]. Unlike the thread knob, `Fast`
+    /// changes results (within the documented error bound); canary replays
+    /// always pin `Exact`, so integrity checks are unaffected.
+    default_trig: AtomicU8,
 }
 
 impl Default for ModelRegistry {
@@ -111,6 +117,7 @@ impl Default for ModelRegistry {
         Self {
             inner: RwLock::new(HashMap::new()),
             default_threads: AtomicUsize::new(1),
+            default_trig: AtomicU8::new(TrigMode::Exact.as_u8()),
         }
     }
 }
@@ -179,6 +186,28 @@ impl ModelRegistry {
         self.default_threads.load(Ordering::Relaxed)
     }
 
+    /// Sets the trigonometry mode applied to every loaded bundle (default
+    /// [`TrigMode::Exact`]). Applies immediately to all models already in
+    /// the registry and to every future load/reload/publish. `Fast` trades
+    /// a bounded per-component error
+    /// ([`hdc::kernels::FAST_TRIG_MAX_ABS_ERROR`]) for throughput; canary
+    /// replays force `Exact` regardless, so hot-swap integrity checks stay
+    /// bit-exact.
+    pub fn set_default_trig(&self, mode: TrigMode) {
+        self.default_trig.store(mode.as_u8(), Ordering::Relaxed);
+        let map = read_unpoisoned(&self.inner);
+        for slot in map.values() {
+            slot.current.bundle.set_trig_mode(mode);
+            slot.last_good.bundle.set_trig_mode(mode);
+        }
+    }
+
+    /// The trig mode new loads inherit (see
+    /// [`ModelRegistry::set_default_trig`]).
+    pub fn default_trig(&self) -> TrigMode {
+        TrigMode::from_u8(self.default_trig.load(Ordering::Relaxed))
+    }
+
     /// Loads a new model under `name` from raw bundle bytes. The bundle's
     /// canary rows are replayed before the model becomes visible.
     ///
@@ -191,6 +220,7 @@ impl ModelRegistry {
     pub fn load_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
         let entry = build_entry(name, 1, bytes)?;
         entry.bundle.set_threads(self.default_threads());
+        entry.bundle.set_trig_mode(self.default_trig());
         let entry = Arc::new(entry);
         let meta = entry.meta.clone();
         let mut map = write_unpoisoned(&self.inner);
@@ -235,6 +265,7 @@ impl ModelRegistry {
         // Parse outside the lock (it deserialises megabytes of weights).
         let mut entry = build_entry(name, 0, bytes)?;
         entry.bundle.set_threads(self.default_threads());
+        entry.bundle.set_trig_mode(self.default_trig());
         let mut map = write_unpoisoned(&self.inner);
         let slot = map
             .get_mut(name)
@@ -263,6 +294,7 @@ impl ModelRegistry {
     pub fn publish_bytes(&self, name: &str, bytes: &[u8]) -> Result<ModelMeta, ServeError> {
         let mut entry = build_entry(name, 1, bytes)?;
         entry.bundle.set_threads(self.default_threads());
+        entry.bundle.set_trig_mode(self.default_trig());
         let mut map = write_unpoisoned(&self.inner);
         if let Some(slot) = map.get_mut(name) {
             entry.meta.version = slot.current.meta.version + 1;
@@ -629,6 +661,27 @@ mod tests {
         assert_eq!(reg.get("b").unwrap().bundle.model().threads(), 4);
         reg.reload_bytes("a", &toy_bytes(42)).unwrap();
         assert_eq!(reg.get("a").unwrap().bundle.model().threads(), 4);
+    }
+
+    #[test]
+    fn default_trig_applies_to_loaded_and_future_models() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("a", &toy_bytes(50)).unwrap();
+        assert_eq!(reg.get("a").unwrap().bundle.trig_mode(), TrigMode::Exact);
+        // Applies retroactively to already-loaded models …
+        reg.set_default_trig(TrigMode::Fast);
+        assert_eq!(reg.default_trig(), TrigMode::Fast);
+        assert_eq!(reg.get("a").unwrap().bundle.trig_mode(), TrigMode::Fast);
+        // … and is inherited by later loads and swaps. Crucially, those
+        // loads still pass their canary replay: the replay pins Exact
+        // internally, so Fast mode never trips the integrity gate.
+        reg.publish_bytes("b", &toy_bytes(51)).unwrap();
+        assert_eq!(reg.get("b").unwrap().bundle.trig_mode(), TrigMode::Fast);
+        reg.reload_bytes("a", &toy_bytes(52)).unwrap();
+        assert_eq!(reg.get("a").unwrap().bundle.trig_mode(), TrigMode::Fast);
+        // A sweep over fast-mode models is clean — the state checksum
+        // covers learned weights, not the runtime trig knob.
+        assert_eq!(reg.sweep().corrupted, 0);
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct ServerConfig {
     /// `1` is the exact old sequential behavior. Applied to every model in
     /// the registry at startup and inherited by later loads and reloads.
     pub threads: usize,
+    /// Trigonometry mode for encoding ([`hdc::TrigMode::Exact`] by
+    /// default). `Fast` swaps `sin`/`cos` for a range-reduced polynomial
+    /// with a documented error bound
+    /// ([`hdc::kernels::FAST_TRIG_MAX_ABS_ERROR`]) in exchange for
+    /// throughput. Applied to every model in the registry at startup and
+    /// inherited by later loads and reloads; canary replays always force
+    /// `Exact`, so integrity checks stay bit-exact.
+    pub trig: hdc::TrigMode,
     /// Micro-batching knobs.
     pub batcher: BatcherConfig,
     /// Idle connections are closed after this long without a request.
@@ -87,6 +95,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: 4,
             threads: 1,
+            trig: hdc::TrigMode::Exact,
             batcher: BatcherConfig::default(),
             read_timeout: Duration::from_secs(30),
             reply_timeout: Duration::from_secs(10),
@@ -417,9 +426,10 @@ pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHa
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    // Models already loaded pick the knob up now; later loads inherit it
-    // from the registry.
+    // Models already loaded pick the knobs up now; later loads inherit
+    // them from the registry.
     registry.set_default_threads(cfg.threads);
+    registry.set_default_trig(cfg.trig);
 
     let hub = Arc::new(MetricsHub::new());
     let injector = Arc::new(FaultInjector::new(cfg.fault_seed));
@@ -869,6 +879,50 @@ mod tests {
             handle.shutdown();
         }
         assert_eq!(replies[0], replies[1]);
+    }
+
+    #[test]
+    fn fast_trig_server_predictions_stay_close_to_exact() {
+        // --trig fast is allowed to move replies, but only within the
+        // fast-trig error envelope — the replies must stay finite and
+        // numerically close to the exact-mode answers.
+        let rows = ["predict toy 3.0,4.0", "predict toy 10.5,-2.25"];
+        let mut replies: Vec<Vec<f32>> = Vec::new();
+        for trig in [hdc::TrigMode::Exact, hdc::TrigMode::Fast] {
+            let registry = toy_registry();
+            let cfg = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                trig,
+                read_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
+            };
+            let handle = serve(cfg, registry.clone()).unwrap();
+            assert_eq!(registry.default_trig(), trig);
+            assert_eq!(
+                registry.get("toy").unwrap().bundle.trig_mode(),
+                trig,
+                "startup must push the trig knob into loaded models"
+            );
+            let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+            let got: Vec<f32> = rows
+                .iter()
+                .map(|r| {
+                    let reply = roundtrip(&mut s, r);
+                    assert!(reply.starts_with("ok "), "{reply}");
+                    reply[3..].parse().unwrap()
+                })
+                .collect();
+            replies.push(got);
+            handle.shutdown();
+        }
+        for (e, f) in replies[0].iter().zip(&replies[1]) {
+            assert!(f.is_finite());
+            assert!(
+                (e - f).abs() <= 0.05 * (1.0 + e.abs()),
+                "exact={e} fast={f}"
+            );
+        }
     }
 
     #[test]

@@ -60,10 +60,14 @@ pub struct WorkerPool {
 }
 
 /// Executes one batch: batched predict, then one reply per row.
-fn run_batch(batch: Batch) {
+///
+/// `scratch` is the worker's long-lived prediction scratch: its buffers are
+/// reused across every batch the worker serves, so the steady-state hot path
+/// performs no per-request hypervector allocations.
+fn run_batch(batch: Batch, scratch: &mut reghd::PredictScratch) {
     let rows: Vec<Vec<f32>> = batch.items.iter().map(|i| i.row.clone()).collect();
     batch.metrics.record_batch(rows.len());
-    match batch.model.bundle.predict(&rows) {
+    match batch.model.bundle.predict_with(&rows, scratch) {
         Ok(preds) => {
             for (item, pred) in batch.items.into_iter().zip(preds) {
                 batch.metrics.record_ok(item.enqueued_at.elapsed());
@@ -87,6 +91,10 @@ fn worker_loop(
     alive: Arc<AtomicUsize>,
     injector: Option<Arc<FaultInjector>>,
 ) {
+    // One scratch per worker thread, reused for the thread's lifetime. Every
+    // buffer in it is fully overwritten before use, so it needs no reset
+    // even after a contained panic.
+    let mut scratch = reghd::PredictScratch::default();
     loop {
         // Holding the mutex only while waiting for one batch keeps the
         // other workers free to grab the next.
@@ -124,7 +132,7 @@ fn worker_loop(
             if injected_panic {
                 panic!("injected worker panic");
             }
-            run_batch(batch);
+            run_batch(batch, &mut scratch);
         }));
         if outcome.is_err() {
             // The batch was consumed by the unwind; its reply senders are

@@ -21,6 +21,15 @@
 //! * **status** — counters stream into a shared
 //!   [`reghd_serve::TrainStatus`], which the serve front-end renders for
 //!   the `train-status` protocol command.
+//!
+//! Training always encodes in `TrigMode::Exact` (the trainer never flips
+//! the knob, and freshly built encoders default to it): checkpoints,
+//! canary predictions, and bit-exact resume all assume the training-time
+//! arithmetic. The opt-in fast-trig mode is a *serving* knob
+//! (`--trig fast`), and even there canary replays pin exact mode. The
+//! per-sample update itself goes through the encoder's fused
+//! `encode_both` (single projection pass for the real and binarised
+//! encoding) inside [`reghd::OnlineRegHd`].
 
 use crate::detect::DriftDetector;
 use crate::source::SampleSource;
