@@ -64,9 +64,12 @@ fn usage() -> ! {
          [--resume state.rghd] [--dim N] [--models K] [--seed N] [--threads N]\n  \
          reghd-cli eval    --csv <data.csv> --model <model.rghd> [--trig exact|fast]\n  \
          reghd-cli predict --csv <data.csv> --model <model.rghd> [--trig exact|fast]\n  \
-         reghd-cli serve   --model <model.rghd> [--name NAME] [--addr HOST:PORT] \
+         reghd-cli serve   [--model <model.rghd>] [--store DIR] [--name NAME] [--addr HOST:PORT] \
          [--workers N] [--threads N] [--trig exact|fast] [--max-batch N] [--max-wait-us N] \
          [--canary] [--chaos] [--sweep-interval-ms N]\n  \
+         reghd-cli store   <init|ingest|stats|compact|predict> --dir DIR \
+         [--shards N] [--hot-budget-mb N] [--model model.rghd] [--key KEY] [--copies N] \
+         [--csv data.csv]\n  \
          reghd-cli inject  --addr <HOST:PORT> --kind <bitflip|delay|kill|panic|garble|clear> \
          [--model NAME] [--rate R] [--seed N] [--ms N] [--n N]"
     );
@@ -157,7 +160,10 @@ fn parse_trig(args: &Args) -> Result<hdc::TrigMode, String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
-    let args = match Args::parse(&argv[1..]) {
+    // `store` takes an action word before its flags; everything else goes
+    // straight to flag parsing.
+    let flag_start = if cmd == "store" { 2.min(argv.len()) } else { 1 };
+    let args = match Args::parse(&argv[flag_start..]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
@@ -169,6 +175,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&args),
         "predict" => cmd_predict(&args),
         "serve" => cmd_serve(&args),
+        "store" => cmd_store(argv.get(1).map(String::as_str).unwrap_or(""), &args),
         "inject" => cmd_inject(&args),
         _ => {
             eprintln!("unknown command: {cmd}");
@@ -444,10 +451,100 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
     let bundle = ModelBundle::load(model_path)?;
     bundle.set_trig_mode(trig);
-    for p in bundle.predict(&ds.features)? {
-        println!("{p}");
-    }
+    print_predictions(&bundle.predict(&ds.features)?);
     Ok(())
+}
+
+/// Prints one prediction per line, stopping quietly if stdout goes away
+/// (`predict … | head` must not panic on the broken pipe).
+fn print_predictions(preds: &[f32]) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for p in preds {
+        if writeln!(out, "{p}").is_err() {
+            return;
+        }
+    }
+}
+
+/// Opens a [`reghd_store::ModelStore`] at `dir` with the CLI's sizing
+/// flags.
+fn open_store_at(
+    dir: &str,
+    args: &Args,
+) -> Result<std::sync::Arc<reghd_store::ModelStore>, String> {
+    use reghd_store::{ModelStore, StoreConfig};
+    let cfg = StoreConfig {
+        shards: args.parse_num("shards", StoreConfig::default().shards),
+        hot_budget_bytes: args.parse_num::<usize>("hot-budget-mb", 64) << 20,
+    };
+    ModelStore::open(std::path::Path::new(dir), cfg)
+        .map(std::sync::Arc::new)
+        .map_err(|e| format!("cannot open store at {dir}: {e}"))
+}
+
+fn cmd_store(action: &str, args: &Args) -> Result<(), String> {
+    use reghd_serve::registry::ModelResolver;
+    match action {
+        "init" => {
+            let store = open_store_at(args.require("dir"), args)?;
+            println!("store initialised: {}", store.stats_line());
+            Ok(())
+        }
+        "ingest" => {
+            let store = open_store_at(args.require("dir"), args)?;
+            let path = args.require("model");
+            let key = args.require("key");
+            let copies: usize = args.parse_num("copies", 1);
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            if copies <= 1 {
+                let meta = store.publish_full(key, &bytes).map_err(|e| e.to_string())?;
+                println!(
+                    "published {} v{} ({} bytes, hash={})",
+                    meta.name, meta.version, meta.bytes, meta.hash
+                );
+            } else {
+                // Fleet ingest: the same artefact under key0..keyN-1, each
+                // a durable publish in its own right.
+                for i in 0..copies {
+                    store
+                        .publish_full(&format!("{key}{i}"), &bytes)
+                        .map_err(|e| e.to_string())?;
+                }
+                println!("published {copies} keys {key}0..{key}{}", copies - 1);
+            }
+            println!("store: {}", store.stats_line());
+            Ok(())
+        }
+        "stats" => {
+            let store = open_store_at(args.require("dir"), args)?;
+            println!("{}", store.stats_line());
+            Ok(())
+        }
+        "compact" => {
+            let store = open_store_at(args.require("dir"), args)?;
+            let before = store.stats().pack_bytes;
+            store.compact().map_err(|e| e.to_string())?;
+            let after = store.stats().pack_bytes;
+            println!("compacted: {before} -> {after} pack bytes");
+            Ok(())
+        }
+        "predict" => {
+            // Store-backed resolution without a server: resolve the key,
+            // predict the CSV rows, print one prediction per line.
+            let store = open_store_at(args.require("dir"), args)?;
+            let key = args.require("key");
+            let csv = args.require("csv");
+            let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
+            let served = store.get(key).map_err(|e| e.to_string())?;
+            print_predictions(&served.bundle.predict(&ds.features)?);
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown store action {other:?} (expected init|ingest|stats|compact|predict)"
+        )),
+    }
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
@@ -457,12 +554,23 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::sync::Arc;
     use std::time::Duration;
 
-    let model_path = args.require("model");
-    let default_name = std::path::Path::new(model_path)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("default")
-        .to_string();
+    let model_path = match args.get("model") {
+        Some(p) => Some(p),
+        None if args.has("store") => None,
+        None => {
+            eprintln!("serve needs --model, --store, or both");
+            usage();
+        }
+    };
+    let default_name = model_path
+        .map(|p| {
+            std::path::Path::new(p)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("default")
+                .to_string()
+        })
+        .unwrap_or_else(|| "default".to_string());
     let name = args.get("name").unwrap_or(&default_name).to_string();
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let workers: usize = args.parse_num("workers", 4);
@@ -477,24 +585,34 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         // Verbose pre-flight: replay the bundle's embedded reference rows
         // before touching the network. (The registry canaries every load
         // and reload anyway; this surfaces the verdict up front.)
-        let b = ModelBundle::load(model_path)?;
-        match b.canary_len() {
-            0 => println!("canary: bundle carries no reference rows (pre-v2 bundle?)"),
-            n => {
-                b.run_canary()?;
-                println!("canary: {n} reference rows replayed bit-exact");
+        if let Some(path) = model_path {
+            let b = ModelBundle::load(path)?;
+            match b.canary_len() {
+                0 => println!("canary: bundle carries no reference rows (pre-v2 bundle?)"),
+                n => {
+                    b.run_canary()?;
+                    println!("canary: {n} reference rows replayed bit-exact");
+                }
             }
         }
     }
 
     let registry = Arc::new(ModelRegistry::new());
-    let meta = registry
-        .load(&name, model_path)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "loaded model {} v{} (dim={}, k={}, {} features, hash={})",
-        meta.name, meta.version, meta.dim, meta.models, meta.input_dim, meta.hash
-    );
+    if let Some(path) = model_path {
+        let meta = registry.load(&name, path).map_err(|e| e.to_string())?;
+        println!(
+            "loaded model {} v{} (dim={}, k={}, {} features, hash={})",
+            meta.name, meta.version, meta.dim, meta.models, meta.input_dim, meta.hash
+        );
+    }
+    if args.has("store") {
+        // Registry lookups fall through to the store for any key the
+        // in-process map does not hold.
+        use reghd_serve::registry::ModelResolver;
+        let store = open_store_at(args.require("store"), args)?;
+        println!("store attached: {}", store.stats_line());
+        registry.attach_resolver(store);
+    }
     let cfg = ServerConfig {
         addr,
         workers,

@@ -92,8 +92,13 @@ fn into_batches(drained: Vec<Pending>, max_batch: usize) -> Vec<Batch> {
         });
         batch.items.push(p.item);
         if batch.items.len() >= max_batch {
-            out.push(groups.remove(&key).unwrap());
-            order.retain(|k| k != &key);
+            // The entry was just inserted/updated above, but a panic here
+            // would take down the dispatcher thread and strand every queued
+            // request — flush defensively instead of unwrapping.
+            if let Some(full) = groups.remove(&key) {
+                out.push(full);
+                order.retain(|k| k != &key);
+            }
         }
     }
     // Emit remaining partial groups in first-seen order for determinism.

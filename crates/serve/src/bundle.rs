@@ -286,6 +286,92 @@ impl ModelBundle {
         self.canary_rows.len()
     }
 
+    /// Per-feature means of the fitted standardizer (raw → model units).
+    pub fn feat_means(&self) -> &[f32] {
+        &self.feat_means
+    }
+
+    /// Per-feature standard deviations of the fitted standardizer.
+    pub fn feat_stds(&self) -> &[f32] {
+        &self.feat_stds
+    }
+
+    /// The target scaler's mean — pairs with [`ModelBundle::target_std`].
+    pub fn target_mean(&self) -> f32 {
+        self.target_mean
+    }
+
+    /// The stored canary reference rows (raw units).
+    pub fn canary_rows(&self) -> &[Vec<f32>] {
+        &self.canary_rows
+    }
+
+    /// The predictions recorded for the canary rows at save time.
+    pub fn canary_preds(&self) -> &[f32] {
+        &self.canary_preds
+    }
+
+    /// Approximate resident memory of the decoded bundle, in bytes: the
+    /// integer and binary copies of both hypervector banks, the optional
+    /// centre vector, scalers, and canary rows. Deterministic for a given
+    /// shape, so eviction accounting and the `list` protocol report stable
+    /// numbers.
+    pub fn approx_mem_bytes(&self) -> usize {
+        let cfg = self.model.config();
+        let (dim, k) = (cfg.dim, cfg.models);
+        let n = self.feat_means.len();
+        // Integer (f32) + binary (packed bits) copies of k clusters and k
+        // models, plus per-bank amplitude scalars.
+        let banks = 2 * k * (dim * 4 + dim / 8 + 8);
+        let center = if self.model.center().is_some() {
+            dim * 4
+        } else {
+            0
+        };
+        let scalers = 2 * n * 4 + 8;
+        let canary = self.canary_rows.len() * (n + 1) * 4;
+        banks + center + scalers + canary + 256
+    }
+
+    /// Rebuilds a bundle from already-decoded parts, carrying the given
+    /// canary section verbatim instead of recapturing it — the store's
+    /// delta-application path, where the new canary ships inside the delta
+    /// and the result must serialise **bit-identically** to the full bundle
+    /// the trainer built. The encoder spec is re-derived from the model's
+    /// config exactly as every loader does.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched scaler lengths and canary rows/preds that
+    /// disagree in count or width (see [`ModelBundle::with_canary`]).
+    pub fn from_parts_with_canary(
+        model: RegHdRegressor,
+        feat_means: Vec<f32>,
+        feat_stds: Vec<f32>,
+        target_mean: f32,
+        target_std: f32,
+        canary_rows: Vec<Vec<f32>>,
+        canary_preds: Vec<f32>,
+    ) -> Result<Self, String> {
+        if feat_means.len() != feat_stds.len() {
+            return Err(format!(
+                "feature means ({}) and stds ({}) disagree",
+                feat_means.len(),
+                feat_stds.len()
+            ));
+        }
+        Self::assemble(
+            model,
+            feat_means,
+            feat_stds,
+            target_mean,
+            target_std,
+            Vec::new(),
+            Vec::new(),
+        )
+        .with_canary(canary_rows, canary_preds)
+    }
+
     /// Standardises raw-unit rows, validating width and finiteness.
     fn scale_rows(&self, rows: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, String> {
         let expected = self.feat_means.len();
@@ -547,28 +633,8 @@ impl ModelBundle {
         if !s.is_empty() {
             return Err("trailing bytes in scalers section".to_string());
         }
-        let n = feat_means.len();
 
-        let mut c: &[u8] = &canary;
-        let rows = read_u64(&mut c)? as usize;
-        if rows > CANARY_ROWS {
-            return Err(format!("implausible canary row count {rows}"));
-        }
-        let mut canary_rows = Vec::with_capacity(rows);
-        for _ in 0..rows {
-            let mut row = Vec::with_capacity(n);
-            for _ in 0..n {
-                row.push(read_f32(&mut c)?);
-            }
-            canary_rows.push(row);
-        }
-        let mut canary_preds = Vec::with_capacity(rows);
-        for _ in 0..rows {
-            canary_preds.push(read_f32(&mut c)?);
-        }
-        if !c.is_empty() {
-            return Err("trailing bytes in canary section".to_string());
-        }
+        let (canary_rows, canary_preds) = decode_canary_payload(&canary, feat_means.len())?;
 
         let mut b: &[u8] = &blob;
         let model = persist::load(&mut b).map_err(|e| e.to_string())?;
@@ -581,6 +647,64 @@ impl ModelBundle {
             canary_rows,
             canary_preds,
         ))
+    }
+
+    /// Decodes only the sections the serving path needs — scalers and
+    /// model — verifying each one's checksum on this first touch and
+    /// leaving the canary section's bytes **unread and unverified**. This
+    /// is the model store's lazy-CRC load path: a bundle whose canary
+    /// section is corrupt on disk still loads and serves (the store
+    /// already gated publication on a full-validation canary replay);
+    /// the rot is surfaced the first time something *touches* that
+    /// section ([`ModelBundle::attach_canary_from`]).
+    ///
+    /// The returned bundle has an empty canary section, so it must not be
+    /// re-serialised as a source of truth — the store keeps the original
+    /// bytes for that.
+    ///
+    /// v1 images have no section frames to skip and fall back to the full
+    /// loader.
+    pub fn decode_serving(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() >= 6 && &bytes[..4] == MAGIC && bytes[4..6] == 1u16.to_le_bytes() {
+            let mut r: &[u8] = &bytes[6..];
+            return Self::read_v1(&mut r);
+        }
+        let frames = SectionFrames::parse(bytes)?;
+        let mut s: &[u8] = frames.scalers()?;
+        let (feat_means, feat_stds, target_mean, target_std) = read_scalers(&mut s)?;
+        if !s.is_empty() {
+            return Err("trailing bytes in scalers section".to_string());
+        }
+        let mut b: &[u8] = frames.model()?;
+        let model = persist::load(&mut b).map_err(|e| e.to_string())?;
+        Ok(Self::assemble(
+            model,
+            feat_means,
+            feat_stds,
+            target_mean,
+            target_std,
+            Vec::new(),
+            Vec::new(),
+        ))
+    }
+
+    /// The deferred counterpart of [`ModelBundle::decode_serving`]:
+    /// verifies the canary section's checksum (the section's first touch)
+    /// and decodes it into this bundle, after which
+    /// [`ModelBundle::run_canary`] replays it as usual.
+    ///
+    /// # Errors
+    ///
+    /// Checksum mismatch or malformed canary payload — the caller (the
+    /// store's audit path) treats either as bundle rot and rolls the key
+    /// back to its last-good version.
+    pub fn attach_canary_from(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let frames = SectionFrames::parse(bytes)?;
+        let payload = frames.canary()?;
+        let (rows, preds) = decode_canary_payload(payload, self.num_features())?;
+        self.canary_rows = rows;
+        self.canary_preds = preds;
+        Ok(())
     }
 
     fn assemble(
@@ -647,6 +771,142 @@ fn read_scalers(r: &mut &[u8]) -> Result<(Vec<f32>, Vec<f32>, f32, f32), String>
     let target_mean = read_f32(r)?;
     let target_std = read_f32(r)?;
     Ok((feat_means, feat_stds, target_mean, target_std))
+}
+
+/// Shared canary-section payload layout (`rows:u64 | rows×n f32 | rows
+/// f32`), decoded with the feature count from the scalers section.
+fn decode_canary_payload(payload: &[u8], n: usize) -> Result<(Vec<Vec<f32>>, Vec<f32>), String> {
+    let mut c: &[u8] = payload;
+    let rows = read_u64(&mut c)? as usize;
+    if rows > CANARY_ROWS {
+        return Err(format!("implausible canary row count {rows}"));
+    }
+    let mut canary_rows = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(read_f32(&mut c)?);
+        }
+        canary_rows.push(row);
+    }
+    let mut canary_preds = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        canary_preds.push(read_f32(&mut c)?);
+    }
+    if !c.is_empty() {
+        return Err("trailing bytes in canary section".to_string());
+    }
+    Ok((canary_rows, canary_preds))
+}
+
+/// One `len | payload | crc` frame whose payload has been located but not
+/// yet verified.
+#[derive(Clone, Copy)]
+struct Frame<'a> {
+    payload: &'a [u8],
+    stored_crc: u32,
+}
+
+impl<'a> Frame<'a> {
+    /// Verifies the stored checksum and returns the payload — the point at
+    /// which the section's bytes are actually read.
+    fn verify(&self, name: &str) -> Result<&'a [u8], String> {
+        let computed = crc32(self.payload);
+        if self.stored_crc != computed {
+            return Err(format!(
+                "checksum mismatch in {name} section (stored {:08x}, computed {computed:08x})",
+                self.stored_crc
+            ));
+        }
+        Ok(self.payload)
+    }
+}
+
+/// The three sections of a v2 bundle image, located by walking the length
+/// prefixes only — **no checksum is computed** until a section accessor is
+/// called. The model store memory-maps packfiles holding up to millions of
+/// bundles; sweeping every image's full CRC at index-build time would read
+/// every page, so integrity is checked per section on first touch instead.
+pub struct SectionFrames<'a> {
+    scalers: Frame<'a>,
+    canary: Frame<'a>,
+    model: Frame<'a>,
+}
+
+impl<'a> SectionFrames<'a> {
+    /// Walks the section headers of a v2 image. Cheap: reads the magic,
+    /// version, and three length fields — O(1) regardless of bundle size.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, String> {
+        let mut r: &[u8] = bytes;
+        let mut magic = [0u8; 4];
+        read_exact(&mut r, &mut magic)?;
+        if &magic != MAGIC {
+            return Err("not a reghd-cli model bundle".to_string());
+        }
+        let v = read_u16(&mut r)?;
+        if v != VERSION {
+            return Err(format!("section frames need a v2 bundle (got v{v})"));
+        }
+        let scalers = locate_frame(&mut r, "scalers")?;
+        let canary = locate_frame(&mut r, "canary")?;
+        let model = locate_frame(&mut r, "model")?;
+        if !r.is_empty() {
+            return Err(format!("{} trailing bytes after model section", r.len()));
+        }
+        Ok(Self {
+            scalers,
+            canary,
+            model,
+        })
+    }
+
+    /// Verifies and returns the scalers section payload.
+    pub fn scalers(&self) -> Result<&'a [u8], String> {
+        self.scalers.verify("scalers")
+    }
+
+    /// Verifies and returns the canary section payload.
+    pub fn canary(&self) -> Result<&'a [u8], String> {
+        self.canary.verify("canary")
+    }
+
+    /// Verifies and returns the model section payload.
+    pub fn model(&self) -> Result<&'a [u8], String> {
+        self.model.verify("model")
+    }
+
+    /// The canary section's row-count header, read **without** verifying
+    /// the section checksum — metadata for lazily decoded store entries,
+    /// where touching (and thus CRC-sweeping) the canary bytes is exactly
+    /// what the lazy path avoids. `0` for an empty/malformed header.
+    pub fn canary_rows_hint(&self) -> usize {
+        let p = self.canary.payload;
+        if p.len() < 8 {
+            return 0;
+        }
+        let rows = u64::from_le_bytes(p[..8].try_into().unwrap()) as usize;
+        if rows > CANARY_ROWS {
+            0
+        } else {
+            rows
+        }
+    }
+}
+
+/// Locates one `len | payload | crc` frame without computing the checksum.
+fn locate_frame<'a>(r: &mut &'a [u8], name: &str) -> Result<Frame<'a>, String> {
+    let len = read_u64(r)? as usize;
+    if r.len() < len + 4 {
+        return Err(format!("truncated bundle ({name} section)"));
+    }
+    let payload = &r[..len];
+    *r = &r[len..];
+    let mut cb = [0u8; 4];
+    read_exact(r, &mut cb)?;
+    Ok(Frame {
+        payload,
+        stored_crc: u32::from_le_bytes(cb),
+    })
 }
 
 fn write_section(buf: &mut Vec<u8>, payload: &[u8]) {
@@ -985,6 +1245,112 @@ mod tests {
         let loaded = ModelBundle::from_bytes(&crafted.to_bytes().unwrap()).unwrap();
         // … but the replay does not.
         assert!(loaded.run_canary().is_err());
+    }
+
+    /// Byte offset of the canary section's payload within a v2 image.
+    fn canary_payload_offset(bytes: &[u8]) -> usize {
+        let scalers_len = u64::from_le_bytes(bytes[6..14].try_into().unwrap()) as usize;
+        6 + 8 + scalers_len + 4 + 8
+    }
+
+    #[test]
+    fn decode_serving_skips_canary_checksum() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 13, false).unwrap();
+        let mut bytes = bundle.to_bytes().unwrap();
+        // Rot a byte inside the canary payload: the eager loader rejects
+        // the image …
+        let rot = canary_payload_offset(&bytes) + 9;
+        bytes[rot] ^= 0x80;
+        let err = ModelBundle::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("canary section"), "err: {err}");
+        // … but the serving decode never touches that section, loads, and
+        // predicts identically to the clean bundle.
+        let served = ModelBundle::decode_serving(&bytes).unwrap();
+        assert_eq!(served.canary_len(), 0);
+        assert_eq!(
+            served.predict(&ds.features[..5]).unwrap(),
+            bundle.predict(&ds.features[..5]).unwrap()
+        );
+        // First touch of the rotten section fails cleanly.
+        let mut served = served;
+        let err = served.attach_canary_from(&bytes).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "err: {err}");
+    }
+
+    #[test]
+    fn decode_serving_rejects_corrupt_model_section() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 14, false).unwrap();
+        let mut bytes = bundle.to_bytes().unwrap();
+        let idx = bytes.len() - 100;
+        bytes[idx] ^= 0x20;
+        let err = ModelBundle::decode_serving(&bytes).unwrap_err();
+        assert!(err.contains("model section"), "err: {err}");
+    }
+
+    #[test]
+    fn attach_canary_restores_replayable_canary() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 15, false).unwrap();
+        let bytes = bundle.to_bytes().unwrap();
+        let mut served = ModelBundle::decode_serving(&bytes).unwrap();
+        assert_eq!(served.canary_len(), 0);
+        served.run_canary().unwrap(); // vacuous without the section
+        served.attach_canary_from(&bytes).unwrap();
+        assert_eq!(served.canary_len(), bundle.canary_len());
+        served.run_canary().unwrap();
+    }
+
+    #[test]
+    fn decode_serving_loads_v1_images() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 1, 5, 16, false).unwrap();
+        let legacy = to_bytes_v1(&bundle);
+        let served = ModelBundle::decode_serving(&legacy).unwrap();
+        assert_eq!(
+            served.predict(&ds.features[..3]).unwrap(),
+            bundle.predict(&ds.features[..3]).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_parts_with_canary_reserialises_bit_exact() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 256, 2, 6, 17, false).unwrap();
+        let bytes = bundle.to_bytes().unwrap();
+        let loaded = ModelBundle::from_bytes(&bytes).unwrap();
+        let rebuilt = ModelBundle::from_parts_with_canary(
+            RegHdRegressor::from_parts(
+                loaded.model.config().clone(),
+                loaded.spec.build(),
+                loaded.model.clusters().integer_clusters().to_vec(),
+                loaded.model.models().integer_models().to_vec(),
+                loaded.model.center().cloned(),
+                loaded.model.intercept(),
+            ),
+            loaded.feat_means.clone(),
+            loaded.feat_stds.clone(),
+            loaded.target_mean,
+            loaded.target_std,
+            loaded.canary_rows.clone(),
+            loaded.canary_preds.clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.to_bytes().unwrap(), bytes);
+        rebuilt.run_canary().unwrap();
+    }
+
+    #[test]
+    fn approx_mem_is_stable_and_plausible() {
+        let ds = toy_dataset();
+        let (bundle, _) = train(&ds, 512, 2, 6, 18, false).unwrap();
+        let mem = bundle.approx_mem_bytes();
+        // 2 banks × 2 copies × 512 dims of f32 is the dominant term.
+        assert!(mem > 2 * 2 * 512 * 4, "mem {mem}");
+        assert!(mem < 1 << 20, "mem {mem}");
+        let loaded = ModelBundle::from_bytes(&bundle.to_bytes().unwrap()).unwrap();
+        assert_eq!(loaded.approx_mem_bytes(), mem);
     }
 
     #[test]

@@ -37,10 +37,10 @@ pub mod status;
 pub mod worker;
 
 pub use batcher::{Batcher, BatcherConfig};
-pub use bundle::ModelBundle;
+pub use bundle::{ModelBundle, SectionFrames};
 pub use faults::FaultInjector;
 pub use metrics::{LatencyHistogram, MetricsHub, ModelMetrics};
-pub use registry::{ModelMeta, ModelRegistry, ServedModel, SweepReport};
+pub use registry::{ModelMeta, ModelRegistry, ModelResolver, ServedModel, SweepReport};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use status::TrainStatus;
 pub use worker::{Batch, WorkItem, WorkerPool};

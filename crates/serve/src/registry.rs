@@ -51,6 +51,31 @@ pub struct ModelMeta {
     pub prediction_mode: &'static str,
     /// Number of canary reference rows the bundle carries (0 for v1).
     pub canary_rows: usize,
+    /// Approximate resident memory of the decoded model in bytes
+    /// ([`ModelBundle::approx_mem_bytes`]) — what the `list` protocol
+    /// reports and what the store's LRU budget charges per hot entry.
+    pub mem: usize,
+}
+
+/// Resolves model keys the in-process registry does not hold — the
+/// attachment point for the `reghd-store` sharded per-user model store,
+/// defined here so `serve` needs no dependency on the store crate.
+///
+/// [`ModelRegistry::get`] consults the local map first and falls through to
+/// the attached resolver, so explicitly loaded models always shadow
+/// store-backed ones of the same name.
+pub trait ModelResolver: Send + Sync + std::fmt::Debug {
+    /// Resolves a key to a served model, or `None` when the key is unknown
+    /// (or its bundle failed validation with no last-good fallback).
+    fn resolve(&self, key: &str) -> Option<Arc<ServedModel>>;
+
+    /// Metadata for the currently *hot* (decoded, cache-resident) models —
+    /// a registry `list` must stay O(hot), not O(resident keys).
+    fn hot_models(&self) -> Vec<ModelMeta>;
+
+    /// One-line operational stats (hits, misses, evictions, resident
+    /// bytes) appended to the `stats` protocol reply.
+    fn stats_line(&self) -> String;
 }
 
 /// One immutable, shareable loaded model version.
@@ -101,6 +126,10 @@ struct Slot {
 #[derive(Debug)]
 pub struct ModelRegistry {
     inner: RwLock<HashMap<String, Slot>>,
+    /// Optional fall-through resolver for keys the map does not hold (the
+    /// model store). Swapped in once at startup; lookups clone the `Arc`
+    /// and release the lock before resolving.
+    resolver: RwLock<Option<Arc<dyn ModelResolver>>>,
     /// Thread knob applied to every bundle this registry loads or swaps in
     /// (`0` = available parallelism). Predictions are bit-identical at any
     /// setting ([`crate::bundle::ModelBundle::set_threads`]).
@@ -116,6 +145,7 @@ impl Default for ModelRegistry {
     fn default() -> Self {
         Self {
             inner: RwLock::new(HashMap::new()),
+            resolver: RwLock::new(None),
             default_threads: AtomicUsize::new(1),
             default_trig: AtomicU8::new(TrigMode::Exact.as_u8()),
         }
@@ -149,6 +179,7 @@ fn build_entry(name: &str, version: u64, bytes: &[u8]) -> Result<ServedModel, Se
         cluster_mode: cfg.cluster_mode.label(),
         prediction_mode: cfg.prediction_mode.label(),
         canary_rows: bundle.canary_len(),
+        mem: bundle.approx_mem_bytes(),
     };
     let state_crc = bundle.state_checksum();
     Ok(ServedModel {
@@ -341,18 +372,53 @@ impl ModelRegistry {
             .ok_or_else(|| ServeError::NotFound(name.to_string()))
     }
 
-    /// Resolves `name` to its current version. The returned `Arc` pins
-    /// that version for the caller's lifetime regardless of later swaps.
-    pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
-        read_unpoisoned(&self.inner)
-            .get(name)
-            .map(|s| s.current.clone())
+    /// Attaches a fall-through resolver (the model store) consulted by
+    /// [`ModelRegistry::get`] and [`ModelRegistry::list`] for keys the
+    /// in-process map does not hold. Replaces any previous resolver.
+    pub fn attach_resolver(&self, resolver: Arc<dyn ModelResolver>) {
+        *write_unpoisoned(&self.resolver) = Some(resolver);
     }
 
-    /// Metadata for every loaded model, sorted by name.
+    /// The attached resolver's stats line, if one is attached.
+    pub fn resolver_stats(&self) -> Option<String> {
+        let resolver = read_unpoisoned(&self.resolver).clone();
+        resolver.map(|r| r.stats_line())
+    }
+
+    /// Resolves `name` to its current version. The returned `Arc` pins
+    /// that version for the caller's lifetime regardless of later swaps.
+    /// Names absent from the in-process map fall through to the attached
+    /// resolver (the model store), so explicitly loaded models shadow
+    /// store-backed ones.
+    pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
+        if let Some(found) = read_unpoisoned(&self.inner)
+            .get(name)
+            .map(|s| s.current.clone())
+        {
+            return Some(found);
+        }
+        let resolver = read_unpoisoned(&self.resolver).clone();
+        resolver.and_then(|r| r.resolve(name))
+    }
+
+    /// Metadata for every loaded model — plus, when a resolver is
+    /// attached, its currently hot models (in-process entries shadow
+    /// same-named store entries) — in stable name order.
     pub fn list(&self) -> Vec<ModelMeta> {
-        let map = read_unpoisoned(&self.inner);
-        let mut metas: Vec<ModelMeta> = map.values().map(|s| s.current.meta.clone()).collect();
+        let mut metas: Vec<ModelMeta> = {
+            let map = read_unpoisoned(&self.inner);
+            map.values().map(|s| s.current.meta.clone()).collect()
+        };
+        let resolver = read_unpoisoned(&self.resolver).clone();
+        if let Some(r) = resolver {
+            let local: std::collections::HashSet<String> =
+                metas.iter().map(|m| m.name.clone()).collect();
+            metas.extend(
+                r.hot_models()
+                    .into_iter()
+                    .filter(|m| !local.contains(&m.name)),
+            );
+        }
         metas.sort_by(|a, b| a.name.cmp(&b.name));
         metas
     }
@@ -682,6 +748,100 @@ mod tests {
         // A sweep over fast-mode models is clean — the state checksum
         // covers learned weights, not the runtime trig knob.
         assert_eq!(reg.sweep().corrupted, 0);
+    }
+
+    /// Minimal resolver serving one fixed entry — stands in for the model
+    /// store in fall-through tests.
+    #[derive(Debug)]
+    struct FixedResolver {
+        entry: Arc<ServedModel>,
+    }
+
+    impl ModelResolver for FixedResolver {
+        fn resolve(&self, key: &str) -> Option<Arc<ServedModel>> {
+            (key == self.entry.meta.name).then(|| self.entry.clone())
+        }
+
+        fn hot_models(&self) -> Vec<ModelMeta> {
+            vec![self.entry.meta.clone()]
+        }
+
+        fn stats_line(&self) -> String {
+            "store shards=1".to_string()
+        }
+    }
+
+    fn served_entry(name: &str, seed: u64) -> Arc<ServedModel> {
+        let bundle = toy_bundle(seed);
+        let bytes = bundle.to_bytes().unwrap();
+        let cfg = bundle.model().config();
+        let meta = ModelMeta {
+            name: name.to_string(),
+            version: 7,
+            hash: format!("{:016x}", fnv1a(&bytes)),
+            bytes: bytes.len(),
+            input_dim: bundle.num_features(),
+            dim: cfg.dim,
+            models: cfg.models,
+            cluster_mode: cfg.cluster_mode.label(),
+            prediction_mode: cfg.prediction_mode.label(),
+            canary_rows: bundle.canary_len(),
+            mem: bundle.approx_mem_bytes(),
+        };
+        let state_crc = bundle.state_checksum();
+        Arc::new(ServedModel {
+            bundle,
+            meta,
+            state_crc,
+            corrupt: AtomicBool::new(false),
+        })
+    }
+
+    #[test]
+    fn resolver_backs_unknown_keys_and_is_shadowed_by_local_loads() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("local", &toy_bytes(60)).unwrap();
+        assert!(reg.get("user-42").is_none());
+        assert!(reg.resolver_stats().is_none());
+
+        let entry = served_entry("user-42", 61);
+        reg.attach_resolver(Arc::new(FixedResolver {
+            entry: entry.clone(),
+        }));
+        // Unknown key falls through to the resolver …
+        let got = reg.get("user-42").unwrap();
+        assert!(Arc::ptr_eq(&got, &entry));
+        // … while locally loaded names never do.
+        assert_eq!(reg.get("local").unwrap().meta.version, 1);
+        assert!(reg.get("ghost").is_none());
+        assert_eq!(reg.resolver_stats().unwrap(), "store shards=1");
+
+        // list merges hot store models in stable name order.
+        let names: Vec<String> = reg.list().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, ["local", "user-42"]);
+    }
+
+    #[test]
+    fn local_name_shadows_same_named_resolver_entry_in_list() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("m", &toy_bytes(62)).unwrap();
+        reg.attach_resolver(Arc::new(FixedResolver {
+            entry: served_entry("m", 63),
+        }));
+        let metas = reg.list();
+        assert_eq!(metas.len(), 1);
+        // The local entry (version 1) wins over the store's version 7.
+        assert_eq!(metas[0].version, 1);
+        assert_eq!(reg.get("m").unwrap().meta.version, 1);
+    }
+
+    #[test]
+    fn list_reports_stable_memory_footprints() {
+        let reg = ModelRegistry::new();
+        reg.load_bytes("a", &toy_bytes(64)).unwrap();
+        let first = reg.list();
+        assert!(first[0].mem > 0);
+        assert_eq!(first[0].mem, reg.list()[0].mem);
     }
 
     #[test]

@@ -143,7 +143,7 @@ impl std::fmt::Debug for ServerHandle {
 /// deterministic for a given set of loaded models.
 fn model_line(m: &ModelMeta) -> String {
     format!(
-        "model {} v{} hash={} dim={} k={} cluster={} prediction={} bytes={} canary={}",
+        "model {} v{} hash={} dim={} k={} cluster={} prediction={} bytes={} canary={} mem={}",
         m.name,
         m.version,
         m.hash,
@@ -153,6 +153,7 @@ fn model_line(m: &ModelMeta) -> String {
         m.prediction_mode,
         m.bytes,
         m.canary_rows,
+        m.mem,
     )
 }
 
@@ -160,6 +161,9 @@ fn model_line(m: &ModelMeta) -> String {
 fn stats_lines(registry: &ModelRegistry, hub: &MetricsHub, queue_depth: usize) -> Vec<String> {
     let mut lines: Vec<String> = registry.list().iter().map(model_line).collect();
     lines.extend(hub.render_all());
+    if let Some(store) = registry.resolver_stats() {
+        lines.push(format!("store {store}"));
+    }
     lines.push(format!(
         "server connections={} bad_requests={} queue_depth={queue_depth} \
          canary_failures={} rollbacks={} sweeps={}",

@@ -1,0 +1,317 @@
+//! Byte-budgeted LRU cache of decoded models.
+//!
+//! A store shard keeps the decoded [`reghd_serve::ServedModel`]s it
+//! recently resolved in one of these; everything else stays cold in the
+//! packfiles. Implemented as a slab-backed intrusive doubly-linked list —
+//! `get`, `insert`, and `remove` are O(1), which matters when the hot set
+//! is tens of thousands of entries and every serving request passes
+//! through here.
+//!
+//! Eviction is by **bytes**, not entry count: each entry is charged the
+//! cost supplied at insert time (the bundle's
+//! [`reghd_serve::ModelBundle::approx_mem_bytes`]), and inserts evict from
+//! the cold end until the cache is back under budget. The most recently
+//! inserted entry is never evicted by its own insert, so a single model
+//! larger than the whole budget still serves (and is evicted by the next
+//! insert instead).
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<V> {
+    key: String,
+    value: V,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// Running counters for one cache (monotonic over the cache's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruStats {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Lookups that missed (the caller then pays a cold decode).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+}
+
+/// Byte-budgeted LRU map from key to decoded model.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    map: HashMap<String, usize>,
+    slab: Vec<Entry<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    budget: usize,
+    resident: usize,
+    stats: LruStats,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache that evicts past `budget_bytes` of charged cost.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            budget: budget_bytes,
+            resident: 0,
+            stats: LruStats::default(),
+        }
+    }
+
+    /// Unlinks slot `i` from the recency list (it stays in the slab).
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links slot `i` at the hot end.
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks `key` up, promoting a hit to most-recent.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.stats.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Some(&self.slab[i].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching recency or counters (list/iteration paths).
+    pub fn peek(&self, key: &str) -> Option<&V> {
+        self.map.get(key).map(|&i| &self.slab[i].value)
+    }
+
+    /// Inserts (or replaces) `key` charged at `bytes`, then evicts cold
+    /// entries until the cache is under budget — never the entry just
+    /// inserted. Returns how many entries were evicted.
+    pub fn insert(&mut self, key: &str, value: V, bytes: usize) -> usize {
+        if let Some(i) = self.map.get(key).copied() {
+            self.resident = self.resident - self.slab[i].bytes + bytes;
+            self.slab[i].value = value;
+            self.slab[i].bytes = bytes;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+        } else {
+            let entry = Entry {
+                key: key.to_string(),
+                value,
+                bytes,
+                prev: NIL,
+                next: NIL,
+            };
+            let i = match self.free.pop() {
+                Some(i) => {
+                    self.slab[i] = entry;
+                    i
+                }
+                None => {
+                    self.slab.push(entry);
+                    self.slab.len() - 1
+                }
+            };
+            self.map.insert(key.to_string(), i);
+            self.push_front(i);
+            self.resident += bytes;
+        }
+        let mut evicted = 0;
+        while self.resident > self.budget && self.tail != self.head {
+            let victim = self.tail;
+            let key = std::mem::take(&mut self.slab[victim].key);
+            self.map.remove(&key);
+            self.unlink(victim);
+            self.resident -= self.slab[victim].bytes;
+            self.slab[victim].bytes = 0;
+            self.free.push(victim);
+            evicted += 1;
+        }
+        self.stats.evictions += evicted as u64;
+        evicted
+    }
+
+    /// Drops `key` if resident (a publish invalidates the old decode).
+    pub fn remove(&mut self, key: &str) -> Option<V>
+    where
+        V: Clone,
+    {
+        let i = self.map.remove(key)?;
+        self.unlink(i);
+        self.resident -= self.slab[i].bytes;
+        self.slab[i].bytes = 0;
+        self.slab[i].key = String::new();
+        self.free.push(i);
+        Some(self.slab[i].value.clone())
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total charged bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> LruStats {
+        self.stats
+    }
+
+    /// Visits every resident value, hot end first, without touching
+    /// recency.
+    pub fn for_each(&self, mut f: impl FnMut(&str, &V)) {
+        let mut i = self.head;
+        while i != NIL {
+            f(&self.slab[i].key, &self.slab[i].value);
+            i = self.slab[i].next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_hot_to_cold(c: &LruCache<u32>) -> Vec<String> {
+        let mut out = Vec::new();
+        c.for_each(|k, _| out.push(k.to_string()));
+        out
+    }
+
+    #[test]
+    fn evicts_cold_entries_past_budget() {
+        let mut c = LruCache::new(100);
+        assert_eq!(c.insert("a", 1, 40), 0);
+        assert_eq!(c.insert("b", 2, 40), 0);
+        // 120 > 100: the coldest entry (a) goes.
+        assert_eq!(c.insert("c", 3, 40), 1);
+        assert_eq!(c.len(), 2);
+        assert!(c.peek("a").is_none());
+        assert_eq!(c.resident_bytes(), 80);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn get_promotes_and_counts() {
+        let mut c = LruCache::new(100);
+        c.insert("a", 1, 40);
+        c.insert("b", 2, 40);
+        assert_eq!(c.get("a"), Some(&1)); // a is now hot
+        assert_eq!(c.get("nope"), None);
+        c.insert("c", 3, 40); // evicts b, not a
+        assert!(c.peek("a").is_some());
+        assert!(c.peek("b").is_none());
+        assert_eq!(
+            c.stats(),
+            LruStats {
+                hits: 1,
+                misses: 1,
+                evictions: 1
+            }
+        );
+        assert_eq!(keys_hot_to_cold(&c), ["c", "a"]);
+    }
+
+    #[test]
+    fn oversized_single_entry_survives_its_own_insert() {
+        let mut c = LruCache::new(10);
+        assert_eq!(c.insert("big", 1, 1000), 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 1000);
+        // The next insert evicts it.
+        c.insert("b", 2, 4);
+        assert!(c.peek("big").is_none());
+        assert_eq!(c.resident_bytes(), 4);
+    }
+
+    #[test]
+    fn replace_updates_cost_in_place() {
+        let mut c = LruCache::new(100);
+        c.insert("a", 1, 30);
+        c.insert("a", 2, 50);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 50);
+        assert_eq!(c.peek("a"), Some(&2));
+    }
+
+    #[test]
+    fn remove_frees_budget_and_slot() {
+        let mut c = LruCache::new(100);
+        c.insert("a", 1, 60);
+        assert_eq!(c.remove("a"), Some(1));
+        assert_eq!(c.remove("a"), None);
+        assert_eq!(c.resident_bytes(), 0);
+        // Freed slot is reused.
+        c.insert("b", 2, 10);
+        c.insert("c", 3, 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(keys_hot_to_cold(&c), ["c", "b"]);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut c = LruCache::new(500);
+        for i in 0..1000u32 {
+            c.insert(&format!("k{i}"), i, 10 + (i as usize % 7));
+            if i % 3 == 0 {
+                c.get(&format!("k{}", i / 2));
+            }
+            if i % 11 == 0 {
+                c.remove(&format!("k{}", i.saturating_sub(5)));
+            }
+            assert!(c.resident_bytes() <= 500 + 16, "over budget at {i}");
+        }
+        let mut walked = 0;
+        c.for_each(|_, _| walked += 1);
+        assert_eq!(walked, c.len());
+    }
+}

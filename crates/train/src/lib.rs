@@ -41,5 +41,5 @@ pub mod pipeline;
 pub mod source;
 
 pub use detect::{DriftDetector, EwmaDetector, PageHinkley};
-pub use pipeline::{DriftAction, PublishTarget, TrainReport, Trainer, TrainerConfig};
+pub use pipeline::{DriftAction, PublishTarget, StoreTarget, TrainReport, Trainer, TrainerConfig};
 pub use source::{CsvReplaySource, DriftSource, SampleSource, TcpFeedSource};

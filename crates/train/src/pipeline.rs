@@ -77,6 +77,24 @@ impl std::fmt::Debug for PublishTarget {
     }
 }
 
+/// Where checkpoints are additionally published into a persistent model
+/// store ([`reghd_store::ModelStore`]).
+#[derive(Clone)]
+pub struct StoreTarget {
+    /// The store to publish into.
+    pub store: Arc<reghd_store::ModelStore>,
+    /// Store key the trainer owns.
+    pub key: String,
+}
+
+impl std::fmt::Debug for StoreTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreTarget")
+            .field("key", &self.key)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Static configuration of a [`Trainer`].
 #[derive(Debug)]
 pub struct TrainerConfig {
@@ -141,6 +159,11 @@ pub struct TrainReport {
     pub publications: u64,
     /// Publications refused by the registry's canary replay.
     pub canary_failures: u64,
+    /// Successful store publications (full and delta).
+    pub store_publications: u64,
+    /// Store publications that shipped as a sparse delta instead of the
+    /// full bundle (always `<= store_publications`).
+    pub store_delta_publications: u64,
     /// Cluster resets performed ([`DriftAction::ResetWorstCluster`]).
     pub cluster_resets: u64,
     /// Shadow models promoted ([`DriftAction::ShadowPromote`]).
@@ -168,6 +191,10 @@ pub struct Trainer {
     detector: Option<Box<dyn DriftDetector>>,
     shadow: Option<Shadow>,
     publish: Option<PublishTarget>,
+    store_publish: Option<StoreTarget>,
+    /// Bytes and store version of the last successful store publication —
+    /// the base the next checkpoint's delta is computed against.
+    last_store_image: Option<(Vec<u8>, u64)>,
     status: Arc<TrainStatus>,
     recent: VecDeque<Vec<f32>>,
     report: TrainReport,
@@ -201,6 +228,8 @@ impl Trainer {
             detector: None,
             shadow: None,
             publish: None,
+            store_publish: None,
+            last_store_image: None,
             status: Arc::new(TrainStatus::new()),
             recent: VecDeque::with_capacity(CANARY_WINDOW),
             report: TrainReport::default(),
@@ -249,6 +278,17 @@ impl Trainer {
     /// registry under the target's name.
     pub fn with_publish(mut self, target: PublishTarget) -> Self {
         self.publish = Some(target);
+        self
+    }
+
+    /// Attaches a store target: every checkpoint is also published into
+    /// the persistent model store under the target's key. The first
+    /// checkpoint ships the full bundle; subsequent ones ship a sparse
+    /// [`reghd_store::ModelDelta`] (only the hypervectors that changed),
+    /// falling back to a full publish whenever the update is not
+    /// delta-able or the delta is refused.
+    pub fn with_store_publish(mut self, target: StoreTarget) -> Self {
+        self.store_publish = Some(target);
         self
     }
 
@@ -440,6 +480,42 @@ impl Trainer {
                 Err(e) => return Err(format!("publish failed: {e}")),
             }
         }
+
+        if self.store_publish.is_some() {
+            self.publish_to_store(&bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Publishes checkpoint `bytes` into the attached store: a sparse
+    /// delta against the last published image when possible, the full
+    /// bundle otherwise. Canary refusals are counted, not fatal.
+    fn publish_to_store(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let target = self.store_publish.as_ref().expect("checked by caller");
+        let mut published = None;
+        if let Some((base, version)) = self.last_store_image.as_ref() {
+            if let Ok(Some(delta)) = reghd_store::ModelDelta::compute(base, *version, bytes) {
+                if let Ok(meta) = target.store.publish_delta(&target.key, &delta) {
+                    self.report.store_delta_publications += 1;
+                    published = Some(meta);
+                }
+            }
+        }
+        if published.is_none() {
+            published = match target.store.publish_full(&target.key, bytes) {
+                Ok(meta) => Some(meta),
+                Err(reghd_store::StoreError::Canary(_)) => {
+                    self.report.canary_failures += 1;
+                    self.status.record_canary_failure();
+                    return Ok(());
+                }
+                Err(e) => return Err(format!("store publish failed: {e}")),
+            };
+        }
+        if let Some(meta) = published {
+            self.report.store_publications += 1;
+            self.last_store_image = Some((bytes.to_vec(), meta.version));
+        }
         Ok(())
     }
 }
@@ -630,6 +706,41 @@ mod tests {
             seq_preds.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
             par_preds.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn store_publication_ships_deltas_after_the_first_full_image() {
+        use reghd_store::{ModelStore, StoreConfig};
+        let dir = std::env::temp_dir().join("reghd_train_store_pub_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ModelStore::open(&dir, StoreConfig::default()).unwrap());
+        let registry = Arc::new(ModelRegistry::new());
+        let mut src = drift_source(DriftKind::Abrupt, 1_000_000, 9);
+        let cfg = TrainerConfig {
+            max_samples: Some(600),
+            checkpoint_every: Some(200),
+            ..small_cfg()
+        };
+        let mut t = Trainer::new(cfg, 3)
+            .with_publish(PublishTarget {
+                registry: registry.clone(),
+                name: "stream".to_string(),
+            })
+            .with_store_publish(crate::StoreTarget {
+                store: store.clone(),
+                key: "stream".to_string(),
+            });
+        let report = t.run(&mut src).unwrap();
+        // 200, 400, final 600 — first is full, the rest ship as deltas.
+        assert_eq!(report.store_publications, 3);
+        assert_eq!(report.store_delta_publications, 2);
+        assert_eq!(report.canary_failures, 0);
+        let served = store.get("stream").unwrap();
+        assert_eq!(served.meta.version, 3);
+        // The store image is bit-identical to the registry publication:
+        // same artefact hash for the same checkpoint.
+        assert_eq!(served.meta.hash, registry.get("stream").unwrap().meta.hash);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

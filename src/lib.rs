@@ -16,6 +16,8 @@
 //!   for the paper's FPGA/RPi measurements.
 //! * [`reghd_serve`] — concurrent inference: hot-swappable registry,
 //!   micro-batching, TCP front-end, fault tolerance.
+//! * [`reghd_store`] — sharded per-user model store: mmap packfiles with
+//!   lazily verified sections, hot LRU, canary-gated delta publication.
 //! * [`reghd_train`] — streaming training: prequential pipeline, drift
 //!   detection, checkpointing, hot-swap publication.
 //!
@@ -45,6 +47,7 @@ pub use hdc;
 pub use hwmodel;
 pub use reghd;
 pub use reghd_serve;
+pub use reghd_store;
 pub use reghd_train;
 pub use rl;
 

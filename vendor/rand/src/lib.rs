@@ -1,0 +1,74 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace implements its own deterministic generator
+//! (`hdc::rng::HdRng`, xoshiro256++) and only touches `rand` for the
+//! [`RngCore`] trait so that generator can plug into code written against
+//! the `rand` API. The build environment has no crates.io access, so the
+//! trait surface actually used — `RngCore` and [`Error`] — is vendored
+//! here verbatim in shape. Nothing in this crate produces randomness.
+
+use std::fmt;
+
+/// Error type returned by fallible `RngCore` operations.
+///
+/// Mirrors `rand::Error` 0.8: an opaque wrapper around a boxed error.
+pub struct Error {
+    inner: Box<dyn std::error::Error + Send + Sync + 'static>,
+}
+
+impl Error {
+    /// Wrap an arbitrary error as a generator error.
+    pub fn new<E>(err: E) -> Self
+    where
+        E: Into<Box<dyn std::error::Error + Send + Sync + 'static>>,
+    {
+        Error { inner: err.into() }
+    }
+
+    /// Borrow the underlying error.
+    pub fn inner(&self) -> &(dyn std::error::Error + Send + Sync + 'static) {
+        &*self.inner
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand::Error({:?})", self.inner)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.inner, f)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.inner.source()
+    }
+}
+
+/// The core of a random number generator: uniform `u32`/`u64` words and
+/// byte filling. Identical in shape to `rand_core::RngCore` 0.6.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
