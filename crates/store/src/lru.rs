@@ -22,7 +22,10 @@ const NIL: usize = usize::MAX;
 #[derive(Debug)]
 struct Entry<V> {
     key: String,
-    value: V,
+    /// `Some` while the entry is resident; taken (dropped) the moment the
+    /// slot is evicted or removed, so a decoded model never lingers in a
+    /// free slab slot uncounted by the byte budget.
+    value: Option<V>,
     bytes: usize,
     prev: usize,
     next: usize,
@@ -104,7 +107,7 @@ impl<V> LruCache<V> {
                     self.unlink(i);
                     self.push_front(i);
                 }
-                Some(&self.slab[i].value)
+                self.slab[i].value.as_ref()
             }
             None => {
                 self.stats.misses += 1;
@@ -115,7 +118,7 @@ impl<V> LruCache<V> {
 
     /// Peeks without touching recency or counters (list/iteration paths).
     pub fn peek(&self, key: &str) -> Option<&V> {
-        self.map.get(key).map(|&i| &self.slab[i].value)
+        self.map.get(key).and_then(|&i| self.slab[i].value.as_ref())
     }
 
     /// Inserts (or replaces) `key` charged at `bytes`, then evicts cold
@@ -124,7 +127,7 @@ impl<V> LruCache<V> {
     pub fn insert(&mut self, key: &str, value: V, bytes: usize) -> usize {
         if let Some(i) = self.map.get(key).copied() {
             self.resident = self.resident - self.slab[i].bytes + bytes;
-            self.slab[i].value = value;
+            self.slab[i].value = Some(value);
             self.slab[i].bytes = bytes;
             if self.head != i {
                 self.unlink(i);
@@ -133,7 +136,7 @@ impl<V> LruCache<V> {
         } else {
             let entry = Entry {
                 key: key.to_string(),
-                value,
+                value: Some(value),
                 bytes,
                 prev: NIL,
                 next: NIL,
@@ -160,6 +163,7 @@ impl<V> LruCache<V> {
             self.unlink(victim);
             self.resident -= self.slab[victim].bytes;
             self.slab[victim].bytes = 0;
+            self.slab[victim].value = None;
             self.free.push(victim);
             evicted += 1;
         }
@@ -167,18 +171,16 @@ impl<V> LruCache<V> {
         evicted
     }
 
-    /// Drops `key` if resident (a publish invalidates the old decode).
-    pub fn remove(&mut self, key: &str) -> Option<V>
-    where
-        V: Clone,
-    {
+    /// Drops `key` if resident (a publish invalidates the old decode),
+    /// handing the owned value back to the caller.
+    pub fn remove(&mut self, key: &str) -> Option<V> {
         let i = self.map.remove(key)?;
         self.unlink(i);
         self.resident -= self.slab[i].bytes;
         self.slab[i].bytes = 0;
         self.slab[i].key = String::new();
         self.free.push(i);
-        Some(self.slab[i].value.clone())
+        self.slab[i].value.take()
     }
 
     /// Number of resident entries.
@@ -211,8 +213,9 @@ impl<V> LruCache<V> {
     pub fn for_each(&self, mut f: impl FnMut(&str, &V)) {
         let mut i = self.head;
         while i != NIL {
-            f(&self.slab[i].key, &self.slab[i].value);
-            i = self.slab[i].next;
+            let e = &self.slab[i];
+            f(&e.key, e.value.as_ref().expect("linked entry is resident"));
+            i = e.next;
         }
     }
 }
@@ -295,6 +298,28 @@ mod tests {
         c.insert("c", 3, 10);
         assert_eq!(c.len(), 2);
         assert_eq!(keys_hot_to_cold(&c), ["c", "b"]);
+    }
+
+    #[test]
+    fn eviction_drops_the_value_immediately() {
+        use std::sync::Arc;
+        let mut c = LruCache::new(100);
+        let a = Arc::new(7u32);
+        let b = Arc::new(8u32);
+        c.insert("a", a.clone(), 60);
+        c.insert("b", b.clone(), 60); // evicts a
+        assert!(c.peek("a").is_none());
+        assert_eq!(
+            Arc::strong_count(&a),
+            1,
+            "evicted value must be freed, not parked in a free slot"
+        );
+        assert_eq!(Arc::strong_count(&b), 2);
+        // remove() hands the owned value back instead of cloning it.
+        let got = c.remove("b").unwrap();
+        assert!(Arc::ptr_eq(&got, &b));
+        drop(got);
+        assert_eq!(Arc::strong_count(&b), 1);
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! the map was taken) fall back to positioned reads until the next
 //! [`PackSet::remap_active`].
 //!
+//! Durability ordering: blob bytes are fsynced ([`PackSet::sync_active`])
+//! before the index record that points at them is appended (itself
+//! fsynced), so a power failure may orphan blob bytes but never commits
+//! an index entry whose blob was lost.
+//!
 //! Nothing here interprets bundle bytes — integrity is the bundle layer's
 //! lazily verified per-section CRCs, identity is the index log's FNV hash.
 
@@ -166,6 +171,14 @@ impl PackSet {
             offset,
             len: bytes.len() as u32,
         })
+    }
+
+    /// Fsyncs the active generation's appended bytes. Callers sync the
+    /// pack **before** writing the index record that points into it, so a
+    /// power failure can lose a blob-without-record (harmless) but never
+    /// commit a record-without-blob.
+    pub fn sync_active(&self) -> io::Result<()> {
+        self.writer.sync_data()
     }
 
     /// Reads the blob at `loc`: zero-copy from the mapped snapshot when
@@ -337,7 +350,9 @@ pub fn read_index_log(dir: &Path) -> io::Result<(Vec<LogRecord>, bool)> {
     Ok((records, false))
 }
 
-/// Appends one record to `index.log` (newline-delimited, flushed).
+/// Appends one record to `index.log` (newline-delimited, fsynced). The
+/// blob the record points at must already be synced — see
+/// [`PackSet::sync_active`].
 pub fn append_index_log(dir: &Path, rec: &LogRecord) -> io::Result<()> {
     let mut f = OpenOptions::new()
         .create(true)
@@ -345,7 +360,7 @@ pub fn append_index_log(dir: &Path, rec: &LogRecord) -> io::Result<()> {
         .open(log_path(dir))?;
     f.write_all(format_record(rec).as_bytes())?;
     f.write_all(b"\n")?;
-    f.flush()
+    f.sync_data()
 }
 
 /// Atomically replaces `index.log` with `records` (write temp, rename) —
@@ -360,7 +375,10 @@ pub fn rewrite_index_log(dir: &Path, records: &[LogRecord]) -> io::Result<()> {
         }
         f.sync_all()?;
     }
-    std::fs::rename(&tmp, log_path(dir))
+    std::fs::rename(&tmp, log_path(dir))?;
+    // Persist the rename itself; without this a power loss can revive the
+    // pre-rewrite log.
+    File::open(dir)?.sync_all()
 }
 
 #[cfg(test)]

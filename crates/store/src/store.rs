@@ -175,8 +175,10 @@ fn build_served(key: &str, version: u64, blob: &[u8]) -> Result<ServedModel, Str
 
 impl ModelStore {
     /// Opens (creating if absent) a store rooted at `root`, replaying each
-    /// shard's index log. A torn log tail (crash mid-append) silently
-    /// drops at most the record being written.
+    /// shard's index log. A torn log tail (crash mid-append) drops at most
+    /// the record being written: the log is truncated to its parsed prefix
+    /// before the shard accepts new appends, so a later record can never
+    /// fuse with the partial one.
     ///
     /// The shard count is part of the on-disk layout (key → shard routing
     /// is `hash % shards`), so an existing store is always reopened with
@@ -194,7 +196,15 @@ impl ModelStore {
         for i in 0..shards {
             let dir = root.join(format!("shard-{i}"));
             let packs = PackSet::open(&dir)?;
-            let (records, _torn) = pack::read_index_log(&dir)?;
+            let (records, torn) = pack::read_index_log(&dir)?;
+            if torn {
+                // Crash mid-append left a partial, newline-less record at
+                // the tail. Rewrite the log to the parsed prefix now —
+                // appending after the partial record would fuse the two
+                // into one unparseable line and silently drop every
+                // later record on the next replay.
+                pack::rewrite_index_log(&dir, &records)?;
+            }
             let mut index: HashMap<String, KeyState> = HashMap::new();
             for rec in records {
                 match rec {
@@ -273,6 +283,12 @@ impl ModelStore {
         match self.decode_into_hot(&mut shard, key, state.current) {
             Ok(served) => Ok(served),
             Err(first_err) => {
+                // Only validation failures demote the key: a transient
+                // read error (e.g. EIO) says nothing about the bytes, so
+                // rolling back durably would discard a good image.
+                if !matches!(first_err, StoreError::Corrupt(_)) {
+                    return Err(first_err);
+                }
                 self.decode_failures.fetch_add(1, Ordering::Relaxed);
                 let Some(lg) = state.last_good else {
                     return Err(first_err);
@@ -380,6 +396,8 @@ impl ModelStore {
             last_good: shard.index.get(key).map(|s| s.current),
         };
         shard.index.insert(key.to_string(), state);
+        // Blob bytes must be durable before the record pointing at them.
+        shard.packs.sync_active()?;
         pack::append_index_log(
             &shard.dir,
             &LogRecord::Put {
@@ -527,6 +545,9 @@ impl ModelStore {
                 });
                 s.index.insert(key, moved);
             }
+            // Rewritten blobs must hit disk before the log rename commits
+            // references to them.
+            s.packs.sync_active()?;
             pack::rewrite_index_log(&s.dir, &records)?;
             s.packs.retire_except(&[gen])?;
             s.packs.remap_active()?;
@@ -805,6 +826,70 @@ mod tests {
         let st = store.stats();
         assert_eq!(st.rollbacks, 0);
         assert_eq!(st.decode_failures, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_log_tail_is_repaired_on_open() {
+        use std::io::Write;
+        let root = tmp_root("torn_tail");
+        let v1 = bundle(46).to_bytes().unwrap();
+        let v2 = bundle(47).to_bytes().unwrap();
+        {
+            let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+            store.publish_full("a", &v1).unwrap();
+        }
+        // Crash mid-append: a partial, newline-less record at the tail.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(root.join("shard-0").join("index.log"))
+            .unwrap();
+        f.write_all(b"put b 1 99").unwrap();
+        drop(f);
+
+        // Reopen repairs the tail, so a publish made after the crash must
+        // survive the *next* reopen instead of fusing with the torn
+        // record and being dropped.
+        let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+        assert_eq!(store.len(), 1);
+        store.publish_full("b", &v2).unwrap();
+        drop(store);
+        let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("a").unwrap().meta.bytes, v1.len());
+        assert_eq!(store.get("b").unwrap().meta.bytes, v2.len());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn transient_read_error_does_not_roll_back() {
+        use std::io::Write;
+        let root = tmp_root("io_no_rollback");
+        let v1 = bundle(48).to_bytes().unwrap();
+        {
+            let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+            store.publish_full("u", &v1).unwrap();
+            store.publish_full("u", &v1).unwrap(); // gives u a last-good
+        }
+        // Forge a current image in a pack generation that is not on disk:
+        // reads of it fail with Io, not Corrupt.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(root.join("shard-0").join("index.log"))
+            .unwrap();
+        writeln!(f, "put u 9 0 {} {:016x} 3", v1.len(), fnv1a(&v1)).unwrap();
+        drop(f);
+
+        let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+        let err = store.get("u").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "got {err}");
+        // The read failure must not have demoted the key.
+        let st = store.stats();
+        assert_eq!(st.rollbacks, 0);
+        assert_eq!(st.decode_failures, 0);
+        drop(store);
+        let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+        assert!(matches!(store.get("u").unwrap_err(), StoreError::Io(_)));
         std::fs::remove_dir_all(&root).ok();
     }
 
