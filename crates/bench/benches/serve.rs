@@ -10,7 +10,7 @@
 
 use datasets::Dataset;
 use hdc::rng::HdRng;
-use reghd_serve::batcher::{Batcher, BatcherConfig};
+use reghd_serve::batcher::{Batcher, BatcherConfig, EnqueueResult};
 use reghd_serve::bundle;
 use reghd_serve::metrics::ModelMetrics;
 use reghd_serve::registry::{ModelRegistry, ServedModel};
@@ -74,6 +74,7 @@ fn bench_worker_pool(model: &Arc<ServedModel>, rows: &[Vec<f32>]) -> f64 {
             items: vec![WorkItem {
                 row: row.clone(),
                 enqueued_at: Instant::now(),
+                deadline: None,
                 reply: tx,
             }],
         })
@@ -109,10 +110,14 @@ fn bench_micro_batched(model: &Arc<ServedModel>, rows: &[Vec<f32>], max_batch: u
             WorkItem {
                 row: row.clone(),
                 enqueued_at: Instant::now(),
+                deadline: None,
                 reply: tx,
             },
         );
-        assert!(accepted, "queue sized for the whole workload");
+        assert!(
+            matches!(accepted, EnqueueResult::Accepted),
+            "queue sized for the whole workload"
+        );
         rxs.push(rx);
     }
     for rx in rxs {

@@ -17,6 +17,7 @@
 //! | `friedman` | Friedman #1–#3 clean-ground-truth suite, extended model zoo |
 //! | `capacity` | §2.3 capacity analysis — Eq. 4 vs Monte-Carlo |
 //! | `sparsity` | SparseHD-style sparsification sweep — quality vs density |
+//! | `chaos` | ISSUE 7 — overload + store-fault soak; survivability metrics → `results/chaos.json` |
 //!
 //! Run any of them with `cargo run -p reghd-bench --release --bin <name>`.
 //!

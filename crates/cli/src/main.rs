@@ -13,8 +13,9 @@
 //! reghd-cli predict --csv data.csv --model model.rghd [--trig exact|fast]
 //! reghd-cli serve   --model model.rghd --addr 127.0.0.1:7878
 //!                   [--name NAME] [--workers N] [--threads N] [--trig exact|fast]
-//!                   [--max-batch N] [--max-wait-us N] [--canary] [--chaos]
-//!                   [--sweep-interval-ms N]
+//!                   [--max-batch N] [--max-wait-us N] [--queue-cap N]
+//!                   [--max-conns N] [--deadline-us N] [--shed-p95-us N]
+//!                   [--canary] [--chaos] [--sweep-interval-ms N]
 //! reghd-cli inject  --addr HOST:PORT --kind bitflip|delay|kill|panic|garble|clear
 //!                   [--model NAME] [--rate R] [--seed N] [--ms N] [--n N]
 //! ```
@@ -66,6 +67,7 @@ fn usage() -> ! {
          reghd-cli predict --csv <data.csv> --model <model.rghd> [--trig exact|fast]\n  \
          reghd-cli serve   [--model <model.rghd>] [--store DIR] [--name NAME] [--addr HOST:PORT] \
          [--workers N] [--threads N] [--trig exact|fast] [--max-batch N] [--max-wait-us N] \
+         [--queue-cap N] [--max-conns N] [--deadline-us N] [--shed-p95-us N] \
          [--canary] [--chaos] [--sweep-interval-ms N]\n  \
          reghd-cli store   <init|ingest|stats|compact|predict> --dir DIR \
          [--shards N] [--hot-budget-mb N] [--model model.rghd] [--key KEY] [--copies N] \
@@ -551,6 +553,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     use reghd_serve::batcher::BatcherConfig;
     use reghd_serve::registry::ModelRegistry;
     use reghd_serve::server::{serve, ServerConfig};
+    use reghd_serve::shed::ShedConfig;
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -578,6 +581,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let trig = parse_trig(args)?;
     let max_batch: usize = args.parse_num("max-batch", 32);
     let max_wait_us: u64 = args.parse_num("max-wait-us", 500);
+    let queue_cap: usize = args.parse_num("queue-cap", BatcherConfig::default().queue_cap);
+    // Overload knobs: 0 means "off" for the connection cap and the
+    // deadline; --shed-p95-us 0 disables the adaptive shed controller
+    // (default: the library's 50ms demote threshold).
+    let max_conns: usize = args.parse_num("max-conns", 0);
+    let deadline_us: u64 = args.parse_num("deadline-us", 0);
+    let shed_p95_us: u64 = args.parse_num(
+        "shed-p95-us",
+        ShedConfig::default().demote_p95.as_micros() as u64,
+    );
     let sweep_interval_ms: u64 = args.parse_num("sweep-interval-ms", 0);
     let chaos = args.has("chaos");
 
@@ -621,8 +634,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         batcher: BatcherConfig {
             max_batch,
             max_wait: Duration::from_micros(max_wait_us),
-            ..BatcherConfig::default()
+            queue_cap,
         },
+        max_connections: max_conns,
+        deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
+        shed: (shed_p95_us > 0).then(|| ShedConfig {
+            demote_p95: Duration::from_micros(shed_p95_us),
+            // Promote at half the demote threshold — the same 2:1
+            // hysteresis band as the library default.
+            promote_p95: Duration::from_micros(shed_p95_us / 2),
+            ..ShedConfig::default()
+        }),
         sweep_interval: (sweep_interval_ms > 0).then(|| Duration::from_millis(sweep_interval_ms)),
         enable_inject: chaos,
         ..ServerConfig::default()

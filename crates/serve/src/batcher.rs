@@ -7,17 +7,24 @@
 //! per-call overhead exactly when throughput matters.
 //!
 //! The queue is bounded: [`Batcher::enqueue`] refuses rows once
-//! `queue_cap` is reached so a slow model sheds load (`err busy`) instead
-//! of growing latency without bound.
+//! `queue_cap` is reached ([`EnqueueResult::Full`] → the server answers
+//! `busy`) so a slow model sheds load instead of growing latency without
+//! bound. Rows carry an optional deadline: the dispatcher sheds
+//! already-expired rows at drain time (before they cost a batch slot),
+//! orders dispatch most-urgent-first, and feeds every surviving row's
+//! queue wait to the adaptive [`ShedController`] when one is attached.
+//! On shutdown the queue drains gracefully: rows still queued get an
+//! explicit [`WorkError::Draining`] reply rather than a dropped channel.
 
 use crate::metrics::ModelMetrics;
 use crate::registry::ServedModel;
-use crate::worker::{Batch, WorkItem, WorkerPool};
+use crate::shed::ShedController;
+use crate::worker::{Batch, WorkError, WorkItem, WorkerPool};
 use crate::{lock_unpoisoned, ServeError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for the batcher.
 #[derive(Debug, Clone)]
@@ -40,6 +47,22 @@ impl Default for BatcherConfig {
     }
 }
 
+/// Why (or whether) [`Batcher::enqueue`] accepted a row. The two refusal
+/// reasons demand different protocol replies: a full queue is overload
+/// (`busy` — retry later), a stopping batcher is shutdown (`draining` —
+/// this server is going away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueResult {
+    /// Row queued; the answer arrives on the item's reply channel.
+    Accepted,
+    /// Queue at capacity — the row was shed (counted via
+    /// [`ModelMetrics::record_shed`]).
+    Full,
+    /// The batcher is draining for shutdown (counted via
+    /// [`ModelMetrics::record_stopped`]).
+    Stopping,
+}
+
 /// A queued row bound to the model version resolved at enqueue time.
 struct Pending {
     model: Arc<ServedModel>,
@@ -57,6 +80,9 @@ struct Shared {
     cond: Condvar,
     cfg: BatcherConfig,
     pool: Arc<WorkerPool>,
+    /// When present, every drained row's queue wait feeds the adaptive
+    /// shed controller.
+    shed: Option<Arc<ShedController>>,
 }
 
 /// Queue + dispatcher thread implementing the micro-batching policy.
@@ -112,7 +138,7 @@ fn into_batches(drained: Vec<Pending>, max_batch: usize) -> Vec<Batch> {
 
 fn dispatcher_loop(shared: &Shared) {
     loop {
-        let drained: Vec<Pending> = {
+        let (drained, stopping): (Vec<Pending>, bool) = {
             // All waits recover from poisoning: a worker/connection thread
             // that panicked while holding the queue lock must not silence
             // the dispatcher — the queue itself (a VecDeque of
@@ -122,34 +148,68 @@ fn dispatcher_loop(shared: &Shared) {
             while q.items.is_empty() && !q.stop {
                 q = shared.cond.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
-            if q.items.is_empty() && q.stop {
-                return; // queue fully drained — safe to exit
-            }
-            // Coalesce only when it can pay off: all workers busy and the
-            // window isn't already full. Idle workers get rows at once.
-            // Loop on a fixed deadline: every arrival's `notify_one` (and
-            // any spurious wakeup) ends a single `wait_timeout`, so without
-            // the loop a saturated pool would emit 1–2-row batches and the
-            // window would never fill.
-            let deadline = std::time::Instant::now() + shared.cfg.max_wait;
-            while !shared.pool.has_idle_worker() && q.items.len() < shared.cfg.max_batch && !q.stop
-            {
-                let now = std::time::Instant::now();
-                if now >= deadline {
-                    break;
+            if q.stop {
+                // Graceful drain: batches already submitted to the pool
+                // complete, but rows still queued are answered `Draining`
+                // below instead of being dispatched.
+                (q.items.drain(..).collect(), true)
+            } else {
+                // Coalesce only when it can pay off: all workers busy and
+                // the window isn't already full. Idle workers get rows at
+                // once. Loop on a fixed deadline: every arrival's
+                // `notify_one` (and any spurious wakeup) ends a single
+                // `wait_timeout`, so without the loop a saturated pool
+                // would emit 1–2-row batches and the window would never
+                // fill.
+                let deadline = Instant::now() + shared.cfg.max_wait;
+                while !shared.pool.has_idle_worker()
+                    && q.items.len() < shared.cfg.max_batch
+                    && !q.stop
+                {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _timeout) = shared
+                        .cond
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
                 }
-                let (guard, _timeout) = shared
-                    .cond
-                    .wait_timeout(q, deadline - now)
-                    .unwrap_or_else(PoisonError::into_inner);
-                q = guard;
+                (q.items.drain(..).collect(), q.stop)
             }
-            q.items.drain(..).collect()
         };
+        if stopping {
+            for p in drained {
+                p.metrics.record_stopped();
+                let _ = p.item.reply.send(Err(WorkError::Draining));
+            }
+            return;
+        }
         if drained.is_empty() {
             continue;
         }
-        for batch in into_batches(drained, shared.cfg.max_batch) {
+        // Shed already-expired rows before they cost a batch slot, and
+        // feed every surviving row's queue wait to the shed controller —
+        // the p95 of exactly these waits is the demote/promote signal.
+        let now = Instant::now();
+        let mut live: Vec<Pending> = Vec::with_capacity(drained.len());
+        for p in drained {
+            if p.item.is_expired(now) {
+                p.metrics.record_expired();
+                let _ = p.item.reply.send(Err(WorkError::Expired));
+                continue;
+            }
+            if let Some(shed) = &shared.shed {
+                shed.observe_wait(now.duration_since(p.item.enqueued_at));
+            }
+            live.push(p);
+        }
+        // Deadline-aware assembly: most-urgent rows first, so the batches
+        // that reach the pool earliest are the ones with the least slack.
+        // The sort is stable — rows without deadlines keep FIFO order.
+        live.sort_by_key(|p| p.item.deadline.unwrap_or(now + Duration::from_secs(3600)));
+        for batch in into_batches(live, shared.cfg.max_batch) {
             // `submit` blocks when the pool's channel is full; backpressure
             // then propagates to `enqueue` via the bounded queue above.
             if shared.pool.submit(batch).is_err() {
@@ -166,6 +226,20 @@ impl Batcher {
     ///
     /// [`ServeError::Spawn`] if the dispatcher thread cannot be created.
     pub fn new(cfg: BatcherConfig, pool: Arc<WorkerPool>) -> Result<Self, ServeError> {
+        Self::with_shed(cfg, pool, None)
+    }
+
+    /// Like [`Batcher::new`], but every drained row's queue wait also
+    /// feeds `shed`, the adaptive degraded-tier controller.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] if the dispatcher thread cannot be created.
+    pub fn with_shed(
+        cfg: BatcherConfig,
+        pool: Arc<WorkerPool>,
+        shed: Option<Arc<ShedController>>,
+    ) -> Result<Self, ServeError> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
@@ -174,6 +248,7 @@ impl Batcher {
             cond: Condvar::new(),
             cfg,
             pool,
+            shed,
         });
         let dispatcher = {
             let shared = shared.clone();
@@ -188,28 +263,27 @@ impl Batcher {
         })
     }
 
-    /// Queues one row for `model`. Returns `false` when the row cannot be
-    /// accepted — the caller should answer `err busy`. The two refusal
-    /// reasons are counted separately so load dashboards don't read a
-    /// shutdown as overload: a full queue records a **shed**, a stopping
-    /// batcher records a **stop-time rejection**
-    /// ([`ModelMetrics::record_stopped`]).
+    /// Queues one row for `model`. The two refusal reasons are counted
+    /// separately so load dashboards don't read a shutdown as overload: a
+    /// full queue records a **shed** (answer `busy`), a stopping batcher
+    /// records a **stop-time rejection** (answer `draining`,
+    /// [`ModelMetrics::record_stopped`]).
     pub fn enqueue(
         &self,
         model: Arc<ServedModel>,
         metrics: Arc<ModelMetrics>,
         item: WorkItem,
-    ) -> bool {
+    ) -> EnqueueResult {
         let mut q = lock_unpoisoned(&self.shared.queue);
         if q.stop {
             drop(q);
             metrics.record_stopped();
-            return false;
+            return EnqueueResult::Stopping;
         }
         if q.items.len() >= self.shared.cfg.queue_cap {
             drop(q);
             metrics.record_shed();
-            return false;
+            return EnqueueResult::Full;
         }
         q.items.push_back(Pending {
             model,
@@ -218,7 +292,7 @@ impl Batcher {
         });
         drop(q);
         self.shared.cond.notify_one();
-        true
+        EnqueueResult::Accepted
     }
 
     /// Rows currently waiting for dispatch.
@@ -226,14 +300,22 @@ impl Batcher {
         lock_unpoisoned(&self.shared.queue).items.len()
     }
 
-    /// Stops accepting rows, drains everything already queued, and joins
-    /// the dispatcher. Called automatically on drop.
-    pub fn shutdown(&self) {
-        {
-            let mut q = lock_unpoisoned(&self.shared.queue);
-            q.stop = true;
-        }
+    /// Stops accepting rows without joining the dispatcher: new enqueues
+    /// are refused as [`EnqueueResult::Stopping`], and the dispatcher
+    /// answers everything still queued with an explicit
+    /// [`WorkError::Draining`] reply (batches already at the pool
+    /// complete normally). The server calls this *before* joining its
+    /// connection threads so waiting clients receive `draining` lines
+    /// instead of dropped connections.
+    pub fn begin_drain(&self) {
+        lock_unpoisoned(&self.shared.queue).stop = true;
         self.shared.cond.notify_all();
+    }
+
+    /// [`Batcher::begin_drain`] plus joining the dispatcher thread.
+    /// Called automatically on drop.
+    pub fn shutdown(&self) {
+        self.begin_drain();
         if let Some(h) = lock_unpoisoned(&self.dispatcher).take() {
             let _ = h.join();
         }
@@ -265,16 +347,21 @@ mod tests {
         reg.get("m").unwrap()
     }
 
-    fn item(row: Vec<f32>) -> (WorkItem, std::sync::mpsc::Receiver<Result<f32, String>>) {
+    fn item(row: Vec<f32>) -> (WorkItem, std::sync::mpsc::Receiver<Result<f32, WorkError>>) {
         let (tx, rx) = sync_channel(1);
         (
             WorkItem {
                 row,
                 enqueued_at: Instant::now(),
+                deadline: None,
                 reply: tx,
             },
             rx,
         )
+    }
+
+    fn accepted(r: EnqueueResult) -> bool {
+        r == EnqueueResult::Accepted
     }
 
     /// A batcher with no dispatcher thread: the queue's accept/shed logic
@@ -290,6 +377,7 @@ mod tests {
                 cond: Condvar::new(),
                 cfg,
                 pool,
+                shed: None,
             }),
             dispatcher: Mutex::new(None),
         }
@@ -304,7 +392,11 @@ mod tests {
         let mut rxs = Vec::new();
         for i in 0..20 {
             let (it, rx) = item(vec![i as f32, (i + 1) as f32]);
-            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            assert!(accepted(batcher.enqueue(
+                model.clone(),
+                metrics.clone(),
+                it
+            )));
             rxs.push(rx);
         }
         for rx in rxs {
@@ -341,19 +433,26 @@ mod tests {
                     item: WorkItem {
                         row: vec![i as f32, 0.0],
                         enqueued_at: Instant::now(),
+                        deadline: None,
                         reply: tx,
                     },
                 });
             }
         }
         let (it, _rx) = item(vec![9.0, 9.0]);
-        assert!(!batcher.enqueue(model, metrics.clone(), it));
+        assert_eq!(
+            batcher.enqueue(model, metrics.clone(), it),
+            EnqueueResult::Full
+        );
         assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 1);
         batcher.shutdown();
     }
 
     #[test]
-    fn shutdown_drains_queued_rows() {
+    fn shutdown_answers_every_queued_row_explicitly() {
+        // Graceful drain: a row accepted before shutdown is either served
+        // (it made it into a dispatched batch) or answered with an
+        // explicit `Draining` — never silently dropped.
         let model = served(3);
         let metrics = Arc::new(ModelMetrics::default());
         let pool = Arc::new(WorkerPool::new(1, 8).unwrap());
@@ -361,14 +460,128 @@ mod tests {
         let mut rxs = Vec::new();
         for i in 0..10 {
             let (it, rx) = item(vec![i as f32, i as f32]);
-            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            assert!(accepted(batcher.enqueue(
+                model.clone(),
+                metrics.clone(),
+                it
+            )));
             rxs.push(rx);
         }
         batcher.shutdown();
-        // Every queued row must still have been answered — zero drops.
         for rx in rxs {
-            assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Ok(_) | Err(WorkError::Draining) => {}
+                other => panic!("row must be served or told `draining`, got {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn drain_replies_draining_to_rows_still_queued() {
+        // Deterministic version of the drain contract: with no dispatcher
+        // running, every queued row is still in the queue when drain
+        // begins, so all of them must be answered `Draining` (and counted
+        // as stop-time rejections, not sheds) once a dispatcher pass runs.
+        let model = served(11);
+        let metrics = Arc::new(ModelMetrics::default());
+        let batcher = undispatched(BatcherConfig::default());
+        let mut rxs = Vec::new();
+        for i in 0..4 {
+            let (it, rx) = item(vec![i as f32, 0.0]);
+            assert!(accepted(batcher.enqueue(
+                model.clone(),
+                metrics.clone(),
+                it
+            )));
+            rxs.push(rx);
+        }
+        batcher.begin_drain();
+        dispatcher_loop(&batcher.shared); // returns immediately after the drain
+        for rx in rxs {
+            assert_eq!(rx.try_recv().unwrap(), Err(WorkError::Draining));
+        }
+        assert_eq!(
+            metrics.stopped.load(std::sync::atomic::Ordering::Relaxed),
+            4
+        );
+        assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn expired_rows_are_shed_at_drain_not_dispatched() {
+        // A row whose deadline passed while it waited in the queue is
+        // answered `Expired` by the dispatcher without costing a batch
+        // slot; rows with slack dispatch normally.
+        let model = served(12);
+        let metrics = Arc::new(ModelMetrics::default());
+        let pool = Arc::new(WorkerPool::new(1, 4).unwrap());
+        let batcher = Batcher::new(BatcherConfig::default(), pool).unwrap();
+        let (tx, expired_rx) = sync_channel(1);
+        // Freeze the dispatcher while we stage an already-expired row and
+        // a live one behind it.
+        let live_rx = {
+            let mut q = batcher.shared.queue.lock().unwrap();
+            q.items.push_back(Pending {
+                model: model.clone(),
+                metrics: metrics.clone(),
+                item: WorkItem {
+                    row: vec![1.0, 2.0],
+                    enqueued_at: Instant::now(),
+                    deadline: Some(Instant::now() - Duration::from_millis(1)),
+                    reply: tx,
+                },
+            });
+            let (it, rx) = item(vec![3.0, 4.0]);
+            q.items.push_back(Pending {
+                model: model.clone(),
+                metrics: metrics.clone(),
+                item: it,
+            });
+            rx
+        };
+        batcher.shared.cond.notify_one();
+        assert_eq!(
+            expired_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Err(WorkError::Expired)
+        );
+        assert!(live_rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .is_ok());
+        assert_eq!(
+            metrics.expired.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(metrics.ok.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drained_rows_dispatch_most_urgent_deadline_first() {
+        // Two rows for the same model with inverted arrival/deadline
+        // order: the tighter deadline must come out first in the
+        // assembled batches.
+        let model = served(13);
+        let metrics = Arc::new(ModelMetrics::default());
+        let now = Instant::now();
+        let mk = |ms: u64| {
+            let (tx, _rx) = sync_channel(1);
+            Pending {
+                model: model.clone(),
+                metrics: metrics.clone(),
+                item: WorkItem {
+                    row: vec![ms as f32, 0.0],
+                    enqueued_at: now,
+                    deadline: Some(now + Duration::from_millis(ms)),
+                    reply: tx,
+                },
+            }
+        };
+        let mut live = vec![mk(500), mk(20), mk(100)];
+        live.sort_by_key(|p| p.item.deadline.unwrap_or(now + Duration::from_secs(3600)));
+        let batches = into_batches(live, 2);
+        // max_batch 2: the two most urgent rows share the first batch.
+        let first: Vec<f32> = batches[0].items.iter().map(|i| i.row[0]).collect();
+        assert_eq!(first, vec![20.0, 100.0]);
     }
 
     #[test]
@@ -394,6 +607,7 @@ mod tests {
                 item: WorkItem {
                     row: vec![i as f32, 0.0],
                     enqueued_at: Instant::now(),
+                    deadline: None,
                     reply: tx,
                 },
             });
@@ -427,7 +641,11 @@ mod tests {
         let mut rxs = Vec::new();
         for i in 0..16 {
             let (it, rx) = item(vec![i as f32, i as f32]);
-            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            assert!(accepted(batcher.enqueue(
+                model.clone(),
+                metrics.clone(),
+                it
+            )));
             rxs.push(rx);
         }
         for rx in rxs {
@@ -449,13 +667,16 @@ mod tests {
         for i in 0..3 {
             let (it, _rx) = item(vec![i as f32, 0.0]);
             assert!(
-                batcher.enqueue(model.clone(), metrics.clone(), it),
+                accepted(batcher.enqueue(model.clone(), metrics.clone(), it)),
                 "row {i} is within capacity"
             );
         }
         assert_eq!(batcher.depth(), 3);
         let (it, _rx) = item(vec![99.0, 0.0]);
-        assert!(!batcher.enqueue(model.clone(), metrics.clone(), it));
+        assert_eq!(
+            batcher.enqueue(model.clone(), metrics.clone(), it),
+            EnqueueResult::Full
+        );
         assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 1);
         // Shedding must not have evicted anything already accepted.
         assert_eq!(batcher.depth(), 3);
@@ -486,7 +707,11 @@ mod tests {
         let mut rxs = Vec::new();
         for i in 0..48 {
             let (it, rx) = item(vec![i as f32, 0.0]);
-            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            assert!(accepted(batcher.enqueue(
+                model.clone(),
+                metrics.clone(),
+                it
+            )));
             rxs.push(rx);
             // Steady trickle: rows arrive one by one while the worker is
             // pinned, exactly the notify-per-arrival pattern that broke the
@@ -520,10 +745,17 @@ mod tests {
         // Full queue → shed (the overload signal).
         for i in 0..2 {
             let (it, _rx) = item(vec![i as f32, 0.0]);
-            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            assert!(accepted(batcher.enqueue(
+                model.clone(),
+                metrics.clone(),
+                it
+            )));
         }
         let (it, _rx) = item(vec![9.0, 0.0]);
-        assert!(!batcher.enqueue(model.clone(), metrics.clone(), it));
+        assert_eq!(
+            batcher.enqueue(model.clone(), metrics.clone(), it),
+            EnqueueResult::Full
+        );
         assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 1);
         assert_eq!(
             metrics.stopped.load(std::sync::atomic::Ordering::Relaxed),
@@ -533,7 +765,10 @@ mod tests {
         // Stopping batcher → rejection counted separately, never as shed.
         lock_unpoisoned(&batcher.shared.queue).stop = true;
         let (it, _rx) = item(vec![10.0, 0.0]);
-        assert!(!batcher.enqueue(model, metrics.clone(), it));
+        assert_eq!(
+            batcher.enqueue(model, metrics.clone(), it),
+            EnqueueResult::Stopping
+        );
         assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 1);
         assert_eq!(
             metrics.stopped.load(std::sync::atomic::Ordering::Relaxed),
@@ -552,10 +787,17 @@ mod tests {
         });
         for i in 0..3 {
             let (it, _rx) = item(vec![i as f32, 0.0]);
-            assert!(batcher.enqueue(model.clone(), metrics.clone(), it));
+            assert!(accepted(batcher.enqueue(
+                model.clone(),
+                metrics.clone(),
+                it
+            )));
         }
         let (it, _rx) = item(vec![99.0, 0.0]);
-        assert!(!batcher.enqueue(model.clone(), metrics.clone(), it));
+        assert_eq!(
+            batcher.enqueue(model.clone(), metrics.clone(), it),
+            EnqueueResult::Full
+        );
 
         // Drain exactly as the dispatcher would and check the shed row
         // left no hole: survivors come out in arrival order.
@@ -571,7 +813,7 @@ mod tests {
 
         // After the drain the queue is open for business again.
         let (it, _rx) = item(vec![7.0, 0.0]);
-        assert!(batcher.enqueue(model, metrics, it));
+        assert!(accepted(batcher.enqueue(model, metrics, it)));
         assert_eq!(batcher.depth(), 1);
     }
 }

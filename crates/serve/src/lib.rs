@@ -33,17 +33,22 @@ pub mod faults;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod shed;
 pub mod status;
 pub mod worker;
 
-pub use batcher::{Batcher, BatcherConfig};
+pub use batcher::{Batcher, BatcherConfig, EnqueueResult};
 pub use bundle::{ModelBundle, SectionFrames};
 pub use faults::FaultInjector;
 pub use metrics::{LatencyHistogram, MetricsHub, ModelMetrics};
-pub use registry::{ModelMeta, ModelRegistry, ModelResolver, ServedModel, SweepReport};
+pub use registry::{
+    ModelMeta, ModelRegistry, ModelResolver, ResolverHealth, ResolverPolicy, ServedModel,
+    SweepReport,
+};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use shed::{ShedConfig, ShedController};
 pub use status::TrainStatus;
-pub use worker::{Batch, WorkItem, WorkerPool};
+pub use worker::{Batch, WorkError, WorkItem, WorkerPool};
 
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 

@@ -95,6 +95,9 @@ pub struct ModelMetrics {
     /// Rows rejected at enqueue time because the batcher was stopping —
     /// kept apart from `shed` so a shutdown never reads as overload.
     pub stopped: AtomicU64,
+    /// Rows whose deadline passed before any model arithmetic ran — shed
+    /// pre-compute at drain or batch-execution time.
+    pub expired: AtomicU64,
     /// Rows answered through the degraded (quantised binary) fallback
     /// path instead of the full-precision pipeline.
     pub degraded: AtomicU64,
@@ -130,6 +133,11 @@ impl ModelMetrics {
         self.stopped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a row shed pre-compute because its deadline passed.
+    pub fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a row answered through the degraded fallback path.
     pub fn record_degraded(&self) {
         self.degraded.fetch_add(1, Ordering::Relaxed);
@@ -156,12 +164,13 @@ impl ModelMetrics {
             0.0
         };
         format!(
-            "stat {name} ok={} err={} shed={} stopped={} degraded={} panics={} \
+            "stat {name} ok={} err={} shed={} stopped={} expired={} degraded={} panics={} \
              batches={batches} mean_batch={mean_batch:.2} p50us={} p95us={} p99us={}",
             self.ok.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
             self.stopped.load(Ordering::Relaxed),
+            self.expired.load(Ordering::Relaxed),
             self.degraded.load(Ordering::Relaxed),
             self.panics.load(Ordering::Relaxed),
             self.latency.percentile_us(0.50).unwrap_or(0),
@@ -177,6 +186,8 @@ pub struct MetricsHub {
     per_model: RwLock<HashMap<String, Arc<ModelMetrics>>>,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Connections refused at accept time by the connection cap.
+    pub connections_rejected: AtomicU64,
     /// Protocol lines that failed to parse.
     pub bad_requests: AtomicU64,
     /// Reloads refused because the staged bundle failed its canary replay.
@@ -259,6 +270,7 @@ mod tests {
         m.record_error();
         m.record_shed();
         m.record_stopped();
+        m.record_expired();
         m.record_degraded();
         m.record_degraded();
         m.record_panic();
@@ -269,6 +281,7 @@ mod tests {
         assert!(line.contains("err=1"), "{line}");
         assert!(line.contains("shed=1"), "{line}");
         assert!(line.contains("stopped=1"), "{line}");
+        assert!(line.contains("expired=1"), "{line}");
         assert!(line.contains("degraded=2"), "{line}");
         assert!(line.contains("panics=1"), "{line}");
         assert!(line.contains("mean_batch=2.00"), "{line}");

@@ -22,11 +22,12 @@
 //! distinct last-good version exists, atomically rolled back to it.
 
 use crate::bundle::ModelBundle;
-use crate::{read_unpoisoned, write_unpoisoned, ServeError};
+use crate::{lock_unpoisoned, read_unpoisoned, write_unpoisoned, ServeError};
 use hdc::TrigMode;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Metadata describing one loaded model version.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,9 +66,17 @@ pub struct ModelMeta {
 /// the attached resolver, so explicitly loaded models always shadow
 /// store-backed ones of the same name.
 pub trait ModelResolver: Send + Sync + std::fmt::Debug {
-    /// Resolves a key to a served model, or `None` when the key is unknown
-    /// (or its bundle failed validation with no last-good fallback).
-    fn resolve(&self, key: &str) -> Option<Arc<ServedModel>>;
+    /// Resolves a key to a served model.
+    ///
+    /// The three outcomes carry distinct retry semantics:
+    /// * `Ok(Some(_))` — found;
+    /// * `Ok(None)` — **authoritatively** unknown (or failed validation
+    ///   with no last-good fallback): retrying cannot help;
+    /// * `Err(_)` — transient infrastructure failure (I/O, injected store
+    ///   fault): the registry retries with backoff and, on sustained
+    ///   failure, opens a per-key circuit breaker
+    ///   (see [`ResolverPolicy`]).
+    fn resolve(&self, key: &str) -> Result<Option<Arc<ServedModel>>, String>;
 
     /// Metadata for the currently *hot* (decoded, cache-resident) models —
     /// a registry `list` must stay O(hot), not O(resident keys).
@@ -76,6 +85,64 @@ pub trait ModelResolver: Send + Sync + std::fmt::Debug {
     /// One-line operational stats (hits, misses, evictions, resident
     /// bytes) appended to the `stats` protocol reply.
     fn stats_line(&self) -> String;
+}
+
+/// Retry and circuit-breaker knobs for store-backed cold loads (the
+/// attached [`ModelResolver`]).
+///
+/// A transient resolver failure (`Err`) is retried up to `attempts` times
+/// with exponential backoff starting at `backoff`. When
+/// `breaker_threshold` consecutive *exhausted* resolves fail for one key,
+/// that key's breaker opens: lookups short-circuit to a miss (no store
+/// I/O, no backoff sleeps on the serving thread) until `breaker_cooldown`
+/// elapses, after which the next lookup probes the store again
+/// (half-open). Any successful resolve — including an authoritative
+/// `Ok(None)` — closes the key's breaker and resets its failure count.
+#[derive(Debug, Clone)]
+pub struct ResolverPolicy {
+    /// Total resolve attempts per lookup (clamped to at least 1).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+    /// Consecutive exhausted lookups that open a key's breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker short-circuits lookups for its key.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ResolverPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            backoff: Duration::from_micros(500),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Point-in-time counters for the resolver retry/breaker layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverHealth {
+    /// Individual retry attempts made after a transient failure.
+    pub retries: u64,
+    /// Lookups that exhausted every attempt without an answer.
+    pub failures: u64,
+    /// Times a key's circuit breaker opened.
+    pub breaker_trips: u64,
+    /// Lookups short-circuited by an open breaker (no store I/O).
+    pub short_circuits: u64,
+    /// Keys whose breaker is currently open.
+    pub open_breakers: usize,
+}
+
+/// Per-key breaker state (guarded by the registry's breaker mutex).
+#[derive(Debug, Default)]
+struct BreakerState {
+    /// Consecutive exhausted lookups since the last success.
+    consecutive: u32,
+    /// While set, lookups short-circuit until this instant passes.
+    open_until: Option<Instant>,
 }
 
 /// One immutable, shareable loaded model version.
@@ -130,6 +197,20 @@ pub struct ModelRegistry {
     /// model store). Swapped in once at startup; lookups clone the `Arc`
     /// and release the lock before resolving.
     resolver: RwLock<Option<Arc<dyn ModelResolver>>>,
+    /// Retry/breaker knobs for resolver lookups.
+    resolver_policy: RwLock<ResolverPolicy>,
+    /// Per-key circuit breakers. Only keys with at least one exhausted
+    /// lookup since their last success have an entry, so the map stays
+    /// O(currently failing keys), not O(traffic).
+    breakers: Mutex<HashMap<String, BreakerState>>,
+    /// Retry attempts made after transient resolver failures.
+    resolver_retries: AtomicU64,
+    /// Lookups that exhausted every attempt.
+    resolver_failures: AtomicU64,
+    /// Times a key's breaker opened.
+    breaker_trips: AtomicU64,
+    /// Lookups short-circuited by an open breaker.
+    breaker_short_circuits: AtomicU64,
     /// Thread knob applied to every bundle this registry loads or swaps in
     /// (`0` = available parallelism). Predictions are bit-identical at any
     /// setting ([`crate::bundle::ModelBundle::set_threads`]).
@@ -146,6 +227,12 @@ impl Default for ModelRegistry {
         Self {
             inner: RwLock::new(HashMap::new()),
             resolver: RwLock::new(None),
+            resolver_policy: RwLock::new(ResolverPolicy::default()),
+            breakers: Mutex::new(HashMap::new()),
+            resolver_retries: AtomicU64::new(0),
+            resolver_failures: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            breaker_short_circuits: AtomicU64::new(0),
             default_threads: AtomicUsize::new(1),
             default_trig: AtomicU8::new(TrigMode::Exact.as_u8()),
         }
@@ -385,11 +472,37 @@ impl ModelRegistry {
         resolver.map(|r| r.stats_line())
     }
 
+    /// Replaces the retry/breaker knobs applied to resolver lookups.
+    /// Existing breaker state is kept; only future decisions use the new
+    /// policy.
+    pub fn set_resolver_policy(&self, policy: ResolverPolicy) {
+        *write_unpoisoned(&self.resolver_policy) = policy;
+    }
+
+    /// Counters for the resolver retry/breaker layer.
+    pub fn resolver_health(&self) -> ResolverHealth {
+        let now = Instant::now();
+        let open_breakers = lock_unpoisoned(&self.breakers)
+            .values()
+            .filter(|b| b.open_until.is_some_and(|t| now < t))
+            .count();
+        ResolverHealth {
+            retries: self.resolver_retries.load(Ordering::Relaxed),
+            failures: self.resolver_failures.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            short_circuits: self.breaker_short_circuits.load(Ordering::Relaxed),
+            open_breakers,
+        }
+    }
+
     /// Resolves `name` to its current version. The returned `Arc` pins
     /// that version for the caller's lifetime regardless of later swaps.
     /// Names absent from the in-process map fall through to the attached
     /// resolver (the model store), so explicitly loaded models shadow
-    /// store-backed ones.
+    /// store-backed ones. Transient resolver failures are retried per the
+    /// registry's [`ResolverPolicy`]; a key whose lookups keep failing has
+    /// its circuit breaker opened and resolves as a fast miss until the
+    /// cooldown passes.
     pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
         if let Some(found) = read_unpoisoned(&self.inner)
             .get(name)
@@ -397,8 +510,60 @@ impl ModelRegistry {
         {
             return Some(found);
         }
-        let resolver = read_unpoisoned(&self.resolver).clone();
-        resolver.and_then(|r| r.resolve(name))
+        let resolver = read_unpoisoned(&self.resolver).clone()?;
+        self.resolve_with_retry(&*resolver, name)
+    }
+
+    /// The retry + circuit-breaker wrapper around one resolver lookup.
+    fn resolve_with_retry(
+        &self,
+        resolver: &dyn ModelResolver,
+        key: &str,
+    ) -> Option<Arc<ServedModel>> {
+        let policy = read_unpoisoned(&self.resolver_policy).clone();
+        {
+            let mut breakers = lock_unpoisoned(&self.breakers);
+            if let Some(state) = breakers.get_mut(key) {
+                if let Some(until) = state.open_until {
+                    if Instant::now() < until {
+                        drop(breakers);
+                        self.breaker_short_circuits.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                    // Cooldown elapsed: half-open — let this lookup probe
+                    // the store. A failure re-trips immediately (the
+                    // consecutive count is already at threshold's worth of
+                    // history), a success closes the breaker.
+                    state.open_until = None;
+                }
+            }
+        }
+        let mut delay = policy.backoff;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                self.resolver_retries.fetch_add(1, Ordering::Relaxed);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                delay = delay.checked_mul(2).unwrap_or(delay);
+            }
+            if let Ok(found) = resolver.resolve(key) {
+                // Success — even an authoritative miss proves the store is
+                // answering; close the key's breaker.
+                lock_unpoisoned(&self.breakers).remove(key);
+                return found;
+            }
+        }
+        self.resolver_failures.fetch_add(1, Ordering::Relaxed);
+        let mut breakers = lock_unpoisoned(&self.breakers);
+        let state = breakers.entry(key.to_string()).or_default();
+        state.consecutive += 1;
+        if state.consecutive >= policy.breaker_threshold.max(1) {
+            state.open_until = Some(Instant::now() + policy.breaker_cooldown);
+            drop(breakers);
+            self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+        None
     }
 
     /// Metadata for every loaded model — plus, when a resolver is
@@ -758,8 +923,8 @@ mod tests {
     }
 
     impl ModelResolver for FixedResolver {
-        fn resolve(&self, key: &str) -> Option<Arc<ServedModel>> {
-            (key == self.entry.meta.name).then(|| self.entry.clone())
+        fn resolve(&self, key: &str) -> Result<Option<Arc<ServedModel>>, String> {
+            Ok((key == self.entry.meta.name).then(|| self.entry.clone()))
         }
 
         fn hot_models(&self) -> Vec<ModelMeta> {
@@ -768,6 +933,45 @@ mod tests {
 
         fn stats_line(&self) -> String {
             "store shards=1".to_string()
+        }
+    }
+
+    /// Resolver that fails transiently `failures` times per key before
+    /// serving — stands in for a store with flaky disks.
+    #[derive(Debug)]
+    struct FlakyResolver {
+        entry: Arc<ServedModel>,
+        failures: AtomicUsize,
+        calls: AtomicUsize,
+    }
+
+    impl ModelResolver for FlakyResolver {
+        fn resolve(&self, key: &str) -> Result<Option<Arc<ServedModel>>, String> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let left = self.failures.load(Ordering::Relaxed);
+            if left > 0 {
+                self.failures.store(left - 1, Ordering::Relaxed);
+                return Err("injected: disk on fire".to_string());
+            }
+            Ok((key == self.entry.meta.name).then(|| self.entry.clone()))
+        }
+
+        fn hot_models(&self) -> Vec<ModelMeta> {
+            Vec::new()
+        }
+
+        fn stats_line(&self) -> String {
+            "store flaky".to_string()
+        }
+    }
+
+    /// A zero-sleep policy so breaker tests never stall the suite.
+    fn fast_policy(attempts: u32, threshold: u32, cooldown: Duration) -> ResolverPolicy {
+        ResolverPolicy {
+            attempts,
+            backoff: Duration::ZERO,
+            breaker_threshold: threshold,
+            breaker_cooldown: cooldown,
         }
     }
 
@@ -833,6 +1037,104 @@ mod tests {
         // The local entry (version 1) wins over the store's version 7.
         assert_eq!(metas[0].version, 1);
         assert_eq!(reg.get("m").unwrap().meta.version, 1);
+    }
+
+    #[test]
+    fn transient_resolver_failures_are_retried_within_one_lookup() {
+        let reg = ModelRegistry::new();
+        reg.set_resolver_policy(fast_policy(3, 3, Duration::from_secs(60)));
+        let entry = served_entry("user-1", 70);
+        let flaky = Arc::new(FlakyResolver {
+            entry: entry.clone(),
+            failures: AtomicUsize::new(2),
+            calls: AtomicUsize::new(0),
+        });
+        reg.attach_resolver(flaky.clone());
+        // Two transient failures, then success — all inside one get().
+        let got = reg.get("user-1").unwrap();
+        assert!(Arc::ptr_eq(&got, &entry));
+        assert_eq!(flaky.calls.load(Ordering::Relaxed), 3);
+        let health = reg.resolver_health();
+        assert_eq!(health.retries, 2);
+        assert_eq!(health.failures, 0);
+        assert_eq!(health.breaker_trips, 0);
+    }
+
+    #[test]
+    fn sustained_failures_trip_breaker_and_short_circuit() {
+        let reg = ModelRegistry::new();
+        reg.set_resolver_policy(fast_policy(2, 3, Duration::from_secs(60)));
+        let flaky = Arc::new(FlakyResolver {
+            entry: served_entry("user-2", 71),
+            failures: AtomicUsize::new(usize::MAX),
+            calls: AtomicUsize::new(0),
+        });
+        reg.attach_resolver(flaky.clone());
+        // Three exhausted lookups (2 attempts each) open the breaker.
+        for _ in 0..3 {
+            assert!(reg.get("user-2").is_none());
+        }
+        assert_eq!(flaky.calls.load(Ordering::Relaxed), 6);
+        let health = reg.resolver_health();
+        assert_eq!(health.failures, 3);
+        assert_eq!(health.breaker_trips, 1);
+        assert_eq!(health.open_breakers, 1);
+        // While open, lookups short-circuit without touching the store.
+        assert!(reg.get("user-2").is_none());
+        assert!(reg.get("user-2").is_none());
+        assert_eq!(flaky.calls.load(Ordering::Relaxed), 6);
+        assert_eq!(reg.resolver_health().short_circuits, 2);
+        // Other keys are unaffected (per-key breakers); this lookup still
+        // reaches the resolver and fails on its own account.
+        assert!(reg.get("user-other").is_none());
+        assert_eq!(flaky.calls.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_and_closes_on_success() {
+        let reg = ModelRegistry::new();
+        reg.set_resolver_policy(fast_policy(1, 2, Duration::from_millis(20)));
+        let entry = served_entry("user-3", 72);
+        let flaky = Arc::new(FlakyResolver {
+            entry: entry.clone(),
+            failures: AtomicUsize::new(2),
+            calls: AtomicUsize::new(0),
+        });
+        reg.attach_resolver(flaky.clone());
+        // Two exhausted single-attempt lookups trip the breaker.
+        assert!(reg.get("user-3").is_none());
+        assert!(reg.get("user-3").is_none());
+        assert_eq!(reg.resolver_health().breaker_trips, 1);
+        assert!(reg.get("user-3").is_none(), "open breaker short-circuits");
+        assert_eq!(flaky.calls.load(Ordering::Relaxed), 2);
+        // After the cooldown the next lookup probes the (now healthy)
+        // store, succeeds, and closes the breaker.
+        std::thread::sleep(Duration::from_millis(25));
+        let got = reg.get("user-3").unwrap();
+        assert!(Arc::ptr_eq(&got, &entry));
+        let health = reg.resolver_health();
+        assert_eq!(health.open_breakers, 0);
+        // Follow-up lookups go straight through.
+        assert!(reg.get("user-3").is_some());
+        assert_eq!(reg.resolver_health().short_circuits, 1);
+    }
+
+    #[test]
+    fn authoritative_miss_is_not_retried() {
+        let reg = ModelRegistry::new();
+        reg.set_resolver_policy(fast_policy(5, 3, Duration::from_secs(60)));
+        let flaky = Arc::new(FlakyResolver {
+            entry: served_entry("known", 73),
+            failures: AtomicUsize::new(0),
+            calls: AtomicUsize::new(0),
+        });
+        reg.attach_resolver(flaky.clone());
+        // Ok(None) is an answer: one call, no retries, no breaker state.
+        assert!(reg.get("absent").is_none());
+        assert_eq!(flaky.calls.load(Ordering::Relaxed), 1);
+        let health = reg.resolver_health();
+        assert_eq!(health.retries, 0);
+        assert_eq!(health.failures, 0);
     }
 
     #[test]

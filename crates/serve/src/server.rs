@@ -3,7 +3,7 @@
 //! Wire protocol (one request per line, one reply per line unless noted):
 //!
 //! ```text
-//! predict <model> <f32,f32,...>   →  ok <y> | degraded <y> | err <reason>
+//! predict <model> <f32,f32,...>   →  ok <y> | degraded <y> | busy | draining | err <reason>
 //! reload <model> <path>           →  ok reloaded <model> v<version>
 //! list                            →  model lines (name-sorted), then ok
 //! train-status                    →  ok train ... (needs an attached trainer)
@@ -14,32 +14,42 @@
 //! quit                            →  ok (and the connection closes)
 //! ```
 //!
-//! # Graceful degradation
+//! # Graceful degradation and overload behavior
 //!
-//! A `predict` that cannot take the full-precision path — the queue shed
-//! the row, the reply timed out, the worker died mid-batch, or the model
-//! is flagged corrupt — is answered through the quantised binary path
-//! (§3.2) **inline on the connection thread** and tagged `degraded <y>`
-//! instead of erroring. Every request gets a well-formed reply; `err` is
-//! reserved for requests that are themselves invalid (unknown model,
-//! malformed or non-finite features) or for servers that cannot produce
-//! any estimate at all.
+//! A `predict` that cannot take the full-precision path — the reply timed
+//! out, the worker died mid-batch, the row's deadline expired in the
+//! queue, the adaptive shed controller demoted traffic, or the model is
+//! flagged corrupt — is answered through the quantised binary path (§3.2)
+//! **inline on the connection thread** and tagged `degraded <y>` instead
+//! of erroring. Every request gets a well-formed reply; `err` is reserved
+//! for requests that are themselves invalid (unknown model, malformed or
+//! non-finite features) or for servers that cannot produce any estimate
+//! at all.
+//!
+//! Admission control is explicit: a full queue answers `busy` (back off
+//! and retry), a shutting-down server answers `draining` (go elsewhere),
+//! and a connection over [`ServerConfig::max_connections`] receives a
+//! single `busy` line before the socket closes. When
+//! [`ServerConfig::shed`] is enabled, sustained queue pressure (windowed
+//! p95 queue wait above the demote threshold) routes new requests through
+//! the degraded tier until the probe p95 recovers.
 //!
 //! Idle connections are closed after the configured read timeout.
-//! Shutdown is graceful: the listener stops accepting, open connections
-//! are joined, and the batcher drains every queued row before the worker
-//! pool exits.
+//! Shutdown is graceful: the listener stops accepting, rows still queued
+//! are answered `draining`, in-flight batches complete, and open
+//! connections are joined before the worker pool exits.
 
-use crate::batcher::{Batcher, BatcherConfig};
+use crate::batcher::{Batcher, BatcherConfig, EnqueueResult};
 use crate::faults::FaultInjector;
 use crate::metrics::{MetricsHub, ModelMetrics};
 use crate::registry::{ModelMeta, ModelRegistry, ServedModel};
+use crate::shed::{ShedConfig, ShedController};
 use crate::status::TrainStatus;
-use crate::worker::{WorkItem, WorkerPool};
+use crate::worker::{WorkError, WorkItem, WorkerPool};
 use crate::ServeError;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -87,6 +97,20 @@ pub struct ServerConfig {
     /// `train-status` protocol command. `None` (the default) makes that
     /// command answer `err no trainer attached`.
     pub train_status: Option<Arc<TrainStatus>>,
+    /// Per-request deadline, measured from enqueue. A row that is still
+    /// queued (or still waiting in an assembled batch) when its deadline
+    /// passes is shed before any model arithmetic runs and answered
+    /// through the degraded path. `None` (the default) disables expiry.
+    pub deadline: Option<Duration>,
+    /// Hard cap on concurrently open client connections. A connection
+    /// accepted over the cap receives a single `busy` line and is closed
+    /// (counted in [`MetricsHub::connections_rejected`]). `0` (the
+    /// default) means unlimited.
+    pub max_connections: usize,
+    /// Adaptive shed controller thresholds. When set, sustained queue
+    /// pressure demotes new `predict` traffic to the §3.2 degraded tier
+    /// (see [`ShedController`]); `None` disables adaptive shedding.
+    pub shed: Option<ShedConfig>,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +127,9 @@ impl Default for ServerConfig {
             enable_inject: false,
             fault_seed: 0,
             train_status: None,
+            deadline: None,
+            max_connections: 0,
+            shed: Some(ShedConfig::default()),
         }
     }
 }
@@ -117,6 +144,8 @@ struct Ctx {
     reply_timeout: Duration,
     enable_inject: bool,
     train_status: Option<Arc<TrainStatus>>,
+    deadline: Option<Duration>,
+    shed: Option<Arc<ShedController>>,
 }
 
 /// Running server. Dropping the handle shuts the server down.
@@ -128,6 +157,7 @@ pub struct ServerHandle {
     hub: Arc<MetricsHub>,
     batcher: Arc<Batcher>,
     injector: Arc<FaultInjector>,
+    shed: Option<Arc<ShedController>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -158,17 +188,35 @@ fn model_line(m: &ModelMeta) -> String {
 }
 
 /// The `stats` payload: registry inventory plus per-model counters.
-fn stats_lines(registry: &ModelRegistry, hub: &MetricsHub, queue_depth: usize) -> Vec<String> {
-    let mut lines: Vec<String> = registry.list().iter().map(model_line).collect();
+fn stats_lines(ctx: &Ctx) -> Vec<String> {
+    let hub = &ctx.hub;
+    let mut lines: Vec<String> = ctx.registry.list().iter().map(model_line).collect();
     lines.extend(hub.render_all());
-    if let Some(store) = registry.resolver_stats() {
+    if let Some(store) = ctx.registry.resolver_stats() {
         lines.push(format!("store {store}"));
+        let h = ctx.registry.resolver_health();
+        lines.push(format!(
+            "resolver retries={} failures={} breaker_trips={} short_circuits={} \
+             open_breakers={}",
+            h.retries, h.failures, h.breaker_trips, h.short_circuits, h.open_breakers,
+        ));
     }
+    let (tier, demotions, promotions) = match &ctx.shed {
+        Some(s) => (
+            if s.is_degraded() { "degraded" } else { "full" },
+            s.demotions(),
+            s.promotions(),
+        ),
+        None => ("full", 0, 0),
+    };
     lines.push(format!(
-        "server connections={} bad_requests={} queue_depth={queue_depth} \
-         canary_failures={} rollbacks={} sweeps={}",
+        "server connections={} connections_rejected={} bad_requests={} queue_depth={} \
+         canary_failures={} rollbacks={} sweeps={} tier={tier} demotions={demotions} \
+         promotions={promotions}",
         hub.connections.load(Ordering::Relaxed),
+        hub.connections_rejected.load(Ordering::Relaxed),
         hub.bad_requests.load(Ordering::Relaxed),
+        ctx.batcher.depth(),
         hub.canary_failures.load(Ordering::Relaxed),
         hub.rollbacks.load(Ordering::Relaxed),
         hub.sweeps.load(Ordering::Relaxed),
@@ -271,7 +319,7 @@ fn handle_line(line: &str, ctx: &Ctx) -> (Vec<String>, bool) {
         Some("health") => (vec!["ok".to_string()], false),
         Some("quit") => (vec!["ok".to_string()], true),
         Some("stats") => {
-            let mut lines = stats_lines(&ctx.registry, &ctx.hub, ctx.batcher.depth());
+            let mut lines = stats_lines(ctx);
             lines.push("ok".to_string());
             (lines, false)
         }
@@ -351,20 +399,42 @@ fn handle_line(line: &str, ctx: &Ctx) -> (Vec<String>, bool) {
                 // holographic redundancy is the paper's robustness story.
                 return (vec![degraded_reply(&served, &metrics, &row)], false);
             }
+            if ctx.shed.as_ref().is_some_and(|s| s.should_degrade()) {
+                // Adaptive shed: sustained queue pressure demoted traffic
+                // to the degraded tier before the queue can overflow. The
+                // binary path is cheap enough to run inline here.
+                return (vec![degraded_reply(&served, &metrics, &row)], false);
+            }
             let (tx, rx) = sync_channel(1);
+            let now = Instant::now();
             let item = WorkItem {
                 row: row.clone(),
-                enqueued_at: Instant::now(),
+                enqueued_at: now,
+                deadline: ctx.deadline.map(|d| now + d),
                 reply: tx,
             };
-            if !ctx.batcher.enqueue(served.clone(), metrics.clone(), item) {
-                // Queue saturated (the shed is already recorded): degrade
-                // rather than bounce the request.
-                return (vec![degraded_reply(&served, &metrics, &row)], false);
+            match ctx.batcher.enqueue(served.clone(), metrics.clone(), item) {
+                EnqueueResult::Accepted => {}
+                EnqueueResult::Full => {
+                    // Queue saturated (the shed is already recorded):
+                    // explicit admission-control refusal so the client
+                    // knows to back off.
+                    return (vec!["busy".to_string()], false);
+                }
+                EnqueueResult::Stopping => {
+                    return (vec!["draining".to_string()], false);
+                }
             }
             match rx.recv_timeout(ctx.reply_timeout) {
                 Ok(Ok(y)) => (vec![format!("ok {y}")], false),
-                Ok(Err(msg)) => (vec![format!("err {msg}")], false),
+                Ok(Err(WorkError::Expired)) => {
+                    // The deadline passed while the row waited; the
+                    // full-precision answer would arrive too late, but the
+                    // cheap estimate can still go out now.
+                    (vec![degraded_reply(&served, &metrics, &row)], false)
+                }
+                Ok(Err(WorkError::Draining)) => (vec!["draining".to_string()], false),
+                Ok(Err(WorkError::Failed(msg))) => (vec![format!("err {msg}")], false),
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
                     // Timed out, or the worker died mid-batch (killed or
                     // panicked — the reply sender dropped without an
@@ -442,7 +512,8 @@ pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHa
         cfg.workers * 2,
         injector.clone(),
     )?);
-    let batcher = Arc::new(Batcher::new(cfg.batcher.clone(), pool)?);
+    let shed = cfg.shed.clone().map(|c| Arc::new(ShedController::new(c)));
+    let batcher = Arc::new(Batcher::with_shed(cfg.batcher.clone(), pool, shed.clone())?);
     let stop = Arc::new(AtomicBool::new(false));
 
     let ctx = Arc::new(Ctx {
@@ -454,24 +525,49 @@ pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHa
         reply_timeout: cfg.reply_timeout,
         enable_inject: cfg.enable_inject,
         train_status: cfg.train_status.clone(),
+        deadline: cfg.deadline,
+        shed: shed.clone(),
     });
     let read_timeout = cfg.read_timeout;
+    let max_connections = cfg.max_connections;
     let stop_accept = stop.clone();
     let accept_thread = std::thread::Builder::new()
         .name("reghd-accept".to_string())
         .spawn(move || {
+            /// Decrements the live-connection count however the thread
+            /// exits (return or panic).
+            struct ConnGuard(Arc<AtomicUsize>);
+            impl Drop for ConnGuard {
+                fn drop(&mut self) {
+                    self.0.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            let active = Arc::new(AtomicUsize::new(0));
             let mut conns: Vec<JoinHandle<()>> = Vec::new();
             while !stop_accept.load(Ordering::SeqCst) {
                 match listener.accept() {
-                    Ok((stream, _peer)) => {
+                    Ok((mut stream, _peer)) => {
+                        if max_connections > 0 && active.load(Ordering::SeqCst) >= max_connections {
+                            // Over the cap: one explicit `busy` line, then
+                            // close. Cheaper and clearer than accepting a
+                            // connection the server cannot serve.
+                            ctx.hub.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                            let _ = writeln!(stream, "busy");
+                            continue;
+                        }
                         ctx.hub.connections.fetch_add(1, Ordering::Relaxed);
+                        active.fetch_add(1, Ordering::SeqCst);
+                        let guard = ConnGuard(active.clone());
                         let ctx = ctx.clone();
                         let spawned = std::thread::Builder::new()
                             .name("reghd-conn".to_string())
-                            .spawn(move || handle_conn(stream, &ctx, read_timeout));
-                        // On spawn failure (thread exhaustion) the stream
-                        // is simply dropped — the connection closes but
-                        // the server stays alive.
+                            .spawn(move || {
+                                let _guard = guard;
+                                handle_conn(stream, &ctx, read_timeout);
+                            });
+                        // On spawn failure (thread exhaustion) the stream —
+                        // and the guard — are simply dropped: the connection
+                        // closes but the server stays alive.
                         if let Ok(h) = spawned {
                             conns.push(h);
                             conns.retain(|h| !h.is_finished());
@@ -524,6 +620,7 @@ pub fn serve(cfg: ServerConfig, registry: Arc<ModelRegistry>) -> Result<ServerHa
         hub,
         batcher,
         injector,
+        shed,
     })
 }
 
@@ -544,6 +641,12 @@ impl ServerHandle {
         self.injector.clone()
     }
 
+    /// The adaptive shed controller, when [`ServerConfig::shed`] enabled
+    /// one — lets tests and the chaos harness observe tier transitions.
+    pub fn shed(&self) -> Option<Arc<ShedController>> {
+        self.shed.clone()
+    }
+
     /// Gracefully stops the server: no new connections, open connections
     /// joined, queued rows drained through the pool. Returns the final
     /// `stat` lines so callers can log them.
@@ -554,6 +657,11 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Drain the batcher *before* joining connection threads: clients
+        // blocked on a reply then receive an explicit `draining` line
+        // (rows still queued) or their in-flight answer, instead of a
+        // dropped connection.
+        self.batcher.begin_drain();
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
@@ -744,7 +852,159 @@ mod tests {
                 .any(|l| l.starts_with("server ") && l.contains("sweeps=")),
             "{lines:?}"
         );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("tier=full") && l.contains("connections_rejected=0")),
+            "{lines:?}"
+        );
         handle.shutdown();
+    }
+
+    #[test]
+    fn degraded_reply_is_bit_identical_to_direct_degraded_predict() {
+        let (handle, registry) = start_server();
+        let served = registry.get("toy").unwrap();
+        served.corrupt.store(true, Ordering::Relaxed);
+        let row = vec![3.0f32, 4.0];
+        let expect = served.bundle.predict_degraded(&[row]).unwrap()[0];
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        let reply = roundtrip(&mut s, "predict toy 3.0,4.0");
+        assert_eq!(reply, format!("degraded {expect}"));
+        let got: f32 = reply["degraded ".len()..].parse().unwrap();
+        assert_eq!(
+            got.to_bits(),
+            expect.to_bits(),
+            "protocol degraded reply must match predict_degraded bit-for-bit"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_expires_rows_pre_compute_and_degrades() {
+        let registry = toy_registry();
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            deadline: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg, registry).unwrap();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        let reply = roundtrip(&mut s, "predict toy 3.0,4.0");
+        assert!(reply.starts_with("degraded "), "{reply}");
+        let m = handle.metrics().for_model("toy");
+        assert_eq!(m.expired.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            m.ok.load(Ordering::Relaxed),
+            0,
+            "an expired row must never reach the full-precision path"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_rejects_overflow_with_busy() {
+        let registry = toy_registry();
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            read_timeout: Duration::from_secs(5),
+            max_connections: 1,
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg, registry).unwrap();
+        let mut s1 = TcpStream::connect(handle.local_addr()).unwrap();
+        assert_eq!(roundtrip(&mut s1, "health"), "ok");
+
+        // The slot is taken: the next connection gets one `busy` line and
+        // a closed socket.
+        let s2 = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut reader = BufReader::new(s2);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "busy");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "socket must close");
+        assert_eq!(
+            handle
+                .metrics()
+                .connections_rejected
+                .load(Ordering::Relaxed),
+            1
+        );
+
+        // Closing the admitted connection frees the slot again.
+        drop(s1);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut s3 = TcpStream::connect(handle.local_addr()).unwrap();
+            let _ = writeln!(s3, "health");
+            let _ = s3.flush();
+            let mut r = BufReader::new(s3);
+            let mut l = String::new();
+            let _ = r.read_line(&mut l);
+            if l.trim_end() == "ok" {
+                break;
+            }
+            assert!(Instant::now() < deadline, "slot must free after close");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn overload_replies_busy_and_drain_replies_draining() {
+        // One worker pinned on a slow batch, a 2-row queue, and a long
+        // coalescing window: rows 2–3 wait in the queue, row 4 is refused
+        // with `busy`, and shutdown answers the queued rows `draining`.
+        let registry = toy_registry();
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            read_timeout: Duration::from_secs(10),
+            batcher: BatcherConfig {
+                max_batch: 32,
+                max_wait: Duration::from_secs(5),
+                queue_cap: 2,
+            },
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg, registry).unwrap();
+        handle
+            .injector()
+            .set_worker_delay(Duration::from_millis(1500));
+        let addr = handle.local_addr();
+        let client = |row: &'static str| {
+            std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                roundtrip(&mut s, &format!("predict toy {row}"))
+            })
+        };
+        let c1 = client("1.0,2.0");
+        std::thread::sleep(Duration::from_millis(200));
+        let c2 = client("3.0,4.0");
+        let c3 = client("5.0,6.0");
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Queue full (rows 2–3): explicit admission-control refusal.
+        let mut s = TcpStream::connect(addr).unwrap();
+        assert_eq!(roundtrip(&mut s, "predict toy 7.0,8.0"), "busy");
+
+        let hub = handle.metrics();
+        handle.shutdown();
+        let r1 = c1.join().unwrap();
+        assert!(r1.starts_with("ok "), "{r1}");
+        assert_eq!(c2.join().unwrap(), "draining");
+        assert_eq!(c3.join().unwrap(), "draining");
+        let m = hub.for_model("toy");
+        assert_eq!(m.shed.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            m.stopped.load(Ordering::Relaxed),
+            2,
+            "queued rows answered at drain must count as stopped, not shed"
+        );
     }
 
     fn read_until_ok(s: &mut TcpStream, req: &str) -> Vec<String> {

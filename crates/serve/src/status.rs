@@ -25,6 +25,7 @@ pub struct TrainStatus {
     checkpoints: AtomicU64,
     publications: AtomicU64,
     canary_failures: AtomicU64,
+    store_publish_retries: AtomicU64,
     cluster_resets: AtomicU64,
     promotions: AtomicU64,
     shadow_active: AtomicBool,
@@ -64,6 +65,12 @@ impl TrainStatus {
     /// Records a publication refused by the canary replay.
     pub fn record_canary_failure(&self) {
         self.canary_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retried store publication attempt (a transient store
+    /// failure that was re-tried with backoff rather than surfaced).
+    pub fn record_store_publish_retry(&self) {
+        self.store_publish_retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a drift response that reset a cluster/model pair.
@@ -114,6 +121,11 @@ impl TrainStatus {
         self.canary_failures.load(Ordering::Relaxed)
     }
 
+    /// Store publication attempts retried after transient failures.
+    pub fn store_publish_retries(&self) -> u64 {
+        self.store_publish_retries.load(Ordering::Relaxed)
+    }
+
     /// Cluster resets performed in response to drift.
     pub fn cluster_resets(&self) -> u64 {
         self.cluster_resets.load(Ordering::Relaxed)
@@ -139,7 +151,8 @@ impl TrainStatus {
         format!(
             "train samples={} preq_mse={:.6} drift_events={} last_drift={} \
              checkpoints={} publications={} canary_failures={} \
-             cluster_resets={} promotions={} shadow={}",
+             store_publish_retries={} cluster_resets={} promotions={} \
+             shadow={}",
             self.samples(),
             self.prequential_mse(),
             self.drift_events(),
@@ -148,6 +161,7 @@ impl TrainStatus {
             self.checkpoints(),
             self.publications(),
             self.canary_failures(),
+            self.store_publish_retries(),
             self.cluster_resets(),
             self.promotions(),
             u8::from(self.shadow_active()),

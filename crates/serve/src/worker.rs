@@ -26,6 +26,28 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Why a row was answered without a prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkError {
+    /// The row's deadline passed before any model arithmetic ran; it was
+    /// shed pre-compute. The front-end answers through the degraded path.
+    Expired,
+    /// The batcher was draining at shutdown; the row was never dispatched.
+    Draining,
+    /// The model call itself failed (bad row width, etc.).
+    Failed(String),
+}
+
+impl std::fmt::Display for WorkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Expired => write!(f, "deadline expired"),
+            Self::Draining => write!(f, "server draining"),
+            Self::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
 /// One pending prediction row plus its reply channel.
 #[derive(Debug)]
 pub struct WorkItem {
@@ -33,9 +55,20 @@ pub struct WorkItem {
     pub row: Vec<f32>,
     /// When the row entered the queue — start of the latency measurement.
     pub enqueued_at: Instant,
+    /// Answer-by time. A row whose deadline has passed is shed before any
+    /// model arithmetic runs — at drain time in the batcher and again just
+    /// before compute in the worker (`None`: never expires).
+    pub deadline: Option<Instant>,
     /// Where the answer goes. A dropped receiver (client hung up) is fine;
     /// the send error is ignored.
-    pub reply: SyncSender<Result<f32, String>>,
+    pub reply: SyncSender<Result<f32, WorkError>>,
+}
+
+impl WorkItem {
+    /// Whether the row's deadline has already passed.
+    pub fn is_expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
 }
 
 /// A group of rows bound for the same model version.
@@ -65,19 +98,32 @@ pub struct WorkerPool {
 /// reused across every batch the worker serves, so the steady-state hot path
 /// performs no per-request hypervector allocations.
 fn run_batch(batch: Batch, scratch: &mut reghd::PredictScratch) {
-    let rows: Vec<Vec<f32>> = batch.items.iter().map(|i| i.row.clone()).collect();
+    // Last-chance deadline check: a row can expire while its batch sat in
+    // the dispatch channel. Shedding here keeps expired rows from paying
+    // for encode/predict arithmetic nobody is waiting for.
+    let now = Instant::now();
+    let (live, expired): (Vec<WorkItem>, Vec<WorkItem>) =
+        batch.items.into_iter().partition(|i| !i.is_expired(now));
+    for item in expired {
+        batch.metrics.record_expired();
+        let _ = item.reply.send(Err(WorkError::Expired));
+    }
+    if live.is_empty() {
+        return;
+    }
+    let rows: Vec<Vec<f32>> = live.iter().map(|i| i.row.clone()).collect();
     batch.metrics.record_batch(rows.len());
     match batch.model.bundle.predict_with(&rows, scratch) {
         Ok(preds) => {
-            for (item, pred) in batch.items.into_iter().zip(preds) {
+            for (item, pred) in live.into_iter().zip(preds) {
                 batch.metrics.record_ok(item.enqueued_at.elapsed());
                 let _ = item.reply.send(Ok(pred));
             }
         }
         Err(msg) => {
-            for item in batch.items {
+            for item in live {
                 batch.metrics.record_error();
-                let _ = item.reply.send(Err(msg.clone()));
+                let _ = item.reply.send(Err(WorkError::Failed(msg.clone())));
             }
         }
     }
@@ -272,12 +318,13 @@ mod tests {
         (reg, served)
     }
 
-    fn item(row: Vec<f32>) -> (WorkItem, Receiver<Result<f32, String>>) {
+    fn item(row: Vec<f32>) -> (WorkItem, Receiver<Result<f32, WorkError>>) {
         let (tx, rx) = sync_channel(1);
         (
             WorkItem {
                 row,
                 enqueued_at: Instant::now(),
+                deadline: None,
                 reply: tx,
             },
             rx,
@@ -327,7 +374,7 @@ mod tests {
         })
         .unwrap();
         let err = rx.recv().unwrap().unwrap_err();
-        assert!(err.contains("features"), "{err}");
+        assert!(err.to_string().contains("features"), "{err}");
         assert_eq!(metrics.errors.load(Ordering::Relaxed), 1);
     }
 
@@ -349,7 +396,7 @@ mod tests {
         let (_reg, served) = toy_model();
         let metrics = Arc::new(ModelMetrics::default());
         let pool = WorkerPool::new(1, 4).unwrap();
-        let (tx, rx) = sync_channel::<Result<f32, String>>(1);
+        let (tx, rx) = sync_channel::<Result<f32, WorkError>>(1);
         drop(rx); // client hung up before the answer
         pool.submit(Batch {
             model: served.clone(),
@@ -357,6 +404,7 @@ mod tests {
             items: vec![WorkItem {
                 row: vec![1.0, 2.0],
                 enqueued_at: Instant::now(),
+                deadline: None,
                 reply: tx,
             }],
         })
@@ -451,6 +499,39 @@ mod tests {
         })
         .unwrap();
         assert!(rx.recv().unwrap().is_ok());
+    }
+
+    #[test]
+    fn expired_item_inside_assembled_batch_is_shed_pre_compute() {
+        // A row can expire after batch assembly but before compute (e.g.
+        // while the batch sat behind a slow predecessor in the dispatch
+        // channel). It must be answered `Expired` without being predicted,
+        // while live companions in the same batch are served normally.
+        let (_reg, served) = toy_model();
+        let metrics = Arc::new(ModelMetrics::default());
+        let pool = WorkerPool::new(1, 4).unwrap();
+        let (expired_tx, expired_rx) = sync_channel(1);
+        let (live, live_rx) = item(vec![3.0, 4.0]);
+        pool.submit(Batch {
+            model: served,
+            metrics: metrics.clone(),
+            items: vec![
+                WorkItem {
+                    row: vec![1.0, 2.0],
+                    enqueued_at: Instant::now(),
+                    deadline: Some(Instant::now() - Duration::from_millis(1)),
+                    reply: expired_tx,
+                },
+                live,
+            ],
+        })
+        .unwrap();
+        assert_eq!(expired_rx.recv().unwrap(), Err(WorkError::Expired));
+        assert!(live_rx.recv().unwrap().is_ok());
+        assert_eq!(metrics.expired.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.ok.load(Ordering::Relaxed), 1);
+        // Only the live row was counted into (and paid for) the model call.
+        assert_eq!(metrics.batched_rows.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub mod faults;
 pub mod lru;
 pub mod mmap;
 pub mod pack;
 pub mod store;
 
 pub use delta::ModelDelta;
+pub use faults::StoreFaultInjector;
 pub use lru::LruCache;
 pub use mmap::MappedFile;
 pub use pack::{PackLoc, PackSet};

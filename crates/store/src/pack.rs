@@ -24,12 +24,14 @@
 //! Nothing here interprets bundle bytes — integrity is the bundle layer's
 //! lazily verified per-section CRCs, identity is the index log's FNV hash.
 
+use crate::faults::{self, StoreFaultInjector};
 use crate::mmap::MappedFile;
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Location of one blob inside a [`PackSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +84,9 @@ pub struct PackSet {
     packs: HashMap<u32, Pack>,
     active: u32,
     writer: File,
+    /// Chaos-testing seam; `None` (the default) costs nothing on the
+    /// write path beyond an `Option` check.
+    faults: Option<Arc<StoreFaultInjector>>,
 }
 
 fn pack_path(dir: &Path, gen: u32) -> PathBuf {
@@ -153,16 +158,47 @@ impl PackSet {
             packs,
             active,
             writer,
+            faults: None,
         })
     }
 
+    /// Attaches a fault injector consulted by every write-path operation
+    /// (see [`crate::faults`]). Reads are never faulted here — read-side
+    /// corruption is the bundle layer's CRC territory.
+    pub fn set_faults(&mut self, faults: Option<Arc<StoreFaultInjector>>) {
+        self.faults = faults;
+    }
+
+    /// The attached fault injector, if any — shared with the index-log
+    /// helpers so one seam covers the whole write path.
+    pub fn faults(&self) -> Option<&StoreFaultInjector> {
+        self.faults.as_deref()
+    }
+
     /// Appends a blob to the active generation and returns its location.
+    ///
+    /// An injected ENOSPC fails before any byte lands; an injected short
+    /// write persists a prefix of the blob and then fails, advancing the
+    /// tracked pack length by exactly the bytes written so later appends
+    /// (and the orphaned prefix) stay addressable and non-overlapping.
     pub fn append(&mut self, bytes: &[u8]) -> io::Result<PackLoc> {
         let pack = self
             .packs
             .get_mut(&self.active)
             .expect("active pack is always open");
         let offset = pack.len;
+        if let Some(f) = &self.faults {
+            if f.take_enospc_append() {
+                return Err(faults::enospc_error());
+            }
+            if f.take_short_write() {
+                let wrote = bytes.len() / 2;
+                self.writer.write_all(&bytes[..wrote])?;
+                self.writer.flush()?;
+                pack.len += wrote as u64;
+                return Err(faults::short_write_error(wrote, bytes.len()));
+            }
+        }
         self.writer.write_all(bytes)?;
         self.writer.flush()?;
         pack.len += bytes.len() as u64;
@@ -178,6 +214,11 @@ impl PackSet {
     /// power failure can lose a blob-without-record (harmless) but never
     /// commit a record-without-blob.
     pub fn sync_active(&self) -> io::Result<()> {
+        if let Some(f) = &self.faults {
+            if f.take_fsync_failure() {
+                return Err(faults::fsync_error());
+            }
+        }
         self.writer.sync_data()
     }
 
@@ -353,7 +394,22 @@ pub fn read_index_log(dir: &Path) -> io::Result<(Vec<LogRecord>, bool)> {
 /// Appends one record to `index.log` (newline-delimited, fsynced). The
 /// blob the record points at must already be synced — see
 /// [`PackSet::sync_active`].
-pub fn append_index_log(dir: &Path, rec: &LogRecord) -> io::Result<()> {
+///
+/// An injected fsync failure fires **before** the record bytes are
+/// written: after a real failed fsync the caller must assume the record
+/// was lost, so the injection models the conservative (and recoverable)
+/// reading — on-disk state and the caller's restored in-memory state
+/// agree that the record never landed.
+pub fn append_index_log(
+    dir: &Path,
+    rec: &LogRecord,
+    faults: Option<&StoreFaultInjector>,
+) -> io::Result<()> {
+    if let Some(f) = faults {
+        if f.take_fsync_failure() {
+            return Err(faults::fsync_error());
+        }
+    }
     let mut f = OpenOptions::new()
         .create(true)
         .append(true)
@@ -365,7 +421,15 @@ pub fn append_index_log(dir: &Path, rec: &LogRecord) -> io::Result<()> {
 
 /// Atomically replaces `index.log` with `records` (write temp, rename) —
 /// compaction's commit point.
-pub fn rewrite_index_log(dir: &Path, records: &[LogRecord]) -> io::Result<()> {
+///
+/// An injected torn rename "crashes" after the temp file is written and
+/// synced but before the rename commits: the previous `index.log` stays
+/// authoritative, exactly the crash window the rename scheme defends.
+pub fn rewrite_index_log(
+    dir: &Path,
+    records: &[LogRecord],
+    faults: Option<&StoreFaultInjector>,
+) -> io::Result<()> {
     let tmp = dir.join("index.log.tmp");
     {
         let mut f = File::create(&tmp)?;
@@ -374,6 +438,11 @@ pub fn rewrite_index_log(dir: &Path, records: &[LogRecord]) -> io::Result<()> {
             f.write_all(b"\n")?;
         }
         f.sync_all()?;
+    }
+    if let Some(f) = faults {
+        if f.take_torn_rename() {
+            return Err(faults::torn_rename_error());
+        }
     }
     std::fs::rename(&tmp, log_path(dir))?;
     // Persist the rename itself; without this a power loss can revive the
@@ -477,8 +546,8 @@ mod tests {
         let rb = LogRecord::Rollback {
             key: "user-1".into(),
         };
-        append_index_log(&dir, &put).unwrap();
-        append_index_log(&dir, &rb).unwrap();
+        append_index_log(&dir, &put, None).unwrap();
+        append_index_log(&dir, &rb, None).unwrap();
         let (recs, torn) = read_index_log(&dir).unwrap();
         assert_eq!(recs, vec![put.clone(), rb.clone()]);
         assert!(!torn);
@@ -494,10 +563,94 @@ mod tests {
         assert!(torn);
 
         // Compaction rewrite drops the torn tail for good.
-        rewrite_index_log(&dir, &recs).unwrap();
+        rewrite_index_log(&dir, &recs, None).unwrap();
         let (recs2, torn2) = read_index_log(&dir).unwrap();
         assert_eq!(recs2, recs);
         assert!(!torn2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_enospc_append_writes_nothing() {
+        let dir = tmpdir("fault_enospc");
+        let mut ps = PackSet::open(&dir).unwrap();
+        let inj = Arc::new(StoreFaultInjector::new());
+        ps.set_faults(Some(inj.clone()));
+        inj.arm_enospc_appends(1);
+        let err = ps.append(b"doomed").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(ps.total_bytes(), 0);
+        // The very next append succeeds at offset 0.
+        let loc = ps.append(b"fine").unwrap();
+        assert_eq!(loc.offset, 0);
+        assert_eq!(&*ps.read(loc).unwrap(), b"fine");
+        assert_eq!(inj.injected(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_short_write_advances_len_by_bytes_written() {
+        let dir = tmpdir("fault_short");
+        let mut ps = PackSet::open(&dir).unwrap();
+        let inj = Arc::new(StoreFaultInjector::new());
+        ps.set_faults(Some(inj.clone()));
+        inj.arm_short_writes(1);
+        let err = ps.append(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        // Half the blob landed; the orphaned prefix stays addressable.
+        assert_eq!(ps.total_bytes(), 5);
+        // A follow-up append must not overlap the torn prefix...
+        let loc = ps.append(b"next").unwrap();
+        assert_eq!(loc.offset, 5);
+        assert_eq!(&*ps.read(loc).unwrap(), b"next");
+        // ...and the file length agrees with the tracked length, so a
+        // reopen sees the same layout.
+        drop(ps);
+        let ps = PackSet::open(&dir).unwrap();
+        assert_eq!(ps.total_bytes(), 9);
+        assert_eq!(&*ps.read(loc).unwrap(), b"next");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_fsync_failure_fails_sync_and_log_append() {
+        let dir = tmpdir("fault_fsync");
+        let mut ps = PackSet::open(&dir).unwrap();
+        let inj = Arc::new(StoreFaultInjector::new());
+        ps.set_faults(Some(inj.clone()));
+        inj.arm_fsync_failures(2);
+        assert!(ps.sync_active().is_err());
+        let rec = LogRecord::Rollback { key: "k".into() };
+        assert!(append_index_log(&dir, &rec, Some(&inj)).is_err());
+        // The failed log append left no record behind.
+        let (recs, torn) = read_index_log(&dir).unwrap();
+        assert!(recs.is_empty());
+        assert!(!torn);
+        // Fully consumed: both paths work again.
+        ps.sync_active().unwrap();
+        append_index_log(&dir, &rec, Some(&inj)).unwrap();
+        assert_eq!(read_index_log(&dir).unwrap().0.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_torn_rename_keeps_old_log_authoritative() {
+        let dir = tmpdir("fault_torn_rename");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = LogRecord::Rollback { key: "old".into() };
+        append_index_log(&dir, &old, None).unwrap();
+        let inj = StoreFaultInjector::new();
+        inj.arm_torn_renames(1);
+        let new = vec![LogRecord::Rollback { key: "new".into() }];
+        assert!(rewrite_index_log(&dir, &new, Some(&inj)).is_err());
+        // The crash window: temp written, rename lost, old log intact.
+        let (recs, _) = read_index_log(&dir).unwrap();
+        assert_eq!(recs, vec![old]);
+        assert!(dir.join("index.log.tmp").exists());
+        // Retried rewrite commits and the temp is consumed by the rename.
+        rewrite_index_log(&dir, &new, Some(&inj)).unwrap();
+        assert_eq!(read_index_log(&dir).unwrap().0, new);
+        assert!(!dir.join("index.log.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

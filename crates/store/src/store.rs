@@ -27,6 +27,7 @@
 //! full publishes.
 
 use crate::delta::ModelDelta;
+use crate::faults::StoreFaultInjector;
 use crate::lru::LruCache;
 use crate::pack::{self, LogRecord, PackLoc, PackSet};
 use crate::{fnv1a, StoreError};
@@ -203,7 +204,7 @@ impl ModelStore {
                 // appending after the partial record would fuse the two
                 // into one unparseable line and silently drop every
                 // later record on the next replay.
-                pack::rewrite_index_log(&dir, &records)?;
+                pack::rewrite_index_log(&dir, &records, None)?;
             }
             let mut index: HashMap<String, KeyState> = HashMap::new();
             for rec in records {
@@ -250,6 +251,19 @@ impl ModelStore {
             publishes: AtomicU64::new(0),
             delta_publishes: AtomicU64::new(0),
         })
+    }
+
+    /// Attaches (or detaches, with `None`) a write-path fault injector to
+    /// every shard — the chaos-testing seam (see [`crate::faults`]). Reads
+    /// are never faulted; injected failures surface as [`StoreError::Io`]
+    /// from publishes, audits, and compaction, and the store's in-memory
+    /// index is restored to the pre-operation state whenever durability
+    /// fails, so a faulted publish is simply *absent* rather than
+    /// half-visible.
+    pub fn attach_faults(&self, faults: Option<Arc<StoreFaultInjector>>) {
+        for shard in &self.shards {
+            lock_shard(shard).packs.set_faults(faults.clone());
+        }
     }
 
     /// Counts contiguous `shard-<i>` directories under `root` (the layout
@@ -304,6 +318,7 @@ impl ModelStore {
                     &LogRecord::Rollback {
                         key: key.to_string(),
                     },
+                    shard.packs.faults(),
                 )?;
                 self.rollbacks.fetch_add(1, Ordering::Relaxed);
                 self.decode_into_hot(&mut shard, key, lg)
@@ -384,29 +399,42 @@ impl ModelStore {
             shard.packs.remap_active()?;
             shard.appended_since_remap = 0;
         }
-        let version = shard
-            .index
-            .get(key)
-            .map(|s| s.current.version + 1)
-            .unwrap_or(1);
+        let prev = shard.index.get(key).copied();
+        let version = prev.map(|s| s.current.version + 1).unwrap_or(1);
         let hash = fnv1a(bytes);
         let image = ImageRef { version, loc, hash };
         let state = KeyState {
             current: image,
-            last_good: shard.index.get(key).map(|s| s.current),
+            last_good: prev.map(|s| s.current),
         };
         shard.index.insert(key.to_string(), state);
         // Blob bytes must be durable before the record pointing at them.
-        shard.packs.sync_active()?;
-        pack::append_index_log(
-            &shard.dir,
-            &LogRecord::Put {
-                key: key.to_string(),
-                loc,
-                hash,
-                version,
-            },
-        )?;
+        let durable = shard
+            .packs
+            .sync_active()
+            .and_then(|()| {
+                pack::append_index_log(
+                    &shard.dir,
+                    &LogRecord::Put {
+                        key: key.to_string(),
+                        loc,
+                        hash,
+                        version,
+                    },
+                    shard.packs.faults(),
+                )
+            })
+            .map_err(StoreError::Io);
+        if let Err(e) = durable {
+            // The record never landed, so a reopen replays the *previous*
+            // state; restore the in-memory index to match — a failed
+            // publish must be absent, not half-visible until restart.
+            match prev {
+                Some(p) => shard.index.insert(key.to_string(), p),
+                None => shard.index.remove(key),
+            };
+            return Err(e);
+        }
         // The old decode (if hot) keeps serving for whoever pinned its
         // Arc; later gets decode the new image.
         shard.hot.remove(key);
@@ -460,6 +488,7 @@ impl ModelStore {
                         &LogRecord::Rollback {
                             key: key.to_string(),
                         },
+                        shard.packs.faults(),
                     )?;
                     shard.hot.remove(key);
                     self.rollbacks.fetch_add(1, Ordering::Relaxed);
@@ -548,7 +577,7 @@ impl ModelStore {
             // Rewritten blobs must hit disk before the log rename commits
             // references to them.
             s.packs.sync_active()?;
-            pack::rewrite_index_log(&s.dir, &records)?;
+            pack::rewrite_index_log(&s.dir, &records, s.packs.faults())?;
             s.packs.retire_except(&[gen])?;
             s.packs.remap_active()?;
             s.appended_since_remap = 0;
@@ -594,8 +623,16 @@ impl ModelStore {
 }
 
 impl ModelResolver for ModelStore {
-    fn resolve(&self, key: &str) -> Option<Arc<ServedModel>> {
-        self.get(key).ok()
+    fn resolve(&self, key: &str) -> Result<Option<Arc<ServedModel>>, String> {
+        match self.get(key) {
+            Ok(served) => Ok(Some(served)),
+            // Authoritative answers — retrying cannot change them: the key
+            // is absent, or its image is corrupt with no fallback.
+            Err(StoreError::NotFound(_) | StoreError::Corrupt(_)) => Ok(None),
+            // Everything else (I/O, injected faults) is transient: the
+            // registry's retry/breaker layer decides what happens next.
+            Err(e) => Err(e.to_string()),
+        }
     }
 
     fn hot_models(&self) -> Vec<ModelMeta> {
@@ -1016,9 +1053,119 @@ mod tests {
             .map(|m| m.name.clone())
             .collect();
         assert_eq!(names, ["m0", "m1", "m2"]);
-        assert!(resolver.resolve("m1").is_some());
-        assert!(resolver.resolve("absent").is_none());
+        assert!(resolver.resolve("m1").unwrap().is_some());
+        assert!(resolver.resolve("absent").unwrap().is_none());
         assert!(resolver.stats_line().contains("keys=3"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn faulted_publish_is_absent_not_half_visible() {
+        use crate::faults::StoreFaultInjector;
+        let root = tmp_root("faulted_publish");
+        let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+        let v1 = bundle(95).to_bytes().unwrap();
+        let v2 = bundle(96).to_bytes().unwrap();
+        store.publish_full("u", &v1).unwrap();
+
+        let inj = Arc::new(StoreFaultInjector::new());
+        store.attach_faults(Some(inj.clone()));
+
+        // ENOSPC on the blob append: the publish fails before the index is
+        // touched and the key still serves v1.
+        inj.arm_enospc_appends(1);
+        assert!(matches!(
+            store.publish_full("u", &v2),
+            Err(StoreError::Io(_))
+        ));
+        assert_eq!(store.get("u").unwrap().meta.version, 1);
+
+        // Fsync failure *after* the in-memory index was updated: the
+        // restore path must roll the map back so the failed publish is
+        // absent, not visible-until-restart.
+        inj.arm_fsync_failures(1);
+        assert!(matches!(
+            store.publish_full("u", &v2),
+            Err(StoreError::Io(_))
+        ));
+        assert_eq!(store.get("u").unwrap().meta.version, 1);
+        assert_eq!(store.get("u").unwrap().meta.bytes, v1.len());
+
+        // A brand-new key under the same fault must not linger either.
+        inj.arm_fsync_failures(1);
+        assert!(store.publish_full("fresh", &v2).is_err());
+        assert!(matches!(store.get("fresh"), Err(StoreError::NotFound(_))));
+
+        // On-disk state agrees with the restored in-memory state.
+        drop(store);
+        let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("u").unwrap().meta.version, 1);
+        assert_eq!(inj.injected(), 3);
+
+        // With faults drained, publishing works again and versions resume
+        // from the durable state.
+        store.attach_faults(Some(inj.clone()));
+        let meta = store.publish_full("u", &v2).unwrap();
+        assert_eq!(meta.version, 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn short_write_fails_publish_and_later_publishes_stay_readable() {
+        use crate::faults::StoreFaultInjector;
+        let root = tmp_root("short_write_publish");
+        let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+        let v1 = bundle(97).to_bytes().unwrap();
+        let inj = Arc::new(StoreFaultInjector::new());
+        store.attach_faults(Some(inj.clone()));
+
+        // The torn blob fails its publish cleanly...
+        inj.arm_short_writes(1);
+        assert!(matches!(
+            store.publish_full("u", &v1),
+            Err(StoreError::Io(_))
+        ));
+        assert!(matches!(store.get("u"), Err(StoreError::NotFound(_))));
+
+        // ...and the orphaned prefix never corrupts later publishes, whose
+        // offsets account for the bytes that did land.
+        store.publish_full("u", &v1).unwrap();
+        assert_eq!(store.get("u").unwrap().meta.bytes, v1.len());
+        drop(store);
+        let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+        assert_eq!(store.get("u").unwrap().meta.bytes, v1.len());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn resolver_maps_store_errors_onto_retry_semantics() {
+        use std::io::Write;
+        let root = tmp_root("resolver_semantics");
+        let v1 = bundle(98).to_bytes().unwrap();
+        {
+            let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+            store.publish_full("u", &v1).unwrap();
+        }
+        // Forge a key whose image lives in a pack generation that is not
+        // on disk: reads of it fail with Io — transient infrastructure
+        // failure, not an authoritative answer about the key.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(root.join("shard-0").join("index.log"))
+            .unwrap();
+        writeln!(f, "put flaky 9 0 {} {:016x} 1", v1.len(), fnv1a(&v1)).unwrap();
+        drop(f);
+
+        let store = ModelStore::open(&root, one_shard(64 << 20)).unwrap();
+        let resolver: &dyn ModelResolver = &store;
+        // Found and authoritative-miss answers pass through as Ok.
+        assert!(resolver.resolve("u").unwrap().is_some());
+        assert!(resolver.resolve("ghost").unwrap().is_none());
+        // A transient read failure surfaces as Err so the registry's
+        // retry/breaker layer takes over.
+        let err = resolver.resolve("flaky").unwrap_err();
+        assert!(err.contains("io error"), "{err}");
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -47,6 +47,13 @@ use std::sync::Arc;
 /// checkpoint's bundle.
 const CANARY_WINDOW: usize = 64;
 
+/// Total attempts (first try + retries) for a full store publication hit
+/// by a transient I/O failure.
+const STORE_PUBLISH_ATTEMPTS: usize = 3;
+
+/// Backoff before the first store-publish retry; doubles per retry.
+const STORE_PUBLISH_BACKOFF: std::time::Duration = std::time::Duration::from_micros(500);
+
 /// How the pipeline responds to a detected drift.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DriftAction {
@@ -164,6 +171,9 @@ pub struct TrainReport {
     /// Store publications that shipped as a sparse delta instead of the
     /// full bundle (always `<= store_publications`).
     pub store_delta_publications: u64,
+    /// Store publication attempts retried after transient I/O failures
+    /// (each retry backs off exponentially before re-trying).
+    pub store_publish_retries: u64,
     /// Cluster resets performed ([`DriftAction::ResetWorstCluster`]).
     pub cluster_resets: u64,
     /// Shadow models promoted ([`DriftAction::ShadowPromote`]).
@@ -302,6 +312,12 @@ impl Trainer {
     /// The model being trained (inspection in tests).
     pub fn model(&self) -> &OnlineRegHd {
         &self.model
+    }
+
+    /// The running report. [`Trainer::run`] returns a clone of this on
+    /// success; the accessor exposes counters even after a failed run.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
     }
 
     /// Consumes samples from `source` until it ends or
@@ -490,6 +506,11 @@ impl Trainer {
     /// Publishes checkpoint `bytes` into the attached store: a sparse
     /// delta against the last published image when possible, the full
     /// bundle otherwise. Canary refusals are counted, not fatal.
+    /// Transient I/O failures of the full publish are retried up to
+    /// [`STORE_PUBLISH_ATTEMPTS`] times with exponential backoff (a
+    /// checkpoint is too expensive to drop over a blip the store already
+    /// rolled back cleanly); only an exhausted retry budget surfaces the
+    /// error.
     fn publish_to_store(&mut self, bytes: &[u8]) -> Result<(), String> {
         let target = self.store_publish.as_ref().expect("checked by caller");
         let mut published = None;
@@ -502,14 +523,25 @@ impl Trainer {
             }
         }
         if published.is_none() {
-            published = match target.store.publish_full(&target.key, bytes) {
-                Ok(meta) => Some(meta),
-                Err(reghd_store::StoreError::Canary(_)) => {
-                    self.report.canary_failures += 1;
-                    self.status.record_canary_failure();
-                    return Ok(());
+            let mut delay = STORE_PUBLISH_BACKOFF;
+            let mut attempt = 0;
+            published = loop {
+                match target.store.publish_full(&target.key, bytes) {
+                    Ok(meta) => break Some(meta),
+                    Err(reghd_store::StoreError::Canary(_)) => {
+                        self.report.canary_failures += 1;
+                        self.status.record_canary_failure();
+                        return Ok(());
+                    }
+                    Err(reghd_store::StoreError::Io(_)) if attempt + 1 < STORE_PUBLISH_ATTEMPTS => {
+                        attempt += 1;
+                        self.report.store_publish_retries += 1;
+                        self.status.record_store_publish_retry();
+                        std::thread::sleep(delay);
+                        delay = delay.checked_mul(2).unwrap_or(delay);
+                    }
+                    Err(e) => return Err(format!("store publish failed: {e}")),
                 }
-                Err(e) => return Err(format!("store publish failed: {e}")),
             };
         }
         if let Some(meta) = published {
@@ -740,6 +772,56 @@ mod tests {
         // The store image is bit-identical to the registry publication:
         // same artefact hash for the same checkpoint.
         assert_eq!(served.meta.hash, registry.get("stream").unwrap().meta.hash);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_publish_retries_transient_faults_and_surfaces_exhaustion() {
+        use reghd_store::{ModelStore, StoreConfig, StoreFaultInjector};
+        let dir = std::env::temp_dir().join("reghd_train_store_retry_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ModelStore::open(&dir, StoreConfig::default()).unwrap());
+        let faults = Arc::new(StoreFaultInjector::new());
+        store.attach_faults(Some(faults.clone()));
+
+        // One injected ENOSPC: the first publish attempt fails, the retry
+        // lands, and the checkpoint is not lost.
+        faults.arm_enospc_appends(1);
+        let mut src = drift_source(DriftKind::Abrupt, 1_000_000, 10);
+        let cfg = TrainerConfig {
+            max_samples: Some(100),
+            checkpoint_every: Some(100),
+            ..small_cfg()
+        };
+        let mut t = Trainer::new(cfg, 3).with_store_publish(StoreTarget {
+            store: store.clone(),
+            key: "retry".to_string(),
+        });
+        let report = t.run(&mut src).unwrap();
+        assert_eq!(report.store_publications, 1);
+        assert_eq!(report.store_publish_retries, 1);
+        assert_eq!(t.status().store_publish_retries(), 1);
+        assert!(t.status().summary().contains("store_publish_retries=1"));
+        assert_eq!(store.get("retry").unwrap().meta.version, 1);
+
+        // Enough faults to exhaust every attempt: the failure surfaces.
+        faults.arm_enospc_appends(STORE_PUBLISH_ATTEMPTS);
+        let mut src = drift_source(DriftKind::Abrupt, 1_000_000, 11);
+        let cfg = TrainerConfig {
+            max_samples: Some(100),
+            checkpoint_every: Some(100),
+            ..small_cfg()
+        };
+        let mut t = Trainer::new(cfg, 3).with_store_publish(StoreTarget {
+            store: store.clone(),
+            key: "exhausted".to_string(),
+        });
+        let err = t.run(&mut src).expect_err("retry budget must be finite");
+        assert!(err.contains("store publish failed"), "err: {err}");
+        assert_eq!(
+            t.report().store_publish_retries,
+            STORE_PUBLISH_ATTEMPTS as u64 - 1
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
