@@ -75,7 +75,7 @@ fn bench_worker_pool(model: &Arc<ServedModel>, rows: &[Vec<f32>]) -> f64 {
                 row: row.clone(),
                 enqueued_at: Instant::now(),
                 deadline: None,
-                reply: tx,
+                reply: tx.into(),
             }],
         })
         .expect("submit");
@@ -111,7 +111,7 @@ fn bench_micro_batched(model: &Arc<ServedModel>, rows: &[Vec<f32>], max_batch: u
                 row: row.clone(),
                 enqueued_at: Instant::now(),
                 deadline: None,
-                reply: tx,
+                reply: tx.into(),
             },
         );
         assert!(

@@ -25,17 +25,24 @@
 //!    back cleanly instead of leaving torn state.
 //!
 //! ```text
-//! cargo run -p reghd-bench --release --bin chaos [-- --test | --duration-secs N]
+//! cargo run -p reghd-bench --release --bin chaos \
+//!     [-- --test | --duration-secs N] [--proto line|rgnp]
 //! ```
 //!
-//! `--test` runs a short CI-sized soak (~3 s); the default is 15 s. The
-//! summary is written to `results/chaos.json`; the process exits non-zero
-//! if any invariant above is violated, so CI can gate on the exit code.
+//! `--test` runs a short CI-sized soak (~3 s); the default is 15 s.
+//! `--proto rgnp` runs the identical storm against the binary RGNP
+//! front-end (`reghd-net`) instead of the legacy line protocol — same
+//! invariants, same gates, so both serving paths carry the survivability
+//! contract. The summary is written to `results/chaos.json`; the process
+//! exits non-zero if any invariant above is violated, so CI can gate on
+//! the exit code.
 
 use reghd_bench::report::banner;
+use reghd_net::client::PredictReply;
+use reghd_net::{serve_rgnp, NetConfig, NetServerHandle, RgnpClient};
 use reghd_serve::registry::ModelRegistry;
 use reghd_serve::server::{serve, ServerConfig, ServerHandle};
-use reghd_serve::{bundle, BatcherConfig, ShedConfig};
+use reghd_serve::{bundle, BatcherConfig, FaultInjector, ShedConfig};
 use reghd_store::{ModelStore, StoreConfig, StoreFaultInjector};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -48,37 +55,68 @@ const STORE_KEYS: usize = 8;
 const SOAK_CLIENTS: usize = 16;
 const OVERLOAD_FACTOR: f64 = 2.0;
 
+/// Which serving front-end the storm targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    Line,
+    Rgnp,
+}
+
+impl Proto {
+    fn name(self) -> &'static str {
+        match self {
+            Proto::Line => "line",
+            Proto::Rgnp => "rgnp",
+        }
+    }
+}
+
 struct Args {
     soak: Duration,
     baseline: Duration,
+    proto: Proto,
 }
 
 fn parse_args() -> Args {
+    let mut args = Args {
+        soak: Duration::from_secs(15),
+        baseline: Duration::from_secs(2),
+        proto: Proto::Line,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match argv.as_slice() {
-        [] => Args {
-            soak: Duration::from_secs(15),
-            baseline: Duration::from_secs(2),
-        },
-        [flag] if flag == "--test" => Args {
-            soak: Duration::from_secs(3),
-            baseline: Duration::from_secs(1),
-        },
-        [flag, value] if flag == "--duration-secs" => {
-            let secs: u64 = value.parse().unwrap_or_else(|_| {
-                eprintln!("invalid value for --duration-secs: {value}");
-                std::process::exit(2);
-            });
-            Args {
-                soak: Duration::from_secs(secs.max(1)),
-                baseline: Duration::from_secs(2),
+    let mut i = 0;
+    let usage = || -> ! {
+        eprintln!("usage: chaos [--test | --duration-secs N] [--proto line|rgnp]");
+        std::process::exit(2);
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--test" => {
+                args.soak = Duration::from_secs(3);
+                args.baseline = Duration::from_secs(1);
             }
+            "--duration-secs" => {
+                i += 1;
+                let value = argv.get(i).unwrap_or_else(|| usage());
+                let secs: u64 = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value for --duration-secs: {value}");
+                    std::process::exit(2);
+                });
+                args.soak = Duration::from_secs(secs.max(1));
+            }
+            "--proto" => {
+                i += 1;
+                args.proto = match argv.get(i).map(String::as_str) {
+                    Some("line") => Proto::Line,
+                    Some("rgnp") => Proto::Rgnp,
+                    _ => usage(),
+                };
+            }
+            _ => usage(),
         }
-        _ => {
-            eprintln!("usage: chaos [--test | --duration-secs N]");
-            std::process::exit(2);
-        }
+        i += 1;
     }
+    args
 }
 
 fn toy_dataset() -> datasets::Dataset {
@@ -124,6 +162,102 @@ impl Client {
         match self.reader.read_line(&mut reply) {
             Ok(n) if n > 0 => Some(reply.trim_end().to_string()),
             _ => None,
+        }
+    }
+}
+
+/// Protocol-switchable client: RGNP replies are rendered back into the
+/// line protocol's reply strings, so every tally/bit-identity check below
+/// is shared verbatim between the two front-ends (f32's `Display` is
+/// shortest-roundtrip, so the string compare stays bit-exact).
+enum ChaosClient {
+    Line(Client),
+    Rgnp(Box<RgnpClient>),
+}
+
+impl ChaosClient {
+    fn connect(addr: SocketAddr, proto: Proto) -> std::io::Result<Self> {
+        match proto {
+            Proto::Line => Client::connect(addr).map(ChaosClient::Line),
+            Proto::Rgnp => {
+                let mut c = RgnpClient::connect(&addr.to_string())?;
+                c.set_timeout(Some(Duration::from_secs(5)))?;
+                Ok(ChaosClient::Rgnp(Box::new(c)))
+            }
+        }
+    }
+
+    /// One predict round trip, normalised to the line protocol's reply
+    /// grammar; `None` on transport failure.
+    fn predict(&mut self, model: &str, row: &[f32]) -> Option<String> {
+        match self {
+            ChaosClient::Line(c) => c.request(&format!("predict {model} {}", row_to_csv(row))),
+            ChaosClient::Rgnp(c) => match c.predict(model, row) {
+                Ok(PredictReply::Ok(y)) => Some(format!("ok {y}")),
+                Ok(PredictReply::Degraded(y)) => Some(format!("degraded {y}")),
+                Ok(PredictReply::Busy) => Some("busy".to_string()),
+                Ok(PredictReply::Draining) => Some("draining".to_string()),
+                Ok(PredictReply::Err(m)) => Some(format!("err {m}")),
+                Err(_) => None,
+            },
+        }
+    }
+
+    /// Server-side counters, one `name=value` line per stat family. The
+    /// RGNP stats payload is byte-identical to the line protocol's body
+    /// (both render through `render_stats`), minus the `ok` terminator.
+    fn stats_lines(&mut self) -> Vec<String> {
+        match self {
+            ChaosClient::Line(c) => {
+                writeln!(c.writer, "stats").expect("stats write");
+                c.writer.flush().expect("stats flush");
+                let mut lines = Vec::new();
+                loop {
+                    let mut line = String::new();
+                    c.reader.read_line(&mut line).expect("stats read");
+                    let line = line.trim_end().to_string();
+                    let done = line == "ok";
+                    lines.push(line);
+                    if done {
+                        return lines;
+                    }
+                }
+            }
+            ChaosClient::Rgnp(c) => c
+                .stats()
+                .expect("stats request")
+                .lines()
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+}
+
+/// Protocol-switchable server handle.
+enum ChaosServer {
+    Line(ServerHandle),
+    Rgnp(NetServerHandle),
+}
+
+impl ChaosServer {
+    fn local_addr(&self) -> SocketAddr {
+        match self {
+            ChaosServer::Line(h) => h.local_addr(),
+            ChaosServer::Rgnp(h) => h.local_addr(),
+        }
+    }
+
+    fn injector(&self) -> Arc<FaultInjector> {
+        match self {
+            ChaosServer::Line(h) => h.injector(),
+            ChaosServer::Rgnp(h) => h.injector(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            ChaosServer::Line(h) => drop(h.shutdown()),
+            ChaosServer::Rgnp(h) => drop(h.shutdown()),
         }
     }
 }
@@ -197,7 +331,13 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
 /// Closed-loop baseline: `n` clients hammer full-precision predicts for
 /// `dur`; returns achieved requests/second (the capacity estimate the
 /// overload factor multiplies).
-fn measure_capacity(addr: SocketAddr, rows: &[Vec<f32>], n: usize, dur: Duration) -> f64 {
+fn measure_capacity(
+    addr: SocketAddr,
+    proto: Proto,
+    rows: &[Vec<f32>],
+    n: usize,
+    dur: Duration,
+) -> f64 {
     let done = Arc::new(AtomicBool::new(false));
     let total = Arc::new(AtomicU64::new(0));
     let handles: Vec<_> = (0..n)
@@ -206,15 +346,12 @@ fn measure_capacity(addr: SocketAddr, rows: &[Vec<f32>], n: usize, dur: Duration
             let done = done.clone();
             let total = total.clone();
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("baseline connect");
+                let mut client = ChaosClient::connect(addr, proto).expect("baseline connect");
                 let mut i = c;
                 while !done.load(Ordering::Relaxed) {
                     let row = &rows[i % rows.len()];
                     i += 1;
-                    if client
-                        .request(&format!("predict toy {}", row_to_csv(row)))
-                        .is_some()
-                    {
+                    if client.predict("toy", row).is_some() {
                         total.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -235,6 +372,7 @@ fn measure_capacity(addr: SocketAddr, rows: &[Vec<f32>], n: usize, dur: Duration
 #[allow(clippy::too_many_arguments)]
 fn soak_client(
     addr: SocketAddr,
+    proto: Proto,
     rows: Vec<Vec<f32>>,
     expected_degraded: Vec<String>,
     interval: Duration,
@@ -242,7 +380,7 @@ fn soak_client(
     client_id: usize,
 ) -> Tally {
     let mut tally = Tally::default();
-    let mut client = match Client::connect(addr) {
+    let mut client = match ChaosClient::connect(addr, proto) {
         Ok(c) => c,
         Err(_) => {
             // Connection-cap refusal at connect time: treat the whole
@@ -269,24 +407,21 @@ fn soak_client(
         }
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
         let idx = (state >> 33) as usize % rows.len();
-        let (line, check_idx) = if n % 8 == 7 {
+        let (model, check_idx) = if n % 8 == 7 {
             // Store-backed key: exercises the registry resolver (retry +
             // circuit breaker) against the faulted store.
             let key = (state >> 17) as usize % STORE_KEYS;
-            (
-                format!("predict u{key} {}", row_to_csv(&rows[idx])),
-                usize::MAX,
-            )
+            (format!("u{key}"), usize::MAX)
         } else {
-            (format!("predict toy {}", row_to_csv(&rows[idx])), idx)
+            ("toy".to_string(), idx)
         };
         let t0 = Instant::now();
-        let reply = client.request(&line);
+        let reply = client.predict(&model, &rows[idx]);
         let us = t0.elapsed().as_micros() as u64;
         let reconnect = reply.is_none();
         tally.observe(reply.as_deref(), us, check_idx, &expected_degraded);
         if reconnect {
-            match Client::connect(addr) {
+            match ChaosClient::connect(addr, proto) {
                 Ok(c) => client = c,
                 Err(_) => break,
             }
@@ -303,7 +438,7 @@ fn soak_client(
 fn fault_storm(
     store: &ModelStore,
     faults: &StoreFaultInjector,
-    handle: &ServerHandle,
+    injector: &FaultInjector,
     image: &[u8],
     end: Instant,
     publish_ok: &AtomicU64,
@@ -342,24 +477,22 @@ fn fault_storm(
             // Deadline spike: a long worker stall while load keeps
             // arriving, so queued rows age past the deadline and must be
             // shed pre-compute (the `expired` counter).
-            handle
-                .injector()
-                .set_worker_delay(Duration::from_millis(50));
+            injector.set_worker_delay(Duration::from_millis(50));
             spiked = true;
         } else if spiked && now >= spike_until {
-            handle.injector().clear();
+            injector.clear();
             spiked = false;
         } else if !spiked && tick % 5 == 4 {
             // Background jitter: brief mild stalls to keep the shed
             // controller honest.
-            handle.injector().set_worker_delay(Duration::from_millis(2));
+            injector.set_worker_delay(Duration::from_millis(2));
         } else if !spiked {
-            handle.injector().clear();
+            injector.clear();
         }
         tick += 1;
         std::thread::sleep(Duration::from_millis(100));
     }
-    handle.injector().clear();
+    injector.clear();
     faults.clear();
 }
 
@@ -372,32 +505,18 @@ fn stat_field(line: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
-fn stats_lines(client: &mut Client) -> Vec<String> {
-    writeln!(client.writer, "stats").expect("stats write");
-    client.writer.flush().expect("stats flush");
-    let mut lines = Vec::new();
-    loop {
-        let mut line = String::new();
-        client.reader.read_line(&mut line).expect("stats read");
-        let line = line.trim_end().to_string();
-        let done = line == "ok";
-        lines.push(line);
-        if done {
-            return lines;
-        }
-    }
-}
-
 fn main() {
     banner(
         "Chaos soak — overload + store faults survivability",
         "ISSUE 7 acceptance: availability ≥ 99%, zero panics, expired shed, bounded p99",
     );
     let args = parse_args();
+    let proto = args.proto;
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let workers = cores.clamp(2, 4);
     println!(
-        "cores {cores}, workers {workers}, soak {:?}, overload {OVERLOAD_FACTOR}×",
+        "cores {cores}, workers {workers}, proto {}, soak {:?}, overload {OVERLOAD_FACTOR}×",
+        proto.name(),
         args.soak
     );
 
@@ -427,32 +546,57 @@ fn main() {
     registry.load_bytes("toy", &bytes).expect("load toy");
     registry.attach_resolver(store.clone());
 
-    let handle = serve(
-        ServerConfig {
-            addr: "127.0.0.1:0".to_string(),
-            workers,
-            reply_timeout: Duration::from_millis(250),
-            read_timeout: Duration::from_secs(30),
-            deadline: Some(Duration::from_millis(30)),
-            max_connections: SOAK_CLIENTS + workers + 8,
-            batcher: BatcherConfig {
-                queue_cap: 512,
-                ..BatcherConfig::default()
-            },
-            shed: Some(ShedConfig {
-                demote_p95: Duration::from_millis(10),
-                promote_p95: Duration::from_millis(5),
-                ..ShedConfig::default()
-            }),
-            ..ServerConfig::default()
-        },
-        registry.clone(),
-    )
-    .expect("start server");
+    // Same overload posture on either front-end: tight reply timeout,
+    // 30 ms deadline, bounded queue, aggressive shed thresholds, and a
+    // connection cap just above the fleet size.
+    let batcher = BatcherConfig {
+        queue_cap: 512,
+        ..BatcherConfig::default()
+    };
+    let shed = Some(ShedConfig {
+        demote_p95: Duration::from_millis(10),
+        promote_p95: Duration::from_millis(5),
+        ..ShedConfig::default()
+    });
+    let handle = match proto {
+        Proto::Line => ChaosServer::Line(
+            serve(
+                ServerConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    workers,
+                    reply_timeout: Duration::from_millis(250),
+                    read_timeout: Duration::from_secs(30),
+                    deadline: Some(Duration::from_millis(30)),
+                    max_connections: SOAK_CLIENTS + workers + 8,
+                    batcher,
+                    shed,
+                    ..ServerConfig::default()
+                },
+                registry.clone(),
+            )
+            .expect("start server"),
+        ),
+        Proto::Rgnp => ChaosServer::Rgnp(
+            serve_rgnp(
+                NetConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    workers,
+                    reply_timeout: Duration::from_millis(250),
+                    deadline: Some(Duration::from_millis(30)),
+                    max_connections: SOAK_CLIENTS + workers + 8,
+                    batcher,
+                    shed,
+                    ..NetConfig::default()
+                },
+                registry.clone(),
+            )
+            .expect("start RGNP server"),
+        ),
+    };
     let addr = handle.local_addr();
 
     // ---- Baseline capacity (clean, closed-loop, full precision). ----
-    let capacity = measure_capacity(addr, &ds.features, workers, args.baseline);
+    let capacity = measure_capacity(addr, proto, &ds.features, workers, args.baseline);
     let offered = capacity * OVERLOAD_FACTOR;
     println!("baseline capacity {capacity:.0} req/s → offering {offered:.0} req/s");
 
@@ -463,14 +607,13 @@ fn main() {
     let storm = {
         let (store, faults, image) = (store.clone(), faults.clone(), bytes.clone());
         let (publish_ok, publish_failed) = (publish_ok.clone(), publish_failed.clone());
-        let handle_ref: &ServerHandle = &handle;
-        // The storm borrows the handle; scoped threads keep it simple.
+        let injector = handle.injector();
         std::thread::scope(|scope| {
             let storm = scope.spawn(move || {
                 fault_storm(
                     &store,
                     &faults,
-                    handle_ref,
+                    &injector,
                     &image,
                     end,
                     &publish_ok,
@@ -482,7 +625,7 @@ fn main() {
                 .map(|c| {
                     let rows = ds.features.clone();
                     let expected = expected_degraded.clone();
-                    scope.spawn(move || soak_client(addr, rows, expected, interval, end, c))
+                    scope.spawn(move || soak_client(addr, proto, rows, expected, interval, end, c))
                 })
                 .collect();
             let mut tally = Tally::default();
@@ -496,12 +639,12 @@ fn main() {
 
     // ---- Post-soak: deterministic degraded bit-identity check. ----
     std::thread::sleep(Duration::from_millis(300)); // drain the spike tail
-    let mut admin = Client::connect(addr).expect("admin connect");
+    let mut admin = ChaosClient::connect(addr, proto).expect("admin connect");
     handle
         .injector()
         .set_worker_delay(Duration::from_millis(400));
     let forced = admin
-        .request(&format!("predict toy {}", row_to_csv(&ds.features[0])))
+        .predict("toy", &ds.features[0])
         .expect("forced degraded reply");
     handle.injector().clear();
     let forced_matches = forced == format!("degraded {}", expected_degraded[0]);
@@ -517,7 +660,7 @@ fn main() {
     }
 
     // ---- Collect server-side counters. ----
-    let lines = stats_lines(&mut admin);
+    let lines = admin.stats_lines();
     let (mut panics, mut expired, mut shed) = (0u64, 0u64, 0u64);
     for l in lines.iter().filter(|l| l.starts_with("stat ")) {
         panics += stat_field(l, "panics");
@@ -586,7 +729,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"soak_secs\": {:.1},\n  \"cores\": {cores},\n  \"workers\": {workers},\n  \
+        "{{\n  \"soak_secs\": {:.1},\n  \"proto\": \"{}\",\n  \"cores\": {cores},\n  \
+         \"workers\": {workers},\n  \
          \"clients\": {SOAK_CLIENTS},\n  \"baseline_rps\": {capacity:.0},\n  \
          \"offered_rps\": {offered:.0},\n  \"overload_factor\": {OVERLOAD_FACTOR:.1},\n  \
          \"sent\": {},\n  \"ok\": {},\n  \"degraded\": {},\n  \"busy\": {},\n  \
@@ -602,6 +746,7 @@ fn main() {
          \"breaker_trips\": {breaker_trips},\n  \
          \"degraded_mismatches\": {},\n  \"forced_degraded_bit_identical\": {}\n}}\n",
         args.soak.as_secs_f64(),
+        proto.name(),
         storm.sent,
         storm.ok,
         storm.degraded,

@@ -1,0 +1,309 @@
+//! Open-loop RGNP load sweep: drives a live server at a fixed offered
+//! rate over 100 / 1 000 / 10 000 connections and records
+//! coordinated-omission-free latency quantiles, availability, and error
+//! counts to `results/loadgen.json`.
+//!
+//! ```text
+//! cargo run -p reghd-bench --release --bin loadgen                 # full sweep
+//! cargo run -p reghd-bench --release --bin loadgen -- --test      # CI smoke
+//! cargo run -p reghd-bench --release --bin loadgen -- --addr H:P  # external server
+//! ```
+//!
+//! The full sweep needs ~2 × 10k file descriptors for the 10 000-conn
+//! sample, which would blow a single process's fd limit — so the sweep
+//! re-executes itself with `--serve-only` as a child process that hosts
+//! the server (its own fd table), prints `ADDR <host:port>`, and serves
+//! until killed. `--test` runs a single 100-connection sample against an
+//! in-process server and **exits non-zero** unless there were zero
+//! protocol errors and availability ≥ 99% — the CI `loadgen-smoke` gate.
+
+use reghd_bench::report::banner;
+use reghd_net::loadgen::{self, LoadConfig, LoadReport};
+use reghd_net::{serve_rgnp, NetConfig};
+use reghd_serve::bundle;
+use reghd_serve::registry::ModelRegistry;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0x10AD;
+const MODEL: &str = "toy";
+const ROW: [f32; 3] = [0.5, 1.0, 2.0];
+
+fn toy_dataset() -> datasets::Dataset {
+    let features: Vec<Vec<f32>> = (0..60)
+        .map(|i| vec![i as f32 * 0.5, (i % 7) as f32, (i * 3 % 11) as f32])
+        .collect();
+    let targets: Vec<f32> = features
+        .iter()
+        .map(|r| 2.0 * r[0] - r[1] + 0.5 * r[2])
+        .collect();
+    datasets::Dataset::new("loadgen", features, targets)
+}
+
+/// Starts the RGNP server with the sweep's standard sizing.
+fn start_server() -> reghd_net::NetServerHandle {
+    let ds = toy_dataset();
+    let (bundle, _) = bundle::train(&ds, 256, 4, 4, SEED, false).expect("train toy bundle");
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .load_bytes(MODEL, &bundle.to_bytes().expect("serialise"))
+        .expect("load toy");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    serve_rgnp(
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: cores.clamp(2, 4),
+            reply_timeout: Duration::from_secs(5),
+            // Ramping 10k sockets up on a small box takes longer than the
+            // production idle reaper allows; connections legitimately sit
+            // quiet until the whole fleet is connected.
+            idle_timeout: Duration::from_secs(300),
+            ..NetConfig::default()
+        },
+        registry,
+    )
+    .expect("start RGNP server")
+}
+
+/// One sweep sample: (connections, offered rows/sec, window).
+struct Sample {
+    connections: usize,
+    rate: f64,
+    duration: Duration,
+}
+
+fn run_sample(addr: &str, s: &Sample) -> LoadReport {
+    let cfg = LoadConfig {
+        addr: addr.to_string(),
+        model: MODEL.to_string(),
+        row: ROW.to_vec(),
+        connections: s.connections,
+        rate: s.rate,
+        duration: s.duration,
+        grace: Duration::from_secs(3),
+        threads: 4,
+    };
+    println!(
+        "sample: {} conns, {:.0} rows/s offered, {:?} window",
+        s.connections, s.rate, s.duration
+    );
+    let report = loadgen::run(&cfg).expect("loadgen run");
+    println!(
+        "  sent {} ok {} degraded {} busy {} draining {} err {} lost {} proto_err {} \
+         conn_fail {}",
+        report.sent,
+        report.ok,
+        report.degraded,
+        report.busy,
+        report.draining,
+        report.errors,
+        report.lost,
+        report.protocol_errors,
+        report.conn_failures,
+    );
+    println!(
+        "  availability {:.4}  achieved {:.0} rows/s  p50 {}µs  p95 {}µs  p99 {}µs  max {}µs",
+        report.availability(),
+        report.achieved_rps,
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+        report.max_us,
+    );
+    report
+}
+
+fn sample_json(s: &Sample, r: &LoadReport) -> String {
+    format!(
+        "    {{\n      \"connections\": {},\n      \"opened\": {},\n      \
+         \"offered_rps\": {:.1},\n      \"duration_secs\": {:.1},\n      \"sent\": {},\n      \
+         \"ok\": {},\n      \"degraded\": {},\n      \"busy\": {},\n      \"draining\": {},\n      \
+         \"errors\": {},\n      \"protocol_errors\": {},\n      \"lost\": {},\n      \
+         \"conn_failures\": {},\n      \"availability\": {:.4},\n      \
+         \"achieved_rps\": {:.1},\n      \"p50_us\": {},\n      \"p95_us\": {},\n      \
+         \"p99_us\": {},\n      \"max_us\": {}\n    }}",
+        s.connections,
+        r.connections,
+        s.rate,
+        s.duration.as_secs_f64(),
+        r.sent,
+        r.ok,
+        r.degraded,
+        r.busy,
+        r.draining,
+        r.errors,
+        r.protocol_errors,
+        r.lost,
+        r.conn_failures,
+        r.availability(),
+        r.achieved_rps,
+        r.p50_us,
+        r.p95_us,
+        r.p99_us,
+        r.max_us,
+    )
+}
+
+fn write_results(path: &str, samples: &[(Sample, LoadReport)]) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let body: Vec<String> = samples.iter().map(|(s, r)| sample_json(s, r)).collect();
+    let json = format!(
+        "{{\n  \"cores\": {cores},\n  \"proto\": \"rgnp\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{path}"));
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("results written to {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}
+
+/// Acceptance gates shared by smoke and sweep: the protocol never breaks
+/// and ≥99% of offered rows get a usable answer.
+fn gate(samples: &[(Sample, LoadReport)]) {
+    let mut violations = Vec::new();
+    for (s, r) in samples {
+        if r.protocol_errors != 0 {
+            violations.push(format!(
+                "{} conns: {} protocol errors",
+                s.connections, r.protocol_errors
+            ));
+        }
+        if r.availability() < 0.99 {
+            violations.push(format!(
+                "{} conns: availability {:.4} < 0.99",
+                s.connections,
+                r.availability()
+            ));
+        }
+        if r.connections < s.connections {
+            violations.push(format!(
+                "{} conns requested, only {} opened",
+                s.connections, r.connections
+            ));
+        }
+        // "Sustained" means the fleet stays connected: tolerate at most
+        // 1% of connections dying mid-run.
+        if r.conn_failures * 100 > s.connections {
+            violations.push(format!(
+                "{} conns: {} died mid-run (> 1%)",
+                s.connections, r.conn_failures
+            ));
+        }
+    }
+    if violations.is_empty() {
+        println!("PASS: zero protocol errors, availability >= 99% at every scale");
+    } else {
+        for v in &violations {
+            eprintln!("FAIL: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Child mode: host the server in this process (own fd table), announce
+/// the bound address on stdout, serve until killed.
+fn serve_only() -> ! {
+    let handle = start_server();
+    println!("ADDR {}", handle.local_addr());
+    std::io::stdout().flush().expect("flush addr");
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+    }
+}
+
+/// Spawns this same binary as the serving child and reads its address.
+/// The sweep kills and waits on the child before writing results; if the
+/// sweep panics first, process exit reaps it.
+#[allow(clippy::zombie_processes)]
+fn spawn_server_child() -> (std::process::Child, String) {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("--serve-only")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve-only child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read child addr");
+        assert!(n > 0, "serve-only child exited before announcing ADDR");
+        if let Some(addr) = line.trim().strip_prefix("ADDR ") {
+            return (child, addr.to_string());
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--serve-only") {
+        serve_only();
+    }
+    banner(
+        "RGNP open-loop load sweep",
+        "fixed offered rate, latency from scheduled send time (no coordinated omission)",
+    );
+    let external = argv
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
+    let smoke = argv.iter().any(|a| a == "--test");
+
+    if smoke {
+        // CI smoke: one in-process sample, hard-gated.
+        let handle = start_server();
+        let addr = handle.local_addr().to_string();
+        let s = Sample {
+            connections: 100,
+            rate: 1000.0,
+            duration: Duration::from_secs(3),
+        };
+        let r = run_sample(&addr, &s);
+        let samples = vec![(s, r)];
+        write_results("results/loadgen-smoke.json", &samples);
+        handle.shutdown();
+        gate(&samples);
+        return;
+    }
+
+    let sweep = vec![
+        Sample {
+            connections: 100,
+            rate: 2000.0,
+            duration: Duration::from_secs(5),
+        },
+        Sample {
+            connections: 1000,
+            rate: 2000.0,
+            duration: Duration::from_secs(5),
+        },
+        Sample {
+            connections: 10_000,
+            rate: 2000.0,
+            duration: Duration::from_secs(10),
+        },
+    ];
+    let (child, addr) = match external {
+        Some(addr) => (None, addr),
+        None => {
+            let (child, addr) = spawn_server_child();
+            (Some(child), addr)
+        }
+    };
+    println!("target server: {addr}");
+    let mut samples = Vec::new();
+    for s in sweep {
+        let r = run_sample(&addr, &s);
+        samples.push((s, r));
+    }
+    if let Some(mut child) = child {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    write_results("results/loadgen.json", &samples);
+    gate(&samples);
+}

@@ -12,10 +12,14 @@
 //! reghd-cli eval    --csv data.csv --model model.rghd [--trig exact|fast]
 //! reghd-cli predict --csv data.csv --model model.rghd [--trig exact|fast]
 //! reghd-cli serve   --model model.rghd --addr 127.0.0.1:7878
-//!                   [--name NAME] [--workers N] [--threads N] [--trig exact|fast]
-//!                   [--max-batch N] [--max-wait-us N] [--queue-cap N]
-//!                   [--max-conns N] [--deadline-us N] [--shed-p95-us N]
-//!                   [--canary] [--chaos] [--sweep-interval-ms N]
+//!                   [--proto rgnp|line] [--name NAME] [--workers N] [--threads N]
+//!                   [--trig exact|fast] [--max-batch N] [--max-wait-us N]
+//!                   [--queue-cap N] [--max-conns N] [--deadline-us N]
+//!                   [--shed-p95-us N] [--pollers N] [--max-frame N]
+//!                   [--write-budget N] [--canary] [--chaos]
+//!                   [--sweep-interval-ms N]
+//! reghd-cli loadgen --addr HOST:PORT --model NAME [--row f32,f32,...]
+//!                   [--conns N] [--rate RPS] [--secs N] [--json PATH]
 //! reghd-cli inject  --addr HOST:PORT --kind bitflip|delay|kill|panic|garble|clear
 //!                   [--model NAME] [--rate R] [--seed N] [--ms N] [--n N]
 //! ```
@@ -45,8 +49,12 @@
 //! training-time arithmetic bit for bit; canary replays always force exact
 //! mode, so bundle integrity checks are unaffected by this knob.
 //!
-//! `serve` exposes the line-oriented TCP protocol implemented in
-//! `reghd-serve` (see the README's Serving section). `serve --canary`
+//! `serve` defaults to the **RGNP** binary protocol (`docs/PROTOCOL.md`):
+//! an epoll poller pool multiplexing pipelined length-prefixed frames
+//! (`reghd-net`). `serve --proto line` keeps the legacy line-oriented
+//! protocol implemented in `reghd-serve`; both front-ends answer
+//! bit-identically. `loadgen` drives a running RGNP server open-loop at a
+//! fixed offered rate and reports latency quantiles. `serve --canary`
 //! replays the bundle's embedded canary rows before binding the socket;
 //! `serve --chaos` enables the `inject` protocol command so a running
 //! server can be fault-tested, and `inject` is the matching client that
@@ -66,9 +74,12 @@ fn usage() -> ! {
          reghd-cli eval    --csv <data.csv> --model <model.rghd> [--trig exact|fast]\n  \
          reghd-cli predict --csv <data.csv> --model <model.rghd> [--trig exact|fast]\n  \
          reghd-cli serve   [--model <model.rghd>] [--store DIR] [--name NAME] [--addr HOST:PORT] \
-         [--workers N] [--threads N] [--trig exact|fast] [--max-batch N] [--max-wait-us N] \
-         [--queue-cap N] [--max-conns N] [--deadline-us N] [--shed-p95-us N] \
+         [--proto rgnp|line] [--workers N] [--threads N] [--trig exact|fast] [--max-batch N] \
+         [--max-wait-us N] [--queue-cap N] [--max-conns N] [--deadline-us N] [--shed-p95-us N] \
+         [--pollers N] [--max-frame N] [--write-budget N] \
          [--canary] [--chaos] [--sweep-interval-ms N]\n  \
+         reghd-cli loadgen --addr <HOST:PORT> --model NAME [--row f32,f32,...] \
+         [--conns N] [--rate RPS] [--secs N] [--json PATH]\n  \
          reghd-cli store   <init|ingest|stats|compact|predict> --dir DIR \
          [--shards N] [--hot-budget-mb N] [--model model.rghd] [--key KEY] [--copies N] \
          [--csv data.csv]\n  \
@@ -177,6 +188,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&args),
         "predict" => cmd_predict(&args),
         "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
         "store" => cmd_store(argv.get(1).map(String::as_str).unwrap_or(""), &args),
         "inject" => cmd_inject(&args),
         _ => {
@@ -626,53 +638,188 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         println!("store attached: {}", store.stats_line());
         registry.attach_resolver(store);
     }
-    let cfg = ServerConfig {
-        addr,
-        workers,
-        threads,
-        trig,
-        batcher: BatcherConfig {
-            max_batch,
-            max_wait: Duration::from_micros(max_wait_us),
-            queue_cap,
-        },
-        max_connections: max_conns,
-        deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
-        shed: (shed_p95_us > 0).then(|| ShedConfig {
-            demote_p95: Duration::from_micros(shed_p95_us),
-            // Promote at half the demote threshold — the same 2:1
-            // hysteresis band as the library default.
-            promote_p95: Duration::from_micros(shed_p95_us / 2),
-            ..ShedConfig::default()
-        }),
-        sweep_interval: (sweep_interval_ms > 0).then(|| Duration::from_millis(sweep_interval_ms)),
-        enable_inject: chaos,
-        ..ServerConfig::default()
+    let batcher = BatcherConfig {
+        max_batch,
+        max_wait: Duration::from_micros(max_wait_us),
+        queue_cap,
     };
-    let handle = serve(cfg, registry).map_err(|e| e.to_string())?;
-    println!(
-        "serving on {} with {workers} workers (threads={}, max_batch={max_batch}, \
-         max_wait={max_wait_us}µs)",
-        handle.local_addr(),
-        if threads == 0 {
-            "auto".to_string()
-        } else {
-            threads.to_string()
+    let shed = (shed_p95_us > 0).then(|| ShedConfig {
+        demote_p95: Duration::from_micros(shed_p95_us),
+        // Promote at half the demote threshold — the same 2:1
+        // hysteresis band as the library default.
+        promote_p95: Duration::from_micros(shed_p95_us / 2),
+        ..ShedConfig::default()
+    });
+    let deadline = (deadline_us > 0).then(|| Duration::from_micros(deadline_us));
+    let threads_label = if threads == 0 {
+        "auto".to_string()
+    } else {
+        threads.to_string()
+    };
+    match args.get("proto").unwrap_or("rgnp") {
+        "rgnp" => {
+            use reghd_net::{serve_rgnp, NetConfig};
+            if chaos {
+                return Err("--chaos (the inject command) needs the line protocol; \
+                     add --proto line"
+                    .to_string());
+            }
+            if sweep_interval_ms > 0 {
+                return Err(
+                    "--sweep-interval-ms needs the line protocol; add --proto line".to_string(),
+                );
+            }
+            let cfg = NetConfig {
+                addr,
+                pollers: args.parse_num("pollers", 0),
+                workers,
+                threads,
+                trig,
+                batcher,
+                max_connections: max_conns,
+                deadline,
+                shed,
+                max_frame: args.parse_num("max-frame", NetConfig::default().max_frame),
+                write_budget: args.parse_num("write-budget", NetConfig::default().write_budget),
+                ..NetConfig::default()
+            };
+            let handle = serve_rgnp(cfg, registry).map_err(|e| e.to_string())?;
+            println!(
+                "serving RGNP on {} with {workers} workers (threads={threads_label}, \
+                 max_batch={max_batch}, max_wait={max_wait_us}µs)",
+                handle.local_addr(),
+            );
+            println!(
+                "protocol: RGNP v1 binary frames (see docs/PROTOCOL.md); \
+                      drive with `reghd-cli loadgen`"
+            );
+            // Serve until the process is killed; Ctrl-C terminates the listener.
+            loop {
+                std::thread::sleep(Duration::from_secs(60));
+            }
         }
-    );
-    if chaos {
-        println!("chaos mode: the `inject` protocol command is ENABLED");
+        "line" => {
+            let cfg = ServerConfig {
+                addr,
+                workers,
+                threads,
+                trig,
+                batcher,
+                max_connections: max_conns,
+                deadline,
+                shed,
+                sweep_interval: (sweep_interval_ms > 0)
+                    .then(|| Duration::from_millis(sweep_interval_ms)),
+                enable_inject: chaos,
+                ..ServerConfig::default()
+            };
+            let handle = serve(cfg, registry).map_err(|e| e.to_string())?;
+            println!(
+                "serving on {} with {workers} workers (threads={threads_label}, \
+                 max_batch={max_batch}, max_wait={max_wait_us}µs)",
+                handle.local_addr(),
+            );
+            if chaos {
+                println!("chaos mode: the `inject` protocol command is ENABLED");
+            }
+            if sweep_interval_ms > 0 {
+                println!("integrity sweep every {sweep_interval_ms}ms");
+            }
+            println!(
+                "protocol: predict <model> <f32,f32,...> | reload <model> <path> | sweep | \
+                 stats | health"
+            );
+            // Serve until the process is killed; Ctrl-C terminates the listener.
+            loop {
+                std::thread::sleep(Duration::from_secs(60));
+            }
+        }
+        other => Err(format!("unknown protocol {other:?} (expected rgnp|line)")),
     }
-    if sweep_interval_ms > 0 {
-        println!("integrity sweep every {sweep_interval_ms}ms");
-    }
+}
+
+/// Parses a comma-separated f32 row, e.g. `--row 0.5,1.5`.
+fn parse_row(spec: &str) -> Result<Vec<f32>, String> {
+    spec.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f32>()
+                .map_err(|_| format!("bad feature value {t:?} in --row"))
+        })
+        .collect()
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    use reghd_net::loadgen::{self, LoadConfig};
+    use std::time::Duration;
+
+    let cfg = LoadConfig {
+        addr: args.require("addr").to_string(),
+        model: args.require("model").to_string(),
+        row: parse_row(args.get("row").unwrap_or("0.5,0.5"))?,
+        connections: args.parse_num("conns", 100),
+        rate: args.parse_num("rate", 1000.0),
+        duration: Duration::from_secs(args.parse_num("secs", 5)),
+        grace: Duration::from_secs(args.parse_num("grace-secs", 2)),
+        threads: args.parse_num("threads", 0),
+    };
     println!(
-        "protocol: predict <model> <f32,f32,...> | reload <model> <path> | sweep | stats | health"
+        "offering {} rows/s over {} connections to {} for {:?}",
+        cfg.rate, cfg.connections, cfg.addr, cfg.duration
     );
-    // Serve until the process is killed; Ctrl-C terminates the listener.
-    loop {
-        std::thread::sleep(Duration::from_secs(60));
+    let report = loadgen::run(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "sent {} → ok {} degraded {} busy {} draining {} err {} lost {} proto_err {}",
+        report.sent,
+        report.ok,
+        report.degraded,
+        report.busy,
+        report.draining,
+        report.errors,
+        report.lost,
+        report.protocol_errors,
+    );
+    println!(
+        "availability {:.4}  achieved {:.0} rows/s  p50 {}µs  p95 {}µs  p99 {}µs  max {}µs",
+        report.availability(),
+        report.achieved_rps,
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+        report.max_us,
+    );
+    if let Some(path) = args.get("json") {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let json = format!(
+            "{{\n  \"cores\": {cores},\n  \"connections\": {},\n  \"offered_rps\": {:.1},\n  \
+             \"duration_secs\": {:.1},\n  \"sent\": {},\n  \"ok\": {},\n  \"degraded\": {},\n  \
+             \"busy\": {},\n  \"draining\": {},\n  \"errors\": {},\n  \
+             \"protocol_errors\": {},\n  \"lost\": {},\n  \"conn_failures\": {},\n  \
+             \"availability\": {:.4},\n  \"achieved_rps\": {:.1},\n  \"p50_us\": {},\n  \
+             \"p95_us\": {},\n  \"p99_us\": {},\n  \"max_us\": {}\n}}\n",
+            report.connections,
+            cfg.rate,
+            cfg.duration.as_secs_f64(),
+            report.sent,
+            report.ok,
+            report.degraded,
+            report.busy,
+            report.draining,
+            report.errors,
+            report.protocol_errors,
+            report.lost,
+            report.conn_failures,
+            report.availability(),
+            report.achieved_rps,
+            report.p50_us,
+            report.p95_us,
+            report.p99_us,
+            report.max_us,
+        );
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("report written to {path}");
     }
+    Ok(())
 }
 
 /// Builds the protocol line for one `inject` invocation, or an error for

@@ -1,0 +1,512 @@
+//! RGNP v1 — the length-prefixed binary wire format.
+//!
+//! Every frame, request or reply, is:
+//!
+//! ```text
+//! u32 LE  len      — number of bytes after this field (kind + id + payload)
+//! u8      kind     — request: opcode; reply: status code
+//! u64 LE  req_id   — client-chosen, echoed verbatim in the reply
+//! [u8]    payload  — opcode/status-specific, len - 9 bytes
+//! ```
+//!
+//! Requests on one connection may be pipelined arbitrarily deep, and
+//! replies may come back in any order — the `req_id` is the correlation
+//! key. See `docs/PROTOCOL.md` for the full specification.
+
+/// Request opcodes.
+pub mod opcode {
+    /// One row: `u16 name_len | name | u32 n | n × f32` → f32 reply.
+    pub const PREDICT: u8 = 0x01;
+    /// Row block: `u16 name_len | name | u32 rows | u32 cols | rows×cols × f32`.
+    pub const PREDICT_BATCH: u8 = 0x02;
+    /// Server statistics; text reply identical to the line protocol.
+    pub const STATS: u8 = 0x03;
+    /// Model inventory; text reply identical to the line protocol.
+    pub const LIST: u8 = 0x04;
+    /// Streaming-trainer status block.
+    pub const TRAIN_STATUS: u8 = 0x05;
+    /// Liveness probe; empty OK reply.
+    pub const PING: u8 = 0x06;
+}
+
+/// Reply status codes. Ordered by severity: a batch reply's frame status
+/// is the numeric maximum of its per-row statuses.
+pub mod status {
+    /// Full-precision answer.
+    pub const OK: u8 = 0x00;
+    /// Answered through the §3.2 binary fallback (timeout, shed, expiry,
+    /// dead worker, corrupt-flagged model).
+    pub const DEGRADED: u8 = 0x01;
+    /// Admission control refused the request; back off and retry.
+    pub const BUSY: u8 = 0x02;
+    /// Server is shutting down; the row was never dispatched.
+    pub const DRAINING: u8 = 0x03;
+    /// Request failed; payload is a UTF-8 message.
+    pub const ERR: u8 = 0x04;
+}
+
+/// Frame header bytes after the length field: kind (1) + req_id (8).
+pub const HEADER_AFTER_LEN: usize = 9;
+
+/// Default cap on `len` — frames above it are a protocol violation and
+/// close the connection.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Opcode (requests) or status code (replies).
+    pub kind: u8,
+    /// Correlation id, echoed verbatim.
+    pub req_id: u64,
+    /// Opcode/status-specific bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Outcome of one [`FrameBuf::next_frame`] step.
+#[derive(Debug)]
+pub enum Step {
+    /// Not enough buffered bytes for a complete frame yet.
+    Incomplete,
+    /// One complete frame, consumed from the buffer.
+    Ready(Frame),
+    /// The announced length violates the protocol (`len < 9` or
+    /// `len > max`). Unrecoverable: the stream cannot be resynchronised.
+    Violation(&'static str),
+}
+
+/// An incremental frame decoder over a growable byte buffer.
+///
+/// Bytes arrive in arbitrary fragments (`extend`); complete frames are
+/// taken off the front (`next_frame`). Consumed bytes are reclaimed lazily
+/// so steady-state pipelined traffic does not shift the buffer per frame.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuf {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether no unconsumed bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn compact(&mut self) {
+        // Reclaim consumed prefix once it dominates the buffer.
+        if self.start > 4096 && self.start * 2 >= self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        }
+    }
+
+    /// Attempts to decode the next frame, honouring `max_frame`.
+    pub fn next_frame(&mut self, max_frame: u32) -> Step {
+        let avail = &self.data[self.start..];
+        if avail.len() < 4 {
+            return Step::Incomplete;
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if (len as usize) < HEADER_AFTER_LEN {
+            return Step::Violation("frame length below header size");
+        }
+        if len > max_frame {
+            return Step::Violation("frame exceeds maximum size");
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Step::Incomplete;
+        }
+        let kind = avail[4];
+        let req_id = u64::from_le_bytes(avail[5..13].try_into().expect("8 header bytes"));
+        let payload = avail[13..total].to_vec();
+        self.start += total;
+        self.compact();
+        Step::Ready(Frame {
+            kind,
+            req_id,
+            payload,
+        })
+    }
+}
+
+/// Appends one frame to `out`.
+pub fn encode(out: &mut Vec<u8>, kind: u8, req_id: u64, payload: &[u8]) {
+    let len = (HEADER_AFTER_LEN + payload.len()) as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Appends a `predict` request frame.
+pub fn encode_predict(out: &mut Vec<u8>, req_id: u64, model: &str, row: &[f32]) {
+    let mut p = Vec::with_capacity(2 + model.len() + 4 + row.len() * 4);
+    p.extend_from_slice(&(model.len() as u16).to_le_bytes());
+    p.extend_from_slice(model.as_bytes());
+    p.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for v in row {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    encode(out, opcode::PREDICT, req_id, &p);
+}
+
+/// Appends a `predict-batch` request frame. Every row must have
+/// `cols` features; rows beyond `u32::MAX` are unrepresentable.
+pub fn encode_predict_batch(out: &mut Vec<u8>, req_id: u64, model: &str, rows: &[Vec<f32>]) {
+    let cols = rows.first().map_or(0, |r| r.len());
+    let mut p = Vec::with_capacity(2 + model.len() + 8 + rows.len() * cols * 4);
+    p.extend_from_slice(&(model.len() as u16).to_le_bytes());
+    p.extend_from_slice(model.as_bytes());
+    p.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    p.extend_from_slice(&(cols as u32).to_le_bytes());
+    for row in rows {
+        for v in row {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    encode(out, opcode::PREDICT_BATCH, req_id, &p);
+}
+
+/// Decoded `predict` request payload.
+#[derive(Debug, PartialEq)]
+pub struct PredictReq<'a> {
+    /// Model name.
+    pub model: &'a str,
+    /// The feature row.
+    pub row: Vec<f32>,
+}
+
+/// Decoded `predict-batch` request payload.
+#[derive(Debug, PartialEq)]
+pub struct PredictBatchReq<'a> {
+    /// Model name.
+    pub model: &'a str,
+    /// The feature rows (all the same width).
+    pub rows: Vec<Vec<f32>>,
+}
+
+fn take_name(payload: &[u8]) -> Result<(&str, &[u8]), &'static str> {
+    if payload.len() < 2 {
+        return Err("payload truncated before name length");
+    }
+    let name_len = u16::from_le_bytes([payload[0], payload[1]]) as usize;
+    if name_len == 0 {
+        return Err("empty model name");
+    }
+    let rest = &payload[2..];
+    if rest.len() < name_len {
+        return Err("payload truncated inside name");
+    }
+    let name = std::str::from_utf8(&rest[..name_len]).map_err(|_| "model name not UTF-8")?;
+    Ok((name, &rest[name_len..]))
+}
+
+fn take_f32s(bytes: &[u8], n: usize) -> Result<Vec<f32>, &'static str> {
+    if bytes.len() != n * 4 {
+        return Err("feature bytes do not match announced count");
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Parses a `predict` payload.
+///
+/// # Errors
+///
+/// A static description of the malformation, rendered into an `ERR` reply.
+pub fn decode_predict(payload: &[u8]) -> Result<PredictReq<'_>, &'static str> {
+    let (model, rest) = take_name(payload)?;
+    if rest.len() < 4 {
+        return Err("payload truncated before feature count");
+    }
+    let n = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+    if n == 0 {
+        return Err("empty feature row");
+    }
+    let row = take_f32s(&rest[4..], n)?;
+    Ok(PredictReq { model, row })
+}
+
+/// Parses a `predict-batch` payload.
+///
+/// # Errors
+///
+/// A static description of the malformation, rendered into an `ERR` reply.
+pub fn decode_predict_batch(payload: &[u8]) -> Result<PredictBatchReq<'_>, &'static str> {
+    let (model, rest) = take_name(payload)?;
+    if rest.len() < 8 {
+        return Err("payload truncated before batch dimensions");
+    }
+    let rows = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+    let cols = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes")) as usize;
+    if rows == 0 || cols == 0 {
+        return Err("empty batch");
+    }
+    let flat = take_f32s(
+        &rest[8..],
+        rows.checked_mul(cols).ok_or("batch size overflow")?,
+    )?;
+    Ok(PredictBatchReq {
+        model,
+        rows: flat.chunks_exact(cols).map(<[f32]>::to_vec).collect(),
+    })
+}
+
+/// Appends an f32 reply (`OK`/`DEGRADED` predict answer).
+pub fn encode_value_reply(out: &mut Vec<u8>, st: u8, req_id: u64, value: f32) {
+    encode(out, st, req_id, &value.to_le_bytes());
+}
+
+/// Appends a UTF-8 text reply (stats/list/train-status payloads and `ERR`
+/// messages).
+pub fn encode_text_reply(out: &mut Vec<u8>, st: u8, req_id: u64, text: &str) {
+    encode(out, st, req_id, text.as_bytes());
+}
+
+/// Appends an empty reply (`BUSY`/`DRAINING`, and `OK` for ping).
+pub fn encode_empty_reply(out: &mut Vec<u8>, st: u8, req_id: u64) {
+    encode(out, st, req_id, &[]);
+}
+
+/// Appends a `predict-batch` reply: frame status is the maximum of the
+/// per-row statuses; payload is `u32 rows | rows × (u8 status, f32 value)`.
+pub fn encode_batch_reply(out: &mut Vec<u8>, req_id: u64, rows: &[(u8, f32)]) {
+    let frame_status = rows.iter().map(|(s, _)| *s).max().unwrap_or(status::OK);
+    let mut p = Vec::with_capacity(4 + rows.len() * 5);
+    p.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for (s, v) in rows {
+        p.push(*s);
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    encode(out, frame_status, req_id, &p);
+}
+
+/// Parses a `predict-batch` reply payload into `(status, value)` rows.
+///
+/// # Errors
+///
+/// A static description of the malformation.
+pub fn decode_batch_reply(payload: &[u8]) -> Result<Vec<(u8, f32)>, &'static str> {
+    if payload.len() < 4 {
+        return Err("batch reply truncated before row count");
+    }
+    let n = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+    let rest = &payload[4..];
+    if rest.len() != n * 5 {
+        return Err("batch reply rows do not match announced count");
+    }
+    Ok(rest
+        .chunks_exact(5)
+        .map(|c| (c[0], f32::from_le_bytes([c[1], c[2], c[3], c[4]])))
+        .collect())
+}
+
+/// Parses an f32 value reply payload.
+///
+/// # Errors
+///
+/// A static description of the malformation.
+pub fn decode_value_reply(payload: &[u8]) -> Result<f32, &'static str> {
+    let bytes: [u8; 4] = payload
+        .try_into()
+        .map_err(|_| "value reply must be 4 bytes")?;
+    Ok(f32::from_le_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut wire = Vec::new();
+        encode(&mut wire, opcode::STATS, 77, b"");
+        let mut buf = FrameBuf::new();
+        buf.extend(&wire);
+        match buf.next_frame(DEFAULT_MAX_FRAME) {
+            Step::Ready(f) => {
+                assert_eq!(f.kind, opcode::STATS);
+                assert_eq!(f.req_id, 77);
+                assert!(f.payload.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            buf.next_frame(DEFAULT_MAX_FRAME),
+            Step::Incomplete
+        ));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn byte_at_a_time_fragmentation() {
+        let mut wire = Vec::new();
+        encode_predict(&mut wire, u64::MAX, "model-x", &[1.5, -2.5, 3.25]);
+        let mut buf = FrameBuf::new();
+        for (i, b) in wire.iter().enumerate() {
+            if i + 1 < wire.len() {
+                buf.extend(std::slice::from_ref(b));
+                assert!(
+                    matches!(buf.next_frame(DEFAULT_MAX_FRAME), Step::Incomplete),
+                    "complete frame before final byte"
+                );
+            } else {
+                buf.extend(std::slice::from_ref(b));
+            }
+        }
+        let Step::Ready(f) = buf.next_frame(DEFAULT_MAX_FRAME) else {
+            panic!("frame must complete on final byte");
+        };
+        assert_eq!(f.req_id, u64::MAX);
+        let req = decode_predict(&f.payload).unwrap();
+        assert_eq!(req.model, "model-x");
+        assert_eq!(req.row, vec![1.5, -2.5, 3.25]);
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut wire = Vec::new();
+        for id in 0..100u64 {
+            encode_predict(&mut wire, id, "m", &[id as f32]);
+        }
+        let mut buf = FrameBuf::new();
+        buf.extend(&wire);
+        for id in 0..100u64 {
+            let Step::Ready(f) = buf.next_frame(DEFAULT_MAX_FRAME) else {
+                panic!("frame {id} missing");
+            };
+            assert_eq!(f.req_id, id);
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversized_and_undersized_lengths_are_violations() {
+        let mut buf = FrameBuf::new();
+        buf.extend(&(8u32).to_le_bytes()); // < 9: no room for kind+id
+        assert!(matches!(buf.next_frame(1024), Step::Violation(_)));
+
+        let mut buf = FrameBuf::new();
+        buf.extend(&(1025u32).to_le_bytes());
+        assert!(matches!(buf.next_frame(1024), Step::Violation(_)));
+
+        // Exactly at the cap is legal.
+        let mut wire = Vec::new();
+        encode(
+            &mut wire,
+            opcode::PING,
+            1,
+            &vec![0u8; 1024 - HEADER_AFTER_LEN],
+        );
+        let mut buf = FrameBuf::new();
+        buf.extend(&wire);
+        assert!(matches!(buf.next_frame(1024), Step::Ready(_)));
+    }
+
+    #[test]
+    fn predict_batch_roundtrip_and_reply() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let mut wire = Vec::new();
+        encode_predict_batch(&mut wire, 9, "mm", &rows);
+        let mut buf = FrameBuf::new();
+        buf.extend(&wire);
+        let Step::Ready(f) = buf.next_frame(DEFAULT_MAX_FRAME) else {
+            panic!("incomplete");
+        };
+        let req = decode_predict_batch(&f.payload).unwrap();
+        assert_eq!(req.model, "mm");
+        assert_eq!(req.rows, rows);
+
+        let mut reply = Vec::new();
+        encode_batch_reply(&mut reply, 9, &[(status::OK, 1.5), (status::DEGRADED, 2.5)]);
+        let mut buf = FrameBuf::new();
+        buf.extend(&reply);
+        let Step::Ready(f) = buf.next_frame(DEFAULT_MAX_FRAME) else {
+            panic!("incomplete");
+        };
+        // Frame status is the max of row statuses.
+        assert_eq!(f.kind, status::DEGRADED);
+        let rows = decode_batch_reply(&f.payload).unwrap();
+        assert_eq!(rows, vec![(status::OK, 1.5), (status::DEGRADED, 2.5)]);
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(decode_predict(b"").is_err());
+        assert!(decode_predict(&[0, 0]).is_err(), "empty name");
+        // Name length larger than payload.
+        assert!(decode_predict(&[10, 0, b'a']).is_err());
+        // Feature count mismatch.
+        let mut p = Vec::new();
+        p.extend_from_slice(&(1u16).to_le_bytes());
+        p.push(b'm');
+        p.extend_from_slice(&(3u32).to_le_bytes());
+        p.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(decode_predict(&p).is_err());
+        // Non-UTF-8 name.
+        assert!(decode_predict(&[1, 0, 0xFF, 0, 0, 0, 0]).is_err());
+        assert!(decode_predict_batch(&[1, 0, b'm', 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(decode_batch_reply(&[1, 0, 0, 0]).is_err());
+        assert!(decode_value_reply(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn value_reply_is_bit_exact() {
+        let y = f32::from_bits(0x7F80_0001u32 ^ 0x0040_0000); // odd payload
+        let mut wire = Vec::new();
+        encode_value_reply(&mut wire, status::OK, 3, y);
+        let mut buf = FrameBuf::new();
+        buf.extend(&wire);
+        let Step::Ready(f) = buf.next_frame(DEFAULT_MAX_FRAME) else {
+            panic!("incomplete");
+        };
+        assert_eq!(
+            decode_value_reply(&f.payload).unwrap().to_bits(),
+            y.to_bits()
+        );
+    }
+
+    #[test]
+    fn compaction_reclaims_consumed_prefix() {
+        let mut buf = FrameBuf::new();
+        for id in 0..2000u64 {
+            let mut wire = Vec::new();
+            encode_predict(&mut wire, id, "m", &[0.0; 8]);
+            buf.extend(&wire);
+            let Step::Ready(f) = buf.next_frame(DEFAULT_MAX_FRAME) else {
+                panic!("incomplete");
+            };
+            assert_eq!(f.req_id, id);
+        }
+        // After 2000 consumed frames the retained storage must not have
+        // grown linearly with total traffic.
+        assert!(
+            buf.data.len() < 64 * 1024,
+            "buffer grew: {}",
+            buf.data.len()
+        );
+    }
+}

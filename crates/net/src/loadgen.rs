@@ -1,0 +1,472 @@
+//! Open-loop RGNP load generator.
+//!
+//! Closed-loop generators (send, wait, send) hide overload: when the
+//! server stalls, the generator politely stops offering load and the
+//! measured latency collapses to the server's pace — the *coordinated
+//! omission* artefact. This generator is **open-loop**: every connection
+//! sends on a fixed schedule derived from the offered rate, whether or
+//! not earlier replies have arrived, and latency is measured from the
+//! *scheduled* send time. Queueing delay inside the generator's own
+//! socket therefore counts against the server, as it would for a real
+//! client fleet.
+
+use std::io;
+use std::time::Duration;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `"127.0.0.1:7979"`.
+    pub addr: String,
+    /// Model to predict against.
+    pub model: String,
+    /// The feature row every request sends.
+    pub row: Vec<f32>,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Total offered rate across all connections, rows/sec.
+    pub rate: f64,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Extra time after the window to collect straggler replies.
+    pub grace: Duration,
+    /// Generator threads; `0` picks `min(connections, 4)`.
+    pub threads: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7979".to_string(),
+            model: "demo".to_string(),
+            row: vec![0.5, 0.5],
+            connections: 100,
+            rate: 1000.0,
+            duration: Duration::from_secs(5),
+            grace: Duration::from_secs(2),
+            threads: 0,
+        }
+    }
+}
+
+/// Aggregated results of one load-generator run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Connections that successfully opened.
+    pub connections: usize,
+    /// Connections that failed to open or died mid-run.
+    pub conn_failures: usize,
+    /// Requests sent (scheduled sends that reached the socket layer).
+    pub sent: u64,
+    /// Replies received, by status.
+    pub ok: u64,
+    /// Replies answered through the degraded tier.
+    pub degraded: u64,
+    /// `BUSY` admission refusals.
+    pub busy: u64,
+    /// `DRAINING` refusals.
+    pub draining: u64,
+    /// Server-side `ERR` replies.
+    pub errors: u64,
+    /// Frames the generator could not parse or correlate.
+    pub protocol_errors: u64,
+    /// Requests still unanswered when the run ended.
+    pub lost: u64,
+    /// Achieved reply rate over the measurement window, rows/sec.
+    pub achieved_rps: f64,
+    /// Latency quantiles, microseconds, measured from the scheduled
+    /// send time (coordinated-omission-free).
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
+impl LoadReport {
+    /// Total replies of any status.
+    pub fn replies(&self) -> u64 {
+        self.ok + self.degraded + self.busy + self.draining + self.errors
+    }
+
+    /// Fraction of sent requests answered with a usable value
+    /// (`OK` or `DEGRADED`), in `[0, 1]`.
+    pub fn availability(&self) -> f64 {
+        if self.sent == 0 {
+            return 1.0;
+        }
+        (self.ok + self.degraded) as f64 / self.sent as f64
+    }
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::*;
+    use crate::frame::{self, status, FrameBuf, Step};
+    use crate::sys::{Epoll, EPOLLIN};
+    use std::collections::HashMap;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    struct GenConn {
+        stream: TcpStream,
+        inbuf: FrameBuf,
+        out: Vec<u8>,
+        out_pos: usize,
+        pending: HashMap<u64, Instant>,
+        next_id: u64,
+        /// Phase within the global send schedule (`i / rate` for the
+        /// i-th connection), applied once the start time is agreed.
+        offset: Duration,
+        next_send: Instant,
+        period: Duration,
+        dead: bool,
+    }
+
+    impl GenConn {
+        fn flush(&mut self) {
+            while self.out_pos < self.out.len() {
+                match self.stream.write(&self.out[self.out_pos..]) {
+                    Ok(0) => {
+                        self.dead = true;
+                        return;
+                    }
+                    Ok(n) => self.out_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.dead = true;
+                        return;
+                    }
+                }
+            }
+            self.out.clear();
+            self.out_pos = 0;
+        }
+    }
+
+    struct GenStats {
+        report: LoadReport,
+        latencies_us: Vec<u64>,
+    }
+
+    fn record_reply(stats: &mut GenStats, conn: &mut GenConn, f: &frame::Frame, now: Instant) {
+        let Some(scheduled) = conn.pending.remove(&f.req_id) else {
+            stats.report.protocol_errors += 1;
+            return;
+        };
+        let lat = now.saturating_duration_since(scheduled).as_micros() as u64;
+        match f.kind {
+            status::OK if f.payload.len() == 4 => {
+                stats.report.ok += 1;
+                stats.latencies_us.push(lat);
+            }
+            status::DEGRADED if f.payload.len() == 4 => {
+                stats.report.degraded += 1;
+                stats.latencies_us.push(lat);
+            }
+            status::BUSY => stats.report.busy += 1,
+            status::DRAINING => stats.report.draining += 1,
+            status::ERR => stats.report.errors += 1,
+            _ => stats.report.protocol_errors += 1,
+        }
+    }
+
+    fn gen_thread(
+        cfg: &LoadConfig,
+        offsets: Vec<Duration>,
+        ready: &std::sync::Barrier,
+    ) -> GenStats {
+        let mut stats = GenStats {
+            report: LoadReport::default(),
+            latencies_us: Vec::new(),
+        };
+        let period = Duration::from_secs_f64(cfg.connections as f64 / cfg.rate.max(1e-9));
+        let Ok(epoll) = Epoll::new(256) else {
+            stats.report.conn_failures += offsets.len();
+            ready.wait();
+            return stats;
+        };
+        let mut epoll = epoll;
+        let mut conns: HashMap<u64, GenConn> = HashMap::new();
+        for (i, offset) in offsets.into_iter().enumerate() {
+            let stream = match TcpStream::connect(&cfg.addr) {
+                Ok(s) => s,
+                Err(_) => {
+                    stats.report.conn_failures += 1;
+                    continue;
+                }
+            };
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                stats.report.conn_failures += 1;
+                continue;
+            }
+            let token = i as u64;
+            if epoll.add(stream.as_raw_fd(), token, EPOLLIN).is_err() {
+                stats.report.conn_failures += 1;
+                continue;
+            }
+            conns.insert(
+                token,
+                GenConn {
+                    stream,
+                    inbuf: FrameBuf::new(),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    pending: HashMap::new(),
+                    next_id: 1,
+                    offset,
+                    next_send: Instant::now(), // re-based once all threads connect
+                    period,
+                    dead: false,
+                },
+            );
+        }
+        stats.report.connections = conns.len();
+        // The measurement window begins only after EVERY thread has all
+        // its sockets connected — otherwise the schedule's early slots
+        // are already overdue and their "latency" is connect backlog,
+        // not server behaviour.
+        ready.wait();
+        let start = Instant::now() + Duration::from_millis(50);
+        for conn in conns.values_mut() {
+            conn.next_send = start + conn.offset;
+        }
+        let send_until = start + cfg.duration;
+        let hard_stop = send_until + cfg.grace;
+        let mut scratch = vec![0u8; 16 * 1024];
+        loop {
+            let now = Instant::now();
+            if now >= hard_stop {
+                break;
+            }
+            // Open loop: fire every send whose schedule has arrived,
+            // regardless of outstanding replies.
+            let sending = now < send_until;
+            let mut next_due: Option<Instant> = None;
+            for conn in conns.values_mut() {
+                if conn.dead {
+                    continue;
+                }
+                if sending {
+                    while conn.next_send <= now && conn.next_send < send_until {
+                        let req_id = conn.next_id;
+                        conn.next_id += 1;
+                        frame::encode_predict(&mut conn.out, req_id, &cfg.model, &cfg.row);
+                        conn.pending.insert(req_id, conn.next_send);
+                        stats.report.sent += 1;
+                        conn.next_send += conn.period;
+                    }
+                    next_due = Some(next_due.map_or(conn.next_send, |d| d.min(conn.next_send)));
+                }
+                if conn.out_pos < conn.out.len() {
+                    conn.flush();
+                }
+            }
+            let all_answered = conns.values().all(|c| c.dead || c.pending.is_empty());
+            if !sending && all_answered {
+                break;
+            }
+            let timeout_ms = match next_due {
+                Some(due) if sending => {
+                    let wait = due.saturating_duration_since(Instant::now());
+                    (wait.as_millis() as i32).clamp(0, 10)
+                }
+                _ => 10,
+            };
+            let events: Vec<(u64, bool, bool)> = match epoll.wait(timeout_ms) {
+                Ok(evs) => evs
+                    .iter()
+                    .map(|e| (e.token, e.readable, e.closed))
+                    .collect(),
+                Err(_) => Vec::new(),
+            };
+            let now = Instant::now();
+            for (token, readable, closed) in events {
+                let Some(conn) = conns.get_mut(&token) else {
+                    continue;
+                };
+                if readable {
+                    loop {
+                        match conn.stream.read(&mut scratch) {
+                            Ok(0) => {
+                                conn.dead = true;
+                                break;
+                            }
+                            Ok(n) => {
+                                conn.inbuf.extend(&scratch[..n]);
+                                loop {
+                                    match conn.inbuf.next_frame(frame::DEFAULT_MAX_FRAME) {
+                                        Step::Ready(f) => record_reply(&mut stats, conn, &f, now),
+                                        Step::Incomplete => break,
+                                        Step::Violation(_) => {
+                                            stats.report.protocol_errors += 1;
+                                            conn.dead = true;
+                                            break;
+                                        }
+                                    }
+                                }
+                                if conn.dead || n < scratch.len() {
+                                    break;
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                conn.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if closed {
+                    conn.dead = true;
+                }
+                if conn.dead {
+                    let _ = epoll.delete(conn.stream.as_raw_fd());
+                }
+            }
+        }
+        for conn in conns.values() {
+            if conn.dead {
+                stats.report.conn_failures += 1;
+            }
+            stats.report.lost += conn.pending.len() as u64;
+        }
+        stats
+    }
+
+    /// Runs the generator and aggregates across its threads.
+    pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+        if cfg.connections == 0 || cfg.rate <= 0.0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "loadgen needs connections > 0 and rate > 0",
+            ));
+        }
+        let threads = if cfg.threads == 0 {
+            cfg.connections.min(4)
+        } else {
+            cfg.threads.min(cfg.connections)
+        };
+        // Connection i starts its schedule at offset i/rate so the
+        // aggregate offered rate is uniform from the first tick.
+        let mut per_thread: Vec<Vec<Duration>> = vec![Vec::new(); threads];
+        for i in 0..cfg.connections {
+            per_thread[i % threads].push(Duration::from_secs_f64(i as f64 / cfg.rate));
+        }
+        // Threads rendezvous on this barrier after connecting all their
+        // sockets; the send schedule is based after that point so connect
+        // time is never mistaken for request latency.
+        let ready = std::sync::Barrier::new(threads);
+        let ready = &ready;
+        let stats: Vec<GenStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_thread
+                .into_iter()
+                .map(|offsets| scope.spawn(move || gen_thread(cfg, offsets, ready)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| GenStats {
+                        report: LoadReport::default(),
+                        latencies_us: Vec::new(),
+                    })
+                })
+                .collect()
+        });
+        let mut report = LoadReport::default();
+        let mut lats: Vec<u64> = Vec::new();
+        for s in stats {
+            report.connections += s.report.connections;
+            report.conn_failures += s.report.conn_failures;
+            report.sent += s.report.sent;
+            report.ok += s.report.ok;
+            report.degraded += s.report.degraded;
+            report.busy += s.report.busy;
+            report.draining += s.report.draining;
+            report.errors += s.report.errors;
+            report.protocol_errors += s.report.protocol_errors;
+            report.lost += s.report.lost;
+            lats.extend(s.latencies_us);
+        }
+        lats.sort_unstable();
+        report.p50_us = quantile(&lats, 0.50);
+        report.p95_us = quantile(&lats, 0.95);
+        report.p99_us = quantile(&lats, 0.99);
+        report.max_us = lats.last().copied().unwrap_or(0);
+        report.achieved_rps = report.replies() as f64 / cfg.duration.as_secs_f64().max(1e-9);
+        Ok(report)
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::*;
+
+    /// The generator needs the Linux epoll fast path.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported` on this platform.
+    pub fn run(_cfg: &LoadConfig) -> io::Result<LoadReport> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "loadgen requires Linux epoll (x86_64/aarch64)",
+        ))
+    }
+}
+
+/// Runs the open-loop generator against a live RGNP server.
+///
+/// # Errors
+///
+/// Invalid configuration, connection failures at startup, or
+/// `Unsupported` on platforms without the epoll fast path.
+pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    imp::run(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&v, 0.50), 51);
+        assert_eq!(quantile(&v, 0.99), 99);
+        assert_eq!(quantile(&[], 0.99), 0);
+    }
+
+    #[test]
+    fn availability_counts_usable_replies() {
+        let r = LoadReport {
+            sent: 100,
+            ok: 90,
+            degraded: 9,
+            errors: 1,
+            ..LoadReport::default()
+        };
+        assert!((r.availability() - 0.99).abs() < 1e-9);
+        assert_eq!(r.replies(), 100);
+    }
+}

@@ -1,0 +1,251 @@
+//! Live-socket tests for the RGNP front-end: framing robustness
+//! (fragmented reads, pipelined bursts, oversized frames), protocol
+//! semantics, and admission control.
+
+#![cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+
+use reghd_net::client::PredictReply;
+use reghd_net::frame::{self, status, FrameBuf, Step};
+use reghd_net::{serve_rgnp, NetConfig, NetServerHandle, RgnpClient};
+use reghd_serve::bundle;
+use reghd_serve::registry::ModelRegistry;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn toy_registry() -> Arc<ModelRegistry> {
+    let features: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i * 2) as f32]).collect();
+    let targets: Vec<f32> = features.iter().map(|r| r[0] + r[1]).collect();
+    let ds = datasets::Dataset::new("toy", features, targets);
+    let (b, _) = bundle::train(&ds, 128, 2, 3, 11, false).unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load_bytes("toy", &b.to_bytes().unwrap()).unwrap();
+    registry
+}
+
+fn start_server(cfg_mut: impl FnOnce(&mut NetConfig)) -> (NetServerHandle, Arc<ModelRegistry>) {
+    let registry = toy_registry();
+    let mut cfg = NetConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        pollers: 2,
+        ..NetConfig::default()
+    };
+    cfg_mut(&mut cfg);
+    let handle = serve_rgnp(cfg, registry.clone()).unwrap();
+    (handle, registry)
+}
+
+/// Reads frames from a raw stream until `n` have arrived.
+fn read_frames(stream: &mut TcpStream, n: usize) -> Vec<frame::Frame> {
+    let mut buf = FrameBuf::new();
+    let mut scratch = [0u8; 4096];
+    let mut out = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    while out.len() < n {
+        loop {
+            match buf.next_frame(frame::DEFAULT_MAX_FRAME) {
+                Step::Ready(f) => out.push(f),
+                Step::Incomplete => break,
+                Step::Violation(msg) => panic!("client saw violation: {msg}"),
+            }
+        }
+        if out.len() >= n {
+            break;
+        }
+        let got = stream.read(&mut scratch).unwrap();
+        assert!(got > 0, "server closed early after {} frames", out.len());
+        buf.extend(&scratch[..got]);
+    }
+    out
+}
+
+#[test]
+fn predict_and_control_opcodes_over_loopback() {
+    let (handle, _registry) = start_server(|_| {});
+    let addr = handle.local_addr().to_string();
+    let mut c = RgnpClient::connect(&addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    c.ping().unwrap();
+    match c.predict("toy", &[3.0, 4.0]).unwrap() {
+        PredictReply::Ok(y) => assert!(y.is_finite()),
+        other => panic!("expected ok, got {other:?}"),
+    }
+    assert_eq!(
+        c.predict("ghost", &[1.0, 2.0]).unwrap(),
+        PredictReply::Err("unknown model ghost".to_string())
+    );
+    assert_eq!(
+        c.predict("toy", &[f32::NAN, 1.0]).unwrap(),
+        PredictReply::Err("non-finite feature value".to_string())
+    );
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("server connections="), "{stats}");
+    let list = c.list().unwrap();
+    assert!(list.contains("model toy"), "{list}");
+    assert_eq!(
+        c.train_status().unwrap(),
+        Err("no trainer attached".to_string())
+    );
+    let final_stats = handle.shutdown();
+    assert!(!final_stats.is_empty());
+}
+
+#[test]
+fn batch_predict_matches_singles_bit_exactly() {
+    let (handle, _registry) = start_server(|_| {});
+    let addr = handle.local_addr().to_string();
+    let mut c = RgnpClient::connect(&addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let rows = vec![vec![1.0, 2.0], vec![3.5, -1.0], vec![0.0, 9.0]];
+    let batch = c.predict_batch("toy", &rows).unwrap();
+    assert_eq!(batch.len(), 3);
+    for (row, (st, y)) in rows.iter().zip(&batch) {
+        assert_eq!(*st, status::OK);
+        match c.predict("toy", row).unwrap() {
+            PredictReply::Ok(single) => assert_eq!(single.to_bits(), y.to_bits()),
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn fragmented_byte_at_a_time_request_still_parses() {
+    let (handle, _registry) = start_server(|_| {});
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    let mut req = Vec::new();
+    frame::encode_predict(&mut req, 7, "toy", &[3.0, 4.0]);
+    for b in &req {
+        s.write_all(std::slice::from_ref(b)).unwrap();
+        s.flush().unwrap();
+    }
+    let frames = read_frames(&mut s, 1);
+    assert_eq!(frames[0].req_id, 7);
+    assert_eq!(frames[0].kind, status::OK);
+    let y = frame::decode_value_reply(&frames[0].payload).unwrap();
+    assert!(y.is_finite());
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_burst_of_100_frames_all_answered() {
+    let (handle, _registry) = start_server(|_| {});
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+    let mut burst = Vec::new();
+    for id in 1..=100u64 {
+        burst.extend_from_slice(&{
+            let mut one = Vec::new();
+            frame::encode_predict(&mut one, id, "toy", &[id as f32, 2.0 * id as f32]);
+            one
+        });
+    }
+    s.write_all(&burst).unwrap();
+    let frames = read_frames(&mut s, 100);
+    let mut seen = [false; 101];
+    for f in &frames {
+        assert!(f.kind == status::OK || f.kind == status::DEGRADED, "{f:?}");
+        let id = f.req_id as usize;
+        assert!((1..=100).contains(&id), "unexpected req id {id}");
+        assert!(!seen[id], "req id {id} answered twice");
+        seen[id] = true;
+        frame::decode_value_reply(&f.payload).unwrap();
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frame_gets_err_and_close_but_server_survives() {
+    let (handle, _registry) = start_server(|c| c.max_frame = 4096);
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+    // Declare a frame far over the cap; the server must not buffer it.
+    s.write_all(&8192u32.to_le_bytes()).unwrap();
+    s.write_all(&[0u8; 64]).unwrap();
+    let frames = read_frames(&mut s, 1);
+    assert_eq!(frames[0].kind, status::ERR);
+    assert_eq!(frames[0].req_id, 0);
+    // After the terminal ERR the connection closes.
+    let mut rest = Vec::new();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    // The server itself is unharmed: a new connection predicts fine.
+    let mut c = RgnpClient::connect(&handle.local_addr().to_string()).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    assert!(matches!(
+        c.predict("toy", &[1.0, 2.0]).unwrap(),
+        PredictReply::Ok(_)
+    ));
+    assert!(
+        handle
+            .metrics()
+            .bad_requests
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn zero_length_frame_is_a_violation() {
+    let (handle, _registry) = start_server(|_| {});
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+    // len < 9 can never hold the kind + req-id header.
+    s.write_all(&3u32.to_le_bytes()).unwrap();
+    s.write_all(&[0u8; 3]).unwrap();
+    let frames = read_frames(&mut s, 1);
+    assert_eq!(frames[0].kind, status::ERR);
+    handle.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_with_busy_frame() {
+    let (handle, _registry) = start_server(|c| c.max_connections = 1);
+    let addr = handle.local_addr().to_string();
+    let mut first = RgnpClient::connect(&addr).unwrap();
+    first.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    first.ping().unwrap(); // ensure the first conn is registered
+    let mut second = TcpStream::connect(handle.local_addr()).unwrap();
+    let frames = read_frames(&mut second, 1);
+    assert_eq!(frames[0].kind, status::BUSY);
+    let mut rest = Vec::new();
+    second
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    second.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "rejected conn must be closed");
+    assert_eq!(
+        handle
+            .metrics()
+            .connections_rejected
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    // The accepted connection still works.
+    first.ping().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn corrupt_flagged_model_answers_degraded_inline() {
+    let (handle, registry) = start_server(|_| {});
+    registry
+        .get("toy")
+        .unwrap()
+        .corrupt
+        .store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut c = RgnpClient::connect(&handle.local_addr().to_string()).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    match c.predict("toy", &[3.0, 4.0]).unwrap() {
+        PredictReply::Degraded(y) => assert!(y.is_finite()),
+        other => panic!("expected degraded, got {other:?}"),
+    }
+    handle.shutdown();
+}

@@ -182,7 +182,7 @@ fn dispatcher_loop(shared: &Shared) {
         if stopping {
             for p in drained {
                 p.metrics.record_stopped();
-                let _ = p.item.reply.send(Err(WorkError::Draining));
+                p.item.reply.send(Err(WorkError::Draining));
             }
             return;
         }
@@ -197,7 +197,7 @@ fn dispatcher_loop(shared: &Shared) {
         for p in drained {
             if p.item.is_expired(now) {
                 p.metrics.record_expired();
-                let _ = p.item.reply.send(Err(WorkError::Expired));
+                p.item.reply.send(Err(WorkError::Expired));
                 continue;
             }
             if let Some(shed) = &shared.shed {
@@ -354,7 +354,7 @@ mod tests {
                 row,
                 enqueued_at: Instant::now(),
                 deadline: None,
-                reply: tx,
+                reply: tx.into(),
             },
             rx,
         )
@@ -434,7 +434,7 @@ mod tests {
                         row: vec![i as f32, 0.0],
                         enqueued_at: Instant::now(),
                         deadline: None,
-                        reply: tx,
+                        reply: tx.into(),
                     },
                 });
             }
@@ -528,7 +528,7 @@ mod tests {
                     row: vec![1.0, 2.0],
                     enqueued_at: Instant::now(),
                     deadline: Some(Instant::now() - Duration::from_millis(1)),
-                    reply: tx,
+                    reply: tx.into(),
                 },
             });
             let (it, rx) = item(vec![3.0, 4.0]);
@@ -572,7 +572,7 @@ mod tests {
                     row: vec![ms as f32, 0.0],
                     enqueued_at: now,
                     deadline: Some(now + Duration::from_millis(ms)),
-                    reply: tx,
+                    reply: tx.into(),
                 },
             }
         };
@@ -608,7 +608,7 @@ mod tests {
                     row: vec![i as f32, 0.0],
                     enqueued_at: Instant::now(),
                     deadline: None,
-                    reply: tx,
+                    reply: tx.into(),
                 },
             });
         }

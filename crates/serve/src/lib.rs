@@ -48,7 +48,7 @@ pub use registry::{
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use shed::{ShedConfig, ShedController};
 pub use status::TrainStatus;
-pub use worker::{Batch, WorkError, WorkItem, WorkerPool};
+pub use worker::{Batch, CompletionGuard, ReplySink, WorkError, WorkItem, WorkerPool};
 
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 

@@ -47,7 +47,7 @@ use crate::shed::{ShedConfig, ShedController};
 use crate::status::TrainStatus;
 use crate::worker::{WorkError, WorkItem, WorkerPool};
 use crate::ServeError;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
@@ -168,10 +168,11 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-/// One `model …` inventory line (shared by `stats` and `list`). The
-/// registry returns metas name-sorted, so replies built from it are
+/// One `model …` inventory line (shared by `stats` and `list`, and by the
+/// RGNP front-end so both protocols render byte-identical inventories).
+/// The registry returns metas name-sorted, so replies built from it are
 /// deterministic for a given set of loaded models.
-fn model_line(m: &ModelMeta) -> String {
+pub fn model_line(m: &ModelMeta) -> String {
     format!(
         "model {} v{} hash={} dim={} k={} cluster={} prediction={} bytes={} canary={} mem={}",
         m.name,
@@ -188,20 +189,26 @@ fn model_line(m: &ModelMeta) -> String {
 }
 
 /// The `stats` payload: registry inventory plus per-model counters.
-fn stats_lines(ctx: &Ctx) -> Vec<String> {
-    let hub = &ctx.hub;
-    let mut lines: Vec<String> = ctx.registry.list().iter().map(model_line).collect();
+/// Shared with the RGNP front-end (`reghd-net`), whose `stats` opcode must
+/// return the same lines byte-for-byte.
+pub fn render_stats(
+    registry: &ModelRegistry,
+    hub: &MetricsHub,
+    queue_depth: usize,
+    shed: Option<&ShedController>,
+) -> Vec<String> {
+    let mut lines: Vec<String> = registry.list().iter().map(model_line).collect();
     lines.extend(hub.render_all());
-    if let Some(store) = ctx.registry.resolver_stats() {
+    if let Some(store) = registry.resolver_stats() {
         lines.push(format!("store {store}"));
-        let h = ctx.registry.resolver_health();
+        let h = registry.resolver_health();
         lines.push(format!(
             "resolver retries={} failures={} breaker_trips={} short_circuits={} \
              open_breakers={}",
             h.retries, h.failures, h.breaker_trips, h.short_circuits, h.open_breakers,
         ));
     }
-    let (tier, demotions, promotions) = match &ctx.shed {
+    let (tier, demotions, promotions) = match shed {
         Some(s) => (
             if s.is_degraded() { "degraded" } else { "full" },
             s.demotions(),
@@ -216,7 +223,7 @@ fn stats_lines(ctx: &Ctx) -> Vec<String> {
         hub.connections.load(Ordering::Relaxed),
         hub.connections_rejected.load(Ordering::Relaxed),
         hub.bad_requests.load(Ordering::Relaxed),
-        ctx.batcher.depth(),
+        queue_depth,
         hub.canary_failures.load(Ordering::Relaxed),
         hub.rollbacks.load(Ordering::Relaxed),
         hub.sweeps.load(Ordering::Relaxed),
@@ -224,23 +231,52 @@ fn stats_lines(ctx: &Ctx) -> Vec<String> {
     lines
 }
 
+fn stats_lines(ctx: &Ctx) -> Vec<String> {
+    render_stats(
+        &ctx.registry,
+        &ctx.hub,
+        ctx.batcher.depth(),
+        ctx.shed.as_deref(),
+    )
+}
+
+/// Answers one row through the quantised binary fallback (§3.2),
+/// recording the outcome into `metrics`. Shared by the line front-end
+/// (rendered as a `degraded …` line) and the RGNP front-end (binary f32),
+/// so both protocols serve bit-identical degraded values.
+///
+/// # Errors
+///
+/// The message of the failed model call (or a non-finite estimate); the
+/// caller renders it as a protocol error.
+pub fn degraded_value(
+    served: &ServedModel,
+    metrics: &ModelMetrics,
+    row: &[f32],
+) -> Result<f32, String> {
+    match served.bundle.predict_degraded(&[row.to_vec()]) {
+        Ok(preds) if preds.first().is_some_and(|p| p.is_finite()) => {
+            metrics.record_degraded();
+            Ok(preds[0])
+        }
+        Ok(_) => {
+            metrics.record_error();
+            Err("degraded prediction not finite".to_string())
+        }
+        Err(msg) => {
+            metrics.record_error();
+            Err(msg)
+        }
+    }
+}
+
 /// Answers one row through the quantised binary fallback, tagging the
 /// reply `degraded`. Runs inline on the connection thread so it cannot be
 /// starved by the very saturation or faults it is compensating for.
 fn degraded_reply(served: &ServedModel, metrics: &ModelMetrics, row: &[f32]) -> String {
-    match served.bundle.predict_degraded(&[row.to_vec()]) {
-        Ok(preds) if preds.first().is_some_and(|p| p.is_finite()) => {
-            metrics.record_degraded();
-            format!("degraded {}", preds[0])
-        }
-        Ok(_) => {
-            metrics.record_error();
-            "err degraded prediction not finite".to_string()
-        }
-        Err(msg) => {
-            metrics.record_error();
-            format!("err {msg}")
-        }
+    match degraded_value(served, metrics, row) {
+        Ok(y) => format!("degraded {y}"),
+        Err(msg) => format!("err {msg}"),
     }
 }
 
@@ -411,7 +447,7 @@ fn handle_line(line: &str, ctx: &Ctx) -> (Vec<String>, bool) {
                 row: row.clone(),
                 enqueued_at: now,
                 deadline: ctx.deadline.map(|d| now + d),
-                reply: tx,
+                reply: tx.into(),
             };
             match ctx.batcher.enqueue(served.clone(), metrics.clone(), item) {
                 EnqueueResult::Accepted => {}
@@ -435,7 +471,9 @@ fn handle_line(line: &str, ctx: &Ctx) -> (Vec<String>, bool) {
                 }
                 Ok(Err(WorkError::Draining)) => (vec!["draining".to_string()], false),
                 Ok(Err(WorkError::Failed(msg))) => (vec![format!("err {msg}")], false),
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                Ok(Err(WorkError::Dropped))
+                | Err(RecvTimeoutError::Timeout)
+                | Err(RecvTimeoutError::Disconnected) => {
                     // Timed out, or the worker died mid-batch (killed or
                     // panicked — the reply sender dropped without an
                     // answer). Either way: degrade, don't error.
@@ -455,7 +493,7 @@ fn handle_conn(stream: TcpStream, ctx: &Ctx, read_timeout: Duration) {
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+        Ok(w) => BufWriter::new(w),
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
@@ -465,14 +503,36 @@ fn handle_conn(stream: TcpStream, ctx: &Ctx, read_timeout: Duration) {
         match reader.read_line(&mut line) {
             Ok(0) => return, // client closed
             Ok(_) => {
-                // Socket-level fault injection: the garbled request still
-                // parses as one line, so the damage surfaces as a typed
-                // protocol error rather than a framing break.
-                ctx.injector.garble_line(&mut line);
-                let (replies, close) = handle_line(line.trim_end(), ctx);
-                for reply in replies {
-                    if writeln!(writer, "{reply}").is_err() {
-                        return;
+                // Drain every complete request line the reader has already
+                // buffered before flushing once: a pipelined client that
+                // sent N requests in one segment gets its N replies in one
+                // write syscall instead of N.
+                let mut close = false;
+                loop {
+                    // Socket-level fault injection: the garbled request
+                    // still parses as one line, so the damage surfaces as a
+                    // typed protocol error rather than a framing break.
+                    ctx.injector.garble_line(&mut line);
+                    let (replies, c) = handle_line(line.trim_end(), ctx);
+                    for reply in replies {
+                        if writeln!(writer, "{reply}").is_err() {
+                            return;
+                        }
+                    }
+                    if c {
+                        close = true;
+                        break;
+                    }
+                    if !reader.buffer().contains(&b'\n') {
+                        break;
+                    }
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(n) if n > 0 => {}
+                        _ => {
+                            close = true;
+                            break;
+                        }
                     }
                 }
                 if writer.flush().is_err() || close {

@@ -34,6 +34,11 @@ pub enum WorkError {
     Expired,
     /// The batcher was draining at shutdown; the row was never dispatched.
     Draining,
+    /// The row's [`ReplySink`] was dropped without ever being answered —
+    /// the worker executing it panicked or exited. Front-ends treat this
+    /// exactly like a disconnected reply channel: fall back to the
+    /// degraded path.
+    Dropped,
     /// The model call itself failed (bad row width, etc.).
     Failed(String),
 }
@@ -43,7 +48,84 @@ impl std::fmt::Display for WorkError {
         match self {
             Self::Expired => write!(f, "deadline expired"),
             Self::Draining => write!(f, "server draining"),
+            Self::Dropped => write!(f, "reply sink dropped without an answer"),
             Self::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Where a row's answer goes.
+///
+/// The legacy line front-end blocks a connection thread on a rendezvous
+/// channel per request; the event-loop front-end cannot block, so it hands
+/// over a callback that routes the completion back to the poller that owns
+/// the connection. Both variants deliver **exactly one** terminal signal:
+/// the channel disconnects if its sender drops unanswered, and the callback
+/// variant is wrapped in a drop guard that fires [`WorkError::Dropped`] if
+/// a panicking worker unwinds past it.
+pub enum ReplySink {
+    /// Rendezvous channel; the sender is waited on with `recv_timeout`.
+    Channel(SyncSender<Result<f32, WorkError>>),
+    /// Callback invoked exactly once, from whichever thread settles the
+    /// row (worker, batcher drain, or the drop guard during an unwind).
+    Callback(CompletionGuard),
+}
+
+impl ReplySink {
+    /// Wraps a callback so the row is *guaranteed* an answer: if the sink
+    /// is dropped before [`ReplySink::send`] runs (worker panic, dropped
+    /// batch), the callback fires with [`WorkError::Dropped`].
+    pub fn from_fn<F>(f: F) -> Self
+    where
+        F: FnOnce(Result<f32, WorkError>) + Send + 'static,
+    {
+        Self::Callback(CompletionGuard(Some(Box::new(f))))
+    }
+
+    /// Delivers the row's one answer. Consumes the sink so a double send
+    /// is unrepresentable. A disconnected channel receiver (client hung
+    /// up) is fine; the error is ignored.
+    pub fn send(self, result: Result<f32, WorkError>) {
+        match self {
+            Self::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Self::Callback(mut guard) => {
+                if let Some(f) = guard.0.take() {
+                    f(result);
+                }
+            }
+        }
+    }
+}
+
+impl From<SyncSender<Result<f32, WorkError>>> for ReplySink {
+    fn from(tx: SyncSender<Result<f32, WorkError>>) -> Self {
+        Self::Channel(tx)
+    }
+}
+
+impl std::fmt::Debug for ReplySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Channel(_) => f.write_str("ReplySink::Channel"),
+            Self::Callback(_) => f.write_str("ReplySink::Callback"),
+        }
+    }
+}
+
+/// Boxed completion callback: consumes the row's one terminal result.
+type CompletionFn = Box<dyn FnOnce(Result<f32, WorkError>) + Send>;
+
+/// Drop guard around a completion callback (see [`ReplySink::from_fn`]).
+pub struct CompletionGuard(Option<CompletionFn>);
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        if let Some(f) = self.0.take() {
+            // This drop can run mid-unwind (worker panic); the callback
+            // must still not be allowed to escalate a panic into an abort.
+            let _ = catch_unwind(AssertUnwindSafe(|| f(Err(WorkError::Dropped))));
         }
     }
 }
@@ -59,9 +141,8 @@ pub struct WorkItem {
     /// model arithmetic runs — at drain time in the batcher and again just
     /// before compute in the worker (`None`: never expires).
     pub deadline: Option<Instant>,
-    /// Where the answer goes. A dropped receiver (client hung up) is fine;
-    /// the send error is ignored.
-    pub reply: SyncSender<Result<f32, WorkError>>,
+    /// Where the answer goes (blocking channel or poller callback).
+    pub reply: ReplySink,
 }
 
 impl WorkItem {
@@ -106,7 +187,7 @@ fn run_batch(batch: Batch, scratch: &mut reghd::PredictScratch) {
         batch.items.into_iter().partition(|i| !i.is_expired(now));
     for item in expired {
         batch.metrics.record_expired();
-        let _ = item.reply.send(Err(WorkError::Expired));
+        item.reply.send(Err(WorkError::Expired));
     }
     if live.is_empty() {
         return;
@@ -117,13 +198,13 @@ fn run_batch(batch: Batch, scratch: &mut reghd::PredictScratch) {
         Ok(preds) => {
             for (item, pred) in live.into_iter().zip(preds) {
                 batch.metrics.record_ok(item.enqueued_at.elapsed());
-                let _ = item.reply.send(Ok(pred));
+                item.reply.send(Ok(pred));
             }
         }
         Err(msg) => {
             for item in live {
                 batch.metrics.record_error();
-                let _ = item.reply.send(Err(WorkError::Failed(msg.clone())));
+                item.reply.send(Err(WorkError::Failed(msg.clone())));
             }
         }
     }
@@ -325,7 +406,7 @@ mod tests {
                 row,
                 enqueued_at: Instant::now(),
                 deadline: None,
-                reply: tx,
+                reply: tx.into(),
             },
             rx,
         )
@@ -405,7 +486,7 @@ mod tests {
                 row: vec![1.0, 2.0],
                 enqueued_at: Instant::now(),
                 deadline: None,
-                reply: tx,
+                reply: tx.into(),
             }],
         })
         .unwrap();
@@ -520,7 +601,7 @@ mod tests {
                     row: vec![1.0, 2.0],
                     enqueued_at: Instant::now(),
                     deadline: Some(Instant::now() - Duration::from_millis(1)),
-                    reply: expired_tx,
+                    reply: expired_tx.into(),
                 },
                 live,
             ],

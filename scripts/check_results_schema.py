@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Schema floor for the machine-readable bench summaries.
+
+Every ``results/*.json`` must be valid JSON and carry a top-level integer
+``"cores"`` key — without it, throughput/latency numbers are meaningless
+across machines and can't be compared between CI runs. Exits non-zero on
+the first violation so CI can gate on it.
+"""
+
+import glob
+import json
+import os
+import sys
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+
+def main() -> int:
+    paths = sorted(glob.glob(os.path.join(ROOT, "results", "*.json")))
+    if not paths:
+        print("no results/*.json files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        name = os.path.relpath(path, ROOT)
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"FAIL {name}: not valid JSON ({e})", file=sys.stderr)
+            failures += 1
+            continue
+        cores = doc.get("cores") if isinstance(doc, dict) else None
+        if not isinstance(cores, int) or cores < 1:
+            print(
+                f'FAIL {name}: missing top-level "cores" (got {cores!r})',
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"ok   {name}: cores={cores}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

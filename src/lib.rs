@@ -16,6 +16,9 @@
 //!   for the paper's FPGA/RPi measurements.
 //! * [`reghd_serve`] — concurrent inference: hot-swappable registry,
 //!   micro-batching, TCP front-end, fault tolerance.
+//! * [`reghd_net`] — event-driven RGNP front-end: epoll poller pool,
+//!   pipelined binary protocol, open-loop load generator (see
+//!   `docs/PROTOCOL.md`).
 //! * [`reghd_store`] — sharded per-user model store: mmap packfiles with
 //!   lazily verified sections, hot LRU, canary-gated delta publication.
 //! * [`reghd_train`] — streaming training: prequential pipeline, drift
@@ -46,6 +49,7 @@ pub use encoding;
 pub use hdc;
 pub use hwmodel;
 pub use reghd;
+pub use reghd_net;
 pub use reghd_serve;
 pub use reghd_store;
 pub use reghd_train;

@@ -1,0 +1,172 @@
+//! Line-protocol vs RGNP equivalence: the two front-ends share one
+//! registry and must answer bit-identically for every quantisation mode
+//! (ClusterMode × PredictionMode), on both the full-precision and the
+//! degraded tier. The line protocol renders f32 through `Display`,
+//! which is shortest-roundtrip in Rust, so parsing the text back gives
+//! the exact bits the server computed.
+
+#![cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+
+use reghd_repro::prelude::*;
+use reghd_repro::reghd_net::client::PredictReply;
+use reghd_repro::reghd_net::{serve_rgnp, NetConfig, RgnpClient};
+use reghd_repro::reghd_serve::bundle::ModelBundle;
+use reghd_repro::reghd_serve::registry::ModelRegistry;
+use reghd_repro::reghd_serve::{serve, ServerConfig};
+use reghd_repro::{encoding::EncoderSpec, reghd::RegHdConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn trained(cm: ClusterMode, pm: PredictionMode, seed: u64) -> ModelBundle {
+    let rows: Vec<Vec<f32>> = (0..60)
+        .map(|i| vec![i as f32 / 30.0, (i % 5) as f32])
+        .collect();
+    let ys: Vec<f32> = rows.iter().map(|r| 2.0 * r[0] - r[1]).collect();
+    let spec = EncoderSpec::Nonlinear {
+        input_dim: 2,
+        dim: 128,
+        seed: seed ^ 0xC11,
+    };
+    let cfg = RegHdConfig::builder()
+        .dim(128)
+        .models(2)
+        .seed(seed)
+        .max_epochs(4)
+        .cluster_mode(cm)
+        .prediction_mode(pm)
+        .build();
+    let mut model = RegHdRegressor::new(cfg, spec.build());
+    model.fit(&rows, &ys);
+    ModelBundle::from_trained(model, vec![0.0; 2], vec![1.0; 2], 0.0, 1.0, &rows).unwrap()
+}
+
+fn line_roundtrip(stream: &mut TcpStream, req: &str) -> String {
+    writeln!(stream, "{req}").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+#[test]
+fn line_and_rgnp_predict_bit_identically_across_all_modes() {
+    let cluster_modes = [
+        ClusterMode::Integer,
+        ClusterMode::FrameworkBinary,
+        ClusterMode::NaiveBinary,
+    ];
+    let prediction_modes = [
+        PredictionMode::Full,
+        PredictionMode::BinaryQuery,
+        PredictionMode::BinaryModel,
+        PredictionMode::BinaryBoth,
+    ];
+    let registry = Arc::new(ModelRegistry::new());
+    let mut names = Vec::new();
+    let mut seed = 40u64;
+    for cm in cluster_modes {
+        for pm in prediction_modes {
+            let name = format!("m-{cm:?}-{pm:?}").to_lowercase();
+            let bundle = trained(cm, pm, seed);
+            registry
+                .load_bytes(&name, &bundle.to_bytes().unwrap())
+                .unwrap();
+            names.push(name);
+            seed += 1;
+        }
+    }
+
+    let line_handle = serve(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+        registry.clone(),
+    )
+    .unwrap();
+    let rgnp_handle = serve_rgnp(
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            pollers: 2,
+            ..NetConfig::default()
+        },
+        registry.clone(),
+    )
+    .unwrap();
+
+    let mut line = TcpStream::connect(line_handle.local_addr()).unwrap();
+    let mut rgnp = RgnpClient::connect(&rgnp_handle.local_addr().to_string()).unwrap();
+    rgnp.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let probe_rows: [[f32; 2]; 3] = [[0.25, 1.0], [1.5, 3.0], [-0.5, 4.0]];
+    for name in &names {
+        // Full-precision tier.
+        for row in &probe_rows {
+            let text = line_roundtrip(&mut line, &format!("predict {name} {},{}", row[0], row[1]));
+            let y_line: f32 = text
+                .strip_prefix("ok ")
+                .unwrap_or_else(|| panic!("line reply for {name}: {text}"))
+                .parse()
+                .unwrap();
+            match rgnp.predict(name, row).unwrap() {
+                PredictReply::Ok(y) => assert_eq!(
+                    y.to_bits(),
+                    y_line.to_bits(),
+                    "{name} row {row:?}: rgnp {y} vs line {y_line}"
+                ),
+                other => panic!("{name}: expected ok, got {other:?}"),
+            }
+        }
+        // Degraded tier: flag the model corrupt so both front-ends take
+        // their inline §3.2 fallback, then unflag.
+        let served = registry.get(name).unwrap();
+        served.corrupt.store(true, Ordering::Relaxed);
+        for row in &probe_rows {
+            let text = line_roundtrip(&mut line, &format!("predict {name} {},{}", row[0], row[1]));
+            let y_line: f32 = text
+                .strip_prefix("degraded ")
+                .unwrap_or_else(|| panic!("line degraded reply for {name}: {text}"))
+                .parse()
+                .unwrap();
+            match rgnp.predict(name, row).unwrap() {
+                PredictReply::Degraded(y) => assert_eq!(
+                    y.to_bits(),
+                    y_line.to_bits(),
+                    "{name} degraded row {row:?}: rgnp {y} vs line {y_line}"
+                ),
+                other => panic!("{name}: expected degraded, got {other:?}"),
+            }
+        }
+        served.corrupt.store(false, Ordering::Relaxed);
+    }
+
+    // The inventory is byte-identical too: RGNP `list` is the line
+    // protocol's `list` lines minus the trailing `ok` terminator
+    // (frames self-delimit).
+    let mut line_list = Vec::new();
+    writeln!(line, "list").unwrap();
+    let mut reader = BufReader::new(line.try_clone().unwrap());
+    loop {
+        let mut l = String::new();
+        reader.read_line(&mut l).unwrap();
+        let l = l.trim_end().to_string();
+        if l == "ok" {
+            break;
+        }
+        line_list.push(l);
+    }
+    assert_eq!(rgnp.list().unwrap(), line_list.join("\n"));
+
+    rgnp_handle.shutdown();
+    line_handle.shutdown();
+}
