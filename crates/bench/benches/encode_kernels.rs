@@ -111,10 +111,11 @@ fn main() {
         }
     }
 
-    println!("encode kernels (features={FEATURES}, target_rows={target_rows}, cores={cores}, single-thread)");
+    let simd = hdc::simd::active_label();
+    println!("encode kernels (features={FEATURES}, target_rows={target_rows}, cores={cores}, simd={simd}, single-thread)");
     let mut json = format!(
         "{{\n  \"features\": {FEATURES},\n  \"target_rows\": {target_rows},\n  \
-         \"cores\": {cores},\n  \"threads\": 1,\n  \"samples\": [\n"
+         \"cores\": {cores},\n  \"simd\": \"{simd}\",\n  \"threads\": 1,\n  \"samples\": [\n"
     );
     for (i, s) in samples.iter().enumerate() {
         let blocked_speedup = s.blocked_rps / s.scalar_rps;

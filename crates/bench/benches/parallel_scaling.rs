@@ -101,9 +101,11 @@ fn main() {
         bench_dim(dim, rows, &mut samples);
     }
 
-    println!("parallel scaling (k={K}, rows={rows}, cores={cores})");
+    let simd = hdc::simd::active_label();
+    println!("parallel scaling (k={K}, rows={rows}, cores={cores}, simd={simd})");
     let mut json = format!(
-        "{{\n  \"k\": {K},\n  \"rows\": {rows},\n  \"cores\": {cores},\n  \"samples\": [\n"
+        "{{\n  \"k\": {K},\n  \"rows\": {rows},\n  \"cores\": {cores},\n  \
+         \"simd\": \"{simd}\",\n  \"samples\": [\n"
     );
     for (i, s) in samples.iter().enumerate() {
         let base = samples

@@ -145,8 +145,10 @@ fn main() {
     let batched = bench_micro_batched(&model, &rows, 32);
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let simd = hdc::simd::active_label();
     println!(
-        "serve throughput (dim={DIM}, k={K}, rows={}, workers={WORKERS}, cores={cores})",
+        "serve throughput (dim={DIM}, k={K}, rows={}, workers={WORKERS}, cores={cores}, \
+         simd={simd})",
         rows.len()
     );
     println!("  single-thread : {single:>10.0} rows/sec");
@@ -161,7 +163,8 @@ fn main() {
 
     let json = format!(
         "{{\n  \"dim\": {DIM},\n  \"k\": {K},\n  \"rows\": {},\n  \"workers\": {WORKERS},\n  \
-         \"cores\": {cores},\n  \"rows_per_sec\": {{\n    \"single_thread\": {single:.1},\n    \
+         \"cores\": {cores},\n  \"simd\": \"{simd}\",\n  \
+         \"rows_per_sec\": {{\n    \"single_thread\": {single:.1},\n    \
          \"worker_pool\": {pooled:.1},\n    \"micro_batched\": {batched:.1}\n  }}\n}}\n",
         rows.len()
     );

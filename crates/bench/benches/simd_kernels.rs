@@ -1,0 +1,326 @@
+//! Throughput of the runtime-dispatched SIMD kernels and the bit-packed
+//! binary inference tier, single-thread, at dim ∈ {2048, 8192}:
+//!
+//! * **f32 scalar** — full-precision Eq. 6 predict with dispatch forced to
+//!   the scalar fallback (bit-identical to the pre-SIMD blocked kernels).
+//! * **f32 simd** — the same path on the auto-detected vector ISA.
+//! * **binary** — the §3.2 bit-packed popcount tier (int8 projection +
+//!   fast trig + Hamming similarity + popcount scores) on the active ISA.
+//!
+//! Before timing, every configuration re-asserts the dispatch invariant:
+//! forced-scalar and active-ISA full-precision predictions must be
+//! **bit-identical** (the SIMD lanes keep the fixed k-ascending reduction
+//! order), and likewise for the binary tier.
+//!
+//! Each measured tier is cross-checked against the `hwmodel` op-cost
+//! tables (`DeviceProfile::host_cpu`): the JSON records predicted vs
+//! measured per-row time and flags any tier where they disagree by more
+//! than 2×. The ISSUE 10 acceptance gates — binary ≥ 10× f32-scalar at
+//! D=8192, SIMD f32 ≥ the scalar/blocked numbers — are asserted in full
+//! runs (skipped under `--test`, where timings are too short to be
+//! stable). Writes `results/simd_kernels.json`.
+
+use hdc::rng::HdRng;
+use hdc::simd::{self, SimdLevel};
+use hwmodel::algos::{binary_tier_infer_cost, reghd_infer_cost, RegHdShape};
+use hwmodel::device::DeviceProfile;
+use reghd::config::{ClusterMode, PredictionMode, RegHdConfig};
+use reghd::{PredictScratch, RegHdRegressor, Regressor};
+
+const FEATURES: usize = 32;
+const MODELS: usize = 4;
+const DIMS: [usize; 2] = [2048, 8192];
+/// Nominal clock for the absolute-time predictions. The container's real
+/// frequency is unknown, which is exactly what the ±2× band absorbs.
+const HOST_FREQ_HZ: f64 = 3.0e9;
+
+fn workload(rows: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = HdRng::seed_from(seed);
+    (0..rows)
+        .map(|_| (0..FEATURES).map(|_| rng.next_gaussian() as f32).collect())
+        .collect()
+}
+
+fn train_model(dim: usize) -> RegHdRegressor {
+    let xs = workload(200, 7 + dim as u64);
+    let ys: Vec<f32> = xs.iter().map(|x| x[0] + x[1] * x[2]).collect();
+    let cfg = RegHdConfig::builder()
+        .dim(dim)
+        .models(MODELS)
+        .max_epochs(2)
+        .min_epochs(2)
+        .cluster_mode(ClusterMode::FrameworkBinary)
+        .prediction_mode(PredictionMode::Full)
+        .seed(7)
+        .build();
+    let mut m = RegHdRegressor::new(
+        cfg,
+        Box::new(encoding::NonlinearEncoder::new(FEATURES, dim, 7)),
+    );
+    m.set_threads(1);
+    m.fit(&xs, &ys);
+    m
+}
+
+/// Times `f` over `iters` repetitions and returns rows/sec.
+fn time_rps(rows_per_iter: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (rows_per_iter * iters) as f64 / start.elapsed().as_secs_f64()
+}
+
+struct TierCheck {
+    tier: &'static str,
+    predicted_us: f64,
+    measured_us: f64,
+}
+
+impl TierCheck {
+    fn ratio(&self) -> f64 {
+        self.predicted_us / self.measured_us
+    }
+
+    fn flagged(&self) -> bool {
+        !(0.5..=2.0).contains(&self.ratio())
+    }
+}
+
+struct Sample {
+    dim: usize,
+    f32_scalar_rps: f64,
+    f32_simd_rps: f64,
+    binary_rps: f64,
+    /// Held-out RMSE of the full-precision path vs the bit-packed tier on
+    /// the training task — the accuracy side of the accuracy-vs-latency
+    /// table in `EXPERIMENTS.md` (paper §3.2 quality-loss claims).
+    rmse_full: f64,
+    rmse_binary: f64,
+    checks: Vec<TierCheck>,
+}
+
+fn rmse(pred: &[f32], ys: &[f32]) -> f64 {
+    let se: f64 = pred
+        .iter()
+        .zip(ys)
+        .map(|(&p, &y)| (p as f64 - y as f64).powi(2))
+        .sum();
+    (se / ys.len() as f64).sqrt()
+}
+
+fn bits_of(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn bench_dim(dim: usize, target_rows: usize, active: SimdLevel, out: &mut Vec<Sample>) {
+    let model = train_model(dim);
+    let batch = 32usize;
+    let xs = workload(batch, 91 + dim as u64);
+    let iters = (target_rows / batch).max(1);
+    let mut scratch = PredictScratch::default();
+
+    // Dispatch bit-identity gate: scalar fallback and active ISA must
+    // produce the same bits on both tiers before either is timed.
+    simd::set_level(SimdLevel::Scalar).expect("scalar is always available");
+    let full_scalar = model.predict_batch_with(&xs, &mut scratch);
+    let bin_scalar = model.predict_batch_binary_with(&xs, &mut scratch);
+    simd::set_level(active).expect("detected level must be available");
+    let full_simd = model.predict_batch_with(&xs, &mut scratch);
+    let bin_simd = model.predict_batch_binary_with(&xs, &mut scratch);
+    assert_eq!(
+        bits_of(&full_scalar),
+        bits_of(&full_simd),
+        "f32 path diverged between scalar and {} at dim={dim}",
+        active.label()
+    );
+    assert_eq!(
+        bits_of(&bin_scalar),
+        bits_of(&bin_simd),
+        "binary tier diverged between scalar and {} at dim={dim}",
+        active.label()
+    );
+
+    // Held-out accuracy of the two tiers on the training task.
+    let eval_xs = workload(256, 173 + dim as u64);
+    let eval_ys: Vec<f32> = eval_xs.iter().map(|x| x[0] + x[1] * x[2]).collect();
+    let rmse_full = rmse(&model.predict_batch_with(&eval_xs, &mut scratch), &eval_ys);
+    let rmse_binary = rmse(
+        &model.predict_batch_binary_with(&eval_xs, &mut scratch),
+        &eval_ys,
+    );
+
+    simd::set_level(SimdLevel::Scalar).expect("scalar is always available");
+    let f32_scalar_rps = time_rps(batch, iters, || {
+        std::hint::black_box(model.predict_batch_with(&xs, &mut scratch));
+    });
+    simd::set_level(active).expect("detected level must be available");
+    let f32_simd_rps = time_rps(batch, iters, || {
+        std::hint::black_box(model.predict_batch_with(&xs, &mut scratch));
+    });
+    let binary_rps = time_rps(batch, iters, || {
+        std::hint::black_box(model.predict_batch_binary_with(&xs, &mut scratch));
+    });
+
+    // hwmodel cross-check: predicted per-row time per tier.
+    let shape = RegHdShape {
+        dim: dim as u64,
+        models: MODELS as u64,
+        features: FEATURES as u64,
+        cluster_binary: true,
+        query_binary: false,
+        model_binary: false,
+    };
+    let scalar_dev = DeviceProfile::host_cpu("scalar", HOST_FREQ_HZ);
+    let active_dev = DeviceProfile::host_cpu(active.label(), HOST_FREQ_HZ);
+    let checks = vec![
+        TierCheck {
+            tier: "f32_scalar",
+            predicted_us: scalar_dev.time_s(&reghd_infer_cost(&shape)) * 1e6,
+            measured_us: 1e6 / f32_scalar_rps,
+        },
+        TierCheck {
+            tier: "f32_simd",
+            predicted_us: active_dev.time_s(&reghd_infer_cost(&shape)) * 1e6,
+            measured_us: 1e6 / f32_simd_rps,
+        },
+        TierCheck {
+            tier: "binary",
+            predicted_us: active_dev.time_s(&binary_tier_infer_cost(&shape)) * 1e6,
+            measured_us: 1e6 / binary_rps,
+        },
+    ];
+
+    out.push(Sample {
+        dim,
+        f32_scalar_rps,
+        f32_simd_rps,
+        binary_rps,
+        rmse_full,
+        rmse_binary,
+        checks,
+    });
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let target_rows = if quick { 32 } else { 1_024 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let active = simd::detect();
+    let simd_label = active.label();
+
+    let mut samples = Vec::new();
+    for dim in DIMS {
+        bench_dim(dim, target_rows, active, &mut samples);
+    }
+
+    println!(
+        "simd kernels (features={FEATURES}, k={MODELS}, target_rows={target_rows}, \
+         cores={cores}, simd={simd_label}, single-thread)"
+    );
+    let mut json = format!(
+        "{{\n  \"features\": {FEATURES},\n  \"k\": {MODELS},\n  \
+         \"target_rows\": {target_rows},\n  \"cores\": {cores},\n  \
+         \"simd\": \"{simd_label}\",\n  \"threads\": 1,\n  \"samples\": [\n"
+    );
+    for (i, s) in samples.iter().enumerate() {
+        let simd_speedup = s.f32_simd_rps / s.f32_scalar_rps;
+        let binary_speedup = s.binary_rps / s.f32_scalar_rps;
+        println!(
+            "  dim={:<5}: f32 scalar {:>8.0} rows/s  f32 {} {:>8.0} rows/s ({:.2}x)  \
+             binary {:>9.0} rows/s ({:.1}x vs scalar f32)",
+            s.dim,
+            s.f32_scalar_rps,
+            simd_label,
+            s.f32_simd_rps,
+            simd_speedup,
+            s.binary_rps,
+            binary_speedup,
+        );
+        let rmse_delta_pct = 100.0 * (s.rmse_binary - s.rmse_full) / s.rmse_full;
+        println!(
+            "    accuracy: rmse full {:.4}  binary {:.4}  (binary +{:.2}%)",
+            s.rmse_full, s.rmse_binary, rmse_delta_pct,
+        );
+        for c in &s.checks {
+            println!(
+                "    hwmodel {:<10}: predicted {:>8.1} µs/row  measured {:>8.1} µs/row  \
+                 ratio {:.2}{}",
+                c.tier,
+                c.predicted_us,
+                c.measured_us,
+                c.ratio(),
+                if c.flagged() {
+                    "  ** >2x disagreement **"
+                } else {
+                    ""
+                },
+            );
+        }
+        let checks_json: Vec<String> = s
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "        {{\"tier\": \"{}\", \"predicted_us_per_row\": {:.2}, \
+                     \"measured_us_per_row\": {:.2}, \"predicted_over_measured\": {:.3}, \
+                     \"flagged\": {}}}",
+                    c.tier,
+                    c.predicted_us,
+                    c.measured_us,
+                    c.ratio(),
+                    c.flagged(),
+                )
+            })
+            .collect();
+        json.push_str(&format!(
+            "    {{\n      \"dim\": {},\n      \"f32_scalar_rows_per_sec\": {:.1},\n      \
+             \"f32_simd_rows_per_sec\": {:.1},\n      \"binary_rows_per_sec\": {:.1},\n      \
+             \"simd_speedup\": {:.3},\n      \"binary_speedup_vs_scalar_f32\": {:.3},\n      \
+             \"rmse_full\": {:.5},\n      \"rmse_binary\": {:.5},\n      \
+             \"binary_rmse_delta_pct\": {:.2},\n      \
+             \"hwmodel\": [\n{}\n      ]\n    }}{}\n",
+            s.dim,
+            s.f32_scalar_rps,
+            s.f32_simd_rps,
+            s.binary_rps,
+            simd_speedup,
+            binary_speedup,
+            s.rmse_full,
+            s.rmse_binary,
+            rmse_delta_pct,
+            checks_json.join(",\n"),
+            if i + 1 == samples.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/simd_kernels.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("summary written to {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+
+    // ISSUE 10 acceptance gates, enforced by exit status on full runs.
+    if !quick {
+        for s in &samples {
+            assert!(
+                s.f32_simd_rps >= s.f32_scalar_rps,
+                "dim={}: SIMD f32 {:.0} rows/s slower than scalar {:.0}",
+                s.dim,
+                s.f32_simd_rps,
+                s.f32_scalar_rps
+            );
+            if s.dim == 8192 {
+                assert!(
+                    s.binary_rps >= 10.0 * s.f32_scalar_rps,
+                    "dim=8192: binary tier {:.0} rows/s < 10x scalar f32 {:.0}",
+                    s.binary_rps,
+                    s.f32_scalar_rps
+                );
+            }
+        }
+        println!("gates: SIMD f32 >= scalar at every dim; binary >= 10x scalar f32 at D=8192");
+    }
+}

@@ -106,6 +106,7 @@ fn main() {
     let probes: usize = if quick { 500 } else { 2_000 };
     let swaps: usize = if quick { 20 } else { 200 };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let simd = hdc::simd::active_label();
 
     let dir = std::env::temp_dir().join("reghd_store_scale_bench");
     let _ = std::fs::remove_dir_all(&dir);
@@ -209,7 +210,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"keys\": {keys},\n  \"cores\": {cores},\n  \"dim\": {DIM},\n  \
+        "{{\n  \"keys\": {keys},\n  \"cores\": {cores},\n  \
+         \"simd\": \"{simd}\",\n  \"dim\": {DIM},\n  \
          \"bundle_bytes\": {},\n  \"index_secs\": {index_secs:.3},\n  \
          \"rss_start_mb\": {:.1},\n  \"rss_indexed_mb\": {:.1},\n  \"rss_final_mb\": {:.1},\n  \
          \"index_bytes_per_key\": {per_key:.1},\n  \

@@ -128,9 +128,10 @@ fn main() {
     assert!(report.publications >= 1, "nothing published: {report:?}");
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let simd = hdc::simd::active_label();
     println!(
         "streaming train throughput (dim={DIM}, k={K}, features={FEATURES}, \
-         samples={samples}, cores={cores})"
+         samples={samples}, cores={cores}, simd={simd})"
     );
     println!("  train only        : {alone:>10.0} samples/sec");
     println!(
@@ -146,6 +147,7 @@ fn main() {
     let json = format!(
         "{{\n  \"dim\": {DIM},\n  \"k\": {K},\n  \"features\": {FEATURES},\n  \
          \"samples\": {samples},\n  \"cores\": {cores},\n  \
+         \"simd\": \"{simd}\",\n  \
          \"train_only_samples_per_sec\": {alone:.1},\n  \"train_while_serve\": {{\n    \
          \"samples_per_sec\": {contended:.1},\n    \"serve_rows_per_sec\": {serve_rate:.1},\n    \
          \"drift_events\": {},\n    \"checkpoints\": {},\n    \"publications\": {},\n    \

@@ -513,9 +513,11 @@ fn main() {
     let args = parse_args();
     let proto = args.proto;
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let simd = hdc::simd::active_label();
     let workers = cores.clamp(2, 4);
     println!(
-        "cores {cores}, workers {workers}, proto {}, soak {:?}, overload {OVERLOAD_FACTOR}×",
+        "cores {cores}, simd {simd}, workers {workers}, proto {}, soak {:?}, \
+         overload {OVERLOAD_FACTOR}×",
         proto.name(),
         args.soak
     );
@@ -730,10 +732,11 @@ fn main() {
 
     let json = format!(
         "{{\n  \"soak_secs\": {:.1},\n  \"proto\": \"{}\",\n  \"cores\": {cores},\n  \
-         \"workers\": {workers},\n  \
+         \"simd\": \"{simd}\",\n  \"workers\": {workers},\n  \
          \"clients\": {SOAK_CLIENTS},\n  \"baseline_rps\": {capacity:.0},\n  \
          \"offered_rps\": {offered:.0},\n  \"overload_factor\": {OVERLOAD_FACTOR:.1},\n  \
-         \"sent\": {},\n  \"ok\": {},\n  \"degraded\": {},\n  \"busy\": {},\n  \
+         \"sent\": {},\n  \"ok\": {},\n  \"degraded\": {},\n  \
+         \"tier_full\": {},\n  \"tier_binary\": {},\n  \"busy\": {},\n  \
          \"draining\": {},\n  \"errors\": {},\n  \"lost\": {},\n  \
          \"availability\": {availability:.4},\n  \"p50_us\": {p50},\n  \"p95_us\": {p95},\n  \
          \"p99_us\": {p99},\n  \"expired\": {expired},\n  \"queue_shed\": {shed},\n  \
@@ -748,6 +751,10 @@ fn main() {
         args.soak.as_secs_f64(),
         proto.name(),
         storm.sent,
+        storm.ok,
+        storm.degraded,
+        // Which prediction tier answered: OK replies come off the full
+        // Eq. 6 path, DEGRADED replies off the bit-packed binary tier.
         storm.ok,
         storm.degraded,
         storm.busy,

@@ -83,6 +83,7 @@ fn run_sample(addr: &str, s: &Sample) -> LoadReport {
         duration: s.duration,
         grace: Duration::from_secs(3),
         threads: 4,
+        ..LoadConfig::default()
     };
     println!(
         "sample: {} conns, {:.0} rows/s offered, {:?} window",
@@ -118,7 +119,9 @@ fn sample_json(s: &Sample, r: &LoadReport) -> String {
     format!(
         "    {{\n      \"connections\": {},\n      \"opened\": {},\n      \
          \"offered_rps\": {:.1},\n      \"duration_secs\": {:.1},\n      \"sent\": {},\n      \
-         \"ok\": {},\n      \"degraded\": {},\n      \"busy\": {},\n      \"draining\": {},\n      \
+         \"ok\": {},\n      \"degraded\": {},\n      \
+         \"tier_full\": {},\n      \"tier_binary\": {},\n      \
+         \"busy\": {},\n      \"draining\": {},\n      \
          \"errors\": {},\n      \"protocol_errors\": {},\n      \"lost\": {},\n      \
          \"conn_failures\": {},\n      \"availability\": {:.4},\n      \
          \"achieved_rps\": {:.1},\n      \"p50_us\": {},\n      \"p95_us\": {},\n      \
@@ -130,6 +133,10 @@ fn sample_json(s: &Sample, r: &LoadReport) -> String {
         r.sent,
         r.ok,
         r.degraded,
+        // Which prediction tier answered: OK = full Eq. 6, DEGRADED =
+        // bit-packed binary.
+        r.tier_full(),
+        r.tier_binary(),
         r.busy,
         r.draining,
         r.errors,
@@ -147,9 +154,11 @@ fn sample_json(s: &Sample, r: &LoadReport) -> String {
 
 fn write_results(path: &str, samples: &[(Sample, LoadReport)]) {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let simd = hdc::simd::active_label();
     let body: Vec<String> = samples.iter().map(|(s, r)| sample_json(s, r)).collect();
     let json = format!(
-        "{{\n  \"cores\": {cores},\n  \"proto\": \"rgnp\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"cores\": {cores},\n  \"simd\": \"{simd}\",\n  \"proto\": \"rgnp\",\n  \
+         \"samples\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{path}"));

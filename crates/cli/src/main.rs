@@ -71,15 +71,18 @@ fn usage() -> ! {
          [--samples N] [--checkpoint-every N] [--checkpoint-dir DIR] [--drift ph|ewma|off] \
          [--drift-action reset|shadow] [--publish-to NAME] [--serve-addr HOST:PORT] \
          [--resume state.rghd] [--dim N] [--models K] [--seed N] [--threads N]\n  \
-         reghd-cli eval    --csv <data.csv> --model <model.rghd> [--trig exact|fast]\n  \
-         reghd-cli predict --csv <data.csv> --model <model.rghd> [--trig exact|fast]\n  \
+         reghd-cli eval    --csv <data.csv> --model <model.rghd> [--trig exact|fast] \
+         [--tier full|binary] [--simd auto|avx2|neon|scalar]\n  \
+         reghd-cli predict --csv <data.csv> --model <model.rghd> [--trig exact|fast] \
+         [--tier full|binary] [--simd auto|avx2|neon|scalar]\n  \
          reghd-cli serve   [--model <model.rghd>] [--store DIR] [--name NAME] [--addr HOST:PORT] \
-         [--proto rgnp|line] [--workers N] [--threads N] [--trig exact|fast] [--max-batch N] \
+         [--proto rgnp|line] [--workers N] [--threads N] [--trig exact|fast] \
+         [--simd auto|avx2|neon|scalar] [--max-batch N] \
          [--max-wait-us N] [--queue-cap N] [--max-conns N] [--deadline-us N] [--shed-p95-us N] \
          [--pollers N] [--max-frame N] [--write-budget N] \
          [--canary] [--chaos] [--sweep-interval-ms N]\n  \
          reghd-cli loadgen --addr <HOST:PORT> --model NAME [--row f32,f32,...] \
-         [--conns N] [--rate RPS] [--secs N] [--json PATH]\n  \
+         [--conns N] [--rate RPS] [--secs N] [--tier full|binary] [--json PATH]\n  \
          reghd-cli store   <init|ingest|stats|compact|predict> --dir DIR \
          [--shards N] [--hot-budget-mb N] [--model model.rghd] [--key KEY] [--copies N] \
          [--csv data.csv]\n  \
@@ -167,6 +170,33 @@ fn parse_trig(args: &Args) -> Result<hdc::TrigMode, String> {
         Some("exact") => Ok(hdc::TrigMode::Exact),
         Some("fast") => Ok(hdc::TrigMode::Fast),
         Some(other) => Err(format!("unknown trig mode {other:?} (expected exact|fast)")),
+    }
+}
+
+/// Applies the `--simd` flag (`auto|avx2|neon|scalar`) as the process-wide
+/// dispatch level. Absent flag keeps the default (the `REGHD_SIMD`
+/// environment variable, else auto-detect).
+fn apply_simd(args: &Args) -> Result<(), String> {
+    if let Some(pref) = args.get("simd") {
+        hdc::simd::set_preference(pref)?;
+    }
+    Ok(())
+}
+
+/// Which prediction tier `eval`/`predict` should run: the full-precision
+/// Eq. 6 path or the §3.2 bit-packed popcount tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CliTier {
+    Full,
+    Binary,
+}
+
+/// Maps the `--tier` flag to a [`CliTier`] (`full` when absent).
+fn parse_tier(args: &Args) -> Result<CliTier, String> {
+    match args.get("tier") {
+        None | Some("full") => Ok(CliTier::Full),
+        Some("binary") => Ok(CliTier::Binary),
+        Some(other) => Err(format!("unknown tier {other:?} (expected full|binary)")),
     }
 }
 
@@ -444,10 +474,15 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     let csv = args.require("csv");
     let model_path = args.require("model");
     let trig = parse_trig(args)?;
+    let tier = parse_tier(args)?;
+    apply_simd(args)?;
     let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
     let bundle = ModelBundle::load(model_path)?;
     bundle.set_trig_mode(trig);
-    let preds = bundle.predict(&ds.features)?;
+    let preds = match tier {
+        CliTier::Full => bundle.predict(&ds.features)?,
+        CliTier::Binary => bundle.predict_binary(&ds.features)?,
+    };
     let mse = datasets::metrics::mse(&preds, &ds.targets);
     let rmse = datasets::metrics::rmse(&preds, &ds.targets);
     let r2 = datasets::metrics::r2(&preds, &ds.targets);
@@ -462,10 +497,16 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let csv = args.require("csv");
     let model_path = args.require("model");
     let trig = parse_trig(args)?;
+    let tier = parse_tier(args)?;
+    apply_simd(args)?;
     let ds = datasets::csv::load_csv(csv).map_err(|e| e.to_string())?;
     let bundle = ModelBundle::load(model_path)?;
     bundle.set_trig_mode(trig);
-    print_predictions(&bundle.predict(&ds.features)?);
+    let preds = match tier {
+        CliTier::Full => bundle.predict(&ds.features)?,
+        CliTier::Binary => bundle.predict_binary(&ds.features)?,
+    };
+    print_predictions(&preds);
     Ok(())
 }
 
@@ -591,6 +632,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let workers: usize = args.parse_num("workers", 4);
     let threads: usize = args.parse_num("threads", 0);
     let trig = parse_trig(args)?;
+    apply_simd(args)?;
     let max_batch: usize = args.parse_num("max-batch", 32);
     let max_wait_us: u64 = args.parse_num("max-wait-us", 500);
     let queue_cap: usize = args.parse_num("queue-cap", BatcherConfig::default().queue_cap);
@@ -750,9 +792,14 @@ fn parse_row(spec: &str) -> Result<Vec<f32>, String> {
 }
 
 fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    use reghd_net::frame::PredictionTier;
     use reghd_net::loadgen::{self, LoadConfig};
     use std::time::Duration;
 
+    let tier = match parse_tier(args)? {
+        CliTier::Full => PredictionTier::Full,
+        CliTier::Binary => PredictionTier::Binary,
+    };
     let cfg = LoadConfig {
         addr: args.require("addr").to_string(),
         model: args.require("model").to_string(),
@@ -762,6 +809,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         duration: Duration::from_secs(args.parse_num("secs", 5)),
         grace: Duration::from_secs(args.parse_num("grace-secs", 2)),
         threads: args.parse_num("threads", 0),
+        tier,
     };
     println!(
         "offering {} rows/s over {} connections to {} for {:?}",
@@ -790,19 +838,25 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
     );
     if let Some(path) = args.get("json") {
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let simd = hdc::simd::active_label();
         let json = format!(
-            "{{\n  \"cores\": {cores},\n  \"connections\": {},\n  \"offered_rps\": {:.1},\n  \
+            "{{\n  \"cores\": {cores},\n  \"simd\": \"{simd}\",\n  \
+             \"requested_tier\": \"{}\",\n  \"connections\": {},\n  \"offered_rps\": {:.1},\n  \
              \"duration_secs\": {:.1},\n  \"sent\": {},\n  \"ok\": {},\n  \"degraded\": {},\n  \
+             \"tier_full\": {},\n  \"tier_binary\": {},\n  \
              \"busy\": {},\n  \"draining\": {},\n  \"errors\": {},\n  \
              \"protocol_errors\": {},\n  \"lost\": {},\n  \"conn_failures\": {},\n  \
              \"availability\": {:.4},\n  \"achieved_rps\": {:.1},\n  \"p50_us\": {},\n  \
              \"p95_us\": {},\n  \"p99_us\": {},\n  \"max_us\": {}\n}}\n",
+            cfg.tier.label(),
             report.connections,
             cfg.rate,
             cfg.duration.as_secs_f64(),
             report.sent,
             report.ok,
             report.degraded,
+            report.tier_full(),
+            report.tier_binary(),
             report.busy,
             report.draining,
             report.errors,

@@ -156,6 +156,25 @@ pub trait Encoder: Send + Sync {
         });
     }
 
+    /// Encodes one row through the **int8 quantised path** (§3.2): the
+    /// projection matvec runs in integer arithmetic
+    /// ([`hdc::quant::QuantizedWeights`]) and any trigonometric stage uses
+    /// the fast polynomial forms unconditionally. Returns `false` (leaving
+    /// `out` untouched) when the encoder has no quantised path — callers
+    /// fall back to [`Encoder::encode`] and binarise that instead.
+    ///
+    /// The output approximates [`Encoder::encode`]; the bit-packed
+    /// inference tier consumes only its signs plus one amplitude statistic,
+    /// so implementations trade exactness for integer throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.input_dim()` or
+    /// `out.len() != self.dim()`.
+    fn encode_quantized_into(&self, _features: &[f32], _out: &mut [f32]) -> bool {
+        false
+    }
+
     /// How this encoder evaluates `sin`/`cos` (see [`TrigMode`]). Encoders
     /// without a trigonometric stage always report
     /// [`TrigMode::Exact`].

@@ -31,10 +31,13 @@
 //! `reghd::RegHdConfig::center_encodings`).
 
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 use crate::Encoder;
 use hdc::kernels::{fast_cos, fast_sin, project_blocked};
+use hdc::quant::{quantize_i8, QuantizedWeights};
 use hdc::rng::HdRng;
+use hdc::simd::PackedProjection;
 use hdc::{BinaryHv, RealHv, TrigMode};
 
 /// RegHD's default encoder: Gaussian projection through the
@@ -65,6 +68,17 @@ pub struct NonlinearEncoder {
     /// Trig evaluation mode ([`TrigMode`] as a byte); atomic so the knob is
     /// flippable through `&self` on a shared encoder.
     trig: AtomicU8,
+    /// §3.2 int8 copy of the projection matrix (one scale per output dim),
+    /// backing [`Encoder::encode_quantized_into`].
+    quant: QuantizedWeights,
+    /// `½·sin(b[d])` per dimension — the input-independent bias term of the
+    /// product-to-sum expansion (module docs), precomputed so the quantised
+    /// tier evaluates **one** sine per component instead of a sin·cos pair.
+    quant_half_sin: Vec<f32>,
+    /// Lane-major weight packing for the active SIMD level, built at first
+    /// batch encode so the per-call transpose cost disappears from the
+    /// serving path. `None` inside the lock when the active level is scalar.
+    packed: OnceLock<Option<PackedProjection>>,
 }
 
 impl Clone for NonlinearEncoder {
@@ -75,6 +89,11 @@ impl Clone for NonlinearEncoder {
             input_dim: self.input_dim,
             dim: self.dim,
             trig: AtomicU8::new(self.trig.load(Ordering::Relaxed)),
+            quant: self.quant.clone(),
+            quant_half_sin: self.quant_half_sin.clone(),
+            // Rebuilt lazily: the clone may first encode under a different
+            // dispatch level than the original.
+            packed: OnceLock::new(),
         }
     }
 }
@@ -91,11 +110,16 @@ impl NonlinearEncoder {
         assert!(dim > 0, "dim must be nonzero");
         let mut rng = HdRng::seed_from(seed);
         let scale = 1.0 / (input_dim as f32).sqrt();
-        let weights = (0..dim * input_dim)
+        let weights: Vec<f32> = (0..dim * input_dim)
             .map(|_| scale * rng.next_gaussian() as f32)
             .collect();
-        let phases = (0..dim)
+        let phases: Vec<f32> = (0..dim)
             .map(|_| (rng.next_f64() * std::f64::consts::TAU) as f32)
+            .collect();
+        let quant = QuantizedWeights::from_f32(&weights, input_dim, dim);
+        let quant_half_sin = phases
+            .iter()
+            .map(|&b| 0.5 * hdc::kernels::fast_sin_f32(b))
             .collect();
         Self {
             weights,
@@ -103,7 +127,20 @@ impl NonlinearEncoder {
             input_dim,
             dim,
             trig: AtomicU8::new(TrigMode::Exact.as_u8()),
+            quant,
+            quant_half_sin,
+            packed: OnceLock::new(),
         }
+    }
+
+    /// The SIMD weight packing for the active dispatch level, or `None` when
+    /// it cannot be used (scalar level, or the level changed after the
+    /// packing was built).
+    fn packed_for_active(&self) -> Option<&PackedProjection> {
+        self.packed
+            .get_or_init(|| PackedProjection::for_active(&self.weights, self.input_dim, self.dim))
+            .as_ref()
+            .filter(|p| p.level() == hdc::simd::active())
     }
 
     /// The random phase hypervector `b`.
@@ -194,10 +231,20 @@ impl Encoder for NonlinearEncoder {
         let mode = self.trig_mode();
         hdc::par::chunked_zip_mut(rows, out, threads, |part, out_part| {
             let row_refs: Vec<&[f32]> = part.iter().map(Vec::as_slice).collect();
-            project_blocked(&self.weights, self.input_dim, self.dim, &row_refs, out_part);
+            // The pre-packed SIMD layout skips the per-call weight
+            // transpose; on level mismatch (or scalar dispatch)
+            // `project_blocked` runs the same matvec bit-identically.
+            match self.packed_for_active() {
+                Some(packed) => packed.project_into(&row_refs, out_part),
+                None => {
+                    project_blocked(&self.weights, self.input_dim, self.dim, &row_refs, out_part)
+                }
+            }
             // Trig post-op in place over the projected values; the exact arm
             // is the same expression as the scalar `encode` loop, so the
-            // batch path stays bit-identical to it.
+            // batch path stays bit-identical to it. The fast arm dispatches
+            // to the SIMD lanes, which are bit-identical to the scalar
+            // `fast_cos`/`fast_sin` by construction.
             for hv in out_part.iter_mut() {
                 match mode {
                     TrigMode::Exact => {
@@ -207,14 +254,32 @@ impl Encoder for NonlinearEncoder {
                         }
                     }
                     TrigMode::Fast => {
-                        for (v, &b) in hv.as_mut_slice().iter_mut().zip(&self.phases) {
-                            let p = *v;
-                            *v = fast_cos(p + b) * fast_sin(p);
-                        }
+                        hdc::simd::nonlinear_post_fast(hv.as_mut_slice(), &self.phases);
                     }
                 }
             }
         });
+    }
+
+    fn encode_quantized_into(&self, features: &[f32], out: &mut [f32]) -> bool {
+        assert_eq!(
+            features.len(),
+            self.input_dim,
+            "encode: expected {} features, got {}",
+            self.input_dim,
+            features.len()
+        );
+        assert_eq!(out.len(), self.dim, "output width must match dim");
+        let mut row_q = Vec::with_capacity(self.input_dim);
+        let row_scale = quantize_i8(features, &mut row_q);
+        self.quant.project_row_into(&row_q, row_scale, out);
+        // The quantised tier is approximate by design, so it always takes
+        // the fast polynomial trig regardless of the encoder's TrigMode —
+        // the knob continues to govern only the full-precision paths. The
+        // product-to-sum form (module docs) plus the precomputed bias table
+        // costs one all-f32 sine per component instead of a sin·cos pair.
+        hdc::simd::nonlinear_post_quant(out, &self.phases, &self.quant_half_sin);
+        true
     }
 
     fn trig_mode(&self) -> TrigMode {

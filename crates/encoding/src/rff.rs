@@ -9,10 +9,13 @@
 //! Eq. 1 form ([`crate::NonlinearEncoder`]).
 
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 use crate::Encoder;
 use hdc::kernels::{fast_cos, project_blocked};
+use hdc::quant::{quantize_i8, QuantizedWeights};
 use hdc::rng::HdRng;
+use hdc::simd::PackedProjection;
 use hdc::{RealHv, TrigMode};
 
 /// Gaussian random-projection + cosine encoder (random Fourier features).
@@ -38,6 +41,12 @@ pub struct RffEncoder {
     bandwidth: f32,
     /// Trig evaluation mode ([`TrigMode`] as a byte, atomic knob).
     trig: AtomicU8,
+    /// §3.2 int8 copy of the projection matrix, backing
+    /// [`Encoder::encode_quantized_into`].
+    quant: QuantizedWeights,
+    /// Lane-major weight packing for the active SIMD level (lazy; `None`
+    /// inside the lock when the active level is scalar).
+    packed: OnceLock<Option<PackedProjection>>,
 }
 
 impl Clone for RffEncoder {
@@ -49,6 +58,8 @@ impl Clone for RffEncoder {
             dim: self.dim,
             bandwidth: self.bandwidth,
             trig: AtomicU8::new(self.trig.load(Ordering::Relaxed)),
+            quant: self.quant.clone(),
+            packed: OnceLock::new(),
         }
     }
 }
@@ -66,12 +77,13 @@ impl RffEncoder {
         assert!(dim > 0, "dim must be nonzero");
         assert!(bandwidth > 0.0, "bandwidth must be positive");
         let mut rng = HdRng::seed_from(seed);
-        let weights = (0..dim * input_dim)
+        let weights: Vec<f32> = (0..dim * input_dim)
             .map(|_| (rng.next_gaussian() as f32) / bandwidth)
             .collect();
         let phases = (0..dim)
             .map(|_| (rng.next_f64() * std::f64::consts::TAU) as f32)
             .collect();
+        let quant = QuantizedWeights::from_f32(&weights, input_dim, dim);
         Self {
             weights,
             phases,
@@ -79,12 +91,24 @@ impl RffEncoder {
             dim,
             bandwidth,
             trig: AtomicU8::new(TrigMode::Exact.as_u8()),
+            quant,
+            packed: OnceLock::new(),
         }
     }
 
     /// The kernel length-scale σ this encoder was built with.
     pub fn bandwidth(&self) -> f32 {
         self.bandwidth
+    }
+
+    /// The SIMD weight packing for the active dispatch level, or `None` when
+    /// it cannot be used (scalar level, or the level changed after the
+    /// packing was built).
+    fn packed_for_active(&self) -> Option<&PackedProjection> {
+        self.packed
+            .get_or_init(|| PackedProjection::for_active(&self.weights, self.input_dim, self.dim))
+            .as_ref()
+            .filter(|p| p.level() == hdc::simd::active())
     }
 }
 
@@ -124,9 +148,15 @@ impl Encoder for RffEncoder {
         let mode = self.trig_mode();
         hdc::par::chunked_zip_mut(rows, out, threads, |part, out_part| {
             let row_refs: Vec<&[f32]> = part.iter().map(Vec::as_slice).collect();
-            project_blocked(&self.weights, self.input_dim, self.dim, &row_refs, out_part);
+            match self.packed_for_active() {
+                Some(packed) => packed.project_into(&row_refs, out_part),
+                None => {
+                    project_blocked(&self.weights, self.input_dim, self.dim, &row_refs, out_part)
+                }
+            }
             // Same post-op expression as the scalar `encode` loop, so the
-            // blocked path stays bit-identical to it.
+            // blocked path stays bit-identical to it (the fast arm's SIMD
+            // lanes are bit-identical to scalar `fast_cos` by construction).
             for hv in out_part.iter_mut() {
                 match mode {
                     TrigMode::Exact => {
@@ -135,13 +165,30 @@ impl Encoder for RffEncoder {
                         }
                     }
                     TrigMode::Fast => {
-                        for (v, &b) in hv.as_mut_slice().iter_mut().zip(&self.phases) {
-                            *v = fast_cos(*v + b);
-                        }
+                        hdc::simd::cos_phase_post_fast(hv.as_mut_slice(), &self.phases);
                     }
                 }
             }
         });
+    }
+
+    fn encode_quantized_into(&self, features: &[f32], out: &mut [f32]) -> bool {
+        assert_eq!(
+            features.len(),
+            self.input_dim,
+            "encode: expected {} features, got {}",
+            self.input_dim,
+            features.len()
+        );
+        assert_eq!(out.len(), self.dim, "output width must match dim");
+        let mut row_q = Vec::with_capacity(self.input_dim);
+        let row_scale = quantize_i8(features, &mut row_q);
+        self.quant.project_row_into(&row_q, row_scale, out);
+        // Always the fast polynomial cos — on the quantised tier's all-f32
+        // range reduction, which is approximate by design and independent
+        // of the encoder's TrigMode knob.
+        hdc::simd::cos_phase_post_quant(out, &self.phases);
+        true
     }
 
     fn trig_mode(&self) -> TrigMode {

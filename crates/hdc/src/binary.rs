@@ -116,6 +116,14 @@ impl BinaryHv {
         &self.words
     }
 
+    /// Consumes the vector and returns its backing words — the inverse of
+    /// [`BinaryHv::from_words`]. Hot paths that rebuild a packed query per
+    /// row round-trip one word buffer through these two calls instead of
+    /// allocating.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
     /// Bit at position `idx`.
     ///
     /// # Panics

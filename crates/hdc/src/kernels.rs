@@ -152,6 +152,65 @@ pub fn fast_cos(x: f32) -> f32 {
     }
 }
 
+/// Absolute error bound for [`fast_sin_f32`]/[`fast_cos_f32`] versus the
+/// `f64` reference, valid for `|x| ≤ 1e3` (the quantised tier's arguments —
+/// an int8 projection plus a phase — sit far inside that). Looser than
+/// [`FAST_TRIG_MAX_ABS_ERROR`] because the range reduction stays in f32.
+pub const QUANT_TRIG_MAX_ABS_ERROR: f32 = 1e-5;
+
+// Cody–Waite split of π/2 for the all-f32 range reduction: the three pieces
+// sum to π/2, each short enough that `k · piece` is exact for the `k` range
+// produced by `|x| ≤ 1e3`. Shared with the SIMD backends so every lane runs
+// the identical op sequence.
+pub(crate) const PI2_A: f32 = 1.570_312_5;
+// The written digits are the exact decimal values of the f32 pieces; the
+// truncations clippy suggests round to the same bits but hide the split.
+#[allow(clippy::excessive_precision)]
+pub(crate) const PI2_B: f32 = 4.837_512_97e-4;
+#[allow(clippy::excessive_precision)]
+pub(crate) const PI2_C: f32 = 7.549_789_95e-8;
+
+/// Polynomial `sin(x)` with an **all-f32 range reduction** — the quantised
+/// inference tier's trig, roughly 3× cheaper than [`fast_sin`] because no
+/// lane ever widens to f64. Absolute error ≤ [`QUANT_TRIG_MAX_ABS_ERROR`]
+/// for `|x| ≤ 1e3`; outside that the reduction degrades gracefully (the
+/// full-precision paths keep using [`fast_sin`]). Rounds the quadrant index
+/// ties-to-even so the SIMD lanes (`_mm256_round_ps` / `vrndnq_f32`) match
+/// bit-for-bit. NaN and infinite inputs return NaN.
+#[inline]
+pub fn fast_sin_f32(x: f32) -> f32 {
+    let k = (x * std::f32::consts::FRAC_2_PI).round_ties_even();
+    let r = ((x - k * PI2_A) - k * PI2_B) - k * PI2_C;
+    // `as` saturates (NaN → 0); `k` is integral so in-range casts are exact
+    // and the quadrant agrees with the SIMD lanes' `cvtps` conversions.
+    let q = (k as i32) & 3;
+    let s = sin_poly(r);
+    let c = cos_poly(r);
+    let v = if q & 1 == 0 { s } else { c };
+    if q & 2 == 0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Polynomial `cos(x)` with the all-f32 range reduction of
+/// [`fast_sin_f32`]; same error bound and domain.
+#[inline]
+pub fn fast_cos_f32(x: f32) -> f32 {
+    let k = (x * std::f32::consts::FRAC_2_PI).round_ties_even();
+    let r = ((x - k * PI2_A) - k * PI2_B) - k * PI2_C;
+    let q = (k as i32) & 3;
+    let s = sin_poly(r);
+    let c = cos_poly(r);
+    let v = if q & 1 == 0 { c } else { s };
+    if (q + 1) & 2 == 0 {
+        v
+    } else {
+        -v
+    }
+}
+
 /// Cache-blocked batch projection `outs[r][d] = Σ_k rows[r][k] ·
 /// weights[d·n + k]` for a **row-major** `dim × input_dim` weight matrix
 /// (the `NonlinearEncoder`/`RffEncoder` layout).
@@ -165,6 +224,11 @@ pub fn fast_cos(x: f32) -> f32 {
 ///
 /// Panics when `rows` and `outs` disagree in length, a row is not
 /// `input_dim` wide, or the weight matrix is not `dim × input_dim`.
+///
+/// When an explicit-SIMD level is active (see [`crate::simd`]), the matvec
+/// runs on the AVX2/NEON lane kernels instead of the blocked scalar tiles;
+/// both paths produce bit-identical results, so callers never observe the
+/// dispatch.
 pub fn project_blocked(
     weights: &[f32],
     input_dim: usize,
@@ -184,6 +248,22 @@ pub fn project_blocked(
     for out in outs.iter_mut() {
         out.reset(dim);
     }
+    if crate::simd::project_rowmajor_simd(weights, input_dim, dim, rows, outs) {
+        return;
+    }
+    project_blocked_scalar(weights, input_dim, dim, rows, outs);
+}
+
+/// The portable blocked-tile body of [`project_blocked`] — the reference
+/// implementation every SIMD path must match bit-for-bit. Caller has
+/// validated shapes and reset the outputs.
+fn project_blocked_scalar(
+    weights: &[f32],
+    input_dim: usize,
+    dim: usize,
+    rows: &[&[f32]],
+    outs: &mut [RealHv],
+) {
     let mut d0 = 0;
     while d0 < dim {
         let d1 = (d0 + DIM_TILE).min(dim);
@@ -326,6 +406,9 @@ pub fn project_bipolar_blocked(
     }
     for out in outs.iter_mut() {
         out.reset(dim);
+    }
+    if crate::simd::project_bipolar_simd(bases, dim, rows, outs) {
+        return;
     }
     let n = bases.len();
     let mut d0 = 0;
@@ -494,6 +577,35 @@ mod tests {
         for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
             assert!(fast_sin(bad).is_nan());
             assert!(fast_cos(bad).is_nan());
+        }
+    }
+
+    #[test]
+    fn quant_trig_honours_documented_error_bound() {
+        // Dense sweep over the quantised tier's working range plus a coarser
+        // sweep out to the documented |x| ≤ 1e3 limit.
+        let mut max_err = 0.0f64;
+        let mut x = -20.0f64;
+        while x <= 20.0 {
+            let xf = x as f32;
+            max_err = max_err.max((f64::from(fast_sin_f32(xf)) - f64::from(xf).sin()).abs());
+            max_err = max_err.max((f64::from(fast_cos_f32(xf)) - f64::from(xf).cos()).abs());
+            x += 1e-3;
+        }
+        let mut x = -1e3f64;
+        while x <= 1e3 {
+            let xf = x as f32;
+            max_err = max_err.max((f64::from(fast_sin_f32(xf)) - f64::from(xf).sin()).abs());
+            max_err = max_err.max((f64::from(fast_cos_f32(xf)) - f64::from(xf).cos()).abs());
+            x += 0.037;
+        }
+        assert!(
+            max_err <= f64::from(QUANT_TRIG_MAX_ABS_ERROR),
+            "measured max error {max_err:e} exceeds the documented bound"
+        );
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert!(fast_sin_f32(bad).is_nan());
+            assert!(fast_cos_f32(bad).is_nan());
         }
     }
 

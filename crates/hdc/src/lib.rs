@@ -40,7 +40,10 @@
 //! assert_eq!(similarity::hamming_distance(&p, &p), 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module (and only that module)
+// carries an `allow` for the `std::arch` intrinsic kernels; everything else
+// in the crate still refuses unsafe code at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binary;
@@ -53,7 +56,9 @@ pub mod kernels;
 pub mod noise;
 pub mod ops;
 pub mod par;
+pub mod quant;
 pub mod rng;
+pub mod simd;
 pub mod similarity;
 
 pub use binary::BinaryHv;

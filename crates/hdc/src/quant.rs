@@ -1,0 +1,192 @@
+//! Int8 projection quantisation for the bit-packed inference tier.
+//!
+//! The paper's §3.2 quantisation framework replaces the f32 encode matvec
+//! with integer arithmetic: the projection matrix is quantised **per output
+//! dimension** (each row of `W` gets its own scale, so a large row cannot
+//! crush the resolution of a small one) and each incoming feature row is
+//! quantised **per row** at request time. One output value is then
+//!
+//! ```text
+//! p[d] ≈ (Σ_k q_w[d][k] · q_x[k]) · scale_w[d] · scale_x
+//! ```
+//!
+//! with the inner sum running in exact i32 arithmetic (see
+//! [`crate::simd::dot_i8`]). The binary tier only consumes the **signs** of
+//! the encoded values plus one amplitude statistic, so the quantisation
+//! error that matters is sign flips near zero — measured end-to-end in
+//! `EXPERIMENTS.md` against the paper's accuracy-loss claims.
+
+use crate::simd;
+
+/// Symmetric linear quantisation of one f32 slice to i8: returns the scale
+/// `s` such that `q[i] · s ≈ x[i]`, with `q[i] = round(x[i] / s)` clamped to
+/// `[-127, 127]`. An all-zero (or empty) slice gets scale `0.0` and all-zero
+/// codes. Non-finite values are clamped like infinities (NaN maps to 0).
+pub fn quantize_i8(xs: &[f32], out: &mut Vec<i8>) -> f32 {
+    out.clear();
+    let max_abs = xs.iter().fold(
+        0.0f32,
+        |m, &x| {
+            if x.is_finite() {
+                m.max(x.abs())
+            } else {
+                m
+            }
+        },
+    );
+    if max_abs == 0.0 {
+        out.resize(xs.len(), 0);
+        return 0.0;
+    }
+    let scale = max_abs / 127.0;
+    let inv = 127.0 / max_abs;
+    out.extend(xs.iter().map(|&x| {
+        if x.is_finite() {
+            (x * inv).round().clamp(-127.0, 127.0) as i8
+        } else if x == f32::INFINITY {
+            127
+        } else if x == f32::NEG_INFINITY {
+            -127
+        } else {
+            0
+        }
+    }));
+    scale
+}
+
+/// A `dim × input_dim` projection matrix quantised to i8 with one scale per
+/// output dimension — the weight side of the §3.2 integer encode path.
+/// Built eagerly by the encoders that support the quantised tier.
+#[derive(Debug, Clone)]
+pub struct QuantizedWeights {
+    q: Vec<i8>,
+    scales: Vec<f32>,
+    input_dim: usize,
+    dim: usize,
+}
+
+impl QuantizedWeights {
+    /// Quantises a row-major `dim × input_dim` f32 matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != dim * input_dim`.
+    pub fn from_f32(weights: &[f32], input_dim: usize, dim: usize) -> Self {
+        assert_eq!(
+            weights.len(),
+            dim * input_dim,
+            "weight matrix must be dim × input_dim"
+        );
+        let mut q = Vec::with_capacity(weights.len());
+        let mut scales = Vec::with_capacity(dim);
+        let mut row_q = Vec::with_capacity(input_dim);
+        for d in 0..dim {
+            let row = &weights[d * input_dim..(d + 1) * input_dim];
+            scales.push(quantize_i8(row, &mut row_q));
+            q.extend_from_slice(&row_q);
+        }
+        Self {
+            q,
+            scales,
+            input_dim,
+            dim,
+        }
+    }
+
+    /// The input width `n`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// The output width `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Integer projection of one quantised row:
+    /// `out[d] = dot_i8(W_q[d], row_q) · scales[d] · row_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_q` is not `input_dim` wide or `out` is not `dim` wide.
+    pub fn project_row_into(&self, row_q: &[i8], row_scale: f32, out: &mut [f32]) {
+        assert_eq!(
+            row_q.len(),
+            self.input_dim,
+            "row width must match input_dim"
+        );
+        assert_eq!(out.len(), self.dim, "output width must match dim");
+        simd::project_i8_rowmajor(&self.q, self.input_dim, &self.scales, row_q, row_scale, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::HdRng;
+
+    #[test]
+    fn quantize_roundtrips_within_half_step() {
+        let mut rng = HdRng::seed_from(3);
+        let xs: Vec<f32> = (0..257).map(|_| rng.next_gaussian() as f32).collect();
+        let mut q = Vec::new();
+        let scale = quantize_i8(&xs, &mut q);
+        assert!(scale > 0.0);
+        for (&x, &c) in xs.iter().zip(&q) {
+            assert!(
+                (x - f32::from(c) * scale).abs() <= scale * 0.5 + 1e-6,
+                "x={x} code={c} scale={scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_zero_and_nonfinite() {
+        let mut q = Vec::new();
+        assert_eq!(quantize_i8(&[0.0, -0.0], &mut q), 0.0);
+        assert_eq!(q, vec![0, 0]);
+        let scale = quantize_i8(&[1.0, f32::INFINITY, f32::NEG_INFINITY, f32::NAN], &mut q);
+        assert!(scale > 0.0);
+        assert_eq!(&q[1..], &[127, -127, 0]);
+        assert_eq!(quantize_i8(&[], &mut q), 0.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn projection_approximates_f32_matvec() {
+        let mut rng = HdRng::seed_from(7);
+        let (n, dim) = (13, 211);
+        let weights: Vec<f32> = (0..dim * n).map(|_| rng.next_gaussian() as f32).collect();
+        let qw = QuantizedWeights::from_f32(&weights, n, dim);
+        assert_eq!(qw.input_dim(), n);
+        assert_eq!(qw.dim(), dim);
+        let row: Vec<f32> = (0..n).map(|_| rng.next_gaussian() as f32).collect();
+        let mut row_q = Vec::new();
+        let row_scale = quantize_i8(&row, &mut row_q);
+        let mut got = vec![0.0f32; dim];
+        qw.project_row_into(&row_q, row_scale, &mut got);
+        // Worst-case per-term error is one half-step from each side; with
+        // n=13 gaussian terms the observed error should sit far inside a
+        // loose 5%-of-range envelope.
+        let max_abs = got.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+        for (d, &g) in got.iter().enumerate() {
+            let want: f32 = weights[d * n..(d + 1) * n]
+                .iter()
+                .zip(&row)
+                .map(|(&w, &x)| w * x)
+                .sum();
+            assert!(
+                (g - want).abs() <= 0.05 * max_abs + 0.05,
+                "d={d}: quantised {g} vs exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_scale_projects_to_zero() {
+        let qw = QuantizedWeights::from_f32(&[1.0, -1.0, 2.0, 0.5], 2, 2);
+        let mut out = vec![9.0f32; 2];
+        qw.project_row_into(&[0, 0], 0.0, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+}

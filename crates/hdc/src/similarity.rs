@@ -84,11 +84,7 @@ pub fn hamming_distance(a: &BinaryHv, b: &BinaryHv) -> usize {
         a.dim(),
         b.dim()
     );
-    a.as_words()
-        .iter()
-        .zip(b.as_words())
-        .map(|(&x, &y)| (x ^ y).count_ones() as usize)
-        .sum()
+    crate::simd::hamming_words(a.as_words(), b.as_words())
 }
 
 /// Normalised Hamming **similarity** in `[-1, 1]`:

@@ -133,6 +133,47 @@ pub fn prediction_cost(shape: &RegHdShape) -> OpCount {
     ops
 }
 
+/// Cost of encoding one input through the int8 projection kernel (the
+/// quantised serving tier): `D × n` int8 multiply-accumulates charged as
+/// integer adds — the multiply-free accounting the paper applies to
+/// quantised paths — plus one dequantising float multiply per output
+/// component, the trig post-pass, and the sign pack into `u64` words.
+pub fn quantized_encode_cost(shape: &RegHdShape) -> OpCount {
+    let d = shape.dim;
+    let n = shape.features;
+    OpCount {
+        int_add: d * n,
+        // Dequantising scale multiply, plus the fast-trig polynomial the
+        // quantised tier always uses (≈8 mul + 8 add per component for the
+        // blended sin·cos approximation). Charged as plain float ops — the
+        // `transcendental` class models a libm-exact call, which is what
+        // the full-precision tier's default `TrigMode::Exact` performs.
+        f32_mul: d + 8 * d,
+        f32_add: 8 * d,
+        // Sign comparisons for the packed binary copy.
+        compare: d,
+        // i8 row + i8 weights streamed once, f32 staging, packed write.
+        mem_bytes: n + d * n + 4 * d + d / 8,
+        ..OpCount::zero()
+    }
+}
+
+/// Cost of one inference on the bit-packed binary serving tier: int8
+/// projection encode, Hamming cluster search, softmax confidences, and
+/// XOR + popcount model scores (§3.2 binary query × binary model).
+pub fn binary_tier_infer_cost(shape: &RegHdShape) -> OpCount {
+    let quant = RegHdShape {
+        cluster_binary: true,
+        query_binary: true,
+        model_binary: true,
+        ..*shape
+    };
+    quantized_encode_cost(&quant)
+        + cluster_search_cost(&quant)
+        + softmax_cost(&quant)
+        + prediction_cost(&quant)
+}
+
 /// Cost of the model update (Eq. 7, step ⑤) for one training sample —
 /// always applied to the integer models at full precision (§3.2).
 pub fn model_update_cost(shape: &RegHdShape) -> OpCount {
@@ -329,6 +370,34 @@ mod tests {
         bb.model_binary = true;
         let t_bb = dev.time_s(&prediction_cost(&bb));
         assert!(t_bb < t_bq && t_bq < t_full, "{t_bb} {t_bq} {t_full}");
+    }
+
+    #[test]
+    fn quantized_encode_is_multiply_light() {
+        let ops = quantized_encode_cost(&full(8192, 4));
+        // The projection itself is integer MACs; only the dequant scale and
+        // the fast-trig polynomial touch float multiplies.
+        assert_eq!(ops.f32_mul, 9 * 8192);
+        assert_eq!(ops.int_add, 8192 * 10);
+        assert_eq!(ops.transcendental, 0);
+    }
+
+    #[test]
+    fn binary_tier_beats_full_tier_by_an_order_of_magnitude() {
+        // The ISSUE 10 target: bit-packed binary inference on the active
+        // vector ISA ≥ 10× the scalar f32 path at D=8192 — the cost model
+        // must predict the same headroom the bench gates on.
+        let scalar = DeviceProfile::host_cpu("scalar", 3.0e9);
+        let t_full_scalar = scalar.time_s(&reghd_infer_cost(&full(8192, 4)));
+        for simd in ["avx2", "neon"] {
+            let dev = DeviceProfile::host_cpu(simd, 3.0e9);
+            let t_bin = dev.time_s(&binary_tier_infer_cost(&full(8192, 4)));
+            assert!(
+                t_full_scalar / t_bin > 10.0,
+                "{simd}: predicted binary speedup {} ≤ 10",
+                t_full_scalar / t_bin
+            );
+        }
     }
 
     #[test]

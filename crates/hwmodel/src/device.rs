@@ -134,6 +134,52 @@ impl DeviceProfile {
         }
     }
 
+    /// Host-CPU profile for the `simd_kernels` bench's predicted-vs-measured
+    /// check. `simd` is the active dispatch label (`"scalar"`, `"avx2"`,
+    /// `"neon"`); per-class cycle counts are effective whole-core
+    /// throughputs for that ISA (lanes is folded in, so `lanes = 1`).
+    /// Absolute times are order-of-magnitude — the bench compares predicted
+    /// and measured *ratios between tiers* and flags >2× disagreement.
+    pub fn host_cpu(simd: &str, freq_hz: f64) -> Self {
+        // (f32 mul/add, int8 MAC, xor64, popcount64, compare, transcendental)
+        // effective cycles per op for one core of the given ISA width.
+        // Transcendentals are libm sin/cos calls — scalar regardless of the
+        // vector ISA, ≈25 cycles each.
+        let (f32_op, int_mac, xor, pop, cmp, trans) = match simd {
+            // AVX2: 8 f32 lanes, ~16 int8 MACs/cycle (pmaddubsw-style),
+            // 4×u64 bitwise per cycle; popcount stays near scalar 1/cycle.
+            "avx2" => (0.125, 0.0625, 0.25, 0.75, 0.25, 25.0),
+            // NEON: 4 f32 lanes, ~8 int8 MACs/cycle, 2×u64 bitwise, vcnt.
+            "neon" => (0.25, 0.125, 0.5, 0.75, 0.5, 25.0),
+            // Scalar superscalar core: ~1 float op/cycle.
+            _ => (1.0, 0.5, 0.4, 1.0, 0.5, 25.0),
+        };
+        Self {
+            name: format!("host CPU ({simd})"),
+            freq_hz,
+            lanes: 1.0,
+            cyc_f32_mul: f32_op,
+            cyc_f32_add: f32_op,
+            cyc_int_add: int_mac,
+            cyc_xor64: xor,
+            cyc_popcount64: pop,
+            cyc_compare: cmp,
+            cyc_transcendental: trans,
+            cyc_mem_byte: 0.03,
+            // Desktop-class per-op energies (Horowitz-scaled); unused by the
+            // bench's time check but kept coherent for completeness.
+            pj_f32_mul: 4.0,
+            pj_f32_add: 1.5,
+            pj_int_add: 0.5,
+            pj_xor64: 0.4,
+            pj_popcount64: 0.8,
+            pj_compare: 0.4,
+            pj_transcendental: 20.0,
+            pj_mem_byte: 5.0,
+            static_power_w: 10.0,
+        }
+    }
+
     /// Total cycles the workload needs (before dividing by lanes).
     fn cycles(&self, ops: &OpCount) -> f64 {
         ops.f32_mul as f64 * self.cyc_f32_mul

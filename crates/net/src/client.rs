@@ -95,13 +95,30 @@ impl RgnpClient {
         String::from_utf8_lossy(&f.payload).into_owned()
     }
 
-    /// Predicts one row.
+    /// Predicts one row on the full-precision tier.
     ///
     /// # Errors
     ///
     /// I/O failures and malformed reply frames.
     pub fn predict(&mut self, model: &str, row: &[f32]) -> io::Result<PredictReply> {
-        let f = self.roundtrip(|out, id| frame::encode_predict(out, id, model, row))?;
+        self.predict_tier(model, row, frame::PredictionTier::Full)
+    }
+
+    /// Predicts one row on an explicit tier. Requesting
+    /// [`frame::PredictionTier::Binary`] asks for the bit-packed popcount
+    /// path; the reply arrives as [`PredictReply::Degraded`] because the
+    /// status byte reports the precision that answered.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed reply frames.
+    pub fn predict_tier(
+        &mut self,
+        model: &str,
+        row: &[f32],
+        tier: frame::PredictionTier,
+    ) -> io::Result<PredictReply> {
+        let f = self.roundtrip(|out, id| frame::encode_predict_tier(out, id, model, row, tier))?;
         let value = |f: &Frame| {
             frame::decode_value_reply(&f.payload)
                 .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))

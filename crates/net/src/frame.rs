@@ -34,8 +34,10 @@ pub mod opcode {
 pub mod status {
     /// Full-precision answer.
     pub const OK: u8 = 0x00;
-    /// Answered through the §3.2 binary fallback (timeout, shed, expiry,
-    /// dead worker, corrupt-flagged model).
+    /// Answered on the §3.2 bit-packed binary tier — either because the
+    /// client requested it ([`super::PredictionTier::Binary`]) or because
+    /// the server demoted the request (timeout, shed, expiry, dead worker,
+    /// corrupt-flagged model).
     pub const DEGRADED: u8 = 0x01;
     /// Admission control refused the request; back off and retry.
     pub const BUSY: u8 = 0x02;
@@ -43,6 +45,55 @@ pub mod status {
     pub const DRAINING: u8 = 0x03;
     /// Request failed; payload is a UTF-8 message.
     pub const ERR: u8 = 0x04;
+}
+
+/// Which prediction path a `PREDICT`/`PREDICT_BATCH` request asks for,
+/// carried as an **optional trailing byte** on the request payload (absent
+/// = `Full`, so v1 clients are unchanged on the wire).
+///
+/// `Binary` selects the bit-packed popcount tier (§3.2 binary–binary):
+/// int8 encode, Hamming similarity, popcount scores. Replies answered on
+/// the binary tier carry [`status::DEGRADED`] whether the tier was
+/// requested or the server demoted the request under overload — the status
+/// byte tells the client which precision actually answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictionTier {
+    /// Full-precision f32 path (the default; no wire byte).
+    #[default]
+    Full,
+    /// Bit-packed popcount tier (wire byte `0x01`).
+    Binary,
+}
+
+impl PredictionTier {
+    /// The wire byte appended to request payloads.
+    pub fn wire_byte(self) -> u8 {
+        match self {
+            PredictionTier::Full => 0x00,
+            PredictionTier::Binary => 0x01,
+        }
+    }
+
+    /// Parses a wire byte.
+    ///
+    /// # Errors
+    ///
+    /// A static description for unknown tier bytes.
+    pub fn from_wire_byte(b: u8) -> Result<Self, &'static str> {
+        match b {
+            0x00 => Ok(PredictionTier::Full),
+            0x01 => Ok(PredictionTier::Binary),
+            _ => Err("unknown prediction tier"),
+        }
+    }
+
+    /// Short label used in reports and result JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictionTier::Full => "full",
+            PredictionTier::Binary => "binary",
+        }
+    }
 }
 
 /// Frame header bytes after the length field: kind (1) + req_id (8).
@@ -159,23 +210,52 @@ pub fn encode(out: &mut Vec<u8>, kind: u8, req_id: u64, payload: &[u8]) {
     out.extend_from_slice(payload);
 }
 
-/// Appends a `predict` request frame.
+/// Appends a `predict` request frame (full-precision tier; the v1 wire
+/// form, no tier byte).
 pub fn encode_predict(out: &mut Vec<u8>, req_id: u64, model: &str, row: &[f32]) {
-    let mut p = Vec::with_capacity(2 + model.len() + 4 + row.len() * 4);
+    encode_predict_tier(out, req_id, model, row, PredictionTier::Full);
+}
+
+/// Appends a `predict` request frame with an explicit tier. `Full` emits
+/// the v1 form (no trailing byte); `Binary` appends the tier byte.
+pub fn encode_predict_tier(
+    out: &mut Vec<u8>,
+    req_id: u64,
+    model: &str,
+    row: &[f32],
+    tier: PredictionTier,
+) {
+    let mut p = Vec::with_capacity(2 + model.len() + 4 + row.len() * 4 + 1);
     p.extend_from_slice(&(model.len() as u16).to_le_bytes());
     p.extend_from_slice(model.as_bytes());
     p.extend_from_slice(&(row.len() as u32).to_le_bytes());
     for v in row {
         p.extend_from_slice(&v.to_le_bytes());
     }
+    if tier != PredictionTier::Full {
+        p.push(tier.wire_byte());
+    }
     encode(out, opcode::PREDICT, req_id, &p);
 }
 
-/// Appends a `predict-batch` request frame. Every row must have
-/// `cols` features; rows beyond `u32::MAX` are unrepresentable.
+/// Appends a `predict-batch` request frame (full-precision tier). Every
+/// row must have `cols` features; rows beyond `u32::MAX` are
+/// unrepresentable.
 pub fn encode_predict_batch(out: &mut Vec<u8>, req_id: u64, model: &str, rows: &[Vec<f32>]) {
+    encode_predict_batch_tier(out, req_id, model, rows, PredictionTier::Full);
+}
+
+/// Appends a `predict-batch` request frame with an explicit tier (see
+/// [`encode_predict_tier`]).
+pub fn encode_predict_batch_tier(
+    out: &mut Vec<u8>,
+    req_id: u64,
+    model: &str,
+    rows: &[Vec<f32>],
+    tier: PredictionTier,
+) {
     let cols = rows.first().map_or(0, |r| r.len());
-    let mut p = Vec::with_capacity(2 + model.len() + 8 + rows.len() * cols * 4);
+    let mut p = Vec::with_capacity(2 + model.len() + 8 + rows.len() * cols * 4 + 1);
     p.extend_from_slice(&(model.len() as u16).to_le_bytes());
     p.extend_from_slice(model.as_bytes());
     p.extend_from_slice(&(rows.len() as u32).to_le_bytes());
@@ -184,6 +264,9 @@ pub fn encode_predict_batch(out: &mut Vec<u8>, req_id: u64, model: &str, rows: &
         for v in row {
             p.extend_from_slice(&v.to_le_bytes());
         }
+    }
+    if tier != PredictionTier::Full {
+        p.push(tier.wire_byte());
     }
     encode(out, opcode::PREDICT_BATCH, req_id, &p);
 }
@@ -195,6 +278,9 @@ pub struct PredictReq<'a> {
     pub model: &'a str,
     /// The feature row.
     pub row: Vec<f32>,
+    /// Requested prediction tier (`Full` when the request has no tier
+    /// byte).
+    pub tier: PredictionTier,
 }
 
 /// Decoded `predict-batch` request payload.
@@ -204,6 +290,23 @@ pub struct PredictBatchReq<'a> {
     pub model: &'a str,
     /// The feature rows (all the same width).
     pub rows: Vec<Vec<f32>>,
+    /// Requested prediction tier (`Full` when the request has no tier
+    /// byte).
+    pub tier: PredictionTier,
+}
+
+/// Splits an optional trailing tier byte off the feature bytes: exactly
+/// `expect` bytes means no tier byte (`Full`), `expect + 1` means the last
+/// byte is the tier. Anything else is a malformed payload.
+fn take_tier(bytes: &[u8], expect: usize) -> Result<(&[u8], PredictionTier), &'static str> {
+    if bytes.len() == expect {
+        Ok((bytes, PredictionTier::Full))
+    } else if bytes.len() == expect + 1 {
+        let tier = PredictionTier::from_wire_byte(bytes[expect])?;
+        Ok((&bytes[..expect], tier))
+    } else {
+        Err("feature bytes do not match announced count")
+    }
 }
 
 fn take_name(payload: &[u8]) -> Result<(&str, &[u8]), &'static str> {
@@ -246,8 +349,9 @@ pub fn decode_predict(payload: &[u8]) -> Result<PredictReq<'_>, &'static str> {
     if n == 0 {
         return Err("empty feature row");
     }
-    let row = take_f32s(&rest[4..], n)?;
-    Ok(PredictReq { model, row })
+    let (feat, tier) = take_tier(&rest[4..], n * 4)?;
+    let row = take_f32s(feat, n)?;
+    Ok(PredictReq { model, row, tier })
 }
 
 /// Parses a `predict-batch` payload.
@@ -265,13 +369,13 @@ pub fn decode_predict_batch(payload: &[u8]) -> Result<PredictBatchReq<'_>, &'sta
     if rows == 0 || cols == 0 {
         return Err("empty batch");
     }
-    let flat = take_f32s(
-        &rest[8..],
-        rows.checked_mul(cols).ok_or("batch size overflow")?,
-    )?;
+    let n = rows.checked_mul(cols).ok_or("batch size overflow")?;
+    let (feat, tier) = take_tier(&rest[8..], n.checked_mul(4).ok_or("batch size overflow")?)?;
+    let flat = take_f32s(feat, n)?;
     Ok(PredictBatchReq {
         model,
         rows: flat.chunks_exact(cols).map(<[f32]>::to_vec).collect(),
+        tier,
     })
 }
 
@@ -451,6 +555,65 @@ mod tests {
         assert_eq!(f.kind, status::DEGRADED);
         let rows = decode_batch_reply(&f.payload).unwrap();
         assert_eq!(rows, vec![(status::OK, 1.5), (status::DEGRADED, 2.5)]);
+    }
+
+    #[test]
+    fn tier_byte_roundtrips_and_defaults_to_full() {
+        // v1 form (no byte) decodes as Full.
+        let mut wire = Vec::new();
+        encode_predict(&mut wire, 1, "m", &[1.0, 2.0]);
+        let mut buf = FrameBuf::new();
+        buf.extend(&wire);
+        let Step::Ready(f) = buf.next_frame(DEFAULT_MAX_FRAME) else {
+            panic!("incomplete");
+        };
+        assert_eq!(
+            decode_predict(&f.payload).unwrap().tier,
+            PredictionTier::Full
+        );
+
+        // Explicit binary tier round-trips on both opcodes.
+        let mut wire = Vec::new();
+        encode_predict_tier(&mut wire, 2, "m", &[1.0], PredictionTier::Binary);
+        encode_predict_batch_tier(
+            &mut wire,
+            3,
+            "m",
+            &[vec![1.0], vec![2.0]],
+            PredictionTier::Binary,
+        );
+        let mut buf = FrameBuf::new();
+        buf.extend(&wire);
+        let Step::Ready(f) = buf.next_frame(DEFAULT_MAX_FRAME) else {
+            panic!("incomplete");
+        };
+        let req = decode_predict(&f.payload).unwrap();
+        assert_eq!(req.tier, PredictionTier::Binary);
+        assert_eq!(req.row, vec![1.0]);
+        let Step::Ready(f) = buf.next_frame(DEFAULT_MAX_FRAME) else {
+            panic!("incomplete");
+        };
+        let req = decode_predict_batch(&f.payload).unwrap();
+        assert_eq!(req.tier, PredictionTier::Binary);
+        assert_eq!(req.rows.len(), 2);
+
+        // An explicit Full tier byte is also accepted.
+        let mut p = Vec::new();
+        p.extend_from_slice(&(1u16).to_le_bytes());
+        p.push(b'm');
+        p.extend_from_slice(&(1u32).to_le_bytes());
+        p.extend_from_slice(&1.0f32.to_le_bytes());
+        p.push(PredictionTier::Full.wire_byte());
+        assert_eq!(decode_predict(&p).unwrap().tier, PredictionTier::Full);
+
+        // Unknown tier bytes are request errors, not silently Full.
+        *p.last_mut().unwrap() = 0x7F;
+        assert_eq!(decode_predict(&p).unwrap_err(), "unknown prediction tier");
+        assert_eq!(PredictionTier::Binary.label(), "binary");
+        assert_eq!(
+            PredictionTier::from_wire_byte(1).unwrap(),
+            PredictionTier::Binary
+        );
     }
 
     #[test]

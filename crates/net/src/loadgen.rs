@@ -10,6 +10,7 @@
 //! socket therefore counts against the server, as it would for a real
 //! client fleet.
 
+use crate::frame::PredictionTier;
 use std::io;
 use std::time::Duration;
 
@@ -32,6 +33,10 @@ pub struct LoadConfig {
     pub grace: Duration,
     /// Generator threads; `0` picks `min(connections, 4)`.
     pub threads: usize,
+    /// Prediction tier requested on every frame. `Binary` asks the server
+    /// for the bit-packed popcount tier (replies come back `DEGRADED`,
+    /// counted under [`LoadReport::tier_binary`]).
+    pub tier: PredictionTier,
 }
 
 impl Default for LoadConfig {
@@ -45,6 +50,7 @@ impl Default for LoadConfig {
             duration: Duration::from_secs(5),
             grace: Duration::from_secs(2),
             threads: 0,
+            tier: PredictionTier::Full,
         }
     }
 }
@@ -98,6 +104,17 @@ impl LoadReport {
             return 1.0;
         }
         (self.ok + self.degraded) as f64 / self.sent as f64
+    }
+
+    /// Replies answered on the full-precision tier (`OK` status).
+    pub fn tier_full(&self) -> u64 {
+        self.ok
+    }
+
+    /// Replies answered on the bit-packed binary tier (`DEGRADED` status —
+    /// requested via [`LoadConfig::tier`] or demoted by the server).
+    pub fn tier_binary(&self) -> u64 {
+        self.degraded
     }
 }
 
@@ -267,7 +284,13 @@ mod imp {
                     while conn.next_send <= now && conn.next_send < send_until {
                         let req_id = conn.next_id;
                         conn.next_id += 1;
-                        frame::encode_predict(&mut conn.out, req_id, &cfg.model, &cfg.row);
+                        frame::encode_predict_tier(
+                            &mut conn.out,
+                            req_id,
+                            &cfg.model,
+                            &cfg.row,
+                            cfg.tier,
+                        );
                         conn.pending.insert(req_id, conn.next_send);
                         stats.report.sent += 1;
                         conn.next_send += conn.period;

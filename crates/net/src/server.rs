@@ -376,9 +376,9 @@ mod imp {
         f: Frame,
     ) {
         let single = f.kind == opcode::PREDICT;
-        let (model_name, rows) = if single {
+        let (model_name, rows, tier) = if single {
             match frame::decode_predict(&f.payload) {
-                Ok(req) => (req.model.to_string(), vec![req.row]),
+                Ok(req) => (req.model.to_string(), vec![req.row], req.tier),
                 Err(msg) => {
                     ctx.hub.bad_requests.fetch_add(1, Ordering::Relaxed);
                     frame::encode_text_reply(&mut conn.out, status::ERR, f.req_id, msg);
@@ -387,7 +387,7 @@ mod imp {
             }
         } else {
             match frame::decode_predict_batch(&f.payload) {
-                Ok(req) => (req.model.to_string(), req.rows),
+                Ok(req) => (req.model.to_string(), req.rows, req.tier),
                 Err(msg) => {
                     ctx.hub.bad_requests.fetch_add(1, Ordering::Relaxed);
                     frame::encode_text_reply(&mut conn.out, status::ERR, f.req_id, msg);
@@ -421,10 +421,15 @@ mod imp {
             return;
         }
         let metrics = ctx.hub.for_model(&model_name);
-        if served.is_corrupt() || ctx.shed.as_ref().is_some_and(|s| s.should_degrade()) {
-            // Corrupt-flagged model or adaptive shed: the §3.2 binary path
-            // is cheap enough to run inline on the poller, exactly as the
-            // line server runs it inline on the connection thread.
+        if tier == frame::PredictionTier::Binary
+            || served.is_corrupt()
+            || ctx.shed.as_ref().is_some_and(|s| s.should_degrade())
+        {
+            // Requested binary tier, corrupt-flagged model, or adaptive
+            // shed: the §3.2 bit-packed binary path is cheap enough to run
+            // inline on the poller, exactly as the line server runs it
+            // inline on the connection thread. The DEGRADED status tells
+            // the client which precision answered.
             let mut results = Vec::with_capacity(rows.len());
             let mut err: Option<String> = None;
             for row in &rows {

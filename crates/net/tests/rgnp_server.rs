@@ -249,3 +249,30 @@ fn corrupt_flagged_model_answers_degraded_inline() {
     }
     handle.shutdown();
 }
+
+#[test]
+fn requested_binary_tier_answers_degraded_with_binary_value() {
+    let (handle, registry) = start_server(|_| {});
+    let mut c = RgnpClient::connect(&handle.local_addr().to_string()).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let row = vec![3.0f32, 4.0];
+    let expected = registry
+        .get("toy")
+        .unwrap()
+        .bundle
+        .predict_binary(std::slice::from_ref(&row))
+        .unwrap()[0];
+    match c
+        .predict_tier("toy", &row, frame::PredictionTier::Binary)
+        .unwrap()
+    {
+        PredictReply::Degraded(y) => assert_eq!(y, expected),
+        other => panic!("expected degraded (binary tier), got {other:?}"),
+    }
+    // The same row on the default tier still answers OK at full precision.
+    match c.predict("toy", &row).unwrap() {
+        PredictReply::Ok(y) => assert!(y.is_finite()),
+        other => panic!("expected ok, got {other:?}"),
+    }
+    handle.shutdown();
+}

@@ -124,9 +124,19 @@ impl ClusterBank {
         match self.mode {
             ClusterMode::Integer => out.extend(self.int.iter().map(|c| cosine(s, c))),
             ClusterMode::FrameworkBinary | ClusterMode::NaiveBinary => {
-                out.extend(self.bin.iter().map(|c| hamming_similarity(s_bin, c)))
+                self.binary_similarities_into(s_bin, out)
             }
         }
+    }
+
+    /// Hamming similarity of a binarised query to every **binary** cluster
+    /// copy, regardless of the bank's mode — the cluster search of the
+    /// bit-packed inference tier. The binary copies are kept coherent with
+    /// the integer ones at every [`ClusterBank::end_epoch`] (all modes), so
+    /// the tier can use them even on an `Integer`-mode bank.
+    pub fn binary_similarities_into(&self, s_bin: &BinaryHv, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.bin.iter().map(|c| hamming_similarity(s_bin, c)));
     }
 
     /// Applies the saturation-aware cluster update of Eq. 8/9 to cluster
@@ -317,15 +327,27 @@ impl ModelBank {
                     .zip(&self.amps)
                     .map(|(mb, &a)| a * mb.signed_dot(s)),
             ),
-            PredictionMode::BinaryBoth => {
-                out.extend(self.bin.iter().zip(&self.amps).map(|(mb, &a)| {
-                    // ±1 · ±1 dot = D − 2·hamming: XOR + popcount only.
-                    let dim = mb.dim() as i64;
-                    let ham = hdc::similarity::hamming_distance(mb, s_bin) as i64;
-                    a * s_amp * (dim - 2 * ham) as f32
-                }))
-            }
+            PredictionMode::BinaryBoth => self.binary_scores_into(s_bin, s_amp, out),
         }
+    }
+
+    /// The binary-binary (§3.2 `BinaryBoth`) scores against the **binary**
+    /// model copies, regardless of the bank's mode — the scoring loop of the
+    /// bit-packed inference tier: XOR + popcount per model plus one multiply
+    /// by the paired amplitudes.
+    ///
+    /// On banks whose mode never refreshes the binary copies during
+    /// training, callers must force coherence first (see
+    /// [`ModelBank::end_epoch_forced`]); `RegHdRegressor` does this at the
+    /// end of every fit.
+    pub fn binary_scores_into(&self, s_bin: &BinaryHv, s_amp: f32, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.bin.iter().zip(&self.amps).map(|(mb, &a)| {
+            // ±1 · ±1 dot = D − 2·hamming: XOR + popcount only.
+            let dim = mb.dim() as i64;
+            let ham = hdc::similarity::hamming_distance(mb, s_bin) as i64;
+            a * s_amp * (dim - 2 * ham) as f32
+        }))
     }
 
     /// Applies the model update `M_i ← M_i + delta · S` to the integer copy

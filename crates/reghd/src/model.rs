@@ -40,6 +40,13 @@ pub struct PredictScratch {
     sims: Vec<f32>,
     conf: Vec<f32>,
     scores: Vec<f32>,
+    /// Staging buffer for the quantised tier's encoded f32 values
+    /// ([`RegHdRegressor::predict_batch_binary_with`]).
+    vals: Vec<f32>,
+    /// Bit-packed sign words for the quantised tier, round-tripped through
+    /// [`hdc::BinaryHv::from_words`]/[`hdc::BinaryHv::into_words`] so the
+    /// steady state allocates nothing per row.
+    words: Vec<u64>,
 }
 
 /// The RegHD multi-model regressor.
@@ -251,17 +258,121 @@ impl RegHdRegressor {
         self.forward(&q).0
     }
 
-    /// Batched prediction forced through the multiply-free quantised
-    /// binary-query path (§3.2, `PredictionMode::BinaryQuery`), regardless
-    /// of the configured prediction mode. The serving layer uses this as
-    /// its **degraded-mode** fallback: when the full-precision path is
-    /// unavailable (timeout, saturation, corruption flag), the binary path
-    /// still produces a finite, holographically robust estimate. Non-finite
-    /// input rows short-circuit to `NaN` exactly like
-    /// [`Regressor::predict_batch`].
+    /// Batched prediction through the **bit-packed binary tier** —
+    /// identical to [`RegHdRegressor::predict_batch_binary`]. The serving
+    /// layer historically called this entry point for its degraded-mode
+    /// fallback; the tier is now also selectable per request (it answers
+    /// both explicit binary-tier requests and overload demotions), so the
+    /// two names share one implementation.
     pub fn predict_batch_degraded(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        self.predict_batch_binary(xs)
+    }
+
+    /// Batched prediction through the **bit-packed binary tier**: int8
+    /// integer encode (where the encoder supports it, see
+    /// [`encoding::Encoder::encode_quantized_into`]), sign-packed query
+    /// words, Hamming similarity against the clusters' binary copies, and
+    /// the pure popcount model scores of §3.2's binary–binary configuration
+    /// — regardless of the configured [`PredictionMode`]. No f32
+    /// multiply-accumulate touches the `D`-wide vectors after the encode.
+    ///
+    /// The tier is *approximate by design* (quantised projection, fast
+    /// polynomial trig, sign-only similarity); accuracy bounds are measured
+    /// in `EXPERIMENTS.md` against the paper's §3.2 quality-loss claims.
+    /// The model's binary copies are refreshed at the end of every
+    /// `fit`/`refine` in every mode, so the tier is always coherent with the
+    /// full-precision path. Non-finite input rows short-circuit to `NaN`
+    /// exactly like [`Regressor::predict_batch`].
+    pub fn predict_batch_binary(&self, xs: &[Vec<f32>]) -> Vec<f32> {
         let mut scratch = PredictScratch::default();
-        self.predict_batch_mode_with(xs, PredictionMode::BinaryQuery, &mut scratch)
+        self.predict_batch_binary_with(xs, &mut scratch)
+    }
+
+    /// [`RegHdRegressor::predict_batch_binary`] with caller-owned scratch —
+    /// the zero-allocation serving entry point for the binary tier. Honors
+    /// the [`RegHdRegressor::set_threads`] knob with the same contiguous
+    /// chunking (and therefore bit-identical output) as the full path.
+    pub fn predict_batch_binary_with(
+        &self,
+        xs: &[Vec<f32>],
+        scratch: &mut PredictScratch,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; xs.len()];
+        let threads = self.effective_threads();
+        if threads > 1 && xs.len() > 1 {
+            hdc::par::chunked_zip_mut(xs, &mut out, threads, |part, out_part| {
+                let mut local = PredictScratch::default();
+                self.predict_binary_chunk_into(part, out_part, &mut local);
+            });
+        } else {
+            self.predict_binary_chunk_into(xs, &mut out, scratch);
+        }
+        out
+    }
+
+    /// One contiguous chunk of the binary tier. Per row: integer encode
+    /// into `scratch.vals` (falling back to the f32 encoder when the
+    /// encoder has no quantised path), centre-subtract, derive the
+    /// amplitude statistic, pack the signs into `scratch.words`, then
+    /// Hamming similarities → softmax → popcount scores.
+    ///
+    /// Normalisation never rescales the values: Hamming similarity is
+    /// invariant to positive scaling, so only the amplitude statistic is
+    /// divided by the norm when `normalize_encodings` is on.
+    fn predict_binary_chunk_into(
+        &self,
+        xs: &[Vec<f32>],
+        out: &mut [f32],
+        scratch: &mut PredictScratch,
+    ) {
+        let dim = self.config.dim;
+        scratch.vals.resize(dim, 0.0);
+        for (i, x) in xs.iter().enumerate() {
+            if !x.iter().all(|v| v.is_finite()) {
+                out[i] = f32::NAN;
+                continue;
+            }
+            if !self.encoder.encode_quantized_into(x, &mut scratch.vals) {
+                // Encoder without an integer path (ID-level, temporal):
+                // fall back to the f32 encode and binarise that instead.
+                scratch
+                    .vals
+                    .copy_from_slice(self.encoder.encode(x).as_slice());
+            }
+            if let Some(center) = &self.center {
+                for (v, &c) in scratch.vals.iter_mut().zip(center.as_slice()) {
+                    *v -= c;
+                }
+            }
+            // One fused pass derives both amplitude statistics (f64, fixed
+            // 4-lane accumulation order — see `hdc::simd::abs_sq_sums`).
+            let (sum_abs, sum_sq) = hdc::simd::abs_sq_sums(&scratch.vals);
+            let mut amp = (sum_abs / dim as f64) as f32;
+            if self.config.normalize_encodings {
+                let norm = sum_sq.sqrt();
+                if norm > 0.0 {
+                    amp = ((sum_abs / dim as f64) / norm) as f32;
+                }
+            }
+            // Pack the signs (the `> 0` threshold of `RealHv::binarize`).
+            scratch.words.resize(dim.div_ceil(64), 0);
+            hdc::simd::pack_signs(&scratch.vals, &mut scratch.words);
+            let bin = hdc::BinaryHv::from_words(dim, std::mem::take(&mut scratch.words));
+            self.clusters
+                .binary_similarities_into(&bin, &mut scratch.sims);
+            softmax_into(&scratch.sims, self.config.softmax_beta, &mut scratch.conf);
+            self.models
+                .binary_scores_into(&bin, amp, &mut scratch.scores);
+            out[i] = scratch
+                .conf
+                .iter()
+                .zip(&scratch.scores)
+                .map(|(&c, &s)| c * s)
+                .sum::<f32>()
+                + self.intercept;
+            // Hand the word buffer back for the next row.
+            scratch.words = bin.into_words();
+        }
     }
 
     /// [`Regressor::predict_batch`] with caller-owned scratch buffers — the
@@ -453,6 +564,10 @@ impl RegHdRegressor {
             self.models.end_epoch();
             history.push((sq_err / order.len() as f64) as f32);
         }
+        // Binary-tier coherence: the bit-packed tier scores against the
+        // models' binary copies in every PredictionMode, so refresh them
+        // even in modes whose end_epoch is a no-op on the model bank.
+        self.models.end_epoch_forced();
         FitReport {
             epochs: history.len(),
             train_mse_history: history,
@@ -602,6 +717,12 @@ impl Regressor for RegHdRegressor {
                 break;
             }
         }
+
+        // Binary-tier coherence (see the same call in `refine`): the
+        // bit-packed tier scores against the models' binary copies in every
+        // PredictionMode, so refresh them even in modes whose end_epoch is
+        // a no-op on the model bank.
+        self.models.end_epoch_forced();
 
         self.trained = true;
         FitReport {
@@ -1067,17 +1188,60 @@ mod tests {
     }
 
     #[test]
-    fn degraded_path_matches_binary_query_mode() {
-        // The degraded fallback must be exactly the §3.2 BinaryQuery path:
-        // a model *configured* for BinaryQuery predicts identically through
-        // predict_batch and predict_batch_degraded.
+    fn degraded_path_is_the_binary_tier() {
+        // The degraded fallback and the explicitly requested binary tier
+        // are one implementation: identical outputs, in every mode.
         let (xs, ys) = multimodal(200, 14);
-        let mut m = make_with(4, ClusterMode::Integer, PredictionMode::BinaryQuery, 14);
+        for cluster in [
+            ClusterMode::Integer,
+            ClusterMode::FrameworkBinary,
+            ClusterMode::NaiveBinary,
+        ] {
+            for pred in PredictionMode::ALL {
+                let mut m = make_with(4, cluster, pred, 14);
+                m.fit(&xs, &ys);
+                assert_eq!(
+                    m.predict_batch_binary(&xs[..10]),
+                    m.predict_batch_degraded(&xs[..10]),
+                    "tier diverged under {cluster:?}/{pred:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tier_is_finite_and_deterministic_in_every_mode() {
+        let (xs, ys) = multimodal(200, 16);
+        for cluster in [
+            ClusterMode::Integer,
+            ClusterMode::FrameworkBinary,
+            ClusterMode::NaiveBinary,
+        ] {
+            for pred in PredictionMode::ALL {
+                let mut m = make_with(4, cluster, pred, 16);
+                m.fit(&xs, &ys);
+                let a = m.predict_batch_binary(&xs[..10]);
+                assert!(
+                    a.iter().all(|p| p.is_finite()),
+                    "non-finite tier output under {cluster:?}/{pred:?}"
+                );
+                assert_eq!(a, m.predict_batch_binary(&xs[..10]));
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tier_scratch_reuse_matches_and_handles_nan() {
+        let (xs, ys) = multimodal(120, 17);
+        let mut m = make(4, 17);
         m.fit(&xs, &ys);
-        assert_eq!(
-            m.predict_batch(&xs[..10]),
-            m.predict_batch_degraded(&xs[..10])
-        );
+        let base = m.predict_batch_binary(&xs[..20]);
+        let mut scratch = PredictScratch::default();
+        assert_eq!(m.predict_batch_binary_with(&xs[..20], &mut scratch), base);
+        assert_eq!(m.predict_batch_binary_with(&xs[..20], &mut scratch), base);
+        let mixed = vec![xs[0].clone(), vec![f32::NAN, 0.0], xs[1].clone()];
+        let preds = m.predict_batch_binary_with(&mixed, &mut scratch);
+        assert!(preds[0].is_finite() && preds[1].is_nan() && preds[2].is_finite());
     }
 
     #[test]

@@ -423,20 +423,41 @@ impl ModelBundle {
             .collect())
     }
 
-    /// Predicts through the multiply-free quantised binary-query path
-    /// (§3.2) regardless of the bundle's configured prediction mode — the
-    /// serving layer's **degraded-mode** fallback when the full-precision
-    /// path is unavailable (worker timeout, queue saturation, or a model
-    /// flagged corrupt, where the binary path's holographic robustness is
-    /// exactly the property the paper argues for).
-    pub fn predict_degraded(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>, String> {
+    /// Predicts through the **bit-packed binary tier** (§3.2 binary–binary:
+    /// int8 encode, sign-packed query, Hamming similarity, popcount scores)
+    /// regardless of the bundle's configured prediction mode. Serving uses
+    /// the same implementation both when a client *requests* the
+    /// low-latency tier and as its **degraded-mode** fallback when the
+    /// full-precision path is unavailable (worker timeout, queue
+    /// saturation, or a model flagged corrupt, where the binary path's
+    /// holographic robustness is exactly the property the paper argues
+    /// for).
+    pub fn predict_binary(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>, String> {
+        let mut scratch = reghd::PredictScratch::default();
+        self.predict_binary_with(rows, &mut scratch)
+    }
+
+    /// [`ModelBundle::predict_binary`] with caller-owned scratch buffers —
+    /// the binary tier's zero-allocation serving entry point, matching
+    /// [`ModelBundle::predict_with`].
+    pub fn predict_binary_with(
+        &self,
+        rows: &[Vec<f32>],
+        scratch: &mut reghd::PredictScratch,
+    ) -> Result<Vec<f32>, String> {
         let scaled = self.scale_rows(rows)?;
         Ok(self
             .model
-            .predict_batch_degraded(&scaled)
+            .predict_batch_binary_with(&scaled, scratch)
             .into_iter()
             .map(|y_std| y_std * self.target_std + self.target_mean)
             .collect())
+    }
+
+    /// Alias for [`ModelBundle::predict_binary`], kept under the name the
+    /// serving layer's fallback paths historically used.
+    pub fn predict_degraded(&self, rows: &[Vec<f32>]) -> Result<Vec<f32>, String> {
+        self.predict_binary(rows)
     }
 
     /// Replays the stored canary rows and checks the predictions against

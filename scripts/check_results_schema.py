@@ -2,9 +2,11 @@
 """Schema floor for the machine-readable bench summaries.
 
 Every ``results/*.json`` must be valid JSON and carry a top-level integer
-``"cores"`` key — without it, throughput/latency numbers are meaningless
-across machines and can't be compared between CI runs. Exits non-zero on
-the first violation so CI can gate on it.
+``"cores"`` key plus a top-level ``"simd"`` key naming the dispatch level
+the numbers were measured at (``avx2``, ``neon``, or ``scalar``) — without
+them, throughput/latency numbers are meaningless across machines and can't
+be compared between CI runs. Exits non-zero on the first violation so CI
+can gate on it.
 """
 
 import glob
@@ -13,6 +15,8 @@ import os
 import sys
 
 ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+SIMD_LEVELS = {"avx2", "neon", "scalar"}
 
 
 def main() -> int:
@@ -31,14 +35,19 @@ def main() -> int:
             failures += 1
             continue
         cores = doc.get("cores") if isinstance(doc, dict) else None
+        simd = doc.get("simd") if isinstance(doc, dict) else None
+        bad = []
         if not isinstance(cores, int) or cores < 1:
-            print(
-                f'FAIL {name}: missing top-level "cores" (got {cores!r})',
-                file=sys.stderr,
+            bad.append(f'missing top-level "cores" (got {cores!r})')
+        if simd not in SIMD_LEVELS:
+            bad.append(
+                f'missing top-level "simd" in {sorted(SIMD_LEVELS)} (got {simd!r})'
             )
+        if bad:
+            print(f"FAIL {name}: {'; '.join(bad)}", file=sys.stderr)
             failures += 1
         else:
-            print(f"ok   {name}: cores={cores}")
+            print(f"ok   {name}: cores={cores} simd={simd}")
     return 1 if failures else 0
 
 

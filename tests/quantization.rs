@@ -155,3 +155,134 @@ fn hamming_and_cosine_search_agree_on_sign_patterns() {
     };
     assert_eq!(cos_rank, ham_rank);
 }
+
+/// Property: the bit-packed popcount tier is *exactly* the unpacked §3.2
+/// computation, across every `ClusterMode` × `PredictionMode` combination.
+///
+/// For a handful of rows this rebuilds the whole binary-tier pipeline from
+/// public pieces with naive, unpacked arithmetic — per-bit sign threshold
+/// instead of the movemask pack, per-bit Hamming counts instead of XOR +
+/// popcount, an i64 ±1 signed dot instead of `D − 2·ham` — and demands the
+/// served prediction match bit-for-bit. A prime dimension keeps the partial
+/// final `u64` word of every packed buffer in play.
+#[test]
+fn packed_popcount_tier_matches_unpacked_computation() {
+    use reghd_repro::hdc::{simd, similarity};
+    let (xs, ys) = task();
+    let dim = 257;
+    for cluster in [
+        ClusterMode::Integer,
+        ClusterMode::FrameworkBinary,
+        ClusterMode::NaiveBinary,
+    ] {
+        for pred in PredictionMode::ALL {
+            let cfg = RegHdConfig::builder()
+                .dim(dim)
+                .models(4)
+                .max_epochs(6)
+                .cluster_mode(cluster)
+                .prediction_mode(pred)
+                .seed(11)
+                .build();
+            let enc = NonlinearEncoder::new(3, dim, 11);
+            let mut m = RegHdRegressor::new(cfg, Box::new(enc));
+            m.fit(&xs, &ys);
+
+            let rows = &xs[..8];
+            let got = m.predict_batch_binary(rows);
+            for (i, x) in rows.iter().enumerate() {
+                // Encode + centre exactly like the tier does.
+                let mut vals = vec![0.0f32; dim];
+                if !m.encoder().encode_quantized_into(x, &mut vals) {
+                    vals.copy_from_slice(m.encoder().encode(x).as_slice());
+                }
+                if let Some(center) = m.center() {
+                    for (v, &c) in vals.iter_mut().zip(center.as_slice()) {
+                        *v -= c;
+                    }
+                }
+
+                // Pack two ways: naive per-bit thresholding vs the
+                // SIMD-dispatched sign pack (seeded with garbage to prove
+                // the pack overwrites every word).
+                let naive = BinaryHv::from_bits(dim, vals.iter().map(|&v| v > 0.0));
+                let mut words = vec![u64::MAX; dim.div_ceil(64)];
+                simd::pack_signs(&vals, &mut words);
+                assert_eq!(
+                    words.as_slice(),
+                    naive.as_words(),
+                    "{cluster:?} x {pred:?} row {i}: packed words diverge from per-bit pack"
+                );
+
+                // Amplitude statistic (same fixed-order fused sums the tier
+                // uses; their agreement with a naive sum is covered by the
+                // hdc unit tests).
+                let (sum_abs, sum_sq) = simd::abs_sq_sums(&vals);
+                let mut s_amp = (sum_abs / dim as f64) as f32;
+                if m.config().normalize_encodings {
+                    let norm = sum_sq.sqrt();
+                    if norm > 0.0 {
+                        s_amp = ((sum_abs / dim as f64) / norm) as f32;
+                    }
+                }
+
+                // Cluster confidences from naive per-bit Hamming counts.
+                let sims: Vec<f32> = m
+                    .clusters()
+                    .binary_clusters()
+                    .iter()
+                    .map(|c| {
+                        let ham = (0..dim).filter(|&d| naive.get(d) != c.get(d)).count();
+                        assert_eq!(
+                            ham,
+                            similarity::hamming_distance(&naive, c),
+                            "{cluster:?} x {pred:?} row {i}: popcount Hamming diverges"
+                        );
+                        1.0 - 2.0 * ham as f32 / dim as f32
+                    })
+                    .collect();
+                let mut conf = Vec::new();
+                similarity::softmax_into(&sims, m.config().softmax_beta, &mut conf);
+
+                // §3.2 scores from the unpacked ±1 views: an i64 signed dot
+                // must equal D − 2·ham of the packed copies, then one
+                // multiply by the paired amplitudes.
+                let scores: Vec<f32> = m
+                    .models()
+                    .integer_models()
+                    .iter()
+                    .map(|mi| {
+                        let a = (mi.as_slice().iter().map(|&v| v.abs() as f64).sum::<f64>()
+                            / dim as f64) as f32;
+                        let dot: i64 = vals
+                            .iter()
+                            .zip(mi.as_slice())
+                            .map(|(&q, &w)| {
+                                let qs: i64 = if q > 0.0 { 1 } else { -1 };
+                                let ws: i64 = if w > 0.0 { 1 } else { -1 };
+                                qs * ws
+                            })
+                            .sum();
+                        let ham = similarity::hamming_distance(&mi.binarize(), &naive) as i64;
+                        assert_eq!(
+                            dot,
+                            dim as i64 - 2 * ham,
+                            "{cluster:?} x {pred:?} row {i}: ±1 dot != D − 2·popcount"
+                        );
+                        a * s_amp * dot as f32
+                    })
+                    .collect();
+
+                let want: f32 =
+                    conf.iter().zip(&scores).map(|(&c, &s)| c * s).sum::<f32>() + m.intercept();
+                assert_eq!(
+                    got[i].to_bits(),
+                    want.to_bits(),
+                    "{cluster:?} x {pred:?} row {i}: tier {} != unpacked {}",
+                    got[i],
+                    want
+                );
+            }
+        }
+    }
+}
